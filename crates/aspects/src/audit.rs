@@ -1,0 +1,352 @@
+//! Audit-trail aspect and its log substrate.
+//!
+//! "Audits" appear in the paper's list of interaction requirements. The
+//! [`AuditAspect`] records an *attempt* entry at pre-activation and a
+//! *completed* entry (with the method's outcome) at post-activation,
+//! into a shared [`AuditLog`] that callers can query or export.
+
+use std::fmt;
+use std::sync::Arc;
+
+use amf_core::{Aspect, InvocationContext, Outcome, Verdict};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Which phase of an invocation an audit record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AuditPhase {
+    /// The activation passed this aspect's precondition (about to run,
+    /// pending any later aspects).
+    Attempt,
+    /// The activation completed and post-activation ran.
+    Completed,
+}
+
+/// One audit-trail entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuditRecord {
+    /// Monotonic sequence number within the log.
+    pub seq: u64,
+    /// The invocation the record belongs to.
+    pub invocation: u64,
+    /// The participating method.
+    pub method: String,
+    /// The caller, if authenticated.
+    pub principal: Option<String>,
+    /// Attempt or completion.
+    pub phase: AuditPhase,
+    /// Method outcome; only meaningful on [`AuditPhase::Completed`].
+    pub outcome: Option<AuditOutcome>,
+}
+
+/// Serializable mirror of [`Outcome`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AuditOutcome {
+    /// The method reported success.
+    Success,
+    /// The method reported a domain failure.
+    Failure,
+}
+
+impl From<Outcome> for AuditOutcome {
+    fn from(o: Outcome) -> Self {
+        match o {
+            Outcome::Success => AuditOutcome::Success,
+            Outcome::Failure => AuditOutcome::Failure,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct LogState {
+    records: std::collections::VecDeque<AuditRecord>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// Append-only, optionally bounded audit log.
+///
+/// When a capacity is set, the oldest records are dropped once it is
+/// exceeded (and counted in [`AuditLog::dropped`]).
+///
+/// ```
+/// use amf_aspects::audit::AuditLog;
+///
+/// let log = AuditLog::unbounded();
+/// assert_eq!(log.len(), 0);
+/// ```
+pub struct AuditLog {
+    state: Mutex<LogState>,
+    capacity: Option<usize>,
+}
+
+impl fmt::Debug for AuditLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AuditLog")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl AuditLog {
+    /// A log that never drops records.
+    pub fn unbounded() -> Self {
+        Self {
+            state: Mutex::new(LogState::default()),
+            capacity: None,
+        }
+    }
+
+    /// A log keeping at most `capacity` most-recent records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "audit log capacity must be positive");
+        Self {
+            state: Mutex::new(LogState::default()),
+            capacity: Some(capacity),
+        }
+    }
+
+    /// Convenience: an unbounded log wrapped in an [`Arc`].
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::unbounded())
+    }
+
+    /// Appends a record, assigning its sequence number.
+    pub fn append(
+        &self,
+        invocation: u64,
+        method: &str,
+        principal: Option<&str>,
+        phase: AuditPhase,
+        outcome: Option<AuditOutcome>,
+    ) {
+        let mut st = self.state.lock();
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.records.push_back(AuditRecord {
+            seq,
+            invocation,
+            method: method.to_string(),
+            principal: principal.map(str::to_string),
+            phase,
+            outcome,
+        });
+        if let Some(cap) = self.capacity {
+            while st.records.len() > cap {
+                st.records.pop_front();
+                st.dropped += 1;
+            }
+        }
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.state.lock().records.len()
+    }
+
+    /// Whether the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records dropped due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.state.lock().dropped
+    }
+
+    /// Snapshot of all retained records, oldest first.
+    pub fn records(&self) -> Vec<AuditRecord> {
+        self.state.lock().records.iter().cloned().collect()
+    }
+
+    /// Snapshot of records for one method.
+    pub fn records_for_method(&self, method: &str) -> Vec<AuditRecord> {
+        self.state
+            .lock()
+            .records
+            .iter()
+            .filter(|r| r.method == method)
+            .cloned()
+            .collect()
+    }
+
+    /// Snapshot of records for one principal.
+    pub fn records_for_principal(&self, principal: &str) -> Vec<AuditRecord> {
+        self.state
+            .lock()
+            .records
+            .iter()
+            .filter(|r| r.principal.as_deref() == Some(principal))
+            .cloned()
+            .collect()
+    }
+}
+
+/// Records an attempt/completion pair around every activation of the
+/// method it guards.
+///
+/// Register it *before* (i.e. to be wrapped by) authentication if you
+/// want only authenticated attempts audited, or *after* to audit
+/// everything that reaches the method.
+///
+/// Blocked activations re-evaluate their chain on every wakeup; the
+/// aspect records the attempt only once per invocation (tracked by a
+/// context marker).
+pub struct AuditAspect {
+    log: Arc<AuditLog>,
+}
+
+/// Context marker: this invocation's attempt has been recorded.
+struct AttemptRecorded;
+
+impl fmt::Debug for AuditAspect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AuditAspect").finish_non_exhaustive()
+    }
+}
+
+impl AuditAspect {
+    /// Creates the aspect over a shared log.
+    pub fn new(log: Arc<AuditLog>) -> Self {
+        Self { log }
+    }
+}
+
+impl Aspect for AuditAspect {
+    fn precondition(&mut self, ctx: &mut InvocationContext) -> Verdict {
+        if !ctx.contains::<AttemptRecorded>() {
+            ctx.insert(AttemptRecorded);
+            self.log.append(
+                ctx.invocation(),
+                ctx.method().as_str(),
+                ctx.principal().map(|p| p.name()),
+                AuditPhase::Attempt,
+                None,
+            );
+        }
+        Verdict::Resume
+    }
+
+    fn postaction(&mut self, ctx: &mut InvocationContext) {
+        ctx.remove::<AttemptRecorded>();
+        self.log.append(
+            ctx.invocation(),
+            ctx.method().as_str(),
+            ctx.principal().map(|p| p.name()),
+            AuditPhase::Completed,
+            Some(ctx.outcome().into()),
+        );
+    }
+
+    fn describe(&self) -> &str {
+        "audit trail"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amf_core::{MethodId, Principal};
+
+    fn ctx(invocation: u64) -> InvocationContext {
+        InvocationContext::new(MethodId::new("open"), invocation)
+    }
+
+    #[test]
+    fn aspect_writes_attempt_then_completed() {
+        let log = AuditLog::shared();
+        let mut aspect = AuditAspect::new(Arc::clone(&log));
+        let mut cx = ctx(9).with_principal(Principal::new("alice"));
+        assert!(aspect.precondition(&mut cx).is_resume());
+        cx.set_outcome(Outcome::Failure);
+        aspect.postaction(&mut cx);
+
+        let records = log.records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].phase, AuditPhase::Attempt);
+        assert_eq!(records[0].outcome, None);
+        assert_eq!(records[0].invocation, 9);
+        assert_eq!(records[0].principal.as_deref(), Some("alice"));
+        assert_eq!(records[1].phase, AuditPhase::Completed);
+        assert_eq!(records[1].outcome, Some(AuditOutcome::Failure));
+        assert!(records[1].seq > records[0].seq);
+    }
+
+    #[test]
+    fn bounded_log_drops_oldest() {
+        let log = AuditLog::bounded(2);
+        for i in 0..5 {
+            log.append(i, "m", None, AuditPhase::Attempt, None);
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 3);
+        let seqs: Vec<u64> = log.records().iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = AuditLog::bounded(0);
+    }
+
+    #[test]
+    fn filters_by_method_and_principal() {
+        let log = AuditLog::unbounded();
+        log.append(1, "open", Some("alice"), AuditPhase::Attempt, None);
+        log.append(2, "assign", Some("bob"), AuditPhase::Attempt, None);
+        log.append(3, "open", Some("bob"), AuditPhase::Attempt, None);
+        assert_eq!(log.records_for_method("open").len(), 2);
+        assert_eq!(log.records_for_method("assign").len(), 1);
+        assert_eq!(log.records_for_principal("bob").len(), 2);
+        assert_eq!(log.records_for_principal("eve").len(), 0);
+    }
+
+    #[test]
+    fn records_serialize_to_json_shape() {
+        let r = AuditRecord {
+            seq: 0,
+            invocation: 1,
+            method: "open".into(),
+            principal: Some("alice".into()),
+            phase: AuditPhase::Completed,
+            outcome: Some(AuditOutcome::Success),
+        };
+        // serde::Serialize derives compile and the record round-trips
+        // through the serde data model (checked structurally here since
+        // no JSON crate is in the dependency set).
+        let cloned = r.clone();
+        assert_eq!(r, cloned);
+    }
+
+    #[test]
+    fn reevaluation_records_one_attempt() {
+        // A blocked invocation re-runs preconditions on every wakeup;
+        // the audit trail must not multiply.
+        let log = AuditLog::shared();
+        let mut aspect = AuditAspect::new(Arc::clone(&log));
+        let mut cx = ctx(5);
+        for _ in 0..4 {
+            assert!(aspect.precondition(&mut cx).is_resume());
+        }
+        aspect.postaction(&mut cx);
+        let records = log.records();
+        assert_eq!(records.len(), 2, "{records:?}");
+        assert_eq!(records[0].phase, AuditPhase::Attempt);
+        assert_eq!(records[1].phase, AuditPhase::Completed);
+    }
+
+    #[test]
+    fn anonymous_invocations_audit_without_principal() {
+        let log = AuditLog::shared();
+        let mut aspect = AuditAspect::new(Arc::clone(&log));
+        let mut cx = ctx(1);
+        aspect.precondition(&mut cx);
+        assert_eq!(log.records()[0].principal, None);
+    }
+}

@@ -1,0 +1,500 @@
+//! Security aspects: authentication and role-based authorization, plus
+//! the user/session substrate they need.
+//!
+//! The paper's adaptability showcase (Section 5.3) introduces an
+//! `AUTHENTICATE` concern without touching the functional code; this
+//! module supplies the pieces: an [`Authenticator`] (user registry,
+//! salted credential hashes, expiring session tokens), an
+//! [`AuthenticationAspect`] that verifies the caller's token, and an
+//! [`AuthorizationAspect`] that enforces role requirements.
+//!
+//! The credential hash is a salted FNV-1a — a deliberate, documented
+//! stand-in for a real KDF (the sanctioned dependency set has no crypto
+//! crate); it exercises the same code path without pretending to be
+//! secure.
+
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use amf_core::{Aspect, InvocationContext, Principal, Verdict};
+use amf_concurrency::{Clock, SystemClock};
+use parking_lot::Mutex;
+use rand::{Rng, SeedableRng};
+
+/// A named capability granted to users, checked by
+/// [`AuthorizationAspect`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Role(Arc<str>);
+
+impl Role {
+    /// Creates a role by name.
+    pub fn new(name: impl Into<Arc<str>>) -> Self {
+        Self(name.into())
+    }
+
+    /// The role name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Role {
+    fn from(s: &str) -> Self {
+        Self::new(s)
+    }
+}
+
+/// Opaque session token returned by [`Authenticator::login`]. Callers
+/// attach it to an invocation context; [`AuthenticationAspect`] resolves
+/// it back to a [`Principal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AuthToken(pub u64);
+
+/// Authentication failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuthError {
+    /// No user with that name.
+    UnknownUser,
+    /// Password did not match.
+    BadPassword,
+    /// The token was never issued or was revoked.
+    InvalidToken,
+    /// The token's session exceeded its time-to-live.
+    Expired,
+}
+
+impl fmt::Display for AuthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            AuthError::UnknownUser => "unknown user",
+            AuthError::BadPassword => "bad password",
+            AuthError::InvalidToken => "invalid token",
+            AuthError::Expired => "session expired",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl Error for AuthError {}
+
+#[derive(Debug)]
+struct UserRecord {
+    salt: u64,
+    hash: u64,
+    roles: HashSet<Role>,
+}
+
+#[derive(Debug)]
+struct Session {
+    user: String,
+    issued_at: Duration,
+}
+
+#[derive(Debug)]
+struct AuthState {
+    users: HashMap<String, UserRecord>,
+    sessions: HashMap<u64, Session>,
+    rng: rand::rngs::StdRng,
+}
+
+/// User registry and session manager.
+///
+/// ```
+/// use amf_aspects::auth::{Authenticator, Role};
+///
+/// let auth = Authenticator::new();
+/// auth.add_user("alice", "s3cret");
+/// auth.grant_role("alice", Role::new("operator")).unwrap();
+/// let token = auth.login("alice", "s3cret").unwrap();
+/// let principal = auth.validate(token).unwrap();
+/// assert_eq!(principal.name(), "alice");
+/// assert!(auth.has_role(&principal, &Role::new("operator")));
+/// ```
+pub struct Authenticator {
+    state: Mutex<AuthState>,
+    clock: Arc<dyn Clock>,
+    ttl: Option<Duration>,
+}
+
+impl fmt::Debug for Authenticator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("Authenticator")
+            .field("users", &st.users.len())
+            .field("sessions", &st.sessions.len())
+            .field("ttl", &self.ttl)
+            .finish()
+    }
+}
+
+/// Salted FNV-1a over the password bytes. NOT cryptographic; see module
+/// docs.
+fn credential_hash(salt: u64, password: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ salt;
+    for b in password.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl Default for Authenticator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Authenticator {
+    /// Creates an authenticator with no session expiry, on the system
+    /// clock.
+    pub fn new() -> Self {
+        Self::with_clock(Arc::new(SystemClock::new()))
+    }
+
+    /// Creates an authenticator on a caller-supplied clock (tests use a
+    /// [`ManualClock`](amf_concurrency::ManualClock)).
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        Self {
+            state: Mutex::new(AuthState {
+                users: HashMap::new(),
+                sessions: HashMap::new(),
+                rng: rand::rngs::StdRng::seed_from_u64(0x5eed),
+            }),
+            clock,
+            ttl: None,
+        }
+    }
+
+    /// Sets a session time-to-live (builder style).
+    #[must_use]
+    pub fn with_ttl(mut self, ttl: Duration) -> Self {
+        self.ttl = Some(ttl);
+        self
+    }
+
+    /// Convenience: a fresh authenticator wrapped in an [`Arc`].
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Registers (or re-registers, resetting roles) a user.
+    pub fn add_user(&self, name: &str, password: &str) {
+        let mut st = self.state.lock();
+        let salt = st.rng.gen();
+        st.users.insert(
+            name.to_string(),
+            UserRecord {
+                salt,
+                hash: credential_hash(salt, password),
+                roles: HashSet::new(),
+            },
+        );
+    }
+
+    /// Grants a role to a user.
+    ///
+    /// # Errors
+    ///
+    /// [`AuthError::UnknownUser`] if the user is not registered.
+    pub fn grant_role(&self, name: &str, role: Role) -> Result<(), AuthError> {
+        let mut st = self.state.lock();
+        st.users
+            .get_mut(name)
+            .ok_or(AuthError::UnknownUser)?
+            .roles
+            .insert(role);
+        Ok(())
+    }
+
+    /// Verifies credentials and opens a session.
+    ///
+    /// # Errors
+    ///
+    /// [`AuthError::UnknownUser`] or [`AuthError::BadPassword`].
+    pub fn login(&self, name: &str, password: &str) -> Result<AuthToken, AuthError> {
+        let mut st = self.state.lock();
+        let user = st.users.get(name).ok_or(AuthError::UnknownUser)?;
+        if credential_hash(user.salt, password) != user.hash {
+            return Err(AuthError::BadPassword);
+        }
+        let token: u64 = st.rng.gen();
+        let issued_at = self.clock.now();
+        st.sessions.insert(
+            token,
+            Session {
+                user: name.to_string(),
+                issued_at,
+            },
+        );
+        Ok(AuthToken(token))
+    }
+
+    /// Resolves a token to its principal.
+    ///
+    /// # Errors
+    ///
+    /// [`AuthError::InvalidToken`] for unknown/revoked tokens,
+    /// [`AuthError::Expired`] past the TTL (the session is then removed).
+    pub fn validate(&self, token: AuthToken) -> Result<Principal, AuthError> {
+        let mut st = self.state.lock();
+        let session = st.sessions.get(&token.0).ok_or(AuthError::InvalidToken)?;
+        if let Some(ttl) = self.ttl {
+            if self.clock.now().saturating_sub(session.issued_at) > ttl {
+                st.sessions.remove(&token.0);
+                return Err(AuthError::Expired);
+            }
+        }
+        Ok(Principal::new(session.user.clone()))
+    }
+
+    /// Closes a session; returns whether it existed.
+    pub fn logout(&self, token: AuthToken) -> bool {
+        self.state.lock().sessions.remove(&token.0).is_some()
+    }
+
+    /// Whether `principal` holds `role`.
+    pub fn has_role(&self, principal: &Principal, role: &Role) -> bool {
+        self.state
+            .lock()
+            .users
+            .get(principal.name())
+            .is_some_and(|u| u.roles.contains(role))
+    }
+
+    /// Number of open sessions.
+    pub fn session_count(&self) -> usize {
+        self.state.lock().sessions.len()
+    }
+}
+
+/// Verifies that the invocation carries a valid [`AuthToken`] attribute
+/// (or an already-attached principal), aborting otherwise. On success,
+/// resolves the token and attaches the [`Principal`] to the context so
+/// downstream aspects (authorization, audit, quota) can use it.
+///
+/// Mirrors the paper's `OpenAuthenticationAspect` /
+/// `AssignAuthenticationAspect` (Figures 13–18): a security precondition
+/// that *aborts* rather than blocks.
+pub struct AuthenticationAspect {
+    auth: Arc<Authenticator>,
+}
+
+impl fmt::Debug for AuthenticationAspect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AuthenticationAspect").finish_non_exhaustive()
+    }
+}
+
+impl AuthenticationAspect {
+    /// Creates the aspect over a shared authenticator.
+    pub fn new(auth: Arc<Authenticator>) -> Self {
+        Self { auth }
+    }
+}
+
+impl Aspect for AuthenticationAspect {
+    fn precondition(&mut self, ctx: &mut InvocationContext) -> Verdict {
+        match ctx.get::<AuthToken>().copied() {
+            Some(token) => match self.auth.validate(token) {
+                Ok(principal) => {
+                    ctx.set_principal(principal);
+                    Verdict::Resume
+                }
+                Err(e) => Verdict::abort(format!("authentication failed: {e}")),
+            },
+            None => Verdict::abort("authentication failed: no token presented"),
+        }
+    }
+
+    fn postaction(&mut self, _ctx: &mut InvocationContext) {}
+
+    fn describe(&self) -> &str {
+        "authentication"
+    }
+}
+
+/// Requires the (already authenticated) principal to hold a specific
+/// role; aborts otherwise.
+pub struct AuthorizationAspect {
+    auth: Arc<Authenticator>,
+    required: Role,
+}
+
+impl fmt::Debug for AuthorizationAspect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AuthorizationAspect")
+            .field("required", &self.required)
+            .finish_non_exhaustive()
+    }
+}
+
+impl AuthorizationAspect {
+    /// Creates the aspect requiring `required` on every activation.
+    pub fn new(auth: Arc<Authenticator>, required: Role) -> Self {
+        Self { auth, required }
+    }
+}
+
+impl Aspect for AuthorizationAspect {
+    fn precondition(&mut self, ctx: &mut InvocationContext) -> Verdict {
+        match ctx.principal() {
+            Some(principal) => Verdict::resume_or_abort(
+                self.auth.has_role(principal, &self.required),
+                format!("principal `{principal}` lacks role `{}`", self.required),
+            ),
+            None => Verdict::abort("authorization requires an authenticated principal"),
+        }
+    }
+
+    fn postaction(&mut self, _ctx: &mut InvocationContext) {}
+
+    fn describe(&self) -> &str {
+        "authorization"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amf_concurrency::ManualClock;
+    use amf_core::MethodId;
+
+    fn ctx() -> InvocationContext {
+        InvocationContext::new(MethodId::new("open"), 1)
+    }
+
+    #[test]
+    fn login_roundtrip() {
+        let auth = Authenticator::new();
+        auth.add_user("alice", "pw");
+        let t = auth.login("alice", "pw").unwrap();
+        assert_eq!(auth.validate(t).unwrap().name(), "alice");
+        assert_eq!(auth.session_count(), 1);
+        assert!(auth.logout(t));
+        assert!(!auth.logout(t));
+        assert_eq!(auth.validate(t), Err(AuthError::InvalidToken));
+    }
+
+    #[test]
+    fn wrong_credentials_rejected() {
+        let auth = Authenticator::new();
+        auth.add_user("alice", "pw");
+        assert_eq!(auth.login("bob", "pw"), Err(AuthError::UnknownUser));
+        assert_eq!(auth.login("alice", "nope"), Err(AuthError::BadPassword));
+    }
+
+    #[test]
+    fn sessions_expire_by_ttl() {
+        let clock = ManualClock::new();
+        let auth =
+            Authenticator::with_clock(Arc::new(clock.clone())).with_ttl(Duration::from_secs(60));
+        auth.add_user("alice", "pw");
+        let t = auth.login("alice", "pw").unwrap();
+        clock.advance(Duration::from_secs(59));
+        assert!(auth.validate(t).is_ok());
+        clock.advance(Duration::from_secs(2));
+        assert_eq!(auth.validate(t), Err(AuthError::Expired));
+        // Expired session is pruned: now invalid, not expired.
+        assert_eq!(auth.validate(t), Err(AuthError::InvalidToken));
+    }
+
+    #[test]
+    fn roles_are_per_user() {
+        let auth = Authenticator::new();
+        auth.add_user("alice", "pw");
+        auth.add_user("bob", "pw");
+        auth.grant_role("alice", Role::new("admin")).unwrap();
+        assert!(auth.has_role(&Principal::new("alice"), &Role::new("admin")));
+        assert!(!auth.has_role(&Principal::new("bob"), &Role::new("admin")));
+        assert!(!auth.has_role(&Principal::new("eve"), &Role::new("admin")));
+        assert_eq!(
+            auth.grant_role("eve", Role::new("admin")),
+            Err(AuthError::UnknownUser)
+        );
+    }
+
+    #[test]
+    fn distinct_salts_give_distinct_hashes() {
+        // Same password, two users: stored hashes must differ.
+        let h1 = credential_hash(1, "pw");
+        let h2 = credential_hash(2, "pw");
+        assert_ne!(h1, h2);
+    }
+
+    #[test]
+    fn authentication_aspect_resolves_principal() {
+        let auth = Authenticator::shared();
+        auth.add_user("alice", "pw");
+        let token = auth.login("alice", "pw").unwrap();
+        let mut aspect = AuthenticationAspect::new(Arc::clone(&auth));
+        let mut cx = ctx();
+        cx.insert(token);
+        assert!(aspect.precondition(&mut cx).is_resume());
+        assert_eq!(cx.principal().unwrap().name(), "alice");
+    }
+
+    #[test]
+    fn authentication_aspect_aborts_without_token() {
+        let auth = Authenticator::shared();
+        let mut aspect = AuthenticationAspect::new(auth);
+        let mut cx = ctx();
+        match aspect.precondition(&mut cx) {
+            Verdict::Abort(r) => assert!(r.message().contains("no token")),
+            other => panic!("expected abort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn authentication_aspect_aborts_on_bad_token() {
+        let auth = Authenticator::shared();
+        let mut aspect = AuthenticationAspect::new(auth);
+        let mut cx = ctx();
+        cx.insert(AuthToken(12345));
+        match aspect.precondition(&mut cx) {
+            Verdict::Abort(r) => assert!(r.message().contains("invalid token")),
+            other => panic!("expected abort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn authorization_aspect_enforces_role() {
+        let auth = Authenticator::shared();
+        auth.add_user("alice", "pw");
+        auth.add_user("bob", "pw");
+        auth.grant_role("alice", Role::new("operator")).unwrap();
+        let mut aspect = AuthorizationAspect::new(Arc::clone(&auth), Role::new("operator"));
+
+        let mut cx = ctx();
+        cx.set_principal(Principal::new("alice"));
+        assert!(aspect.precondition(&mut cx).is_resume());
+
+        let mut cx = ctx();
+        cx.set_principal(Principal::new("bob"));
+        match aspect.precondition(&mut cx) {
+            Verdict::Abort(r) => assert!(r.message().contains("lacks role")),
+            other => panic!("expected abort, got {other:?}"),
+        }
+
+        let mut cx = ctx();
+        assert!(aspect.precondition(&mut cx).is_abort());
+    }
+
+    #[test]
+    fn tokens_are_unique_per_login() {
+        let auth = Authenticator::new();
+        auth.add_user("alice", "pw");
+        let t1 = auth.login("alice", "pw").unwrap();
+        let t2 = auth.login("alice", "pw").unwrap();
+        assert_ne!(t1, t2);
+        assert_eq!(auth.session_count(), 2);
+    }
+}

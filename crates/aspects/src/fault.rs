@@ -1,0 +1,518 @@
+//! Fault-tolerance aspects.
+//!
+//! "Fault tolerance" heads the paper's list of interaction properties.
+//! [`CircuitBreakerAspect`] stops calling a failing method until a
+//! cooldown elapses; [`FailureInjectionAspect`] aborts a configurable
+//! fraction of activations, for chaos-style testing of composed systems.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use amf_concurrency::{Clock, SystemClock};
+use amf_core::{Aspect, InvocationContext, Outcome, Verdict};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Observable state of a circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CircuitState {
+    /// Traffic flows; failures are counted.
+    Closed,
+    /// Traffic is rejected until the cooldown elapses.
+    Open,
+    /// One probe activation is allowed through; its outcome decides.
+    HalfOpen,
+}
+
+/// Classic three-state circuit breaker driven by the invocation
+/// [`Outcome`] recorded by `Moderated::invoke_fallible`.
+///
+/// * `Closed`: resume everything; `threshold` *consecutive* failures trip
+///   the breaker.
+/// * `Open`: abort everything until `cooldown` has elapsed, then move to
+///   `HalfOpen`.
+/// * `HalfOpen`: let one probe through (others abort); success closes
+///   the breaker, failure re-opens it.
+pub struct CircuitBreakerAspect {
+    threshold: u32,
+    cooldown: Duration,
+    clock: Arc<dyn Clock>,
+    state: CircuitState,
+    consecutive_failures: u32,
+    opened_at: Duration,
+    probing: bool,
+}
+
+impl fmt::Debug for CircuitBreakerAspect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CircuitBreakerAspect")
+            .field("state", &self.state)
+            .field("consecutive_failures", &self.consecutive_failures)
+            .field("threshold", &self.threshold)
+            .field("cooldown", &self.cooldown)
+            .finish()
+    }
+}
+
+impl CircuitBreakerAspect {
+    /// Creates a closed breaker tripping after `threshold` consecutive
+    /// failures and cooling down for `cooldown`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn new(threshold: u32, cooldown: Duration) -> Self {
+        Self::with_clock(threshold, cooldown, Arc::new(SystemClock::new()))
+    }
+
+    /// Same, on a caller-supplied clock (tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn with_clock(threshold: u32, cooldown: Duration, clock: Arc<dyn Clock>) -> Self {
+        assert!(threshold > 0, "breaker threshold must be positive");
+        Self {
+            threshold,
+            cooldown,
+            clock,
+            state: CircuitState::Closed,
+            consecutive_failures: 0,
+            opened_at: Duration::ZERO,
+            probing: false,
+        }
+    }
+
+    /// The breaker's current state (as of its last transition; an `Open`
+    /// breaker whose cooldown has elapsed reports `Open` until the next
+    /// activation probes it).
+    pub fn state(&self) -> CircuitState {
+        self.state
+    }
+}
+
+impl Aspect for CircuitBreakerAspect {
+    fn precondition(&mut self, _ctx: &mut InvocationContext) -> Verdict {
+        match self.state {
+            CircuitState::Closed => Verdict::Resume,
+            CircuitState::Open => {
+                if self.clock.now().saturating_sub(self.opened_at) >= self.cooldown {
+                    self.state = CircuitState::HalfOpen;
+                    self.probing = true;
+                    Verdict::Resume
+                } else {
+                    Verdict::abort("circuit open")
+                }
+            }
+            CircuitState::HalfOpen => {
+                if self.probing {
+                    Verdict::abort("circuit half-open: probe in flight")
+                } else {
+                    self.probing = true;
+                    Verdict::Resume
+                }
+            }
+        }
+    }
+
+    fn postaction(&mut self, ctx: &mut InvocationContext) {
+        let failed = ctx.outcome() == Outcome::Failure;
+        match self.state {
+            CircuitState::Closed => {
+                if failed {
+                    self.consecutive_failures += 1;
+                    if self.consecutive_failures >= self.threshold {
+                        self.state = CircuitState::Open;
+                        self.opened_at = self.clock.now();
+                    }
+                } else {
+                    self.consecutive_failures = 0;
+                }
+            }
+            CircuitState::HalfOpen => {
+                self.probing = false;
+                if failed {
+                    self.state = CircuitState::Open;
+                    self.opened_at = self.clock.now();
+                } else {
+                    self.state = CircuitState::Closed;
+                    self.consecutive_failures = 0;
+                }
+            }
+            CircuitState::Open => {
+                // Unreachable in normal operation (Open aborts), but a
+                // guard completed out-of-band is treated as a probe.
+                if !failed {
+                    self.state = CircuitState::Closed;
+                    self.consecutive_failures = 0;
+                }
+            }
+        }
+    }
+
+    fn on_release(&mut self, _ctx: &InvocationContext, _cause: amf_core::ReleaseCause) {
+        if self.state == CircuitState::HalfOpen {
+            self.probing = false;
+        }
+    }
+
+    fn describe(&self) -> &str {
+        "circuit breaker"
+    }
+}
+
+/// Aborts a pseudo-random fraction of activations — failure injection
+/// for testing how composed systems behave under faults. Deterministic
+/// for a given seed.
+pub struct FailureInjectionAspect {
+    rng: StdRng,
+    probability: f64,
+}
+
+impl fmt::Debug for FailureInjectionAspect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FailureInjectionAspect")
+            .field("probability", &self.probability)
+            .finish()
+    }
+}
+
+impl FailureInjectionAspect {
+    /// Aborts each activation with probability `probability` (clamped to
+    /// `[0, 1]`), seeded for reproducibility.
+    pub fn new(probability: f64, seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            probability: probability.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl Aspect for FailureInjectionAspect {
+    fn precondition(&mut self, _ctx: &mut InvocationContext) -> Verdict {
+        if self.rng.gen::<f64>() < self.probability {
+            Verdict::abort("injected failure")
+        } else {
+            Verdict::Resume
+        }
+    }
+
+    fn postaction(&mut self, _ctx: &mut InvocationContext) {}
+
+    fn describe(&self) -> &str {
+        "failure injection"
+    }
+}
+
+/// Caller-side retry policy companion to the aspects above: retries an
+/// operation whose activation was *vetoed transiently* (timeout, open
+/// circuit), leaving domain errors and permanent vetoes alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts (including the first).
+    pub attempts: u32,
+    /// Whether a veto by the fault-tolerance concern (open breaker) is
+    /// worth retrying; timeouts always are.
+    pub retry_on_open_circuit: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 3,
+            retry_on_open_circuit: false,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Whether `err` is transient under this policy.
+    pub fn is_retryable(&self, err: &amf_core::AbortError) -> bool {
+        if err.is_timeout() {
+            return true;
+        }
+        self.retry_on_open_circuit
+            && err.concern() == Some(&amf_core::Concern::fault_tolerance())
+    }
+}
+
+/// Runs `op` up to `policy.attempts` times, retrying transient vetoes.
+/// `between` runs before each retry (backoff, advancing a test clock).
+///
+/// # Errors
+///
+/// The last veto if every attempt failed transiently, or the first
+/// non-retryable veto immediately.
+///
+/// ```
+/// use amf_aspects::fault::{retry, RetryPolicy};
+/// use amf_core::{AbortError, MethodId};
+///
+/// let mut failures_left = 2;
+/// let result = retry(RetryPolicy { attempts: 3, ..RetryPolicy::default() },
+///     || {
+///         if failures_left > 0 {
+///             failures_left -= 1;
+///             Err(AbortError::Timeout { method: MethodId::new("op") })
+///         } else {
+///             Ok(42)
+///         }
+///     },
+///     || {},
+/// );
+/// assert_eq!(result.unwrap(), 42);
+/// ```
+pub fn retry<R>(
+    policy: RetryPolicy,
+    mut op: impl FnMut() -> Result<R, amf_core::AbortError>,
+    mut between: impl FnMut(),
+) -> Result<R, amf_core::AbortError> {
+    let mut last_err = None;
+    for attempt in 0..policy.attempts.max(1) {
+        if attempt > 0 {
+            between();
+        }
+        match op() {
+            Ok(r) => return Ok(r),
+            Err(e) if policy.is_retryable(&e) => last_err = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last_err.expect("at least one attempt ran"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amf_concurrency::ManualClock;
+    use amf_core::MethodId;
+
+    fn ctx() -> InvocationContext {
+        InvocationContext::new(MethodId::new("m"), 1)
+    }
+
+    fn run_once(a: &mut CircuitBreakerAspect, outcome: Outcome) -> Verdict {
+        let mut c = ctx();
+        let v = a.precondition(&mut c);
+        if v.is_resume() {
+            c.set_outcome(outcome);
+            a.postaction(&mut c);
+        }
+        v
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let clock = ManualClock::new();
+        let mut a =
+            CircuitBreakerAspect::with_clock(3, Duration::from_secs(10), Arc::new(clock.clone()));
+        assert!(run_once(&mut a, Outcome::Failure).is_resume());
+        assert!(run_once(&mut a, Outcome::Failure).is_resume());
+        assert_eq!(a.state(), CircuitState::Closed);
+        assert!(run_once(&mut a, Outcome::Failure).is_resume());
+        assert_eq!(a.state(), CircuitState::Open);
+        assert!(run_once(&mut a, Outcome::Success).is_abort());
+    }
+
+    #[test]
+    fn success_resets_failure_streak() {
+        let clock = ManualClock::new();
+        let mut a =
+            CircuitBreakerAspect::with_clock(2, Duration::from_secs(10), Arc::new(clock.clone()));
+        run_once(&mut a, Outcome::Failure);
+        run_once(&mut a, Outcome::Success);
+        run_once(&mut a, Outcome::Failure);
+        assert_eq!(a.state(), CircuitState::Closed);
+    }
+
+    #[test]
+    fn half_open_probe_success_closes() {
+        let clock = ManualClock::new();
+        let mut a =
+            CircuitBreakerAspect::with_clock(1, Duration::from_secs(5), Arc::new(clock.clone()));
+        run_once(&mut a, Outcome::Failure);
+        assert_eq!(a.state(), CircuitState::Open);
+        clock.advance(Duration::from_secs(5));
+        assert!(run_once(&mut a, Outcome::Success).is_resume());
+        assert_eq!(a.state(), CircuitState::Closed);
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens() {
+        let clock = ManualClock::new();
+        let mut a =
+            CircuitBreakerAspect::with_clock(1, Duration::from_secs(5), Arc::new(clock.clone()));
+        run_once(&mut a, Outcome::Failure);
+        clock.advance(Duration::from_secs(5));
+        assert!(run_once(&mut a, Outcome::Failure).is_resume());
+        assert_eq!(a.state(), CircuitState::Open);
+        // Cooldown restarts from the re-open.
+        clock.advance(Duration::from_secs(4));
+        assert!(run_once(&mut a, Outcome::Success).is_abort());
+        clock.advance(Duration::from_secs(1));
+        assert!(run_once(&mut a, Outcome::Success).is_resume());
+        assert_eq!(a.state(), CircuitState::Closed);
+    }
+
+    #[test]
+    fn half_open_admits_single_probe() {
+        let clock = ManualClock::new();
+        let mut a =
+            CircuitBreakerAspect::with_clock(1, Duration::from_secs(1), Arc::new(clock.clone()));
+        run_once(&mut a, Outcome::Failure);
+        clock.advance(Duration::from_secs(1));
+        let mut probe_ctx = ctx();
+        assert!(a.precondition(&mut probe_ctx).is_resume());
+        // Second caller while the probe is in flight: rejected.
+        let mut second = ctx();
+        assert!(a.precondition(&mut second).is_abort());
+        probe_ctx.set_outcome(Outcome::Success);
+        a.postaction(&mut probe_ctx);
+        assert_eq!(a.state(), CircuitState::Closed);
+    }
+
+    #[test]
+    fn released_probe_frees_the_probe_slot() {
+        let clock = ManualClock::new();
+        let mut a =
+            CircuitBreakerAspect::with_clock(1, Duration::from_secs(1), Arc::new(clock.clone()));
+        run_once(&mut a, Outcome::Failure);
+        clock.advance(Duration::from_secs(1));
+        let mut probe_ctx = ctx();
+        assert!(a.precondition(&mut probe_ctx).is_resume());
+        a.on_release(&probe_ctx, amf_core::ReleaseCause::Aborted);
+        let mut retry = ctx();
+        assert!(a.precondition(&mut retry).is_resume());
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn zero_threshold_rejected() {
+        let _ = CircuitBreakerAspect::new(0, Duration::from_secs(1));
+    }
+
+    #[test]
+    fn retry_gives_up_after_attempts() {
+        let mut calls = 0;
+        let r: Result<(), _> = retry(
+            RetryPolicy {
+                attempts: 3,
+                ..RetryPolicy::default()
+            },
+            || {
+                calls += 1;
+                Err(amf_core::AbortError::Timeout {
+                    method: MethodId::new("op"),
+                })
+            },
+            || {},
+        );
+        assert!(r.unwrap_err().is_timeout());
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn retry_stops_on_permanent_veto() {
+        let mut calls = 0;
+        let r: Result<(), _> = retry(
+            RetryPolicy::default(),
+            || {
+                calls += 1;
+                Err(amf_core::AbortError::Aspect {
+                    method: MethodId::new("op"),
+                    concern: amf_core::Concern::authentication(),
+                    reason: "bad token".into(),
+                })
+            },
+            || {},
+        );
+        assert!(!r.unwrap_err().is_timeout());
+        assert_eq!(calls, 1, "authentication failures are not transient");
+    }
+
+    #[test]
+    fn retry_open_circuit_is_policy_gated() {
+        let open_circuit_err = || amf_core::AbortError::Aspect {
+            method: MethodId::new("op"),
+            concern: amf_core::Concern::fault_tolerance(),
+            reason: "circuit open".into(),
+        };
+        let strict = RetryPolicy::default();
+        assert!(!strict.is_retryable(&open_circuit_err()));
+        let lenient = RetryPolicy {
+            retry_on_open_circuit: true,
+            ..RetryPolicy::default()
+        };
+        assert!(lenient.is_retryable(&open_circuit_err()));
+    }
+
+    #[test]
+    fn retry_composes_with_breaker_and_clock() {
+        // End-to-end: breaker opens after 1 failure; retry with a
+        // between-hook that advances the clock past the cooldown wins.
+        let clock = ManualClock::new();
+        let moderator = amf_core::AspectModerator::shared();
+        let op = moderator.declare_method(MethodId::new("op"));
+        moderator
+            .register(
+                &op,
+                amf_core::Concern::fault_tolerance(),
+                Box::new(CircuitBreakerAspect::with_clock(
+                    1,
+                    Duration::from_secs(5),
+                    Arc::new(clock.clone()),
+                )),
+            )
+            .unwrap();
+        let proxy = amf_core::Moderated::new(0_u32, Arc::clone(&moderator));
+        // Trip the breaker.
+        let r: Result<(), &str> = proxy.invoke_fallible(&op, |_| Err("boom")).unwrap();
+        assert!(r.is_err());
+        // Retry through the open circuit, advancing time between tries.
+        let result = retry(
+            RetryPolicy {
+                attempts: 2,
+                retry_on_open_circuit: true,
+            },
+            || proxy.invoke(&op, |c| *c += 1),
+            || clock.advance(Duration::from_secs(5)),
+        );
+        assert!(result.is_ok());
+    }
+
+    #[test]
+    fn injection_rate_matches_probability() {
+        let mut a = FailureInjectionAspect::new(0.3, 42);
+        let mut aborted = 0;
+        for _ in 0..10_000 {
+            if a.precondition(&mut ctx()).is_abort() {
+                aborted += 1;
+            }
+        }
+        let rate = f64::from(aborted) / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.03, "rate was {rate}");
+    }
+
+    #[test]
+    fn injection_extremes() {
+        let mut never = FailureInjectionAspect::new(0.0, 1);
+        let mut always = FailureInjectionAspect::new(1.0, 1);
+        for _ in 0..100 {
+            assert!(never.precondition(&mut ctx()).is_resume());
+            assert!(always.precondition(&mut ctx()).is_abort());
+        }
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed() {
+        let collect = |seed| {
+            let mut a = FailureInjectionAspect::new(0.5, seed);
+            (0..64)
+                .map(|_| a.precondition(&mut ctx()).is_abort())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(collect(7), collect(7));
+        assert_ne!(collect(7), collect(8));
+    }
+}

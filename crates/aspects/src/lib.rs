@@ -1,0 +1,34 @@
+//! Reusable aspect library for the Aspect Moderator framework.
+//!
+//! The paper lists the interaction concerns that cut across functional
+//! components: "load balancing, fault tolerance, throughput, security,
+//! audits, location transparency, concurrency, and coordination". This
+//! crate packages each as a reusable [`Aspect`](amf_core::Aspect)
+//! implementation plus whatever substrate it needs:
+//!
+//! | Module | Concern | Aspects |
+//! |---|---|---|
+//! | [`sync`] | concurrency / coordination | bounded-buffer producer/consumer pair, mutual-exclusion group, readers–writer |
+//! | [`coordination`] | rendezvous / resources / latency budgets | barrier, resource lease, deadline |
+//! | [`auth`] | security | authentication, role authorization (+ user/session substrate) |
+//! | [`audit`] | audits | audit-trail recording |
+//! | [`sched`] | scheduling / throughput | policy-ordered admission, rate limiting |
+//! | [`fault`] | fault tolerance | circuit breaker, failure injection |
+//! | [`metrics`] | performance visibility | latency/counter collection |
+//! | [`quota`] | resource governance | per-principal quotas |
+//!
+//! Every aspect here follows the same contract: its `precondition`
+//! *reserves* state, its `postaction` *commits*, and its `on_release`
+//! undoes a reservation when a later aspect in the chain blocks or
+//! aborts (see `amf-core`'s rollback policy).
+
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod auth;
+pub mod coordination;
+pub mod fault;
+pub mod metrics;
+pub mod quota;
+pub mod sched;
+pub mod sync;

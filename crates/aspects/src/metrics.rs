@@ -1,0 +1,309 @@
+//! Performance-metrics aspect: per-method invocation counts, failure
+//! counts and latency histograms, collected without touching functional
+//! code.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use amf_concurrency::{Clock, SystemClock};
+use amf_core::{Aspect, InvocationContext, Outcome, Verdict};
+use parking_lot::Mutex;
+
+/// Fixed-boundary latency histogram.
+///
+/// Buckets are cumulative-style boundaries: a sample lands in the first
+/// bucket whose bound is `>=` the sample; an overflow bucket catches the
+/// rest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<Duration>,
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending bucket bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn new(bounds: Vec<Duration>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let n = bounds.len();
+        Self {
+            bounds,
+            counts: vec![0; n],
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Eight exponential buckets from 1µs to 100ms — a sensible default
+    /// for in-process method latencies.
+    pub fn default_latency() -> Self {
+        Self::new(
+            [1, 10, 100, 1_000, 10_000, 100_000, 1_000_000, 100_000_000]
+                .into_iter()
+                .map(Duration::from_micros)
+                .collect(),
+        )
+    }
+
+    /// Records a sample.
+    pub fn record(&mut self, sample: Duration) {
+        self.total += 1;
+        for (i, bound) in self.bounds.iter().enumerate() {
+            if sample <= *bound {
+                self.counts[i] += 1;
+                return;
+            }
+        }
+        self.overflow += 1;
+    }
+
+    /// Total recorded samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The approximate `q`-quantile (0.0–1.0): the upper bound of the
+    /// bucket containing it, or the last bound for overflow samples.
+    /// `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Some(self.bounds[i]);
+            }
+        }
+        self.bounds.last().copied()
+    }
+
+    /// (bound, count) pairs plus the overflow count.
+    pub fn buckets(&self) -> (Vec<(Duration, u64)>, u64) {
+        (
+            self.bounds
+                .iter()
+                .copied()
+                .zip(self.counts.iter().copied())
+                .collect(),
+            self.overflow,
+        )
+    }
+}
+
+/// Aggregate metrics for one participating method.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodMetrics {
+    /// Completed invocations.
+    pub invocations: u64,
+    /// Invocations whose outcome was [`Outcome::Failure`].
+    pub failures: u64,
+    /// Latency from precondition to postaction.
+    pub latency: Histogram,
+}
+
+impl Default for MethodMetrics {
+    fn default() -> Self {
+        Self {
+            invocations: 0,
+            failures: 0,
+            latency: Histogram::default_latency(),
+        }
+    }
+}
+
+/// Shared sink for [`MetricsAspect`]s across many methods.
+#[derive(Clone, Default)]
+pub struct MetricsHub {
+    per_method: Arc<Mutex<HashMap<String, MethodMetrics>>>,
+}
+
+impl fmt::Debug for MetricsHub {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MetricsHub")
+            .field("methods", &self.per_method.lock().len())
+            .finish()
+    }
+}
+
+impl MetricsHub {
+    /// Creates an empty hub.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of one method's metrics.
+    pub fn method(&self, name: &str) -> Option<MethodMetrics> {
+        self.per_method.lock().get(name).cloned()
+    }
+
+    /// Snapshot of every method's metrics.
+    pub fn all(&self) -> HashMap<String, MethodMetrics> {
+        self.per_method.lock().clone()
+    }
+
+    fn record(&self, method: &str, elapsed: Duration, failed: bool) {
+        let mut map = self.per_method.lock();
+        let m = map.entry(method.to_string()).or_default();
+        m.invocations += 1;
+        if failed {
+            m.failures += 1;
+        }
+        m.latency.record(elapsed);
+    }
+}
+
+/// Context attribute: when this invocation's precondition ran.
+#[derive(Debug, Clone, Copy)]
+struct StartedAt(Duration);
+
+/// Measures each activation (precondition → postaction) into a
+/// [`MetricsHub`].
+pub struct MetricsAspect {
+    hub: MetricsHub,
+    clock: Arc<dyn Clock>,
+}
+
+impl fmt::Debug for MetricsAspect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MetricsAspect").finish_non_exhaustive()
+    }
+}
+
+impl MetricsAspect {
+    /// Creates the aspect reporting into `hub`, on the system clock.
+    pub fn new(hub: MetricsHub) -> Self {
+        Self::with_clock(hub, Arc::new(SystemClock::new()))
+    }
+
+    /// Same, on a caller-supplied clock.
+    pub fn with_clock(hub: MetricsHub, clock: Arc<dyn Clock>) -> Self {
+        Self { hub, clock }
+    }
+}
+
+impl Aspect for MetricsAspect {
+    fn precondition(&mut self, ctx: &mut InvocationContext) -> Verdict {
+        ctx.insert(StartedAt(self.clock.now()));
+        Verdict::Resume
+    }
+
+    fn postaction(&mut self, ctx: &mut InvocationContext) {
+        let elapsed = match ctx.remove::<StartedAt>() {
+            Some(StartedAt(t0)) => self.clock.now().saturating_sub(t0),
+            None => Duration::ZERO,
+        };
+        self.hub.record(
+            ctx.method().as_str(),
+            elapsed,
+            ctx.outcome() == Outcome::Failure,
+        );
+    }
+
+    fn describe(&self) -> &str {
+        "metrics"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amf_concurrency::ManualClock;
+    use amf_core::MethodId;
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(vec![Duration::from_millis(1), Duration::from_millis(10)]);
+        h.record(Duration::from_micros(500));
+        h.record(Duration::from_millis(5));
+        h.record(Duration::from_secs(1));
+        let (buckets, overflow) = h.buckets();
+        assert_eq!(buckets[0].1, 1);
+        assert_eq!(buckets[1].1, 1);
+        assert_eq!(overflow, 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new(
+            (1..=10)
+                .map(Duration::from_millis)
+                .collect::<Vec<_>>(),
+        );
+        for ms in 1..=10 {
+            h.record(Duration::from_millis(ms) - Duration::from_micros(1));
+        }
+        assert_eq!(h.quantile(0.5), Some(Duration::from_millis(5)));
+        assert_eq!(h.quantile(1.0), Some(Duration::from_millis(10)));
+        assert_eq!(h.quantile(0.0), Some(Duration::from_millis(1)));
+        assert_eq!(Histogram::default_latency().quantile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn histogram_rejects_unsorted_bounds() {
+        let _ = Histogram::new(vec![Duration::from_secs(2), Duration::from_secs(1)]);
+    }
+
+    #[test]
+    fn aspect_measures_latency_and_failures() {
+        let clock = ManualClock::new();
+        let hub = MetricsHub::new();
+        let mut a = MetricsAspect::with_clock(hub.clone(), Arc::new(clock.clone()));
+
+        let mut cx = InvocationContext::new(MethodId::new("open"), 1);
+        a.precondition(&mut cx);
+        clock.advance(Duration::from_micros(50));
+        a.postaction(&mut cx);
+
+        let mut cx = InvocationContext::new(MethodId::new("open"), 2);
+        a.precondition(&mut cx);
+        clock.advance(Duration::from_millis(2));
+        cx.set_outcome(Outcome::Failure);
+        a.postaction(&mut cx);
+
+        let m = hub.method("open").unwrap();
+        assert_eq!(m.invocations, 2);
+        assert_eq!(m.failures, 1);
+        assert_eq!(m.latency.total(), 2);
+        assert!(hub.method("assign").is_none());
+    }
+
+    #[test]
+    fn hub_separates_methods() {
+        let hub = MetricsHub::new();
+        let mut a = MetricsAspect::new(hub.clone());
+        for name in ["open", "assign", "open"] {
+            let mut cx = InvocationContext::new(MethodId::new(name), 1);
+            a.precondition(&mut cx);
+            a.postaction(&mut cx);
+        }
+        assert_eq!(hub.method("open").unwrap().invocations, 2);
+        assert_eq!(hub.method("assign").unwrap().invocations, 1);
+        assert_eq!(hub.all().len(), 2);
+    }
+
+    #[test]
+    fn missing_start_marker_records_zero() {
+        // postaction without precondition (defensive path).
+        let hub = MetricsHub::new();
+        let mut a = MetricsAspect::new(hub.clone());
+        let mut cx = InvocationContext::new(MethodId::new("open"), 1);
+        a.postaction(&mut cx);
+        assert_eq!(hub.method("open").unwrap().invocations, 1);
+    }
+}

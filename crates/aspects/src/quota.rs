@@ -1,0 +1,201 @@
+//! Per-principal quota aspect: limits how many activations each caller
+//! may perform, optionally within a sliding window.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use amf_concurrency::{Clock, SystemClock};
+use amf_core::{Aspect, InvocationContext, ReleaseCause, Verdict};
+
+/// Per-principal usage quota.
+///
+/// Each authenticated principal may perform at most `limit` activations;
+/// with a window configured, usage resets every `window`. Activations
+/// without a principal are aborted — register an authentication aspect
+/// *around* this one.
+///
+/// The usage counter increments at precondition (a reservation) and is
+/// handed back by `on_release` if a later aspect blocks or aborts the
+/// activation.
+pub struct QuotaAspect {
+    default_limit: u64,
+    overrides: HashMap<String, u64>,
+    used: HashMap<String, u64>,
+    window: Option<Duration>,
+    window_start: Duration,
+    clock: Arc<dyn Clock>,
+}
+
+impl fmt::Debug for QuotaAspect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QuotaAspect")
+            .field("default_limit", &self.default_limit)
+            .field("overrides", &self.overrides.len())
+            .field("window", &self.window)
+            .finish()
+    }
+}
+
+impl QuotaAspect {
+    /// A quota of `limit` activations per principal, never resetting.
+    pub fn new(limit: u64) -> Self {
+        Self::with_clock(limit, Arc::new(SystemClock::new()))
+    }
+
+    /// Same, on a caller-supplied clock.
+    pub fn with_clock(limit: u64, clock: Arc<dyn Clock>) -> Self {
+        let now = clock.now();
+        Self {
+            default_limit: limit,
+            overrides: HashMap::new(),
+            used: HashMap::new(),
+            window: None,
+            window_start: now,
+            clock,
+        }
+    }
+
+    /// Resets all usage every `window` (builder style).
+    #[must_use]
+    pub fn with_window(mut self, window: Duration) -> Self {
+        self.window = Some(window);
+        self
+    }
+
+    /// Overrides the limit for one principal (builder style).
+    #[must_use]
+    pub fn with_limit_for(mut self, principal: &str, limit: u64) -> Self {
+        self.overrides.insert(principal.to_string(), limit);
+        self
+    }
+
+    /// Usage recorded for `principal` in the current window.
+    pub fn used_by(&self, principal: &str) -> u64 {
+        self.used.get(principal).copied().unwrap_or(0)
+    }
+
+    fn roll_window(&mut self) {
+        if let Some(window) = self.window {
+            let now = self.clock.now();
+            if now.saturating_sub(self.window_start) >= window {
+                self.used.clear();
+                self.window_start = now;
+            }
+        }
+    }
+
+    fn limit_for(&self, principal: &str) -> u64 {
+        self.overrides
+            .get(principal)
+            .copied()
+            .unwrap_or(self.default_limit)
+    }
+}
+
+impl Aspect for QuotaAspect {
+    fn precondition(&mut self, ctx: &mut InvocationContext) -> Verdict {
+        self.roll_window();
+        let Some(principal) = ctx.principal() else {
+            return Verdict::abort("quota requires an authenticated principal");
+        };
+        let name = principal.name().to_string();
+        let limit = self.limit_for(&name);
+        let used = self.used.entry(name).or_insert(0);
+        if *used >= limit {
+            Verdict::abort(format!("quota exceeded ({limit} per window)"))
+        } else {
+            *used += 1;
+            Verdict::Resume
+        }
+    }
+
+    fn postaction(&mut self, _ctx: &mut InvocationContext) {}
+
+    fn on_release(&mut self, ctx: &InvocationContext, _cause: ReleaseCause) {
+        if let Some(principal) = ctx.principal() {
+            if let Some(used) = self.used.get_mut(principal.name()) {
+                *used = used.saturating_sub(1);
+            }
+        }
+    }
+
+    fn describe(&self) -> &str {
+        "quota"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amf_concurrency::ManualClock;
+    use amf_core::{MethodId, Principal};
+
+    fn ctx_as(name: &str) -> InvocationContext {
+        InvocationContext::new(MethodId::new("m"), 1).with_principal(Principal::new(name))
+    }
+
+    #[test]
+    fn enforces_default_limit_per_principal() {
+        let mut q = QuotaAspect::new(2);
+        assert!(q.precondition(&mut ctx_as("alice")).is_resume());
+        assert!(q.precondition(&mut ctx_as("alice")).is_resume());
+        assert!(q.precondition(&mut ctx_as("alice")).is_abort());
+        // Bob has his own budget.
+        assert!(q.precondition(&mut ctx_as("bob")).is_resume());
+        assert_eq!(q.used_by("alice"), 2);
+        assert_eq!(q.used_by("bob"), 1);
+    }
+
+    #[test]
+    fn per_principal_override() {
+        let mut q = QuotaAspect::new(1).with_limit_for("vip", 3);
+        assert!(q.precondition(&mut ctx_as("vip")).is_resume());
+        assert!(q.precondition(&mut ctx_as("vip")).is_resume());
+        assert!(q.precondition(&mut ctx_as("vip")).is_resume());
+        assert!(q.precondition(&mut ctx_as("vip")).is_abort());
+        assert!(q.precondition(&mut ctx_as("pleb")).is_resume());
+        assert!(q.precondition(&mut ctx_as("pleb")).is_abort());
+    }
+
+    #[test]
+    fn anonymous_callers_are_rejected() {
+        let mut q = QuotaAspect::new(10);
+        let mut anon = InvocationContext::new(MethodId::new("m"), 1);
+        match q.precondition(&mut anon) {
+            Verdict::Abort(r) => assert!(r.message().contains("authenticated")),
+            other => panic!("expected abort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn window_resets_usage() {
+        let clock = ManualClock::new();
+        let mut q = QuotaAspect::with_clock(1, Arc::new(clock.clone()))
+            .with_window(Duration::from_secs(60));
+        assert!(q.precondition(&mut ctx_as("alice")).is_resume());
+        assert!(q.precondition(&mut ctx_as("alice")).is_abort());
+        clock.advance(Duration::from_secs(61));
+        assert!(q.precondition(&mut ctx_as("alice")).is_resume());
+        assert_eq!(q.used_by("alice"), 1);
+    }
+
+    #[test]
+    fn release_refunds_usage() {
+        let mut q = QuotaAspect::new(1);
+        let cx = ctx_as("alice");
+        let mut cx2 = ctx_as("alice");
+        assert!(q.precondition(&mut cx2).is_resume());
+        q.on_release(&cx, ReleaseCause::Blocked);
+        assert_eq!(q.used_by("alice"), 0);
+        assert!(q.precondition(&mut cx2).is_resume());
+    }
+
+    #[test]
+    fn release_without_usage_is_safe() {
+        let mut q = QuotaAspect::new(1);
+        q.on_release(&ctx_as("ghost"), ReleaseCause::Aborted);
+        assert_eq!(q.used_by("ghost"), 0);
+    }
+}

@@ -1,0 +1,664 @@
+//! Synchronization aspects: the paper's flagship concern.
+//!
+//! The trouble-ticketing example guards a bounded buffer with
+//! `OpenSynchronizationAspect` / `AssignSynchronizationAspect` (paper
+//! Figure 7). [`bounded_buffer_sync`] builds that pair generically: a
+//! producer-side and a consumer-side aspect sharing one
+//! [`BufferSyncState`]. Also here: mutual-exclusion groups and a
+//! readers–writer pair.
+//!
+//! # Reservation protocol
+//!
+//! The paper's preconditions both *test* and *mutate* ("if not full,
+//! increment the counters"). That only works because the precondition
+//! runs under the moderator's lock — a resumed precondition is a
+//! *reservation*. The subtlety the paper glosses over: a producer slot
+//! reserved at pre-activation must not be consumable until the method
+//! body actually ran. We therefore track two counters:
+//!
+//! * `reserved` — slots claimed by producers (incremented at producer
+//!   pre, decremented at **consumer post**);
+//! * `produced` — items actually committed (incremented at producer
+//!   post, decremented at consumer pre).
+//!
+//! Producers block while `reserved == capacity`; consumers block while
+//! `produced == 0`. A single `active` flag per side serializes
+//! producers (resp. consumers), mirroring the paper's `ActiveOpen == 0`
+//! guard.
+
+use std::fmt;
+use std::sync::Arc;
+
+use amf_core::{Aspect, InvocationContext, ReleaseCause, Verdict};
+use parking_lot::Mutex;
+
+/// Shared counters of one moderated bounded buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferSyncState {
+    /// Maximum number of items.
+    pub capacity: usize,
+    /// Slots claimed by producers (reserved at pre, freed at consumer
+    /// post).
+    pub reserved: usize,
+    /// Items committed by producer postactions and not yet claimed by a
+    /// consumer.
+    pub produced: usize,
+    /// Whether a producer activation is in flight.
+    pub producing: bool,
+    /// Whether a consumer activation is in flight.
+    pub consuming: bool,
+}
+
+impl BufferSyncState {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            reserved: 0,
+            produced: 0,
+            producing: false,
+            consuming: false,
+        }
+    }
+}
+
+/// Read handle onto the shared buffer state, for assertions and
+/// monitoring.
+#[derive(Debug, Clone)]
+pub struct BufferSyncHandle {
+    state: Arc<Mutex<BufferSyncState>>,
+}
+
+impl BufferSyncHandle {
+    /// Snapshot of the current counters.
+    pub fn snapshot(&self) -> BufferSyncState {
+        *self.state.lock()
+    }
+}
+
+/// Producer-side synchronization aspect (the paper's
+/// `OpenSynchronizationAspect`).
+pub struct ProducerSync {
+    state: Arc<Mutex<BufferSyncState>>,
+}
+
+impl fmt::Debug for ProducerSync {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProducerSync")
+            .field("state", &*self.state.lock())
+            .finish()
+    }
+}
+
+impl Aspect for ProducerSync {
+    fn precondition(&mut self, _ctx: &mut InvocationContext) -> Verdict {
+        let mut st = self.state.lock();
+        if st.reserved < st.capacity && !st.producing {
+            st.producing = true;
+            st.reserved += 1;
+            Verdict::Resume
+        } else {
+            Verdict::Block
+        }
+    }
+
+    fn postaction(&mut self, _ctx: &mut InvocationContext) {
+        let mut st = self.state.lock();
+        st.producing = false;
+        st.produced += 1;
+    }
+
+    fn on_release(&mut self, _ctx: &InvocationContext, _cause: ReleaseCause) {
+        let mut st = self.state.lock();
+        st.producing = false;
+        st.reserved -= 1;
+    }
+
+    fn describe(&self) -> &str {
+        "bounded-buffer producer sync"
+    }
+}
+
+/// Consumer-side synchronization aspect (the paper's
+/// `AssignSynchronizationAspect`).
+pub struct ConsumerSync {
+    state: Arc<Mutex<BufferSyncState>>,
+}
+
+impl fmt::Debug for ConsumerSync {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ConsumerSync")
+            .field("state", &*self.state.lock())
+            .finish()
+    }
+}
+
+impl Aspect for ConsumerSync {
+    fn precondition(&mut self, _ctx: &mut InvocationContext) -> Verdict {
+        let mut st = self.state.lock();
+        if st.produced > 0 && !st.consuming {
+            st.consuming = true;
+            st.produced -= 1;
+            Verdict::Resume
+        } else {
+            Verdict::Block
+        }
+    }
+
+    fn postaction(&mut self, _ctx: &mut InvocationContext) {
+        let mut st = self.state.lock();
+        st.consuming = false;
+        st.reserved -= 1;
+    }
+
+    fn on_release(&mut self, _ctx: &InvocationContext, _cause: ReleaseCause) {
+        let mut st = self.state.lock();
+        st.consuming = false;
+        st.produced += 1;
+    }
+
+    fn describe(&self) -> &str {
+        "bounded-buffer consumer sync"
+    }
+}
+
+/// Builds a producer/consumer synchronization pair over a shared bounded
+/// buffer of `capacity` slots, plus a read handle for assertions.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+///
+/// ```
+/// use amf_core::{InvocationContext, MethodId, Aspect, Verdict};
+/// use amf_aspects::sync::bounded_buffer_sync;
+///
+/// let (mut producer, mut consumer, handle) = bounded_buffer_sync(1);
+/// let mut ctx = InvocationContext::new(MethodId::new("open"), 1);
+///
+/// // Consumer must block on an empty buffer.
+/// assert!(consumer.precondition(&mut ctx).is_block());
+/// // Producer reserves the slot, commits at postaction.
+/// assert!(producer.precondition(&mut ctx).is_resume());
+/// producer.postaction(&mut ctx);
+/// assert_eq!(handle.snapshot().produced, 1);
+/// // Now the consumer may proceed.
+/// assert!(consumer.precondition(&mut ctx).is_resume());
+/// ```
+pub fn bounded_buffer_sync(capacity: usize) -> (ProducerSync, ConsumerSync, BufferSyncHandle) {
+    let group = BufferSyncGroup::new(capacity);
+    (
+        group.producer_aspect(),
+        group.consumer_aspect(),
+        group.handle(),
+    )
+}
+
+/// Factory-friendly face of the bounded-buffer synchronization state:
+/// mints any number of producer/consumer aspects over one shared buffer.
+///
+/// Used by aspect factories (e.g. the trouble-ticketing
+/// `TicketSyncFactory`), which create aspects one (method, concern) cell
+/// at a time but need both cells to share counters.
+#[derive(Debug, Clone)]
+pub struct BufferSyncGroup {
+    state: Arc<Mutex<BufferSyncState>>,
+}
+
+impl BufferSyncGroup {
+    /// Creates the shared state for a buffer of `capacity` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        Self {
+            state: Arc::new(Mutex::new(BufferSyncState::new(capacity))),
+        }
+    }
+
+    /// Mints a producer-side aspect.
+    pub fn producer_aspect(&self) -> ProducerSync {
+        ProducerSync {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Mints a consumer-side aspect.
+    pub fn consumer_aspect(&self) -> ConsumerSync {
+        ConsumerSync {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// A read handle for assertions and monitoring.
+    pub fn handle(&self) -> BufferSyncHandle {
+        BufferSyncHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+}
+
+/// A group of methods that mutually exclude each other: at most one
+/// activation across the whole group runs at a time.
+///
+/// Create one group, then mint one aspect per participating method with
+/// [`ExclusionGroup::aspect`].
+///
+/// ```
+/// use amf_core::{Aspect, InvocationContext, MethodId};
+/// use amf_aspects::sync::ExclusionGroup;
+///
+/// let group = ExclusionGroup::new();
+/// let mut on_open = group.aspect();
+/// let mut on_close = group.aspect();
+/// let mut ctx = InvocationContext::new(MethodId::new("open"), 1);
+/// assert!(on_open.precondition(&mut ctx).is_resume());
+/// assert!(on_close.precondition(&mut ctx).is_block()); // open holds the group
+/// on_open.postaction(&mut ctx);
+/// assert!(on_close.precondition(&mut ctx).is_resume());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ExclusionGroup {
+    busy: Arc<Mutex<bool>>,
+}
+
+impl ExclusionGroup {
+    /// Creates an idle group.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mints the exclusion aspect for one method of the group.
+    pub fn aspect(&self) -> ExclusionAspect {
+        ExclusionAspect {
+            busy: Arc::clone(&self.busy),
+        }
+    }
+
+    /// Whether some activation currently holds the group.
+    pub fn is_busy(&self) -> bool {
+        *self.busy.lock()
+    }
+}
+
+/// Mutual-exclusion aspect minted by [`ExclusionGroup::aspect`].
+#[derive(Debug)]
+pub struct ExclusionAspect {
+    busy: Arc<Mutex<bool>>,
+}
+
+impl Aspect for ExclusionAspect {
+    fn precondition(&mut self, _ctx: &mut InvocationContext) -> Verdict {
+        let mut busy = self.busy.lock();
+        if *busy {
+            Verdict::Block
+        } else {
+            *busy = true;
+            Verdict::Resume
+        }
+    }
+
+    fn postaction(&mut self, _ctx: &mut InvocationContext) {
+        *self.busy.lock() = false;
+    }
+
+    fn on_release(&mut self, _ctx: &InvocationContext, _cause: ReleaseCause) {
+        *self.busy.lock() = false;
+    }
+
+    fn describe(&self) -> &str {
+        "mutual exclusion"
+    }
+}
+
+/// A counting gate shared by a group of methods: at most `limit`
+/// activations across the group run concurrently (the counting
+/// generalization of [`ExclusionGroup`]).
+///
+/// ```
+/// use amf_core::{Aspect, InvocationContext, MethodId};
+/// use amf_aspects::sync::ConcurrencyLimitGroup;
+///
+/// let group = ConcurrencyLimitGroup::new(2);
+/// let mut a = group.aspect();
+/// let mut ctx = InvocationContext::new(MethodId::new("m"), 1);
+/// assert!(a.precondition(&mut ctx).is_resume());
+/// assert!(a.precondition(&mut ctx).is_resume());
+/// assert!(a.precondition(&mut ctx).is_block());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConcurrencyLimitGroup {
+    state: Arc<Mutex<(usize, usize)>>, // (running, limit)
+}
+
+impl ConcurrencyLimitGroup {
+    /// Creates a gate admitting `limit` concurrent activations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero.
+    pub fn new(limit: usize) -> Self {
+        assert!(limit > 0, "concurrency limit must be positive");
+        Self {
+            state: Arc::new(Mutex::new((0, limit))),
+        }
+    }
+
+    /// Mints the limiting aspect for one method of the group.
+    pub fn aspect(&self) -> ConcurrencyLimitAspect {
+        ConcurrencyLimitAspect {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Activations currently inside the gate.
+    pub fn running(&self) -> usize {
+        self.state.lock().0
+    }
+}
+
+/// Counting-gate aspect minted by [`ConcurrencyLimitGroup::aspect`].
+#[derive(Debug)]
+pub struct ConcurrencyLimitAspect {
+    state: Arc<Mutex<(usize, usize)>>,
+}
+
+impl Aspect for ConcurrencyLimitAspect {
+    fn precondition(&mut self, _ctx: &mut InvocationContext) -> Verdict {
+        let mut st = self.state.lock();
+        if st.0 < st.1 {
+            st.0 += 1;
+            Verdict::Resume
+        } else {
+            Verdict::Block
+        }
+    }
+
+    fn postaction(&mut self, _ctx: &mut InvocationContext) {
+        self.state.lock().0 -= 1;
+    }
+
+    fn on_release(&mut self, _ctx: &InvocationContext, _cause: ReleaseCause) {
+        self.state.lock().0 -= 1;
+    }
+
+    fn describe(&self) -> &str {
+        "concurrency limit"
+    }
+}
+
+#[derive(Debug, Default)]
+struct RwState {
+    readers: usize,
+    writer: bool,
+}
+
+/// Coordinates a reader/writer method pair: any number of concurrent
+/// readers, writers exclusive.
+#[derive(Debug, Clone, Default)]
+pub struct ReadersWriterGroup {
+    state: Arc<Mutex<RwState>>,
+}
+
+impl ReadersWriterGroup {
+    /// Creates an idle group.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mints the aspect guarding a *reading* method.
+    pub fn read_aspect(&self) -> ReadAspect {
+        ReadAspect {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Mints the aspect guarding a *writing* method.
+    pub fn write_aspect(&self) -> WriteAspect {
+        WriteAspect {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// (readers active, writer active) right now.
+    pub fn load(&self) -> (usize, bool) {
+        let st = self.state.lock();
+        (st.readers, st.writer)
+    }
+}
+
+/// Reader-side aspect minted by [`ReadersWriterGroup::read_aspect`].
+#[derive(Debug)]
+pub struct ReadAspect {
+    state: Arc<Mutex<RwState>>,
+}
+
+impl Aspect for ReadAspect {
+    fn precondition(&mut self, _ctx: &mut InvocationContext) -> Verdict {
+        let mut st = self.state.lock();
+        if st.writer {
+            Verdict::Block
+        } else {
+            st.readers += 1;
+            Verdict::Resume
+        }
+    }
+
+    fn postaction(&mut self, _ctx: &mut InvocationContext) {
+        self.state.lock().readers -= 1;
+    }
+
+    fn on_release(&mut self, _ctx: &InvocationContext, _cause: ReleaseCause) {
+        self.state.lock().readers -= 1;
+    }
+
+    fn describe(&self) -> &str {
+        "readers-writer: read"
+    }
+}
+
+/// Writer-side aspect minted by [`ReadersWriterGroup::write_aspect`].
+#[derive(Debug)]
+pub struct WriteAspect {
+    state: Arc<Mutex<RwState>>,
+}
+
+impl Aspect for WriteAspect {
+    fn precondition(&mut self, _ctx: &mut InvocationContext) -> Verdict {
+        let mut st = self.state.lock();
+        if st.writer || st.readers > 0 {
+            Verdict::Block
+        } else {
+            st.writer = true;
+            Verdict::Resume
+        }
+    }
+
+    fn postaction(&mut self, _ctx: &mut InvocationContext) {
+        self.state.lock().writer = false;
+    }
+
+    fn on_release(&mut self, _ctx: &InvocationContext, _cause: ReleaseCause) {
+        self.state.lock().writer = false;
+    }
+
+    fn describe(&self) -> &str {
+        "readers-writer: write"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amf_core::MethodId;
+
+    fn ctx() -> InvocationContext {
+        InvocationContext::new(MethodId::new("m"), 1)
+    }
+
+    #[test]
+    fn producer_blocks_at_capacity() {
+        let (mut p, _c, h) = bounded_buffer_sync(2);
+        let mut cx = ctx();
+        assert!(p.precondition(&mut cx).is_resume());
+        p.postaction(&mut cx);
+        assert!(p.precondition(&mut cx).is_resume());
+        p.postaction(&mut cx);
+        assert!(p.precondition(&mut cx).is_block());
+        assert_eq!(h.snapshot().reserved, 2);
+        assert_eq!(h.snapshot().produced, 2);
+    }
+
+    #[test]
+    fn consumer_blocks_when_empty_and_frees_slots() {
+        let (mut p, mut c, h) = bounded_buffer_sync(1);
+        let mut cx = ctx();
+        assert!(c.precondition(&mut cx).is_block());
+        p.precondition(&mut cx);
+        p.postaction(&mut cx);
+        assert!(c.precondition(&mut cx).is_resume());
+        // Slot frees only at consumer postaction.
+        assert!(p.precondition(&mut cx).is_block());
+        c.postaction(&mut cx);
+        assert!(p.precondition(&mut cx).is_resume());
+        let snap = h.snapshot();
+        assert_eq!(snap.reserved, 1); // the new producer reservation
+        assert_eq!(snap.produced, 0);
+    }
+
+    #[test]
+    fn reserved_slot_is_not_consumable_before_commit() {
+        let (mut p, mut c, _h) = bounded_buffer_sync(4);
+        let mut cx = ctx();
+        assert!(p.precondition(&mut cx).is_resume()); // reserved, NOT committed
+        assert!(
+            c.precondition(&mut cx).is_block(),
+            "consumer must not see an uncommitted item"
+        );
+        p.postaction(&mut cx);
+        assert!(c.precondition(&mut cx).is_resume());
+    }
+
+    #[test]
+    fn producers_are_serialized_by_active_flag() {
+        let (mut p, _c, h) = bounded_buffer_sync(8);
+        let mut cx = ctx();
+        assert!(p.precondition(&mut cx).is_resume());
+        // Second producer pre while first still in flight: blocked even
+        // with capacity to spare (paper's ActiveOpen == 0 guard).
+        assert!(p.precondition(&mut cx).is_block());
+        assert!(h.snapshot().producing);
+        p.postaction(&mut cx);
+        assert!(p.precondition(&mut cx).is_resume());
+    }
+
+    #[test]
+    fn producer_release_undoes_reservation() {
+        let (mut p, _c, h) = bounded_buffer_sync(1);
+        let mut cx = ctx();
+        assert!(p.precondition(&mut cx).is_resume());
+        p.on_release(&cx, ReleaseCause::Aborted);
+        let snap = h.snapshot();
+        assert_eq!(snap.reserved, 0);
+        assert!(!snap.producing);
+        // The slot is available again.
+        assert!(p.precondition(&mut cx).is_resume());
+    }
+
+    #[test]
+    fn consumer_release_returns_item() {
+        let (mut p, mut c, h) = bounded_buffer_sync(1);
+        let mut cx = ctx();
+        p.precondition(&mut cx);
+        p.postaction(&mut cx);
+        assert!(c.precondition(&mut cx).is_resume());
+        c.on_release(&cx, ReleaseCause::Blocked);
+        assert_eq!(h.snapshot().produced, 1, "item handed back");
+        assert!(c.precondition(&mut cx).is_resume());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = bounded_buffer_sync(0);
+    }
+
+    #[test]
+    fn exclusion_group_serializes() {
+        let g = ExclusionGroup::new();
+        let mut a = g.aspect();
+        let mut b = g.aspect();
+        let mut cx = ctx();
+        assert!(!g.is_busy());
+        assert!(a.precondition(&mut cx).is_resume());
+        assert!(g.is_busy());
+        assert!(b.precondition(&mut cx).is_block());
+        a.postaction(&mut cx);
+        assert!(b.precondition(&mut cx).is_resume());
+        b.on_release(&cx, ReleaseCause::Blocked);
+        assert!(!g.is_busy());
+    }
+
+    #[test]
+    fn readers_share_writers_exclude() {
+        let g = ReadersWriterGroup::new();
+        let mut r1 = g.read_aspect();
+        let mut r2 = g.read_aspect();
+        let mut w = g.write_aspect();
+        let mut cx = ctx();
+        assert!(r1.precondition(&mut cx).is_resume());
+        assert!(r2.precondition(&mut cx).is_resume());
+        assert_eq!(g.load(), (2, false));
+        assert!(w.precondition(&mut cx).is_block());
+        r1.postaction(&mut cx);
+        r2.postaction(&mut cx);
+        assert!(w.precondition(&mut cx).is_resume());
+        assert!(r1.precondition(&mut cx).is_block(), "writer excludes readers");
+        w.postaction(&mut cx);
+        assert!(r1.precondition(&mut cx).is_resume());
+        r1.on_release(&cx, ReleaseCause::Aborted);
+        assert_eq!(g.load(), (0, false));
+    }
+
+    #[test]
+    fn writer_release_clears_flag() {
+        let g = ReadersWriterGroup::new();
+        let mut w = g.write_aspect();
+        let mut cx = ctx();
+        assert!(w.precondition(&mut cx).is_resume());
+        w.on_release(&cx, ReleaseCause::Blocked);
+        assert_eq!(g.load(), (0, false));
+    }
+
+    #[test]
+    fn concurrency_limit_counts() {
+        let g = ConcurrencyLimitGroup::new(2);
+        let mut a = g.aspect();
+        let mut b = g.aspect();
+        let mut cx = ctx();
+        assert!(a.precondition(&mut cx).is_resume());
+        assert!(b.precondition(&mut cx).is_resume());
+        assert_eq!(g.running(), 2);
+        assert!(a.precondition(&mut cx).is_block());
+        b.postaction(&mut cx);
+        assert!(a.precondition(&mut cx).is_resume());
+        a.on_release(&cx, ReleaseCause::Blocked);
+        a.postaction(&mut cx);
+        assert_eq!(g.running(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "limit must be positive")]
+    fn zero_concurrency_limit_rejected() {
+        let _ = ConcurrencyLimitGroup::new(0);
+    }
+
+    #[test]
+    fn describe_strings() {
+        let (p, c, _h) = bounded_buffer_sync(1);
+        assert!(p.describe().contains("producer"));
+        assert!(c.describe().contains("consumer"));
+        assert!(ExclusionGroup::new().aspect().describe().contains("exclusion"));
+    }
+}

@@ -1,0 +1,278 @@
+//! The tangled *secure* bounded buffer: authentication, audit and
+//! synchronization braided through the functional methods.
+//!
+//! Compare with the framework version: extending
+//! [`TangledBuffer`](crate::TangledBuffer) with authentication required
+//! **rewriting the whole monitor** — none of it could be reused —
+//! whereas the moderated
+//! system added one factory and two registrations (see experiment E8).
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Failures of the tangled secure buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TangledError {
+    /// Credentials rejected at login.
+    BadCredentials,
+    /// The token presented to `put`/`take` is not a live session.
+    InvalidToken,
+}
+
+impl fmt::Display for TangledError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TangledError::BadCredentials => f.write_str("bad credentials"),
+            TangledError::InvalidToken => f.write_str("invalid token"),
+        }
+    }
+}
+
+impl Error for TangledError {}
+
+#[derive(Debug)]
+struct State<T> {
+    // Functional state...
+    items: std::collections::VecDeque<T>,
+    capacity: usize,
+    // ...tangled with security state...
+    passwords: HashMap<String, String>,
+    sessions: HashMap<u64, String>,
+    next_token: u64,
+    // ...tangled with audit state.
+    audit: Vec<String>,
+}
+
+/// Bounded buffer with authentication and audit checks written inline —
+/// the "composition anomaly" exhibit.
+pub struct TangledSecureBuffer<T> {
+    state: Mutex<State<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+impl<T> fmt::Debug for TangledSecureBuffer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("TangledSecureBuffer")
+            .field("len", &st.items.len())
+            .field("sessions", &st.sessions.len())
+            .field("audit_entries", &st.audit.len())
+            .finish()
+    }
+}
+
+impl<T> TangledSecureBuffer<T> {
+    /// Creates a buffer of `capacity` slots with an empty user registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        Self {
+            state: Mutex::new(State {
+                items: std::collections::VecDeque::with_capacity(capacity),
+                capacity,
+                passwords: HashMap::new(),
+                sessions: HashMap::new(),
+                next_token: 1,
+                audit: Vec::new(),
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Registers a user (plaintext storage — part of the exhibit).
+    pub fn add_user(&self, name: &str, password: &str) {
+        let mut st = self.state.lock();
+        st.passwords.insert(name.to_string(), password.to_string());
+    }
+
+    /// Verifies credentials and opens a session.
+    ///
+    /// # Errors
+    ///
+    /// [`TangledError::BadCredentials`].
+    pub fn login(&self, name: &str, password: &str) -> Result<u64, TangledError> {
+        let mut st = self.state.lock();
+        if st.passwords.get(name).map(String::as_str) != Some(password) {
+            return Err(TangledError::BadCredentials);
+        }
+        let token = st.next_token;
+        st.next_token += 1;
+        st.sessions.insert(token, name.to_string());
+        Ok(token)
+    }
+
+    /// Authenticated blocking insert: token check, wait-while-full,
+    /// insert and audit — all in one method body.
+    ///
+    /// # Errors
+    ///
+    /// [`TangledError::InvalidToken`].
+    pub fn put(&self, token: u64, value: T) -> Result<(), TangledError> {
+        let mut st = self.state.lock();
+        // Security concern, inline:
+        let Some(user) = st.sessions.get(&token).cloned() else {
+            st.audit.push(format!("DENIED put token={token}"));
+            return Err(TangledError::InvalidToken);
+        };
+        // Synchronization concern, inline:
+        while st.items.len() == st.capacity {
+            self.not_full.wait(&mut st);
+            // Re-validate after waking: the session may have been revoked.
+            if !st.sessions.contains_key(&token) {
+                st.audit.push(format!("DENIED put token={token} (revoked)"));
+                return Err(TangledError::InvalidToken);
+            }
+        }
+        // Functional concern, finally:
+        st.items.push_back(value);
+        // Audit concern, inline:
+        st.audit.push(format!("put by {user}"));
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Authenticated blocking removal.
+    ///
+    /// # Errors
+    ///
+    /// [`TangledError::InvalidToken`].
+    pub fn take(&self, token: u64) -> Result<T, TangledError> {
+        let mut st = self.state.lock();
+        let Some(user) = st.sessions.get(&token).cloned() else {
+            st.audit.push(format!("DENIED take token={token}"));
+            return Err(TangledError::InvalidToken);
+        };
+        loop {
+            if let Some(v) = st.items.pop_front() {
+                st.audit.push(format!("take by {user}"));
+                drop(st);
+                self.not_full.notify_one();
+                return Ok(v);
+            }
+            self.not_empty.wait(&mut st);
+            if !st.sessions.contains_key(&token) {
+                st.audit
+                    .push(format!("DENIED take token={token} (revoked)"));
+                return Err(TangledError::InvalidToken);
+            }
+        }
+    }
+
+    /// Revokes a session, waking any of its blocked calls.
+    pub fn logout(&self, token: u64) {
+        let mut st = self.state.lock();
+        st.sessions.remove(&token);
+        drop(st);
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// Items currently buffered.
+    pub fn len(&self) -> usize {
+        self.state.lock().items.len()
+    }
+
+    /// Whether no items are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the inline audit trail.
+    pub fn audit(&self) -> Vec<String> {
+        self.state.lock().audit.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    fn secured() -> (TangledSecureBuffer<u32>, u64) {
+        let b = TangledSecureBuffer::new(2);
+        b.add_user("alice", "pw");
+        let token = b.login("alice", "pw").unwrap();
+        (b, token)
+    }
+
+    #[test]
+    fn authenticated_roundtrip() {
+        let (b, token) = secured();
+        b.put(token, 7).unwrap();
+        assert_eq!(b.take(token), Ok(7));
+        let audit = b.audit();
+        assert_eq!(audit, vec!["put by alice", "take by alice"]);
+    }
+
+    #[test]
+    fn bad_login_and_bad_token() {
+        let (b, _token) = secured();
+        assert_eq!(b.login("alice", "xx"), Err(TangledError::BadCredentials));
+        assert_eq!(b.login("eve", "pw"), Err(TangledError::BadCredentials));
+        assert_eq!(b.put(999, 1), Err(TangledError::InvalidToken));
+        assert_eq!(b.take(999).unwrap_err(), TangledError::InvalidToken);
+        assert!(b.audit().iter().any(|l| l.starts_with("DENIED")));
+    }
+
+    #[test]
+    fn logout_revokes() {
+        let (b, token) = secured();
+        b.put(token, 1).unwrap();
+        b.logout(token);
+        assert_eq!(b.put(token, 2), Err(TangledError::InvalidToken));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn blocked_put_fails_after_revocation() {
+        let (b, token) = secured();
+        let b = Arc::new(b);
+        b.put(token, 1).unwrap();
+        b.put(token, 2).unwrap(); // full
+        let blocked = {
+            let b = Arc::clone(&b);
+            thread::spawn(move || b.put(token, 3))
+        };
+        thread::sleep(Duration::from_millis(10));
+        b.logout(token);
+        assert_eq!(blocked.join().unwrap(), Err(TangledError::InvalidToken));
+    }
+
+    #[test]
+    fn concurrent_traffic_balances() {
+        let (b, token) = secured();
+        let b = Arc::new(b);
+        let n = 500;
+        let producer = {
+            let b = Arc::clone(&b);
+            thread::spawn(move || {
+                for i in 0..n {
+                    b.put(token, i).unwrap();
+                }
+            })
+        };
+        let consumer = {
+            let b = Arc::clone(&b);
+            thread::spawn(move || {
+                for _ in 0..n {
+                    b.take(token).unwrap();
+                }
+            })
+        };
+        producer.join().unwrap();
+        consumer.join().unwrap();
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.audit().len() as u32, n * 2);
+    }
+}

@@ -1,0 +1,209 @@
+//! The tangled bounded buffer: a classic hand-written monitor where the
+//! producer/consumer synchronization is fused into the functional code.
+
+use std::fmt;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+#[derive(Debug)]
+struct State<T> {
+    items: std::collections::VecDeque<T>,
+    capacity: usize,
+    total_put: u64,
+    total_taken: u64,
+}
+
+/// Blocking bounded buffer with synchronization tangled into `put` and
+/// `take` — the monitor a careful engineer writes without the framework.
+///
+/// ```
+/// use amf_baseline::TangledBuffer;
+///
+/// let b = TangledBuffer::new(2);
+/// b.put(1);
+/// assert_eq!(b.take(), 1);
+/// ```
+pub struct TangledBuffer<T> {
+    state: Mutex<State<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+impl<T> fmt::Debug for TangledBuffer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("TangledBuffer")
+            .field("len", &st.items.len())
+            .field("capacity", &st.capacity)
+            .finish()
+    }
+}
+
+impl<T> TangledBuffer<T> {
+    /// Creates a buffer of `capacity` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        Self {
+            state: Mutex::new(State {
+                items: std::collections::VecDeque::with_capacity(capacity),
+                capacity,
+                total_put: 0,
+                total_taken: 0,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Blocking insert; waits while full.
+    pub fn put(&self, value: T) {
+        let mut st = self.state.lock();
+        while st.items.len() == st.capacity {
+            self.not_full.wait(&mut st);
+        }
+        st.items.push_back(value);
+        st.total_put += 1;
+        drop(st);
+        self.not_empty.notify_one();
+    }
+
+    /// Blocking removal; waits while empty.
+    pub fn take(&self) -> T {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(v) = st.items.pop_front() {
+                st.total_taken += 1;
+                drop(st);
+                self.not_full.notify_one();
+                return v;
+            }
+            self.not_empty.wait(&mut st);
+        }
+    }
+
+    /// Insert with a bounded wait; hands the value back on timeout.
+    pub fn put_timeout(&self, value: T, timeout: Duration) -> Result<(), T> {
+        let mut st = self.state.lock();
+        while st.items.len() == st.capacity {
+            if self.not_full.wait_for(&mut st, timeout).timed_out()
+                && st.items.len() == st.capacity
+            {
+                return Err(value);
+            }
+        }
+        st.items.push_back(value);
+        st.total_put += 1;
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Removal with a bounded wait.
+    pub fn take_timeout(&self, timeout: Duration) -> Option<T> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(v) = st.items.pop_front() {
+                st.total_taken += 1;
+                drop(st);
+                self.not_full.notify_one();
+                return Some(v);
+            }
+            if self.not_empty.wait_for(&mut st, timeout).timed_out() && st.items.is_empty() {
+                return None;
+            }
+        }
+    }
+
+    /// Items currently buffered.
+    pub fn len(&self) -> usize {
+        self.state.lock().items.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// (total put, total taken) since construction.
+    pub fn totals(&self) -> (u64, u64) {
+        let st = self.state.lock();
+        (st.total_put, st.total_taken)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_order() {
+        let b = TangledBuffer::new(4);
+        for i in 0..4 {
+            b.put(i);
+        }
+        for i in 0..4 {
+            assert_eq!(b.take(), i);
+        }
+    }
+
+    #[test]
+    fn put_blocks_when_full() {
+        let b = Arc::new(TangledBuffer::new(1));
+        b.put(1);
+        let p = {
+            let b = Arc::clone(&b);
+            thread::spawn(move || b.put(2))
+        };
+        thread::sleep(Duration::from_millis(10));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.take(), 1);
+        p.join().unwrap();
+        assert_eq!(b.take(), 2);
+    }
+
+    #[test]
+    fn timeouts() {
+        let b = TangledBuffer::new(1);
+        assert_eq!(b.take_timeout(Duration::from_millis(10)), None);
+        b.put(1);
+        assert_eq!(b.put_timeout(2, Duration::from_millis(10)), Err(2));
+        assert_eq!(b.take_timeout(Duration::from_millis(10)), Some(1));
+        assert_eq!(b.put_timeout(2, Duration::from_millis(10)), Ok(()));
+    }
+
+    #[test]
+    fn concurrent_totals_balance() {
+        let b = Arc::new(TangledBuffer::new(8));
+        let n: u64 = 2_000;
+        let producer = {
+            let b = Arc::clone(&b);
+            thread::spawn(move || {
+                for i in 0..n {
+                    b.put(i);
+                }
+            })
+        };
+        let consumer = {
+            let b = Arc::clone(&b);
+            thread::spawn(move || {
+                let mut sum = 0_u64;
+                for _ in 0..n {
+                    sum += b.take();
+                }
+                sum
+            })
+        };
+        producer.join().unwrap();
+        let sum = consumer.join().unwrap();
+        assert_eq!(sum, n * (n - 1) / 2);
+        assert_eq!(b.totals(), (n, n));
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,27 @@
+//! # Hand-tangled baselines
+//!
+//! The paper's argument is that interaction concerns (synchronization,
+//! security, audits, ...) written *inline* with functional code —
+//! "code-tangling" — destroy modularity and reuse. This crate is the
+//! "before" picture: the same components the framework builds from
+//! separated concerns, written the tangled way.
+//!
+//! They serve two purposes:
+//!
+//! 1. **Correctness oracles** — differential tests check the moderated
+//!    systems against these under identical workloads.
+//! 2. **Performance baselines** — experiments E1/E2/E8 measure what the
+//!    framework's indirection costs relative to a hand-fused monitor.
+//!
+//! Note what the tangling *looks like* here: [`TangledSecureBuffer`]
+//! re-implements the same monitor as [`TangledBuffer`] because the
+//! security checks are braided through `put`/`take` and cannot be
+//! composed in — exactly the reuse failure the paper describes.
+
+#![warn(missing_docs)]
+
+pub mod auth_buffer;
+pub mod buffer;
+
+pub use auth_buffer::{TangledError, TangledSecureBuffer};
+pub use buffer::TangledBuffer;

@@ -1,0 +1,47 @@
+//! E7 — rollback ablation: cost of the release pass on a contended,
+//! deep-chained pipeline.
+
+use std::thread;
+
+use amf_bench::pipeline::{ModeratedBuffer, PipelineConfig};
+use amf_core::RollbackPolicy;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+const ITEMS: u64 = 5_000;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_rollback");
+    g.throughput(Throughput::Elements(ITEMS));
+    g.sample_size(10);
+    for (name, policy) in [
+        ("release", RollbackPolicy::Release),
+        ("none", RollbackPolicy::None),
+    ] {
+        let buf = ModeratedBuffer::new(PipelineConfig {
+            capacity: 1,
+            rollback: policy,
+            extra_noops: 3,
+            ..PipelineConfig::default()
+        });
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                thread::scope(|s| {
+                    s.spawn(|| {
+                        for i in 0..ITEMS {
+                            buf.put(i);
+                        }
+                    });
+                    s.spawn(|| {
+                        for _ in 0..ITEMS {
+                            buf.take();
+                        }
+                    });
+                });
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! E8 — adaptability cost: ticketing with and without the
+//! authentication extension, framework vs tangled baseline.
+
+use std::sync::Arc;
+
+use amf_aspects::auth::Authenticator;
+use amf_baseline::{TangledBuffer, TangledSecureBuffer};
+use amf_core::AspectModerator;
+use amf_ticketing::{ExtendedTicketServerProxy, Ticket, TicketServerProxy};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_adaptability(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_adaptability");
+
+    let base = TicketServerProxy::new(64, AspectModerator::shared()).unwrap();
+    g.bench_function("framework_base_open_assign", |b| {
+        b.iter(|| {
+            base.open(Ticket::new(0, "t")).unwrap();
+            base.assign().unwrap();
+        });
+    });
+
+    let auth = Authenticator::shared();
+    auth.add_user("bench", "pw");
+    let extended =
+        ExtendedTicketServerProxy::new(64, AspectModerator::shared(), Arc::clone(&auth)).unwrap();
+    let token = auth.login("bench", "pw").unwrap();
+    g.bench_function("framework_with_auth_open_assign", |b| {
+        b.iter(|| {
+            extended.open(token, Ticket::new(0, "t")).unwrap();
+            extended.assign(token).unwrap();
+        });
+    });
+
+    let tangled = TangledBuffer::new(64);
+    g.bench_function("tangled_base_put_take", |b| {
+        b.iter(|| {
+            tangled.put(1_u64);
+            tangled.take();
+        });
+    });
+
+    let secure = TangledSecureBuffer::new(64);
+    secure.add_user("bench", "pw");
+    let stoken = secure.login("bench", "pw").unwrap();
+    g.bench_function("tangled_with_auth_put_take", |b| {
+        b.iter(|| {
+            secure.put(stoken, 1_u64).unwrap();
+            secure.take(stoken).unwrap();
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_adaptability);
+criterion_main!(benches);

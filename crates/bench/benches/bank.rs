@@ -1,0 +1,44 @@
+//! E4 — aspect-bank scaling: registration cost and hot-cell invocation
+//! cost as the bank grows.
+
+use std::sync::Arc;
+
+use amf_core::{AspectModerator, Concern, MethodId, Moderated, NoopAspect};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn populate(methods: usize, concerns: usize) -> (Arc<AspectModerator>, amf_core::MethodHandle) {
+    let moderator = AspectModerator::shared();
+    let mut last = None;
+    for m in 0..methods {
+        let h = moderator.declare_method(MethodId::new(format!("m{m}")));
+        for c in 0..concerns {
+            moderator
+                .register(&h, Concern::new(format!("c{c}")), Box::new(NoopAspect))
+                .unwrap();
+        }
+        last = Some(h);
+    }
+    (moderator, last.expect("at least one method"))
+}
+
+fn bench_bank(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_bank");
+    for methods in [4_usize, 64, 1024] {
+        g.bench_function(format!("register_{methods}x8"), |b| {
+            b.iter_batched(
+                || (),
+                |()| populate(methods, 8),
+                BatchSize::SmallInput,
+            );
+        });
+        let (moderator, hot) = populate(methods, 8);
+        let proxy = Moderated::new(0_u64, moderator);
+        g.bench_function(format!("invoke_hot_cell_{methods}x8"), |b| {
+            b.iter(|| proxy.invoke(&hot, |v| *v += 1).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bank);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E3 — concern stacking: cost of each additional real concern.
+
+use amf_bench::pipeline::StackTarget;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_composition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_composition");
+    let stacks: &[(&str, &[&str])] = &[
+        ("sync", &["sync"]),
+        ("sync_audit", &["sync", "audit"]),
+        ("sync_audit_metrics", &["sync", "audit", "metrics"]),
+        ("sync_audit_metrics_auth", &["sync", "audit", "metrics", "auth"]),
+        (
+            "sync_audit_metrics_auth_quota",
+            &["sync", "audit", "metrics", "quota", "auth"],
+        ),
+    ];
+    for (name, stack) in stacks {
+        let target = StackTarget::new(stack);
+        g.bench_function(*name, |b| b.iter(|| target.run_once()));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_composition);
+criterion_main!(benches);

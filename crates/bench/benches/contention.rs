@@ -1,0 +1,51 @@
+//! E6 — wake strategies: wired vs broadcast graph × notify-all vs
+//! notify-one, under producer/consumer contention.
+
+use std::thread;
+
+use amf_bench::pipeline::{ModeratedBuffer, PipelineConfig};
+use amf_core::WakeMode;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+const ITEMS: u64 = 5_000;
+
+fn run(buf: &ModeratedBuffer) {
+    thread::scope(|s| {
+        for _ in 0..2 {
+            s.spawn(|| {
+                for i in 0..ITEMS / 2 {
+                    buf.put(i);
+                }
+            });
+            s.spawn(|| {
+                for _ in 0..ITEMS / 2 {
+                    buf.take();
+                }
+            });
+        }
+    });
+}
+
+fn bench_contention(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_wake_strategies");
+    g.throughput(Throughput::Elements(ITEMS));
+    g.sample_size(10);
+    for (graph, wired) in [("wired", true), ("broadcast", false)] {
+        for (mode_name, mode) in [
+            ("notify_all", WakeMode::NotifyAll),
+            ("notify_one", WakeMode::NotifyOne),
+        ] {
+            let buf = ModeratedBuffer::new(PipelineConfig {
+                capacity: 4,
+                wake_mode: mode,
+                wired_wakes: wired,
+                ..PipelineConfig::default()
+            });
+            g.bench_function(format!("{graph}_{mode_name}"), |b| b.iter(|| run(&buf)));
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_contention);
+criterion_main!(benches);

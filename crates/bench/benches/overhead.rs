@@ -1,0 +1,25 @@
+//! E1 — moderation overhead: direct mutex counter vs moderated counter
+//! with 0/1/2/4/8 no-op aspects.
+
+use amf_bench::pipeline::OverheadTarget;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_overhead");
+    g.bench_function("direct_mutex_increment", |b| {
+        let counter = parking_lot::Mutex::new(0_u64);
+        b.iter(|| {
+            *counter.lock() += 1;
+        });
+    });
+    for n in [0_usize, 1, 2, 4, 8] {
+        let target = OverheadTarget::new(n);
+        g.bench_function(format!("moderated_{n}_noop_aspects"), |b| {
+            b.iter(|| target.bump());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! E5 — scheduling policies under contention.
+
+use amf_bench::experiments::run_scheduling;
+use amf_concurrency::SchedulerPolicy;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_scheduling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_scheduling");
+    g.sample_size(10);
+    for (name, policy) in [
+        ("fifo", SchedulerPolicy::Fifo),
+        ("lifo", SchedulerPolicy::Lifo),
+        ("priority", SchedulerPolicy::Priority),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| run_scheduling(policy, 4, 500));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheduling);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! E2 — producer/consumer throughput: moderated vs tangled monitor vs
+//! crossbeam channel.
+
+use std::thread;
+
+use amf_baseline::TangledBuffer;
+use amf_bench::pipeline::{ModeratedBuffer, PipelineConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+const ITEMS: u64 = 10_000;
+
+fn transfer(put: impl Fn(u64) + Sync, take: impl Fn() + Sync) {
+    thread::scope(|s| {
+        s.spawn(|| {
+            for i in 0..ITEMS {
+                put(i);
+            }
+        });
+        s.spawn(|| {
+            for _ in 0..ITEMS {
+                take();
+            }
+        });
+    });
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    for capacity in [1_usize, 16, 256] {
+        let mut g = c.benchmark_group(format!("e2_throughput_cap{capacity}"));
+        g.throughput(Throughput::Elements(ITEMS));
+        g.sample_size(10);
+        g.bench_function("moderated", |b| {
+            let buf = ModeratedBuffer::new(PipelineConfig {
+                capacity,
+                ..PipelineConfig::default()
+            });
+            b.iter(|| {
+                transfer(
+                    |i| buf.put(i),
+                    || {
+                        buf.take();
+                    },
+                )
+            });
+        });
+        g.bench_function("tangled_monitor", |b| {
+            let buf = TangledBuffer::new(capacity);
+            b.iter(|| {
+                transfer(
+                    |i| buf.put(i),
+                    || {
+                        buf.take();
+                    },
+                )
+            });
+        });
+        g.bench_function("crossbeam_channel", |b| {
+            let (tx, rx) = crossbeam::channel::bounded::<u64>(capacity);
+            b.iter(|| {
+                transfer(
+                    |i| tx.send(i).unwrap(),
+                    || {
+                        rx.recv().unwrap();
+                    },
+                )
+            });
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Regenerates the experiment tables of `EXPERIMENTS.md`.
+//!
+//! ```text
+//! cargo run -p amf-bench --release --bin experiments -- all
+//! cargo run -p amf-bench --release --bin experiments -- e1 e6
+//! cargo run -p amf-bench --release --bin experiments -- --quick all
+//! ```
+
+fn main() {
+    let mut quick = false;
+    let mut names = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" | "-q" => quick = true,
+            "--help" | "-h" => {
+                eprintln!("usage: experiments [--quick] [e1..e8 | all]...");
+                return;
+            }
+            other => names.push(other.to_string()),
+        }
+    }
+    if names.is_empty() {
+        names.push("all".to_string());
+    }
+    amf_bench::experiments::run(&names, quick);
+}

@@ -1,0 +1,680 @@
+//! Experiments E1–E8: the quantitative evaluation of `EXPERIMENTS.md`.
+//!
+//! Each function runs one experiment and returns its [`Table`]. Pass
+//! `quick = true` to shrink workloads (used by unit tests and smoke
+//! runs); the recorded numbers in `EXPERIMENTS.md` come from
+//! `quick = false` release runs.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use amf_aspects::auth::Authenticator;
+use amf_aspects::sched::{AdmissionGroup, Priority};
+use amf_aspects::sync::ExclusionGroup;
+use amf_baseline::{TangledBuffer, TangledSecureBuffer};
+use amf_concurrency::SchedulerPolicy;
+use amf_core::{
+    AspectModerator, Concern, FnAspect, InvocationContext, MethodId, Moderated, NoopAspect,
+    RollbackPolicy, Verdict, WakeMode,
+};
+use amf_ticketing::{ExtendedTicketServerProxy, Ticket, TicketServerProxy};
+
+use crate::pipeline::{ModeratedBuffer, OverheadTarget, PipelineConfig, StackTarget};
+use crate::report::{fmt_ns, fmt_ops, time_ns_per_op, Table};
+
+fn scale(quick: bool, full: u64) -> u64 {
+    if quick {
+        (full / 100).max(200)
+    } else {
+        full
+    }
+}
+
+/// E1 — moderation overhead: direct mutex counter vs moderated counter
+/// with 0/1/2/4/8 no-op aspects.
+pub fn e1_overhead(quick: bool) -> Table {
+    let iters = scale(quick, 2_000_000);
+    let mut t = Table::new(
+        "E1 — invocation overhead (single thread)",
+        &["target", "ns/op", "vs direct"],
+    );
+    let direct = {
+        let counter = parking_lot::Mutex::new(0_u64);
+        time_ns_per_op(iters, || {
+            *counter.lock() += 1;
+        })
+    };
+    t.row(&["direct mutex increment".into(), fmt_ns(direct), "1.0×".into()]);
+    for n in [0_usize, 1, 2, 4, 8] {
+        let target = OverheadTarget::new(n);
+        let ns = time_ns_per_op(iters, || target.bump());
+        t.row(&[
+            format!("moderated, {n} noop aspects"),
+            fmt_ns(ns),
+            format!("{:.1}×", ns / direct),
+        ]);
+    }
+    t
+}
+
+fn run_pairs(pairs: usize, per_thread: u64, put: impl Fn(u64) + Sync, take: impl Fn() + Sync) -> f64 {
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..pairs {
+            s.spawn(|| {
+                for i in 0..per_thread {
+                    put(i);
+                }
+            });
+            s.spawn(|| {
+                for _ in 0..per_thread {
+                    take();
+                }
+            });
+        }
+    });
+    let transferred = pairs as u64 * per_thread;
+    transferred as f64 / start.elapsed().as_secs_f64()
+}
+
+/// E2 — producer/consumer throughput: moderated vs tangled monitor vs
+/// crossbeam channel, across thread pairs and capacities.
+pub fn e2_throughput(quick: bool) -> Table {
+    let total = scale(quick, 200_000);
+    let mut t = Table::new(
+        "E2 — producer/consumer throughput (items/s)",
+        &["pairs", "capacity", "moderated", "tangled monitor", "crossbeam channel"],
+    );
+    for pairs in [1_usize, 2, 4] {
+        for capacity in [1_usize, 16, 256] {
+            let per_thread = total / pairs as u64;
+            let moderated = {
+                let b = ModeratedBuffer::new(PipelineConfig {
+                    capacity,
+                    ..PipelineConfig::default()
+                });
+                run_pairs(pairs, per_thread, |i| b.put(i), || {
+                    b.take();
+                })
+            };
+            let tangled = {
+                let b = TangledBuffer::new(capacity);
+                run_pairs(pairs, per_thread, |i| b.put(i), || {
+                    b.take();
+                })
+            };
+            let channel = {
+                let (tx, rx) = crossbeam::channel::bounded::<u64>(capacity);
+                run_pairs(
+                    pairs,
+                    per_thread,
+                    |i| tx.send(i).unwrap(),
+                    || {
+                        rx.recv().unwrap();
+                    },
+                )
+            };
+            t.row(&[
+                pairs.to_string(),
+                capacity.to_string(),
+                fmt_ops(moderated),
+                fmt_ops(tangled),
+                fmt_ops(channel),
+            ]);
+        }
+    }
+    t
+}
+
+/// E3 — concern stacking: cost of each additional *real* concern on one
+/// method.
+pub fn e3_composition(quick: bool) -> Table {
+    let iters = scale(quick, 500_000);
+    let mut t = Table::new(
+        "E3 — concern-stacking cost (single thread)",
+        &["stack", "aspects", "ns/op"],
+    );
+    let stacks: Vec<(&str, Vec<&str>)> = vec![
+        ("sync", vec!["sync"]),
+        ("sync+audit", vec!["sync", "audit"]),
+        ("sync+audit+metrics", vec!["sync", "audit", "metrics"]),
+        ("sync+audit+metrics+auth", vec!["sync", "audit", "metrics", "auth"]),
+        (
+            "sync+audit+metrics+auth+quota",
+            vec!["sync", "audit", "metrics", "quota", "auth"],
+        ),
+    ];
+    for (label, stack) in stacks {
+        let target = StackTarget::new(&stack);
+        let ns = time_ns_per_op(iters, || target.run_once());
+        t.row(&[label.to_string(), stack.len().to_string(), fmt_ns(ns)]);
+    }
+    t
+}
+
+/// E4 — aspect-bank scaling: registration and lookup across bank sizes.
+pub fn e4_bank(quick: bool) -> Table {
+    let invoke_iters = scale(quick, 500_000);
+    let mut t = Table::new(
+        "E4 — aspect bank scaling",
+        &[
+            "methods",
+            "concerns/method",
+            "register total",
+            "invoke ns/op (broadcast wakes)",
+            "invoke ns/op (wired wakes)",
+        ],
+    );
+    let method_counts: &[usize] = if quick { &[4, 64] } else { &[4, 64, 1024] };
+    for &methods in method_counts {
+        for concerns in [1_usize, 8] {
+            let moderator = AspectModerator::shared();
+            let reg_start = Instant::now();
+            let mut handles = Vec::with_capacity(methods);
+            for m in 0..methods {
+                let h = moderator.declare_method(MethodId::new(format!("m{m}")));
+                for c in 0..concerns {
+                    moderator
+                        .register(&h, Concern::new(format!("c{c}")), Box::new(NoopAspect))
+                        .unwrap();
+                }
+                handles.push(h);
+            }
+            let reg_total = reg_start.elapsed();
+            let proxy = Moderated::new(0_u64, Arc::clone(&moderator));
+            // Hot cell: the last-declared method (worst case for naive
+            // scans).
+            let hot = handles.last().unwrap().clone();
+            let broadcast_ns = time_ns_per_op(invoke_iters, || {
+                proxy.invoke(&hot, |c| *c += 1).unwrap();
+            });
+            // Wiring the wake graph makes completion cost O(1) in the
+            // number of methods.
+            moderator.wire_wakes(&hot, std::slice::from_ref(&hot));
+            let wired_ns = time_ns_per_op(invoke_iters, || {
+                proxy.invoke(&hot, |c| *c += 1).unwrap();
+            });
+            t.row(&[
+                methods.to_string(),
+                concerns.to_string(),
+                format!("{:.2?}", reg_total),
+                fmt_ns(broadcast_ns),
+                fmt_ns(wired_ns),
+            ]);
+        }
+    }
+    t
+}
+
+/// Aggregates from one [`run_scheduling`] round.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulingOutcome {
+    /// Completed operations per second across all threads.
+    pub throughput: f64,
+    /// When the highest-priority thread finished its batch (seconds
+    /// from round start).
+    pub high_finish_s: f64,
+    /// When the lowest-priority thread finished its batch.
+    pub low_finish_s: f64,
+}
+
+/// Runs `threads` contending threads (thread i has priority i, each
+/// running `per_thread` ops) through a capacity-1 admission gate under
+/// `policy`; records when each thread *finishes its batch*. A
+/// priority-honoring policy front-loads high-priority work, so the
+/// high-priority thread finishes well before the low one.
+pub fn run_scheduling(policy: SchedulerPolicy, threads: usize, per_thread: u64) -> SchedulingOutcome {
+    let moderator = AspectModerator::shared();
+    let op = moderator.declare_method(MethodId::new("op"));
+    let gate = AdmissionGroup::new(1, policy);
+    moderator
+        .register(&op, Concern::scheduling(), Box::new(gate.aspect()))
+        .unwrap();
+    let proxy = Moderated::new(0_u64, Arc::clone(&moderator));
+    // All threads start together, and each op holds the gate for ~2µs of
+    // real work, so the admission queue is never empty — the regime
+    // where the policy decides who runs.
+    let barrier = std::sync::Barrier::new(threads);
+    let mut finishes: Vec<(u32, f64)> = Vec::new();
+    let start = parking_lot::Mutex::new(None::<Instant>);
+    std::thread::scope(|s| {
+        let mut joins = Vec::new();
+        for pri in 0..threads as u32 {
+            let proxy = &proxy;
+            let moderator = &moderator;
+            let op = &op;
+            let barrier = &barrier;
+            let start = &start;
+            joins.push(s.spawn(move || {
+                barrier.wait();
+                let t0 = *start.lock().get_or_insert_with(Instant::now);
+                for _ in 0..per_thread {
+                    let mut ctx =
+                        InvocationContext::new(op.id().clone(), moderator.next_invocation());
+                    ctx.insert(Priority(pri));
+                    let guard = proxy.enter_with(op, ctx).unwrap();
+                    {
+                        let mut c = guard.component();
+                        *c += 1;
+                        let spin = Instant::now();
+                        while spin.elapsed() < Duration::from_micros(2) {
+                            std::hint::spin_loop();
+                        }
+                    }
+                    guard.complete();
+                }
+                (pri, t0.elapsed().as_secs_f64())
+            }));
+        }
+        for j in joins {
+            finishes.push(j.join().unwrap());
+        }
+    });
+    let elapsed = finishes.iter().map(|(_, f)| *f).fold(0.0, f64::max);
+    let total_ops = threads as u64 * per_thread;
+    let high = finishes.iter().max_by_key(|(p, _)| *p).unwrap().1;
+    let low = finishes.iter().min_by_key(|(p, _)| *p).unwrap().1;
+    SchedulingOutcome {
+        throughput: total_ops as f64 / elapsed,
+        high_finish_s: high,
+        low_finish_s: low,
+    }
+}
+
+/// E5 — scheduling-aspect policies under contention: FIFO vs LIFO vs
+/// priority.
+pub fn e5_scheduling(quick: bool) -> Table {
+    let per_thread = scale(quick, 5_000);
+    let threads = 8;
+    let mut t = Table::new(
+        "E5 — admission policies (8 threads, gate capacity 1)",
+        &[
+            "policy",
+            "throughput",
+            "highest-priority thread finished at",
+            "lowest-priority thread finished at",
+        ],
+    );
+    for (name, policy) in [
+        ("FIFO", SchedulerPolicy::Fifo),
+        ("LIFO", SchedulerPolicy::Lifo),
+        ("Priority", SchedulerPolicy::Priority),
+    ] {
+        let o = run_scheduling(policy, threads, per_thread);
+        t.row(&[
+            name.to_string(),
+            fmt_ops(o.throughput),
+            format!("{:.1} ms", o.high_finish_s * 1e3),
+            format!("{:.1} ms", o.low_finish_s * 1e3),
+        ]);
+    }
+    t
+}
+
+/// E6 — wake strategies: wired vs broadcast wake graph × notify-all vs
+/// notify-one.
+pub fn e6_wakeup(quick: bool) -> Table {
+    let total = scale(quick, 100_000);
+    let mut t = Table::new(
+        "E6 — wake strategies (2 producer/consumer pairs, capacity 4)",
+        &["wake graph", "wake mode", "throughput", "notifications/item", "wakeups/item"],
+    );
+    for (graph, wired) in [("wired (paper)", true), ("broadcast all", false)] {
+        for (mode_name, mode) in [("notify-all", WakeMode::NotifyAll), ("notify-one", WakeMode::NotifyOne)] {
+            let b = ModeratedBuffer::new(PipelineConfig {
+                capacity: 4,
+                wake_mode: mode,
+                wired_wakes: wired,
+                ..PipelineConfig::default()
+            });
+            let pairs = 2;
+            let per_thread = total / pairs as u64;
+            let ops = run_pairs(pairs, per_thread, |i| b.put(i), || {
+                b.take();
+            });
+            let stats = b.stats();
+            let items = (pairs as u64 * per_thread) as f64;
+            t.row(&[
+                graph.to_string(),
+                mode_name.to_string(),
+                fmt_ops(ops),
+                format!("{:.2}", stats.notifications as f64 / items),
+                format!("{:.2}", stats.wakeups as f64 / items),
+            ]);
+        }
+    }
+    t
+}
+
+/// E7 — rollback ablation: correctness (does a blocked outer reservation
+/// strand an unrelated method?) and cost under contention.
+pub fn e7_rollback(quick: bool) -> Table {
+    let mut t = Table::new(
+        "E7 — rollback ablation",
+        &["rollback policy", "cross-method liveness", "contended pipeline throughput"],
+    );
+    let total = scale(quick, 50_000);
+    for (name, policy) in [
+        ("Release (ours)", RollbackPolicy::Release),
+        ("None (paper literal)", RollbackPolicy::None),
+    ] {
+        // Correctness probe: methods `a` and `b` share a capacity-1
+        // reserving pool aspect; `a` additionally blocks on a closed
+        // gate *after* reserving. With rollback, the reservation is
+        // released while `a` waits, so `b` can run; without, `b`
+        // starves.
+        let moderator = Arc::new(AspectModerator::builder().rollback(policy).build());
+        let a = moderator.declare_method(MethodId::new("a"));
+        let b = moderator.declare_method(MethodId::new("b"));
+        let pool = ExclusionGroup::new();
+        let gate = Arc::new(AtomicBool::new(false));
+        // Registration order on `a`: gate first, pool second — nested
+        // ordering evaluates pool (newest) first, then the gate blocks.
+        {
+            let gate = Arc::clone(&gate);
+            moderator
+                .register(
+                    &a,
+                    Concern::new("gate"),
+                    Box::new(FnAspect::new("gate").on_precondition(move |_| {
+                        Verdict::resume_if(gate.load(Ordering::SeqCst))
+                    })),
+                )
+                .unwrap();
+        }
+        moderator
+            .register(&a, Concern::new("pool"), Box::new(pool.aspect()))
+            .unwrap();
+        moderator
+            .register(&b, Concern::new("pool"), Box::new(pool.aspect()))
+            .unwrap();
+        let proxy = Arc::new(Moderated::new(0_u64, Arc::clone(&moderator)));
+
+        let blocked = {
+            let proxy = Arc::clone(&proxy);
+            let a = a.clone();
+            std::thread::spawn(move || {
+                // Will block on the gate (forever, until we open it).
+                proxy.invoke(&a, |c| *c += 1).unwrap();
+            })
+        };
+        while moderator.stats().blocks == 0 {
+            std::thread::yield_now();
+        }
+        let b_result = proxy.invoke_timeout(&b, Duration::from_millis(300), |c| *c += 1);
+        let liveness = match &b_result {
+            Ok(()) => "b ran while a waited ✔",
+            Err(e) if e.is_timeout() => "b starved (pool leak) ✘",
+            Err(e) => unreachable!("unexpected abort {e}"),
+        };
+        // Open the gate and drop the pool aspect from `a`'s chain
+        // (deregistration wakes its waiters); under RollbackPolicy::None
+        // the leaked pool reservation would otherwise deadlock `a`
+        // against itself forever.
+        gate.store(true, Ordering::SeqCst);
+        moderator.deregister(&a, &Concern::new("pool")).unwrap();
+        blocked.join().unwrap();
+
+        // Cost probe: contended capacity-1 pipeline with a deeper chain,
+        // where every block rolls back the chain prefix.
+        let pipe = ModeratedBuffer::new(PipelineConfig {
+            capacity: 1,
+            rollback: policy,
+            extra_noops: 3,
+            ..PipelineConfig::default()
+        });
+        let ops = run_pairs(1, total, |i| pipe.put(i), || {
+            pipe.take();
+        });
+        t.row(&[name.to_string(), liveness.to_string(), fmt_ops(ops)]);
+    }
+    t
+}
+
+/// E8 — adaptability: adding authentication in the framework (register
+/// two aspects) vs the tangled baseline (rewrite the monitor).
+pub fn e8_adaptability(quick: bool) -> Table {
+    let iters = scale(quick, 200_000);
+    let mut t = Table::new(
+        "E8 — cost of adding authentication",
+        &["system", "base ns/op", "with auth ns/op", "delta", "functional code changed"],
+    );
+
+    // Framework: trouble-ticketing proxy, base vs extended.
+    let base = TicketServerProxy::new(64, AspectModerator::shared()).unwrap();
+    let base_ns = time_ns_per_op(iters, || {
+        base.open(Ticket::new(0, "t")).unwrap();
+        base.assign().unwrap();
+    }) / 2.0;
+    let auth = Authenticator::shared();
+    auth.add_user("bench", "pw");
+    let extended =
+        ExtendedTicketServerProxy::new(64, AspectModerator::shared(), Arc::clone(&auth)).unwrap();
+    let token = auth.login("bench", "pw").unwrap();
+    let ext_ns = time_ns_per_op(iters, || {
+        extended.open(token, Ticket::new(0, "t")).unwrap();
+        extended.assign(token).unwrap();
+    }) / 2.0;
+    t.row(&[
+        "framework (moderated)".into(),
+        fmt_ns(base_ns),
+        fmt_ns(ext_ns),
+        format!("+{}", fmt_ns(ext_ns - base_ns)),
+        "0 lines (2 registrations)".into(),
+    ]);
+
+    // Tangled: monitor vs rewritten secure monitor.
+    let tangled = TangledBuffer::new(64);
+    let tangled_ns = time_ns_per_op(iters, || {
+        tangled.put(1_u64);
+        tangled.take();
+    }) / 2.0;
+    let secure = TangledSecureBuffer::new(64);
+    secure.add_user("bench", "pw");
+    let stoken = secure.login("bench", "pw").unwrap();
+    let secure_ns = time_ns_per_op(iters, || {
+        secure.put(stoken, 1_u64).unwrap();
+        secure.take(stoken).unwrap();
+    }) / 2.0;
+    t.row(&[
+        "tangled monitor".into(),
+        fmt_ns(tangled_ns),
+        fmt_ns(secure_ns),
+        format!("+{}", fmt_ns(secure_ns - tangled_ns)),
+        "entire monitor rewritten".into(),
+    ]);
+    t
+}
+
+/// V1 — exhaustive verification of the producer/consumer composition:
+/// states explored and verdicts across configurations, including the
+/// E7 anomaly as a machine-checked counterexample.
+pub fn v1_verification(quick: bool) -> Table {
+    use amf_verify::{aspects, Checker, ModelSystem, Outcome};
+
+    #[derive(Clone, PartialEq, Eq, Hash, Default)]
+    struct Buf {
+        reserved: usize,
+        produced: usize,
+        producing: bool,
+        consuming: bool,
+    }
+
+    let mut t = Table::new(
+        "V1 — exhaustive verification (model checker)",
+        &["composition", "threads×ops", "states", "verdict"],
+    );
+
+    let configs: &[(usize, usize, usize)] = if quick {
+        &[(1, 1, 2), (2, 2, 2)]
+    } else {
+        &[(1, 1, 2), (1, 2, 2), (2, 2, 2), (2, 2, 3), (1, 3, 2)]
+    };
+    for &(capacity, pairs, ops) in configs {
+        let mut sys = ModelSystem::new();
+        let put = sys.method("put");
+        let take = sys.method("take");
+        sys.add_aspect(
+            put,
+            "sync",
+            aspects::buffer_producer(
+                capacity,
+                |s: &mut Buf| &mut s.reserved,
+                |s: &mut Buf| &mut s.produced,
+                |s: &mut Buf| &mut s.producing,
+            ),
+        );
+        sys.add_aspect(
+            take,
+            "sync",
+            aspects::buffer_consumer(
+                |s: &mut Buf| &mut s.reserved,
+                |s: &mut Buf| &mut s.produced,
+                |s: &mut Buf| &mut s.consuming,
+            ),
+        );
+        let mut checker = Checker::new(sys).invariant(move |s: &Buf| {
+            s.reserved <= capacity && s.produced <= s.reserved
+        });
+        for _ in 0..pairs {
+            checker = checker.thread(vec![put; ops]);
+            checker = checker.thread(vec![take; ops]);
+        }
+        let r = checker.run(Buf::default());
+        let verdict = match r.outcome {
+            Outcome::Ok => "deadlock-free + invariants hold".to_string(),
+            other => format!("{other:?}"),
+        };
+        t.row(&[
+            format!("buffer cap {capacity}"),
+            format!("{}×{ops}", 2 * pairs),
+            r.states.to_string(),
+            verdict,
+        ]);
+    }
+
+    // The E7 anomaly, both ways.
+    #[derive(Clone, PartialEq, Eq, Hash, Default)]
+    struct Pool {
+        busy: bool,
+        gate_open: bool,
+    }
+    for (label, rollback) in [("anomaly w/ rollback", true), ("anomaly w/o rollback", false)] {
+        let mut sys = ModelSystem::<Pool>::new();
+        let a = sys.method("a");
+        let b = sys.method("b");
+        sys.add_aspect(a, "gate", aspects::guard(|s: &Pool| s.gate_open));
+        for m in [a, b] {
+            sys.add_aspect(
+                m,
+                "pool",
+                aspects::reserve(
+                    |s: &Pool| !s.busy,
+                    |s: &mut Pool| s.busy = true,
+                    |s: &mut Pool| s.busy = false,
+                ),
+            );
+        }
+        sys.set_body(b, |s: &mut Pool| s.gate_open = true);
+        let r = Checker::new(sys.rollback(rollback))
+            .thread(vec![a])
+            .thread(vec![b])
+            .run(Pool::default());
+        let verdict = match r.outcome {
+            Outcome::Ok => "deadlock-free".to_string(),
+            Outcome::Deadlock(trace) => format!("DEADLOCK after {} steps", trace.len()),
+            other => format!("{other:?}"),
+        };
+        t.row(&[
+            label.to_string(),
+            "2×1".to_string(),
+            r.states.to_string(),
+            verdict,
+        ]);
+    }
+    t
+}
+
+/// Runs the named experiments ("e1".."e8", "v1" or "all") and prints
+/// their tables.
+pub fn run(names: &[String], quick: bool) {
+    let wants = |n: &str| {
+        names.is_empty()
+            || names.iter().any(|x| x.eq_ignore_ascii_case(n))
+            || names.iter().any(|x| x.eq_ignore_ascii_case("all"))
+    };
+    type Runner = fn(bool) -> Table;
+    let runners: [(&str, Runner); 9] = [
+        ("e1", e1_overhead),
+        ("e2", e2_throughput),
+        ("e3", e3_composition),
+        ("e4", e4_bank),
+        ("e5", e5_scheduling),
+        ("e6", e6_wakeup),
+        ("e7", e7_rollback),
+        ("e8", e8_adaptability),
+        ("v1", v1_verification),
+    ];
+    for (name, f) in runners {
+        if wants(name) {
+            eprintln!("running {name} ...");
+            f(quick).print();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_produces_rows() {
+        assert_eq!(e1_overhead(true).len(), 6);
+    }
+
+    #[test]
+    fn e3_produces_rows() {
+        assert_eq!(e3_composition(true).len(), 5);
+    }
+
+    #[test]
+    fn e4_produces_rows() {
+        assert_eq!(e4_bank(true).len(), 4);
+    }
+
+    #[test]
+    fn e2_produces_rows() {
+        assert_eq!(e2_throughput(true).len(), 9);
+    }
+
+    #[test]
+    fn e5_produces_rows() {
+        assert_eq!(e5_scheduling(true).len(), 3);
+    }
+
+    #[test]
+    fn e6_produces_rows() {
+        assert_eq!(e6_wakeup(true).len(), 4);
+    }
+
+    #[test]
+    fn v1_finds_the_anomaly() {
+        let md = v1_verification(true).to_markdown();
+        assert!(md.contains("deadlock-free"));
+        assert!(md.contains("DEADLOCK"), "{md}");
+    }
+
+    #[test]
+    fn e7_liveness_depends_on_rollback() {
+        let table = e7_rollback(true);
+        let md = table.to_markdown();
+        assert!(md.contains("b ran while a waited ✔"), "rollback row:\n{md}");
+        assert!(md.contains("b starved (pool leak) ✘"), "no-rollback row:\n{md}");
+    }
+
+    #[test]
+    fn e8_produces_rows() {
+        assert_eq!(e8_adaptability(true).len(), 2);
+    }
+}

@@ -1,0 +1,20 @@
+//! Benchmark harness for the Aspect Moderator framework.
+//!
+//! One module per concern: [`pipeline`] builds the systems under test,
+//! [`report`] renders markdown tables, [`experiments`] implements
+//! E1–E8 from `EXPERIMENTS.md`. The `experiments` binary regenerates
+//! every table:
+//!
+//! ```text
+//! cargo run -p amf-bench --release --bin experiments -- all
+//! cargo run -p amf-bench --release --bin experiments -- e2 e6
+//! ```
+//!
+//! The Criterion benches under `benches/` wrap the same harness for
+//! statistically rigorous single-number comparisons.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod pipeline;
+pub mod report;

@@ -1,0 +1,340 @@
+//! Systems under test, shared by the `experiments` binary and the
+//! Criterion benches.
+
+use std::sync::Arc;
+
+use amf_aspects::sync::{BufferSyncGroup, BufferSyncHandle};
+use amf_concurrency::RingBuffer;
+use amf_core::{
+    AspectModerator, Concern, MethodHandle, MethodId, Moderated, ModeratorStats, NoopAspect,
+    RollbackPolicy, WakeMode,
+};
+
+/// Configuration axes for the moderated producer/consumer pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Buffer capacity.
+    pub capacity: usize,
+    /// How notifications wake waiters.
+    pub wake_mode: WakeMode,
+    /// `true` wires put→take / take→put (the paper's graph); `false`
+    /// notifies every queue.
+    pub wired_wakes: bool,
+    /// Rollback policy for multi-aspect chains.
+    pub rollback: RollbackPolicy,
+    /// Extra no-op aspects stacked on each method (composition depth).
+    pub extra_noops: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 16,
+            wake_mode: WakeMode::NotifyAll,
+            wired_wakes: true,
+            rollback: RollbackPolicy::Release,
+            extra_noops: 0,
+        }
+    }
+}
+
+/// A moderated bounded buffer of `u64`s: the framework's
+/// producer/consumer pipeline reduced to its essentials.
+pub struct ModeratedBuffer {
+    proxy: Moderated<RingBuffer<u64>>,
+    put: MethodHandle,
+    take: MethodHandle,
+    sync_handle: BufferSyncHandle,
+}
+
+impl ModeratedBuffer {
+    /// Builds the pipeline per `config`.
+    pub fn new(config: PipelineConfig) -> Self {
+        let moderator = Arc::new(
+            AspectModerator::builder()
+                .wake_mode(config.wake_mode)
+                .rollback(config.rollback)
+                .build(),
+        );
+        let put = moderator.declare_method(MethodId::new("put"));
+        let take = moderator.declare_method(MethodId::new("take"));
+        let group = BufferSyncGroup::new(config.capacity);
+        moderator
+            .register(
+                &put,
+                Concern::synchronization(),
+                Box::new(group.producer_aspect()),
+            )
+            .expect("fresh moderator");
+        moderator
+            .register(
+                &take,
+                Concern::synchronization(),
+                Box::new(group.consumer_aspect()),
+            )
+            .expect("fresh moderator");
+        for i in 0..config.extra_noops {
+            for handle in [&put, &take] {
+                moderator
+                    .register(
+                        handle,
+                        Concern::new(format!("noop-{i}")),
+                        Box::new(NoopAspect),
+                    )
+                    .expect("fresh moderator");
+            }
+        }
+        if config.wired_wakes {
+            moderator.wire_wakes(&put, std::slice::from_ref(&take));
+            moderator.wire_wakes(&take, std::slice::from_ref(&put));
+        }
+        Self {
+            proxy: Moderated::new(RingBuffer::with_capacity(config.capacity), moderator),
+            put,
+            take,
+            sync_handle: group.handle(),
+        }
+    }
+
+    /// Guarded blocking insert.
+    pub fn put(&self, v: u64) {
+        self.proxy
+            .invoke(&self.put, |rb| {
+                rb.push_back(v).expect("sync aspect guarantees a slot")
+            })
+            .expect("pipeline aspects never abort");
+    }
+
+    /// Guarded blocking removal.
+    pub fn take(&self) -> u64 {
+        self.proxy
+            .invoke(&self.take, |rb| {
+                rb.pop_front().expect("sync aspect guarantees an item")
+            })
+            .expect("pipeline aspects never abort")
+    }
+
+    /// Moderator counters (blocks, notifications, ...).
+    pub fn stats(&self) -> ModeratorStats {
+        self.proxy.moderator().stats()
+    }
+
+    /// Shared-counter snapshot from the sync aspects.
+    pub fn sync_handle(&self) -> &BufferSyncHandle {
+        &self.sync_handle
+    }
+}
+
+/// A moderated counter with `n` no-op aspects — the E1 overhead target.
+pub struct OverheadTarget {
+    proxy: Moderated<u64>,
+    bump: MethodHandle,
+}
+
+impl OverheadTarget {
+    /// Builds a counter guarded by `n_aspects` no-op aspects.
+    pub fn new(n_aspects: usize) -> Self {
+        let moderator = AspectModerator::shared();
+        let bump = moderator.declare_method(MethodId::new("bump"));
+        for i in 0..n_aspects {
+            moderator
+                .register(&bump, Concern::new(format!("noop-{i}")), Box::new(NoopAspect))
+                .expect("fresh moderator");
+        }
+        Self {
+            proxy: Moderated::new(0, moderator),
+            bump,
+        }
+    }
+
+    /// One guarded increment.
+    #[inline]
+    pub fn bump(&self) {
+        self.proxy
+            .invoke(&self.bump, |c| *c += 1)
+            .expect("noop aspects never abort");
+    }
+
+    /// Current counter value.
+    pub fn value(&self) -> u64 {
+        self.proxy.with_component(|c| *c)
+    }
+}
+
+/// A moderated counter guarded by a configurable stack of *real*
+/// concerns — the E3 composition target.
+///
+/// Recognized stack entries: `"sync"`, `"audit"`, `"metrics"`,
+/// `"auth"`, `"quota"`.
+pub struct StackTarget {
+    moderator: Arc<AspectModerator>,
+    proxy: Moderated<u64>,
+    op: MethodHandle,
+    token: Option<amf_aspects::auth::AuthToken>,
+}
+
+impl StackTarget {
+    /// Builds the target with the given concern stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized stack entry.
+    pub fn new(stack: &[&str]) -> Self {
+        use amf_aspects::audit::{AuditAspect, AuditLog};
+        use amf_aspects::auth::{AuthenticationAspect, Authenticator};
+        use amf_aspects::metrics::{MetricsAspect, MetricsHub};
+        use amf_aspects::quota::QuotaAspect;
+        use amf_aspects::sync::ExclusionGroup;
+
+        let moderator = AspectModerator::shared();
+        let op = moderator.declare_method(MethodId::new("op"));
+        let mut token = None;
+        for concern in stack {
+            match *concern {
+                "sync" => {
+                    let group = ExclusionGroup::new();
+                    moderator
+                        .register(&op, Concern::synchronization(), Box::new(group.aspect()))
+                        .unwrap();
+                }
+                "audit" => {
+                    let log = Arc::new(AuditLog::bounded(1024));
+                    moderator
+                        .register(&op, Concern::audit(), Box::new(AuditAspect::new(log)))
+                        .unwrap();
+                }
+                "metrics" => {
+                    moderator
+                        .register(
+                            &op,
+                            Concern::metrics(),
+                            Box::new(MetricsAspect::new(MetricsHub::new())),
+                        )
+                        .unwrap();
+                }
+                "auth" => {
+                    let auth = Authenticator::shared();
+                    auth.add_user("bench", "pw");
+                    token = Some(auth.login("bench", "pw").unwrap());
+                    moderator
+                        .register(
+                            &op,
+                            Concern::authentication(),
+                            Box::new(AuthenticationAspect::new(auth)),
+                        )
+                        .unwrap();
+                }
+                "quota" => {
+                    moderator
+                        .register(&op, Concern::quota(), Box::new(QuotaAspect::new(u64::MAX)))
+                        .unwrap();
+                }
+                other => panic!("unknown stack entry `{other}`"),
+            }
+        }
+        Self {
+            proxy: Moderated::new(0, Arc::clone(&moderator)),
+            moderator,
+            op,
+            token,
+        }
+    }
+
+    /// One guarded increment through the whole stack.
+    pub fn run_once(&self) {
+        let mut ctx = amf_core::InvocationContext::new(
+            self.op.id().clone(),
+            self.moderator.next_invocation(),
+        );
+        if let Some(token) = self.token {
+            ctx.insert(token);
+        }
+        let guard = self
+            .proxy
+            .enter_with(&self.op, ctx)
+            .expect("bench stacks never abort");
+        *guard.component() += 1;
+        guard.complete();
+    }
+
+    /// Current counter value.
+    pub fn value(&self) -> u64 {
+        self.proxy.with_component(|c| *c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn pipeline_roundtrip() {
+        let b = ModeratedBuffer::new(PipelineConfig::default());
+        b.put(1);
+        b.put(2);
+        assert_eq!(b.take(), 1);
+        assert_eq!(b.take(), 2);
+    }
+
+    #[test]
+    fn pipeline_under_contention() {
+        let b = Arc::new(ModeratedBuffer::new(PipelineConfig {
+            capacity: 4,
+            ..PipelineConfig::default()
+        }));
+        let n = 1_000_u64;
+        let producer = {
+            let b = Arc::clone(&b);
+            thread::spawn(move || {
+                for i in 0..n {
+                    b.put(i);
+                }
+            })
+        };
+        let consumer = {
+            let b = Arc::clone(&b);
+            thread::spawn(move || (0..n).map(|_| b.take()).sum::<u64>())
+        };
+        producer.join().unwrap();
+        assert_eq!(consumer.join().unwrap(), n * (n - 1) / 2);
+        let snap = b.sync_handle().snapshot();
+        assert_eq!(snap.reserved, 0);
+        assert_eq!(snap.produced, 0);
+    }
+
+    #[test]
+    fn extra_noops_do_not_change_semantics() {
+        let b = ModeratedBuffer::new(PipelineConfig {
+            capacity: 1,
+            extra_noops: 4,
+            ..PipelineConfig::default()
+        });
+        b.put(9);
+        assert_eq!(b.take(), 9);
+    }
+
+    #[test]
+    fn overhead_target_counts() {
+        let t = OverheadTarget::new(8);
+        for _ in 0..100 {
+            t.bump();
+        }
+        assert_eq!(t.value(), 100);
+    }
+
+    #[test]
+    fn stack_target_runs_full_stack() {
+        let t = StackTarget::new(&["sync", "audit", "metrics", "quota", "auth"]);
+        for _ in 0..10 {
+            t.run_once();
+        }
+        assert_eq!(t.value(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown stack entry")]
+    fn stack_target_rejects_unknown() {
+        let _ = StackTarget::new(&["telepathy"]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Markdown table rendering for the experiment harness.
+
+use std::fmt::Write as _;
+
+/// A simple markdown table accumulated row by row.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (stringified cells).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Prints the markdown rendering to stdout.
+    pub fn print(&self) {
+        println!("{}", self.to_markdown());
+    }
+}
+
+/// Formats a nanosecond figure with a thousands-aware unit.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    }
+}
+
+/// Formats an operations-per-second figure.
+pub fn fmt_ops(ops_per_sec: f64) -> String {
+    if ops_per_sec >= 1_000_000.0 {
+        format!("{:.2} Mop/s", ops_per_sec / 1_000_000.0)
+    } else if ops_per_sec >= 1_000.0 {
+        format!("{:.1} Kop/s", ops_per_sec / 1_000.0)
+    } else {
+        format!("{ops_per_sec:.0} op/s")
+    }
+}
+
+/// Times `f` over `iters` iterations and returns mean ns/op.
+pub fn time_ns_per_op(iters: u64, mut f: impl FnMut()) -> f64 {
+    // Warm up.
+    for _ in 0..iters.min(1_000) {
+        f();
+    }
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.row(&["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_ns(512.0), "512 ns");
+        assert_eq!(fmt_ns(2_500.0), "2.50 µs");
+        assert_eq!(fmt_ns(3_000_000.0), "3.00 ms");
+        assert_eq!(fmt_ops(500.0), "500 op/s");
+        assert_eq!(fmt_ops(2_500.0), "2.5 Kop/s");
+        assert_eq!(fmt_ops(2_000_000.0), "2.00 Mop/s");
+    }
+
+    #[test]
+    fn timer_returns_positive() {
+        let ns = time_ns_per_op(100, || {
+            std::hint::black_box(1 + 1);
+        });
+        assert!(ns >= 0.0);
+    }
+}

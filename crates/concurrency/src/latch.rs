@@ -1,0 +1,126 @@
+//! Countdown latch for test and benchmark rendezvous.
+
+use std::fmt;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// A one-shot barrier: threads [`CountdownLatch::wait`] until the count
+/// reaches zero via [`CountdownLatch::count_down`].
+///
+/// ```
+/// use std::sync::Arc;
+/// use std::thread;
+/// use amf_concurrency::CountdownLatch;
+///
+/// let latch = Arc::new(CountdownLatch::new(2));
+/// let mut handles = Vec::new();
+/// for _ in 0..2 {
+///     let latch = Arc::clone(&latch);
+///     handles.push(thread::spawn(move || latch.count_down()));
+/// }
+/// latch.wait();
+/// for h in handles { h.join().unwrap(); }
+/// assert_eq!(latch.count(), 0);
+/// ```
+pub struct CountdownLatch {
+    count: Mutex<usize>,
+    cond: Condvar,
+}
+
+impl fmt::Debug for CountdownLatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CountdownLatch")
+            .field("count", &self.count())
+            .finish()
+    }
+}
+
+impl CountdownLatch {
+    /// Creates a latch that opens after `count` calls to
+    /// [`CountdownLatch::count_down`].
+    pub fn new(count: usize) -> Self {
+        Self {
+            count: Mutex::new(count),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Remaining count.
+    pub fn count(&self) -> usize {
+        *self.count.lock()
+    }
+
+    /// Decrements the count; at zero, releases all waiters. Further calls
+    /// are no-ops.
+    pub fn count_down(&self) {
+        let mut c = self.count.lock();
+        if *c > 0 {
+            *c -= 1;
+            if *c == 0 {
+                drop(c);
+                self.cond.notify_all();
+            }
+        }
+    }
+
+    /// Blocks until the count reaches zero.
+    pub fn wait(&self) {
+        let mut c = self.count.lock();
+        while *c > 0 {
+            self.cond.wait(&mut c);
+        }
+    }
+
+    /// Blocks until the count reaches zero or `timeout` elapses; returns
+    /// whether the latch opened.
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        let mut c = self.count.lock();
+        while *c > 0 {
+            if self.cond.wait_for(&mut c, timeout).timed_out() {
+                return *c == 0;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn zero_latch_is_open() {
+        let l = CountdownLatch::new(0);
+        l.wait(); // must not block
+        assert!(l.wait_timeout(Duration::ZERO));
+    }
+
+    #[test]
+    fn count_down_to_zero_releases() {
+        let l = Arc::new(CountdownLatch::new(3));
+        let waiter = Arc::clone(&l);
+        let t = thread::spawn(move || waiter.wait());
+        l.count_down();
+        l.count_down();
+        assert_eq!(l.count(), 1);
+        l.count_down();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn extra_count_down_is_noop() {
+        let l = CountdownLatch::new(1);
+        l.count_down();
+        l.count_down();
+        assert_eq!(l.count(), 0);
+    }
+
+    #[test]
+    fn wait_timeout_reports_failure() {
+        let l = CountdownLatch::new(1);
+        assert!(!l.wait_timeout(Duration::from_millis(10)));
+    }
+}

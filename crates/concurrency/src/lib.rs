@@ -1,0 +1,54 @@
+//! Concurrency substrate for the Aspect Moderator framework.
+//!
+//! The ICDCS 2001 paper assumes the Java concurrency model: every object is
+//! a monitor with `synchronized` blocks, `wait()` and `notify()`. This crate
+//! provides the equivalent primitives for Rust, built on [`parking_lot`],
+//! plus the auxiliary machinery the aspect library and the benchmark
+//! harness need (ring buffers, schedulers, rate limiters, virtual clocks).
+//!
+//! Nothing in this crate knows about aspects; it is the layer *below* the
+//! framework, usable on its own.
+//!
+//! # Quick tour
+//!
+//! ```
+//! use amf_concurrency::{Monitor, Semaphore, RingBuffer};
+//!
+//! // A guarded-suspension monitor, the paper's wait/notify idiom.
+//! let m = Monitor::new(0_u32);
+//! m.with(|v| *v += 1);
+//! assert_eq!(m.with(|v| *v), 1);
+//!
+//! // A counting semaphore.
+//! let s = Semaphore::new(2);
+//! let _p = s.acquire();
+//!
+//! // A plain ring buffer (synchronization supplied externally, e.g. by
+//! // synchronization aspects).
+//! let mut rb = RingBuffer::with_capacity(4);
+//! rb.push_back("ticket").unwrap();
+//! assert_eq!(rb.pop_front(), Some("ticket"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod clock;
+pub mod latch;
+pub mod monitor;
+pub mod pool;
+pub mod rate;
+pub mod ring;
+pub mod scheduler;
+pub mod semaphore;
+pub mod wait_queue;
+
+pub use clock::{Clock, ManualClock, SystemClock};
+pub use latch::CountdownLatch;
+pub use monitor::Monitor;
+pub use pool::ResourcePool;
+pub use rate::{RateLimiter, RateLimiterConfig};
+pub use ring::{RingBuffer, RingFullError, SyncRingBuffer};
+pub use scheduler::{Scheduler, SchedulerPolicy};
+pub use semaphore::{Semaphore, SemaphorePermit};
+pub use wait_queue::{WaitQueue, WaitStatus};

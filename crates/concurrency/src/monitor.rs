@@ -1,0 +1,207 @@
+//! Guarded-suspension monitor: the Rust rendering of a Java object with
+//! `synchronized` methods and `wait()`/`notify()`.
+//!
+//! The paper's moderator is "synchronized" on per-method wait queues; this
+//! type packages the `Mutex` + `Condvar` pair those idioms need.
+
+use std::fmt;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex, MutexGuard};
+
+/// A mutex-protected value with an attached condition variable, supporting
+/// the guarded-suspension idiom (`wait` until a predicate over the state
+/// holds).
+///
+/// ```
+/// use amf_concurrency::Monitor;
+///
+/// let m = Monitor::new(vec![1, 2, 3]);
+/// let len = m.with(|v| v.len());
+/// assert_eq!(len, 3);
+/// ```
+pub struct Monitor<T> {
+    state: Mutex<T>,
+    cond: Condvar,
+}
+
+impl<T: fmt::Debug> fmt::Debug for Monitor<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.state.try_lock() {
+            Some(guard) => f.debug_struct("Monitor").field("state", &*guard).finish(),
+            None => f.debug_struct("Monitor").field("state", &"<locked>").finish(),
+        }
+    }
+}
+
+impl<T: Default> Default for Monitor<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T> Monitor<T> {
+    /// Creates a monitor protecting `value`.
+    pub fn new(value: T) -> Self {
+        Self {
+            state: Mutex::new(value),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Runs `f` with the state locked and returns its result.
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let mut guard = self.state.lock();
+        f(&mut guard)
+    }
+
+    /// Locks the state and returns the raw guard, for multi-step critical
+    /// sections that also need [`Monitor::wait_on`].
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.state.lock()
+    }
+
+    /// Blocks until `pred` holds, then runs `f` under the lock.
+    ///
+    /// Wakes up whenever another thread calls [`Monitor::notify_all`] (or
+    /// [`Monitor::notify_one`]) and re-checks the predicate, so spurious
+    /// wakeups are harmless.
+    pub fn when<R>(&self, mut pred: impl FnMut(&T) -> bool, f: impl FnOnce(&mut T) -> R) -> R {
+        let mut guard = self.state.lock();
+        while !pred(&guard) {
+            self.cond.wait(&mut guard);
+        }
+        f(&mut guard)
+    }
+
+    /// Like [`Monitor::when`] but gives up after `timeout`, returning
+    /// `None` if the predicate never held.
+    pub fn when_timeout<R>(
+        &self,
+        mut pred: impl FnMut(&T) -> bool,
+        timeout: Duration,
+        f: impl FnOnce(&mut T) -> R,
+    ) -> Option<R> {
+        let mut guard = self.state.lock();
+        while !pred(&guard) {
+            if self.cond.wait_for(&mut guard, timeout).timed_out() && !pred(&guard) {
+                return None;
+            }
+        }
+        Some(f(&mut guard))
+    }
+
+    /// Waits on the monitor's condition with a caller-held guard. Returns
+    /// the guard so the critical section can continue.
+    ///
+    /// The guard must have come from [`Monitor::lock`] on this same
+    /// monitor.
+    pub fn wait_on<'a>(&self, guard: &mut MutexGuard<'a, T>) {
+        self.cond.wait(guard);
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.cond.notify_one();
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        self.cond.notify_all();
+    }
+
+    /// Consumes the monitor and returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.state.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn with_returns_closure_result() {
+        let m = Monitor::new(41);
+        assert_eq!(m.with(|v| *v + 1), 42);
+    }
+
+    #[test]
+    fn when_blocks_until_predicate() {
+        let m = Arc::new(Monitor::new(0_u32));
+        let setter = Arc::clone(&m);
+        let t = thread::spawn(move || {
+            setter.with(|v| *v = 7);
+            setter.notify_all();
+        });
+        let seen = m.when(|v| *v == 7, |v| *v);
+        assert_eq!(seen, 7);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn when_timeout_times_out() {
+        let m = Monitor::new(false);
+        let r = m.when_timeout(|v| *v, Duration::from_millis(20), |_| ());
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn when_timeout_succeeds_if_predicate_already_true() {
+        let m = Monitor::new(true);
+        let r = m.when_timeout(|v| *v, Duration::from_millis(20), |_| "ok");
+        assert_eq!(r, Some("ok"));
+    }
+
+    #[test]
+    fn notify_one_wakes_a_waiter() {
+        let m = Arc::new(Monitor::new(0_u32));
+        let waiter = Arc::clone(&m);
+        let t = thread::spawn(move || waiter.when(|v| *v > 0, |v| *v));
+        // Let the waiter park, then update and signal.
+        thread::sleep(Duration::from_millis(10));
+        m.with(|v| *v = 5);
+        m.notify_one();
+        assert_eq!(t.join().unwrap(), 5);
+    }
+
+    #[test]
+    fn into_inner_returns_state() {
+        let m = Monitor::new(String::from("x"));
+        assert_eq!(m.into_inner(), "x");
+    }
+
+    #[test]
+    fn default_constructs_default_state() {
+        let m: Monitor<Vec<u8>> = Monitor::default();
+        assert!(m.with(|v| v.is_empty()));
+    }
+
+    #[test]
+    fn debug_does_not_deadlock_under_lock() {
+        let m = Monitor::new(1);
+        let _g = m.lock();
+        let s = format!("{m:?}");
+        assert!(s.contains("<locked>"));
+    }
+
+    #[test]
+    fn many_threads_increment_safely() {
+        let m = Arc::new(Monitor::new(0_u64));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let m = Arc::clone(&m);
+            handles.push(thread::spawn(move || {
+                for _ in 0..1000 {
+                    m.with(|v| *v += 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.with(|v| *v), 8000);
+    }
+}

@@ -1,0 +1,135 @@
+//! A pool of reusable resources (connections, buffers, licenses).
+//!
+//! Non-blocking by design: blocking acquisition is supplied by the
+//! framework layer (a resource-lease aspect returns `Block` when the
+//! pool is dry and the moderator parks the caller).
+
+use std::fmt;
+
+use parking_lot::Mutex;
+
+/// A bag of interchangeable resources checked out and back in.
+///
+/// ```
+/// use amf_concurrency::ResourcePool;
+///
+/// let pool = ResourcePool::new(vec!["conn-a", "conn-b"]);
+/// let conn = pool.checkout().unwrap();
+/// assert_eq!(pool.available(), 1);
+/// pool.checkin(conn);
+/// assert_eq!(pool.available(), 2);
+/// ```
+pub struct ResourcePool<T> {
+    items: Mutex<Vec<T>>,
+    capacity: usize,
+}
+
+impl<T> fmt::Debug for ResourcePool<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ResourcePool")
+            .field("available", &self.available())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl<T> ResourcePool<T> {
+    /// Creates a pool initially holding `items`.
+    pub fn new(items: Vec<T>) -> Self {
+        let capacity = items.len();
+        Self {
+            items: Mutex::new(items),
+            capacity,
+        }
+    }
+
+    /// Takes a resource, or `None` if the pool is dry.
+    pub fn checkout(&self) -> Option<T> {
+        self.items.lock().pop()
+    }
+
+    /// Returns a resource to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this would exceed the pool's original capacity (a
+    /// double check-in bug).
+    pub fn checkin(&self, item: T) {
+        let mut items = self.items.lock();
+        assert!(
+            items.len() < self.capacity,
+            "resource pool over-filled: double check-in?"
+        );
+        items.push(item);
+    }
+
+    /// Resources currently available.
+    pub fn available(&self) -> usize {
+        self.items.lock().len()
+    }
+
+    /// The pool's total size (available + checked out).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_and_checkin_roundtrip() {
+        let pool = ResourcePool::new(vec![1, 2, 3]);
+        let a = pool.checkout().unwrap();
+        let b = pool.checkout().unwrap();
+        assert_eq!(pool.available(), 1);
+        pool.checkin(a);
+        pool.checkin(b);
+        assert_eq!(pool.available(), 3);
+        assert_eq!(pool.capacity(), 3);
+    }
+
+    #[test]
+    fn dry_pool_returns_none() {
+        let pool: ResourcePool<u8> = ResourcePool::new(vec![]);
+        assert!(pool.checkout().is_none());
+        assert_eq!(pool.capacity(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "over-filled")]
+    fn double_checkin_panics() {
+        let pool = ResourcePool::new(vec![1]);
+        pool.checkin(2);
+    }
+
+    #[test]
+    fn concurrent_checkouts_never_duplicate() {
+        use std::collections::HashSet;
+        use std::sync::Arc;
+        let pool = Arc::new(ResourcePool::new((0..8).collect::<Vec<u32>>()));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let pool = Arc::clone(&pool);
+            handles.push(std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                for _ in 0..100 {
+                    if let Some(v) = pool.checkout() {
+                        seen.push(v);
+                        pool.checkin(v);
+                    }
+                }
+                seen
+            }));
+        }
+        let mut all = Vec::new();
+        for h in handles {
+            all.extend(h.join().unwrap());
+        }
+        // Every observed value is one of the pool's members.
+        let valid: HashSet<u32> = (0..8).collect();
+        assert!(all.iter().all(|v| valid.contains(v)));
+        assert_eq!(pool.available(), 8);
+    }
+}

@@ -1,0 +1,204 @@
+//! Token-bucket rate limiter.
+//!
+//! Substrate for the scheduling/throttling aspects: the paper lists
+//! "scheduling" and "throughput" among the interaction concerns that must
+//! be separable from functional code.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::clock::Clock;
+
+/// Configuration for a [`RateLimiter`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimiterConfig {
+    /// Maximum number of stored tokens (burst size).
+    pub burst: u64,
+    /// Tokens replenished per second.
+    pub tokens_per_second: f64,
+}
+
+impl RateLimiterConfig {
+    /// A limiter allowing `rate` operations per second with a burst of the
+    /// same size.
+    pub fn per_second(rate: u64) -> Self {
+        Self {
+            burst: rate.max(1),
+            tokens_per_second: rate as f64,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct BucketState {
+    tokens: f64,
+    last_refill: Duration,
+}
+
+/// A token bucket: each operation consumes one token; tokens refill at a
+/// fixed rate up to a burst cap.
+///
+/// ```
+/// use std::sync::Arc;
+/// use std::time::Duration;
+/// use amf_concurrency::{ManualClock, RateLimiter, RateLimiterConfig};
+///
+/// let clock = ManualClock::new();
+/// let rl = RateLimiter::new(RateLimiterConfig { burst: 2, tokens_per_second: 1.0 },
+///                           Arc::new(clock.clone()));
+/// assert!(rl.try_acquire());
+/// assert!(rl.try_acquire());
+/// assert!(!rl.try_acquire());       // bucket drained
+/// clock.advance(Duration::from_secs(1));
+/// assert!(rl.try_acquire());        // one token refilled
+/// ```
+pub struct RateLimiter {
+    config: RateLimiterConfig,
+    clock: Arc<dyn Clock>,
+    state: Mutex<BucketState>,
+}
+
+impl fmt::Debug for RateLimiter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RateLimiter")
+            .field("config", &self.config)
+            .field("available", &self.available())
+            .finish()
+    }
+}
+
+impl RateLimiter {
+    /// Creates a full bucket governed by `config`, measuring time with
+    /// `clock`.
+    pub fn new(config: RateLimiterConfig, clock: Arc<dyn Clock>) -> Self {
+        let now = clock.now();
+        Self {
+            config,
+            clock,
+            state: Mutex::new(BucketState {
+                tokens: config.burst as f64,
+                last_refill: now,
+            }),
+        }
+    }
+
+    fn refill(&self, st: &mut BucketState) {
+        let now = self.clock.now();
+        let elapsed = now.saturating_sub(st.last_refill);
+        st.last_refill = now;
+        st.tokens = (st.tokens + elapsed.as_secs_f64() * self.config.tokens_per_second)
+            .min(self.config.burst as f64);
+    }
+
+    /// Consumes a token if available; never blocks.
+    pub fn try_acquire(&self) -> bool {
+        let mut st = self.state.lock();
+        self.refill(&mut st);
+        if st.tokens >= 1.0 {
+            st.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns one token to the bucket (capped at the burst size). Used
+    /// when a consumer acquired a token but its operation was rolled
+    /// back.
+    pub fn deposit(&self) {
+        let mut st = self.state.lock();
+        self.refill(&mut st);
+        st.tokens = (st.tokens + 1.0).min(self.config.burst as f64);
+    }
+
+    /// Whole tokens currently available.
+    pub fn available(&self) -> u64 {
+        let mut st = self.state.lock();
+        self.refill(&mut st);
+        st.tokens as u64
+    }
+
+    /// Time until the next token becomes available, or zero if one is
+    /// available now.
+    pub fn time_to_next_token(&self) -> Duration {
+        let mut st = self.state.lock();
+        self.refill(&mut st);
+        if st.tokens >= 1.0 {
+            Duration::ZERO
+        } else {
+            let deficit = 1.0 - st.tokens;
+            Duration::from_secs_f64(deficit / self.config.tokens_per_second)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    fn limiter(burst: u64, rate: f64) -> (RateLimiter, ManualClock) {
+        let clock = ManualClock::new();
+        let rl = RateLimiter::new(
+            RateLimiterConfig {
+                burst,
+                tokens_per_second: rate,
+            },
+            Arc::new(clock.clone()),
+        );
+        (rl, clock)
+    }
+
+    #[test]
+    fn starts_full() {
+        let (rl, _c) = limiter(5, 1.0);
+        assert_eq!(rl.available(), 5);
+    }
+
+    #[test]
+    fn drains_and_refills() {
+        let (rl, c) = limiter(2, 2.0);
+        assert!(rl.try_acquire());
+        assert!(rl.try_acquire());
+        assert!(!rl.try_acquire());
+        c.advance(Duration::from_millis(500)); // one token at 2/s
+        assert!(rl.try_acquire());
+        assert!(!rl.try_acquire());
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let (rl, c) = limiter(3, 100.0);
+        c.advance(Duration::from_secs(60));
+        assert_eq!(rl.available(), 3);
+    }
+
+    #[test]
+    fn time_to_next_token_is_zero_when_available() {
+        let (rl, _c) = limiter(1, 1.0);
+        assert_eq!(rl.time_to_next_token(), Duration::ZERO);
+    }
+
+    #[test]
+    fn time_to_next_token_counts_down() {
+        let (rl, c) = limiter(1, 1.0);
+        assert!(rl.try_acquire());
+        let t0 = rl.time_to_next_token();
+        assert!(t0 > Duration::from_millis(900) && t0 <= Duration::from_secs(1));
+        c.advance(Duration::from_millis(600));
+        let t1 = rl.time_to_next_token();
+        assert!(t1 <= Duration::from_millis(400));
+    }
+
+    #[test]
+    fn per_second_constructor() {
+        let cfg = RateLimiterConfig::per_second(10);
+        assert_eq!(cfg.burst, 10);
+        assert_eq!(cfg.tokens_per_second, 10.0);
+        // Degenerate rate of zero still yields a usable burst of one.
+        assert_eq!(RateLimiterConfig::per_second(0).burst, 1);
+    }
+}

@@ -1,0 +1,222 @@
+//! Counting semaphore with RAII permits.
+
+use std::fmt;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// A counting semaphore.
+///
+/// Unlike a [`WaitQueue`](crate::WaitQueue), releases are never lost: a
+/// release with no waiters increments the permit count for a future
+/// acquirer.
+///
+/// ```
+/// use amf_concurrency::Semaphore;
+///
+/// let s = Semaphore::new(1);
+/// {
+///     let _permit = s.acquire();
+///     assert_eq!(s.available(), 0);
+/// } // permit returned on drop
+/// assert_eq!(s.available(), 1);
+/// ```
+pub struct Semaphore {
+    permits: Mutex<usize>,
+    cond: Condvar,
+}
+
+impl fmt::Debug for Semaphore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Semaphore")
+            .field("available", &self.available())
+            .finish()
+    }
+}
+
+/// RAII guard returned by [`Semaphore::acquire`]; returns the permit when
+/// dropped.
+#[derive(Debug)]
+pub struct SemaphorePermit<'a> {
+    sem: &'a Semaphore,
+    released: bool,
+}
+
+impl Drop for SemaphorePermit<'_> {
+    fn drop(&mut self) {
+        if !self.released {
+            self.sem.release();
+        }
+    }
+}
+
+impl SemaphorePermit<'_> {
+    /// Forgets the permit without returning it to the semaphore,
+    /// permanently lowering capacity. Useful for shutdown protocols.
+    pub fn forget(mut self) {
+        self.released = true;
+    }
+}
+
+impl Semaphore {
+    /// Creates a semaphore with `permits` initial permits.
+    pub fn new(permits: usize) -> Self {
+        Self {
+            permits: Mutex::new(permits),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Number of currently available permits.
+    pub fn available(&self) -> usize {
+        *self.permits.lock()
+    }
+
+    /// Blocks until a permit is available and takes it.
+    pub fn acquire(&self) -> SemaphorePermit<'_> {
+        let mut p = self.permits.lock();
+        while *p == 0 {
+            self.cond.wait(&mut p);
+        }
+        *p -= 1;
+        SemaphorePermit {
+            sem: self,
+            released: false,
+        }
+    }
+
+    /// Takes a permit if one is immediately available.
+    pub fn try_acquire(&self) -> Option<SemaphorePermit<'_>> {
+        let mut p = self.permits.lock();
+        if *p == 0 {
+            None
+        } else {
+            *p -= 1;
+            Some(SemaphorePermit {
+                sem: self,
+                released: false,
+            })
+        }
+    }
+
+    /// Blocks up to `timeout` for a permit.
+    pub fn acquire_timeout(&self, timeout: Duration) -> Option<SemaphorePermit<'_>> {
+        let mut p = self.permits.lock();
+        while *p == 0 {
+            if self.cond.wait_for(&mut p, timeout).timed_out() && *p == 0 {
+                return None;
+            }
+        }
+        *p -= 1;
+        Some(SemaphorePermit {
+            sem: self,
+            released: false,
+        })
+    }
+
+    /// Adds one permit, waking a waiter if any. Usually called via
+    /// [`SemaphorePermit`]'s `Drop`, but exposed for hand-off protocols.
+    pub fn release(&self) {
+        let mut p = self.permits.lock();
+        *p += 1;
+        drop(p);
+        self.cond.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn acquire_decrements_release_increments() {
+        let s = Semaphore::new(2);
+        let a = s.acquire();
+        assert_eq!(s.available(), 1);
+        let b = s.acquire();
+        assert_eq!(s.available(), 0);
+        drop(a);
+        assert_eq!(s.available(), 1);
+        drop(b);
+        assert_eq!(s.available(), 2);
+    }
+
+    #[test]
+    fn try_acquire_fails_at_zero() {
+        let s = Semaphore::new(1);
+        let p = s.try_acquire();
+        assert!(p.is_some());
+        assert!(s.try_acquire().is_none());
+        drop(p);
+        assert!(s.try_acquire().is_some());
+    }
+
+    #[test]
+    fn acquire_timeout_times_out() {
+        let s = Semaphore::new(0);
+        assert!(s.acquire_timeout(Duration::from_millis(10)).is_none());
+    }
+
+    #[test]
+    fn acquire_timeout_succeeds_after_release() {
+        let s = Arc::new(Semaphore::new(0));
+        let releaser = Arc::clone(&s);
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(10));
+            releaser.release();
+        });
+        assert!(s.acquire_timeout(Duration::from_secs(5)).is_some());
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn release_without_waiters_is_remembered() {
+        let s = Semaphore::new(0);
+        s.release();
+        assert!(s.try_acquire().is_some());
+    }
+
+    #[test]
+    fn forget_permanently_lowers_capacity() {
+        let s = Semaphore::new(1);
+        s.acquire().forget();
+        assert_eq!(s.available(), 0);
+        assert!(s.try_acquire().is_none());
+    }
+
+    #[test]
+    fn bounds_concurrent_critical_section() {
+        let s = Arc::new(Semaphore::new(3));
+        let inside = Arc::new(Mutex::new(0_i32));
+        let max_seen = Arc::new(Mutex::new(0_i32));
+        let mut handles = Vec::new();
+        for _ in 0..16 {
+            let s = Arc::clone(&s);
+            let inside = Arc::clone(&inside);
+            let max_seen = Arc::clone(&max_seen);
+            handles.push(thread::spawn(move || {
+                for _ in 0..50 {
+                    let _p = s.acquire();
+                    let now = {
+                        let mut i = inside.lock();
+                        *i += 1;
+                        *i
+                    };
+                    {
+                        let mut m = max_seen.lock();
+                        *m = (*m).max(now);
+                    }
+                    thread::yield_now();
+                    *inside.lock() -= 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(*max_seen.lock() <= 3);
+        assert_eq!(s.available(), 3);
+    }
+}

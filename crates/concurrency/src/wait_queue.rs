@@ -1,0 +1,267 @@
+//! FIFO wait queue with condition-queue semantics.
+//!
+//! The paper keeps one waiting queue per participating method
+//! (`PutWaitingQueue`, `AssignWaitingQueue`, ...) and `notify()`s it from
+//! the post-activation phase. Java's `notify()` wakes an *arbitrary*
+//! waiter; [`WaitQueue`] strengthens that to first-in-first-out so that
+//! fairness experiments (E5/E6) are deterministic.
+//!
+//! Like a Java condition queue — and unlike a semaphore — a notification
+//! with no waiters is lost.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Outcome of a timed wait on a [`WaitQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WaitStatus {
+    /// The waiter was notified.
+    Notified,
+    /// The timeout elapsed before a notification arrived.
+    TimedOut,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    next_ticket: u64,
+    /// Tickets currently parked, oldest first.
+    waiting: VecDeque<u64>,
+    /// Tickets that have been granted a wakeup but have not yet resumed.
+    granted: Vec<u64>,
+}
+
+/// A first-in-first-out condition queue.
+///
+/// ```
+/// use std::sync::Arc;
+/// use std::thread;
+/// use amf_concurrency::WaitQueue;
+///
+/// let q = Arc::new(WaitQueue::new());
+/// let waiter = Arc::clone(&q);
+/// let t = thread::spawn(move || waiter.wait());
+/// while q.len() == 0 {
+///     thread::yield_now();
+/// }
+/// q.notify_one();
+/// t.join().unwrap();
+/// ```
+#[derive(Default)]
+pub struct WaitQueue {
+    state: Mutex<State>,
+    cond: Condvar,
+}
+
+impl fmt::Debug for WaitQueue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WaitQueue")
+            .field("waiting", &self.len())
+            .finish()
+    }
+}
+
+impl WaitQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of threads currently parked on the queue.
+    pub fn len(&self) -> usize {
+        self.state.lock().waiting.len()
+    }
+
+    /// Whether no thread is parked on the queue.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Parks the calling thread until it is notified.
+    ///
+    /// Waiters are woken in arrival order by [`WaitQueue::notify_one`].
+    pub fn wait(&self) {
+        let mut st = self.state.lock();
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.waiting.push_back(ticket);
+        loop {
+            if let Some(pos) = st.granted.iter().position(|&t| t == ticket) {
+                st.granted.swap_remove(pos);
+                return;
+            }
+            self.cond.wait(&mut st);
+        }
+    }
+
+    /// Parks the calling thread until notified or until `timeout` elapses.
+    pub fn wait_timeout(&self, timeout: Duration) -> WaitStatus {
+        let mut st = self.state.lock();
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.waiting.push_back(ticket);
+        loop {
+            if let Some(pos) = st.granted.iter().position(|&t| t == ticket) {
+                st.granted.swap_remove(pos);
+                return WaitStatus::Notified;
+            }
+            if self.cond.wait_for(&mut st, timeout).timed_out() {
+                // Re-check: a grant may have raced with the timeout.
+                if let Some(pos) = st.granted.iter().position(|&t| t == ticket) {
+                    st.granted.swap_remove(pos);
+                    return WaitStatus::Notified;
+                }
+                if let Some(pos) = st.waiting.iter().position(|&t| t == ticket) {
+                    st.waiting.remove(pos);
+                }
+                return WaitStatus::TimedOut;
+            }
+        }
+    }
+
+    /// Wakes the longest-waiting thread, if any. A notification with no
+    /// waiters is lost (condition-queue semantics).
+    pub fn notify_one(&self) {
+        let mut st = self.state.lock();
+        if let Some(ticket) = st.waiting.pop_front() {
+            st.granted.push(ticket);
+            drop(st);
+            self.cond.notify_all();
+        }
+    }
+
+    /// Wakes every parked thread.
+    pub fn notify_all(&self) {
+        let mut st = self.state.lock();
+        let drained: Vec<u64> = st.waiting.drain(..).collect();
+        st.granted.extend(drained);
+        drop(st);
+        self.cond.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::thread;
+
+    fn spin_until_len(q: &WaitQueue, n: usize) {
+        while q.len() < n {
+            thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn starts_empty() {
+        let q = WaitQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn notify_without_waiters_is_lost() {
+        let q = WaitQueue::new();
+        q.notify_one();
+        // A subsequent wait must NOT consume the earlier notification.
+        assert_eq!(
+            q.wait_timeout(Duration::from_millis(20)),
+            WaitStatus::TimedOut
+        );
+    }
+
+    #[test]
+    fn notify_one_wakes_exactly_one() {
+        let q = Arc::new(WaitQueue::new());
+        let woken = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let q = Arc::clone(&q);
+            let woken = Arc::clone(&woken);
+            handles.push(thread::spawn(move || {
+                q.wait();
+                woken.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        spin_until_len(&q, 3);
+        q.notify_one();
+        while woken.load(Ordering::SeqCst) < 1 {
+            thread::yield_now();
+        }
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(woken.load(Ordering::SeqCst), 1);
+        q.notify_all();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(woken.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn wakeups_are_fifo() {
+        let q = Arc::new(WaitQueue::new());
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let qi = Arc::clone(&q);
+            let order = Arc::clone(&order);
+            handles.push(thread::spawn(move || {
+                // Serialize arrival: thread i waits until i threads are parked.
+                spin_until_len(&qi, i);
+                qi.wait();
+                order.lock().push(i);
+            }));
+            spin_until_len(&q, i + 1);
+        }
+        for _ in 0..4 {
+            let before = order.lock().len();
+            q.notify_one();
+            while order.lock().len() == before {
+                thread::yield_now();
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*order.lock(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn timed_wait_returns_notified_when_signaled() {
+        let q = Arc::new(WaitQueue::new());
+        let waiter = Arc::clone(&q);
+        let t = thread::spawn(move || waiter.wait_timeout(Duration::from_secs(10)));
+        spin_until_len(&q, 1);
+        q.notify_one();
+        assert_eq!(t.join().unwrap(), WaitStatus::Notified);
+    }
+
+    #[test]
+    fn timed_wait_times_out() {
+        let q = WaitQueue::new();
+        assert_eq!(
+            q.wait_timeout(Duration::from_millis(10)),
+            WaitStatus::TimedOut
+        );
+        assert!(q.is_empty(), "timed-out waiter must deregister itself");
+    }
+
+    #[test]
+    fn notify_all_wakes_everyone() {
+        let q = Arc::new(WaitQueue::new());
+        let mut handles = Vec::new();
+        for _ in 0..5 {
+            let q = Arc::clone(&q);
+            handles.push(thread::spawn(move || q.wait()));
+        }
+        spin_until_len(&q, 5);
+        q.notify_all();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,321 @@
+//! Declarative composition blueprints.
+//!
+//! The paper's initialization code (Figure 5) wires a composition one
+//! `registerAspect(create(...))` call at a time, failing midway if a
+//! factory cannot build a cell. A [`Blueprint`] makes the whole
+//! two-dimensional composition — every (method, concern) cell plus the
+//! wake graph — a first-class *description* that is validated
+//! atomically: either every cell can be built and the moderator is
+//! populated, or nothing is registered and *all* problems are reported
+//! at once.
+
+use std::fmt;
+
+use crate::concern::{Concern, MethodId};
+use crate::error::RegistrationError;
+use crate::factory::AspectFactory;
+use crate::moderator::{AspectModerator, MethodHandle};
+
+/// A declarative description of a composition: methods × concerns plus
+/// wake wiring, applied to a moderator in one validated step.
+///
+/// ```
+/// use amf_core::{AspectModerator, Blueprint, Concern, MethodId, NoopAspect,
+///                RegistryFactory};
+///
+/// let mut factory = RegistryFactory::new();
+/// factory.provide_for_concern(Concern::synchronization(), || Box::new(NoopAspect));
+/// factory.provide_for_concern(Concern::audit(), || Box::new(NoopAspect));
+///
+/// let blueprint = Blueprint::new()
+///     .method("open", [Concern::synchronization(), Concern::audit()])
+///     .method("assign", [Concern::synchronization()])
+///     .wake("open", ["assign"])
+///     .wake("assign", ["open"]);
+///
+/// let moderator = AspectModerator::shared();
+/// let handles = blueprint.apply(&moderator, &factory).unwrap();
+/// assert_eq!(handles.len(), 2);
+/// assert_eq!(moderator.concerns(&handles["open"]).len(), 2);
+/// ```
+#[derive(Default)]
+pub struct Blueprint {
+    methods: Vec<(MethodId, Vec<Concern>)>,
+    wakes: Vec<(MethodId, Vec<MethodId>)>,
+}
+
+impl fmt::Debug for Blueprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut map = f.debug_map();
+        for (m, cs) in &self.methods {
+            let names: Vec<&str> = cs.iter().map(Concern::as_str).collect();
+            map.entry(&m.as_str(), &names);
+        }
+        map.finish()
+    }
+}
+
+/// Handles produced by [`Blueprint::apply`], indexed by method name.
+#[derive(Debug, Clone, Default)]
+pub struct BlueprintHandles {
+    handles: Vec<(MethodId, MethodHandle)>,
+}
+
+impl BlueprintHandles {
+    /// Number of declared methods.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Whether the blueprint declared no methods.
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// The handle for `name`, if the blueprint declared it.
+    pub fn get(&self, name: &str) -> Option<&MethodHandle> {
+        self.handles
+            .iter()
+            .find(|(m, _)| m.as_str() == name)
+            .map(|(_, h)| h)
+    }
+}
+
+impl std::ops::Index<&str> for BlueprintHandles {
+    type Output = MethodHandle;
+
+    fn index(&self, name: &str) -> &MethodHandle {
+        self.get(name)
+            .unwrap_or_else(|| panic!("blueprint declared no method `{name}`"))
+    }
+}
+
+impl Blueprint {
+    /// An empty blueprint.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a method with the concerns to compose on it, in
+    /// registration order (the last listed is outermost under nested
+    /// ordering).
+    #[must_use]
+    pub fn method(
+        mut self,
+        name: &str,
+        concerns: impl IntoIterator<Item = Concern>,
+    ) -> Self {
+        self.methods
+            .push((MethodId::new(name), concerns.into_iter().collect()));
+        self
+    }
+
+    /// Wires `method`'s completion notifications to exactly `targets`.
+    #[must_use]
+    pub fn wake<'a>(
+        mut self,
+        method: &str,
+        targets: impl IntoIterator<Item = &'a str>,
+    ) -> Self {
+        self.wakes.push((
+            MethodId::new(method),
+            targets.into_iter().map(MethodId::new).collect(),
+        ));
+        self
+    }
+
+    /// Validates the blueprint against `factory` *without* touching any
+    /// moderator: returns every problem found (unbuildable cells,
+    /// duplicate cells, wake targets that are not declared methods).
+    pub fn validate(&self, factory: &dyn AspectFactory) -> Vec<RegistrationError> {
+        let mut problems = Vec::new();
+        let mut seen_cells = std::collections::HashSet::new();
+        for (method, concerns) in &self.methods {
+            for concern in concerns {
+                if !seen_cells.insert((method.clone(), concern.clone())) {
+                    problems.push(RegistrationError::DuplicateConcern {
+                        method: method.clone(),
+                        concern: concern.clone(),
+                    });
+                    continue;
+                }
+                if factory.create(method, concern).is_none() {
+                    problems.push(RegistrationError::FactoryRefused {
+                        method: method.clone(),
+                        concern: concern.clone(),
+                    });
+                }
+            }
+        }
+        let declared: std::collections::HashSet<&MethodId> =
+            self.methods.iter().map(|(m, _)| m).collect();
+        for (method, targets) in &self.wakes {
+            for t in std::iter::once(method).chain(targets.iter()) {
+                if !declared.contains(t) {
+                    problems.push(RegistrationError::UnknownMethod { method: t.clone() });
+                }
+            }
+        }
+        problems
+    }
+
+    /// Validates, then populates `moderator`: declares every method,
+    /// creates and registers every cell from `factory`, and wires the
+    /// wake graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns all validation problems; the moderator is untouched if
+    /// any are found. Registration itself can still fail (e.g. the
+    /// moderator already held one of the cells), in which case the
+    /// first error is returned (cells registered so far remain).
+    pub fn apply(
+        &self,
+        moderator: &AspectModerator,
+        factory: &dyn AspectFactory,
+    ) -> Result<BlueprintHandles, Vec<RegistrationError>> {
+        let problems = self.validate(factory);
+        if !problems.is_empty() {
+            return Err(problems);
+        }
+        let mut handles = BlueprintHandles::default();
+        for (method, concerns) in &self.methods {
+            let handle = moderator.declare_method(method.clone());
+            for concern in concerns {
+                moderator
+                    .register_from(factory, &handle, concern.clone())
+                    .map_err(|e| vec![e])?;
+            }
+            handles.handles.push((method.clone(), handle));
+        }
+        for (method, targets) in &self.wakes {
+            let handle = handles
+                .get(method.as_str())
+                .expect("validated: method declared")
+                .clone();
+            let target_handles: Vec<MethodHandle> = targets
+                .iter()
+                .map(|t| {
+                    handles
+                        .get(t.as_str())
+                        .expect("validated: target declared")
+                        .clone()
+                })
+                .collect();
+            moderator.wire_wakes(&handle, &target_handles);
+        }
+        Ok(handles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aspect::NoopAspect;
+    use crate::factory::RegistryFactory;
+
+    fn factory_with(concerns: &[Concern]) -> RegistryFactory {
+        let mut f = RegistryFactory::new();
+        for c in concerns {
+            f.provide_for_concern(c.clone(), || Box::new(NoopAspect));
+        }
+        f
+    }
+
+    #[test]
+    fn apply_populates_everything() {
+        let factory = factory_with(&[Concern::synchronization(), Concern::audit()]);
+        let blueprint = Blueprint::new()
+            .method("open", [Concern::synchronization(), Concern::audit()])
+            .method("assign", [Concern::synchronization()])
+            .wake("open", ["assign"])
+            .wake("assign", ["open"]);
+        let moderator = AspectModerator::shared();
+        let handles = blueprint.apply(&moderator, &factory).unwrap();
+        assert_eq!(handles.len(), 2);
+        assert!(!handles.is_empty());
+        assert_eq!(
+            moderator.concerns(&handles["open"]),
+            vec![Concern::synchronization(), Concern::audit()]
+        );
+        assert_eq!(moderator.concerns(&handles["assign"]).len(), 1);
+    }
+
+    #[test]
+    fn validate_reports_all_problems_at_once() {
+        let factory = factory_with(&[Concern::synchronization()]);
+        let blueprint = Blueprint::new()
+            .method("open", [Concern::synchronization(), Concern::audit()])
+            .method("open", [Concern::synchronization()]) // duplicate cell
+            .wake("open", ["ghost"]); // undeclared wake target
+        let problems = blueprint.validate(&factory);
+        assert_eq!(problems.len(), 3, "{problems:?}");
+        assert!(problems
+            .iter()
+            .any(|p| matches!(p, RegistrationError::FactoryRefused { .. })));
+        assert!(problems
+            .iter()
+            .any(|p| matches!(p, RegistrationError::DuplicateConcern { .. })));
+        assert!(problems
+            .iter()
+            .any(|p| matches!(p, RegistrationError::UnknownMethod { .. })));
+    }
+
+    #[test]
+    fn failed_validation_leaves_moderator_untouched() {
+        let factory = factory_with(&[]);
+        let blueprint = Blueprint::new().method("open", [Concern::synchronization()]);
+        let moderator = AspectModerator::shared();
+        assert!(blueprint.apply(&moderator, &factory).is_err());
+        assert!(moderator.methods().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "no method `nope`")]
+    fn handle_index_panics_on_unknown() {
+        let factory = factory_with(&[Concern::audit()]);
+        let handles = Blueprint::new()
+            .method("open", [Concern::audit()])
+            .apply(&AspectModerator::shared(), &factory)
+            .unwrap();
+        let _ = &handles["nope"];
+    }
+
+    #[test]
+    fn wake_wiring_is_applied() {
+        use crate::context::InvocationContext;
+        use crate::trace::{EventKind, MemoryTrace};
+        let factory = factory_with(&[Concern::synchronization()]);
+        let trace = MemoryTrace::shared();
+        let moderator = AspectModerator::builder().trace(trace.clone()).build();
+        let handles = Blueprint::new()
+            .method("open", [Concern::synchronization()])
+            .method("assign", [Concern::synchronization()])
+            .wake("open", ["assign"])
+            .apply(&moderator, &factory)
+            .unwrap();
+        let open = &handles["open"];
+        let mut ctx = InvocationContext::new(open.id().clone(), moderator.next_invocation());
+        moderator.preactivation(open, &mut ctx).unwrap();
+        moderator.postactivation(open, &mut ctx);
+        let notified: Vec<_> = trace
+            .events()
+            .into_iter()
+            .filter_map(|e| match e.kind {
+                EventKind::NotificationSent(t) => Some(t.as_str().to_string()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(notified, vec!["assign".to_string()]);
+    }
+
+    #[test]
+    fn empty_blueprint_is_fine() {
+        let factory = factory_with(&[]);
+        let handles = Blueprint::new()
+            .apply(&AspectModerator::shared(), &factory)
+            .unwrap();
+        assert!(handles.is_empty());
+        assert!(handles.get("anything").is_none());
+    }
+}

@@ -1,0 +1,230 @@
+//! Identifiers for the two dimensions of the aspect bank.
+//!
+//! The paper composes a system along two axes: *participating methods*
+//! (`open`, `assign`, ...) and *concerns* (`SYNC`, `AUTHENTICATE`, ...).
+//! [`MethodId`] and [`Concern`] are cheap-to-clone, hashable newtypes over
+//! interned strings so misuse (passing a concern where a method is
+//! expected) is a compile error rather than the stringly-typed lookups of
+//! the paper's Java code.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Name of a participating method on a functional component.
+///
+/// ```
+/// use amf_core::MethodId;
+///
+/// let open = MethodId::new("open");
+/// assert_eq!(open.as_str(), "open");
+/// assert_eq!(open, MethodId::from("open"));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MethodId(Arc<str>);
+
+impl MethodId {
+    /// Creates a method identifier from any string-like value.
+    pub fn new(name: impl Into<Arc<str>>) -> Self {
+        Self(name.into())
+    }
+
+    /// The identifier as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for MethodId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MethodId({})", self.0)
+    }
+}
+
+impl fmt::Display for MethodId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for MethodId {
+    fn from(s: &str) -> Self {
+        Self::new(s)
+    }
+}
+
+impl From<String> for MethodId {
+    fn from(s: String) -> Self {
+        Self::new(s)
+    }
+}
+
+impl AsRef<str> for MethodId {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+/// Name of a crosscutting concern (the second dimension of the aspect
+/// bank).
+///
+/// The paper's examples use `SYNC` and `AUTHENTICATE`; constructors for
+/// the concern vocabulary it enumerates (synchronization, scheduling,
+/// security, audits, ...) are provided, and arbitrary concerns can be
+/// created with [`Concern::new`].
+///
+/// ```
+/// use amf_core::Concern;
+///
+/// let sync = Concern::synchronization();
+/// assert_eq!(sync.as_str(), "sync");
+/// let custom = Concern::new("load-balancing");
+/// assert_ne!(sync, custom);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Concern(Arc<str>);
+
+impl Concern {
+    /// Creates a concern from any string-like value.
+    pub fn new(name: impl Into<Arc<str>>) -> Self {
+        Self(name.into())
+    }
+
+    /// The concern name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Synchronization constraints (the paper's `SYNC`).
+    pub fn synchronization() -> Self {
+        Self::new("sync")
+    }
+
+    /// Authentication (the paper's `AUTHENTICATE`).
+    pub fn authentication() -> Self {
+        Self::new("authenticate")
+    }
+
+    /// Role-based authorization.
+    pub fn authorization() -> Self {
+        Self::new("authorize")
+    }
+
+    /// Request scheduling / ordering.
+    pub fn scheduling() -> Self {
+        Self::new("scheduling")
+    }
+
+    /// Audit trails ("audits" in the paper's concern list).
+    pub fn audit() -> Self {
+        Self::new("audit")
+    }
+
+    /// Performance metrics collection.
+    pub fn metrics() -> Self {
+        Self::new("metrics")
+    }
+
+    /// Per-principal quotas.
+    pub fn quota() -> Self {
+        Self::new("quota")
+    }
+
+    /// Fault tolerance (circuit breaking, failure isolation).
+    pub fn fault_tolerance() -> Self {
+        Self::new("fault-tolerance")
+    }
+
+    /// Throughput throttling / rate limiting.
+    pub fn throttling() -> Self {
+        Self::new("throttling")
+    }
+}
+
+impl fmt::Debug for Concern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Concern({})", self.0)
+    }
+}
+
+impl fmt::Display for Concern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Concern {
+    fn from(s: &str) -> Self {
+        Self::new(s)
+    }
+}
+
+impl From<String> for Concern {
+    fn from(s: String) -> Self {
+        Self::new(s)
+    }
+}
+
+impl AsRef<str> for Concern {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn method_id_equality_is_by_name() {
+        assert_eq!(MethodId::new("open"), MethodId::from(String::from("open")));
+        assert_ne!(MethodId::new("open"), MethodId::new("assign"));
+    }
+
+    #[test]
+    fn method_id_display_and_debug() {
+        let m = MethodId::new("open");
+        assert_eq!(m.to_string(), "open");
+        assert_eq!(format!("{m:?}"), "MethodId(open)");
+    }
+
+    #[test]
+    fn concern_vocabulary_is_distinct() {
+        let all = [
+            Concern::synchronization(),
+            Concern::authentication(),
+            Concern::authorization(),
+            Concern::scheduling(),
+            Concern::audit(),
+            Concern::metrics(),
+            Concern::quota(),
+            Concern::fault_tolerance(),
+            Concern::throttling(),
+        ];
+        let set: HashSet<_> = all.iter().cloned().collect();
+        assert_eq!(set.len(), all.len());
+    }
+
+    #[test]
+    fn concerns_hash_and_order() {
+        let mut v = [Concern::new("b"), Concern::new("a")];
+        v.sort();
+        assert_eq!(v[0].as_str(), "a");
+    }
+
+    #[test]
+    fn as_ref_str() {
+        fn takes_str(s: impl AsRef<str>) -> usize {
+            s.as_ref().len()
+        }
+        assert_eq!(takes_str(MethodId::new("open")), 4);
+        assert_eq!(takes_str(Concern::synchronization()), 4);
+    }
+
+    #[test]
+    fn clone_is_cheap_pointer_copy() {
+        let c = Concern::new("x");
+        let d = c.clone();
+        assert!(Arc::ptr_eq(&c.0, &d.0));
+    }
+}

@@ -1,0 +1,276 @@
+//! Per-invocation context passed to every aspect.
+//!
+//! The paper's aspects receive only the method name; real concerns need
+//! more: *who* is calling (authentication), *what* the outcome was (fault
+//! tolerance), and a scratch area where one phase leaves data for another
+//! (a metrics aspect stores the start time in `precondition` and reads it
+//! back in `postaction`). [`InvocationContext`] carries all three.
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::concern::MethodId;
+
+/// The identity on whose behalf an invocation runs.
+///
+/// ```
+/// use amf_core::Principal;
+///
+/// let alice = Principal::new("alice");
+/// assert_eq!(alice.name(), "alice");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Principal(Arc<str>);
+
+impl Principal {
+    /// Creates a principal with the given name.
+    pub fn new(name: impl Into<Arc<str>>) -> Self {
+        Self(name.into())
+    }
+
+    /// The principal's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Principal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Principal({})", self.0)
+    }
+}
+
+impl fmt::Display for Principal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Principal {
+    fn from(s: &str) -> Self {
+        Self::new(s)
+    }
+}
+
+/// Outcome of the functional method, visible to post-activation aspects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Outcome {
+    /// The method has not run (pre-activation phase) or ran successfully.
+    #[default]
+    Success,
+    /// The method ran and reported a domain failure.
+    Failure,
+}
+
+/// Mutable, typed scratch state threaded through one guarded invocation.
+///
+/// Aspects communicate across phases by storing typed attributes:
+///
+/// ```
+/// use amf_core::{InvocationContext, MethodId};
+///
+/// #[derive(Debug, PartialEq)]
+/// struct StartedAt(u64);
+///
+/// let mut ctx = InvocationContext::new(MethodId::new("open"), 1);
+/// ctx.insert(StartedAt(42));
+/// assert_eq!(ctx.get::<StartedAt>(), Some(&StartedAt(42)));
+/// ```
+pub struct InvocationContext {
+    method: MethodId,
+    invocation: u64,
+    principal: Option<Principal>,
+    outcome: Outcome,
+    attrs: HashMap<TypeId, Box<dyn Any + Send>>,
+}
+
+impl fmt::Debug for InvocationContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InvocationContext")
+            .field("method", &self.method)
+            .field("invocation", &self.invocation)
+            .field("principal", &self.principal)
+            .field("outcome", &self.outcome)
+            .field("attrs", &self.attrs.len())
+            .finish()
+    }
+}
+
+impl InvocationContext {
+    /// Creates a context for invocation number `invocation` of `method`.
+    ///
+    /// Usually done by the [`Moderated`](crate::Moderated) proxy, which
+    /// assigns the invocation number; constructing one directly is useful
+    /// for driving the moderator by hand or for testing aspects.
+    pub fn new(method: MethodId, invocation: u64) -> Self {
+        Self {
+            method,
+            invocation,
+            principal: None,
+            outcome: Outcome::default(),
+            attrs: HashMap::new(),
+        }
+    }
+
+    /// Attaches a principal (builder style).
+    #[must_use]
+    pub fn with_principal(mut self, principal: Principal) -> Self {
+        self.principal = Some(principal);
+        self
+    }
+
+    /// The participating method being invoked.
+    pub fn method(&self) -> &MethodId {
+        &self.method
+    }
+
+    /// Monotonic invocation number assigned by the moderator/proxy.
+    pub fn invocation(&self) -> u64 {
+        self.invocation
+    }
+
+    /// The caller's identity, if one was attached.
+    pub fn principal(&self) -> Option<&Principal> {
+        self.principal.as_ref()
+    }
+
+    /// Sets the caller's identity.
+    pub fn set_principal(&mut self, principal: Principal) {
+        self.principal = Some(principal);
+    }
+
+    /// Outcome of the functional method (meaningful during
+    /// post-activation).
+    pub fn outcome(&self) -> Outcome {
+        self.outcome
+    }
+
+    /// Records the functional method's outcome; called by the proxy for
+    /// fallible invocations.
+    pub fn set_outcome(&mut self, outcome: Outcome) {
+        self.outcome = outcome;
+    }
+
+    /// Stores a typed attribute, returning the previous value of the same
+    /// type if any.
+    pub fn insert<T: Any + Send>(&mut self, value: T) -> Option<T> {
+        self.attrs
+            .insert(TypeId::of::<T>(), Box::new(value))
+            .map(|old| *old.downcast::<T>().expect("attr map type invariant"))
+    }
+
+    /// Reads a typed attribute.
+    pub fn get<T: Any + Send>(&self) -> Option<&T> {
+        self.attrs
+            .get(&TypeId::of::<T>())
+            .and_then(|b| b.downcast_ref::<T>())
+    }
+
+    /// Mutably reads a typed attribute.
+    pub fn get_mut<T: Any + Send>(&mut self) -> Option<&mut T> {
+        self.attrs
+            .get_mut(&TypeId::of::<T>())
+            .and_then(|b| b.downcast_mut::<T>())
+    }
+
+    /// Removes and returns a typed attribute.
+    pub fn remove<T: Any + Send>(&mut self) -> Option<T> {
+        self.attrs
+            .remove(&TypeId::of::<T>())
+            .map(|b| *b.downcast::<T>().expect("attr map type invariant"))
+    }
+
+    /// Whether an attribute of type `T` is present.
+    pub fn contains<T: Any + Send>(&self) -> bool {
+        self.attrs.contains_key(&TypeId::of::<T>())
+    }
+
+    /// Number of stored attributes.
+    pub fn attr_len(&self) -> usize {
+        self.attrs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Token(u64);
+    #[derive(Debug, PartialEq)]
+    struct Note(&'static str);
+
+    fn ctx() -> InvocationContext {
+        InvocationContext::new(MethodId::new("open"), 7)
+    }
+
+    #[test]
+    fn carries_method_and_invocation() {
+        let c = ctx();
+        assert_eq!(c.method().as_str(), "open");
+        assert_eq!(c.invocation(), 7);
+    }
+
+    #[test]
+    fn principal_roundtrip() {
+        let mut c = ctx();
+        assert!(c.principal().is_none());
+        c.set_principal(Principal::new("alice"));
+        assert_eq!(c.principal().unwrap().name(), "alice");
+        let c2 = ctx().with_principal("bob".into());
+        assert_eq!(c2.principal().unwrap().name(), "bob");
+    }
+
+    #[test]
+    fn outcome_defaults_to_success() {
+        let mut c = ctx();
+        assert_eq!(c.outcome(), Outcome::Success);
+        c.set_outcome(Outcome::Failure);
+        assert_eq!(c.outcome(), Outcome::Failure);
+    }
+
+    #[test]
+    fn typed_attrs_are_isolated_by_type() {
+        let mut c = ctx();
+        c.insert(Token(1));
+        c.insert(Note("hello"));
+        assert_eq!(c.get::<Token>(), Some(&Token(1)));
+        assert_eq!(c.get::<Note>(), Some(&Note("hello")));
+        assert_eq!(c.attr_len(), 2);
+    }
+
+    #[test]
+    fn insert_returns_previous_value() {
+        let mut c = ctx();
+        assert_eq!(c.insert(Token(1)), None);
+        assert_eq!(c.insert(Token(2)), Some(Token(1)));
+        assert_eq!(c.get::<Token>(), Some(&Token(2)));
+    }
+
+    #[test]
+    fn get_mut_and_remove() {
+        let mut c = ctx();
+        c.insert(Token(5));
+        c.get_mut::<Token>().unwrap().0 += 1;
+        assert!(c.contains::<Token>());
+        assert_eq!(c.remove::<Token>(), Some(Token(6)));
+        assert!(!c.contains::<Token>());
+        assert_eq!(c.remove::<Token>(), None);
+    }
+
+    #[test]
+    fn context_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<InvocationContext>();
+    }
+
+    #[test]
+    fn debug_shows_fields() {
+        let c = ctx();
+        let s = format!("{c:?}");
+        assert!(s.contains("open"));
+        assert!(s.contains("invocation: 7"));
+    }
+}

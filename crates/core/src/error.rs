@@ -1,0 +1,206 @@
+//! Error types for the framework's fallible operations.
+//!
+//! The paper's Java code signals failure by returning `null` from the
+//! factory, printing `"ABORT"`, or throwing unchecked exceptions; here
+//! every failure mode is a typed, `std::error::Error`-implementing value.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::concern::{Concern, MethodId};
+use crate::verdict::AbortReason;
+
+/// A guarded activation failed: some aspect vetoed it, or it timed out
+/// waiting to be resumed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbortError {
+    /// An aspect's precondition returned [`Verdict::Abort`](crate::Verdict::Abort).
+    Aspect {
+        /// The participating method whose activation failed.
+        method: MethodId,
+        /// The concern whose aspect aborted.
+        concern: Concern,
+        /// The aspect's stated reason.
+        reason: AbortReason,
+    },
+    /// The caller's wait for a `Resume` exceeded its timeout.
+    Timeout {
+        /// The participating method whose activation timed out.
+        method: MethodId,
+    },
+}
+
+impl AbortError {
+    /// The method whose activation failed.
+    pub fn method(&self) -> &MethodId {
+        match self {
+            AbortError::Aspect { method, .. } | AbortError::Timeout { method } => method,
+        }
+    }
+
+    /// The concern that aborted, if an aspect (rather than a timeout) was
+    /// responsible.
+    pub fn concern(&self) -> Option<&Concern> {
+        match self {
+            AbortError::Aspect { concern, .. } => Some(concern),
+            AbortError::Timeout { .. } => None,
+        }
+    }
+
+    /// Whether this abort came from a timeout.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, AbortError::Timeout { .. })
+    }
+}
+
+impl fmt::Display for AbortError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbortError::Aspect {
+                method,
+                concern,
+                reason,
+            } => write!(
+                f,
+                "activation of `{method}` aborted by concern `{concern}`: {reason}"
+            ),
+            AbortError::Timeout { method } => {
+                write!(f, "activation of `{method}` timed out waiting to resume")
+            }
+        }
+    }
+}
+
+impl Error for AbortError {}
+
+/// Registering or resolving an aspect failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistrationError {
+    /// The (method, concern) cell of the aspect bank is already occupied.
+    DuplicateConcern {
+        /// The occupied method.
+        method: MethodId,
+        /// The occupied concern.
+        concern: Concern,
+    },
+    /// The method was never declared on this moderator.
+    UnknownMethod {
+        /// The undeclared method.
+        method: MethodId,
+    },
+    /// No aspect is registered under (method, concern).
+    UnknownConcern {
+        /// The method looked up.
+        method: MethodId,
+        /// The missing concern.
+        concern: Concern,
+    },
+    /// The factory declined to create an aspect for (method, concern) —
+    /// the typed version of the paper's factory returning `null`.
+    FactoryRefused {
+        /// The requested method.
+        method: MethodId,
+        /// The requested concern.
+        concern: Concern,
+    },
+}
+
+impl fmt::Display for RegistrationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistrationError::DuplicateConcern { method, concern } => write!(
+                f,
+                "aspect bank cell (`{method}`, `{concern}`) is already occupied"
+            ),
+            RegistrationError::UnknownMethod { method } => {
+                write!(f, "method `{method}` was never declared on this moderator")
+            }
+            RegistrationError::UnknownConcern { method, concern } => {
+                write!(f, "no aspect registered under (`{method}`, `{concern}`)")
+            }
+            RegistrationError::FactoryRefused { method, concern } => write!(
+                f,
+                "factory declined to create an aspect for (`{method}`, `{concern}`)"
+            ),
+        }
+    }
+}
+
+impl Error for RegistrationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_error_accessors() {
+        let e = AbortError::Aspect {
+            method: MethodId::new("open"),
+            concern: Concern::authentication(),
+            reason: AbortReason::new("bad token"),
+        };
+        assert_eq!(e.method().as_str(), "open");
+        assert_eq!(e.concern().unwrap().as_str(), "authenticate");
+        assert!(!e.is_timeout());
+        assert_eq!(
+            e.to_string(),
+            "activation of `open` aborted by concern `authenticate`: bad token"
+        );
+    }
+
+    #[test]
+    fn timeout_error() {
+        let e = AbortError::Timeout {
+            method: MethodId::new("assign"),
+        };
+        assert!(e.is_timeout());
+        assert!(e.concern().is_none());
+        assert!(e.to_string().contains("timed out"));
+    }
+
+    #[test]
+    fn registration_error_messages() {
+        let m = MethodId::new("open");
+        let c = Concern::synchronization();
+        let cases: Vec<(RegistrationError, &str)> = vec![
+            (
+                RegistrationError::DuplicateConcern {
+                    method: m.clone(),
+                    concern: c.clone(),
+                },
+                "already occupied",
+            ),
+            (
+                RegistrationError::UnknownMethod { method: m.clone() },
+                "never declared",
+            ),
+            (
+                RegistrationError::UnknownConcern {
+                    method: m.clone(),
+                    concern: c.clone(),
+                },
+                "no aspect registered",
+            ),
+            (
+                RegistrationError::FactoryRefused {
+                    method: m,
+                    concern: c,
+                },
+                "factory declined",
+            ),
+        ];
+        for (err, needle) in cases {
+            assert!(
+                err.to_string().contains(needle),
+                "{err} should contain {needle}"
+            );
+        }
+    }
+
+    #[test]
+    fn errors_are_std_errors_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<AbortError>();
+        assert_err::<RegistrationError>();
+    }
+}

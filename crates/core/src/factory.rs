@@ -1,0 +1,307 @@
+//! Aspect creation via the Factory Method pattern (paper Figures 4–6, 15).
+//!
+//! The proxy never instantiates aspect classes directly; it asks an
+//! [`AspectFactory`] for "the aspect for (method, concern)". Adaptability
+//! (Section 5.3 of the paper) then reduces to supplying a richer factory:
+//! [`ChainedFactory`] is the Rust rendering of `ExtendedAspectFactory
+//! extends AspectFactory` — new factories are consulted first and fall
+//! back to the base.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::aspect::Aspect;
+use crate::concern::{Concern, MethodId};
+
+/// Creates aspect objects on request — the paper's `AspectFactoryIF`.
+///
+/// Returning `None` means this factory does not know how to build an
+/// aspect for the given cell (the typed version of the paper's `return
+/// null`).
+pub trait AspectFactory: Send + Sync {
+    /// Creates the aspect for the (method, concern) cell, if this factory
+    /// knows how.
+    fn create(&self, method: &MethodId, concern: &Concern) -> Option<Box<dyn Aspect>>;
+}
+
+type Constructor = Box<dyn Fn() -> Box<dyn Aspect> + Send + Sync>;
+
+/// Table-driven [`AspectFactory`]: constructors keyed by exact
+/// (method, concern) cell, with optional per-concern fallbacks applying
+/// to any method.
+///
+/// ```
+/// use amf_core::{AspectFactory, Concern, MethodId, NoopAspect, RegistryFactory};
+///
+/// let mut f = RegistryFactory::new();
+/// f.provide(MethodId::new("open"), Concern::synchronization(), || Box::new(NoopAspect));
+/// f.provide_for_concern(Concern::audit(), || Box::new(NoopAspect));
+///
+/// assert!(f.create(&MethodId::new("open"), &Concern::synchronization()).is_some());
+/// assert!(f.create(&MethodId::new("anything"), &Concern::audit()).is_some());
+/// assert!(f.create(&MethodId::new("open"), &Concern::quota()).is_none());
+/// ```
+#[derive(Default)]
+pub struct RegistryFactory {
+    exact: HashMap<(MethodId, Concern), Constructor>,
+    by_concern: HashMap<Concern, Constructor>,
+}
+
+impl fmt::Debug for RegistryFactory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RegistryFactory")
+            .field("exact_cells", &self.exact.len())
+            .field("concern_fallbacks", &self.by_concern.len())
+            .finish()
+    }
+}
+
+impl RegistryFactory {
+    /// Creates an empty factory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a constructor for an exact (method, concern) cell,
+    /// replacing any previous one.
+    pub fn provide(
+        &mut self,
+        method: MethodId,
+        concern: Concern,
+        ctor: impl Fn() -> Box<dyn Aspect> + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.exact.insert((method, concern), Box::new(ctor));
+        self
+    }
+
+    /// Registers a constructor used for `concern` on *any* method that
+    /// has no exact cell, replacing any previous fallback.
+    pub fn provide_for_concern(
+        &mut self,
+        concern: Concern,
+        ctor: impl Fn() -> Box<dyn Aspect> + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.by_concern.insert(concern, Box::new(ctor));
+        self
+    }
+
+    /// Number of exact cells plus concern fallbacks.
+    pub fn len(&self) -> usize {
+        self.exact.len() + self.by_concern.len()
+    }
+
+    /// Whether no constructors are registered.
+    pub fn is_empty(&self) -> bool {
+        self.exact.is_empty() && self.by_concern.is_empty()
+    }
+}
+
+impl AspectFactory for RegistryFactory {
+    fn create(&self, method: &MethodId, concern: &Concern) -> Option<Box<dyn Aspect>> {
+        if let Some(ctor) = self.exact.get(&(method.clone(), concern.clone())) {
+            return Some(ctor());
+        }
+        self.by_concern.get(concern).map(|ctor| ctor())
+    }
+}
+
+/// Ordered chain of factories; the first one that knows how to build the
+/// requested aspect wins.
+///
+/// This is the framework's adaptability mechanism: extend a running
+/// system by pushing a factory for the new concern in front of the
+/// existing ones (paper Figure 15).
+///
+/// ```
+/// use amf_core::{AspectFactory, ChainedFactory, Concern, MethodId, NoopAspect,
+///                RegistryFactory};
+///
+/// let mut base = RegistryFactory::new();
+/// base.provide_for_concern(Concern::synchronization(), || Box::new(NoopAspect));
+///
+/// let mut extended = RegistryFactory::new();
+/// extended.provide_for_concern(Concern::authentication(), || Box::new(NoopAspect));
+///
+/// let chain = ChainedFactory::new()
+///     .with(extended)   // consulted first
+///     .with(base);
+/// assert!(chain.create(&MethodId::new("open"), &Concern::authentication()).is_some());
+/// assert!(chain.create(&MethodId::new("open"), &Concern::synchronization()).is_some());
+/// ```
+#[derive(Default)]
+pub struct ChainedFactory {
+    links: Vec<Box<dyn AspectFactory>>,
+}
+
+impl fmt::Debug for ChainedFactory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChainedFactory")
+            .field("links", &self.links.len())
+            .finish()
+    }
+}
+
+impl ChainedFactory {
+    /// Creates an empty chain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a factory to the end of the chain (lowest priority so
+    /// far), builder style.
+    #[must_use]
+    pub fn with(mut self, factory: impl AspectFactory + 'static) -> Self {
+        self.links.push(Box::new(factory));
+        self
+    }
+
+    /// Inserts a factory at the *front* of the chain (highest priority) —
+    /// how a running system is extended with a new concern.
+    pub fn prepend(&mut self, factory: impl AspectFactory + 'static) {
+        self.links.insert(0, Box::new(factory));
+    }
+
+    /// Appends a factory at the back of the chain.
+    pub fn append(&mut self, factory: impl AspectFactory + 'static) {
+        self.links.push(Box::new(factory));
+    }
+
+    /// Number of factories in the chain.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether the chain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+}
+
+impl AspectFactory for ChainedFactory {
+    fn create(&self, method: &MethodId, concern: &Concern) -> Option<Box<dyn Aspect>> {
+        self.links.iter().find_map(|f| f.create(method, concern))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aspect::FnAspect;
+
+    fn named_factory(concern: Concern, name: &'static str) -> RegistryFactory {
+        let mut f = RegistryFactory::new();
+        f.provide_for_concern(concern, move || Box::new(FnAspect::new(name)));
+        f
+    }
+
+    #[test]
+    fn exact_cell_beats_concern_fallback() {
+        let mut f = RegistryFactory::new();
+        f.provide_for_concern(Concern::audit(), || Box::new(FnAspect::new("generic")));
+        f.provide(MethodId::new("open"), Concern::audit(), || {
+            Box::new(FnAspect::new("specific"))
+        });
+        let a = f.create(&MethodId::new("open"), &Concern::audit()).unwrap();
+        assert_eq!(a.describe(), "specific");
+        let b = f
+            .create(&MethodId::new("assign"), &Concern::audit())
+            .unwrap();
+        assert_eq!(b.describe(), "generic");
+    }
+
+    #[test]
+    fn unknown_cell_returns_none() {
+        let f = RegistryFactory::new();
+        assert!(f
+            .create(&MethodId::new("open"), &Concern::synchronization())
+            .is_none());
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn provide_replaces_previous_constructor() {
+        let mut f = RegistryFactory::new();
+        f.provide(MethodId::new("m"), Concern::audit(), || {
+            Box::new(FnAspect::new("v1"))
+        });
+        f.provide(MethodId::new("m"), Concern::audit(), || {
+            Box::new(FnAspect::new("v2"))
+        });
+        assert_eq!(f.len(), 1);
+        let a = f.create(&MethodId::new("m"), &Concern::audit()).unwrap();
+        assert_eq!(a.describe(), "v2");
+    }
+
+    #[test]
+    fn chain_tries_links_in_order() {
+        let chain = ChainedFactory::new()
+            .with(named_factory(Concern::audit(), "first"))
+            .with(named_factory(Concern::audit(), "second"));
+        let a = chain
+            .create(&MethodId::new("m"), &Concern::audit())
+            .unwrap();
+        assert_eq!(a.describe(), "first");
+    }
+
+    #[test]
+    fn chain_falls_through_to_later_links() {
+        let chain = ChainedFactory::new()
+            .with(named_factory(Concern::authentication(), "auth"))
+            .with(named_factory(Concern::synchronization(), "sync"));
+        assert_eq!(
+            chain
+                .create(&MethodId::new("m"), &Concern::synchronization())
+                .unwrap()
+                .describe(),
+            "sync"
+        );
+        assert!(chain.create(&MethodId::new("m"), &Concern::quota()).is_none());
+    }
+
+    #[test]
+    fn prepend_takes_priority() {
+        let mut chain = ChainedFactory::new().with(named_factory(Concern::audit(), "base"));
+        chain.prepend(named_factory(Concern::audit(), "extension"));
+        assert_eq!(chain.len(), 2);
+        assert_eq!(
+            chain
+                .create(&MethodId::new("m"), &Concern::audit())
+                .unwrap()
+                .describe(),
+            "extension"
+        );
+    }
+
+    #[test]
+    fn append_has_lowest_priority() {
+        let mut chain = ChainedFactory::new().with(named_factory(Concern::audit(), "base"));
+        chain.append(named_factory(Concern::audit(), "fallback"));
+        assert_eq!(
+            chain
+                .create(&MethodId::new("m"), &Concern::audit())
+                .unwrap()
+                .describe(),
+            "base"
+        );
+    }
+
+    #[test]
+    fn factories_are_object_safe_send_sync() {
+        fn assert_ok<T: Send + Sync>() {}
+        assert_ok::<Box<dyn AspectFactory>>();
+        assert_ok::<RegistryFactory>();
+        assert_ok::<ChainedFactory>();
+    }
+
+    #[test]
+    fn each_create_returns_fresh_instance() {
+        let f = named_factory(Concern::audit(), "a");
+        let x = f.create(&MethodId::new("m"), &Concern::audit()).unwrap();
+        let y = f.create(&MethodId::new("m"), &Concern::audit()).unwrap();
+        // Boxes are distinct allocations.
+        assert_ne!(
+            &*x as *const dyn Aspect as *const u8,
+            &*y as *const dyn Aspect as *const u8
+        );
+    }
+}

@@ -1,0 +1,1396 @@
+//! The aspect moderator: the coordination engine of the framework.
+//!
+//! The moderator owns the [`AspectBank`] and drives the paper's protocol
+//! (Figure 11): *pre-activation* evaluates the preconditions of every
+//! aspect registered for a participating method — blocking the caller on
+//! the method's wait queue while any returns `BLOCKED`, failing the
+//! activation if any returns `ABORT` — and *post-activation* runs every
+//! aspect's postaction and notifies the wait queues of dependent methods.
+//!
+//! All aspect code runs under the moderator's single lock, mirroring the
+//! paper's `synchronized` moderator: aspects never need internal
+//! synchronization, and the bank is a consistent monitor.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::aspect::{Aspect, ReleaseCause};
+use crate::bank::{AspectBank, MethodIndex};
+use crate::concern::{Concern, MethodId};
+use crate::context::InvocationContext;
+use crate::error::{AbortError, RegistrationError};
+use crate::factory::AspectFactory;
+use crate::trace::{EventKind, TraceEvent, TraceSink};
+use crate::verdict::Verdict;
+
+/// In what order a method's aspects compose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OrderingPolicy {
+    /// Later-registered aspects *wrap* earlier ones: preconditions run
+    /// newest-first, postactions oldest-first. This matches the paper's
+    /// adaptability example (Figure 14): authentication, registered by the
+    /// extended proxy *after* synchronization, runs its precondition
+    /// first and its postaction last.
+    #[default]
+    Nested,
+    /// Aspects run in registration order on both phases' entry side:
+    /// preconditions oldest-first, postactions newest-first.
+    Declaration,
+}
+
+/// Which wait queues a method's post-activation notifies.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+enum WakeTargets {
+    /// Notify every declared method's queue (safe default).
+    #[default]
+    All,
+    /// Notify exactly these methods' queues (the paper wires open→assign
+    /// and assign→open by hand; [`AspectModerator::wire_wakes`] does the
+    /// same declaratively).
+    Wired(Vec<MethodIndex>),
+}
+
+/// How a notification wakes a method's waiters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WakeMode {
+    /// Wake every waiter; each re-evaluates and possibly re-blocks.
+    /// Never loses a wakeup (default).
+    #[default]
+    NotifyAll,
+    /// Wake a single waiter per notification, like Java's `notify()` used
+    /// in the paper. Cheaper under contention but can strand waiters when
+    /// the woken thread re-blocks without progress; compared in
+    /// experiment E6.
+    NotifyOne,
+}
+
+/// Whether earlier-resumed aspects are rolled back (via
+/// [`Aspect::on_release`]) when a later aspect in the chain blocks or
+/// aborts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RollbackPolicy {
+    /// Roll back (default; fixes the multi-aspect composition anomaly,
+    /// see DESIGN.md and experiment E7).
+    #[default]
+    Release,
+    /// Do not roll back — the paper's literal semantics.
+    None,
+}
+
+/// Counters describing everything a moderator has done.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ModeratorStats {
+    /// Pre-activations started.
+    pub preactivations: u64,
+    /// Pre-activations that resumed (method allowed to run).
+    pub resumes: u64,
+    /// Times a caller parked on a wait queue.
+    pub blocks: u64,
+    /// Times a parked caller was woken.
+    pub wakeups: u64,
+    /// Notifications sent to wait queues by post-activations.
+    pub notifications: u64,
+    /// Activations aborted by an aspect.
+    pub aborts: u64,
+    /// Activations aborted by timeout.
+    pub timeouts: u64,
+    /// Post-activations completed.
+    pub postactivations: u64,
+    /// Rollback releases delivered to earlier-resumed aspects.
+    pub releases: u64,
+}
+
+/// Handle to a declared participating method; obtained from
+/// [`AspectModerator::declare_method`] and used for all per-method
+/// operations.
+///
+/// Handles are cheap to clone and are only valid on the moderator that
+/// issued them.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MethodHandle {
+    pub(crate) index: MethodIndex,
+    pub(crate) id: MethodId,
+}
+
+impl MethodHandle {
+    /// The method's identifier.
+    pub fn id(&self) -> &MethodId {
+        &self.id
+    }
+
+    /// The method's dense index in the issuing moderator's bank.
+    pub fn index(&self) -> MethodIndex {
+        self.index
+    }
+}
+
+impl fmt::Display for MethodHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id.as_str())
+    }
+}
+
+struct Inner {
+    bank: AspectBank,
+    conds: Vec<Arc<Condvar>>,
+    wakes: Vec<WakeTargets>,
+    stats: ModeratorStats,
+    invocations: u64,
+}
+
+/// Configures and builds an [`AspectModerator`].
+///
+/// ```
+/// use amf_core::{AspectModerator, OrderingPolicy, WakeMode};
+/// use amf_core::trace::MemoryTrace;
+///
+/// let trace = MemoryTrace::shared();
+/// let moderator = AspectModerator::builder()
+///     .ordering(OrderingPolicy::Nested)
+///     .wake_mode(WakeMode::NotifyAll)
+///     .trace(trace)
+///     .build();
+/// # let _ = moderator;
+/// ```
+#[derive(Default)]
+pub struct ModeratorBuilder {
+    ordering: OrderingPolicy,
+    wake_mode: WakeMode,
+    rollback: RollbackPolicy,
+    trace: Option<Arc<dyn TraceSink>>,
+}
+
+impl fmt::Debug for ModeratorBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ModeratorBuilder")
+            .field("ordering", &self.ordering)
+            .field("wake_mode", &self.wake_mode)
+            .field("rollback", &self.rollback)
+            .field("trace", &self.trace.is_some())
+            .finish()
+    }
+}
+
+impl ModeratorBuilder {
+    /// Sets the aspect composition order (default [`OrderingPolicy::Nested`]).
+    #[must_use]
+    pub fn ordering(mut self, ordering: OrderingPolicy) -> Self {
+        self.ordering = ordering;
+        self
+    }
+
+    /// Sets how notifications wake waiters (default [`WakeMode::NotifyAll`]).
+    #[must_use]
+    pub fn wake_mode(mut self, mode: WakeMode) -> Self {
+        self.wake_mode = mode;
+        self
+    }
+
+    /// Sets the rollback policy (default [`RollbackPolicy::Release`]).
+    #[must_use]
+    pub fn rollback(mut self, rollback: RollbackPolicy) -> Self {
+        self.rollback = rollback;
+        self
+    }
+
+    /// Attaches a protocol trace sink.
+    #[must_use]
+    pub fn trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// Builds the moderator.
+    pub fn build(self) -> AspectModerator {
+        AspectModerator {
+            inner: Mutex::new(Inner {
+                bank: AspectBank::new(),
+                conds: Vec::new(),
+                wakes: Vec::new(),
+                stats: ModeratorStats::default(),
+                invocations: 0,
+            }),
+            ordering: self.ordering,
+            wake_mode: self.wake_mode,
+            rollback: self.rollback,
+            trace: self.trace,
+        }
+    }
+}
+
+/// The coordination engine: owns the aspect bank, evaluates pre/post
+/// activation, parks and wakes callers.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use amf_core::{AspectModerator, Concern, FnAspect, InvocationContext, MethodId, Verdict};
+///
+/// let moderator = AspectModerator::new();
+/// let open = moderator.declare_method(MethodId::new("open"));
+///
+/// // A capacity-1 "buffer" captured by the aspect.
+/// moderator.register(
+///     &open,
+///     Concern::synchronization(),
+///     Box::new(FnAspect::new("cap1").on_precondition({
+///         let mut used = false;
+///         move |_| { let v = Verdict::resume_if(!used); if !used { used = true; } v }
+///     })),
+/// ).unwrap();
+///
+/// let mut ctx = InvocationContext::new(open.id().clone(), moderator.next_invocation());
+/// moderator.preactivation(&open, &mut ctx).unwrap();
+/// // ... run the functional method here ...
+/// moderator.postactivation(&open, &mut ctx);
+/// ```
+pub struct AspectModerator {
+    inner: Mutex<Inner>,
+    ordering: OrderingPolicy,
+    wake_mode: WakeMode,
+    rollback: RollbackPolicy,
+    trace: Option<Arc<dyn TraceSink>>,
+}
+
+impl fmt::Debug for AspectModerator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("AspectModerator")
+            .field("methods", &inner.bank.method_count())
+            .field("aspects", &inner.bank.aspect_count())
+            .field("ordering", &self.ordering)
+            .field("wake_mode", &self.wake_mode)
+            .field("rollback", &self.rollback)
+            .finish()
+    }
+}
+
+impl Default for AspectModerator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Outcome of one pass over a method's precondition chain.
+enum ChainOutcome {
+    Resumed,
+    Blocked,
+    Aborted(Concern, crate::verdict::AbortReason),
+}
+
+impl AspectModerator {
+    /// Creates a moderator with default policies and no trace.
+    pub fn new() -> Self {
+        Self::builder().build()
+    }
+
+    /// Starts configuring a moderator.
+    pub fn builder() -> ModeratorBuilder {
+        ModeratorBuilder::default()
+    }
+
+    /// Convenience: a default moderator already wrapped in an [`Arc`].
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    fn emit(&self, invocation: u64, method: &MethodId, concern: Option<Concern>, kind: EventKind) {
+        if let Some(sink) = &self.trace {
+            sink.record(TraceEvent {
+                invocation,
+                method: method.clone(),
+                concern,
+                kind,
+            });
+        }
+    }
+
+    /// Declares a participating method; idempotent.
+    pub fn declare_method(&self, id: MethodId) -> MethodHandle {
+        let mut inner = self.inner.lock();
+        let before = inner.bank.method_count();
+        let index = inner.bank.declare(id.clone());
+        if inner.bank.method_count() > before {
+            inner.conds.push(Arc::new(Condvar::new()));
+            inner.wakes.push(WakeTargets::All);
+        }
+        MethodHandle { index, id }
+    }
+
+    /// Looks up the handle of an already-declared method.
+    pub fn method(&self, id: &MethodId) -> Option<MethodHandle> {
+        let inner = self.inner.lock();
+        inner.bank.index_of(id).map(|index| MethodHandle {
+            index,
+            id: id.clone(),
+        })
+    }
+
+    /// Declared method identifiers, in declaration order.
+    pub fn methods(&self) -> Vec<MethodId> {
+        self.inner.lock().bank.methods().cloned().collect()
+    }
+
+    fn check(&self, inner: &Inner, method: &MethodHandle) {
+        assert!(
+            inner.bank.method_id(method.index) == &method.id,
+            "method handle `{}` does not belong to this moderator",
+            method.id
+        );
+    }
+
+    /// Stores an aspect in the (method, concern) cell — the paper's
+    /// `registerAspect`.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistrationError::DuplicateConcern`] if the cell is occupied.
+    pub fn register(
+        &self,
+        method: &MethodHandle,
+        concern: Concern,
+        aspect: Box<dyn Aspect>,
+    ) -> Result<(), RegistrationError> {
+        let mut inner = self.inner.lock();
+        self.check(&inner, method);
+        inner.bank.register(method.index, concern.clone(), aspect)?;
+        drop(inner);
+        self.emit(0, &method.id, Some(concern), EventKind::AspectRegistered);
+        Ok(())
+    }
+
+    /// Asks `factory` to create the aspect for (method, concern) and
+    /// registers it — the paper's initialization idiom
+    /// `moderator.registerAspect(open, SYNC, factory.create(open, SYNC))`.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistrationError::FactoryRefused`] if the factory returns no
+    /// aspect, or [`RegistrationError::DuplicateConcern`] if the cell is
+    /// occupied.
+    pub fn register_from(
+        &self,
+        factory: &dyn AspectFactory,
+        method: &MethodHandle,
+        concern: Concern,
+    ) -> Result<(), RegistrationError> {
+        let aspect =
+            factory
+                .create(&method.id, &concern)
+                .ok_or_else(|| RegistrationError::FactoryRefused {
+                    method: method.id.clone(),
+                    concern: concern.clone(),
+                })?;
+        self.emit(
+            0,
+            &method.id,
+            Some(concern.clone()),
+            EventKind::AspectCreated,
+        );
+        self.register(method, concern, aspect)
+    }
+
+    /// Removes and returns the aspect in the (method, concern) cell,
+    /// waking all of the method's waiters so they re-evaluate against the
+    /// shortened chain.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistrationError::UnknownConcern`] if the cell is empty.
+    pub fn deregister(
+        &self,
+        method: &MethodHandle,
+        concern: &Concern,
+    ) -> Result<Box<dyn Aspect>, RegistrationError> {
+        let mut inner = self.inner.lock();
+        self.check(&inner, method);
+        let aspect = inner.bank.deregister(method.index, concern)?;
+        let cond = Arc::clone(&inner.conds[method.index.as_usize()]);
+        drop(inner);
+        cond.notify_all();
+        self.emit(
+            0,
+            &method.id,
+            Some(concern.clone()),
+            EventKind::AspectDeregistered,
+        );
+        Ok(aspect)
+    }
+
+    /// The concerns registered for a method, in registration order.
+    pub fn concerns(&self, method: &MethodHandle) -> Vec<Concern> {
+        let inner = self.inner.lock();
+        self.check(&inner, method);
+        inner.bank.concerns(method.index)
+    }
+
+    /// Restricts which wait queues `method`'s post-activation notifies
+    /// (default: all queues). The paper wires `open` → `assign`'s queue
+    /// and vice versa.
+    pub fn wire_wakes(&self, method: &MethodHandle, targets: &[MethodHandle]) {
+        let mut inner = self.inner.lock();
+        self.check(&inner, method);
+        for t in targets {
+            self.check(&inner, t);
+        }
+        inner.wakes[method.index.as_usize()] =
+            WakeTargets::Wired(targets.iter().map(|t| t.index).collect());
+    }
+
+    /// Issues the next invocation number (used by proxies to build
+    /// contexts).
+    pub fn next_invocation(&self) -> u64 {
+        let mut inner = self.inner.lock();
+        inner.invocations += 1;
+        inner.invocations
+    }
+
+    /// Snapshot of the moderator's counters.
+    pub fn stats(&self) -> ModeratorStats {
+        self.inner.lock().stats
+    }
+
+    /// Index of the `pos`-th aspect (of `n`) in precondition order.
+    #[inline]
+    fn pre_index(&self, pos: usize, n: usize) -> usize {
+        match self.ordering {
+            OrderingPolicy::Nested => n - 1 - pos,
+            OrderingPolicy::Declaration => pos,
+        }
+    }
+
+    /// Index of the `pos`-th aspect (of `n`) in postaction order —
+    /// the reverse of the precondition order (proper nesting).
+    #[inline]
+    fn post_index(&self, pos: usize, n: usize) -> usize {
+        match self.ordering {
+            OrderingPolicy::Nested => pos,
+            OrderingPolicy::Declaration => n - 1 - pos,
+        }
+    }
+
+    /// One pass over the chain. Returns the outcome; on `Blocked` or
+    /// `Aborted`, earlier-resumed aspects have been released per policy.
+    fn evaluate_chain(
+        &self,
+        inner: &mut Inner,
+        method: &MethodHandle,
+        ctx: &mut InvocationContext,
+    ) -> ChainOutcome {
+        let n = inner.bank.concern_count(method.index);
+        let traced = self.trace.is_some();
+        let row = inner.bank.row_mut(method.index);
+        for pos in 0..n {
+            let idx = self.pre_index(pos, n);
+            let (concern, aspect) = &mut row.aspects[idx];
+            let verdict = aspect.precondition(ctx);
+            match verdict {
+                Verdict::Resume => {
+                    if traced {
+                        let concern = concern.clone();
+                        self.emit(
+                            ctx.invocation(),
+                            &method.id,
+                            Some(concern),
+                            EventKind::PreconditionResumed,
+                        );
+                    }
+                }
+                Verdict::Block => {
+                    if traced {
+                        let concern = concern.clone();
+                        self.emit(
+                            ctx.invocation(),
+                            &method.id,
+                            Some(concern),
+                            EventKind::PreconditionBlocked,
+                        );
+                    }
+                    self.release_prefix(row, pos, n, ctx, ReleaseCause::Blocked, &mut inner.stats);
+                    return ChainOutcome::Blocked;
+                }
+                Verdict::Abort(reason) => {
+                    let concern = concern.clone();
+                    if traced {
+                        self.emit(
+                            ctx.invocation(),
+                            &method.id,
+                            Some(concern.clone()),
+                            EventKind::PreconditionAborted,
+                        );
+                    }
+                    self.release_prefix(row, pos, n, ctx, ReleaseCause::Aborted, &mut inner.stats);
+                    return ChainOutcome::Aborted(concern, reason);
+                }
+            }
+        }
+        ChainOutcome::Resumed
+    }
+
+    /// Releases the `evaluated` already-resumed aspects (precondition
+    /// positions `0..evaluated`) in reverse evaluation order — unwinding
+    /// the onion.
+    fn release_prefix(
+        &self,
+        row: &mut crate::bank::MethodRow,
+        evaluated: usize,
+        n: usize,
+        ctx: &InvocationContext,
+        cause: ReleaseCause,
+        stats: &mut ModeratorStats,
+    ) {
+        if self.rollback == RollbackPolicy::None {
+            return;
+        }
+        for pos in (0..evaluated).rev() {
+            let idx = self.pre_index(pos, n);
+            let (concern, aspect) = &mut row.aspects[idx];
+            aspect.on_release(ctx, cause);
+            stats.releases += 1;
+            if self.trace.is_some() {
+                self.emit(
+                    ctx.invocation(),
+                    ctx.method(),
+                    Some(concern.clone()),
+                    EventKind::AspectReleased,
+                );
+            }
+        }
+    }
+
+    /// Runs the pre-activation phase for one invocation, blocking until
+    /// every registered aspect resumes.
+    ///
+    /// # Errors
+    ///
+    /// [`AbortError::Aspect`] if any aspect's precondition aborts.
+    pub fn preactivation(
+        &self,
+        method: &MethodHandle,
+        ctx: &mut InvocationContext,
+    ) -> Result<(), AbortError> {
+        self.preactivation_inner(method, ctx, None)
+    }
+
+    /// Like [`AspectModerator::preactivation`] but gives up after
+    /// `timeout` spent blocked.
+    ///
+    /// # Errors
+    ///
+    /// [`AbortError::Aspect`] on an aspect abort, [`AbortError::Timeout`]
+    /// if the timeout elapses while blocked.
+    pub fn preactivation_timeout(
+        &self,
+        method: &MethodHandle,
+        ctx: &mut InvocationContext,
+        timeout: Duration,
+    ) -> Result<(), AbortError> {
+        self.preactivation_inner(method, ctx, Some(Instant::now() + timeout))
+    }
+
+    fn preactivation_inner(
+        &self,
+        method: &MethodHandle,
+        ctx: &mut InvocationContext,
+        deadline: Option<Instant>,
+    ) -> Result<(), AbortError> {
+        let mut inner = self.inner.lock();
+        self.check(&inner, method);
+        inner.stats.preactivations += 1;
+        self.emit(
+            ctx.invocation(),
+            &method.id,
+            None,
+            EventKind::PreactivationStarted,
+        );
+        loop {
+            match self.evaluate_chain(&mut inner, method, ctx) {
+                ChainOutcome::Resumed => {
+                    inner.stats.resumes += 1;
+                    self.emit(
+                        ctx.invocation(),
+                        &method.id,
+                        None,
+                        EventKind::ActivationResumed,
+                    );
+                    return Ok(());
+                }
+                ChainOutcome::Aborted(concern, reason) => {
+                    inner.stats.aborts += 1;
+                    self.emit(
+                        ctx.invocation(),
+                        &method.id,
+                        None,
+                        EventKind::ActivationAborted,
+                    );
+                    return Err(AbortError::Aspect {
+                        method: method.id.clone(),
+                        concern,
+                        reason,
+                    });
+                }
+                ChainOutcome::Blocked => {
+                    inner.stats.blocks += 1;
+                    self.emit(ctx.invocation(), &method.id, None, EventKind::WaitStarted);
+                    let cond = Arc::clone(&inner.conds[method.index.as_usize()]);
+                    match deadline {
+                        Some(deadline) => {
+                            if cond.wait_until(&mut inner, deadline).timed_out() {
+                                inner.stats.timeouts += 1;
+                                // Let enrollment-style aspects (admission
+                                // queues) forget this invocation.
+                                let row = inner.bank.row_mut(method.index);
+                                for (_, aspect) in row.aspects.iter_mut() {
+                                    aspect.on_cancel(ctx);
+                                }
+                                self.emit(
+                                    ctx.invocation(),
+                                    &method.id,
+                                    None,
+                                    EventKind::ActivationAborted,
+                                );
+                                return Err(AbortError::Timeout {
+                                    method: method.id.clone(),
+                                });
+                            }
+                        }
+                        None => cond.wait(&mut inner),
+                    }
+                    inner.stats.wakeups += 1;
+                    self.emit(ctx.invocation(), &method.id, None, EventKind::WaitWoken);
+                }
+            }
+        }
+    }
+
+    /// Non-blocking pre-activation: evaluates the chain once and
+    /// returns `Ok(false)` instead of parking if any aspect blocks
+    /// (earlier reservations are rolled back per policy). `Ok(true)`
+    /// means the activation resumed and post-activation is owed.
+    ///
+    /// # Errors
+    ///
+    /// [`AbortError::Aspect`] if an aspect's precondition aborts.
+    pub fn try_preactivation(
+        &self,
+        method: &MethodHandle,
+        ctx: &mut InvocationContext,
+    ) -> Result<bool, AbortError> {
+        let mut inner = self.inner.lock();
+        self.check(&inner, method);
+        inner.stats.preactivations += 1;
+        self.emit(
+            ctx.invocation(),
+            &method.id,
+            None,
+            EventKind::PreactivationStarted,
+        );
+        match self.evaluate_chain(&mut inner, method, ctx) {
+            ChainOutcome::Resumed => {
+                inner.stats.resumes += 1;
+                self.emit(
+                    ctx.invocation(),
+                    &method.id,
+                    None,
+                    EventKind::ActivationResumed,
+                );
+                Ok(true)
+            }
+            ChainOutcome::Blocked => {
+                // Would block: the chain already rolled back; count the
+                // attempt as aborted-by-caller.
+                inner.stats.aborts += 1;
+                self.emit(
+                    ctx.invocation(),
+                    &method.id,
+                    None,
+                    EventKind::ActivationAborted,
+                );
+                Ok(false)
+            }
+            ChainOutcome::Aborted(concern, reason) => {
+                inner.stats.aborts += 1;
+                self.emit(
+                    ctx.invocation(),
+                    &method.id,
+                    None,
+                    EventKind::ActivationAborted,
+                );
+                Err(AbortError::Aspect {
+                    method: method.id.clone(),
+                    concern,
+                    reason,
+                })
+            }
+        }
+    }
+
+    /// Runs the post-activation phase: every aspect's postaction (in
+    /// reverse precondition order), then notifies the wait queues wired
+    /// for this method.
+    pub fn postactivation(&self, method: &MethodHandle, ctx: &mut InvocationContext) {
+        let mut inner = self.inner.lock();
+        self.check(&inner, method);
+        self.emit(
+            ctx.invocation(),
+            &method.id,
+            None,
+            EventKind::PostactivationStarted,
+        );
+        let n = inner.bank.concern_count(method.index);
+        let traced = self.trace.is_some();
+        {
+            let row = inner.bank.row_mut(method.index);
+            for pos in 0..n {
+                let idx = self.post_index(pos, n);
+                let (concern, aspect) = &mut row.aspects[idx];
+                aspect.postaction(ctx);
+                if traced {
+                    let concern = concern.clone();
+                    self.emit(
+                        ctx.invocation(),
+                        &method.id,
+                        Some(concern),
+                        EventKind::PostactionRun,
+                    );
+                }
+            }
+        }
+        inner.stats.postactivations += 1;
+        let wired: Option<Vec<MethodIndex>> = match &inner.wakes[method.index.as_usize()] {
+            WakeTargets::All => None,
+            WakeTargets::Wired(t) => Some(t.clone()),
+        };
+        let notify = |inner: &mut Inner, t: MethodIndex| {
+            match self.wake_mode {
+                WakeMode::NotifyAll => {
+                    inner.conds[t.as_usize()].notify_all();
+                }
+                WakeMode::NotifyOne => {
+                    inner.conds[t.as_usize()].notify_one();
+                }
+            }
+            inner.stats.notifications += 1;
+            if traced {
+                let target_id = inner.bank.method_id(t).clone();
+                self.emit(
+                    ctx.invocation(),
+                    &method.id,
+                    None,
+                    EventKind::NotificationSent(target_id),
+                );
+            }
+        };
+        match wired {
+            None => {
+                for t in 0..inner.bank.method_count() {
+                    notify(&mut inner, MethodIndex(t));
+                }
+            }
+            Some(targets) => {
+                for t in targets {
+                    notify(&mut inner, t);
+                }
+            }
+        }
+    }
+
+    /// Emits the `MethodInvoked` trace event (Figure 3's `open(ticket)`
+    /// arrow) on behalf of a proxy between the two phases.
+    #[doc(hidden)]
+    pub fn trace_method_invoked(&self, method: &MethodHandle, invocation: u64) {
+        self.emit(invocation, &method.id, None, EventKind::MethodInvoked);
+    }
+
+    /// Runs `f` with mutable access to the aspect registered under
+    /// (method, concern), under the moderator's lock. Administrative
+    /// escape hatch for inspecting or adjusting aspect state.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistrationError::UnknownConcern`] if the cell is empty.
+    pub fn with_aspect<R>(
+        &self,
+        method: &MethodHandle,
+        concern: &Concern,
+        f: impl FnOnce(&mut dyn Aspect) -> R,
+    ) -> Result<R, RegistrationError> {
+        let mut inner = self.inner.lock();
+        self.check(&inner, method);
+        match inner.bank.aspect_mut(method.index, concern) {
+            Some(aspect) => Ok(f(aspect)),
+            None => Err(RegistrationError::UnknownConcern {
+                method: method.id.clone(),
+                concern: concern.clone(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aspect::{FnAspect, NoopAspect};
+    use crate::trace::MemoryTrace;
+    use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+    use std::thread;
+
+    fn ctx_for(moderator: &AspectModerator, m: &MethodHandle) -> InvocationContext {
+        InvocationContext::new(m.id().clone(), moderator.next_invocation())
+    }
+
+    #[test]
+    fn declare_method_is_idempotent() {
+        let m = AspectModerator::new();
+        let a = m.declare_method(MethodId::new("open"));
+        let b = m.declare_method(MethodId::new("open"));
+        assert_eq!(a, b);
+        assert_eq!(m.methods(), vec![MethodId::new("open")]);
+    }
+
+    #[test]
+    fn method_lookup() {
+        let m = AspectModerator::new();
+        assert!(m.method(&MethodId::new("open")).is_none());
+        let h = m.declare_method(MethodId::new("open"));
+        assert_eq!(m.method(&MethodId::new("open")), Some(h));
+    }
+
+    #[test]
+    fn empty_chain_resumes_immediately() {
+        let m = AspectModerator::new();
+        let open = m.declare_method(MethodId::new("open"));
+        let mut ctx = ctx_for(&m, &open);
+        m.preactivation(&open, &mut ctx).unwrap();
+        m.postactivation(&open, &mut ctx);
+        let s = m.stats();
+        assert_eq!(s.preactivations, 1);
+        assert_eq!(s.resumes, 1);
+        assert_eq!(s.postactivations, 1);
+        assert_eq!(s.blocks, 0);
+    }
+
+    #[test]
+    fn abort_surfaces_concern_and_reason() {
+        let m = AspectModerator::new();
+        let open = m.declare_method(MethodId::new("open"));
+        m.register(
+            &open,
+            Concern::authentication(),
+            Box::new(FnAspect::new("deny").on_precondition(|_| Verdict::abort("no token"))),
+        )
+        .unwrap();
+        let mut ctx = ctx_for(&m, &open);
+        let err = m.preactivation(&open, &mut ctx).unwrap_err();
+        match err {
+            AbortError::Aspect {
+                method,
+                concern,
+                reason,
+            } => {
+                assert_eq!(method.as_str(), "open");
+                assert_eq!(concern, Concern::authentication());
+                assert_eq!(reason.message(), "no token");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(m.stats().aborts, 1);
+    }
+
+    #[test]
+    fn blocked_caller_resumes_after_postactivation() {
+        let m = Arc::new(AspectModerator::new());
+        let open = m.declare_method(MethodId::new("open"));
+        let assign = m.declare_method(MethodId::new("assign"));
+        // `assign` blocks until one `open` has completed (item count > 0).
+        let items = Arc::new(AtomicU64::new(0));
+        {
+            let items = Arc::clone(&items);
+            m.register(
+                &assign,
+                Concern::synchronization(),
+                Box::new(FnAspect::new("not-empty").on_precondition(move |_| {
+                    Verdict::resume_if(items.load(AtomicOrdering::SeqCst) > 0)
+                })),
+            )
+            .unwrap();
+        }
+        let consumer = {
+            let m = Arc::clone(&m);
+            let assign = assign.clone();
+            thread::spawn(move || {
+                let mut ctx = ctx_for(&m, &assign);
+                m.preactivation(&assign, &mut ctx).unwrap();
+                m.postactivation(&assign, &mut ctx);
+            })
+        };
+        while m.stats().blocks == 0 {
+            thread::yield_now();
+        }
+        // Produce: run open's (empty) activation; its postactivation
+        // notifies all queues.
+        items.store(1, AtomicOrdering::SeqCst);
+        let mut ctx = ctx_for(&m, &open);
+        m.preactivation(&open, &mut ctx).unwrap();
+        m.postactivation(&open, &mut ctx);
+        consumer.join().unwrap();
+        let s = m.stats();
+        assert!(s.blocks >= 1);
+        assert!(s.wakeups >= 1);
+        assert_eq!(s.resumes, 2);
+    }
+
+    #[test]
+    fn timeout_aborts_blocked_caller() {
+        let m = AspectModerator::new();
+        let open = m.declare_method(MethodId::new("open"));
+        m.register(
+            &open,
+            Concern::synchronization(),
+            Box::new(FnAspect::new("never").on_precondition(|_| Verdict::Block)),
+        )
+        .unwrap();
+        let mut ctx = ctx_for(&m, &open);
+        let err = m
+            .preactivation_timeout(&open, &mut ctx, Duration::from_millis(20))
+            .unwrap_err();
+        assert!(err.is_timeout());
+        assert_eq!(m.stats().timeouts, 1);
+    }
+
+    #[test]
+    fn nested_ordering_runs_newest_pre_first_and_post_last() {
+        let log = Arc::new(Mutex::new(Vec::<&'static str>::new()));
+        let m = AspectModerator::new(); // Nested default
+        let open = m.declare_method(MethodId::new("open"));
+        for (name, pre_tag, post_tag) in [
+            ("sync", "sync-pre", "sync-post"),
+            ("auth", "auth-pre", "auth-post"),
+        ] {
+            let l1 = Arc::clone(&log);
+            let l2 = Arc::clone(&log);
+            m.register(
+                &open,
+                Concern::new(name),
+                Box::new(
+                    FnAspect::new(name)
+                        .on_precondition(move |_| {
+                            l1.lock().push(pre_tag);
+                            Verdict::Resume
+                        })
+                        .on_postaction(move |_| l2.lock().push(post_tag)),
+                ),
+            )
+            .unwrap();
+        }
+        let mut ctx = ctx_for(&m, &open);
+        m.preactivation(&open, &mut ctx).unwrap();
+        m.postactivation(&open, &mut ctx);
+        // auth registered last => wraps sync (paper Figure 14).
+        assert_eq!(
+            *log.lock(),
+            vec!["auth-pre", "sync-pre", "sync-post", "auth-post"]
+        );
+    }
+
+    #[test]
+    fn declaration_ordering_runs_oldest_pre_first() {
+        let log = Arc::new(Mutex::new(Vec::<&'static str>::new()));
+        let m = AspectModerator::builder()
+            .ordering(OrderingPolicy::Declaration)
+            .build();
+        let open = m.declare_method(MethodId::new("open"));
+        for name in ["first", "second"] {
+            let l = Arc::clone(&log);
+            m.register(
+                &open,
+                Concern::new(name),
+                Box::new(FnAspect::new(name).on_precondition(move |_| {
+                    l.lock().push(name);
+                    Verdict::Resume
+                })),
+            )
+            .unwrap();
+        }
+        let mut ctx = ctx_for(&m, &open);
+        m.preactivation(&open, &mut ctx).unwrap();
+        assert_eq!(*log.lock(), vec!["first", "second"]);
+    }
+
+    #[test]
+    fn declaration_ordering_posts_newest_first() {
+        let log = Arc::new(Mutex::new(Vec::<&'static str>::new()));
+        let m = AspectModerator::builder()
+            .ordering(OrderingPolicy::Declaration)
+            .build();
+        let open = m.declare_method(MethodId::new("open"));
+        for (name, tag) in [("first", "first-post"), ("second", "second-post")] {
+            let l = Arc::clone(&log);
+            m.register(
+                &open,
+                Concern::new(name),
+                Box::new(FnAspect::new(name).on_postaction(move |_| l.lock().push(tag))),
+            )
+            .unwrap();
+        }
+        let mut ctx = ctx_for(&m, &open);
+        m.preactivation(&open, &mut ctx).unwrap();
+        m.postactivation(&open, &mut ctx);
+        // Declaration: pre oldest-first, so post (its reverse) is
+        // newest-first.
+        assert_eq!(*log.lock(), vec!["second-post", "first-post"]);
+    }
+
+    #[test]
+    fn rollback_releases_earlier_resumed_aspects() {
+        let released = Arc::new(AtomicU64::new(0));
+        let m = AspectModerator::new();
+        let open = m.declare_method(MethodId::new("open"));
+        // Under Nested ordering, "outer" (registered second) runs first.
+        {
+            let released = Arc::clone(&released);
+            m.register(
+                &open,
+                Concern::new("inner-abort"),
+                Box::new(FnAspect::new("inner").on_precondition(|_| Verdict::abort("nope"))),
+            )
+            .unwrap();
+            m.register(
+                &open,
+                Concern::new("outer-reserve"),
+                Box::new(
+                    FnAspect::new("outer")
+                        .on_precondition(|_| Verdict::Resume)
+                        .on_release_do(move |_, cause| {
+                            assert_eq!(cause, ReleaseCause::Aborted);
+                            released.fetch_add(1, AtomicOrdering::SeqCst);
+                        }),
+                ),
+            )
+            .unwrap();
+        }
+        let mut ctx = ctx_for(&m, &open);
+        assert!(m.preactivation(&open, &mut ctx).is_err());
+        assert_eq!(released.load(AtomicOrdering::SeqCst), 1);
+        assert_eq!(m.stats().releases, 1);
+    }
+
+    #[test]
+    fn rollback_none_skips_release() {
+        let released = Arc::new(AtomicU64::new(0));
+        let m = AspectModerator::builder().rollback(RollbackPolicy::None).build();
+        let open = m.declare_method(MethodId::new("open"));
+        {
+            let released = Arc::clone(&released);
+            m.register(
+                &open,
+                Concern::new("inner-abort"),
+                Box::new(FnAspect::new("inner").on_precondition(|_| Verdict::abort("nope"))),
+            )
+            .unwrap();
+            m.register(
+                &open,
+                Concern::new("outer-reserve"),
+                Box::new(
+                    FnAspect::new("outer")
+                        .on_precondition(|_| Verdict::Resume)
+                        .on_release_do(move |_, _| {
+                            released.fetch_add(1, AtomicOrdering::SeqCst);
+                        }),
+                ),
+            )
+            .unwrap();
+        }
+        let mut ctx = ctx_for(&m, &open);
+        assert!(m.preactivation(&open, &mut ctx).is_err());
+        assert_eq!(released.load(AtomicOrdering::SeqCst), 0);
+        assert_eq!(m.stats().releases, 0);
+    }
+
+    #[test]
+    fn wire_wakes_restricts_notifications() {
+        let trace = MemoryTrace::shared();
+        let m = AspectModerator::builder().trace(trace.clone()).build();
+        let open = m.declare_method(MethodId::new("open"));
+        let assign = m.declare_method(MethodId::new("assign"));
+        m.wire_wakes(&open, std::slice::from_ref(&assign));
+        let mut ctx = ctx_for(&m, &open);
+        m.preactivation(&open, &mut ctx).unwrap();
+        m.postactivation(&open, &mut ctx);
+        let notifications: Vec<_> = trace
+            .events()
+            .into_iter()
+            .filter_map(|e| match e.kind {
+                EventKind::NotificationSent(t) => Some(t),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(notifications, vec![MethodId::new("assign")]);
+    }
+
+    #[test]
+    fn default_wakes_notify_every_queue() {
+        let trace = MemoryTrace::shared();
+        let m = AspectModerator::builder().trace(trace.clone()).build();
+        let open = m.declare_method(MethodId::new("open"));
+        let _assign = m.declare_method(MethodId::new("assign"));
+        let mut ctx = ctx_for(&m, &open);
+        m.preactivation(&open, &mut ctx).unwrap();
+        m.postactivation(&open, &mut ctx);
+        let count = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::NotificationSent(_)))
+            .count();
+        assert_eq!(count, 2, "both queues notified under WakeTargets::All");
+    }
+
+    #[test]
+    fn register_from_factory_creates_and_registers() {
+        use crate::factory::RegistryFactory;
+        let trace = MemoryTrace::shared();
+        let m = AspectModerator::builder().trace(trace.clone()).build();
+        let open = m.declare_method(MethodId::new("open"));
+        let mut factory = RegistryFactory::new();
+        factory.provide_for_concern(Concern::synchronization(), || Box::new(NoopAspect));
+        m.register_from(&factory, &open, Concern::synchronization())
+            .unwrap();
+        assert_eq!(m.concerns(&open), vec![Concern::synchronization()]);
+        // Figure 2: create precedes register.
+        let kinds: Vec<_> = trace.events().into_iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![EventKind::AspectCreated, EventKind::AspectRegistered]
+        );
+        // Unknown concern: factory refuses.
+        let err = m
+            .register_from(&factory, &open, Concern::quota())
+            .unwrap_err();
+        assert!(matches!(err, RegistrationError::FactoryRefused { .. }));
+    }
+
+    #[test]
+    fn deregister_removes_and_wakes() {
+        let m = Arc::new(AspectModerator::new());
+        let open = m.declare_method(MethodId::new("open"));
+        m.register(
+            &open,
+            Concern::synchronization(),
+            Box::new(FnAspect::new("block-forever").on_precondition(|_| Verdict::Block)),
+        )
+        .unwrap();
+        let waiter = {
+            let m = Arc::clone(&m);
+            let open = open.clone();
+            thread::spawn(move || {
+                let mut ctx = ctx_for(&m, &open);
+                m.preactivation(&open, &mut ctx)
+            })
+        };
+        while m.stats().blocks == 0 {
+            thread::yield_now();
+        }
+        // Removing the blocking aspect lets the waiter resume on an empty
+        // chain.
+        let removed = m.deregister(&open, &Concern::synchronization()).unwrap();
+        assert_eq!(removed.describe(), "block-forever");
+        waiter.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn with_aspect_gives_mut_access() {
+        let m = AspectModerator::new();
+        let open = m.declare_method(MethodId::new("open"));
+        m.register(&open, Concern::audit(), Box::new(FnAspect::new("a")))
+            .unwrap();
+        let name = m
+            .with_aspect(&open, &Concern::audit(), |a| a.describe().to_string())
+            .unwrap();
+        assert_eq!(name, "a");
+        assert!(m.with_aspect(&open, &Concern::quota(), |_| ()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not belong")]
+    fn foreign_handle_is_rejected() {
+        let m1 = AspectModerator::new();
+        let m2 = AspectModerator::new();
+        let h1 = m1.declare_method(MethodId::new("open"));
+        let _h2 = m2.declare_method(MethodId::new("other"));
+        let mut ctx = InvocationContext::new(h1.id().clone(), 1);
+        // h1's index 0 exists on m2 but names a different method.
+        let _ = m2.preactivation(&h1, &mut ctx);
+    }
+
+    #[test]
+    fn invocation_numbers_are_monotonic() {
+        let m = AspectModerator::new();
+        let a = m.next_invocation();
+        let b = m.next_invocation();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn debug_output_mentions_shape() {
+        let m = AspectModerator::new();
+        let open = m.declare_method(MethodId::new("open"));
+        m.register(&open, Concern::audit(), Box::new(NoopAspect))
+            .unwrap();
+        let s = format!("{m:?}");
+        assert!(s.contains("methods: 1"));
+        assert!(s.contains("aspects: 1"));
+    }
+
+    #[test]
+    fn notify_one_pipeline_completes() {
+        // WakeMode::NotifyOne (Java's `notify()`, as in the paper) must
+        // stay live for the producer/consumer pattern: every completion
+        // frees exactly one opportunity, so waking one waiter suffices.
+        let m = Arc::new(
+            AspectModerator::builder()
+                .wake_mode(WakeMode::NotifyOne)
+                .build(),
+        );
+        let put = m.declare_method(MethodId::new("put"));
+        let take = m.declare_method(MethodId::new("take"));
+        m.wire_wakes(&put, std::slice::from_ref(&take));
+        m.wire_wakes(&take, std::slice::from_ref(&put));
+        let items = Arc::new(Mutex::new(0_u32));
+        {
+            let items = Arc::clone(&items);
+            m.register(
+                &put,
+                Concern::synchronization(),
+                Box::new(FnAspect::new("not-full").on_precondition(move |_| {
+                    let mut i = items.lock();
+                    if *i < 1 {
+                        *i += 1;
+                        Verdict::Resume
+                    } else {
+                        Verdict::Block
+                    }
+                })),
+            )
+            .unwrap();
+        }
+        {
+            let items = Arc::clone(&items);
+            m.register(
+                &take,
+                Concern::synchronization(),
+                Box::new(FnAspect::new("not-empty").on_precondition(move |_| {
+                    let mut i = items.lock();
+                    if *i > 0 {
+                        *i -= 1;
+                        Verdict::Resume
+                    } else {
+                        Verdict::Block
+                    }
+                })),
+            )
+            .unwrap();
+        }
+        let rounds = 500;
+        let run = |method: MethodHandle, m: Arc<AspectModerator>| {
+            thread::spawn(move || {
+                for _ in 0..rounds {
+                    let mut ctx = ctx_for(&m, &method);
+                    m.preactivation(&method, &mut ctx).unwrap();
+                    m.postactivation(&method, &mut ctx);
+                }
+            })
+        };
+        let p = run(put, Arc::clone(&m));
+        let c = run(take, Arc::clone(&m));
+        p.join().unwrap();
+        c.join().unwrap();
+        assert_eq!(*items.lock(), 0);
+        assert_eq!(m.stats().resumes, rounds * 2);
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_respect_capacity_one() {
+        // A tiny end-to-end bounded-buffer built directly on the
+        // moderator: capacity 1, shared counters in the aspects.
+        struct Slots {
+            used: u64,
+        }
+        let slots = Arc::new(Mutex::new(Slots { used: 0 }));
+        let m = Arc::new(AspectModerator::new());
+        let put = m.declare_method(MethodId::new("put"));
+        let take = m.declare_method(MethodId::new("take"));
+        {
+            let s = Arc::clone(&slots);
+            m.register(
+                &put,
+                Concern::synchronization(),
+                Box::new(
+                    FnAspect::new("not-full")
+                        .on_precondition({
+                            let s = Arc::clone(&s);
+                            move |_| {
+                                let mut s = s.lock();
+                                if s.used < 1 {
+                                    s.used += 1; // reserve
+                                    Verdict::Resume
+                                } else {
+                                    Verdict::Block
+                                }
+                            }
+                        })
+                        .on_postaction(|_| {}),
+                ),
+            )
+            .unwrap();
+        }
+        {
+            let s = Arc::clone(&slots);
+            m.register(
+                &take,
+                Concern::synchronization(),
+                Box::new(FnAspect::new("not-empty").on_precondition(move |_| {
+                    let mut s = s.lock();
+                    if s.used > 0 {
+                        s.used -= 1; // release
+                        Verdict::Resume
+                    } else {
+                        Verdict::Block
+                    }
+                })),
+            )
+            .unwrap();
+        }
+        let rounds = 200;
+        let producer = {
+            let m = Arc::clone(&m);
+            let put = put.clone();
+            thread::spawn(move || {
+                for _ in 0..rounds {
+                    let mut ctx = ctx_for(&m, &put);
+                    m.preactivation(&put, &mut ctx).unwrap();
+                    m.postactivation(&put, &mut ctx);
+                }
+            })
+        };
+        let consumer = {
+            let m = Arc::clone(&m);
+            let take = take.clone();
+            thread::spawn(move || {
+                for _ in 0..rounds {
+                    let mut ctx = ctx_for(&m, &take);
+                    m.preactivation(&take, &mut ctx).unwrap();
+                    m.postactivation(&take, &mut ctx);
+                }
+            })
+        };
+        producer.join().unwrap();
+        consumer.join().unwrap();
+        assert_eq!(slots.lock().used, 0);
+        let s = m.stats();
+        assert_eq!(s.resumes, rounds * 2);
+    }
+}

@@ -1,0 +1,413 @@
+//! Event tracing for the moderation protocol.
+//!
+//! The paper specifies the framework with UML sequence diagrams
+//! (Figure 2: initialization, Figure 3: method invocation). To *prove*
+//! our implementation follows those diagrams, the moderator can emit a
+//! [`TraceEvent`] at every protocol step into a [`TraceSink`]; the
+//! integration tests assert that recorded traces match the figures
+//! (`tests/figure_traces.rs`).
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::concern::{Concern, MethodId};
+
+/// One step of the moderation protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// An aspect was created by a factory (Figure 2 `createAspect`).
+    AspectCreated,
+    /// An aspect was stored in the bank (Figure 2 `registerAspect`).
+    AspectRegistered,
+    /// An aspect was removed from the bank (framework extension).
+    AspectDeregistered,
+    /// Pre-activation began for an invocation (Figure 3 `preactivation`).
+    PreactivationStarted,
+    /// A precondition evaluated to RESUME.
+    PreconditionResumed,
+    /// A precondition evaluated to BLOCKED.
+    PreconditionBlocked,
+    /// A precondition evaluated to ABORT.
+    PreconditionAborted,
+    /// A previously resumed aspect was rolled back because a later aspect
+    /// blocked or aborted (framework extension, experiment E7).
+    AspectReleased,
+    /// The caller parked on the method's wait queue.
+    WaitStarted,
+    /// The caller woke from the wait queue and will re-evaluate.
+    WaitWoken,
+    /// Pre-activation finished with RESUME; the functional method may run.
+    ActivationResumed,
+    /// Pre-activation failed (abort or timeout).
+    ActivationAborted,
+    /// The functional method body ran (emitted by the proxy).
+    MethodInvoked,
+    /// Post-activation began (Figure 3 `postactivation`).
+    PostactivationStarted,
+    /// An aspect's postaction ran.
+    PostactionRun,
+    /// The moderator notified a method's wait queue; the payload is the
+    /// notified method.
+    NotificationSent(MethodId),
+}
+
+/// A timestamped-by-order record of one protocol step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The invocation this event belongs to; zero for registration-time
+    /// events, which happen outside any invocation.
+    pub invocation: u64,
+    /// The participating method involved.
+    pub method: MethodId,
+    /// The concern involved, when the step is aspect-specific.
+    pub concern: Option<Concern>,
+    /// Which protocol step occurred.
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// Compact single-line rendering used by tests and examples, e.g.
+    /// `"#3 precondition-resumed open/sync"`.
+    pub fn compact(&self) -> String {
+        let kind = match &self.kind {
+            EventKind::AspectCreated => "aspect-created".to_string(),
+            EventKind::AspectRegistered => "aspect-registered".to_string(),
+            EventKind::AspectDeregistered => "aspect-deregistered".to_string(),
+            EventKind::PreactivationStarted => "preactivation".to_string(),
+            EventKind::PreconditionResumed => "precondition-resumed".to_string(),
+            EventKind::PreconditionBlocked => "precondition-blocked".to_string(),
+            EventKind::PreconditionAborted => "precondition-aborted".to_string(),
+            EventKind::AspectReleased => "aspect-released".to_string(),
+            EventKind::WaitStarted => "wait".to_string(),
+            EventKind::WaitWoken => "woken".to_string(),
+            EventKind::ActivationResumed => "resumed".to_string(),
+            EventKind::ActivationAborted => "aborted".to_string(),
+            EventKind::MethodInvoked => "method-invoked".to_string(),
+            EventKind::PostactivationStarted => "postactivation".to_string(),
+            EventKind::PostactionRun => "postaction".to_string(),
+            EventKind::NotificationSent(target) => format!("notify->{target}"),
+        };
+        match &self.concern {
+            Some(c) => format!("#{} {} {}/{}", self.invocation, kind, self.method, c),
+            None => format!("#{} {} {}", self.invocation, kind, self.method),
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.compact())
+    }
+}
+
+/// Receives protocol events from a moderator.
+///
+/// Implementations must tolerate concurrent calls; the moderator records
+/// while holding its own lock, so sinks should be fast and must never
+/// call back into the moderator (deadlock).
+pub trait TraceSink: Send + Sync {
+    /// Records one protocol step.
+    fn record(&self, event: TraceEvent);
+}
+
+/// A [`TraceSink`] that keeps every event in memory, in record order.
+///
+/// ```
+/// use std::sync::Arc;
+/// use amf_core::trace::{EventKind, MemoryTrace, TraceEvent, TraceSink};
+/// use amf_core::MethodId;
+///
+/// let trace = Arc::new(MemoryTrace::new());
+/// trace.record(TraceEvent {
+///     invocation: 1,
+///     method: MethodId::new("open"),
+///     concern: None,
+///     kind: EventKind::PreactivationStarted,
+/// });
+/// assert_eq!(trace.len(), 1);
+/// assert_eq!(trace.events()[0].compact(), "#1 preactivation open");
+/// ```
+#[derive(Default)]
+pub struct MemoryTrace {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl fmt::Debug for MemoryTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemoryTrace")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl MemoryTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Convenience: a new trace already wrapped in an [`Arc`] for handing
+    /// to a moderator builder.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all events in record order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Snapshot of the events belonging to one invocation.
+    pub fn events_for(&self, invocation: u64) -> Vec<TraceEvent> {
+        self.events
+            .lock()
+            .iter()
+            .filter(|e| e.invocation == invocation)
+            .cloned()
+            .collect()
+    }
+
+    /// Compact one-line-per-event rendering of the whole trace.
+    pub fn compact(&self) -> Vec<String> {
+        self.events.lock().iter().map(TraceEvent::compact).collect()
+    }
+
+    /// Clears all recorded events.
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+}
+
+impl TraceSink for MemoryTrace {
+    fn record(&self, event: TraceEvent) {
+        self.events.lock().push(event);
+    }
+}
+
+/// Fans events out to several sinks in order.
+///
+/// ```
+/// use std::sync::Arc;
+/// use amf_core::trace::{MemoryTrace, TeeSink, TraceSink};
+///
+/// let a = MemoryTrace::shared();
+/// let b = MemoryTrace::shared();
+/// let tee = TeeSink::new(vec![a.clone(), b.clone()]);
+/// # let _ = &tee;
+/// ```
+pub struct TeeSink {
+    sinks: Vec<Arc<dyn TraceSink>>,
+}
+
+impl fmt::Debug for TeeSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TeeSink")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl TeeSink {
+    /// Creates a tee over `sinks`.
+    pub fn new(sinks: Vec<Arc<dyn TraceSink>>) -> Self {
+        Self { sinks }
+    }
+}
+
+impl TraceSink for TeeSink {
+    fn record(&self, event: TraceEvent) {
+        for sink in &self.sinks {
+            sink.record(event.clone());
+        }
+    }
+}
+
+type TracePredicate = Box<dyn Fn(&TraceEvent) -> bool + Send + Sync>;
+
+/// Forwards only the events matching a predicate — e.g. keep a full
+/// protocol trace out of production but retain every abort.
+///
+/// ```
+/// use std::sync::Arc;
+/// use amf_core::trace::{EventKind, FilterSink, MemoryTrace};
+///
+/// let aborts = MemoryTrace::shared();
+/// let only_aborts = FilterSink::new(aborts.clone(), |e| {
+///     matches!(e.kind, EventKind::ActivationAborted | EventKind::PreconditionAborted)
+/// });
+/// # let _ = only_aborts;
+/// ```
+pub struct FilterSink {
+    inner: Arc<dyn TraceSink>,
+    predicate: TracePredicate,
+}
+
+impl fmt::Debug for FilterSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FilterSink").finish_non_exhaustive()
+    }
+}
+
+impl FilterSink {
+    /// Creates a filter forwarding to `inner` the events `predicate`
+    /// accepts.
+    pub fn new(
+        inner: Arc<dyn TraceSink>,
+        predicate: impl Fn(&TraceEvent) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            inner,
+            predicate: Box::new(predicate),
+        }
+    }
+}
+
+impl TraceSink for FilterSink {
+    fn record(&self, event: TraceEvent) {
+        if (self.predicate)(&event) {
+            self.inner.record(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(invocation: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            invocation,
+            method: MethodId::new("open"),
+            concern: Some(Concern::synchronization()),
+            kind,
+        }
+    }
+
+    #[test]
+    fn records_in_order() {
+        let t = MemoryTrace::new();
+        t.record(ev(1, EventKind::PreactivationStarted));
+        t.record(ev(1, EventKind::PreconditionResumed));
+        t.record(ev(1, EventKind::ActivationResumed));
+        let kinds: Vec<_> = t.events().into_iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::PreactivationStarted,
+                EventKind::PreconditionResumed,
+                EventKind::ActivationResumed
+            ]
+        );
+    }
+
+    #[test]
+    fn events_for_filters_by_invocation() {
+        let t = MemoryTrace::new();
+        t.record(ev(1, EventKind::PreactivationStarted));
+        t.record(ev(2, EventKind::PreactivationStarted));
+        t.record(ev(1, EventKind::ActivationResumed));
+        assert_eq!(t.events_for(1).len(), 2);
+        assert_eq!(t.events_for(2).len(), 1);
+        assert!(t.events_for(3).is_empty());
+    }
+
+    #[test]
+    fn compact_rendering() {
+        assert_eq!(
+            ev(4, EventKind::PreconditionBlocked).compact(),
+            "#4 precondition-blocked open/sync"
+        );
+        let notify = TraceEvent {
+            invocation: 2,
+            method: MethodId::new("open"),
+            concern: None,
+            kind: EventKind::NotificationSent(MethodId::new("assign")),
+        };
+        assert_eq!(notify.compact(), "#2 notify->assign open");
+        assert_eq!(notify.to_string(), notify.compact());
+    }
+
+    #[test]
+    fn clear_empties_trace() {
+        let t = MemoryTrace::new();
+        t.record(ev(1, EventKind::MethodInvoked));
+        assert!(!t.is_empty());
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn tee_duplicates_events() {
+        let a = MemoryTrace::shared();
+        let b = MemoryTrace::shared();
+        let tee = TeeSink::new(vec![a.clone(), b.clone()]);
+        tee.record(ev(1, EventKind::MethodInvoked));
+        tee.record(ev(2, EventKind::PostactionRun));
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 2);
+        assert_eq!(a.events(), b.events());
+    }
+
+    #[test]
+    fn filter_drops_unmatched_events() {
+        let inner = MemoryTrace::shared();
+        let filter = FilterSink::new(inner.clone(), |e| {
+            matches!(e.kind, EventKind::PreconditionAborted)
+        });
+        filter.record(ev(1, EventKind::MethodInvoked));
+        filter.record(ev(2, EventKind::PreconditionAborted));
+        filter.record(ev(3, EventKind::PostactionRun));
+        assert_eq!(inner.len(), 1);
+        assert_eq!(inner.events()[0].invocation, 2);
+    }
+
+    #[test]
+    fn sinks_compose_with_a_moderator() {
+        use crate::{AspectModerator, MethodId};
+        let everything = MemoryTrace::shared();
+        let aborts_only = MemoryTrace::shared();
+        let tee = Arc::new(TeeSink::new(vec![
+            everything.clone(),
+            Arc::new(FilterSink::new(aborts_only.clone(), |e| {
+                matches!(e.kind, EventKind::ActivationAborted)
+            })),
+        ]));
+        let moderator = AspectModerator::builder().trace(tee).build();
+        let m = moderator.declare_method(MethodId::new("op"));
+        let mut ctx = crate::InvocationContext::new(m.id().clone(), 1);
+        moderator.preactivation(&m, &mut ctx).unwrap();
+        moderator.postactivation(&m, &mut ctx);
+        assert!(everything.len() >= 3);
+        assert!(aborts_only.is_empty());
+    }
+
+    #[test]
+    fn sink_is_shareable_across_threads() {
+        let t = MemoryTrace::shared();
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    t.record(ev(i, EventKind::PostactionRun));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.len(), 400);
+    }
+}

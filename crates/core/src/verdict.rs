@@ -1,0 +1,160 @@
+//! The three-way result of an aspect's precondition.
+//!
+//! The paper's `precondition()` returns `RESUME`, `BLOCKED` or `ABORT`
+//! as integer constants; [`Verdict`] types that protocol.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Why an aspect aborted an activation.
+///
+/// A human-readable reason carried up to the caller inside
+/// [`AbortError`](crate::AbortError).
+///
+/// ```
+/// use amf_core::AbortReason;
+///
+/// let r = AbortReason::new("token expired");
+/// assert_eq!(r.to_string(), "token expired");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct AbortReason(Arc<str>);
+
+impl AbortReason {
+    /// Creates a reason from a message.
+    pub fn new(message: impl Into<Arc<str>>) -> Self {
+        Self(message.into())
+    }
+
+    /// The reason message.
+    pub fn message(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AbortReason({})", self.0)
+    }
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for AbortReason {
+    fn from(s: &str) -> Self {
+        Self::new(s)
+    }
+}
+
+impl From<String> for AbortReason {
+    fn from(s: String) -> Self {
+        Self::new(s)
+    }
+}
+
+/// Result of evaluating an aspect's precondition: the paper's
+/// RESUME / BLOCKED / ABORT protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The constraint holds; the activation may proceed.
+    Resume,
+    /// The constraint does not hold *yet*; park the caller on the method's
+    /// wait queue and re-evaluate after a notification.
+    Block,
+    /// The constraint can never hold for this activation; fail it.
+    Abort(AbortReason),
+}
+
+impl Verdict {
+    /// Convenience constructor for [`Verdict::Abort`].
+    pub fn abort(reason: impl Into<AbortReason>) -> Self {
+        Verdict::Abort(reason.into())
+    }
+
+    /// Whether this verdict lets the activation proceed.
+    pub fn is_resume(&self) -> bool {
+        matches!(self, Verdict::Resume)
+    }
+
+    /// Whether this verdict parks the caller.
+    pub fn is_block(&self) -> bool {
+        matches!(self, Verdict::Block)
+    }
+
+    /// Whether this verdict fails the activation.
+    pub fn is_abort(&self) -> bool {
+        matches!(self, Verdict::Abort(_))
+    }
+
+    /// Maps a boolean guard to `Resume`/`Block` — the commonest
+    /// synchronization-aspect pattern ("resume when not full, else wait").
+    pub fn resume_if(guard: bool) -> Self {
+        if guard {
+            Verdict::Resume
+        } else {
+            Verdict::Block
+        }
+    }
+
+    /// Maps a boolean guard to `Resume`/`Abort` — the commonest
+    /// security-aspect pattern ("proceed if authentic, else fail").
+    pub fn resume_or_abort(guard: bool, reason: impl Into<AbortReason>) -> Self {
+        if guard {
+            Verdict::Resume
+        } else {
+            Verdict::Abort(reason.into())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates_match_variants() {
+        assert!(Verdict::Resume.is_resume());
+        assert!(Verdict::Block.is_block());
+        assert!(Verdict::abort("no").is_abort());
+        assert!(!Verdict::Resume.is_block());
+        assert!(!Verdict::Block.is_abort());
+    }
+
+    #[test]
+    fn resume_if_maps_guard() {
+        assert_eq!(Verdict::resume_if(true), Verdict::Resume);
+        assert_eq!(Verdict::resume_if(false), Verdict::Block);
+    }
+
+    #[test]
+    fn resume_or_abort_maps_guard() {
+        assert_eq!(Verdict::resume_or_abort(true, "x"), Verdict::Resume);
+        assert_eq!(
+            Verdict::resume_or_abort(false, "denied"),
+            Verdict::Abort(AbortReason::new("denied"))
+        );
+    }
+
+    #[test]
+    fn abort_reason_display() {
+        let v = Verdict::abort(String::from("quota exceeded"));
+        match v {
+            Verdict::Abort(r) => {
+                assert_eq!(r.message(), "quota exceeded");
+                assert_eq!(format!("{r}"), "quota exceeded");
+                assert_eq!(format!("{r:?}"), "AbortReason(quota exceeded)");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn verdict_equality() {
+        assert_eq!(Verdict::abort("a"), Verdict::abort("a"));
+        assert_ne!(Verdict::abort("a"), Verdict::abort("b"));
+    }
+}

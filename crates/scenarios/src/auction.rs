@@ -1,0 +1,513 @@
+//! Online auction: sealed seller listings, open bidding, audited closes.
+//!
+//! Concern mix: every call authenticates; `list`/`close` require the
+//! `seller` role and `bid` the `bidder` role; all three methods share a
+//! mutual-exclusion group (the house's book must change atomically);
+//! bids and closes are audited; bid latency is measured.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use amf_aspects::audit::{AuditAspect, AuditLog};
+use amf_aspects::auth::{AuthToken, AuthenticationAspect, Authenticator, AuthorizationAspect, Role};
+use amf_aspects::metrics::{MetricsAspect, MetricsHub};
+use amf_aspects::sync::ExclusionGroup;
+use amf_core::{
+    AspectModerator, Concern, InvocationContext, MethodHandle, MethodId, Moderated,
+    RegistrationError,
+};
+
+use crate::ServiceError;
+
+/// Domain failures of the auction book.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuctionError {
+    /// No listing with that id.
+    UnknownListing,
+    /// The listing is already closed.
+    Closed,
+    /// Bid does not beat the current best (or the reserve).
+    TooLow {
+        /// The amount a new bid must exceed.
+        floor: u64,
+    },
+    /// Sellers may not bid on their own listings.
+    SelfBid,
+}
+
+impl fmt::Display for AuctionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuctionError::UnknownListing => f.write_str("unknown listing"),
+            AuctionError::Closed => f.write_str("listing is closed"),
+            AuctionError::TooLow { floor } => write!(f, "bid must exceed {floor}"),
+            AuctionError::SelfBid => f.write_str("sellers may not bid on their own listing"),
+        }
+    }
+}
+
+impl Error for AuctionError {}
+
+#[derive(Debug, Clone)]
+struct Listing {
+    seller: String,
+    reserve: u64,
+    best: Option<(String, u64)>,
+    open: bool,
+}
+
+/// The sequential auction book (functional component; no
+/// synchronization, no security).
+#[derive(Debug, Default)]
+pub struct AuctionHouse {
+    listings: HashMap<u64, Listing>,
+    next_id: u64,
+}
+
+impl AuctionHouse {
+    /// An empty book.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a listing; returns its id.
+    pub fn list(&mut self, seller: &str, reserve: u64) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.listings.insert(
+            id,
+            Listing {
+                seller: seller.to_string(),
+                reserve,
+                best: None,
+                open: true,
+            },
+        );
+        id
+    }
+
+    /// Places a bid.
+    ///
+    /// # Errors
+    ///
+    /// See [`AuctionError`].
+    pub fn bid(&mut self, id: u64, bidder: &str, amount: u64) -> Result<(), AuctionError> {
+        let listing = self
+            .listings
+            .get_mut(&id)
+            .ok_or(AuctionError::UnknownListing)?;
+        if !listing.open {
+            return Err(AuctionError::Closed);
+        }
+        if listing.seller == bidder {
+            return Err(AuctionError::SelfBid);
+        }
+        let floor = listing
+            .best
+            .as_ref()
+            .map_or(listing.reserve, |(_, best)| *best);
+        if amount <= floor {
+            return Err(AuctionError::TooLow { floor });
+        }
+        listing.best = Some((bidder.to_string(), amount));
+        Ok(())
+    }
+
+    /// Closes a listing; returns the winning (bidder, amount) if the
+    /// reserve was met.
+    ///
+    /// # Errors
+    ///
+    /// See [`AuctionError`].
+    pub fn close(&mut self, id: u64) -> Result<Option<(String, u64)>, AuctionError> {
+        let listing = self
+            .listings
+            .get_mut(&id)
+            .ok_or(AuctionError::UnknownListing)?;
+        if !listing.open {
+            return Err(AuctionError::Closed);
+        }
+        listing.open = false;
+        Ok(listing.best.clone())
+    }
+
+    /// The current best bid on a listing.
+    pub fn best_bid(&self, id: u64) -> Option<(String, u64)> {
+        self.listings.get(&id).and_then(|l| l.best.clone())
+    }
+
+    /// Number of listings (open or closed).
+    pub fn listing_count(&self) -> usize {
+        self.listings.len()
+    }
+}
+
+/// Result alias for auction service calls.
+pub type AuctionResult<T> = Result<T, ServiceError<AuctionError>>;
+
+/// The moderated auction service.
+///
+/// ```
+/// use std::sync::Arc;
+/// use amf_aspects::auth::{Authenticator, Role};
+/// use amf_core::AspectModerator;
+/// use amf_scenarios::AuctionService;
+///
+/// let auth = Authenticator::shared();
+/// auth.add_user("sam", "pw");
+/// auth.grant_role("sam", Role::new("seller")).unwrap();
+/// auth.add_user("bea", "pw");
+/// auth.grant_role("bea", Role::new("bidder")).unwrap();
+///
+/// let svc = AuctionService::new(AspectModerator::shared(), Arc::clone(&auth)).unwrap();
+/// let sam = auth.login("sam", "pw").unwrap();
+/// let bea = auth.login("bea", "pw").unwrap();
+///
+/// let id = svc.list(sam, 100).unwrap();
+/// svc.bid(bea, id, 150).unwrap();
+/// assert_eq!(svc.close(sam, id).unwrap(), Some(("bea".to_string(), 150)));
+/// ```
+pub struct AuctionService {
+    inner: Moderated<AuctionHouse>,
+    list: MethodHandle,
+    bid: MethodHandle,
+    close: MethodHandle,
+    audit: Arc<AuditLog>,
+    metrics: MetricsHub,
+}
+
+impl fmt::Debug for AuctionService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AuctionService").finish_non_exhaustive()
+    }
+}
+
+impl AuctionService {
+    /// Composes the service: authentication on every method, roles on
+    /// list/bid/close, one exclusion group, audit on bid/close, metrics
+    /// on bid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RegistrationError`] if the moderator already holds
+    /// conflicting registrations.
+    pub fn new(
+        moderator: Arc<AspectModerator>,
+        auth: Arc<Authenticator>,
+    ) -> Result<Self, RegistrationError> {
+        let list = moderator.declare_method(MethodId::new("list"));
+        let bid = moderator.declare_method(MethodId::new("bid"));
+        let close = moderator.declare_method(MethodId::new("close"));
+
+        let exclusion = ExclusionGroup::new();
+        let audit = AuditLog::shared();
+        let metrics = MetricsHub::new();
+
+        for handle in [&list, &bid, &close] {
+            // Innermost: the book changes atomically.
+            moderator.register(
+                handle,
+                Concern::synchronization(),
+                Box::new(exclusion.aspect()),
+            )?;
+        }
+        // Audit wraps the book mutation for bid and close.
+        for handle in [&bid, &close] {
+            moderator.register(
+                handle,
+                Concern::audit(),
+                Box::new(AuditAspect::new(Arc::clone(&audit))),
+            )?;
+        }
+        moderator.register(
+            &bid,
+            Concern::metrics(),
+            Box::new(MetricsAspect::new(metrics.clone())),
+        )?;
+        // Roles, then authentication outermost (registered last =>
+        // evaluated first under nested ordering).
+        moderator.register(
+            &list,
+            Concern::authorization(),
+            Box::new(AuthorizationAspect::new(
+                Arc::clone(&auth),
+                Role::new("seller"),
+            )),
+        )?;
+        moderator.register(
+            &close,
+            Concern::authorization(),
+            Box::new(AuthorizationAspect::new(
+                Arc::clone(&auth),
+                Role::new("seller"),
+            )),
+        )?;
+        moderator.register(
+            &bid,
+            Concern::authorization(),
+            Box::new(AuthorizationAspect::new(
+                Arc::clone(&auth),
+                Role::new("bidder"),
+            )),
+        )?;
+        for handle in [&list, &bid, &close] {
+            moderator.register(
+                handle,
+                Concern::authentication(),
+                Box::new(AuthenticationAspect::new(Arc::clone(&auth))),
+            )?;
+        }
+
+        Ok(Self {
+            inner: Moderated::new(AuctionHouse::new(), moderator),
+            list,
+            bid,
+            close,
+            audit,
+            metrics,
+        })
+    }
+
+    fn ctx(&self, method: &MethodHandle, token: AuthToken) -> InvocationContext {
+        let mut ctx = InvocationContext::new(
+            method.id().clone(),
+            self.inner.moderator().next_invocation(),
+        );
+        ctx.insert(token);
+        ctx
+    }
+
+    fn call<R>(
+        &self,
+        method: &MethodHandle,
+        token: AuthToken,
+        f: impl FnOnce(&mut AuctionHouse) -> Result<R, AuctionError>,
+    ) -> AuctionResult<R> {
+        let mut guard = self.inner.enter_with(method, self.ctx(method, token))?;
+        let r = f(&mut guard.component());
+        if r.is_err() {
+            guard.context().set_outcome(amf_core::Outcome::Failure);
+        }
+        guard.complete();
+        r.map_err(ServiceError::Domain)
+    }
+
+    /// Lists an item (requires the `seller` role). The authenticated
+    /// principal becomes the seller of record.
+    ///
+    /// # Errors
+    ///
+    /// Veto (authentication/authorization) — listing has no domain
+    /// errors.
+    pub fn list(&self, token: AuthToken, reserve: u64) -> AuctionResult<u64> {
+        let mut guard = self.inner.enter_with(&self.list, self.ctx(&self.list, token))?;
+        let seller = guard
+            .context()
+            .principal()
+            .expect("authentication attaches the principal")
+            .name()
+            .to_string();
+        let id = guard.component().list(&seller, reserve);
+        guard.complete();
+        Ok(id)
+    }
+
+    /// Places a bid (requires the `bidder` role).
+    ///
+    /// # Errors
+    ///
+    /// Veto, or a domain [`AuctionError`].
+    pub fn bid(&self, token: AuthToken, id: u64, amount: u64) -> AuctionResult<()> {
+        let mut guard = self.inner.enter_with(&self.bid, self.ctx(&self.bid, token))?;
+        let bidder = guard
+            .context()
+            .principal()
+            .expect("authentication attaches the principal")
+            .name()
+            .to_string();
+        let r = guard.component().bid(id, &bidder, amount);
+        if r.is_err() {
+            guard.context().set_outcome(amf_core::Outcome::Failure);
+        }
+        guard.complete();
+        r.map_err(ServiceError::Domain)
+    }
+
+    /// Closes a listing (requires the `seller` role); returns the winner
+    /// if the reserve was met.
+    ///
+    /// # Errors
+    ///
+    /// Veto, or a domain [`AuctionError`].
+    pub fn close(&self, token: AuthToken, id: u64) -> AuctionResult<Option<(String, u64)>> {
+        self.call(&self.close, token, |h| h.close(id))
+    }
+
+    /// The audit trail (bids and closes).
+    pub fn audit(&self) -> &Arc<AuditLog> {
+        &self.audit
+    }
+
+    /// The metrics hub (bid latency and counts).
+    pub fn metrics(&self) -> &MetricsHub {
+        &self.metrics
+    }
+
+    /// Unmoderated read access for assertions.
+    pub fn with_house<R>(&self, f: impl FnOnce(&AuctionHouse) -> R) -> R {
+        self.inner.with_component(|h| f(h))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amf_aspects::audit::AuditPhase;
+
+    fn setup() -> (AuctionService, Arc<Authenticator>, AuthToken, AuthToken) {
+        let auth = Authenticator::shared();
+        auth.add_user("sam", "pw");
+        auth.grant_role("sam", Role::new("seller")).unwrap();
+        auth.add_user("bea", "pw");
+        auth.grant_role("bea", Role::new("bidder")).unwrap();
+        let svc = AuctionService::new(AspectModerator::shared(), Arc::clone(&auth)).unwrap();
+        let sam = auth.login("sam", "pw").unwrap();
+        let bea = auth.login("bea", "pw").unwrap();
+        (svc, auth, sam, bea)
+    }
+
+    #[test]
+    fn happy_path_auction() {
+        let (svc, _auth, sam, bea) = setup();
+        let id = svc.list(sam, 100).unwrap();
+        svc.bid(bea, id, 120).unwrap();
+        svc.bid(bea, id, 150).unwrap();
+        assert_eq!(svc.close(sam, id).unwrap(), Some(("bea".into(), 150)));
+    }
+
+    #[test]
+    fn roles_are_enforced() {
+        let (svc, _auth, sam, bea) = setup();
+        let id = svc.list(sam, 10).unwrap();
+        // Bidders cannot list or close; sellers cannot bid.
+        assert!(svc.list(bea, 5).unwrap_err().as_veto().is_some());
+        assert!(svc.close(bea, id).unwrap_err().as_veto().is_some());
+        let veto = svc.bid(sam, id, 99).unwrap_err();
+        assert!(veto.as_veto().unwrap().to_string().contains("lacks role"));
+    }
+
+    #[test]
+    fn anonymous_calls_are_vetoed() {
+        let (svc, _auth, _sam, _bea) = setup();
+        let err = svc.list(AuthToken(0), 10).unwrap_err();
+        assert_eq!(
+            err.as_veto().unwrap().concern().unwrap(),
+            &Concern::authentication()
+        );
+    }
+
+    #[test]
+    fn domain_errors_flow_through() {
+        let (svc, _auth, sam, bea) = setup();
+        let id = svc.list(sam, 100).unwrap();
+        assert_eq!(
+            svc.bid(bea, id, 100).unwrap_err().as_domain(),
+            Some(&AuctionError::TooLow { floor: 100 })
+        );
+        assert_eq!(
+            svc.bid(bea, 999, 50).unwrap_err().as_domain(),
+            Some(&AuctionError::UnknownListing)
+        );
+        svc.close(sam, id).unwrap();
+        assert_eq!(
+            svc.bid(bea, id, 500).unwrap_err().as_domain(),
+            Some(&AuctionError::Closed)
+        );
+    }
+
+    #[test]
+    fn audit_records_attempts_and_failures() {
+        let (svc, _auth, sam, bea) = setup();
+        let id = svc.list(sam, 100).unwrap();
+        svc.bid(bea, id, 150).unwrap();
+        let _ = svc.bid(bea, id, 10); // too low -> Failure outcome
+        let records = svc.audit().records();
+        let completed: Vec<_> = records
+            .iter()
+            .filter(|r| r.phase == AuditPhase::Completed)
+            .collect();
+        assert_eq!(completed.len(), 2);
+        assert_eq!(
+            completed[0].outcome,
+            Some(amf_aspects::audit::AuditOutcome::Success)
+        );
+        assert_eq!(
+            completed[1].outcome,
+            Some(amf_aspects::audit::AuditOutcome::Failure)
+        );
+        assert!(records.iter().all(|r| r.principal.as_deref() == Some("bea")));
+    }
+
+    #[test]
+    fn metrics_count_bids() {
+        let (svc, _auth, sam, bea) = setup();
+        let id = svc.list(sam, 1).unwrap();
+        for amount in [2, 3, 4] {
+            svc.bid(bea, id, amount).unwrap();
+        }
+        let _ = svc.bid(bea, id, 1);
+        let m = svc.metrics().method("bid").unwrap();
+        assert_eq!(m.invocations, 4);
+        assert_eq!(m.failures, 1);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// For any bid sequence, accepted bids are strictly
+            /// increasing and the recorded best equals the maximum
+            /// accepted bid.
+            #[test]
+            fn accepted_bids_strictly_increase(
+                reserve in 0..50u64,
+                bids in proptest::collection::vec(0..100u64, 1..40)
+            ) {
+                let mut house = AuctionHouse::new();
+                let id = house.list("seller", reserve);
+                let mut accepted = Vec::new();
+                for b in bids {
+                    if house.bid(id, "bidder", b).is_ok() {
+                        accepted.push(b);
+                    }
+                }
+                prop_assert!(accepted.windows(2).all(|w| w[0] < w[1]));
+                prop_assert!(accepted.iter().all(|b| *b > reserve));
+                prop_assert_eq!(
+                    house.best_bid(id).map(|(_, amount)| amount),
+                    accepted.last().copied()
+                );
+                let winner = house.close(id).unwrap();
+                prop_assert_eq!(
+                    winner.map(|(_, amount)| amount),
+                    accepted.last().copied()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn failed_auth_leaves_no_trace_in_book_or_audit() {
+        let (svc, _auth, sam, bea) = setup();
+        let id = svc.list(sam, 100).unwrap();
+        let before = svc.audit().len();
+        assert!(svc.bid(AuthToken(1), id, 500).is_err());
+        assert_eq!(svc.audit().len(), before, "aborted pre leaves no audit");
+        assert_eq!(svc.with_house(|h| h.best_bid(id)), None);
+        svc.bid(bea, id, 500).unwrap();
+        assert_eq!(svc.with_house(|h| h.listing_count()), 1);
+    }
+}

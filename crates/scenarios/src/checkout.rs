@@ -1,0 +1,389 @@
+//! Online-store checkout: the composition that needs *every* kind of
+//! concern at once — leased payment-gateway connections (coordination),
+//! latency budgets (deadlines), bounded gateway concurrency,
+//! authentication, audit and a circuit breaker on the flaky gateway.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use amf_aspects::audit::{AuditAspect, AuditLog};
+use amf_aspects::auth::{AuthToken, AuthenticationAspect, Authenticator};
+use amf_aspects::coordination::{Deadline, DeadlineAspect, Lease, ResourceLeaseAspect};
+use amf_aspects::fault::CircuitBreakerAspect;
+use amf_aspects::sync::ConcurrencyLimitGroup;
+use amf_concurrency::{Clock, ResourcePool};
+use amf_core::{
+    AspectModerator, Concern, InvocationContext, MethodHandle, MethodId, Moderated, Outcome,
+    RegistrationError,
+};
+
+use crate::ServiceError;
+
+/// A payment-gateway connection (the leased resource).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GatewayConn {
+    /// Connection label, e.g. `"gw-0"`.
+    pub label: String,
+}
+
+/// Domain failures of checkout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckoutError {
+    /// The cart was empty.
+    EmptyCart,
+    /// The gateway declined the charge.
+    Declined,
+}
+
+impl fmt::Display for CheckoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckoutError::EmptyCart => f.write_str("cart is empty"),
+            CheckoutError::Declined => f.write_str("payment declined"),
+        }
+    }
+}
+
+impl Error for CheckoutError {}
+
+/// The sequential order book (functional component): it records orders
+/// and charges a gateway connection *it is handed* — it owns no pool,
+/// no locking, no security.
+#[derive(Debug, Default)]
+pub struct OrderBook {
+    orders: Vec<(String, u64)>,
+    declined: u64,
+}
+
+impl OrderBook {
+    /// An empty book.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges `amount` for `customer` over `conn`. Amounts divisible
+    /// by 1000 are declined by the (simulated) gateway.
+    ///
+    /// # Errors
+    ///
+    /// See [`CheckoutError`].
+    pub fn charge(
+        &mut self,
+        conn: &GatewayConn,
+        customer: &str,
+        amount: u64,
+    ) -> Result<(), CheckoutError> {
+        if amount == 0 {
+            return Err(CheckoutError::EmptyCart);
+        }
+        if amount.is_multiple_of(1000) {
+            self.declined += 1;
+            return Err(CheckoutError::Declined);
+        }
+        self.orders.push((format!("{customer}@{}", conn.label), amount));
+        Ok(())
+    }
+
+    /// Completed orders.
+    pub fn orders(&self) -> &[(String, u64)] {
+        &self.orders
+    }
+
+    /// Gateway declines seen.
+    pub fn declined(&self) -> u64 {
+        self.declined
+    }
+}
+
+/// Result alias for checkout calls.
+pub type CheckoutResult<T> = Result<T, ServiceError<CheckoutError>>;
+
+/// The moderated checkout service.
+///
+/// Composition (inner → outer): gateway lease → concurrency limit →
+/// circuit breaker → audit → deadline → authentication.
+pub struct CheckoutService {
+    inner: Moderated<OrderBook>,
+    charge: MethodHandle,
+    audit: Arc<AuditLog>,
+    pool: Arc<ResourcePool<GatewayConn>>,
+    clock: Arc<dyn Clock>,
+}
+
+impl fmt::Debug for CheckoutService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CheckoutService")
+            .field("pool", &self.pool)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CheckoutService {
+    /// Composes the service over `gateway_conns` pooled connections.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RegistrationError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gateway_conns` is zero.
+    pub fn new(
+        moderator: Arc<AspectModerator>,
+        auth: Arc<Authenticator>,
+        gateway_conns: usize,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Self, RegistrationError> {
+        assert!(gateway_conns > 0, "need at least one gateway connection");
+        let charge = moderator.declare_method(MethodId::new("charge"));
+        let pool = Arc::new(ResourcePool::new(
+            (0..gateway_conns)
+                .map(|i| GatewayConn {
+                    label: format!("gw-{i}"),
+                })
+                .collect(),
+        ));
+        let audit = AuditLog::shared();
+
+        // Innermost: take a gateway connection.
+        moderator.register(
+            &charge,
+            Concern::new("gateway-lease"),
+            Box::new(ResourceLeaseAspect::new(Arc::clone(&pool))),
+        )?;
+        // Bound concurrent charges to the pool size (fail-safe belt
+        // over the lease's natural blocking).
+        let limit = ConcurrencyLimitGroup::new(gateway_conns);
+        moderator.register(
+            &charge,
+            Concern::synchronization(),
+            Box::new(limit.aspect()),
+        )?;
+        // Trip after 3 consecutive gateway failures; cool down 5s.
+        moderator.register(
+            &charge,
+            Concern::fault_tolerance(),
+            Box::new(CircuitBreakerAspect::with_clock(
+                3,
+                Duration::from_secs(5),
+                Arc::clone(&clock),
+            )),
+        )?;
+        moderator.register(
+            &charge,
+            Concern::audit(),
+            Box::new(AuditAspect::new(Arc::clone(&audit))),
+        )?;
+        moderator.register(
+            &charge,
+            Concern::new("deadline"),
+            Box::new(DeadlineAspect::with_clock(Arc::clone(&clock))),
+        )?;
+        // Outermost: who is calling.
+        moderator.register(
+            &charge,
+            Concern::authentication(),
+            Box::new(AuthenticationAspect::new(auth)),
+        )?;
+
+        Ok(Self {
+            inner: Moderated::new(OrderBook::new(), moderator),
+            charge,
+            audit,
+            pool,
+            clock,
+        })
+    }
+
+    /// Charges `amount` on behalf of the session, within an optional
+    /// latency `budget`.
+    ///
+    /// # Errors
+    ///
+    /// Veto (authentication, deadline, open breaker) or domain
+    /// [`CheckoutError`].
+    pub fn charge(
+        &self,
+        token: AuthToken,
+        amount: u64,
+        budget: Option<Duration>,
+    ) -> CheckoutResult<()> {
+        let mut ctx = InvocationContext::new(
+            self.charge.id().clone(),
+            self.inner.moderator().next_invocation(),
+        );
+        ctx.insert(token);
+        if let Some(budget) = budget {
+            ctx.insert(Deadline(self.clock.now() + budget));
+        }
+        let mut guard = self.inner.enter_with(&self.charge, ctx)?;
+        let customer = guard
+            .context()
+            .principal()
+            .expect("authentication attaches the principal")
+            .name()
+            .to_string();
+        let conn = guard
+            .context()
+            .get::<Lease<GatewayConn>>()
+            .and_then(Lease::get)
+            .expect("gateway lease attaches a connection")
+            .clone();
+        let r = guard.component().charge(&conn, &customer, amount);
+        if r.is_err() {
+            guard.context().set_outcome(Outcome::Failure);
+        }
+        guard.complete();
+        r.map_err(ServiceError::Domain)
+    }
+
+    /// The audit trail.
+    pub fn audit(&self) -> &Arc<AuditLog> {
+        &self.audit
+    }
+
+    /// The coordinating moderator.
+    pub fn moderator(&self) -> &Arc<AspectModerator> {
+        self.inner.moderator()
+    }
+
+    /// Gateway connections currently free.
+    pub fn free_connections(&self) -> usize {
+        self.pool.available()
+    }
+
+    /// Unmoderated read access to the order book.
+    pub fn with_book<R>(&self, f: impl FnOnce(&OrderBook) -> R) -> R {
+        self.inner.with_component(|b| f(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amf_concurrency::ManualClock;
+
+    fn setup(conns: usize) -> (CheckoutService, Arc<Authenticator>, ManualClock) {
+        let clock = ManualClock::new();
+        let auth = Authenticator::shared();
+        auth.add_user("cust", "pw");
+        let svc = CheckoutService::new(
+            AspectModerator::shared(),
+            Arc::clone(&auth),
+            conns,
+            Arc::new(clock.clone()),
+        )
+        .unwrap();
+        (svc, auth, clock)
+    }
+
+    #[test]
+    fn successful_charge_records_order_with_connection() {
+        let (svc, auth, _clock) = setup(2);
+        let t = auth.login("cust", "pw").unwrap();
+        svc.charge(t, 42, None).unwrap();
+        svc.with_book(|b| {
+            assert_eq!(b.orders().len(), 1);
+            assert!(b.orders()[0].0.starts_with("cust@gw-"));
+        });
+        assert_eq!(svc.free_connections(), 2, "lease returned");
+    }
+
+    #[test]
+    fn domain_failures_flow_and_release_everything() {
+        let (svc, auth, _clock) = setup(1);
+        let t = auth.login("cust", "pw").unwrap();
+        assert_eq!(
+            svc.charge(t, 0, None).unwrap_err().as_domain(),
+            Some(&CheckoutError::EmptyCart)
+        );
+        assert_eq!(
+            svc.charge(t, 1000, None).unwrap_err().as_domain(),
+            Some(&CheckoutError::Declined)
+        );
+        assert_eq!(svc.free_connections(), 1);
+    }
+
+    #[test]
+    fn breaker_trips_after_consecutive_declines() {
+        let (svc, auth, clock) = setup(1);
+        let t = auth.login("cust", "pw").unwrap();
+        for _ in 0..3 {
+            let e = svc.charge(t, 2000, None).unwrap_err();
+            assert!(e.as_domain().is_some());
+        }
+        // Breaker open: vetoed before the book or the pool is touched.
+        let veto = svc.charge(t, 7, None).unwrap_err();
+        assert_eq!(
+            veto.as_veto().unwrap().concern().unwrap(),
+            &Concern::fault_tolerance()
+        );
+        assert_eq!(svc.free_connections(), 1, "no lease leaked by the veto");
+        // After cooldown a good charge closes it.
+        clock.advance(Duration::from_secs(5));
+        svc.charge(t, 7, None).unwrap();
+        svc.charge(t, 9, None).unwrap();
+    }
+
+    #[test]
+    fn expired_budget_is_vetoed() {
+        let (svc, auth, clock) = setup(1);
+        let t = auth.login("cust", "pw").unwrap();
+        clock.advance(Duration::from_secs(1));
+        // A zero budget with a clock that advances before evaluation:
+        // simulate by giving a deadline in the past via zero budget and
+        // advancing the clock between context build and evaluation is
+        // racy; instead check the honest path: generous budget passes.
+        svc.charge(t, 5, Some(Duration::from_secs(60))).unwrap();
+        // And a deadline already expired (negative budget impossible;
+        // use Duration::ZERO then advance clock inside aspect's view by
+        // charging after advancing).
+        let veto = {
+            // Build a context whose deadline is now, then advance time.
+            let mut ctx = InvocationContext::new(
+                MethodId::new("charge"),
+                svc.inner.moderator().next_invocation(),
+            );
+            ctx.insert(t);
+            ctx.insert(Deadline(clock.now()));
+            clock.advance(Duration::from_millis(1));
+            svc.inner.enter_with(&svc.charge, ctx).unwrap_err()
+        };
+        assert_eq!(veto.concern().unwrap(), &Concern::new("deadline"));
+    }
+
+    #[test]
+    fn anonymous_charge_is_vetoed_before_anything_runs() {
+        let (svc, _auth, _clock) = setup(1);
+        let veto = svc.charge(AuthToken(0), 5, None).unwrap_err();
+        assert_eq!(
+            veto.as_veto().unwrap().concern().unwrap(),
+            &Concern::authentication()
+        );
+        assert!(svc.audit().is_empty(), "audit is inside authentication");
+        assert_eq!(svc.free_connections(), 1);
+    }
+
+    #[test]
+    fn concurrent_charges_bounded_by_pool() {
+        let (svc, auth, _clock) = setup(2);
+        let svc = Arc::new(svc);
+        let t = auth.login("cust", "pw").unwrap();
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let svc = Arc::clone(&svc);
+            handles.push(std::thread::spawn(move || {
+                for j in 0..25u64 {
+                    svc.charge(t, 1 + i * 100 + j, None).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(svc.with_book(|b| b.orders().len()), 200);
+        assert_eq!(svc.free_connections(), 2);
+    }
+}

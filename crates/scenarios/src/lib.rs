@@ -1,0 +1,77 @@
+//! # Motivating scenarios from the paper's introduction
+//!
+//! Section 2 of the paper motivates the framework with "e-commerce and
+//! online client-server applications, like trouble-ticketing systems,
+//! on-line reservation systems, timecard reporting systems, and online
+//! auctions". The trouble-ticketing system lives in `amf-ticketing`;
+//! this crate builds the other three, each composing a different mix of
+//! concerns over an unchanged sequential component:
+//!
+//! | Scenario | Functional component | Concerns composed |
+//! |---|---|---|
+//! | [`auction`] | `AuctionHouse` | authentication, authorization, mutual exclusion, audit, metrics |
+//! | [`reservation`] | `SeatMap` | authentication, per-principal quota, mutual exclusion, audit |
+//! | [`timecard`] | `TimecardLedger` | authentication, role authorization, rate limiting, audit |
+//! | [`checkout`] | `OrderBook` | authentication, deadline budgets, gateway-connection leases, concurrency limit, circuit breaker, audit |
+
+#![warn(missing_docs)]
+
+pub mod auction;
+pub mod checkout;
+pub mod reservation;
+pub mod timecard;
+
+pub use auction::{AuctionError, AuctionHouse, AuctionService};
+pub use checkout::{CheckoutError, CheckoutService, GatewayConn, OrderBook};
+pub use reservation::{ReservationError, ReservationService, SeatMap};
+pub use timecard::{TimecardError, TimecardLedger, TimecardService};
+
+use std::error::Error;
+use std::fmt;
+
+use amf_core::AbortError;
+
+/// A moderated service call failed: either an aspect vetoed the
+/// activation, or the functional method reported a domain error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError<E> {
+    /// An aspect aborted the activation (authentication, quota, ...).
+    Vetoed(AbortError),
+    /// The functional method ran and failed.
+    Domain(E),
+}
+
+impl<E: fmt::Display> fmt::Display for ServiceError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Vetoed(e) => write!(f, "vetoed: {e}"),
+            ServiceError::Domain(e) => write!(f, "domain error: {e}"),
+        }
+    }
+}
+
+impl<E: fmt::Debug + fmt::Display> Error for ServiceError<E> {}
+
+impl<E> From<AbortError> for ServiceError<E> {
+    fn from(e: AbortError) -> Self {
+        ServiceError::Vetoed(e)
+    }
+}
+
+impl<E> ServiceError<E> {
+    /// The abort, if this was a veto.
+    pub fn as_veto(&self) -> Option<&AbortError> {
+        match self {
+            ServiceError::Vetoed(e) => Some(e),
+            ServiceError::Domain(_) => None,
+        }
+    }
+
+    /// The domain error, if the method ran and failed.
+    pub fn as_domain(&self) -> Option<&E> {
+        match self {
+            ServiceError::Vetoed(_) => None,
+            ServiceError::Domain(e) => Some(e),
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! Online seat reservation: authenticated callers reserve and cancel
+//! seats, with a per-principal quota and a fully serialized seat map.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use amf_aspects::audit::{AuditAspect, AuditLog};
+use amf_aspects::auth::{AuthToken, AuthenticationAspect, Authenticator};
+use amf_aspects::quota::QuotaAspect;
+use amf_aspects::sync::ExclusionGroup;
+use amf_core::{
+    AspectModerator, Concern, InvocationContext, MethodHandle, MethodId, Moderated, Outcome,
+    RegistrationError,
+};
+
+use crate::ServiceError;
+
+/// Domain failures of the seat map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReservationError {
+    /// Seat number beyond the venue size.
+    OutOfRange,
+    /// Seat already held by someone.
+    Taken {
+        /// Who holds it.
+        by: String,
+    },
+    /// Cancel of a seat the caller does not hold.
+    NotHeld,
+}
+
+impl fmt::Display for ReservationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReservationError::OutOfRange => f.write_str("seat out of range"),
+            ReservationError::Taken { by } => write!(f, "seat already taken by {by}"),
+            ReservationError::NotHeld => f.write_str("seat not held by caller"),
+        }
+    }
+}
+
+impl Error for ReservationError {}
+
+/// The sequential seat map (functional component).
+#[derive(Debug, Clone)]
+pub struct SeatMap {
+    seats: Vec<Option<String>>,
+}
+
+impl SeatMap {
+    /// A venue of `seats` empty seats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seats` is zero.
+    pub fn new(seats: usize) -> Self {
+        assert!(seats > 0, "venue needs at least one seat");
+        Self {
+            seats: vec![None; seats],
+        }
+    }
+
+    /// Reserves `seat` for `who`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ReservationError`].
+    pub fn reserve(&mut self, seat: usize, who: &str) -> Result<(), ReservationError> {
+        match self.seats.get_mut(seat) {
+            None => Err(ReservationError::OutOfRange),
+            Some(Some(holder)) => Err(ReservationError::Taken { by: holder.clone() }),
+            Some(slot) => {
+                *slot = Some(who.to_string());
+                Ok(())
+            }
+        }
+    }
+
+    /// Cancels `who`'s hold on `seat`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ReservationError`].
+    pub fn cancel(&mut self, seat: usize, who: &str) -> Result<(), ReservationError> {
+        match self.seats.get_mut(seat) {
+            None => Err(ReservationError::OutOfRange),
+            Some(slot) if slot.as_deref() == Some(who) => {
+                *slot = None;
+                Ok(())
+            }
+            Some(_) => Err(ReservationError::NotHeld),
+        }
+    }
+
+    /// Seats still free.
+    pub fn available(&self) -> usize {
+        self.seats.iter().filter(|s| s.is_none()).count()
+    }
+
+    /// Who holds `seat`, if anyone.
+    pub fn holder(&self, seat: usize) -> Option<&str> {
+        self.seats.get(seat).and_then(|s| s.as_deref())
+    }
+
+    /// Seats held by `who`.
+    pub fn held_by(&self, who: &str) -> Vec<usize> {
+        self.seats
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| (s.as_deref() == Some(who)).then_some(i))
+            .collect()
+    }
+}
+
+/// Result alias for reservation service calls.
+pub type ReservationResult<T> = Result<T, ServiceError<ReservationError>>;
+
+/// The moderated reservation service.
+///
+/// ```
+/// use std::sync::Arc;
+/// use amf_aspects::auth::Authenticator;
+/// use amf_core::AspectModerator;
+/// use amf_scenarios::ReservationService;
+///
+/// let auth = Authenticator::shared();
+/// auth.add_user("rae", "pw");
+/// let svc = ReservationService::new(AspectModerator::shared(), Arc::clone(&auth),
+///                                   100, 4).unwrap();
+/// let rae = auth.login("rae", "pw").unwrap();
+/// svc.reserve(rae, 17).unwrap();
+/// assert_eq!(svc.available(), 99);
+/// ```
+pub struct ReservationService {
+    inner: Moderated<SeatMap>,
+    reserve: MethodHandle,
+    cancel: MethodHandle,
+    audit: Arc<AuditLog>,
+}
+
+impl fmt::Debug for ReservationService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReservationService").finish_non_exhaustive()
+    }
+}
+
+impl ReservationService {
+    /// Composes the service over a venue of `seats`, with at most
+    /// `quota_per_caller` *reserve* activations per principal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RegistrationError`].
+    pub fn new(
+        moderator: Arc<AspectModerator>,
+        auth: Arc<Authenticator>,
+        seats: usize,
+        quota_per_caller: u64,
+    ) -> Result<Self, RegistrationError> {
+        let reserve = moderator.declare_method(MethodId::new("reserve"));
+        let cancel = moderator.declare_method(MethodId::new("cancel"));
+
+        let exclusion = ExclusionGroup::new();
+        let audit = AuditLog::shared();
+
+        for handle in [&reserve, &cancel] {
+            moderator.register(
+                handle,
+                Concern::synchronization(),
+                Box::new(exclusion.aspect()),
+            )?;
+            moderator.register(
+                handle,
+                Concern::audit(),
+                Box::new(AuditAspect::new(Arc::clone(&audit))),
+            )?;
+        }
+        // Quota applies to reservations only.
+        moderator.register(
+            &reserve,
+            Concern::quota(),
+            Box::new(QuotaAspect::new(quota_per_caller)),
+        )?;
+        for handle in [&reserve, &cancel] {
+            moderator.register(
+                handle,
+                Concern::authentication(),
+                Box::new(AuthenticationAspect::new(Arc::clone(&auth))),
+            )?;
+        }
+
+        Ok(Self {
+            inner: Moderated::new(SeatMap::new(seats), moderator),
+            reserve,
+            cancel,
+            audit,
+        })
+    }
+
+    fn call(
+        &self,
+        method: &MethodHandle,
+        token: AuthToken,
+        f: impl FnOnce(&mut SeatMap, &str) -> Result<(), ReservationError>,
+    ) -> ReservationResult<()> {
+        let mut ctx = InvocationContext::new(
+            method.id().clone(),
+            self.inner.moderator().next_invocation(),
+        );
+        ctx.insert(token);
+        let mut guard = self.inner.enter_with(method, ctx)?;
+        let who = guard
+            .context()
+            .principal()
+            .expect("authentication attaches the principal")
+            .name()
+            .to_string();
+        let r = f(&mut guard.component(), &who);
+        if r.is_err() {
+            guard.context().set_outcome(Outcome::Failure);
+        }
+        guard.complete();
+        r.map_err(ServiceError::Domain)
+    }
+
+    /// Reserves a seat for the session's principal.
+    ///
+    /// # Errors
+    ///
+    /// Veto (authentication, quota) or domain [`ReservationError`].
+    pub fn reserve(&self, token: AuthToken, seat: usize) -> ReservationResult<()> {
+        self.call(&self.reserve, token, |m, who| m.reserve(seat, who))
+    }
+
+    /// Cancels the principal's hold on a seat.
+    ///
+    /// # Errors
+    ///
+    /// Veto (authentication) or domain [`ReservationError`].
+    pub fn cancel(&self, token: AuthToken, seat: usize) -> ReservationResult<()> {
+        self.call(&self.cancel, token, |m, who| m.cancel(seat, who))
+    }
+
+    /// Seats still free (unmoderated query).
+    pub fn available(&self) -> usize {
+        self.inner.with_component(|m| m.available())
+    }
+
+    /// Seats held by a principal (unmoderated query).
+    pub fn held_by(&self, who: &str) -> Vec<usize> {
+        self.inner.with_component(|m| m.held_by(who))
+    }
+
+    /// The audit trail.
+    pub fn audit(&self) -> &Arc<AuditLog> {
+        &self.audit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(seats: usize, quota: u64) -> (ReservationService, Arc<Authenticator>) {
+        let auth = Authenticator::shared();
+        auth.add_user("rae", "pw");
+        auth.add_user("kit", "pw");
+        let svc =
+            ReservationService::new(AspectModerator::shared(), Arc::clone(&auth), seats, quota)
+                .unwrap();
+        (svc, auth)
+    }
+
+    #[test]
+    fn reserve_and_cancel() {
+        let (svc, auth) = setup(10, 5);
+        let rae = auth.login("rae", "pw").unwrap();
+        svc.reserve(rae, 3).unwrap();
+        assert_eq!(svc.held_by("rae"), vec![3]);
+        svc.cancel(rae, 3).unwrap();
+        assert_eq!(svc.available(), 10);
+    }
+
+    #[test]
+    fn double_booking_is_domain_error() {
+        let (svc, auth) = setup(10, 5);
+        let rae = auth.login("rae", "pw").unwrap();
+        let kit = auth.login("kit", "pw").unwrap();
+        svc.reserve(rae, 3).unwrap();
+        assert_eq!(
+            svc.reserve(kit, 3).unwrap_err().as_domain(),
+            Some(&ReservationError::Taken { by: "rae".into() })
+        );
+    }
+
+    #[test]
+    fn cannot_cancel_someone_elses_seat() {
+        let (svc, auth) = setup(10, 5);
+        let rae = auth.login("rae", "pw").unwrap();
+        let kit = auth.login("kit", "pw").unwrap();
+        svc.reserve(rae, 3).unwrap();
+        assert_eq!(
+            svc.cancel(kit, 3).unwrap_err().as_domain(),
+            Some(&ReservationError::NotHeld)
+        );
+    }
+
+    #[test]
+    fn quota_caps_reservations_per_principal() {
+        let (svc, auth) = setup(10, 2);
+        let rae = auth.login("rae", "pw").unwrap();
+        svc.reserve(rae, 0).unwrap();
+        svc.reserve(rae, 1).unwrap();
+        let veto = svc.reserve(rae, 2).unwrap_err();
+        assert_eq!(
+            veto.as_veto().unwrap().concern().unwrap(),
+            &Concern::quota()
+        );
+        // Cancel is not quota'd.
+        svc.cancel(rae, 0).unwrap();
+        // Another principal has an independent budget.
+        let kit = auth.login("kit", "pw").unwrap();
+        svc.reserve(kit, 5).unwrap();
+    }
+
+    #[test]
+    fn quota_not_consumed_by_vetoed_attempts() {
+        // Quota is registered *inside* authentication under nested
+        // ordering, so an unauthenticated call never touches it.
+        let (svc, auth) = setup(10, 1);
+        for _ in 0..3 {
+            assert!(svc.reserve(AuthToken(99), 0).is_err());
+        }
+        let rae = auth.login("rae", "pw").unwrap();
+        svc.reserve(rae, 0).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_is_domain_error() {
+        let (svc, auth) = setup(2, 5);
+        let rae = auth.login("rae", "pw").unwrap();
+        assert_eq!(
+            svc.reserve(rae, 7).unwrap_err().as_domain(),
+            Some(&ReservationError::OutOfRange)
+        );
+    }
+
+    #[test]
+    fn audit_covers_both_methods() {
+        let (svc, auth) = setup(4, 4);
+        let rae = auth.login("rae", "pw").unwrap();
+        svc.reserve(rae, 0).unwrap();
+        svc.cancel(rae, 0).unwrap();
+        assert_eq!(svc.audit().records_for_method("reserve").len(), 2);
+        assert_eq!(svc.audit().records_for_method("cancel").len(), 2);
+    }
+
+    #[test]
+    fn concurrent_reservations_never_double_book() {
+        let (svc, auth) = setup(32, 64);
+        let svc = Arc::new(svc);
+        let mut handles = Vec::new();
+        for user in ["rae", "kit"] {
+            let token = auth.login(user, "pw").unwrap();
+            let svc = Arc::clone(&svc);
+            handles.push(std::thread::spawn(move || {
+                let mut won = 0;
+                for seat in 0..32 {
+                    if svc.reserve(token, seat).is_ok() {
+                        won += 1;
+                    }
+                }
+                won
+            }));
+        }
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 32, "every seat won exactly once");
+        assert_eq!(svc.available(), 0);
+    }
+}

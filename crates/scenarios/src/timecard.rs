@@ -1,0 +1,362 @@
+//! Timecard reporting: employees submit hours (rate-limited), managers
+//! approve them (role-gated), everything audited.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use amf_aspects::audit::{AuditAspect, AuditLog};
+use amf_aspects::auth::{AuthToken, AuthenticationAspect, Authenticator, AuthorizationAspect, Role};
+use amf_aspects::sched::{RateLimitAspect, ThrottleMode};
+use amf_aspects::sync::ExclusionGroup;
+use amf_concurrency::{Clock, RateLimiter, RateLimiterConfig};
+use amf_core::{
+    AspectModerator, Concern, InvocationContext, MethodHandle, MethodId, Moderated, Outcome,
+    RegistrationError,
+};
+
+use crate::ServiceError;
+
+/// Domain failures of the timecard ledger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimecardError {
+    /// No entry with that id.
+    UnknownEntry,
+    /// Entry was already approved.
+    AlreadyApproved,
+    /// Hours outside (0, 24].
+    InvalidHours,
+}
+
+impl fmt::Display for TimecardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimecardError::UnknownEntry => f.write_str("unknown entry"),
+            TimecardError::AlreadyApproved => f.write_str("entry already approved"),
+            TimecardError::InvalidHours => f.write_str("hours must be in (0, 24]"),
+        }
+    }
+}
+
+impl Error for TimecardError {}
+
+/// One submitted timecard line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimecardEntry {
+    /// Entry id.
+    pub id: u64,
+    /// Who worked the hours.
+    pub employee: String,
+    /// Hours worked.
+    pub hours: f64,
+    /// Whether a manager approved it.
+    pub approved: bool,
+}
+
+/// The sequential ledger (functional component).
+#[derive(Debug, Default)]
+pub struct TimecardLedger {
+    entries: Vec<TimecardEntry>,
+}
+
+impl TimecardLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Submits hours for `employee`; returns the entry id.
+    ///
+    /// # Errors
+    ///
+    /// [`TimecardError::InvalidHours`].
+    pub fn submit(&mut self, employee: &str, hours: f64) -> Result<u64, TimecardError> {
+        if !(hours > 0.0 && hours <= 24.0) {
+            return Err(TimecardError::InvalidHours);
+        }
+        let id = self.entries.len() as u64;
+        self.entries.push(TimecardEntry {
+            id,
+            employee: employee.to_string(),
+            hours,
+            approved: false,
+        });
+        Ok(id)
+    }
+
+    /// Approves an entry.
+    ///
+    /// # Errors
+    ///
+    /// See [`TimecardError`].
+    pub fn approve(&mut self, id: u64) -> Result<(), TimecardError> {
+        let entry = self
+            .entries
+            .get_mut(usize::try_from(id).map_err(|_| TimecardError::UnknownEntry)?)
+            .ok_or(TimecardError::UnknownEntry)?;
+        if entry.approved {
+            return Err(TimecardError::AlreadyApproved);
+        }
+        entry.approved = true;
+        Ok(())
+    }
+
+    /// Total approved hours for an employee.
+    pub fn approved_hours(&self, employee: &str) -> f64 {
+        self.entries
+            .iter()
+            .filter(|e| e.approved && e.employee == employee)
+            .map(|e| e.hours)
+            .sum()
+    }
+
+    /// All entries, submission order.
+    pub fn entries(&self) -> &[TimecardEntry] {
+        &self.entries
+    }
+}
+
+/// Result alias for timecard service calls.
+pub type TimecardResult<T> = Result<T, ServiceError<TimecardError>>;
+
+/// The moderated timecard service.
+pub struct TimecardService {
+    inner: Moderated<TimecardLedger>,
+    submit: MethodHandle,
+    approve: MethodHandle,
+    audit: Arc<AuditLog>,
+}
+
+impl fmt::Debug for TimecardService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TimecardService").finish_non_exhaustive()
+    }
+}
+
+impl TimecardService {
+    /// Composes the service: submissions throttled to
+    /// `submits_per_second`, approvals restricted to the `manager` role,
+    /// both methods authenticated, serialized and audited.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RegistrationError`].
+    pub fn new(
+        moderator: Arc<AspectModerator>,
+        auth: Arc<Authenticator>,
+        submits_per_second: u64,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Self, RegistrationError> {
+        let submit = moderator.declare_method(MethodId::new("submit"));
+        let approve = moderator.declare_method(MethodId::new("approve"));
+
+        let exclusion = ExclusionGroup::new();
+        let audit = AuditLog::shared();
+        let limiter = Arc::new(RateLimiter::new(
+            RateLimiterConfig::per_second(submits_per_second),
+            clock,
+        ));
+
+        for handle in [&submit, &approve] {
+            moderator.register(
+                handle,
+                Concern::synchronization(),
+                Box::new(exclusion.aspect()),
+            )?;
+            moderator.register(
+                handle,
+                Concern::audit(),
+                Box::new(AuditAspect::new(Arc::clone(&audit))),
+            )?;
+        }
+        moderator.register(
+            &submit,
+            Concern::throttling(),
+            Box::new(RateLimitAspect::new(limiter, ThrottleMode::Abort)),
+        )?;
+        moderator.register(
+            &approve,
+            Concern::authorization(),
+            Box::new(AuthorizationAspect::new(
+                Arc::clone(&auth),
+                Role::new("manager"),
+            )),
+        )?;
+        for handle in [&submit, &approve] {
+            moderator.register(
+                handle,
+                Concern::authentication(),
+                Box::new(AuthenticationAspect::new(Arc::clone(&auth))),
+            )?;
+        }
+
+        Ok(Self {
+            inner: Moderated::new(TimecardLedger::new(), moderator),
+            submit,
+            approve,
+            audit,
+        })
+    }
+
+    fn enter(
+        &self,
+        method: &MethodHandle,
+        token: AuthToken,
+    ) -> Result<amf_core::ActivationGuard<'_, TimecardLedger>, amf_core::AbortError> {
+        let mut ctx = InvocationContext::new(
+            method.id().clone(),
+            self.inner.moderator().next_invocation(),
+        );
+        ctx.insert(token);
+        self.inner.enter_with(method, ctx)
+    }
+
+    /// Submits hours for the session's principal.
+    ///
+    /// # Errors
+    ///
+    /// Veto (authentication, throttling) or domain [`TimecardError`].
+    pub fn submit(&self, token: AuthToken, hours: f64) -> TimecardResult<u64> {
+        let mut guard = self.enter(&self.submit, token)?;
+        let who = guard
+            .context()
+            .principal()
+            .expect("authentication attaches the principal")
+            .name()
+            .to_string();
+        let r = guard.component().submit(&who, hours);
+        if r.is_err() {
+            guard.context().set_outcome(Outcome::Failure);
+        }
+        guard.complete();
+        r.map_err(ServiceError::Domain)
+    }
+
+    /// Approves an entry (requires the `manager` role).
+    ///
+    /// # Errors
+    ///
+    /// Veto (authentication, authorization) or domain [`TimecardError`].
+    pub fn approve(&self, token: AuthToken, id: u64) -> TimecardResult<()> {
+        let mut guard = self.enter(&self.approve, token)?;
+        let r = guard.component().approve(id);
+        if r.is_err() {
+            guard.context().set_outcome(Outcome::Failure);
+        }
+        guard.complete();
+        r.map_err(ServiceError::Domain)
+    }
+
+    /// Total approved hours for an employee (unmoderated query).
+    pub fn approved_hours(&self, employee: &str) -> f64 {
+        self.inner.with_component(|l| l.approved_hours(employee))
+    }
+
+    /// The audit trail.
+    pub fn audit(&self) -> &Arc<AuditLog> {
+        &self.audit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amf_concurrency::ManualClock;
+
+    fn setup(rate: u64) -> (TimecardService, Arc<Authenticator>, ManualClock) {
+        let clock = ManualClock::new();
+        let auth = Authenticator::shared();
+        auth.add_user("emp", "pw");
+        auth.add_user("mgr", "pw");
+        auth.grant_role("mgr", Role::new("manager")).unwrap();
+        let svc = TimecardService::new(
+            AspectModerator::shared(),
+            Arc::clone(&auth),
+            rate,
+            Arc::new(clock.clone()),
+        )
+        .unwrap();
+        (svc, auth, clock)
+    }
+
+    #[test]
+    fn submit_and_approve_flow() {
+        let (svc, auth, _clock) = setup(100);
+        let emp = auth.login("emp", "pw").unwrap();
+        let mgr = auth.login("mgr", "pw").unwrap();
+        let id = svc.submit(emp, 8.0).unwrap();
+        svc.approve(mgr, id).unwrap();
+        assert_eq!(svc.approved_hours("emp"), 8.0);
+    }
+
+    #[test]
+    fn non_managers_cannot_approve() {
+        let (svc, auth, _clock) = setup(100);
+        let emp = auth.login("emp", "pw").unwrap();
+        let id = svc.submit(emp, 4.0).unwrap();
+        let veto = svc.approve(emp, id).unwrap_err();
+        assert_eq!(
+            veto.as_veto().unwrap().concern().unwrap(),
+            &Concern::authorization()
+        );
+        assert_eq!(svc.approved_hours("emp"), 0.0);
+    }
+
+    #[test]
+    fn submissions_are_rate_limited() {
+        let (svc, auth, clock) = setup(2);
+        let emp = auth.login("emp", "pw").unwrap();
+        svc.submit(emp, 1.0).unwrap();
+        svc.submit(emp, 1.0).unwrap();
+        let veto = svc.submit(emp, 1.0).unwrap_err();
+        assert_eq!(
+            veto.as_veto().unwrap().concern().unwrap(),
+            &Concern::throttling()
+        );
+        clock.advance(std::time::Duration::from_secs(1));
+        svc.submit(emp, 1.0).unwrap();
+    }
+
+    #[test]
+    fn domain_validation_flows_through() {
+        let (svc, auth, _clock) = setup(100);
+        let emp = auth.login("emp", "pw").unwrap();
+        let mgr = auth.login("mgr", "pw").unwrap();
+        assert_eq!(
+            svc.submit(emp, 0.0).unwrap_err().as_domain(),
+            Some(&TimecardError::InvalidHours)
+        );
+        assert_eq!(
+            svc.approve(mgr, 42).unwrap_err().as_domain(),
+            Some(&TimecardError::UnknownEntry)
+        );
+        let id = svc.submit(emp, 2.0).unwrap();
+        svc.approve(mgr, id).unwrap();
+        assert_eq!(
+            svc.approve(mgr, id).unwrap_err().as_domain(),
+            Some(&TimecardError::AlreadyApproved)
+        );
+    }
+
+    #[test]
+    fn audit_separates_principals() {
+        let (svc, auth, _clock) = setup(100);
+        let emp = auth.login("emp", "pw").unwrap();
+        let mgr = auth.login("mgr", "pw").unwrap();
+        let id = svc.submit(emp, 2.0).unwrap();
+        svc.approve(mgr, id).unwrap();
+        assert_eq!(svc.audit().records_for_principal("emp").len(), 2);
+        assert_eq!(svc.audit().records_for_principal("mgr").len(), 2);
+    }
+
+    #[test]
+    fn throttle_does_not_waste_tokens_on_failed_auth() {
+        let (svc, auth, _clock) = setup(1);
+        // Bad token: authentication (outermost) aborts before throttling.
+        for _ in 0..3 {
+            assert!(svc.submit(AuthToken(1), 1.0).is_err());
+        }
+        let emp = auth.login("emp", "pw").unwrap();
+        svc.submit(emp, 1.0).unwrap();
+    }
+}

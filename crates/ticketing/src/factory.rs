@@ -1,0 +1,176 @@
+//! Aspect factories for the ticketing system (paper Figures 6 and 15).
+//!
+//! [`TicketSyncFactory`] is the application-specific `AspectFactory` of
+//! Figure 6: it knows how to build the synchronization aspects for the
+//! `open` and `assign` participating methods (a producer/consumer pair
+//! over one shared buffer state). [`TicketAuthFactory`] is the
+//! authentication half of the `ExtendedAspectFactory` of Figure 15;
+//! chain it in front of the sync factory with
+//! [`ChainedFactory`](amf_core::ChainedFactory) to extend the system.
+
+use std::fmt;
+use std::sync::Arc;
+
+use amf_aspects::auth::{AuthenticationAspect, Authenticator};
+use amf_aspects::sync::{BufferSyncGroup, BufferSyncHandle};
+use amf_core::{Aspect, AspectFactory, Concern, MethodId};
+
+/// Name of the producer participating method.
+pub const OPEN: &str = "open";
+/// Name of the consumer participating method.
+pub const ASSIGN: &str = "assign";
+
+/// Creates `OpenSynchronizationAspect` / `AssignSynchronizationAspect`
+/// equivalents sharing one bounded-buffer state (paper Figure 6).
+#[derive(Clone)]
+pub struct TicketSyncFactory {
+    group: BufferSyncGroup,
+}
+
+impl fmt::Debug for TicketSyncFactory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TicketSyncFactory").finish_non_exhaustive()
+    }
+}
+
+impl TicketSyncFactory {
+    /// Creates the factory (and the shared buffer state) for a server of
+    /// `capacity` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            group: BufferSyncGroup::new(capacity),
+        }
+    }
+
+    /// Read handle on the shared buffer counters, for assertions.
+    pub fn buffer_handle(&self) -> BufferSyncHandle {
+        self.group.handle()
+    }
+}
+
+impl AspectFactory for TicketSyncFactory {
+    fn create(&self, method: &MethodId, concern: &Concern) -> Option<Box<dyn Aspect>> {
+        if *concern != Concern::synchronization() {
+            return None;
+        }
+        match method.as_str() {
+            OPEN => Some(Box::new(self.group.producer_aspect())),
+            ASSIGN => Some(Box::new(self.group.consumer_aspect())),
+            _ => None,
+        }
+    }
+}
+
+/// Creates authentication aspects for the ticketing methods — the new
+/// half of the paper's `ExtendedAspectFactory` (Figure 15).
+#[derive(Clone)]
+pub struct TicketAuthFactory {
+    auth: Arc<Authenticator>,
+}
+
+impl fmt::Debug for TicketAuthFactory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TicketAuthFactory").finish_non_exhaustive()
+    }
+}
+
+impl TicketAuthFactory {
+    /// Creates the factory over a shared authenticator.
+    pub fn new(auth: Arc<Authenticator>) -> Self {
+        Self { auth }
+    }
+}
+
+impl AspectFactory for TicketAuthFactory {
+    fn create(&self, method: &MethodId, concern: &Concern) -> Option<Box<dyn Aspect>> {
+        if *concern != Concern::authentication() {
+            return None;
+        }
+        match method.as_str() {
+            OPEN | ASSIGN => Some(Box::new(AuthenticationAspect::new(Arc::clone(&self.auth)))),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amf_core::ChainedFactory;
+
+    #[test]
+    fn sync_factory_builds_both_cells() {
+        let f = TicketSyncFactory::new(4);
+        let open = f
+            .create(&MethodId::new(OPEN), &Concern::synchronization())
+            .unwrap();
+        let assign = f
+            .create(&MethodId::new(ASSIGN), &Concern::synchronization())
+            .unwrap();
+        assert!(open.describe().contains("producer"));
+        assert!(assign.describe().contains("consumer"));
+    }
+
+    #[test]
+    fn sync_factory_refuses_other_cells() {
+        let f = TicketSyncFactory::new(4);
+        assert!(f
+            .create(&MethodId::new("close"), &Concern::synchronization())
+            .is_none());
+        assert!(f
+            .create(&MethodId::new(OPEN), &Concern::authentication())
+            .is_none());
+    }
+
+    #[test]
+    fn auth_factory_builds_authentication_only() {
+        let f = TicketAuthFactory::new(Authenticator::shared());
+        assert!(f
+            .create(&MethodId::new(OPEN), &Concern::authentication())
+            .is_some());
+        assert!(f
+            .create(&MethodId::new(ASSIGN), &Concern::authentication())
+            .is_some());
+        assert!(f
+            .create(&MethodId::new(OPEN), &Concern::synchronization())
+            .is_none());
+    }
+
+    #[test]
+    fn chained_extended_factory_covers_both_concerns() {
+        // Figure 15: the extended factory = auth factory falling back to
+        // the base sync factory.
+        let extended = ChainedFactory::new()
+            .with(TicketAuthFactory::new(Authenticator::shared()))
+            .with(TicketSyncFactory::new(4));
+        assert!(extended
+            .create(&MethodId::new(OPEN), &Concern::authentication())
+            .is_some());
+        assert!(extended
+            .create(&MethodId::new(OPEN), &Concern::synchronization())
+            .is_some());
+        assert!(extended
+            .create(&MethodId::new(OPEN), &Concern::quota())
+            .is_none());
+    }
+
+    #[test]
+    fn factories_share_buffer_state() {
+        let f = TicketSyncFactory::new(1);
+        let mut open = f
+            .create(&MethodId::new(OPEN), &Concern::synchronization())
+            .unwrap();
+        let mut assign = f
+            .create(&MethodId::new(ASSIGN), &Concern::synchronization())
+            .unwrap();
+        let mut ctx = amf_core::InvocationContext::new(MethodId::new(OPEN), 1);
+        assert!(open.precondition(&mut ctx).is_resume());
+        open.postaction(&mut ctx);
+        assert_eq!(f.buffer_handle().snapshot().produced, 1);
+        assert!(assign.precondition(&mut ctx).is_resume());
+    }
+}

@@ -1,0 +1,340 @@
+//! `TicketServerProxy`: the component proxy of the paper's Figures 5
+//! and 10.
+//!
+//! Construction follows Figure 5 exactly: the proxy asks the factory to
+//! *create* the two synchronization aspects and the moderator to
+//! *register* them, then wires the paper's notification graph (open's
+//! completion wakes assign's queue and vice versa). Invocation follows
+//! Figure 10: pre-activation, the sequential method, post-activation.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use amf_aspects::sync::BufferSyncHandle;
+use amf_core::{
+    AbortError, AspectFactory, AspectModerator, Concern, InvocationContext, MethodHandle,
+    MethodId, Moderated, RegistrationError,
+};
+
+use crate::factory::{TicketSyncFactory, ASSIGN, OPEN};
+use crate::server::TicketServer;
+use crate::ticket::Ticket;
+
+/// The moderated trouble-ticketing server.
+///
+/// ```
+/// use amf_core::AspectModerator;
+/// use amf_ticketing::{Ticket, TicketServerProxy};
+///
+/// let proxy = TicketServerProxy::new(4, AspectModerator::shared()).unwrap();
+/// proxy.open(Ticket::new(1, "printer jam")).unwrap();
+/// let t = proxy.assign().unwrap();
+/// assert_eq!(t.id.0, 1);
+/// ```
+pub struct TicketServerProxy {
+    pub(crate) inner: Moderated<TicketServer>,
+    pub(crate) open: MethodHandle,
+    pub(crate) assign: MethodHandle,
+    buffer: BufferSyncHandle,
+}
+
+impl fmt::Debug for TicketServerProxy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TicketServerProxy")
+            .field("buffer", &self.buffer.snapshot())
+            .finish()
+    }
+}
+
+impl TicketServerProxy {
+    /// Builds a proxy over a fresh server of `capacity` slots, using the
+    /// standard synchronization factory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RegistrationError`] from aspect registration (only
+    /// possible if `moderator` already had conflicting registrations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(
+        capacity: usize,
+        moderator: Arc<AspectModerator>,
+    ) -> Result<Self, RegistrationError> {
+        let factory = TicketSyncFactory::new(capacity);
+        Self::with_factory(capacity, moderator, &factory, factory.buffer_handle())
+    }
+
+    /// Builds a proxy whose aspects come from a caller-supplied factory
+    /// (the extension point used by the extended proxy).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RegistrationError`] from creation or registration.
+    pub fn with_factory(
+        capacity: usize,
+        moderator: Arc<AspectModerator>,
+        factory: &dyn AspectFactory,
+        buffer: BufferSyncHandle,
+    ) -> Result<Self, RegistrationError> {
+        let open = moderator.declare_method(MethodId::new(OPEN));
+        let assign = moderator.declare_method(MethodId::new(ASSIGN));
+        // Figure 5: create + register each (method, SYNC) aspect.
+        moderator.register_from(factory, &open, Concern::synchronization())?;
+        moderator.register_from(factory, &assign, Concern::synchronization())?;
+        // The paper's notification wiring: open's postactivation notifies
+        // the assign queue, assign's the open queue.
+        moderator.wire_wakes(&open, std::slice::from_ref(&assign));
+        moderator.wire_wakes(&assign, std::slice::from_ref(&open));
+        Ok(Self {
+            inner: Moderated::new(TicketServer::new(capacity), moderator),
+            open,
+            assign,
+            buffer,
+        })
+    }
+
+    /// The moderator coordinating this proxy.
+    pub fn moderator(&self) -> &Arc<AspectModerator> {
+        self.inner.moderator()
+    }
+
+    /// Handle to the `open` participating method.
+    pub fn open_handle(&self) -> &MethodHandle {
+        &self.open
+    }
+
+    /// Handle to the `assign` participating method.
+    pub fn assign_handle(&self) -> &MethodHandle {
+        &self.assign
+    }
+
+    /// Read handle on the synchronization aspects' shared counters.
+    pub fn buffer_handle(&self) -> &BufferSyncHandle {
+        &self.buffer
+    }
+
+    /// Opens a ticket, blocking while the buffer is full (Figure 10's
+    /// guarded `open`).
+    ///
+    /// # Errors
+    ///
+    /// [`AbortError`] if a registered aspect vetoes the activation (the
+    /// base system never aborts; extensions — authentication, quotas —
+    /// do).
+    pub fn open(&self, ticket: Ticket) -> Result<(), AbortError> {
+        self.open_with(ticket, self.fresh_ctx(&self.open))
+    }
+
+    /// Opens a ticket with a caller-built context (tokens, priorities).
+    ///
+    /// # Errors
+    ///
+    /// [`AbortError`] if a registered aspect vetoes the activation.
+    pub fn open_with(&self, ticket: Ticket, ctx: InvocationContext) -> Result<(), AbortError> {
+        let guard = self.inner.enter_with(&self.open, ctx)?;
+        guard
+            .component()
+            .open(ticket)
+            .expect("synchronization aspect guarantees a free slot");
+        guard.complete();
+        Ok(())
+    }
+
+    /// Opens a ticket, giving up after `timeout` blocked.
+    ///
+    /// # Errors
+    ///
+    /// [`AbortError::Timeout`] when full for longer than `timeout`, or
+    /// an aspect veto.
+    pub fn open_timeout(&self, ticket: Ticket, timeout: Duration) -> Result<(), AbortError> {
+        let guard = self
+            .inner
+            .enter_timeout(&self.open, self.fresh_ctx(&self.open), timeout)?;
+        guard
+            .component()
+            .open(ticket)
+            .expect("synchronization aspect guarantees a free slot");
+        guard.complete();
+        Ok(())
+    }
+
+    /// Assigns (retrieves) the oldest ticket, blocking while the buffer
+    /// is empty.
+    ///
+    /// # Errors
+    ///
+    /// [`AbortError`] if a registered aspect vetoes the activation.
+    pub fn assign(&self) -> Result<Ticket, AbortError> {
+        self.assign_with(self.fresh_ctx(&self.assign))
+    }
+
+    /// Assigns with a caller-built context.
+    ///
+    /// # Errors
+    ///
+    /// [`AbortError`] if a registered aspect vetoes the activation.
+    pub fn assign_with(&self, ctx: InvocationContext) -> Result<Ticket, AbortError> {
+        let guard = self.inner.enter_with(&self.assign, ctx)?;
+        let ticket = guard
+            .component()
+            .assign()
+            .expect("synchronization aspect guarantees an item");
+        guard.complete();
+        Ok(ticket)
+    }
+
+    /// Assigns, giving up after `timeout` blocked.
+    ///
+    /// # Errors
+    ///
+    /// [`AbortError::Timeout`] when empty for longer than `timeout`, or
+    /// an aspect veto.
+    pub fn assign_timeout(&self, timeout: Duration) -> Result<Ticket, AbortError> {
+        let guard =
+            self.inner
+                .enter_timeout(&self.assign, self.fresh_ctx(&self.assign), timeout)?;
+        let ticket = guard
+            .component()
+            .assign()
+            .expect("synchronization aspect guarantees an item");
+        guard.complete();
+        Ok(ticket)
+    }
+
+    /// Number of tickets currently waiting (unmoderated query).
+    pub fn len(&self) -> usize {
+        self.inner.with_component(|s| s.len())
+    }
+
+    /// Whether no tickets are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// (total opened, total assigned) since construction.
+    pub fn totals(&self) -> (u64, u64) {
+        self.inner
+            .with_component(|s| (s.total_opened(), s.total_assigned()))
+    }
+
+    pub(crate) fn fresh_ctx(&self, method: &MethodHandle) -> InvocationContext {
+        InvocationContext::new(method.id().clone(), self.moderator().next_invocation())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn t(id: u64) -> Ticket {
+        Ticket::new(id, format!("issue {id}"))
+    }
+
+    fn proxy(capacity: usize) -> TicketServerProxy {
+        TicketServerProxy::new(capacity, AspectModerator::shared()).unwrap()
+    }
+
+    #[test]
+    fn open_assign_roundtrip() {
+        let p = proxy(4);
+        p.open(t(1)).unwrap();
+        p.open(t(2)).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.assign().unwrap().id.0, 1);
+        assert_eq!(p.assign().unwrap().id.0, 2);
+        assert_eq!(p.totals(), (2, 2));
+    }
+
+    #[test]
+    fn open_blocks_when_full_until_assign() {
+        let p = Arc::new(proxy(1));
+        p.open(t(1)).unwrap();
+        let producer = {
+            let p = Arc::clone(&p);
+            thread::spawn(move || p.open(t(2)))
+        };
+        while p.moderator().stats().blocks == 0 {
+            thread::yield_now();
+        }
+        assert_eq!(p.len(), 1, "second open must be blocked");
+        assert_eq!(p.assign().unwrap().id.0, 1);
+        producer.join().unwrap().unwrap();
+        assert_eq!(p.assign().unwrap().id.0, 2);
+    }
+
+    #[test]
+    fn assign_blocks_when_empty_until_open() {
+        let p = Arc::new(proxy(1));
+        let consumer = {
+            let p = Arc::clone(&p);
+            thread::spawn(move || p.assign())
+        };
+        while p.moderator().stats().blocks == 0 {
+            thread::yield_now();
+        }
+        p.open(t(7)).unwrap();
+        assert_eq!(consumer.join().unwrap().unwrap().id.0, 7);
+    }
+
+    #[test]
+    fn timeouts_fire_on_full_and_empty() {
+        let p = proxy(1);
+        assert!(p
+            .assign_timeout(Duration::from_millis(10))
+            .unwrap_err()
+            .is_timeout());
+        p.open(t(1)).unwrap();
+        assert!(p
+            .open_timeout(t(2), Duration::from_millis(10))
+            .unwrap_err()
+            .is_timeout());
+    }
+
+    #[test]
+    fn many_producers_many_consumers_preserve_every_ticket() {
+        let p = Arc::new(proxy(8));
+        let producers: u64 = 4;
+        let per: u64 = 100;
+        let mut handles = Vec::new();
+        for pr in 0..producers {
+            let p = Arc::clone(&p);
+            handles.push(thread::spawn(move || {
+                for i in 0..per {
+                    p.open(t(pr * 1000 + i)).unwrap();
+                }
+            }));
+        }
+        let total = producers * per;
+        let consumer = {
+            let p = Arc::clone(&p);
+            thread::spawn(move || {
+                let mut ids = Vec::new();
+                for _ in 0..total {
+                    ids.push(p.assign().unwrap().id.0);
+                }
+                ids
+            })
+        };
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut ids = consumer.join().unwrap();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len() as u64, total, "no ticket lost or duplicated");
+        assert!(p.is_empty());
+        let snap = p.buffer_handle().snapshot();
+        assert_eq!(snap.reserved, 0);
+        assert_eq!(snap.produced, 0);
+    }
+
+    #[test]
+    fn debug_shows_buffer() {
+        let p = proxy(2);
+        assert!(format!("{p:?}").contains("buffer"));
+    }
+}

@@ -1,0 +1,198 @@
+//! The functional component: a **sequential** ticket server.
+//!
+//! Faithful to the paper's Figure 7 shape: a bounded buffer addressed by
+//! explicit `open_ptr`/`assign_ptr` cursors plus a `no_items` count. The
+//! type contains *zero* synchronization — all concurrency constraints
+//! live in the synchronization aspects — so misuse (opening when full)
+//! is a programming error surfaced by `Result`, never a wait.
+
+use crate::ticket::Ticket;
+
+/// Error from using the sequential server outside its preconditions —
+/// only reachable when the server is driven *without* its guarding
+/// aspects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerError {
+    /// `open` on a full buffer.
+    Full,
+    /// `assign` on an empty buffer.
+    Empty,
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Full => f.write_str("ticket buffer is full"),
+            ServerError::Empty => f.write_str("ticket buffer is empty"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// Bounded ticket store with the paper's cursor layout.
+#[derive(Debug, Clone)]
+pub struct TicketServer {
+    slots: Vec<Option<Ticket>>,
+    capacity: usize,
+    no_items: usize,
+    open_ptr: usize,
+    assign_ptr: usize,
+    total_opened: u64,
+    total_assigned: u64,
+}
+
+impl TicketServer {
+    /// Creates a server holding at most `capacity` open tickets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ticket server capacity must be positive");
+        Self {
+            slots: vec![None; capacity],
+            capacity,
+            no_items: 0,
+            open_ptr: 0,
+            assign_ptr: 0,
+            total_opened: 0,
+            total_assigned: 0,
+        }
+    }
+
+    /// Maximum number of simultaneously open tickets.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Currently open (unassigned) tickets — the paper's `noItems`.
+    pub fn len(&self) -> usize {
+        self.no_items
+    }
+
+    /// Whether no tickets are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.no_items == 0
+    }
+
+    /// Whether the buffer is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.no_items == self.capacity
+    }
+
+    /// Tickets ever opened.
+    pub fn total_opened(&self) -> u64 {
+        self.total_opened
+    }
+
+    /// Tickets ever assigned.
+    pub fn total_assigned(&self) -> u64 {
+        self.total_assigned
+    }
+
+    /// Places a ticket — the paper's `open(ticket)` participating method.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Full`] when the buffer is at capacity (unreachable
+    /// under aspect guarding).
+    pub fn open(&mut self, ticket: Ticket) -> Result<(), ServerError> {
+        if self.is_full() {
+            return Err(ServerError::Full);
+        }
+        debug_assert!(self.slots[self.open_ptr].is_none(), "cursor invariant");
+        self.slots[self.open_ptr] = Some(ticket);
+        self.open_ptr = (self.open_ptr + 1) % self.capacity;
+        self.no_items += 1;
+        self.total_opened += 1;
+        Ok(())
+    }
+
+    /// Retrieves the oldest ticket — the paper's `assign()` participating
+    /// method.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Empty`] when no ticket is waiting (unreachable
+    /// under aspect guarding).
+    pub fn assign(&mut self) -> Result<Ticket, ServerError> {
+        if self.is_empty() {
+            return Err(ServerError::Empty);
+        }
+        let ticket = self.slots[self.assign_ptr]
+            .take()
+            .expect("non-empty buffer has a ticket at assign_ptr");
+        self.assign_ptr = (self.assign_ptr + 1) % self.capacity;
+        self.no_items -= 1;
+        self.total_assigned += 1;
+        Ok(ticket)
+    }
+
+    /// Peeks at the ticket `assign` would return next.
+    pub fn peek(&self) -> Option<&Ticket> {
+        self.slots[self.assign_ptr].as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(id: u64) -> Ticket {
+        Ticket::new(id, format!("issue {id}"))
+    }
+
+    #[test]
+    fn open_then_assign_is_fifo() {
+        let mut s = TicketServer::new(3);
+        s.open(t(1)).unwrap();
+        s.open(t(2)).unwrap();
+        assert_eq!(s.assign().unwrap().id.0, 1);
+        s.open(t(3)).unwrap();
+        assert_eq!(s.assign().unwrap().id.0, 2);
+        assert_eq!(s.assign().unwrap().id.0, 3);
+    }
+
+    #[test]
+    fn full_and_empty_errors() {
+        let mut s = TicketServer::new(1);
+        assert_eq!(s.assign(), Err(ServerError::Empty));
+        s.open(t(1)).unwrap();
+        assert_eq!(s.open(t(2)), Err(ServerError::Full));
+        assert!(s.is_full());
+        s.assign().unwrap();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn cursors_wrap_around() {
+        let mut s = TicketServer::new(2);
+        for round in 0..10 {
+            s.open(t(round)).unwrap();
+            assert_eq!(s.assign().unwrap().id.0, round);
+        }
+        assert_eq!(s.total_opened(), 10);
+        assert_eq!(s.total_assigned(), 10);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut s = TicketServer::new(2);
+        s.open(t(9)).unwrap();
+        assert_eq!(s.peek().unwrap().id.0, 9);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(ServerError::Full.to_string(), "ticket buffer is full");
+        assert_eq!(ServerError::Empty.to_string(), "ticket buffer is empty");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = TicketServer::new(0);
+    }
+}

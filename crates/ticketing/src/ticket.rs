@@ -1,0 +1,125 @@
+//! Ticket domain types for the trouble-ticketing system.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Unique ticket identifier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct TicketId(pub u64);
+
+impl fmt::Display for TicketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T-{}", self.0)
+    }
+}
+
+/// How urgent a ticket is.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub enum Severity {
+    /// Informational or cosmetic.
+    Low,
+    /// Normal work item.
+    #[default]
+    Medium,
+    /// Degraded service.
+    High,
+    /// Outage.
+    Critical,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Severity::Low => "low",
+            Severity::Medium => "medium",
+            Severity::High => "high",
+            Severity::Critical => "critical",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A trouble ticket: what clients *open* on the server and agents
+/// *assign* (retrieve) from it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ticket {
+    /// Unique identifier.
+    pub id: TicketId,
+    /// Short problem statement.
+    pub summary: String,
+    /// Urgency.
+    pub severity: Severity,
+    /// Who opened it (principal name), if known.
+    pub reporter: Option<String>,
+}
+
+impl Ticket {
+    /// Creates a medium-severity ticket.
+    pub fn new(id: u64, summary: impl Into<String>) -> Self {
+        Self {
+            id: TicketId(id),
+            summary: summary.into(),
+            severity: Severity::default(),
+            reporter: None,
+        }
+    }
+
+    /// Sets the severity (builder style).
+    #[must_use]
+    pub fn with_severity(mut self, severity: Severity) -> Self {
+        self.severity = severity;
+        self
+    }
+
+    /// Sets the reporter (builder style).
+    #[must_use]
+    pub fn with_reporter(mut self, reporter: impl Into<String>) -> Self {
+        self.reporter = Some(reporter.into());
+        self
+    }
+}
+
+impl fmt::Display for Ticket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] {}", self.id, self.severity, self.summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_fields() {
+        let t = Ticket::new(7, "printer on fire")
+            .with_severity(Severity::Critical)
+            .with_reporter("alice");
+        assert_eq!(t.id, TicketId(7));
+        assert_eq!(t.severity, Severity::Critical);
+        assert_eq!(t.reporter.as_deref(), Some("alice"));
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = Ticket::new(3, "slow login").with_severity(Severity::High);
+        assert_eq!(t.to_string(), "T-3 [high] slow login");
+        assert_eq!(TicketId(3).to_string(), "T-3");
+    }
+
+    #[test]
+    fn severity_orders_by_urgency() {
+        assert!(Severity::Low < Severity::Medium);
+        assert!(Severity::Medium < Severity::High);
+        assert!(Severity::High < Severity::Critical);
+    }
+
+    #[test]
+    fn default_severity_is_medium() {
+        assert_eq!(Ticket::new(1, "x").severity, Severity::Medium);
+    }
+}

@@ -1,0 +1,290 @@
+//! Ready-made model aspects: the pure-function counterparts of the
+//! `amf-aspects` library, over an explicit shared state.
+
+use std::sync::Arc;
+
+use crate::model::{ModelAspect, ModelVerdict};
+
+struct FnModelAspect<Pre, Post, Release> {
+    pre: Pre,
+    post: Post,
+    release: Release,
+}
+
+impl<S, Pre, Post, Release> ModelAspect<S> for FnModelAspect<Pre, Post, Release>
+where
+    Pre: Fn(&mut S) -> ModelVerdict + Send + Sync,
+    Post: Fn(&mut S) + Send + Sync,
+    Release: Fn(&mut S) + Send + Sync,
+{
+    fn pre(&self, s: &mut S) -> ModelVerdict {
+        (self.pre)(s)
+    }
+
+    fn post(&self, s: &mut S) {
+        (self.post)(s)
+    }
+
+    fn release(&self, s: &mut S) {
+        (self.release)(s)
+    }
+}
+
+/// Builds a model aspect from three closures.
+pub fn from_fns<S>(
+    pre: impl Fn(&mut S) -> ModelVerdict + Send + Sync + 'static,
+    post: impl Fn(&mut S) + Send + Sync + 'static,
+    release: impl Fn(&mut S) + Send + Sync + 'static,
+) -> Arc<dyn ModelAspect<S>> {
+    Arc::new(FnModelAspect { pre, post, release })
+}
+
+/// An aspect that always resumes and does nothing.
+pub fn always_resume<S: 'static>() -> Arc<dyn ModelAspect<S>> {
+    from_fns(|_| ModelVerdict::Resume, |_| (), |_| ())
+}
+
+/// A read-only guard: resume when `cond` holds, block otherwise. No
+/// reservation, so nothing to release.
+pub fn guard<S: 'static>(
+    cond: impl Fn(&S) -> bool + Send + Sync + 'static,
+) -> Arc<dyn ModelAspect<S>> {
+    from_fns(
+        move |s: &mut S| {
+            if cond(s) {
+                ModelVerdict::Resume
+            } else {
+                ModelVerdict::Block
+            }
+        },
+        |_| (),
+        |_| (),
+    )
+}
+
+/// A reserving aspect in the paper's style: when `can` holds, `take`
+/// the reservation and resume; otherwise block. `undo` releases the
+/// reservation — called at postaction *and* on rollback (matching the
+/// usual "post frees what pre took" pattern, e.g. a mutual-exclusion
+/// flag).
+pub fn reserve<S: 'static>(
+    can: impl Fn(&S) -> bool + Send + Sync + 'static,
+    take: impl Fn(&mut S) + Send + Sync + 'static,
+    undo: impl Fn(&mut S) + Send + Sync + 'static,
+) -> Arc<dyn ModelAspect<S>> {
+    let undo = Arc::new(undo);
+    let undo2 = Arc::clone(&undo);
+    from_fns(
+        move |s: &mut S| {
+            if can(s) {
+                take(s);
+                ModelVerdict::Resume
+            } else {
+                ModelVerdict::Block
+            }
+        },
+        move |s: &mut S| undo(s),
+        move |s: &mut S| undo2(s),
+    )
+}
+
+/// A security-style aspect: resume when `cond` holds, abort otherwise.
+pub fn abort_unless<S: 'static>(
+    cond: impl Fn(&S) -> bool + Send + Sync + 'static,
+) -> Arc<dyn ModelAspect<S>> {
+    from_fns(
+        move |s: &mut S| {
+            if cond(s) {
+                ModelVerdict::Resume
+            } else {
+                ModelVerdict::Abort
+            }
+        },
+        |_| (),
+        |_| (),
+    )
+}
+
+/// A counting gate (the model twin of
+/// `amf_aspects::sync::ConcurrencyLimitAspect`): at most `limit`
+/// activations hold the gate; the counter lives in `S` behind the
+/// `running` lens.
+pub fn counting_gate<S: 'static>(
+    limit: usize,
+    running: impl Fn(&mut S) -> &mut usize + Send + Sync + Clone + 'static,
+) -> Arc<dyn ModelAspect<S>> {
+    let r2 = running.clone();
+    let r3 = running.clone();
+    from_fns(
+        move |s: &mut S| {
+            if *running(s) < limit {
+                *running(s) += 1;
+                ModelVerdict::Resume
+            } else {
+                ModelVerdict::Block
+            }
+        },
+        move |s: &mut S| *r2(s) -= 1,
+        move |s: &mut S| *r3(s) -= 1,
+    )
+}
+
+/// The bounded-buffer producer aspect over counter fields selected by
+/// accessors (the model twin of `amf_aspects::sync::ProducerSync`).
+///
+/// The caller supplies lenses onto `S` for `reserved`, `produced` and
+/// the `producing` flag, plus the capacity.
+pub fn buffer_producer<S: 'static>(
+    capacity: usize,
+    reserved: impl Fn(&mut S) -> &mut usize + Send + Sync + Clone + 'static,
+    produced: impl Fn(&mut S) -> &mut usize + Send + Sync + Clone + 'static,
+    producing: impl Fn(&mut S) -> &mut bool + Send + Sync + Clone + 'static,
+) -> Arc<dyn ModelAspect<S>> {
+    let (r2, p2, f2) = (reserved.clone(), produced.clone(), producing.clone());
+    let (r3, f3) = (reserved.clone(), producing.clone());
+    from_fns(
+        move |s: &mut S| {
+            if *reserved(s) < capacity && !*producing(s) {
+                *producing(s) = true;
+                *reserved(s) += 1;
+                ModelVerdict::Resume
+            } else {
+                ModelVerdict::Block
+            }
+        },
+        move |s: &mut S| {
+            *f2(s) = false;
+            *p2(s) += 1;
+            let _ = &r2;
+        },
+        move |s: &mut S| {
+            *f3(s) = false;
+            *r3(s) -= 1;
+        },
+    )
+}
+
+/// The bounded-buffer consumer aspect (twin of `ConsumerSync`).
+pub fn buffer_consumer<S: 'static>(
+    reserved: impl Fn(&mut S) -> &mut usize + Send + Sync + Clone + 'static,
+    produced: impl Fn(&mut S) -> &mut usize + Send + Sync + Clone + 'static,
+    consuming: impl Fn(&mut S) -> &mut bool + Send + Sync + Clone + 'static,
+) -> Arc<dyn ModelAspect<S>> {
+    let (r2, f2) = (reserved.clone(), consuming.clone());
+    let (p3, f3) = (produced.clone(), consuming.clone());
+    from_fns(
+        move |s: &mut S| {
+            if *produced(s) > 0 && !*consuming(s) {
+                *consuming(s) = true;
+                *produced(s) -= 1;
+                ModelVerdict::Resume
+            } else {
+                ModelVerdict::Block
+            }
+        },
+        move |s: &mut S| {
+            *f2(s) = false;
+            *r2(s) -= 1;
+        },
+        move |s: &mut S| {
+            *f3(s) = false;
+            *p3(s) += 1;
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, PartialEq, Eq, Hash, Default, Debug)]
+    struct S {
+        busy: bool,
+        ok: bool,
+    }
+
+    #[test]
+    fn guard_blocks_and_resumes() {
+        let a = guard(|s: &S| s.ok);
+        let mut s = S::default();
+        assert_eq!(a.pre(&mut s), ModelVerdict::Block);
+        s.ok = true;
+        assert_eq!(a.pre(&mut s), ModelVerdict::Resume);
+    }
+
+    #[test]
+    fn reserve_takes_and_undoes() {
+        let a = reserve(
+            |s: &S| !s.busy,
+            |s: &mut S| s.busy = true,
+            |s: &mut S| s.busy = false,
+        );
+        let mut s = S::default();
+        assert_eq!(a.pre(&mut s), ModelVerdict::Resume);
+        assert!(s.busy);
+        assert_eq!(a.pre(&mut s), ModelVerdict::Block);
+        a.release(&mut s);
+        assert!(!s.busy);
+        a.pre(&mut s);
+        a.post(&mut s);
+        assert!(!s.busy);
+    }
+
+    #[test]
+    fn abort_unless_aborts() {
+        let a = abort_unless(|s: &S| s.ok);
+        let mut s = S::default();
+        assert_eq!(a.pre(&mut s), ModelVerdict::Abort);
+        s.ok = true;
+        assert_eq!(a.pre(&mut s), ModelVerdict::Resume);
+    }
+
+    #[test]
+    fn counting_gate_bounds() {
+        #[derive(Clone, PartialEq, Eq, Hash, Default, Debug)]
+        struct G {
+            running: usize,
+        }
+        let a = counting_gate(2, |s: &mut G| &mut s.running);
+        let mut s = G::default();
+        assert_eq!(a.pre(&mut s), ModelVerdict::Resume);
+        assert_eq!(a.pre(&mut s), ModelVerdict::Resume);
+        assert_eq!(a.pre(&mut s), ModelVerdict::Block);
+        a.post(&mut s);
+        assert_eq!(a.pre(&mut s), ModelVerdict::Resume);
+        a.release(&mut s);
+        assert_eq!(s.running, 1);
+    }
+
+    #[derive(Clone, PartialEq, Eq, Hash, Default, Debug)]
+    struct Buf {
+        reserved: usize,
+        produced: usize,
+        producing: bool,
+        consuming: bool,
+    }
+
+    #[test]
+    fn buffer_pair_mirrors_real_aspects() {
+        let p = buffer_producer(
+            1,
+            |s: &mut Buf| &mut s.reserved,
+            |s: &mut Buf| &mut s.produced,
+            |s: &mut Buf| &mut s.producing,
+        );
+        let c = buffer_consumer(
+            |s: &mut Buf| &mut s.reserved,
+            |s: &mut Buf| &mut s.produced,
+            |s: &mut Buf| &mut s.consuming,
+        );
+        let mut s = Buf::default();
+        assert_eq!(c.pre(&mut s), ModelVerdict::Block);
+        assert_eq!(p.pre(&mut s), ModelVerdict::Resume);
+        assert_eq!(p.pre(&mut s), ModelVerdict::Block); // serialized + full
+        p.post(&mut s);
+        assert_eq!(s.produced, 1);
+        assert_eq!(c.pre(&mut s), ModelVerdict::Resume);
+        c.post(&mut s);
+        assert_eq!(s, Buf::default());
+    }
+}

@@ -1,0 +1,647 @@
+//! The exhaustive interleaving explorer.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use crate::model::{MethodIx, ModelSystem, ModelVerdict, WakeSet};
+
+/// One atomic protocol step, as it appears in counterexample traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// A thread evaluated a method's whole precondition chain.
+    Chain {
+        /// Which thread stepped.
+        thread: usize,
+        /// Which method it is activating.
+        method: String,
+        /// `"resumed"`, `"blocked"` or `"aborted"`.
+        result: &'static str,
+    },
+    /// A thread ran the functional method body.
+    Body {
+        /// Which thread stepped.
+        thread: usize,
+        /// The method whose body ran.
+        method: String,
+    },
+    /// A thread ran post-activation (postactions + notifications).
+    Post {
+        /// Which thread stepped.
+        thread: usize,
+        /// The completing method.
+        method: String,
+    },
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Step::Chain {
+                thread,
+                method,
+                result,
+            } => write!(f, "t{thread}: chain({method}) -> {result}"),
+            Step::Body { thread, method } => write!(f, "t{thread}: body({method})"),
+            Step::Post { thread, method } => write!(f, "t{thread}: post({method})"),
+        }
+    }
+}
+
+/// Verdict of an exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Every interleaving terminates with the invariant intact.
+    Ok,
+    /// A reachable state has unfinished threads and no runnable ones;
+    /// the trace reproduces it.
+    Deadlock(Vec<Step>),
+    /// A reachable state violates the user invariant.
+    InvariantViolation(Vec<Step>),
+    /// A terminal (all-threads-done) state violates the quiescence
+    /// invariant — typically a leaked reservation.
+    FinalInvariantViolation(Vec<Step>),
+    /// The state-space budget was exhausted before completion.
+    StateLimit,
+}
+
+/// Result of [`Checker::run`].
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// The verdict.
+    pub outcome: Outcome,
+    /// Distinct states visited.
+    pub states: usize,
+    /// Number of terminal (all-threads-done) states reached.
+    pub terminals: usize,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Phase {
+    /// About to evaluate the chain of the current script op.
+    Ready,
+    /// Parked on a method's wait queue.
+    Blocked(usize),
+    /// Chain resumed; about to run the body.
+    Body(usize),
+    /// Body ran; about to run post-activation.
+    Post(usize),
+    /// Script finished.
+    Done,
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct World<S> {
+    shared: S,
+    /// (program counter, phase) per thread.
+    threads: Vec<(usize, Phase)>,
+}
+
+struct Node {
+    parent: Option<(usize, Step)>,
+}
+
+type InvariantFn<S> = Arc<dyn Fn(&S) -> bool + Send + Sync>;
+
+/// Explores every interleaving of a [`ModelSystem`] driven by thread
+/// scripts. See the crate docs for a complete example.
+pub struct Checker<S> {
+    system: ModelSystem<S>,
+    scripts: Vec<Vec<MethodIx>>,
+    invariant: Option<InvariantFn<S>>,
+    final_invariant: Option<InvariantFn<S>>,
+    max_states: usize,
+    notify_one: bool,
+}
+
+impl<S> fmt::Debug for Checker<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Checker")
+            .field("system", &self.system)
+            .field("threads", &self.scripts.len())
+            .field("max_states", &self.max_states)
+            .field("notify_one", &self.notify_one)
+            .finish()
+    }
+}
+
+impl<S: Clone + Eq + Hash> Checker<S> {
+    /// Creates a checker for `system` with no threads yet.
+    pub fn new(system: ModelSystem<S>) -> Self {
+        Self {
+            system,
+            scripts: Vec::new(),
+            invariant: None,
+            final_invariant: None,
+            max_states: 1_000_000,
+            notify_one: false,
+        }
+    }
+
+    /// Adds a thread executing `script` (a sequence of method
+    /// invocations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the script references an undeclared method.
+    #[must_use]
+    pub fn thread(mut self, script: Vec<MethodIx>) -> Self {
+        for m in &script {
+            assert!(
+                m.0 < self.system.method_count(),
+                "script references undeclared method"
+            );
+        }
+        self.scripts.push(script);
+        self
+    }
+
+    /// Checks `inv` over the shared state after every atomic step.
+    #[must_use]
+    pub fn invariant(mut self, inv: impl Fn(&S) -> bool + Send + Sync + 'static) -> Self {
+        self.invariant = Some(Arc::new(inv));
+        self
+    }
+
+    /// Checks `inv` over the shared state at every *terminal*
+    /// (all-threads-done) state — quiescence properties like "every
+    /// reservation returned".
+    #[must_use]
+    pub fn final_invariant(mut self, inv: impl Fn(&S) -> bool + Send + Sync + 'static) -> Self {
+        self.final_invariant = Some(Arc::new(inv));
+        self
+    }
+
+    /// Caps the number of distinct states (default one million).
+    #[must_use]
+    pub fn max_states(mut self, n: usize) -> Self {
+        self.max_states = n;
+        self
+    }
+
+    /// Models Java-style `notify()` — each notification wakes *one*
+    /// nondeterministically chosen waiter per target queue — instead of
+    /// the default notify-all.
+    #[must_use]
+    pub fn wake_one(mut self) -> Self {
+        self.notify_one = true;
+        self
+    }
+
+    fn phase_for(&self, thread: usize, pc: usize) -> Phase {
+        if pc >= self.scripts[thread].len() {
+            Phase::Done
+        } else {
+            Phase::Ready
+        }
+    }
+
+    /// Evaluates the chain of `method` atomically; returns the
+    /// successor phase ("resumed"/"blocked"/"aborted" label, new phase,
+    /// pc increment).
+    fn chain_step(&self, method: usize, shared: &mut S) -> (&'static str, Option<Phase>) {
+        let chain = &self.system.methods[method].chain;
+        let n = chain.len();
+        for pos in 0..n {
+            let idx = n - 1 - pos; // nested: newest-first
+            match chain[idx].1.pre(shared) {
+                ModelVerdict::Resume => {}
+                ModelVerdict::Block => {
+                    if self.system.rollback {
+                        for rpos in (0..pos).rev() {
+                            let ridx = n - 1 - rpos;
+                            chain[ridx].1.release(shared);
+                        }
+                    }
+                    return ("blocked", Some(Phase::Blocked(method)));
+                }
+                ModelVerdict::Abort => {
+                    if self.system.rollback {
+                        for rpos in (0..pos).rev() {
+                            let ridx = n - 1 - rpos;
+                            chain[ridx].1.release(shared);
+                        }
+                    }
+                    return ("aborted", None); // op completes (failed)
+                }
+            }
+        }
+        ("resumed", Some(Phase::Body(method)))
+    }
+
+    /// Applies postactions and computes the set of notified methods.
+    fn post_step(&self, method: usize, shared: &mut S) -> Vec<usize> {
+        let m = &self.system.methods[method];
+        for (_, aspect) in &m.chain {
+            // post order = registration order under nesting
+            aspect.post(shared);
+        }
+        match &m.wakes {
+            WakeSet::All => (0..self.system.method_count()).collect(),
+            WakeSet::Wired(t) => t.iter().map(|ix| ix.0).collect(),
+        }
+    }
+
+    /// Successor worlds of `world` when `thread` takes its next step.
+    fn successors(&self, world: &World<S>, thread: usize) -> Vec<(Step, World<S>)> {
+        let (pc, phase) = world.threads[thread].clone();
+        match phase {
+            Phase::Done | Phase::Blocked(_) => Vec::new(),
+            Phase::Ready => {
+                let method = self.scripts[thread][pc].0;
+                let mut w = world.clone();
+                let (label, next) = self.chain_step(method, &mut w.shared);
+                match next {
+                    Some(phase) => w.threads[thread] = (pc, phase),
+                    None => {
+                        // Aborted: the op is over.
+                        let npc = pc + 1;
+                        w.threads[thread] = (npc, self.phase_for(thread, npc));
+                    }
+                }
+                vec![(
+                    Step::Chain {
+                        thread,
+                        method: self.system.methods[method].name.clone(),
+                        result: label,
+                    },
+                    w,
+                )]
+            }
+            Phase::Body(method) => {
+                let mut w = world.clone();
+                if let Some(body) = &self.system.methods[method].body {
+                    body(&mut w.shared);
+                }
+                w.threads[thread] = (pc, Phase::Post(method));
+                vec![(
+                    Step::Body {
+                        thread,
+                        method: self.system.methods[method].name.clone(),
+                    },
+                    w,
+                )]
+            }
+            Phase::Post(method) => {
+                let mut w = world.clone();
+                let notified = self.post_step(method, &mut w.shared);
+                let npc = pc + 1;
+                w.threads[thread] = (npc, self.phase_for(thread, npc));
+                let step = Step::Post {
+                    thread,
+                    method: self.system.methods[method].name.clone(),
+                };
+                if self.notify_one {
+                    // Branch over which single waiter each target queue
+                    // wakes (Java notify()).
+                    let mut worlds = vec![w];
+                    for &target in &notified {
+                        let mut next = Vec::new();
+                        for base in worlds {
+                            let waiters: Vec<usize> = base
+                                .threads
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, (_, p))| *p == Phase::Blocked(target))
+                                .map(|(t, _)| t)
+                                .collect();
+                            if waiters.is_empty() {
+                                next.push(base);
+                            } else {
+                                for waiter in waiters {
+                                    let mut b = base.clone();
+                                    let wpc = b.threads[waiter].0;
+                                    b.threads[waiter] = (wpc, Phase::Ready);
+                                    next.push(b);
+                                }
+                            }
+                        }
+                        worlds = next;
+                    }
+                    worlds.into_iter().map(|w| (step.clone(), w)).collect()
+                } else {
+                    // Notify-all: every waiter on a notified queue
+                    // becomes ready to re-evaluate.
+                    for t in 0..w.threads.len() {
+                        if let (tpc, Phase::Blocked(m)) = w.threads[t].clone() {
+                            if notified.contains(&m) {
+                                w.threads[t] = (tpc, Phase::Ready);
+                            }
+                        }
+                    }
+                    vec![(step, w)]
+                }
+            }
+        }
+    }
+
+    fn trace(arena: &[Node], mut idx: usize) -> Vec<Step> {
+        let mut steps = Vec::new();
+        while let Some((parent, step)) = &arena[idx].parent {
+            steps.push(step.clone());
+            idx = *parent;
+        }
+        steps.reverse();
+        steps
+    }
+
+    /// Explores every interleaving starting from `initial` shared
+    /// state.
+    pub fn run(&self, initial: S) -> Exploration {
+        let initial_world = World {
+            shared: initial,
+            threads: (0..self.scripts.len())
+                .map(|t| (0, self.phase_for(t, 0)))
+                .collect(),
+        };
+        if let Some(inv) = &self.invariant {
+            if !inv(&initial_world.shared) {
+                return Exploration {
+                    outcome: Outcome::InvariantViolation(Vec::new()),
+                    states: 1,
+                    terminals: 0,
+                };
+            }
+        }
+        let mut visited: HashSet<World<S>> = HashSet::new();
+        visited.insert(initial_world.clone());
+        let mut arena = vec![Node { parent: None }];
+        let mut stack = vec![(initial_world, 0_usize)];
+        let mut terminals = 0_usize;
+
+        while let Some((world, idx)) = stack.pop() {
+            let mut any_enabled = false;
+            let all_done = world.threads.iter().all(|(_, p)| *p == Phase::Done);
+            if all_done {
+                terminals += 1;
+                if let Some(inv) = &self.final_invariant {
+                    if !inv(&world.shared) {
+                        return Exploration {
+                            outcome: Outcome::FinalInvariantViolation(Self::trace(&arena, idx)),
+                            states: visited.len(),
+                            terminals,
+                        };
+                    }
+                }
+                continue;
+            }
+            for thread in 0..self.scripts.len() {
+                for (step, next) in self.successors(&world, thread) {
+                    any_enabled = true;
+                    if visited.contains(&next) {
+                        continue;
+                    }
+                    visited.insert(next.clone());
+                    arena.push(Node {
+                        parent: Some((idx, step)),
+                    });
+                    let nidx = arena.len() - 1;
+                    if let Some(inv) = &self.invariant {
+                        if !inv(&next.shared) {
+                            return Exploration {
+                                outcome: Outcome::InvariantViolation(Self::trace(&arena, nidx)),
+                                states: visited.len(),
+                                terminals,
+                            };
+                        }
+                    }
+                    if visited.len() > self.max_states {
+                        return Exploration {
+                            outcome: Outcome::StateLimit,
+                            states: visited.len(),
+                            terminals,
+                        };
+                    }
+                    stack.push((next, nidx));
+                }
+            }
+            if !any_enabled {
+                // Unfinished threads, none runnable: deadlock.
+                return Exploration {
+                    outcome: Outcome::Deadlock(Self::trace(&arena, idx)),
+                    states: visited.len(),
+                    terminals,
+                };
+            }
+        }
+        Exploration {
+            outcome: Outcome::Ok,
+            states: visited.len(),
+            terminals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aspects;
+
+    #[derive(Clone, PartialEq, Eq, Hash, Default, Debug)]
+    struct Excl {
+        busy: bool,
+        inside: usize,
+        max_inside: usize,
+    }
+
+    fn exclusion_system() -> (ModelSystem<Excl>, MethodIx) {
+        let mut sys = ModelSystem::new();
+        let op = sys.method("op");
+        sys.add_aspect(
+            op,
+            "mutex",
+            aspects::reserve(
+                |s: &Excl| !s.busy,
+                |s: &mut Excl| {
+                    s.busy = true;
+                    s.inside += 1;
+                    s.max_inside = s.max_inside.max(s.inside);
+                },
+                |s: &mut Excl| {
+                    s.busy = false;
+                    s.inside -= 1;
+                },
+            ),
+        );
+        (sys, op)
+    }
+
+    #[test]
+    fn exclusion_holds_in_every_interleaving() {
+        let (sys, op) = exclusion_system();
+        let result = Checker::new(sys)
+            .thread(vec![op, op])
+            .thread(vec![op, op])
+            .invariant(|s: &Excl| s.max_inside <= 1)
+            .run(Excl::default());
+        assert_eq!(result.outcome, Outcome::Ok);
+        assert!(result.states > 10);
+        assert!(result.terminals >= 1);
+    }
+
+    #[test]
+    fn broken_exclusion_is_caught() {
+        // A "mutex" that forgets to set the flag.
+        let mut sys = ModelSystem::new();
+        let op = sys.method("op");
+        sys.add_aspect(
+            op,
+            "broken-mutex",
+            aspects::from_fns(
+                |s: &mut Excl| {
+                    // BUG: no busy check, no flag set.
+                    s.inside += 1;
+                    s.max_inside = s.max_inside.max(s.inside);
+                    crate::ModelVerdict::Resume
+                },
+                |s: &mut Excl| s.inside -= 1,
+                |_| (),
+            ),
+        );
+        let result = Checker::new(sys)
+            .thread(vec![op])
+            .thread(vec![op])
+            .invariant(|s: &Excl| s.max_inside <= 1)
+            .run(Excl::default());
+        match result.outcome {
+            Outcome::InvariantViolation(trace) => {
+                assert!(trace.len() >= 2, "trace: {trace:?}");
+                // The counterexample must show two chain evaluations
+                // before any post.
+                let chains = trace
+                    .iter()
+                    .filter(|s| matches!(s, Step::Chain { .. }))
+                    .count();
+                assert!(chains >= 2);
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_waiter_deadlocks_without_producer() {
+        #[derive(Clone, PartialEq, Eq, Hash, Default)]
+        struct S {
+            open: bool,
+        }
+        let mut sys = ModelSystem::new();
+        let gated = sys.method("gated");
+        sys.add_aspect(gated, "gate", aspects::guard(|s: &S| s.open));
+        let result = Checker::new(sys).thread(vec![gated]).run(S::default());
+        match result.outcome {
+            Outcome::Deadlock(trace) => {
+                assert_eq!(trace.len(), 1);
+                assert!(trace[0].to_string().contains("blocked"));
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn abort_completes_the_op() {
+        #[derive(Clone, PartialEq, Eq, Hash, Default)]
+        struct S;
+        let mut sys = ModelSystem::new();
+        let op = sys.method("op");
+        sys.add_aspect(op, "deny", aspects::abort_unless(|_s: &S| false));
+        let result = Checker::new(sys).thread(vec![op, op]).run(S);
+        assert_eq!(result.outcome, Outcome::Ok, "aborted ops terminate");
+    }
+
+    #[test]
+    fn state_limit_reports() {
+        let (sys, op) = exclusion_system();
+        let result = Checker::new(sys)
+            .thread(vec![op; 4])
+            .thread(vec![op; 4])
+            .max_states(5)
+            .run(Excl::default());
+        assert_eq!(result.outcome, Outcome::StateLimit);
+    }
+
+    #[test]
+    fn initially_violated_invariant_is_reported() {
+        let (sys, op) = exclusion_system();
+        let result = Checker::new(sys)
+            .thread(vec![op])
+            .invariant(|s: &Excl| s.inside == 99)
+            .run(Excl::default());
+        assert!(matches!(result.outcome, Outcome::InvariantViolation(_)));
+    }
+
+    #[test]
+    fn final_invariant_checks_quiescence() {
+        let (sys, op) = exclusion_system();
+        // Correct system: busy flag clear at every terminal state.
+        let ok = Checker::new(sys)
+            .thread(vec![op, op])
+            .thread(vec![op])
+            .final_invariant(|s: &Excl| !s.busy && s.inside == 0)
+            .run(Excl::default());
+        assert_eq!(ok.outcome, Outcome::Ok);
+
+        // Impossible quiescence demand: caught with a trace.
+        let (sys, op) = exclusion_system();
+        let bad = Checker::new(sys)
+            .thread(vec![op])
+            .final_invariant(|s: &Excl| s.max_inside == 0)
+            .run(Excl::default());
+        match bad.outcome {
+            Outcome::FinalInvariantViolation(trace) => assert!(!trace.is_empty()),
+            other => panic!("expected final violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn notify_one_explores_wakeup_choices() {
+        // Two consumers wait; one producer supplies one item. Under
+        // notify-one semantics exactly one consumer can ever proceed,
+        // so the run deadlocks (the other consumer waits forever).
+        #[derive(Clone, PartialEq, Eq, Hash, Default)]
+        struct S {
+            items: usize,
+        }
+        let mut sys = ModelSystem::new();
+        let put = sys.method("put");
+        let take = sys.method("take");
+        sys.add_aspect(
+            put,
+            "sync",
+            aspects::from_fns(
+                |s: &mut S| {
+                    s.items += 1;
+                    crate::ModelVerdict::Resume
+                },
+                |_| (),
+                |_| (),
+            ),
+        );
+        // The consumer consumes *permanently*: postaction keeps the
+        // item (unlike `reserve`, whose post hands the resource back).
+        sys.add_aspect(
+            take,
+            "sync",
+            aspects::from_fns(
+                |s: &mut S| {
+                    if s.items > 0 {
+                        s.items -= 1;
+                        crate::ModelVerdict::Resume
+                    } else {
+                        crate::ModelVerdict::Block
+                    }
+                },
+                |_| (),
+                |s: &mut S| s.items += 1,
+            ),
+        );
+        let result = Checker::new(sys)
+            .wake_one()
+            .thread(vec![put])
+            .thread(vec![take])
+            .thread(vec![take])
+            .run(S::default());
+        // One consumer must starve in every interleaving: deadlock.
+        assert!(matches!(result.outcome, Outcome::Deadlock(_)));
+    }
+}

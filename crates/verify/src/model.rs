@@ -1,0 +1,203 @@
+//! The protocol model: methods, aspect chains, bodies and wake sets.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Model counterpart of `amf_core::Verdict`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelVerdict {
+    /// The constraint holds; continue down the chain.
+    Resume,
+    /// Park the calling thread on the method's queue.
+    Block,
+    /// Fail the activation (the script's op completes as "aborted").
+    Abort,
+}
+
+/// One concern of one method, as *pure functions over the shared
+/// state* — aspect-local state is lifted into `S` so the checker can
+/// clone, hash and memoize whole worlds.
+pub trait ModelAspect<S>: Send + Sync {
+    /// The precondition; may reserve by mutating `s`.
+    fn pre(&self, s: &mut S) -> ModelVerdict;
+
+    /// The postaction.
+    fn post(&self, s: &mut S);
+
+    /// Rollback of a successful `pre` (used when a later aspect in the
+    /// chain blocks or aborts and the system models rollback).
+    fn release(&self, s: &mut S);
+}
+
+/// Index of a declared method in a [`ModelSystem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MethodIx(pub(crate) usize);
+
+/// Which queues a method's post-activation notifies.
+#[derive(Clone, Default)]
+pub enum WakeSet {
+    /// Every method's queue (the moderator's default).
+    #[default]
+    All,
+    /// Exactly these methods' queues.
+    Wired(Vec<MethodIx>),
+}
+
+impl fmt::Debug for WakeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WakeSet::All => f.write_str("All"),
+            WakeSet::Wired(t) => write!(f, "Wired({})", t.len()),
+        }
+    }
+}
+
+type Body<S> = Arc<dyn Fn(&mut S) + Send + Sync>;
+
+pub(crate) struct ModelMethod<S> {
+    pub(crate) name: String,
+    /// (concern name, aspect) in registration order; evaluation is
+    /// newest-first (the `Nested` policy).
+    pub(crate) chain: Vec<(String, Arc<dyn ModelAspect<S>>)>,
+    pub(crate) body: Option<Body<S>>,
+    pub(crate) wakes: WakeSet,
+}
+
+impl<S> Clone for ModelMethod<S> {
+    fn clone(&self) -> Self {
+        Self {
+            name: self.name.clone(),
+            chain: self.chain.clone(),
+            body: self.body.clone(),
+            wakes: self.wakes.clone(),
+        }
+    }
+}
+
+/// A composition under verification: methods, their aspect chains,
+/// bodies, wake wiring and the rollback policy.
+pub struct ModelSystem<S> {
+    pub(crate) methods: Vec<ModelMethod<S>>,
+    pub(crate) rollback: bool,
+}
+
+impl<S> Clone for ModelSystem<S> {
+    fn clone(&self) -> Self {
+        Self {
+            methods: self.methods.clone(),
+            rollback: self.rollback,
+        }
+    }
+}
+
+impl<S> fmt::Debug for ModelSystem<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.methods.iter().map(|m| m.name.as_str()).collect();
+        f.debug_struct("ModelSystem")
+            .field("methods", &names)
+            .field("rollback", &self.rollback)
+            .finish()
+    }
+}
+
+impl<S> Default for ModelSystem<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S> ModelSystem<S> {
+    /// An empty system with rollback enabled (the framework default).
+    pub fn new() -> Self {
+        Self {
+            methods: Vec::new(),
+            rollback: true,
+        }
+    }
+
+    /// Sets the rollback policy (builder style).
+    #[must_use]
+    pub fn rollback(mut self, on: bool) -> Self {
+        self.rollback = on;
+        self
+    }
+
+    /// Declares a participating method.
+    pub fn method(&mut self, name: &str) -> MethodIx {
+        self.methods.push(ModelMethod {
+            name: name.to_string(),
+            chain: Vec::new(),
+            body: None,
+            wakes: WakeSet::All,
+        });
+        MethodIx(self.methods.len() - 1)
+    }
+
+    /// Registers an aspect at the end of `method`'s chain (it becomes
+    /// the new outermost under nested ordering).
+    pub fn add_aspect(
+        &mut self,
+        method: MethodIx,
+        concern: &str,
+        aspect: Arc<dyn ModelAspect<S>>,
+    ) {
+        self.methods[method.0]
+            .chain
+            .push((concern.to_string(), aspect));
+    }
+
+    /// Sets the method's functional body (defaults to a no-op).
+    pub fn set_body(&mut self, method: MethodIx, body: impl Fn(&mut S) + Send + Sync + 'static) {
+        self.methods[method.0].body = Some(Arc::new(body));
+    }
+
+    /// Restricts which queues `method`'s completion notifies.
+    pub fn wire_wakes(&mut self, method: MethodIx, targets: Vec<MethodIx>) {
+        self.methods[method.0].wakes = WakeSet::Wired(targets);
+    }
+
+    /// The name of a declared method.
+    pub fn method_name(&self, method: MethodIx) -> &str {
+        &self.methods[method.0].name
+    }
+
+    /// Number of declared methods.
+    pub fn method_count(&self) -> usize {
+        self.methods.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aspects;
+
+    #[derive(Clone, PartialEq, Eq, Hash, Default)]
+    struct S;
+
+    #[test]
+    fn builds_methods_and_chains() {
+        let mut sys = ModelSystem::<S>::new();
+        let a = sys.method("a");
+        let b = sys.method("b");
+        sys.add_aspect(a, "x", aspects::always_resume());
+        sys.add_aspect(a, "y", aspects::always_resume());
+        sys.wire_wakes(a, vec![b]);
+        assert_eq!(sys.method_count(), 2);
+        assert_eq!(sys.method_name(a), "a");
+        assert_eq!(sys.methods[a.0].chain.len(), 2);
+        assert!(matches!(sys.methods[a.0].wakes, WakeSet::Wired(_)));
+        assert!(matches!(sys.methods[b.0].wakes, WakeSet::All));
+    }
+
+    #[test]
+    fn clone_is_deep_enough() {
+        let mut sys = ModelSystem::<S>::new();
+        let a = sys.method("a");
+        sys.add_aspect(a, "x", aspects::always_resume());
+        let copy = sys.clone().rollback(false);
+        assert!(sys.rollback);
+        assert!(!copy.rollback);
+        assert_eq!(copy.method_count(), 1);
+    }
+}

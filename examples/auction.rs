@@ -1,0 +1,83 @@
+//! Online auction (one of the paper's motivating e-commerce systems):
+//! authentication, role authorization, mutual exclusion, audit and
+//! metrics all composed onto a sequential auction book.
+//!
+//! ```text
+//! cargo run --example auction
+//! ```
+
+use std::sync::Arc;
+use std::thread;
+
+use aspect_moderator::aspects::auth::{Authenticator, Role};
+use aspect_moderator::core::AspectModerator;
+use aspect_moderator::scenarios::AuctionService;
+
+fn main() {
+    let auth = Authenticator::shared();
+    auth.add_user("sam-the-seller", "pw");
+    auth.grant_role("sam-the-seller", Role::new("seller")).unwrap();
+    for bidder in ["bea", "bob", "bel"] {
+        auth.add_user(bidder, "pw");
+        auth.grant_role(bidder, Role::new("bidder")).unwrap();
+    }
+
+    let svc = Arc::new(
+        AuctionService::new(AspectModerator::shared(), Arc::clone(&auth))
+            .expect("fresh moderator"),
+    );
+
+    let sam = auth.login("sam-the-seller", "pw").unwrap();
+    let lot = svc.list(sam, 100).expect("seller may list");
+    println!("sam listed lot #{lot} with reserve 100");
+
+    // Bidders race; the exclusion aspect serializes the book.
+    let bidders: Vec<_> = ["bea", "bob", "bel"]
+        .into_iter()
+        .map(|name| {
+            let svc = Arc::clone(&svc);
+            let token = auth.login(name, "pw").unwrap();
+            thread::spawn(move || {
+                let mut won = 0;
+                for step in 1..=5u64 {
+                    let amount = 100 + step * 10 + u64::from(name.len() as u32);
+                    match svc.bid(token, lot, amount) {
+                        Ok(()) => {
+                            won += 1;
+                            println!("{name} bid {amount}: accepted");
+                        }
+                        Err(e) => println!("{name} bid {amount}: {e}"),
+                    }
+                }
+                won
+            })
+        })
+        .collect();
+    for b in bidders {
+        b.join().unwrap();
+    }
+
+    // A bidder cannot close; the seller can.
+    let bea = auth.login("bea", "pw").unwrap();
+    println!("bea tries to close: {}", svc.close(bea, lot).unwrap_err());
+    match svc.close(sam, lot).expect("seller may close") {
+        Some((winner, amount)) => println!("lot #{lot} sold to {winner} for {amount}"),
+        None => println!("lot #{lot} closed without meeting reserve"),
+    }
+
+    // The crosscutting concerns did their work without the book knowing:
+    let m = svc.metrics().method("bid").expect("bids were measured");
+    println!(
+        "\nmetrics: {} bids, {} rejected by the book, p50 {:?}",
+        m.invocations,
+        m.failures,
+        m.latency.quantile(0.5)
+    );
+    println!("audit trail ({} records):", svc.audit().len());
+    for r in svc.audit().records().iter().take(6) {
+        println!(
+            "  #{} {} {:?} by {:?} -> {:?}",
+            r.seq, r.method, r.phase, r.principal, r.outcome
+        );
+    }
+}

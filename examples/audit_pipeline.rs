@@ -1,0 +1,80 @@
+//! Reservation + timecard back-office: per-principal quotas, rate
+//! limits, role gates — all as aspects — with a merged audit review at
+//! the end.
+//!
+//! ```text
+//! cargo run --example audit_pipeline
+//! ```
+
+use std::sync::Arc;
+
+use aspect_moderator::aspects::auth::{Authenticator, Role};
+use aspect_moderator::concurrency::SystemClock;
+use aspect_moderator::core::AspectModerator;
+use aspect_moderator::scenarios::{ReservationService, TimecardService};
+
+fn main() {
+    let auth = Authenticator::shared();
+    auth.add_user("rae", "pw");
+    auth.add_user("kit", "pw");
+    auth.add_user("mgr", "pw");
+    auth.grant_role("mgr", Role::new("manager")).unwrap();
+
+    // Seat reservations: 2 per caller.
+    let seats = ReservationService::new(AspectModerator::shared(), Arc::clone(&auth), 6, 2)
+        .expect("fresh moderator");
+    let rae = auth.login("rae", "pw").unwrap();
+    let kit = auth.login("kit", "pw").unwrap();
+
+    seats.reserve(rae, 0).unwrap();
+    seats.reserve(rae, 1).unwrap();
+    match seats.reserve(rae, 2) {
+        Err(e) => println!("rae's third reservation: {e}"),
+        Ok(()) => unreachable!("quota must veto"),
+    }
+    seats.reserve(kit, 2).unwrap();
+    match seats.reserve(kit, 0) {
+        Err(e) => println!("kit tries rae's seat: {e}"),
+        Ok(()) => unreachable!("seat is taken"),
+    }
+    println!(
+        "seats: rae holds {:?}, kit holds {:?}, {} free",
+        seats.held_by("rae"),
+        seats.held_by("kit"),
+        seats.available()
+    );
+
+    // Timecards: employees submit (rate-limited), the manager approves.
+    let cards = TimecardService::new(
+        AspectModerator::shared(),
+        Arc::clone(&auth),
+        100,
+        Arc::new(SystemClock::new()),
+    )
+    .expect("fresh moderator");
+    let mgr = auth.login("mgr", "pw").unwrap();
+    let id = cards.submit(rae, 7.5).unwrap();
+    match cards.approve(rae, id) {
+        Err(e) => println!("rae self-approves: {e}"),
+        Ok(()) => unreachable!("role gate must veto"),
+    }
+    cards.approve(mgr, id).unwrap();
+    println!("rae's approved hours: {}", cards.approved_hours("rae"));
+
+    // The audit concern collected everything, per service, untouched by
+    // any functional code.
+    println!("\nreservation audit:");
+    for r in seats.audit().records() {
+        println!(
+            "  #{} {} {:?} by {:?} -> {:?}",
+            r.seq, r.method, r.phase, r.principal, r.outcome
+        );
+    }
+    println!("timecard audit:");
+    for r in cards.audit().records() {
+        println!(
+            "  #{} {} {:?} by {:?} -> {:?}",
+            r.seq, r.method, r.phase, r.principal, r.outcome
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Quickstart: separate a concurrency constraint from a functional
+//! component in ~30 lines.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use aspect_moderator::core::{
+    AspectModerator, Concern, FnAspect, Moderated, MethodId, Verdict,
+};
+
+fn main() {
+    // 1. The functional component: plain, sequential, oblivious.
+    let inventory: Vec<&str> = Vec::new();
+
+    // 2. A moderator and a participating method.
+    let moderator = AspectModerator::shared();
+    let stock = moderator.declare_method(MethodId::new("stock"));
+
+    // 3. The concern, as a first-class aspect: at most 3 items may ever
+    //    be stocked. Note the functional component knows nothing of it.
+    moderator
+        .register(
+            &stock,
+            Concern::new("shelf-limit"),
+            Box::new(FnAspect::new("at-most-3").on_precondition({
+                let mut stocked = 0;
+                move |_ctx| {
+                    if stocked < 3 {
+                        stocked += 1;
+                        Verdict::Resume
+                    } else {
+                        Verdict::abort("shelf is full")
+                    }
+                }
+            })),
+        )
+        .expect("fresh moderator");
+
+    // 4. The proxy guards every participating invocation.
+    let shelf = Moderated::new(inventory, Arc::clone(&moderator));
+
+    for item in ["apples", "pears", "plums", "grapes"] {
+        match shelf.invoke(&stock, |inv| inv.push(item)) {
+            Ok(()) => println!("stocked {item}"),
+            Err(veto) => println!("rejected {item}: {veto}"),
+        }
+    }
+
+    println!(
+        "final shelf: {:?}",
+        shelf.with_component(|inv| inv.clone())
+    );
+    let stats = moderator.stats();
+    println!(
+        "moderator: {} activations, {} resumed, {} aborted",
+        stats.preactivations, stats.resumes, stats.aborts
+    );
+    assert_eq!(shelf.with_component(|inv| inv.len()), 3);
+}

@@ -1,0 +1,39 @@
+//! Facade crate for the **Aspect Moderator framework** workspace, a Rust
+//! reproduction of *Composing Concerns with a Framework Approach*
+//! (Constantinides & Elrad, ICDCS 2001).
+//!
+//! Re-exports every workspace crate under one root so the examples and
+//! integration tests can say `use aspect_moderator::core::...`:
+//!
+//! | Module | Crate | What |
+//! |---|---|---|
+//! | [`core`] | `amf-core` | the framework: aspects, bank, factory, moderator, proxy |
+//! | [`concurrency`] | `amf-concurrency` | monitors, wait queues, pools, clocks |
+//! | [`aspects`] | `amf-aspects` | the reusable concern library |
+//! | [`ticketing`] | `amf-ticketing` | the paper's trouble-ticketing system |
+//! | [`scenarios`] | `amf-scenarios` | auction, reservation, timecard, checkout |
+//! | [`baseline`] | `amf-baseline` | hand-tangled comparators |
+//! | [`verify`] | `amf-verify` | exhaustive model checker for compositions |
+//!
+//! ```
+//! use aspect_moderator::core::{AspectModerator, Concern, MethodId, NoopAspect};
+//!
+//! let moderator = AspectModerator::builder().build();
+//! let open = moderator.declare_method(MethodId::new("open"));
+//! moderator
+//!     .register(&open, Concern::synchronization(), Box::new(NoopAspect))
+//!     .unwrap();
+//! assert_eq!(moderator.concerns(&open).len(), 1);
+//! ```
+//!
+//! Start with the examples (`cargo run --example quickstart`), the
+//! narrative aspect-author guide at [`core::guide`], and the paper map
+//! in `DESIGN.md`.
+
+pub use amf_aspects as aspects;
+pub use amf_baseline as baseline;
+pub use amf_concurrency as concurrency;
+pub use amf_core as core;
+pub use amf_scenarios as scenarios;
+pub use amf_ticketing as ticketing;
+pub use amf_verify as verify;

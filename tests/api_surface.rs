@@ -1,0 +1,128 @@
+//! Class-diagram conformance (paper Figures 4 and 12): the roles the
+//! paper assigns to each participant exist with the prescribed
+//! relationships, and the public types satisfy the thread-safety bounds
+//! a concurrent framework requires.
+
+use std::sync::Arc;
+
+use aspect_moderator::core::{
+    Aspect, AspectBank, AspectFactory, AspectModerator, ChainedFactory, Concern, FnAspect,
+    InvocationContext, MemoryTrace, MethodHandle, MethodId, Moderated, ModeratorStats,
+    NoopAspect, Principal, RegistryFactory, Verdict,
+};
+
+#[test]
+fn thread_safety_bounds() {
+    fn assert_send<T: Send>() {}
+    fn assert_sync<T: Sync>() {}
+    assert_send::<AspectModerator>();
+    assert_sync::<AspectModerator>();
+    assert_send::<Moderated<Vec<u8>>>();
+    assert_sync::<Moderated<Vec<u8>>>();
+    assert_send::<Box<dyn Aspect>>();
+    assert_send::<Box<dyn AspectFactory>>();
+    assert_sync::<Box<dyn AspectFactory>>();
+    assert_send::<MethodHandle>();
+    assert_sync::<MemoryTrace>();
+    assert_send::<InvocationContext>();
+    assert_send::<ModeratorStats>();
+}
+
+/// Figure 4's Factory Method roles: a *requestor* asks a *creator*
+/// (through the factory interface) for a product implementing the
+/// aspect interface, then registers it — all through trait objects,
+/// i.e. the open extension points of the framework.
+#[test]
+fn fig4_factory_method_roles_are_trait_objects() {
+    struct CustomAspect;
+    impl Aspect for CustomAspect {
+        fn precondition(&mut self, _ctx: &mut InvocationContext) -> Verdict {
+            Verdict::Resume
+        }
+        fn postaction(&mut self, _ctx: &mut InvocationContext) {}
+        fn describe(&self) -> &str {
+            "custom"
+        }
+    }
+
+    struct CustomFactory;
+    impl AspectFactory for CustomFactory {
+        fn create(&self, _method: &MethodId, concern: &Concern) -> Option<Box<dyn Aspect>> {
+            (concern == &Concern::new("custom")).then(|| Box::new(CustomAspect) as Box<dyn Aspect>)
+        }
+    }
+
+    // The requestor (a proxy, here by hand) drives creation through the
+    // interface only.
+    let factory: Box<dyn AspectFactory> = Box::new(CustomFactory);
+    let moderator = AspectModerator::new();
+    let m = moderator.declare_method(MethodId::new("op"));
+    moderator
+        .register_from(factory.as_ref(), &m, Concern::new("custom"))
+        .unwrap();
+    assert_eq!(moderator.concerns(&m), vec![Concern::new("custom")]);
+}
+
+/// Figure 12's composite: the moderator interface exposes exactly the
+/// paper's three operations (preactivation, postactivation,
+/// registerAspect) plus the declared extensions.
+#[test]
+fn fig12_moderator_protocol_surface() {
+    let moderator = AspectModerator::new();
+    let m = moderator.declare_method(MethodId::new("op"));
+    moderator
+        .register(&m, Concern::audit(), Box::new(NoopAspect))
+        .unwrap();
+    let mut ctx = InvocationContext::new(m.id().clone(), moderator.next_invocation());
+    moderator.preactivation(&m, &mut ctx).unwrap(); // paper: preactivation()
+    moderator.postactivation(&m, &mut ctx); // paper: postactivation()
+    let removed = moderator.deregister(&m, &Concern::audit()).unwrap(); // extension
+    assert_eq!(removed.describe(), "noop");
+}
+
+/// Factories chain as the paper's inheritance-based extension did:
+/// `ChainedFactory` plays `ExtendedAspectFactory`.
+#[test]
+fn extended_factory_is_a_factory() {
+    let mut base = RegistryFactory::new();
+    base.provide_for_concern(Concern::synchronization(), || Box::new(NoopAspect));
+    let chained = ChainedFactory::new().with(base);
+    // The chain itself satisfies the factory interface, so proxies are
+    // oblivious to the extension.
+    let as_factory: &dyn AspectFactory = &chained;
+    assert!(as_factory
+        .create(&MethodId::new("x"), &Concern::synchronization())
+        .is_some());
+}
+
+/// The bank is usable standalone (the paper presents it as its own
+/// abstraction, not private moderator state).
+#[test]
+fn aspect_bank_is_public_and_standalone() {
+    let mut bank = AspectBank::new();
+    let open = bank.declare(MethodId::new("open"));
+    bank.register(open, Concern::synchronization(), Box::new(NoopAspect))
+        .unwrap();
+    assert_eq!(bank.method_count(), 1);
+    assert_eq!(bank.aspect_count(), 1);
+    assert_eq!(bank.method_id(open), &MethodId::new("open"));
+}
+
+/// Closure aspects, principals and contexts interoperate without
+/// naming any concrete aspect type — the "aspects are first-class
+/// values" claim.
+#[test]
+fn aspects_are_first_class_values() {
+    let moderator = AspectModerator::shared();
+    let m = moderator.declare_method(MethodId::new("op"));
+    // Build an aspect at runtime, pass it around as a value, store it.
+    let aspect: Box<dyn Aspect> = Box::new(FnAspect::new("dynamic").on_precondition(|ctx| {
+        Verdict::resume_or_abort(ctx.principal().is_some(), "anonymous")
+    }));
+    moderator.register(&m, Concern::new("dyn"), aspect).unwrap();
+    let proxy = Moderated::new((), Arc::clone(&moderator));
+    assert!(proxy.invoke(&m, |()| ()).is_err());
+    assert!(proxy
+        .invoke_as(&m, Principal::new("alice"), |()| ())
+        .is_ok());
+}

@@ -1,0 +1,290 @@
+//! Cross-crate composition tests: many concerns on one component, the
+//! situations the paper's "composition anomalies" discussion worries
+//! about.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use aspect_moderator::aspects::audit::{AuditAspect, AuditLog, AuditPhase};
+use aspect_moderator::aspects::auth::{
+    AuthToken, AuthenticationAspect, Authenticator,
+};
+use aspect_moderator::aspects::fault::{CircuitBreakerAspect, CircuitState};
+use aspect_moderator::aspects::metrics::{MetricsAspect, MetricsHub};
+use aspect_moderator::aspects::quota::QuotaAspect;
+use aspect_moderator::aspects::sched::{RateLimitAspect, ThrottleMode};
+use aspect_moderator::aspects::sync::ExclusionGroup;
+use aspect_moderator::concurrency::{ManualClock, RateLimiter, RateLimiterConfig};
+use aspect_moderator::core::{
+    AspectModerator, Concern, InvocationContext, MethodId, Moderated, Outcome,
+};
+
+/// A five-concern stack (sync, audit, metrics, quota, auth) behaves as
+/// the intersection of its parts.
+#[test]
+fn five_concern_stack_end_to_end() {
+    let moderator = AspectModerator::shared();
+    let op = moderator.declare_method(MethodId::new("op"));
+
+    let auth = Authenticator::shared();
+    auth.add_user("alice", "pw");
+    let audit = AuditLog::shared();
+    let hub = MetricsHub::new();
+    let group = ExclusionGroup::new();
+
+    moderator
+        .register(&op, Concern::synchronization(), Box::new(group.aspect()))
+        .unwrap();
+    moderator
+        .register(&op, Concern::audit(), Box::new(AuditAspect::new(Arc::clone(&audit))))
+        .unwrap();
+    moderator
+        .register(&op, Concern::metrics(), Box::new(MetricsAspect::new(hub.clone())))
+        .unwrap();
+    moderator
+        .register(&op, Concern::quota(), Box::new(QuotaAspect::new(3)))
+        .unwrap();
+    moderator
+        .register(
+            &op,
+            Concern::authentication(),
+            Box::new(AuthenticationAspect::new(Arc::clone(&auth))),
+        )
+        .unwrap();
+
+    let proxy = Moderated::new(0_u64, Arc::clone(&moderator));
+    let token = auth.login("alice", "pw").unwrap();
+    let run = |token: AuthToken| {
+        let mut ctx = InvocationContext::new(op.id().clone(), moderator.next_invocation());
+        ctx.insert(token);
+        proxy.enter_with(&op, ctx).map(|guard| {
+            *guard.component() += 1;
+            guard.complete();
+        })
+    };
+
+    // Three quota'd successes...
+    for _ in 0..3 {
+        run(token).unwrap();
+    }
+    // ...then the quota vetoes (auth passed, quota aborted).
+    let err = run(token).unwrap_err();
+    assert_eq!(err.concern().unwrap(), &Concern::quota());
+    // Anonymous: authentication vetoes before quota is even consulted.
+    let err = run(AuthToken(0)).unwrap_err();
+    assert_eq!(err.concern().unwrap(), &Concern::authentication());
+
+    assert_eq!(proxy.with_component(|c| *c), 3);
+    assert_eq!(hub.method("op").unwrap().invocations, 3);
+    let completed = audit
+        .records()
+        .iter()
+        .filter(|r| r.phase == AuditPhase::Completed)
+        .count();
+    assert_eq!(completed, 3);
+    // Every audited record carries the resolved principal.
+    assert!(audit
+        .records()
+        .iter()
+        .all(|r| r.principal.as_deref() == Some("alice")));
+}
+
+/// Circuit breaker composes with the proxy's outcome reporting: domain
+/// failures trip it, and while open it vetoes without running the body.
+#[test]
+fn circuit_breaker_composes_with_fallible_invocations() {
+    let clock = ManualClock::new();
+    let moderator = AspectModerator::shared();
+    let op = moderator.declare_method(MethodId::new("flaky"));
+    moderator
+        .register(
+            &op,
+            Concern::fault_tolerance(),
+            Box::new(CircuitBreakerAspect::with_clock(
+                2,
+                Duration::from_secs(10),
+                Arc::new(clock.clone()),
+            )),
+        )
+        .unwrap();
+    let proxy = Moderated::new(0_u32, Arc::clone(&moderator));
+
+    // Two domain failures trip the breaker.
+    for _ in 0..2 {
+        let r: Result<(), &str> = proxy.invoke_fallible(&op, |_| Err("boom")).unwrap();
+        assert!(r.is_err());
+    }
+    // Open: vetoed, body does not run.
+    let attempts = Arc::new(std::sync::atomic::AtomicU32::new(0));
+    let a = Arc::clone(&attempts);
+    let veto = proxy.invoke(&op, move |_| {
+        a.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    });
+    assert!(veto.is_err());
+    assert_eq!(attempts.load(std::sync::atomic::Ordering::SeqCst), 0);
+    assert_eq!(
+        veto.unwrap_err().concern().unwrap(),
+        &Concern::fault_tolerance()
+    );
+    // After the cooldown, a successful probe closes it again.
+    clock.advance(Duration::from_secs(10));
+    let ok: Result<(), &str> = proxy.invoke_fallible(&op, |_| Ok(())).unwrap();
+    assert!(ok.is_ok());
+    moderator
+        .with_aspect(&op, &Concern::fault_tolerance(), |a| {
+            // Downcast-free check via describe; state itself verified by
+            // behavior below.
+            assert_eq!(a.describe(), "circuit breaker");
+        })
+        .unwrap();
+    let ok2: Result<(), &str> = proxy.invoke_fallible(&op, |_| Ok(())).unwrap();
+    assert!(ok2.is_ok());
+    let _ = CircuitState::Closed; // states exercised behaviorally above
+}
+
+/// Rate limiting composes with blocking synchronization: the throttle
+/// vetoes while the bucket is empty even though the sync aspect would
+/// admit the call.
+#[test]
+fn throttle_and_exclusion_compose() {
+    let clock = ManualClock::new();
+    let limiter = Arc::new(RateLimiter::new(
+        RateLimiterConfig {
+            burst: 2,
+            tokens_per_second: 1.0,
+        },
+        Arc::new(clock.clone()),
+    ));
+    let moderator = AspectModerator::shared();
+    let op = moderator.declare_method(MethodId::new("op"));
+    let group = ExclusionGroup::new();
+    moderator
+        .register(&op, Concern::synchronization(), Box::new(group.aspect()))
+        .unwrap();
+    moderator
+        .register(
+            &op,
+            Concern::throttling(),
+            Box::new(RateLimitAspect::new(limiter, ThrottleMode::Abort)),
+        )
+        .unwrap();
+    let proxy = Moderated::new(0_u32, Arc::clone(&moderator));
+
+    proxy.invoke(&op, |c| *c += 1).unwrap();
+    proxy.invoke(&op, |c| *c += 1).unwrap();
+    let err = proxy.invoke(&op, |c| *c += 1).unwrap_err();
+    assert_eq!(err.concern().unwrap(), &Concern::throttling());
+    // The vetoed attempt must not have left the exclusion group busy.
+    assert!(!group.is_busy());
+    clock.advance(Duration::from_secs(1));
+    proxy.invoke(&op, |c| *c += 1).unwrap();
+    assert_eq!(proxy.with_component(|c| *c), 3);
+}
+
+/// Readers–writer aspects under real threads: readers run concurrently,
+/// writers exclusively, and no torn reads are observable.
+#[test]
+fn readers_writer_composition_under_threads() {
+    use aspect_moderator::aspects::sync::ReadersWriterGroup;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    let moderator = AspectModerator::shared();
+    let read = moderator.declare_method(MethodId::new("read"));
+    let write = moderator.declare_method(MethodId::new("write"));
+    let group = ReadersWriterGroup::new();
+    moderator
+        .register(&read, Concern::synchronization(), Box::new(group.read_aspect()))
+        .unwrap();
+    moderator
+        .register(&write, Concern::synchronization(), Box::new(group.write_aspect()))
+        .unwrap();
+    // The "document": two fields a writer keeps equal. The component
+    // itself is behind the proxy's mutex, so to let readers actually
+    // overlap we share it via an Arc *outside* the proxy and keep unit
+    // state inside — the aspects alone provide the RW discipline.
+    #[derive(Default)]
+    struct Doc {
+        a: AtomicU32,
+        b: AtomicU32,
+    }
+    let doc = Arc::new(Doc::default());
+    let proxy = Arc::new(Moderated::new((), Arc::clone(&moderator)));
+    let max_readers = Arc::new(AtomicU32::new(0));
+    let readers_now = Arc::new(AtomicU32::new(0));
+
+    std::thread::scope(|s| {
+        for _ in 0..3 {
+            let proxy = Arc::clone(&proxy);
+            let read = read.clone();
+            let doc = Arc::clone(&doc);
+            let readers_now = Arc::clone(&readers_now);
+            let max_readers = Arc::clone(&max_readers);
+            s.spawn(move || {
+                for _ in 0..300 {
+                    let guard = proxy.enter(&read).unwrap();
+                    let now = readers_now.fetch_add(1, Ordering::SeqCst) + 1;
+                    max_readers.fetch_max(now, Ordering::SeqCst);
+                    let a = doc.a.load(Ordering::SeqCst);
+                    std::thread::yield_now();
+                    let b = doc.b.load(Ordering::SeqCst);
+                    assert_eq!(a, b, "torn read: writer ran during a read");
+                    readers_now.fetch_sub(1, Ordering::SeqCst);
+                    guard.complete();
+                }
+            });
+        }
+        for _ in 0..2 {
+            let proxy = Arc::clone(&proxy);
+            let write = write.clone();
+            let doc = Arc::clone(&doc);
+            s.spawn(move || {
+                for _ in 0..150 {
+                    let guard = proxy.enter(&write).unwrap();
+                    let v = doc.a.load(Ordering::SeqCst) + 1;
+                    doc.a.store(v, Ordering::SeqCst);
+                    std::thread::yield_now();
+                    doc.b.store(v, Ordering::SeqCst);
+                    guard.complete();
+                }
+            });
+        }
+    });
+    assert_eq!(doc.a.load(Ordering::SeqCst), 300);
+    assert_eq!(group.load(), (0, false), "group fully released");
+    assert!(
+        max_readers.load(Ordering::SeqCst) >= 2,
+        "readers must actually have overlapped"
+    );
+}
+
+/// Outcome visibility: a failing functional method is reported to every
+/// post-activation aspect in the stack.
+#[test]
+fn failure_outcome_reaches_all_aspects() {
+    let moderator = AspectModerator::shared();
+    let op = moderator.declare_method(MethodId::new("op"));
+    let audit = AuditLog::shared();
+    let hub = MetricsHub::new();
+    moderator
+        .register(&op, Concern::audit(), Box::new(AuditAspect::new(Arc::clone(&audit))))
+        .unwrap();
+    moderator
+        .register(&op, Concern::metrics(), Box::new(MetricsAspect::new(hub.clone())))
+        .unwrap();
+    let proxy = Moderated::new(0_u32, Arc::clone(&moderator));
+    let r: Result<(), String> = proxy
+        .invoke_fallible(&op, |_| Err("domain".to_string()))
+        .unwrap();
+    assert!(r.is_err());
+    assert_eq!(hub.method("op").unwrap().failures, 1);
+    let completed: Vec<_> = audit
+        .records()
+        .into_iter()
+        .filter(|r| r.phase == AuditPhase::Completed)
+        .collect();
+    assert_eq!(
+        completed[0].outcome,
+        Some(aspect_moderator::aspects::audit::AuditOutcome::Failure)
+    );
+    let _ = Outcome::Failure;
+}

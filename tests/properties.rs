@@ -1,0 +1,316 @@
+//! Property-based tests (proptest) on the framework's core invariants.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use aspect_moderator::aspects::metrics::Histogram;
+use aspect_moderator::aspects::sync::bounded_buffer_sync;
+use aspect_moderator::concurrency::{RingBuffer, Scheduler, SchedulerPolicy};
+use aspect_moderator::core::{
+    Aspect, AspectBank, AspectModerator, Concern, InvocationContext, MethodId, Moderated,
+    NoopAspect,
+};
+use aspect_moderator::ticketing::{Ticket, TicketServer};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Aspect bank vs a HashMap model.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum BankOp {
+    Register(u8, u8),
+    Replace(u8, u8),
+    Deregister(u8, u8),
+    Contains(u8, u8),
+}
+
+fn bank_op() -> impl Strategy<Value = BankOp> {
+    prop_oneof![
+        (0..6u8, 0..4u8).prop_map(|(m, c)| BankOp::Register(m, c)),
+        (0..6u8, 0..4u8).prop_map(|(m, c)| BankOp::Replace(m, c)),
+        (0..6u8, 0..4u8).prop_map(|(m, c)| BankOp::Deregister(m, c)),
+        (0..6u8, 0..4u8).prop_map(|(m, c)| BankOp::Contains(m, c)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn bank_matches_hashmap_model(ops in proptest::collection::vec(bank_op(), 1..80)) {
+        let mut bank = AspectBank::new();
+        let mut model: HashMap<(u8, u8), ()> = HashMap::new();
+        let mut handles = Vec::new();
+        for m in 0..6u8 {
+            handles.push(bank.declare(MethodId::new(format!("m{m}"))));
+        }
+        for op in ops {
+            match op {
+                BankOp::Register(m, c) => {
+                    let occupied = model.contains_key(&(m, c));
+                    let r = bank.register(
+                        handles[m as usize],
+                        Concern::new(format!("c{c}")),
+                        Box::new(NoopAspect),
+                    );
+                    prop_assert_eq!(r.is_err(), occupied);
+                    model.entry((m, c)).or_insert(());
+                }
+                BankOp::Replace(m, c) => {
+                    let occupied = model.contains_key(&(m, c));
+                    let old = bank.replace(
+                        handles[m as usize],
+                        Concern::new(format!("c{c}")),
+                        Box::new(NoopAspect),
+                    );
+                    prop_assert_eq!(old.is_some(), occupied);
+                    model.insert((m, c), ());
+                }
+                BankOp::Deregister(m, c) => {
+                    let occupied = model.remove(&(m, c)).is_some();
+                    let r = bank.deregister(handles[m as usize], &Concern::new(format!("c{c}")));
+                    prop_assert_eq!(r.is_ok(), occupied);
+                }
+                BankOp::Contains(m, c) => {
+                    prop_assert_eq!(
+                        bank.contains(handles[m as usize], &Concern::new(format!("c{c}"))),
+                        model.contains_key(&(m, c))
+                    );
+                }
+            }
+            prop_assert_eq!(bank.aspect_count(), model.len());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ticket server vs a VecDeque model (sequential).
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum BufOp {
+    Open(u64),
+    Assign,
+}
+
+proptest! {
+    #[test]
+    fn ticket_server_matches_deque_model(
+        capacity in 1..12usize,
+        ops in proptest::collection::vec(
+            prop_oneof![any::<u64>().prop_map(BufOp::Open), Just(BufOp::Assign)],
+            1..200,
+        )
+    ) {
+        let mut server = TicketServer::new(capacity);
+        let mut model: VecDeque<u64> = VecDeque::new();
+        for op in ops {
+            match op {
+                BufOp::Open(v) => {
+                    let r = server.open(Ticket::new(v, "t"));
+                    if model.len() < capacity {
+                        prop_assert!(r.is_ok());
+                        model.push_back(v);
+                    } else {
+                        prop_assert!(r.is_err());
+                    }
+                }
+                BufOp::Assign => {
+                    let r = server.assign();
+                    match model.pop_front() {
+                        Some(expected) => prop_assert_eq!(r.unwrap().id.0, expected),
+                        None => prop_assert!(r.is_err()),
+                    }
+                }
+            }
+            prop_assert_eq!(server.len(), model.len());
+            prop_assert_eq!(server.is_empty(), model.is_empty());
+            prop_assert_eq!(server.is_full(), model.len() == capacity);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Moderated single-threaded invocations vs direct calls: the framework
+// must be semantically transparent when no aspect constrains anything.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn moderation_is_transparent_for_unconstrained_methods(
+        values in proptest::collection::vec(any::<u64>(), 1..100)
+    ) {
+        let moderator = AspectModerator::shared();
+        let push = moderator.declare_method(MethodId::new("push"));
+        for i in 0..3 {
+            moderator
+                .register(&push, Concern::new(format!("noop{i}")), Box::new(NoopAspect))
+                .unwrap();
+        }
+        let proxy = Moderated::new(Vec::new(), Arc::clone(&moderator));
+        for v in &values {
+            proxy.invoke(&push, |vec| vec.push(*v)).unwrap();
+        }
+        prop_assert_eq!(proxy.into_inner(), values);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bounded-buffer sync aspects: counters never violate their invariants
+// under arbitrary *admissible* schedules.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+enum SyncStep {
+    ProducerPre,
+    ProducerPost,
+    ConsumerPre,
+    ConsumerPost,
+}
+
+proptest! {
+    #[test]
+    fn buffer_sync_invariants_hold(
+        capacity in 1..6usize,
+        steps in proptest::collection::vec(0..4u8, 1..300)
+    ) {
+        let (mut producer, mut consumer, handle) = bounded_buffer_sync(capacity);
+        let mut ctx = InvocationContext::new(MethodId::new("m"), 1);
+        // Track which phase each side is in so we only issue admissible
+        // transitions (pre before post).
+        let mut producing = false;
+        let mut consuming = false;
+        for s in steps {
+            let step = match s {
+                0 => SyncStep::ProducerPre,
+                1 => SyncStep::ProducerPost,
+                2 => SyncStep::ConsumerPre,
+                _ => SyncStep::ConsumerPost,
+            };
+            match step {
+                SyncStep::ProducerPre if !producing
+                    && producer.precondition(&mut ctx).is_resume() => {
+                        producing = true;
+                    }
+                SyncStep::ProducerPost if producing => {
+                    producer.postaction(&mut ctx);
+                    producing = false;
+                }
+                SyncStep::ConsumerPre if !consuming
+                    && consumer.precondition(&mut ctx).is_resume() => {
+                        consuming = true;
+                    }
+                SyncStep::ConsumerPost if consuming => {
+                    consumer.postaction(&mut ctx);
+                    consuming = false;
+                }
+                _ => {}
+            }
+            let snap = handle.snapshot();
+            prop_assert!(snap.reserved <= snap.capacity, "reserved {snap:?}");
+            prop_assert!(snap.produced <= snap.reserved, "produced {snap:?}");
+            prop_assert_eq!(snap.producing, producing);
+            prop_assert_eq!(snap.consuming, consuming);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scheduler policies against reference models.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn fifo_scheduler_is_a_queue(items in proptest::collection::vec(any::<u32>(), 0..50)) {
+        let mut s = Scheduler::new(SchedulerPolicy::Fifo);
+        for &i in &items {
+            s.enqueue(i);
+        }
+        prop_assert_eq!(s.drain(), items);
+    }
+
+    #[test]
+    fn lifo_scheduler_is_a_stack(items in proptest::collection::vec(any::<u32>(), 0..50)) {
+        let mut s = Scheduler::new(SchedulerPolicy::Lifo);
+        for &i in &items {
+            s.enqueue(i);
+        }
+        let mut expected = items.clone();
+        expected.reverse();
+        prop_assert_eq!(s.drain(), expected);
+    }
+
+    #[test]
+    fn priority_scheduler_sorts_stably(
+        items in proptest::collection::vec((0..5u32, any::<u32>()), 0..50)
+    ) {
+        let mut s = Scheduler::new(SchedulerPolicy::Priority);
+        for (pri, val) in &items {
+            s.enqueue_with_priority(*val, *pri);
+        }
+        // Reference: stable sort by descending priority.
+        let mut expected: Vec<(u32, u32)> = items.clone();
+        expected.sort_by_key(|e| std::cmp::Reverse(e.0));
+        let expected: Vec<u32> = expected.into_iter().map(|(_, v)| v).collect();
+        prop_assert_eq!(s.drain(), expected);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Histogram: totals and quantile monotonicity.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn histogram_quantiles_are_monotonic(
+        samples in proptest::collection::vec(0..10_000_000u64, 1..200)
+    ) {
+        let mut h = Histogram::default_latency();
+        for s in &samples {
+            h.record(std::time::Duration::from_nanos(*s));
+        }
+        prop_assert_eq!(h.total(), samples.len() as u64);
+        let quantiles: Vec<_> = [0.0, 0.25, 0.5, 0.75, 0.9, 1.0]
+            .iter()
+            .map(|q| h.quantile(*q).unwrap())
+            .collect();
+        for w in quantiles.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles must not decrease: {quantiles:?}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// RingBuffer never exceeds capacity and preserves order.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn ring_buffer_matches_model(
+        capacity in 1..10usize,
+        ops in proptest::collection::vec(prop_oneof![
+            any::<u8>().prop_map(Some),
+            Just(None)
+        ], 0..150)
+    ) {
+        let mut rb = RingBuffer::with_capacity(capacity);
+        let mut model: VecDeque<u8> = VecDeque::new();
+        for op in ops {
+            match op {
+                Some(v) => {
+                    let r = rb.push_back(v);
+                    if model.len() < capacity {
+                        prop_assert!(r.is_ok());
+                        model.push_back(v);
+                    } else {
+                        prop_assert!(r.is_err());
+                    }
+                }
+                None => {
+                    prop_assert_eq!(rb.pop_front(), model.pop_front());
+                }
+            }
+            prop_assert_eq!(rb.len(), model.len());
+            prop_assert!(rb.len() <= capacity);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Property-based tests over the aspect library's coordination state
+//! machines: arbitrary admissible schedules never violate the
+//! invariants each aspect promises.
+
+use std::sync::Arc;
+
+use aspect_moderator::aspects::coordination::BarrierAspect;
+use aspect_moderator::aspects::sched::{AdmissionGroup, Priority};
+use aspect_moderator::aspects::sync::ConcurrencyLimitGroup;
+use aspect_moderator::concurrency::{ResourcePool, SchedulerPolicy};
+use aspect_moderator::core::{Aspect, InvocationContext, MethodId};
+use proptest::prelude::*;
+
+fn ctx(invocation: u64) -> InvocationContext {
+    InvocationContext::new(MethodId::new("m"), invocation)
+}
+
+proptest! {
+    /// Under any admissible schedule, the number of in-flight
+    /// activations never exceeds the concurrency limit and returns to
+    /// zero once everything completes.
+    #[test]
+    fn concurrency_limit_never_oversubscribes(
+        limit in 1..5usize,
+        script in proptest::collection::vec(any::<bool>(), 1..200)
+    ) {
+        let group = ConcurrencyLimitGroup::new(limit);
+        let mut aspect = group.aspect();
+        let mut inflight: Vec<u64> = Vec::new();
+        let mut next_inv = 0u64;
+        let mut cx = ctx(0);
+        for enter in script {
+            if enter {
+                next_inv += 1;
+                if aspect.precondition(&mut cx).is_resume() {
+                    inflight.push(next_inv);
+                }
+            } else if !inflight.is_empty() {
+                inflight.pop();
+                aspect.postaction(&mut cx);
+            }
+            prop_assert!(group.running() <= limit);
+            prop_assert_eq!(group.running(), inflight.len());
+        }
+        while inflight.pop().is_some() {
+            aspect.postaction(&mut cx);
+        }
+        prop_assert_eq!(group.running(), 0);
+    }
+
+    /// A barrier of cohort k releases activations in exact multiples of
+    /// k, regardless of arrival order or interleaved cancellations.
+    #[test]
+    fn barrier_releases_in_cohorts(
+        k in 1..5usize,
+        arrivals in 1..60u64,
+        cancels in proptest::collection::vec(any::<bool>(), 0..60)
+    ) {
+        let mut barrier = BarrierAspect::new(k);
+        let mut released = 0u64;
+        let mut waiting: Vec<u64> = Vec::new();
+        for inv in 1..=arrivals {
+            let mut cx = ctx(inv);
+            if barrier.precondition(&mut cx).is_resume() {
+                released += 1;
+                // Everyone already waiting may now pass (re-evaluation
+                // after notify-all).
+                waiting.retain(|w| {
+                    let mut wcx = ctx(*w);
+                    if barrier.precondition(&mut wcx).is_resume() {
+                        released += 1;
+                        false
+                    } else {
+                        true
+                    }
+                });
+            } else {
+                // Possibly cancel (timeout) per the script.
+                let idx = (inv as usize).min(cancels.len().saturating_sub(1));
+                if cancels.get(idx).copied().unwrap_or(false) {
+                    barrier.on_cancel(&ctx(inv));
+                } else {
+                    waiting.push(inv);
+                }
+            }
+            prop_assert!(waiting.len() < k, "waiting set must stay below the cohort size");
+        }
+        prop_assert_eq!(released % k as u64, 0, "releases happen k at a time");
+        prop_assert_eq!(barrier.generations(), released / k as u64);
+    }
+
+    /// FIFO admission through a capacity-1 gate admits invocations in
+    /// exact arrival order, for any interleaving of arrivals and
+    /// completions.
+    #[test]
+    fn admission_fifo_is_exact_arrival_order(
+        script in proptest::collection::vec(any::<bool>(), 1..200)
+    ) {
+        let group = AdmissionGroup::new(1, SchedulerPolicy::Fifo);
+        let mut aspect = group.aspect();
+        let mut next_inv = 0u64;
+        let mut arrived: Vec<u64> = Vec::new();   // arrival order
+        let mut admitted: Vec<u64> = Vec::new();  // admission order
+        let mut running: Option<u64> = None;
+        for arrive in script {
+            if arrive {
+                next_inv += 1;
+                arrived.push(next_inv);
+                let mut cx = ctx(next_inv);
+                if running.is_none() && aspect.precondition(&mut cx).is_resume() {
+                    admitted.push(next_inv);
+                    running = Some(next_inv);
+                } else {
+                    let _ = aspect.precondition(&mut cx); // enroll/block
+                }
+            } else if let Some(r) = running.take() {
+                let mut cx = ctx(r);
+                aspect.postaction(&mut cx);
+                // Wake-all: every enrolled waiter re-evaluates; the
+                // FIFO head is admitted.
+                for &w in &arrived {
+                    if admitted.contains(&w) {
+                        continue;
+                    }
+                    let mut wcx = ctx(w);
+                    if aspect.precondition(&mut wcx).is_resume() {
+                        admitted.push(w);
+                        running = Some(w);
+                        break;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(&admitted[..], &arrived[..admitted.len()], "FIFO admission order");
+    }
+
+    /// Priority admission admits the highest-priority waiter at each
+    /// hand-off.
+    #[test]
+    fn admission_priority_prefers_high(
+        priorities in proptest::collection::vec(0..8u32, 2..12)
+    ) {
+        let group = AdmissionGroup::new(1, SchedulerPolicy::Priority);
+        let mut aspect = group.aspect();
+        // First arrival takes the gate.
+        let mut cx0 = ctx(1);
+        prop_assert!(aspect.precondition(&mut cx0).is_resume());
+        // All others enroll while the gate is held.
+        let mut waiters: Vec<(u64, u32)> = Vec::new();
+        for (i, &p) in priorities.iter().enumerate() {
+            let inv = 2 + i as u64;
+            let mut cx = ctx(inv);
+            cx.insert(Priority(p));
+            prop_assert!(aspect.precondition(&mut cx).is_block());
+            waiters.push((inv, p));
+        }
+        // Complete the holder; the next admitted must be a maximal
+        // priority among waiters (FIFO among equals -> the earliest).
+        aspect.postaction(&mut cx0);
+        let max_p = waiters.iter().map(|(_, p)| *p).max().unwrap();
+        let expected = waiters.iter().find(|(_, p)| *p == max_p).unwrap().0;
+        let mut admitted = None;
+        for &(inv, p) in &waiters {
+            let mut cx = ctx(inv);
+            cx.insert(Priority(p));
+            if aspect.precondition(&mut cx).is_resume() {
+                admitted = Some(inv);
+                break;
+            }
+        }
+        prop_assert_eq!(admitted, Some(expected));
+    }
+
+    /// Resource pools conserve resources across arbitrary checkout /
+    /// checkin sequences.
+    #[test]
+    fn resource_pool_conserves(
+        size in 1..6usize,
+        ops in proptest::collection::vec(any::<bool>(), 1..200)
+    ) {
+        let pool = Arc::new(ResourcePool::new((0..size as u32).collect::<Vec<_>>()));
+        let mut held: Vec<u32> = Vec::new();
+        for take in ops {
+            if take {
+                if let Some(v) = pool.checkout() {
+                    prop_assert!(!held.contains(&v), "no resource handed out twice");
+                    held.push(v);
+                }
+            } else if let Some(v) = held.pop() {
+                pool.checkin(v);
+            }
+            prop_assert_eq!(pool.available() + held.len(), size);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! The composition anomaly and its fix (experiment E7 as a test): with
+//! two aspects on one method, a reservation made by an outer aspect
+//! must be released when an inner aspect blocks or aborts — otherwise
+//! unrelated methods sharing the reserved resource starve.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use aspect_moderator::aspects::sync::ExclusionGroup;
+use aspect_moderator::core::{
+    AspectModerator, Concern, FnAspect, MethodId, Moderated, RollbackPolicy, Verdict,
+};
+
+struct Anomaly {
+    moderator: Arc<AspectModerator>,
+    proxy: Arc<Moderated<u64>>,
+    a: aspect_moderator::core::MethodHandle,
+    b: aspect_moderator::core::MethodHandle,
+    gate: Arc<AtomicBool>,
+    pool: ExclusionGroup,
+}
+
+/// Methods `a` and `b` share a capacity-1 pool; `a` additionally blocks
+/// on a gate that starts closed. Nested ordering on `a`: pool (newest)
+/// reserves first, then the gate blocks.
+fn build(policy: RollbackPolicy) -> Anomaly {
+    let moderator = Arc::new(AspectModerator::builder().rollback(policy).build());
+    let a = moderator.declare_method(MethodId::new("a"));
+    let b = moderator.declare_method(MethodId::new("b"));
+    let pool = ExclusionGroup::new();
+    let gate = Arc::new(AtomicBool::new(false));
+    {
+        let gate = Arc::clone(&gate);
+        moderator
+            .register(
+                &a,
+                Concern::new("gate"),
+                Box::new(
+                    FnAspect::new("gate")
+                        .on_precondition(move |_| Verdict::resume_if(gate.load(Ordering::SeqCst))),
+                ),
+            )
+            .unwrap();
+    }
+    moderator
+        .register(&a, Concern::new("pool"), Box::new(pool.aspect()))
+        .unwrap();
+    moderator
+        .register(&b, Concern::new("pool"), Box::new(pool.aspect()))
+        .unwrap();
+    let proxy = Arc::new(Moderated::new(0, Arc::clone(&moderator)));
+    Anomaly {
+        moderator,
+        proxy,
+        a,
+        b,
+        gate,
+        pool,
+    }
+}
+
+fn block_a(anomaly: &Anomaly) -> thread::JoinHandle<()> {
+    let proxy = Arc::clone(&anomaly.proxy);
+    let a = anomaly.a.clone();
+    let t = thread::spawn(move || {
+        proxy.invoke(&a, |c| *c += 1).unwrap();
+    });
+    while anomaly.moderator.stats().blocks == 0 {
+        thread::yield_now();
+    }
+    t
+}
+
+#[test]
+fn with_rollback_blocked_reservation_is_released() {
+    let anomaly = build(RollbackPolicy::Release);
+    let blocked = block_a(&anomaly);
+    // `a` is parked on the gate; its pool reservation must be undone.
+    assert!(!anomaly.pool.is_busy(), "reservation rolled back");
+    // So `b` runs immediately.
+    anomaly
+        .proxy
+        .invoke_timeout(&anomaly.b, Duration::from_secs(5), |c| *c += 10)
+        .unwrap();
+    // Open the gate; b's postactivation already notified, but send one
+    // more completion to be deterministic about the wakeup.
+    anomaly.gate.store(true, Ordering::SeqCst);
+    anomaly
+        .proxy
+        .invoke_timeout(&anomaly.b, Duration::from_secs(5), |_| ())
+        .unwrap();
+    blocked.join().unwrap();
+    assert_eq!(anomaly.proxy.with_component(|c| *c), 11);
+    assert!(anomaly.moderator.stats().releases >= 1);
+}
+
+#[test]
+fn without_rollback_the_pool_leaks_and_b_starves() {
+    let anomaly = build(RollbackPolicy::None);
+    let blocked = block_a(&anomaly);
+    // The paper-literal semantics: `a` reserved the pool, then blocked
+    // on the gate; the reservation leaks.
+    assert!(anomaly.pool.is_busy(), "reservation leaked");
+    let err = anomaly
+        .proxy
+        .invoke_timeout(&anomaly.b, Duration::from_millis(200), |c| *c += 10)
+        .unwrap_err();
+    assert!(err.is_timeout(), "b starves on the leaked pool");
+    // Even worse: `a` deadlocks against its own stale reservation once
+    // the gate opens. Break the cycle by removing the pool aspect.
+    anomaly.gate.store(true, Ordering::SeqCst);
+    anomaly
+        .moderator
+        .deregister(&anomaly.a, &Concern::new("pool"))
+        .unwrap();
+    blocked.join().unwrap();
+    assert_eq!(anomaly.moderator.stats().releases, 0);
+}
+
+/// Rollback also fires on aborts: an inner abort releases the outer
+/// reservation, so the pool is immediately reusable.
+#[test]
+fn abort_releases_outer_reservation() {
+    let moderator = Arc::new(AspectModerator::builder().rollback(RollbackPolicy::Release).build());
+    let m = moderator.declare_method(MethodId::new("m"));
+    let pool = ExclusionGroup::new();
+    // Inner (registered first, evaluated last): always aborts.
+    moderator
+        .register(
+            &m,
+            Concern::new("deny"),
+            Box::new(FnAspect::new("deny").on_precondition(|_| Verdict::abort("no"))),
+        )
+        .unwrap();
+    moderator
+        .register(&m, Concern::new("pool"), Box::new(pool.aspect()))
+        .unwrap();
+    let proxy = Moderated::new(0_u32, Arc::clone(&moderator));
+    for _ in 0..3 {
+        assert!(proxy.invoke(&m, |_| ()).is_err());
+        assert!(!pool.is_busy(), "abort must release the reservation");
+    }
+    assert_eq!(moderator.stats().releases, 3);
+}

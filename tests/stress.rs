@@ -1,0 +1,198 @@
+//! Soak tests: sustained mixed workloads across proxies, with
+//! accounting invariants over the moderator's statistics.
+//!
+//! Stats invariants checked throughout:
+//! * `preactivations == resumes + aborts + timeouts` once quiescent,
+//! * `postactivations == resumes` when every guard is completed,
+//! * aspect reservation counters return to zero.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use aspect_moderator::aspects::auth::{AuthToken, Authenticator};
+use aspect_moderator::core::AspectModerator;
+use aspect_moderator::scenarios::{CheckoutService, ReservationService};
+use aspect_moderator::ticketing::{ExtendedTicketServerProxy, Ticket, TicketServerProxy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn assert_quiescent_stats(moderator: &AspectModerator) {
+    let s = moderator.stats();
+    assert_eq!(
+        s.preactivations,
+        s.resumes + s.aborts + s.timeouts,
+        "every preactivation must terminate: {s:?}"
+    );
+    assert_eq!(
+        s.postactivations, s.resumes,
+        "every resumed guard must have completed: {s:?}"
+    );
+}
+
+#[test]
+fn ticketing_soak_under_heavy_contention() {
+    let proxy = Arc::new(TicketServerProxy::new(3, AspectModerator::shared()).unwrap());
+    let producers = 6;
+    let consumers = 6;
+    let per: u64 = 400;
+    thread::scope(|s| {
+        for p in 0..producers {
+            let proxy = Arc::clone(&proxy);
+            s.spawn(move || {
+                for i in 0..per {
+                    proxy.open(Ticket::new(p * 10_000 + i, "x")).unwrap();
+                }
+            });
+        }
+        for _ in 0..consumers {
+            let proxy = Arc::clone(&proxy);
+            s.spawn(move || {
+                for _ in 0..per {
+                    proxy.assign().unwrap();
+                }
+            });
+        }
+    });
+    assert_eq!(proxy.totals(), (producers * per, consumers * per));
+    assert!(proxy.is_empty());
+    let snap = proxy.buffer_handle().snapshot();
+    assert_eq!((snap.reserved, snap.produced), (0, 0));
+    assert!(!snap.producing && !snap.consuming);
+    assert_quiescent_stats(proxy.moderator());
+}
+
+#[test]
+fn extended_ticketing_soak_with_hostile_traffic() {
+    let auth = Authenticator::shared();
+    auth.add_user("good", "pw");
+    let proxy = Arc::new(
+        ExtendedTicketServerProxy::new(4, AspectModerator::shared(), Arc::clone(&auth)).unwrap(),
+    );
+    let token = auth.login("good", "pw").unwrap();
+    let per: u64 = 300;
+    thread::scope(|s| {
+        // Legitimate producer/consumer pair.
+        {
+            let proxy = Arc::clone(&proxy);
+            s.spawn(move || {
+                for i in 0..per {
+                    proxy.open(token, Ticket::new(i, "x")).unwrap();
+                }
+            });
+        }
+        {
+            let proxy = Arc::clone(&proxy);
+            s.spawn(move || {
+                for _ in 0..per {
+                    proxy.assign(token).unwrap();
+                }
+            });
+        }
+        // Hostile traffic: bad tokens hammering both methods.
+        for seed in 0..3u64 {
+            let proxy = Arc::clone(&proxy);
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                for _ in 0..per {
+                    let bogus = AuthToken(rng.gen());
+                    if rng.gen_bool(0.5) {
+                        assert!(proxy.open(bogus, Ticket::new(0, "evil")).is_err());
+                    } else {
+                        assert!(proxy.assign(bogus).is_err());
+                    }
+                }
+            });
+        }
+    });
+    assert!(proxy.is_empty());
+    let snap = proxy.base().buffer_handle().snapshot();
+    assert_eq!((snap.reserved, snap.produced), (0, 0));
+    let stats = proxy.base().moderator().stats();
+    assert_eq!(stats.aborts, 3 * per, "every hostile call aborted");
+    assert_quiescent_stats(proxy.base().moderator());
+}
+
+#[test]
+fn reservation_soak_with_random_cancel_rebook() {
+    let auth = Authenticator::shared();
+    for u in 0..4 {
+        auth.add_user(&format!("u{u}"), "pw");
+    }
+    let svc = Arc::new(
+        ReservationService::new(AspectModerator::shared(), Arc::clone(&auth), 64, u64::MAX)
+            .unwrap(),
+    );
+    thread::scope(|s| {
+        for u in 0..4u64 {
+            let svc = Arc::clone(&svc);
+            let token = auth.login(&format!("u{u}"), "pw").unwrap();
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(u);
+                for _ in 0..500 {
+                    let seat = rng.gen_range(0..64);
+                    if rng.gen_bool(0.6) {
+                        let _ = svc.reserve(token, seat);
+                    } else {
+                        let _ = svc.cancel(token, seat);
+                    }
+                }
+            });
+        }
+    });
+    // Seat-map consistency: every held seat is held by exactly one
+    // principal (the map structure guarantees it; verify via counts).
+    let mut held = 0;
+    for u in 0..4 {
+        held += svc.held_by(&format!("u{u}")).len();
+    }
+    assert_eq!(held + svc.available(), 64);
+}
+
+#[test]
+fn checkout_soak_with_mixed_failures() {
+    use amf_concurrency::SystemClock;
+    let auth = Authenticator::shared();
+    auth.add_user("cust", "pw");
+    let svc = Arc::new(
+        CheckoutService::new(
+            AspectModerator::shared(),
+            Arc::clone(&auth),
+            3,
+            Arc::new(SystemClock::new()),
+        )
+        .unwrap(),
+    );
+    let token = auth.login("cust", "pw").unwrap();
+    thread::scope(|s| {
+        for t in 0..6u64 {
+            let svc = Arc::clone(&svc);
+            s.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(t);
+                for _ in 0..200 {
+                    // Mostly good charges; occasional empty carts. No
+                    // gateway declines (would trip the breaker, which
+                    // has its own focused test).
+                    let amount = if rng.gen_bool(0.1) {
+                        0
+                    } else {
+                        rng.gen_range(1..999)
+                    };
+                    let budget = if rng.gen_bool(0.5) {
+                        Some(Duration::from_secs(30))
+                    } else {
+                        None
+                    };
+                    let r = svc.charge(token, amount, budget);
+                    if amount == 0 {
+                        assert!(r.is_err());
+                    } else {
+                        r.unwrap();
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(svc.free_connections(), 3, "no leaked gateway connections");
+    assert_quiescent_stats(svc.moderator());
+}
