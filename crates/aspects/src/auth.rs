@@ -19,8 +19,8 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
 
-use amf_core::{Aspect, InvocationContext, Principal, Verdict};
 use amf_concurrency::{Clock, SystemClock};
+use amf_core::{Aspect, InvocationContext, Principal, Verdict};
 use parking_lot::Mutex;
 use rand::{Rng, SeedableRng};
 
@@ -290,7 +290,8 @@ pub struct AuthenticationAspect {
 
 impl fmt::Debug for AuthenticationAspect {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("AuthenticationAspect").finish_non_exhaustive()
+        f.debug_struct("AuthenticationAspect")
+            .finish_non_exhaustive()
     }
 }
 

@@ -255,9 +255,7 @@ impl Default for DeadlineAspect {
 impl Aspect for DeadlineAspect {
     fn precondition(&mut self, ctx: &mut InvocationContext) -> Verdict {
         match ctx.get::<Deadline>() {
-            Some(Deadline(at)) if self.clock.now() > *at => {
-                Verdict::abort("deadline exceeded")
-            }
+            Some(Deadline(at)) if self.clock.now() > *at => Verdict::abort("deadline exceeded"),
             _ => Verdict::Resume,
         }
     }

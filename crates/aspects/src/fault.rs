@@ -232,8 +232,7 @@ impl RetryPolicy {
         if err.is_timeout() {
             return true;
         }
-        self.retry_on_open_circuit
-            && err.concern() == Some(&amf_core::Concern::fault_tolerance())
+        self.retry_on_open_circuit && err.concern() == Some(&amf_core::Concern::fault_tolerance())
     }
 }
 

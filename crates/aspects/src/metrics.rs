@@ -239,11 +239,7 @@ mod tests {
 
     #[test]
     fn histogram_quantiles() {
-        let mut h = Histogram::new(
-            (1..=10)
-                .map(Duration::from_millis)
-                .collect::<Vec<_>>(),
-        );
+        let mut h = Histogram::new((1..=10).map(Duration::from_millis).collect::<Vec<_>>());
         for ms in 1..=10 {
             h.record(Duration::from_millis(ms) - Duration::from_micros(1));
         }

@@ -614,7 +614,10 @@ mod tests {
         r1.postaction(&mut cx);
         r2.postaction(&mut cx);
         assert!(w.precondition(&mut cx).is_resume());
-        assert!(r1.precondition(&mut cx).is_block(), "writer excludes readers");
+        assert!(
+            r1.precondition(&mut cx).is_block(),
+            "writer excludes readers"
+        );
         w.postaction(&mut cx);
         assert!(r1.precondition(&mut cx).is_resume());
         r1.on_release(&cx, ReleaseCause::Aborted);
@@ -659,6 +662,9 @@ mod tests {
         let (p, c, _h) = bounded_buffer_sync(1);
         assert!(p.describe().contains("producer"));
         assert!(c.describe().contains("consumer"));
-        assert!(ExclusionGroup::new().aspect().describe().contains("exclusion"));
+        assert!(ExclusionGroup::new()
+            .aspect()
+            .describe()
+            .contains("exclusion"));
     }
 }

@@ -90,8 +90,7 @@ impl<T> TangledBuffer<T> {
     pub fn put_timeout(&self, value: T, timeout: Duration) -> Result<(), T> {
         let mut st = self.state.lock();
         while st.items.len() == st.capacity {
-            if self.not_full.wait_for(&mut st, timeout).timed_out()
-                && st.items.len() == st.capacity
+            if self.not_full.wait_for(&mut st, timeout).timed_out() && st.items.len() == st.capacity
             {
                 return Err(value);
             }

@@ -25,11 +25,7 @@ fn bench_bank(c: &mut Criterion) {
     let mut g = c.benchmark_group("e4_bank");
     for methods in [4_usize, 64, 1024] {
         g.bench_function(format!("register_{methods}x8"), |b| {
-            b.iter_batched(
-                || (),
-                |()| populate(methods, 8),
-                BatchSize::SmallInput,
-            );
+            b.iter_batched(|| (), |()| populate(methods, 8), BatchSize::SmallInput);
         });
         let (moderator, hot) = populate(methods, 8);
         let proxy = Moderated::new(0_u64, moderator);

@@ -9,7 +9,10 @@ fn bench_composition(c: &mut Criterion) {
         ("sync", &["sync"]),
         ("sync_audit", &["sync", "audit"]),
         ("sync_audit_metrics", &["sync", "audit", "metrics"]),
-        ("sync_audit_metrics_auth", &["sync", "audit", "metrics", "auth"]),
+        (
+            "sync_audit_metrics_auth",
+            &["sync", "audit", "metrics", "auth"],
+        ),
         (
             "sync_audit_metrics_auth_quota",
             &["sync", "audit", "metrics", "quota", "auth"],

@@ -45,7 +45,11 @@ pub fn e1_overhead(quick: bool) -> Table {
             *counter.lock() += 1;
         })
     };
-    t.row(&["direct mutex increment".into(), fmt_ns(direct), "1.0×".into()]);
+    t.row(&[
+        "direct mutex increment".into(),
+        fmt_ns(direct),
+        "1.0×".into(),
+    ]);
     for n in [0_usize, 1, 2, 4, 8] {
         let target = OverheadTarget::new(n);
         let ns = time_ns_per_op(iters, || target.bump());
@@ -58,7 +62,12 @@ pub fn e1_overhead(quick: bool) -> Table {
     t
 }
 
-fn run_pairs(pairs: usize, per_thread: u64, put: impl Fn(u64) + Sync, take: impl Fn() + Sync) -> f64 {
+fn run_pairs(
+    pairs: usize,
+    per_thread: u64,
+    put: impl Fn(u64) + Sync,
+    take: impl Fn() + Sync,
+) -> f64 {
     let start = Instant::now();
     std::thread::scope(|s| {
         for _ in 0..pairs {
@@ -84,7 +93,13 @@ pub fn e2_throughput(quick: bool) -> Table {
     let total = scale(quick, 200_000);
     let mut t = Table::new(
         "E2 — producer/consumer throughput (items/s)",
-        &["pairs", "capacity", "moderated", "tangled monitor", "crossbeam channel"],
+        &[
+            "pairs",
+            "capacity",
+            "moderated",
+            "tangled monitor",
+            "crossbeam channel",
+        ],
     );
     for pairs in [1_usize, 2, 4] {
         for capacity in [1_usize, 16, 256] {
@@ -94,15 +109,25 @@ pub fn e2_throughput(quick: bool) -> Table {
                     capacity,
                     ..PipelineConfig::default()
                 });
-                run_pairs(pairs, per_thread, |i| b.put(i), || {
-                    b.take();
-                })
+                run_pairs(
+                    pairs,
+                    per_thread,
+                    |i| b.put(i),
+                    || {
+                        b.take();
+                    },
+                )
             };
             let tangled = {
                 let b = TangledBuffer::new(capacity);
-                run_pairs(pairs, per_thread, |i| b.put(i), || {
-                    b.take();
-                })
+                run_pairs(
+                    pairs,
+                    per_thread,
+                    |i| b.put(i),
+                    || {
+                        b.take();
+                    },
+                )
             };
             let channel = {
                 let (tx, rx) = crossbeam::channel::bounded::<u64>(capacity);
@@ -139,7 +164,10 @@ pub fn e3_composition(quick: bool) -> Table {
         ("sync", vec!["sync"]),
         ("sync+audit", vec!["sync", "audit"]),
         ("sync+audit+metrics", vec!["sync", "audit", "metrics"]),
-        ("sync+audit+metrics+auth", vec!["sync", "audit", "metrics", "auth"]),
+        (
+            "sync+audit+metrics+auth",
+            vec!["sync", "audit", "metrics", "auth"],
+        ),
         (
             "sync+audit+metrics+auth+quota",
             vec!["sync", "audit", "metrics", "quota", "auth"],
@@ -224,7 +252,11 @@ pub struct SchedulingOutcome {
 /// `policy`; records when each thread *finishes its batch*. A
 /// priority-honoring policy front-loads high-priority work, so the
 /// high-priority thread finishes well before the low one.
-pub fn run_scheduling(policy: SchedulerPolicy, threads: usize, per_thread: u64) -> SchedulingOutcome {
+pub fn run_scheduling(
+    policy: SchedulerPolicy,
+    threads: usize,
+    per_thread: u64,
+) -> SchedulingOutcome {
     let moderator = AspectModerator::shared();
     let op = moderator.declare_method(MethodId::new("op"));
     let gate = AdmissionGroup::new(1, policy);
@@ -318,10 +350,19 @@ pub fn e6_wakeup(quick: bool) -> Table {
     let total = scale(quick, 100_000);
     let mut t = Table::new(
         "E6 — wake strategies (2 producer/consumer pairs, capacity 4)",
-        &["wake graph", "wake mode", "throughput", "notifications/item", "wakeups/item"],
+        &[
+            "wake graph",
+            "wake mode",
+            "throughput",
+            "notifications/item",
+            "wakeups/item",
+        ],
     );
     for (graph, wired) in [("wired (paper)", true), ("broadcast all", false)] {
-        for (mode_name, mode) in [("notify-all", WakeMode::NotifyAll), ("notify-one", WakeMode::NotifyOne)] {
+        for (mode_name, mode) in [
+            ("notify-all", WakeMode::NotifyAll),
+            ("notify-one", WakeMode::NotifyOne),
+        ] {
             let b = ModeratedBuffer::new(PipelineConfig {
                 capacity: 4,
                 wake_mode: mode,
@@ -330,9 +371,14 @@ pub fn e6_wakeup(quick: bool) -> Table {
             });
             let pairs = 2;
             let per_thread = total / pairs as u64;
-            let ops = run_pairs(pairs, per_thread, |i| b.put(i), || {
-                b.take();
-            });
+            let ops = run_pairs(
+                pairs,
+                per_thread,
+                |i| b.put(i),
+                || {
+                    b.take();
+                },
+            );
             let stats = b.stats();
             let items = (pairs as u64 * per_thread) as f64;
             t.row(&[
@@ -352,7 +398,11 @@ pub fn e6_wakeup(quick: bool) -> Table {
 pub fn e7_rollback(quick: bool) -> Table {
     let mut t = Table::new(
         "E7 — rollback ablation",
-        &["rollback policy", "cross-method liveness", "contended pipeline throughput"],
+        &[
+            "rollback policy",
+            "cross-method liveness",
+            "contended pipeline throughput",
+        ],
     );
     let total = scale(quick, 50_000);
     for (name, policy) in [
@@ -377,9 +427,11 @@ pub fn e7_rollback(quick: bool) -> Table {
                 .register(
                     &a,
                     Concern::new("gate"),
-                    Box::new(FnAspect::new("gate").on_precondition(move |_| {
-                        Verdict::resume_if(gate.load(Ordering::SeqCst))
-                    })),
+                    Box::new(
+                        FnAspect::new("gate").on_precondition(move |_| {
+                            Verdict::resume_if(gate.load(Ordering::SeqCst))
+                        }),
+                    ),
                 )
                 .unwrap();
         }
@@ -424,9 +476,14 @@ pub fn e7_rollback(quick: bool) -> Table {
             extra_noops: 3,
             ..PipelineConfig::default()
         });
-        let ops = run_pairs(1, total, |i| pipe.put(i), || {
-            pipe.take();
-        });
+        let ops = run_pairs(
+            1,
+            total,
+            |i| pipe.put(i),
+            || {
+                pipe.take();
+            },
+        );
         t.row(&[name.to_string(), liveness.to_string(), fmt_ops(ops)]);
     }
     t
@@ -438,7 +495,13 @@ pub fn e8_adaptability(quick: bool) -> Table {
     let iters = scale(quick, 200_000);
     let mut t = Table::new(
         "E8 — cost of adding authentication",
-        &["system", "base ns/op", "with auth ns/op", "delta", "functional code changed"],
+        &[
+            "system",
+            "base ns/op",
+            "with auth ns/op",
+            "delta",
+            "functional code changed",
+        ],
     );
 
     // Framework: trouble-ticketing proxy, base vs extended.
@@ -534,9 +597,8 @@ pub fn v1_verification(quick: bool) -> Table {
                 |s: &mut Buf| &mut s.consuming,
             ),
         );
-        let mut checker = Checker::new(sys).invariant(move |s: &Buf| {
-            s.reserved <= capacity && s.produced <= s.reserved
-        });
+        let mut checker = Checker::new(sys)
+            .invariant(move |s: &Buf| s.reserved <= capacity && s.produced <= s.reserved);
         for _ in 0..pairs {
             checker = checker.thread(vec![put; ops]);
             checker = checker.thread(vec![take; ops]);
@@ -560,7 +622,10 @@ pub fn v1_verification(quick: bool) -> Table {
         busy: bool,
         gate_open: bool,
     }
-    for (label, rollback) in [("anomaly w/ rollback", true), ("anomaly w/o rollback", false)] {
+    for (label, rollback) in [
+        ("anomaly w/ rollback", true),
+        ("anomaly w/o rollback", false),
+    ] {
         let mut sys = ModelSystem::<Pool>::new();
         let a = sys.method("a");
         let b = sys.method("b");
@@ -670,7 +735,10 @@ mod tests {
         let table = e7_rollback(true);
         let md = table.to_markdown();
         assert!(md.contains("b ran while a waited ✔"), "rollback row:\n{md}");
-        assert!(md.contains("b starved (pool leak) ✘"), "no-rollback row:\n{md}");
+        assert!(
+            md.contains("b starved (pool leak) ✘"),
+            "no-rollback row:\n{md}"
+        );
     }
 
     #[test]

@@ -138,7 +138,11 @@ impl OverheadTarget {
         let bump = moderator.declare_method(MethodId::new("bump"));
         for i in 0..n_aspects {
             moderator
-                .register(&bump, Concern::new(format!("noop-{i}")), Box::new(NoopAspect))
+                .register(
+                    &bump,
+                    Concern::new(format!("noop-{i}")),
+                    Box::new(NoopAspect),
+                )
                 .expect("fresh moderator");
         }
         Self {

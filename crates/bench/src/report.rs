@@ -1,4 +1,5 @@
-//! Markdown table rendering for the experiment harness.
+//! Markdown table rendering, latency summaries and JSON emission for
+//! the experiment harness and the service load generator.
 
 use std::fmt::Write as _;
 
@@ -44,7 +45,11 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
@@ -77,6 +82,177 @@ pub fn fmt_ops(ops_per_sec: f64) -> String {
         format!("{:.1} Kop/s", ops_per_sec / 1_000.0)
     } else {
         format!("{ops_per_sec:.0} op/s")
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample set.
+///
+/// `p` is in `[0, 100]`. Returns 0 for an empty slice.
+///
+/// # Panics
+///
+/// Panics when `p` is outside `[0, 100]`.
+pub fn percentile_ns(sorted: &[u64], p: f64) -> u64 {
+    assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// p50/p95/p99 latency digest of one operation class, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Samples summarized.
+    pub count: u64,
+    /// Median latency.
+    pub p50_ns: u64,
+    /// 95th percentile latency.
+    pub p95_ns: u64,
+    /// 99th percentile latency.
+    pub p99_ns: u64,
+    /// Worst observed latency.
+    pub max_ns: u64,
+    /// Arithmetic mean latency.
+    pub mean_ns: u64,
+}
+
+impl LatencySummary {
+    /// Summarizes `samples` (sorted in place).
+    pub fn from_unsorted(samples: &mut [u64]) -> Self {
+        samples.sort_unstable();
+        let count = samples.len() as u64;
+        let mean = if samples.is_empty() {
+            0
+        } else {
+            (samples.iter().map(|&v| u128::from(v)).sum::<u128>() / u128::from(count)) as u64
+        };
+        Self {
+            count,
+            p50_ns: percentile_ns(samples, 50.0),
+            p95_ns: percentile_ns(samples, 95.0),
+            p99_ns: percentile_ns(samples, 99.0),
+            max_ns: samples.last().copied().unwrap_or(0),
+            mean_ns: mean,
+        }
+    }
+
+    /// Renders the digest as a JSON object value.
+    pub fn to_json(&self) -> JsonValue {
+        JsonObject::new()
+            .field("count", self.count)
+            .field("p50_ns", self.p50_ns)
+            .field("p95_ns", self.p95_ns)
+            .field("p99_ns", self.p99_ns)
+            .field("max_ns", self.max_ns)
+            .field("mean_ns", self.mean_ns)
+            .build()
+    }
+}
+
+/// A rendered JSON value (the bench harness emits JSON without a
+/// serialization dependency).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonValue(String);
+
+impl JsonValue {
+    /// The rendered JSON text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Builder for a JSON object, preserving field order.
+#[derive(Debug, Clone, Default)]
+pub struct JsonObject {
+    fields: Vec<(String, String)>,
+}
+
+/// Types embeddable as JSON object field values.
+pub trait ToJsonValue {
+    /// Renders the value as JSON text.
+    fn render(&self) -> String;
+}
+
+impl ToJsonValue for u64 {
+    fn render(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl ToJsonValue for usize {
+    fn render(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl ToJsonValue for f64 {
+    fn render(&self) -> String {
+        if self.is_finite() {
+            format!("{self:.3}")
+        } else {
+            "null".to_string()
+        }
+    }
+}
+
+impl ToJsonValue for &str {
+    fn render(&self) -> String {
+        let mut out = String::with_capacity(self.len() + 2);
+        out.push('"');
+        for c in self.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+}
+
+impl ToJsonValue for JsonValue {
+    fn render(&self) -> String {
+        self.0.clone()
+    }
+}
+
+impl JsonObject {
+    /// An empty object builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one field.
+    #[must_use]
+    pub fn field(mut self, name: &str, value: impl ToJsonValue) -> Self {
+        self.fields.push((name.render(), value.render()));
+        self
+    }
+
+    /// Renders the object.
+    pub fn build(self) -> JsonValue {
+        let body = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("{k}: {v}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        JsonValue(format!("{{{body}}}"))
     }
 }
 
@@ -125,6 +301,47 @@ mod tests {
         assert_eq!(fmt_ops(500.0), "500 op/s");
         assert_eq!(fmt_ops(2_500.0), "2.5 Kop/s");
         assert_eq!(fmt_ops(2_000_000.0), "2.00 Mop/s");
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_ns(&sorted, 50.0), 50);
+        assert_eq!(percentile_ns(&sorted, 95.0), 95);
+        assert_eq!(percentile_ns(&sorted, 99.0), 99);
+        assert_eq!(percentile_ns(&sorted, 100.0), 100);
+        assert_eq!(percentile_ns(&sorted, 0.0), 1);
+        assert_eq!(percentile_ns(&[], 50.0), 0);
+        assert_eq!(percentile_ns(&[7], 99.0), 7);
+    }
+
+    #[test]
+    fn latency_summary_digests() {
+        let mut samples: Vec<u64> = (1..=1000).rev().collect();
+        let s = LatencySummary::from_unsorted(&mut samples);
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.p50_ns, 500);
+        assert_eq!(s.p95_ns, 950);
+        assert_eq!(s.p99_ns, 990);
+        assert_eq!(s.max_ns, 1000);
+        assert_eq!(s.mean_ns, 500);
+        let json = s.to_json().to_string();
+        assert!(json.contains("\"p99_ns\": 990"), "{json}");
+    }
+
+    #[test]
+    fn json_objects_nest_and_escape() {
+        let inner = JsonObject::new().field("x", 1u64).build();
+        let json = JsonObject::new()
+            .field("name", "he said \"hi\"\n")
+            .field("rate", 12.5f64)
+            .field("inner", inner)
+            .build()
+            .to_string();
+        assert_eq!(
+            json,
+            "{\"name\": \"he said \\\"hi\\\"\\n\", \"rate\": 12.500, \"inner\": {\"x\": 1}}"
+        );
     }
 
     #[test]

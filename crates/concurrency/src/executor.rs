@@ -1,0 +1,205 @@
+//! A fixed-size worker thread pool.
+//!
+//! The network service layer dispatches connection handlers onto this
+//! pool instead of spawning one OS thread per accept. Tasks are plain
+//! boxed closures drained FIFO; shutdown is cooperative (no new work is
+//! accepted, workers drain what was already queued, then exit).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    shutting_down: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    work_ready: Condvar,
+}
+
+/// A fixed set of worker threads executing queued closures.
+///
+/// ```
+/// use amf_concurrency::WorkerPool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+///
+/// let pool = WorkerPool::new(4);
+/// let hits = Arc::new(AtomicUsize::new(0));
+/// for _ in 0..16 {
+///     let hits = Arc::clone(&hits);
+///     pool.spawn(move || { hits.fetch_add(1, Ordering::SeqCst); });
+/// }
+/// pool.shutdown();
+/// assert_eq!(hits.load(Ordering::SeqCst), 16);
+/// ```
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    size: usize,
+}
+
+impl fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("size", &self.size)
+            .field("queued", &self.queued())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Starts `size` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "worker pool needs at least one thread");
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                shutting_down: false,
+            }),
+            work_ready: Condvar::new(),
+        });
+        let workers = (0..size)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("amf-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self {
+            shared,
+            workers: Mutex::new(workers),
+            size,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Tasks waiting for a free worker.
+    pub fn queued(&self) -> usize {
+        self.shared.state.lock().queue.len()
+    }
+
+    /// Enqueues `task`; it runs as soon as a worker is free. Tasks
+    /// submitted after [`WorkerPool::shutdown`] are silently dropped.
+    pub fn spawn(&self, task: impl FnOnce() + Send + 'static) {
+        let mut state = self.shared.state.lock();
+        if state.shutting_down {
+            return;
+        }
+        state.queue.push_back(Box::new(task));
+        drop(state);
+        self.shared.work_ready.notify_one();
+    }
+
+    /// Stops accepting work and joins every worker. Tasks already
+    /// queued still run; only tasks submitted afterwards are dropped.
+    pub fn shutdown(&self) {
+        {
+            let mut state = self.shared.state.lock();
+            state.shutting_down = true;
+        }
+        self.shared.work_ready.notify_all();
+        let workers = std::mem::take(&mut *self.workers.lock());
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock();
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    break job;
+                }
+                if state.shutting_down {
+                    return;
+                }
+                shared.work_ready.wait(&mut state);
+            }
+        };
+        job();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn runs_every_spawned_task() {
+        let pool = WorkerPool::new(3);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let hits = Arc::clone(&hits);
+            pool.spawn(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(hits.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn long_tasks_overlap_across_workers() {
+        let pool = WorkerPool::new(4);
+        let running = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        for _ in 0..4 {
+            let running = Arc::clone(&running);
+            let peak = Arc::clone(&peak);
+            pool.spawn(move || {
+                let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(50));
+                running.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+        pool.shutdown();
+        assert!(
+            peak.load(Ordering::SeqCst) >= 2,
+            "tasks should run concurrently, peak was {}",
+            peak.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn spawn_after_shutdown_is_dropped() {
+        let pool = WorkerPool::new(1);
+        pool.shutdown();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        pool.spawn(move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 0);
+        assert_eq!(pool.queued(), 0);
+    }
+}

@@ -34,6 +34,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod clock;
+pub mod executor;
 pub mod latch;
 pub mod monitor;
 pub mod pool;
@@ -44,6 +45,7 @@ pub mod semaphore;
 pub mod wait_queue;
 
 pub use clock::{Clock, ManualClock, SystemClock};
+pub use executor::WorkerPool;
 pub use latch::CountdownLatch;
 pub use monitor::Monitor;
 pub use pool::ResourcePool;

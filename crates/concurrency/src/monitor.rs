@@ -29,7 +29,10 @@ impl<T: fmt::Debug> fmt::Debug for Monitor<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.state.try_lock() {
             Some(guard) => f.debug_struct("Monitor").field("state", &*guard).finish(),
-            None => f.debug_struct("Monitor").field("state", &"<locked>").finish(),
+            None => f
+                .debug_struct("Monitor")
+                .field("state", &"<locked>")
+                .finish(),
         }
     }
 }

@@ -174,7 +174,10 @@ impl AspectBank {
 
     /// Whether the (method, concern) cell is occupied.
     pub fn contains(&self, method: MethodIndex, concern: &Concern) -> bool {
-        self.rows[method.0].aspects.iter().any(|(c, _)| c == concern)
+        self.rows[method.0]
+            .aspects
+            .iter()
+            .any(|(c, _)| c == concern)
     }
 
     /// The concerns registered for `method`, in registration order.

@@ -100,11 +100,7 @@ impl Blueprint {
     /// registration order (the last listed is outermost under nested
     /// ordering).
     #[must_use]
-    pub fn method(
-        mut self,
-        name: &str,
-        concerns: impl IntoIterator<Item = Concern>,
-    ) -> Self {
+    pub fn method(mut self, name: &str, concerns: impl IntoIterator<Item = Concern>) -> Self {
         self.methods
             .push((MethodId::new(name), concerns.into_iter().collect()));
         self
@@ -112,11 +108,7 @@ impl Blueprint {
 
     /// Wires `method`'s completion notifications to exactly `targets`.
     #[must_use]
-    pub fn wake<'a>(
-        mut self,
-        method: &str,
-        targets: impl IntoIterator<Item = &'a str>,
-    ) -> Self {
+    pub fn wake<'a>(mut self, method: &str, targets: impl IntoIterator<Item = &'a str>) -> Self {
         self.wakes.push((
             MethodId::new(method),
             targets.into_iter().map(MethodId::new).collect(),

@@ -255,7 +255,9 @@ mod tests {
                 .describe(),
             "sync"
         );
-        assert!(chain.create(&MethodId::new("m"), &Concern::quota()).is_none());
+        assert!(chain
+            .create(&MethodId::new("m"), &Concern::quota())
+            .is_none());
     }
 
     #[test]

@@ -247,7 +247,11 @@ mod tests {
         let p = proxy();
         let moderator = Arc::clone(p.moderator());
         moderator
-            .register(p.handle("deposit").unwrap(), Concern::audit(), Box::new(NoopAspect))
+            .register(
+                p.handle("deposit").unwrap(),
+                Concern::audit(),
+                Box::new(NoopAspect),
+            )
             .unwrap();
         p.deposit(1).unwrap();
         p.balance().unwrap();

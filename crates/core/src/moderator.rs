@@ -378,13 +378,12 @@ impl AspectModerator {
         method: &MethodHandle,
         concern: Concern,
     ) -> Result<(), RegistrationError> {
-        let aspect =
-            factory
-                .create(&method.id, &concern)
-                .ok_or_else(|| RegistrationError::FactoryRefused {
-                    method: method.id.clone(),
-                    concern: concern.clone(),
-                })?;
+        let aspect = factory.create(&method.id, &concern).ok_or_else(|| {
+            RegistrationError::FactoryRefused {
+                method: method.id.clone(),
+                concern: concern.clone(),
+            }
+        })?;
         self.emit(
             0,
             &method.id,
@@ -1082,7 +1081,9 @@ mod tests {
     #[test]
     fn rollback_none_skips_release() {
         let released = Arc::new(AtomicU64::new(0));
-        let m = AspectModerator::builder().rollback(RollbackPolicy::None).build();
+        let m = AspectModerator::builder()
+            .rollback(RollbackPolicy::None)
+            .build();
         let open = m.declare_method(MethodId::new("open"));
         {
             let released = Arc::clone(&released);

@@ -146,7 +146,8 @@ impl<C> Moderated<C> {
         mut ctx: InvocationContext,
         timeout: Duration,
     ) -> Result<ActivationGuard<'_, C>, AbortError> {
-        self.moderator.preactivation_timeout(method, &mut ctx, timeout)?;
+        self.moderator
+            .preactivation_timeout(method, &mut ctx, timeout)?;
         Ok(ActivationGuard {
             proxy: self,
             method: method.clone(),
@@ -510,9 +511,11 @@ mod tests {
                 .register(
                     &push,
                     Concern::synchronization(),
-                    Box::new(FnAspect::new("gate").on_precondition(move |_| {
-                        Verdict::resume_if(open.load(Ordering::SeqCst))
-                    })),
+                    Box::new(
+                        FnAspect::new("gate").on_precondition(move |_| {
+                            Verdict::resume_if(open.load(Ordering::SeqCst))
+                        }),
+                    ),
                 )
                 .unwrap();
         }
@@ -555,7 +558,11 @@ mod tests {
                 .unwrap();
         }
         assert_eq!(proxy.try_invoke(&push, |_| ()).unwrap(), None);
-        assert_eq!(reserved.load(Ordering::SeqCst), 0, "reservation rolled back");
+        assert_eq!(
+            reserved.load(Ordering::SeqCst),
+            0,
+            "reservation rolled back"
+        );
     }
 
     #[test]

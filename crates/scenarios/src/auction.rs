@@ -11,7 +11,9 @@ use std::fmt;
 use std::sync::Arc;
 
 use amf_aspects::audit::{AuditAspect, AuditLog};
-use amf_aspects::auth::{AuthToken, AuthenticationAspect, Authenticator, AuthorizationAspect, Role};
+use amf_aspects::auth::{
+    AuthToken, AuthenticationAspect, Authenticator, AuthorizationAspect, Role,
+};
 use amf_aspects::metrics::{MetricsAspect, MetricsHub};
 use amf_aspects::sync::ExclusionGroup;
 use amf_core::{
@@ -302,7 +304,9 @@ impl AuctionService {
     /// Veto (authentication/authorization) — listing has no domain
     /// errors.
     pub fn list(&self, token: AuthToken, reserve: u64) -> AuctionResult<u64> {
-        let mut guard = self.inner.enter_with(&self.list, self.ctx(&self.list, token))?;
+        let mut guard = self
+            .inner
+            .enter_with(&self.list, self.ctx(&self.list, token))?;
         let seller = guard
             .context()
             .principal()
@@ -320,7 +324,9 @@ impl AuctionService {
     ///
     /// Veto, or a domain [`AuctionError`].
     pub fn bid(&self, token: AuthToken, id: u64, amount: u64) -> AuctionResult<()> {
-        let mut guard = self.inner.enter_with(&self.bid, self.ctx(&self.bid, token))?;
+        let mut guard = self
+            .inner
+            .enter_with(&self.bid, self.ctx(&self.bid, token))?;
         let bidder = guard
             .context()
             .principal()
@@ -447,7 +453,9 @@ mod tests {
             completed[1].outcome,
             Some(amf_aspects::audit::AuditOutcome::Failure)
         );
-        assert!(records.iter().all(|r| r.principal.as_deref() == Some("bea")));
+        assert!(records
+            .iter()
+            .all(|r| r.principal.as_deref() == Some("bea")));
     }
 
     #[test]

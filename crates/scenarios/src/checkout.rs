@@ -82,7 +82,8 @@ impl OrderBook {
             self.declined += 1;
             return Err(CheckoutError::Declined);
         }
-        self.orders.push((format!("{customer}@{}", conn.label), amount));
+        self.orders
+            .push((format!("{customer}@{}", conn.label), amount));
         Ok(())
     }
 
@@ -232,7 +233,9 @@ impl CheckoutService {
             .expect("gateway lease attaches a connection")
             .clone();
         let r = guard.component().charge(&conn, &customer, amount);
-        if r.is_err() {
+        // Only gateway declines count as failures toward the circuit
+        // breaker; an empty cart is a caller error, not gateway health.
+        if matches!(r, Err(CheckoutError::Declined)) {
             guard.context().set_outcome(Outcome::Failure);
         }
         guard.complete();

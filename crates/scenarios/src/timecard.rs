@@ -6,7 +6,9 @@ use std::fmt;
 use std::sync::Arc;
 
 use amf_aspects::audit::{AuditAspect, AuditLog};
-use amf_aspects::auth::{AuthToken, AuthenticationAspect, Authenticator, AuthorizationAspect, Role};
+use amf_aspects::auth::{
+    AuthToken, AuthenticationAspect, Authenticator, AuthorizationAspect, Role,
+};
 use amf_aspects::sched::{RateLimitAspect, ThrottleMode};
 use amf_aspects::sync::ExclusionGroup;
 use amf_concurrency::{Clock, RateLimiter, RateLimiterConfig};

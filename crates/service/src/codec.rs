@@ -1,0 +1,513 @@
+//! Length-prefixed binary wire protocol for the ticketing service.
+//!
+//! Every message is one *frame*:
+//!
+//! ```text
+//! +----------------+--------+-----------------+
+//! | length: u32 BE | opcode | payload ...     |
+//! +----------------+--------+-----------------+
+//!  `length` counts opcode + payload, capped at MAX_FRAME.
+//! ```
+//!
+//! All integers are big-endian (network order); strings are a `u16`
+//! byte length followed by UTF-8 bytes. The codec is strict: trailing
+//! bytes, truncated payloads, oversized frames and unknown opcodes are
+//! all decode errors, never silently ignored.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use amf_ticketing::{Severity, Ticket};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Hard cap on a frame body (opcode + payload), in bytes. Large enough
+/// for any legitimate request (summaries are `u16`-length-capped),
+/// small enough that a hostile length prefix cannot balloon memory.
+pub const MAX_FRAME: usize = 64 * 1024;
+
+/// Longest accepted ticket summary, in bytes.
+pub const MAX_SUMMARY: usize = u16::MAX as usize;
+
+const OP_OPEN: u8 = 0x01;
+const OP_ASSIGN: u8 = 0x02;
+const OP_STATS: u8 = 0x03;
+const OP_SHUTDOWN: u8 = 0x04;
+
+const OP_OK: u8 = 0x81;
+const OP_BLOCKED: u8 = 0x82;
+const OP_ABORTED: u8 = 0x83;
+const OP_ERR: u8 = 0x84;
+const OP_STATS_REPLY: u8 = 0x85;
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Open a ticket under the session `token`.
+    Open {
+        /// Session token from login.
+        token: u64,
+        /// Ticket id chosen by the client.
+        id: u64,
+        /// Severity, encoded as [`severity_to_wire`].
+        severity: u8,
+        /// Problem statement.
+        summary: String,
+    },
+    /// Assign (retrieve) the oldest ticket under the session `token`.
+    Assign {
+        /// Session token from login.
+        token: u64,
+    },
+    /// Read service counters.
+    Stats,
+    /// Ask the server to stop accepting connections.
+    Shutdown,
+}
+
+/// Counters reported by [`Response::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireStats {
+    /// Tickets opened since start.
+    pub opened: u64,
+    /// Tickets assigned since start.
+    pub assigned: u64,
+    /// Tickets currently queued.
+    pub queued: u64,
+    /// Activations vetoed by an aspect.
+    pub aborts: u64,
+    /// Activations that timed out blocked.
+    pub timeouts: u64,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The request succeeded; `Assign` carries the ticket.
+    Ok(Option<Ticket>),
+    /// The pre-activation protocol kept the request blocked past the
+    /// server's patience (buffer full/empty) — safe to retry.
+    Blocked,
+    /// An aspect vetoed the activation (authentication, quota, rate
+    /// limit); the reason names the concern's complaint.
+    Aborted(String),
+    /// Protocol or server error; the connection should be abandoned.
+    Err(String),
+    /// Service counters.
+    Stats(WireStats),
+}
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The body ended before the advertised structure was complete,
+    /// or carried bytes past it.
+    Truncated,
+    /// The length prefix exceeded [`MAX_FRAME`].
+    Oversized {
+        /// Advertised body length.
+        len: usize,
+    },
+    /// The opcode byte is not part of the protocol.
+    UnknownOpcode(u8),
+    /// A string field was not valid UTF-8.
+    BadString,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => f.write_str("truncated frame"),
+            DecodeError::Oversized { len } => {
+                write!(f, "frame of {len} bytes exceeds the {MAX_FRAME} byte cap")
+            }
+            DecodeError::UnknownOpcode(op) => write!(f, "unknown opcode 0x{op:02x}"),
+            DecodeError::BadString => f.write_str("string field is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Maps a [`Severity`] onto its wire byte.
+pub fn severity_to_wire(severity: Severity) -> u8 {
+    match severity {
+        Severity::Low => 0,
+        Severity::Medium => 1,
+        Severity::High => 2,
+        Severity::Critical => 3,
+    }
+}
+
+/// Maps a wire byte back onto a [`Severity`]; unknown bytes clamp to
+/// `Critical` so a newer client's urgency is never silently downgraded.
+pub fn severity_from_wire(raw: u8) -> Severity {
+    match raw {
+        0 => Severity::Low,
+        1 => Severity::Medium,
+        2 => Severity::High,
+        _ => Severity::Critical,
+    }
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    debug_assert!(s.len() <= MAX_SUMMARY);
+    buf.put_u16(s.len() as u16);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_string(cur: &mut &[u8]) -> Result<String, DecodeError> {
+    if cur.remaining() < 2 {
+        return Err(DecodeError::Truncated);
+    }
+    let len = cur.get_u16() as usize;
+    if cur.remaining() < len {
+        return Err(DecodeError::Truncated);
+    }
+    let raw = cur.chunk()[..len].to_vec();
+    cur.advance(len);
+    String::from_utf8(raw).map_err(|_| DecodeError::BadString)
+}
+
+fn get_u64_checked(cur: &mut &[u8]) -> Result<u64, DecodeError> {
+    if cur.remaining() < 8 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(cur.get_u64())
+}
+
+fn get_u8_checked(cur: &mut &[u8]) -> Result<u8, DecodeError> {
+    if cur.remaining() < 1 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(cur.get_u8())
+}
+
+fn frame(body: BytesMut) -> Bytes {
+    debug_assert!(body.len() <= MAX_FRAME, "frame body exceeds cap");
+    let mut framed = BytesMut::with_capacity(4 + body.len());
+    framed.put_u32(body.len() as u32);
+    framed.put_slice(&body);
+    framed.freeze()
+}
+
+/// Encodes a request as a complete frame (length prefix included).
+pub fn encode_request(req: &Request) -> Bytes {
+    let mut body = BytesMut::with_capacity(32);
+    match req {
+        Request::Open {
+            token,
+            id,
+            severity,
+            summary,
+        } => {
+            body.put_u8(OP_OPEN);
+            body.put_u64(*token);
+            body.put_u64(*id);
+            body.put_u8(*severity);
+            put_string(&mut body, summary);
+        }
+        Request::Assign { token } => {
+            body.put_u8(OP_ASSIGN);
+            body.put_u64(*token);
+        }
+        Request::Stats => body.put_u8(OP_STATS),
+        Request::Shutdown => body.put_u8(OP_SHUTDOWN),
+    }
+    frame(body)
+}
+
+/// Encodes a response as a complete frame (length prefix included).
+pub fn encode_response(resp: &Response) -> Bytes {
+    let mut body = BytesMut::with_capacity(32);
+    match resp {
+        Response::Ok(ticket) => {
+            body.put_u8(OP_OK);
+            match ticket {
+                Some(t) => {
+                    body.put_u8(1);
+                    body.put_u64(t.id.0);
+                    body.put_u8(severity_to_wire(t.severity));
+                    put_string(&mut body, &t.summary);
+                }
+                None => body.put_u8(0),
+            }
+        }
+        Response::Blocked => body.put_u8(OP_BLOCKED),
+        Response::Aborted(reason) => {
+            body.put_u8(OP_ABORTED);
+            put_string(&mut body, reason);
+        }
+        Response::Err(message) => {
+            body.put_u8(OP_ERR);
+            put_string(&mut body, message);
+        }
+        Response::Stats(s) => {
+            body.put_u8(OP_STATS_REPLY);
+            body.put_u64(s.opened);
+            body.put_u64(s.assigned);
+            body.put_u64(s.queued);
+            body.put_u64(s.aborts);
+            body.put_u64(s.timeouts);
+        }
+    }
+    frame(body)
+}
+
+fn finish<T>(value: T, cur: &[u8]) -> Result<T, DecodeError> {
+    if cur.has_remaining() {
+        Err(DecodeError::Truncated)
+    } else {
+        Ok(value)
+    }
+}
+
+/// Decodes a request from a frame *body* (no length prefix).
+pub fn decode_request(body: &[u8]) -> Result<Request, DecodeError> {
+    if body.len() > MAX_FRAME {
+        return Err(DecodeError::Oversized { len: body.len() });
+    }
+    let mut cur = body;
+    let req = match get_u8_checked(&mut cur)? {
+        OP_OPEN => Request::Open {
+            token: get_u64_checked(&mut cur)?,
+            id: get_u64_checked(&mut cur)?,
+            severity: get_u8_checked(&mut cur)?,
+            summary: get_string(&mut cur)?,
+        },
+        OP_ASSIGN => Request::Assign {
+            token: get_u64_checked(&mut cur)?,
+        },
+        OP_STATS => Request::Stats,
+        OP_SHUTDOWN => Request::Shutdown,
+        op => return Err(DecodeError::UnknownOpcode(op)),
+    };
+    finish(req, cur)
+}
+
+/// Decodes a response from a frame *body* (no length prefix).
+pub fn decode_response(body: &[u8]) -> Result<Response, DecodeError> {
+    if body.len() > MAX_FRAME {
+        return Err(DecodeError::Oversized { len: body.len() });
+    }
+    let mut cur = body;
+    let resp = match get_u8_checked(&mut cur)? {
+        OP_OK => match get_u8_checked(&mut cur)? {
+            0 => Response::Ok(None),
+            _ => {
+                let id = get_u64_checked(&mut cur)?;
+                let severity = get_u8_checked(&mut cur)?;
+                let summary = get_string(&mut cur)?;
+                Response::Ok(Some(
+                    Ticket::new(id, summary).with_severity(severity_from_wire(severity)),
+                ))
+            }
+        },
+        OP_BLOCKED => Response::Blocked,
+        OP_ABORTED => Response::Aborted(get_string(&mut cur)?),
+        OP_ERR => Response::Err(get_string(&mut cur)?),
+        OP_STATS_REPLY => Response::Stats(WireStats {
+            opened: get_u64_checked(&mut cur)?,
+            assigned: get_u64_checked(&mut cur)?,
+            queued: get_u64_checked(&mut cur)?,
+            aborts: get_u64_checked(&mut cur)?,
+            timeouts: get_u64_checked(&mut cur)?,
+        }),
+        op => return Err(DecodeError::UnknownOpcode(op)),
+    };
+    finish(resp, cur)
+}
+
+/// Reads one frame body from `r`. Returns `Ok(None)` on clean EOF
+/// (connection closed between frames).
+///
+/// # Errors
+///
+/// I/O errors; an oversized or short-read frame surfaces as
+/// [`io::ErrorKind::InvalidData`] / [`io::ErrorKind::UnexpectedEof`].
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_raw = [0u8; 4];
+    match r.read_exact(&mut len_raw) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_raw) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            DecodeError::Oversized { len }.to_string(),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+/// Writes one already-framed message to `w` and flushes.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_frame(w: &mut impl Write, framed: &[u8]) -> io::Result<()> {
+    w.write_all(framed)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let framed = encode_request(&req);
+        let body = &framed[4..];
+        assert_eq!(
+            u32::from_be_bytes(framed[..4].try_into().unwrap()) as usize,
+            body.len()
+        );
+        assert_eq!(decode_request(body).unwrap(), req);
+    }
+
+    fn round_trip_response(resp: Response) {
+        let framed = encode_response(&resp);
+        assert_eq!(decode_response(&framed[4..]).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Open {
+            token: u64::MAX,
+            id: 42,
+            severity: 3,
+            summary: "routeur en panne — ça brûle 🔥".to_string(),
+        });
+        round_trip_request(Request::Open {
+            token: 0,
+            id: 0,
+            severity: 0,
+            summary: String::new(),
+        });
+        round_trip_request(Request::Assign { token: 7 });
+        round_trip_request(Request::Stats);
+        round_trip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(Response::Ok(None));
+        round_trip_response(Response::Ok(Some(
+            Ticket::new(9, "disk full").with_severity(Severity::High),
+        )));
+        round_trip_response(Response::Blocked);
+        round_trip_response(Response::Aborted("authentication failed".into()));
+        round_trip_response(Response::Err("boom".into()));
+        round_trip_response(Response::Stats(WireStats {
+            opened: 1,
+            assigned: 2,
+            queued: 3,
+            aborts: 4,
+            timeouts: 5,
+        }));
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        let framed = encode_request(&Request::Open {
+            token: 1,
+            id: 2,
+            severity: 1,
+            summary: "printer jam".into(),
+        });
+        let body = &framed[4..];
+        // Every proper prefix of the body must fail, not panic.
+        for cut in 0..body.len() {
+            assert_eq!(
+                decode_request(&body[..cut]),
+                Err(DecodeError::Truncated),
+                "prefix of {cut} bytes"
+            );
+        }
+        // Same on the response side.
+        let framed = encode_response(&Response::Aborted("quota exceeded".into()));
+        let body = &framed[4..];
+        for cut in 1..body.len() {
+            assert_eq!(decode_response(&body[..cut]), Err(DecodeError::Truncated));
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let framed = encode_request(&Request::Assign { token: 3 });
+        let mut body = framed[4..].to_vec();
+        body.push(0xff);
+        assert_eq!(decode_request(&body), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected() {
+        let body = vec![OP_STATS; MAX_FRAME + 1];
+        assert_eq!(
+            decode_request(&body),
+            Err(DecodeError::Oversized { len: MAX_FRAME + 1 })
+        );
+        // And at the framing layer: a hostile length prefix is refused
+        // before any allocation of that size.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&((MAX_FRAME as u32) + 1).to_be_bytes());
+        wire.extend_from_slice(&[0u8; 16]);
+        let err = read_frame(&mut wire.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn unknown_opcodes_are_rejected() {
+        assert_eq!(
+            decode_request(&[0x7f]),
+            Err(DecodeError::UnknownOpcode(0x7f))
+        );
+        assert_eq!(
+            decode_response(&[0x01]),
+            Err(DecodeError::UnknownOpcode(0x01))
+        );
+        assert_eq!(decode_request(&[]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn bad_utf8_is_rejected() {
+        let mut body = vec![OP_ABORTED, 0x00, 0x02, 0xff, 0xfe];
+        assert_eq!(decode_response(&body), Err(DecodeError::BadString));
+        body[0] = OP_ERR;
+        assert_eq!(decode_response(&body), Err(DecodeError::BadString));
+    }
+
+    #[test]
+    fn framing_round_trips_over_a_stream() {
+        let a = encode_request(&Request::Stats);
+        let b = encode_request(&Request::Assign { token: 11 });
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&a);
+        stream.extend_from_slice(&b);
+        let mut r = stream.as_slice();
+        assert_eq!(
+            decode_request(&read_frame(&mut r).unwrap().unwrap()).unwrap(),
+            Request::Stats
+        );
+        assert_eq!(
+            decode_request(&read_frame(&mut r).unwrap().unwrap()).unwrap(),
+            Request::Assign { token: 11 }
+        );
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn severity_mapping_round_trips() {
+        for s in [
+            Severity::Low,
+            Severity::Medium,
+            Severity::High,
+            Severity::Critical,
+        ] {
+            assert_eq!(severity_from_wire(severity_to_wire(s)), s);
+        }
+        assert_eq!(severity_from_wire(200), Severity::Critical);
+    }
+}

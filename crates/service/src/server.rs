@@ -1,0 +1,381 @@
+//! The TCP front of the moderated ticket server.
+//!
+//! Every remote `open`/`assign` flows through the full pre-/post-
+//! activation protocol of the in-process proxy; the network layer adds
+//! nothing but framing. Cross-cutting concerns map onto aspects, not
+//! onto handler code:
+//!
+//! | concern | aspect | registered |
+//! |---|---|---|
+//! | buffer synchronization | `sync` pair (in the base proxy) | first (innermost) |
+//! | per-principal rate limiting | [`QuotaAspect`] | second |
+//! | global throughput ceiling | [`RateLimitAspect`] | third (optional) |
+//! | authentication | [`AuthenticationAspect`] via proxy upgrade | fourth |
+//! | counters + latency histograms | [`MetricsAspect`] | last (outermost) |
+//!
+//! Registration order is the composition order: aspects registered
+//! later run *first* on entry, so the activation sequence is
+//! metrics → auth → throttle → quota → sync → method — authentication
+//! attaches the principal before the quota aspect bills it.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use amf_aspects::auth::{AuthToken, Authenticator};
+use amf_aspects::metrics::{MetricsAspect, MetricsHub};
+use amf_aspects::quota::QuotaAspect;
+use amf_aspects::sched::{RateLimitAspect, ThrottleMode};
+use amf_concurrency::{RateLimiter, RateLimiterConfig, SystemClock, WorkerPool};
+use amf_core::trace::MemoryTrace;
+use amf_core::{AbortError, AspectModerator, Concern, RegistrationError};
+use amf_ticketing::{ExtendedTicketServerProxy, Ticket, TicketServerProxy};
+use parking_lot::Mutex;
+
+use crate::codec::{
+    decode_request, encode_response, read_frame, severity_from_wire, write_frame, Request,
+    Response, WireStats,
+};
+
+/// Tuning knobs for [`TicketService::spawn`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Ticket-buffer capacity (bounded; `open` blocks when full).
+    pub capacity: usize,
+    /// Worker threads handling connections. Each live connection holds
+    /// one worker, so this bounds concurrent clients.
+    pub workers: usize,
+    /// Per-principal request quota within `quota_window`.
+    pub quota_limit: u64,
+    /// Fixed window over which the quota resets.
+    pub quota_window: Duration,
+    /// Optional global token-bucket ceiling across all clients; requests
+    /// beyond it are aborted (throttled), not queued.
+    pub rate: Option<RateLimiterConfig>,
+    /// How long a request may stay blocked (buffer full/empty) before
+    /// the server answers `Blocked`.
+    pub op_timeout: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 64,
+            workers: 16,
+            quota_limit: 1_000_000,
+            quota_window: Duration::from_secs(1),
+            rate: None,
+            op_timeout: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Why the service failed to start.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Binding or cloning the listener failed.
+    Io(io::Error),
+    /// Composing the aspect stack failed.
+    Registration(RegistrationError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Io(e) => write!(f, "service i/o error: {e}"),
+            ServiceError::Registration(e) => write!(f, "aspect composition failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<io::Error> for ServiceError {
+    fn from(e: io::Error) -> Self {
+        ServiceError::Io(e)
+    }
+}
+
+impl From<RegistrationError> for ServiceError {
+    fn from(e: RegistrationError) -> Self {
+        ServiceError::Registration(e)
+    }
+}
+
+struct ServiceShared {
+    proxy: ExtendedTicketServerProxy,
+    op_timeout: Duration,
+    shutting_down: AtomicBool,
+    connections: Mutex<Vec<TcpStream>>,
+}
+
+impl ServiceShared {
+    fn handle_request(&self, req: Request) -> Response {
+        match req {
+            Request::Open {
+                token,
+                id,
+                severity,
+                summary,
+            } => {
+                let ticket = Ticket::new(id, summary).with_severity(severity_from_wire(severity));
+                match self
+                    .proxy
+                    .open_timeout(AuthToken(token), ticket, self.op_timeout)
+                {
+                    Ok(()) => Response::Ok(None),
+                    Err(e) => abort_to_response(&e),
+                }
+            }
+            Request::Assign { token } => {
+                match self.proxy.assign_timeout(AuthToken(token), self.op_timeout) {
+                    Ok(ticket) => Response::Ok(Some(ticket)),
+                    Err(e) => abort_to_response(&e),
+                }
+            }
+            Request::Stats => Response::Stats(self.stats()),
+            Request::Shutdown => Response::Ok(None),
+        }
+    }
+
+    fn stats(&self) -> WireStats {
+        let (opened, assigned) = self.proxy.base().totals();
+        let mod_stats = self.proxy.base().moderator().stats();
+        WireStats {
+            opened,
+            assigned,
+            queued: self.proxy.len() as u64,
+            aborts: mod_stats.aborts,
+            timeouts: mod_stats.timeouts,
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        // Unblock every connection handler stuck in a read.
+        for conn in self.connections.lock().drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+fn abort_to_response(err: &AbortError) -> Response {
+    match err {
+        AbortError::Timeout { .. } => Response::Blocked,
+        AbortError::Aspect {
+            concern, reason, ..
+        } => Response::Aborted(format!("{concern}: {reason}")),
+    }
+}
+
+/// Handle on a running service: address, shared substrate, shutdown.
+///
+/// Dropping the handle shuts the service down.
+pub struct ServiceHandle {
+    addr: SocketAddr,
+    auth: Arc<Authenticator>,
+    metrics: MetricsHub,
+    trace: Arc<MemoryTrace>,
+    shared: Arc<ServiceShared>,
+    accept_thread: Option<JoinHandle<()>>,
+    pool: Arc<WorkerPool>,
+}
+
+impl std::fmt::Debug for ServiceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceHandle")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServiceHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The authenticator: provision users and mint tokens here.
+    pub fn authenticator(&self) -> &Arc<Authenticator> {
+        &self.auth
+    }
+
+    /// Counters and latency histograms per participating method.
+    pub fn metrics(&self) -> &MetricsHub {
+        &self.metrics
+    }
+
+    /// The protocol trace of every moderated activation.
+    pub fn trace(&self) -> &Arc<MemoryTrace> {
+        &self.trace
+    }
+
+    /// Current service counters (same numbers as the `Stats` opcode).
+    pub fn stats(&self) -> WireStats {
+        self.shared.stats()
+    }
+
+    /// Stops accepting connections, disconnects clients, joins every
+    /// worker. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.begin_shutdown();
+        // Wake the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.pool.shutdown();
+    }
+}
+
+impl Drop for ServiceHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The networked ticket service.
+#[derive(Debug)]
+pub struct TicketService;
+
+impl TicketService {
+    /// Composes the aspect stack, binds `addr` (use port 0 for an
+    /// ephemeral port) and starts accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError`] when the bind or the aspect composition fails.
+    pub fn spawn(addr: &str, config: ServiceConfig) -> Result<ServiceHandle, ServiceError> {
+        let trace = MemoryTrace::shared();
+        let moderator = Arc::new(
+            AspectModerator::builder()
+                .trace(trace.clone() as Arc<dyn amf_core::trace::TraceSink>)
+                .build(),
+        );
+        let auth = Authenticator::shared();
+        let metrics = MetricsHub::new();
+
+        // Innermost: the base proxy registers the synchronization pair.
+        let base = TicketServerProxy::new(config.capacity, Arc::clone(&moderator))?;
+        let open = base.open_handle().clone();
+        let assign = base.assign_handle().clone();
+        // Per-principal quotas (billed to the authenticated principal).
+        for handle in [&open, &assign] {
+            moderator.register(
+                handle,
+                Concern::quota(),
+                Box::new(QuotaAspect::new(config.quota_limit).with_window(config.quota_window)),
+            )?;
+        }
+        // Optional global ceiling, one bucket shared by both methods.
+        if let Some(rate) = config.rate {
+            let limiter = Arc::new(RateLimiter::new(rate, Arc::new(SystemClock::new())));
+            for handle in [&open, &assign] {
+                moderator.register(
+                    handle,
+                    Concern::throttling(),
+                    Box::new(RateLimitAspect::new(
+                        Arc::clone(&limiter),
+                        ThrottleMode::Abort,
+                    )),
+                )?;
+            }
+        }
+        // Authentication joins the live proxy (the paper's adaptability
+        // move); registered after quota so it runs before it on entry.
+        let proxy = ExtendedTicketServerProxy::upgrade(base, Arc::clone(&auth))?;
+        // Outermost: observe everything, including time spent blocked.
+        for handle in [&open, &assign] {
+            moderator.register(
+                handle,
+                Concern::metrics(),
+                Box::new(MetricsAspect::new(metrics.clone())),
+            )?;
+        }
+
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(ServiceShared {
+            proxy,
+            op_timeout: config.op_timeout,
+            shutting_down: AtomicBool::new(false),
+            connections: Mutex::new(Vec::new()),
+        });
+        let pool = Arc::new(WorkerPool::new(config.workers));
+
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            let pool = Arc::clone(&pool);
+            std::thread::Builder::new()
+                .name("amf-service-accept".into())
+                .spawn(move || accept_loop(&listener, &shared, &pool))
+                .map_err(ServiceError::Io)?
+        };
+
+        Ok(ServiceHandle {
+            addr: local_addr,
+            auth,
+            metrics,
+            trace,
+            shared,
+            accept_thread: Some(accept_thread),
+            pool,
+        })
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServiceShared>, pool: &Arc<WorkerPool>) {
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        if let Ok(clone) = stream.try_clone() {
+            shared.connections.lock().push(clone);
+        }
+        let shared = Arc::clone(shared);
+        pool.spawn(move || serve_connection(&shared, stream));
+    }
+}
+
+fn serve_connection(shared: &Arc<ServiceShared>, stream: TcpStream) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = BufWriter::new(stream);
+    loop {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let body = match read_frame(&mut reader) {
+            Ok(Some(body)) => body,
+            Ok(None) => return,
+            Err(e) => {
+                // Oversized frame: tell the client why before hanging up.
+                if e.kind() == io::ErrorKind::InvalidData {
+                    let resp = Response::Err(e.to_string());
+                    let _ = write_frame(&mut writer, &encode_response(&resp));
+                }
+                return;
+            }
+        };
+        let (response, then_shutdown) = match decode_request(&body) {
+            Ok(Request::Shutdown) => (Response::Ok(None), true),
+            Ok(req) => (shared.handle_request(req), false),
+            Err(e) => (Response::Err(e.to_string()), true),
+        };
+        if write_frame(&mut writer, &encode_response(&response)).is_err() {
+            return;
+        }
+        if then_shutdown {
+            if matches!(response, Response::Ok(_)) {
+                shared.begin_shutdown();
+            }
+            return;
+        }
+    }
+}

@@ -111,7 +111,11 @@ impl ExtendedTicketServerProxy {
         &self.base
     }
 
-    fn ctx_with_token(&self, method: &MethodHandle, token: AuthToken) -> amf_core::InvocationContext {
+    fn ctx_with_token(
+        &self,
+        method: &MethodHandle,
+        token: AuthToken,
+    ) -> amf_core::InvocationContext {
         let mut ctx = self.base.fresh_ctx(method);
         ctx.insert(token);
         ctx
@@ -138,13 +142,42 @@ impl ExtendedTicketServerProxy {
             .assign_with(self.ctx_with_token(&self.base.assign, token))
     }
 
+    /// Like [`ExtendedTicketServerProxy::open`] with a bounded wait.
+    ///
+    /// # Errors
+    ///
+    /// Authentication abort, [`AbortError::Timeout`] when the buffer
+    /// stays full past `timeout`, or as the base proxy.
+    pub fn open_timeout(
+        &self,
+        token: AuthToken,
+        ticket: Ticket,
+        timeout: Duration,
+    ) -> Result<(), AbortError> {
+        let ctx = self.ctx_with_token(&self.base.open, token);
+        let guard = self
+            .base
+            .inner
+            .enter_timeout(&self.base.open, ctx, timeout)?;
+        guard
+            .component()
+            .open(ticket)
+            .expect("synchronization aspect guarantees a free slot");
+        guard.complete();
+        Ok(())
+    }
+
     /// Like [`ExtendedTicketServerProxy::assign`] with a bounded wait.
     ///
     /// # Errors
     ///
     /// Authentication abort, [`AbortError::Timeout`], or as the base
     /// proxy.
-    pub fn assign_timeout(&self, token: AuthToken, timeout: Duration) -> Result<Ticket, AbortError> {
+    pub fn assign_timeout(
+        &self,
+        token: AuthToken,
+        timeout: Duration,
+    ) -> Result<Ticket, AbortError> {
         let mut ctx = self.base.fresh_ctx(&self.base.assign);
         ctx.insert(token);
         let guard = self
@@ -179,9 +212,8 @@ mod tests {
         let auth = Authenticator::shared();
         auth.add_user("alice", "pw");
         auth.add_user("bob", "hunter2");
-        let proxy =
-            ExtendedTicketServerProxy::new(2, AspectModerator::shared(), Arc::clone(&auth))
-                .unwrap();
+        let proxy = ExtendedTicketServerProxy::new(2, AspectModerator::shared(), Arc::clone(&auth))
+            .unwrap();
         (proxy, auth)
     }
 
@@ -253,13 +285,11 @@ mod tests {
         use amf_concurrency::ManualClock;
         let clock = ManualClock::new();
         let auth = Arc::new(
-            Authenticator::with_clock(Arc::new(clock.clone()))
-                .with_ttl(Duration::from_secs(30)),
+            Authenticator::with_clock(Arc::new(clock.clone())).with_ttl(Duration::from_secs(30)),
         );
         auth.add_user("alice", "pw");
-        let proxy =
-            ExtendedTicketServerProxy::new(2, AspectModerator::shared(), Arc::clone(&auth))
-                .unwrap();
+        let proxy = ExtendedTicketServerProxy::new(2, AspectModerator::shared(), Arc::clone(&auth))
+            .unwrap();
         let token = auth.login("alice", "pw").unwrap();
         proxy.open(token, Ticket::new(1, "x")).unwrap();
         clock.advance(Duration::from_secs(31));

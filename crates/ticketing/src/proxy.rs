@@ -13,8 +13,8 @@ use std::time::Duration;
 
 use amf_aspects::sync::BufferSyncHandle;
 use amf_core::{
-    AbortError, AspectFactory, AspectModerator, Concern, InvocationContext, MethodHandle,
-    MethodId, Moderated, RegistrationError,
+    AbortError, AspectFactory, AspectModerator, Concern, InvocationContext, MethodHandle, MethodId,
+    Moderated, RegistrationError,
 };
 
 use crate::factory::{TicketSyncFactory, ASSIGN, OPEN};

@@ -135,12 +135,7 @@ impl<S> ModelSystem<S> {
 
     /// Registers an aspect at the end of `method`'s chain (it becomes
     /// the new outermost under nested ordering).
-    pub fn add_aspect(
-        &mut self,
-        method: MethodIx,
-        concern: &str,
-        aspect: Arc<dyn ModelAspect<S>>,
-    ) {
+    pub fn add_aspect(&mut self, method: MethodIx, concern: &str, aspect: Arc<dyn ModelAspect<S>>) {
         self.methods[method.0]
             .chain
             .push((concern.to_string(), aspect));

@@ -12,7 +12,10 @@ struct Buf {
     consuming: bool,
 }
 
-fn buffer(sys: &mut ModelSystem<Buf>, capacity: usize) -> (amf_verify::MethodIx, amf_verify::MethodIx) {
+fn buffer(
+    sys: &mut ModelSystem<Buf>,
+    capacity: usize,
+) -> (amf_verify::MethodIx, amf_verify::MethodIx) {
     let put = sys.method("put");
     let take = sys.method("take");
     sys.add_aspect(
@@ -70,7 +73,9 @@ fn miswired_wakes_lose_wakeups() {
             // waking it.
             let rendered: Vec<String> = trace.iter().map(ToString::to_string).collect();
             assert!(
-                rendered.iter().any(|s| s.contains("chain(take) -> blocked")),
+                rendered
+                    .iter()
+                    .any(|s| s.contains("chain(take) -> blocked")),
                 "{rendered:?}"
             );
             assert!(

@@ -16,7 +16,10 @@ fn main() {
     // Phase 1: the base system, serving anonymous traffic.
     let base = TicketServerProxy::new(8, AspectModerator::shared()).expect("fresh moderator");
     base.open(Ticket::new(1, "pre-upgrade ticket")).unwrap();
-    println!("phase 1 (open system): anonymous open OK, {} waiting", base.len());
+    println!(
+        "phase 1 (open system): anonymous open OK, {} waiting",
+        base.len()
+    );
 
     // Phase 2: new requirement — authentication. Upgrade the LIVE proxy:
     // two registrations, no functional-code edits, in-flight state kept.
@@ -35,9 +38,7 @@ fn main() {
         .open(token, Ticket::new(3, "authenticated ticket"))
         .unwrap();
     let first = secured.assign(token).unwrap();
-    println!(
-        "  authenticated traffic flows; pre-upgrade state intact: got {first}"
-    );
+    println!("  authenticated traffic flows; pre-upgrade state intact: got {first}");
 
     // Phase 3: requirement retired — deregister the concern, system is
     // open again. (A framework extension beyond the paper.)

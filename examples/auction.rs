@@ -16,15 +16,15 @@ use aspect_moderator::scenarios::AuctionService;
 fn main() {
     let auth = Authenticator::shared();
     auth.add_user("sam-the-seller", "pw");
-    auth.grant_role("sam-the-seller", Role::new("seller")).unwrap();
+    auth.grant_role("sam-the-seller", Role::new("seller"))
+        .unwrap();
     for bidder in ["bea", "bob", "bel"] {
         auth.add_user(bidder, "pw");
         auth.grant_role(bidder, Role::new("bidder")).unwrap();
     }
 
     let svc = Arc::new(
-        AuctionService::new(AspectModerator::shared(), Arc::clone(&auth))
-            .expect("fresh moderator"),
+        AuctionService::new(AspectModerator::shared(), Arc::clone(&auth)).expect("fresh moderator"),
     );
 
     let sam = auth.login("sam-the-seller", "pw").unwrap();

@@ -7,9 +7,7 @@
 
 use std::sync::Arc;
 
-use aspect_moderator::core::{
-    AspectModerator, Concern, FnAspect, Moderated, MethodId, Verdict,
-};
+use aspect_moderator::core::{AspectModerator, Concern, FnAspect, MethodId, Moderated, Verdict};
 
 fn main() {
     // 1. The functional component: plain, sequential, oblivious.
@@ -49,10 +47,7 @@ fn main() {
         }
     }
 
-    println!(
-        "final shelf: {:?}",
-        shelf.with_component(|inv| inv.clone())
-    );
+    println!("final shelf: {:?}", shelf.with_component(|inv| inv.clone()));
     let stats = moderator.stats();
     println!(
         "moderator: {} activations, {} resumed, {} aborted",

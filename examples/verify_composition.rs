@@ -87,12 +87,18 @@ fn main() {
     };
 
     let with = build(true).run(S::default());
-    println!("\nwith rollback:    {:?} ({} states)", with.outcome, with.states);
+    println!(
+        "\nwith rollback:    {:?} ({} states)",
+        with.outcome, with.states
+    );
 
     let without = build(false).run(S::default());
     match &without.outcome {
         Outcome::Deadlock(trace) => {
-            println!("without rollback: DEADLOCK ({} states). Counterexample:", without.states);
+            println!(
+                "without rollback: DEADLOCK ({} states). Counterexample:",
+                without.states
+            );
             for step in trace {
                 println!("  {step}");
             }

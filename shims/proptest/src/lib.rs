@@ -1,0 +1,98 @@
+//! Minimal, API-compatible subset of `proptest`, so the workspace's
+//! property tests build and run without registry access.
+//!
+//! Differences from real proptest, deliberate and documented:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs
+//!   (via normal `assert!` messages) but is not minimized.
+//! * **Deterministic seeding.** Each test function derives its RNG seed
+//!   from its own name, so runs are reproducible across processes; set
+//!   `PROPTEST_CASES` to change the case count (default 64).
+//! * Only the combinators this workspace uses are provided: ranges,
+//!   `any`, `Just`, tuples, `prop_map`, `prop_oneof!`,
+//!   `collection::vec`, `proptest!`, and `prop_assert*!`.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a length drawn from `size` and
+    /// elements drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose length lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Op {
+        Push(u8),
+        Pop,
+    }
+
+    fn op() -> impl Strategy<Value = Op> {
+        prop_oneof![any::<u8>().prop_map(Op::Push), Just(Op::Pop)]
+    }
+
+    proptest! {
+        #[test]
+        fn vec_lengths_respect_range(v in crate::collection::vec(0..10u8, 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(pair in (0..5u8, 0..3u8).prop_map(|(a, b)| (b, a))) {
+            prop_assert!(pair.0 < 3 && pair.1 < 5);
+        }
+
+        #[test]
+        fn oneof_hits_every_arm(ops in crate::collection::vec(op(), 1..200)) {
+            // Statistically certain with 200 draws over 64 cases.
+            prop_assert!(ops.iter().any(|o| matches!(o, Op::Pop)) || ops.len() < 20);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_cases_are_respected(x in 0..100u32) {
+            prop_assert!(x < 100);
+        }
+    }
+}

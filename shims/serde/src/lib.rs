@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` — nothing
+//! calls serde trait methods or serializes through a format crate — so
+//! these derives expand to nothing. Code like
+//! `#[derive(Serialize, Deserialize)]` and
+//! `use serde::{Deserialize, Serialize};` compiles unchanged.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,183 @@
+//! Load generator for the networked ticket service.
+//!
+//! Spawns a local service (unless `--addr` points at a running one),
+//! drives it with `--clients` concurrent connections issuing
+//! `--requests` total operations (alternating `open`/`assign`), and
+//! writes a JSON throughput/latency report to `BENCH_service.json`.
+//!
+//! ```text
+//! cargo run --release --bin loadgen -- --clients 8 --requests 10000
+//! ```
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+
+use amf_bench::report::{fmt_ns, fmt_ops, JsonObject, LatencySummary};
+use amf_service::{run_load, LoadConfig, ServiceConfig, TicketService};
+
+const REPORT_PATH: &str = "BENCH_service.json";
+
+struct Args {
+    clients: usize,
+    requests: u64,
+    addr: Option<SocketAddr>,
+    report: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        clients: 8,
+        requests: 10_000,
+        addr: None,
+        report: REPORT_PATH.to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--clients" => {
+                args.clients = value("--clients")?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?;
+            }
+            "--requests" => {
+                args.requests = value("--requests")?
+                    .parse()
+                    .map_err(|e| format!("--requests: {e}"))?;
+            }
+            "--addr" => {
+                args.addr = Some(
+                    value("--addr")?
+                        .parse()
+                        .map_err(|e| format!("--addr: {e}"))?,
+                );
+            }
+            "--report" => args.report = value("--report")?,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: loadgen [--clients N] [--requests N] [--addr HOST:PORT] [--report FILE]"
+                        .to_string(),
+                );
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.clients == 0 || args.requests == 0 {
+        return Err("--clients and --requests must be positive".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Either target a running server or spawn one locally. The local
+    // server gets enough workers for every client connection.
+    let mut local = None;
+    let addr = match args.addr {
+        Some(addr) => addr,
+        None => {
+            let config = ServiceConfig {
+                workers: args.clients.max(4) + 2,
+                ..ServiceConfig::default()
+            };
+            let handle = match TicketService::spawn("127.0.0.1:0", config) {
+                Ok(h) => h,
+                Err(e) => {
+                    eprintln!("failed to spawn local service: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let addr = handle.addr();
+            local = Some(handle);
+            addr
+        }
+    };
+
+    let token = match &local {
+        Some(handle) => {
+            handle.authenticator().add_user("loadgen", "loadgen");
+            match handle.authenticator().login("loadgen", "loadgen") {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("login failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => {
+            eprintln!("--addr mode requires a token minted on the server; not supported yet");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "loadgen: {} clients x {} total requests against {addr}",
+        args.clients, args.requests
+    );
+    let outcome = match run_load(&LoadConfig {
+        clients: args.clients,
+        requests: args.requests,
+        addr,
+        token,
+    }) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("load run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut open = outcome.open_latencies_ns.clone();
+    let mut assign = outcome.assign_latencies_ns.clone();
+    let mut all = outcome.open_latencies_ns.clone();
+    all.extend_from_slice(&outcome.assign_latencies_ns);
+    let open_summary = LatencySummary::from_unsorted(&mut open);
+    let assign_summary = LatencySummary::from_unsorted(&mut assign);
+    let overall = LatencySummary::from_unsorted(&mut all);
+
+    let report = JsonObject::new()
+        .field("benchmark", "service_loadgen")
+        .field("clients", args.clients)
+        .field("requests", outcome.total())
+        .field("ok", outcome.ok)
+        .field("blocked", outcome.blocked)
+        .field("aborted", outcome.aborted)
+        .field("elapsed_ms", outcome.elapsed.as_secs_f64() * 1e3)
+        .field("throughput_ops_per_sec", outcome.throughput())
+        .field("open", open_summary.to_json())
+        .field("assign", assign_summary.to_json())
+        .field("overall", overall.to_json())
+        .build();
+    if let Err(e) = std::fs::write(&args.report, format!("{report}\n")) {
+        eprintln!("failed to write {}: {e}", args.report);
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "done: {} ok, {} blocked, {} aborted in {:.1} ms ({})",
+        outcome.ok,
+        outcome.blocked,
+        outcome.aborted,
+        outcome.elapsed.as_secs_f64() * 1e3,
+        fmt_ops(outcome.throughput()),
+    );
+    println!(
+        "latency p50 {} / p95 {} / p99 {} (report: {})",
+        fmt_ns(overall.p50_ns as f64),
+        fmt_ns(overall.p95_ns as f64),
+        fmt_ns(overall.p99_ns as f64),
+        args.report,
+    );
+
+    if let Some(mut handle) = local {
+        handle.shutdown();
+    }
+    ExitCode::SUCCESS
+}

@@ -9,7 +9,11 @@ use aspect_moderator::core::trace::{EventKind, MemoryTrace};
 use aspect_moderator::core::{AspectModerator, Concern, MethodId};
 use aspect_moderator::ticketing::{ExtendedTicketServerProxy, Ticket, TicketServerProxy};
 
-fn extended_with_trace() -> (ExtendedTicketServerProxy, Arc<Authenticator>, Arc<MemoryTrace>) {
+fn extended_with_trace() -> (
+    ExtendedTicketServerProxy,
+    Arc<Authenticator>,
+    Arc<MemoryTrace>,
+) {
     let trace = MemoryTrace::shared();
     let moderator = Arc::new(AspectModerator::builder().trace(trace.clone()).build());
     let auth = Authenticator::shared();
@@ -138,7 +142,9 @@ fn deregistering_auth_reopens_the_system() {
     assert!(proxy.open(AuthToken(0), Ticket::new(1, "x")).is_err());
     for name in ["open", "assign"] {
         let h = moderator.method(&MethodId::new(name)).unwrap();
-        moderator.deregister(&h, &Concern::authentication()).unwrap();
+        moderator
+            .deregister(&h, &Concern::authentication())
+            .unwrap();
     }
     // The *extended* proxy still attaches tokens, but with no
     // authentication aspect the bogus token is simply ignored.

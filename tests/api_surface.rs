@@ -7,8 +7,8 @@ use std::sync::Arc;
 
 use aspect_moderator::core::{
     Aspect, AspectBank, AspectFactory, AspectModerator, ChainedFactory, Concern, FnAspect,
-    InvocationContext, MemoryTrace, MethodHandle, MethodId, Moderated, ModeratorStats,
-    NoopAspect, Principal, RegistryFactory, Verdict,
+    InvocationContext, MemoryTrace, MethodHandle, MethodId, Moderated, ModeratorStats, NoopAspect,
+    Principal, RegistryFactory, Verdict,
 };
 
 #[test]
@@ -116,9 +116,10 @@ fn aspects_are_first_class_values() {
     let moderator = AspectModerator::shared();
     let m = moderator.declare_method(MethodId::new("op"));
     // Build an aspect at runtime, pass it around as a value, store it.
-    let aspect: Box<dyn Aspect> = Box::new(FnAspect::new("dynamic").on_precondition(|ctx| {
-        Verdict::resume_or_abort(ctx.principal().is_some(), "anonymous")
-    }));
+    let aspect: Box<dyn Aspect> =
+        Box::new(FnAspect::new("dynamic").on_precondition(|ctx| {
+            Verdict::resume_or_abort(ctx.principal().is_some(), "anonymous")
+        }));
     moderator.register(&m, Concern::new("dyn"), aspect).unwrap();
     let proxy = Moderated::new((), Arc::clone(&moderator));
     assert!(proxy.invoke(&m, |()| ()).is_err());

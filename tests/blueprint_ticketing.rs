@@ -4,11 +4,11 @@
 use std::sync::Arc;
 
 use aspect_moderator::aspects::auth::Authenticator;
+use aspect_moderator::concurrency::RingBuffer;
 use aspect_moderator::core::{
     AspectModerator, Blueprint, ChainedFactory, Concern, InvocationContext, Moderated,
     RegistrationError,
 };
-use aspect_moderator::concurrency::RingBuffer;
 use aspect_moderator::ticketing::{TicketAuthFactory, TicketSyncFactory};
 
 fn ticketing_blueprint() -> Blueprint {
@@ -67,8 +67,14 @@ fn blueprint_validation_catches_missing_auth_cells() {
     // Ask for authentication too, but supply only the sync factory:
     // both auth cells are reported, nothing is registered.
     let blueprint = Blueprint::new()
-        .method("open", [Concern::synchronization(), Concern::authentication()])
-        .method("assign", [Concern::synchronization(), Concern::authentication()]);
+        .method(
+            "open",
+            [Concern::synchronization(), Concern::authentication()],
+        )
+        .method(
+            "assign",
+            [Concern::synchronization(), Concern::authentication()],
+        );
     let moderator = AspectModerator::shared();
     let problems = blueprint
         .apply(&moderator, &TicketSyncFactory::new(4))
@@ -92,8 +98,14 @@ fn blueprint_with_chained_factory_covers_the_extension() {
         .with(TicketAuthFactory::new(Arc::clone(&auth)))
         .with(sync);
     let blueprint = Blueprint::new()
-        .method("open", [Concern::synchronization(), Concern::authentication()])
-        .method("assign", [Concern::synchronization(), Concern::authentication()])
+        .method(
+            "open",
+            [Concern::synchronization(), Concern::authentication()],
+        )
+        .method(
+            "assign",
+            [Concern::synchronization(), Concern::authentication()],
+        )
         .wake("open", ["assign"])
         .wake("assign", ["open"]);
     let moderator = AspectModerator::shared();
@@ -108,10 +120,7 @@ fn blueprint_with_chained_factory_covers_the_extension() {
 
     // Authenticated: flows through both concerns.
     let token = auth.login("ops", "pw").unwrap();
-    let mut ctx = InvocationContext::new(
-        handles["open"].id().clone(),
-        moderator.next_invocation(),
-    );
+    let mut ctx = InvocationContext::new(handles["open"].id().clone(), moderator.next_invocation());
     ctx.insert(token);
     let guard = proxy.enter_with(&handles["open"], ctx).unwrap();
     guard.component().push_back(9).unwrap();

@@ -6,9 +6,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use aspect_moderator::aspects::audit::{AuditAspect, AuditLog, AuditPhase};
-use aspect_moderator::aspects::auth::{
-    AuthToken, AuthenticationAspect, Authenticator,
-};
+use aspect_moderator::aspects::auth::{AuthToken, AuthenticationAspect, Authenticator};
 use aspect_moderator::aspects::fault::{CircuitBreakerAspect, CircuitState};
 use aspect_moderator::aspects::metrics::{MetricsAspect, MetricsHub};
 use aspect_moderator::aspects::quota::QuotaAspect;
@@ -36,10 +34,18 @@ fn five_concern_stack_end_to_end() {
         .register(&op, Concern::synchronization(), Box::new(group.aspect()))
         .unwrap();
     moderator
-        .register(&op, Concern::audit(), Box::new(AuditAspect::new(Arc::clone(&audit))))
+        .register(
+            &op,
+            Concern::audit(),
+            Box::new(AuditAspect::new(Arc::clone(&audit))),
+        )
         .unwrap();
     moderator
-        .register(&op, Concern::metrics(), Box::new(MetricsAspect::new(hub.clone())))
+        .register(
+            &op,
+            Concern::metrics(),
+            Box::new(MetricsAspect::new(hub.clone())),
+        )
         .unwrap();
     moderator
         .register(&op, Concern::quota(), Box::new(QuotaAspect::new(3)))
@@ -193,10 +199,18 @@ fn readers_writer_composition_under_threads() {
     let write = moderator.declare_method(MethodId::new("write"));
     let group = ReadersWriterGroup::new();
     moderator
-        .register(&read, Concern::synchronization(), Box::new(group.read_aspect()))
+        .register(
+            &read,
+            Concern::synchronization(),
+            Box::new(group.read_aspect()),
+        )
         .unwrap();
     moderator
-        .register(&write, Concern::synchronization(), Box::new(group.write_aspect()))
+        .register(
+            &write,
+            Concern::synchronization(),
+            Box::new(group.write_aspect()),
+        )
         .unwrap();
     // The "document": two fields a writer keeps equal. The component
     // itself is behind the proxy's mutex, so to let readers actually
@@ -266,10 +280,18 @@ fn failure_outcome_reaches_all_aspects() {
     let audit = AuditLog::shared();
     let hub = MetricsHub::new();
     moderator
-        .register(&op, Concern::audit(), Box::new(AuditAspect::new(Arc::clone(&audit))))
+        .register(
+            &op,
+            Concern::audit(),
+            Box::new(AuditAspect::new(Arc::clone(&audit))),
+        )
         .unwrap();
     moderator
-        .register(&op, Concern::metrics(), Box::new(MetricsAspect::new(hub.clone())))
+        .register(
+            &op,
+            Concern::metrics(),
+            Box::new(MetricsAspect::new(hub.clone())),
+        )
         .unwrap();
     let proxy = Moderated::new(0_u32, Arc::clone(&moderator));
     let r: Result<(), String> = proxy

@@ -11,16 +11,18 @@ use aspect_moderator::aspects::coordination::{
     BarrierAspect, Deadline, DeadlineAspect, Lease, ResourceLeaseAspect,
 };
 use aspect_moderator::concurrency::{ManualClock, ResourcePool};
-use aspect_moderator::core::{
-    AspectModerator, Concern, InvocationContext, MethodId, Moderated,
-};
+use aspect_moderator::core::{AspectModerator, Concern, InvocationContext, MethodId, Moderated};
 
 #[test]
 fn barrier_releases_threads_in_cohorts() {
     let moderator = AspectModerator::shared();
     let commit = moderator.declare_method(MethodId::new("commit"));
     moderator
-        .register(&commit, Concern::new("rendezvous"), Box::new(BarrierAspect::new(3)))
+        .register(
+            &commit,
+            Concern::new("rendezvous"),
+            Box::new(BarrierAspect::new(3)),
+        )
         .unwrap();
     let proxy = Arc::new(Moderated::new(0_u32, Arc::clone(&moderator)));
 
@@ -40,7 +42,11 @@ fn barrier_releases_threads_in_cohorts() {
         thread::yield_now();
     }
     thread::sleep(Duration::from_millis(20));
-    assert_eq!(done.load(Ordering::SeqCst), 0, "cohort must wait for the third");
+    assert_eq!(
+        done.load(Ordering::SeqCst),
+        0,
+        "cohort must wait for the third"
+    );
 
     // The third arrival releases everyone.
     proxy.invoke(&commit, |c| *c += 1).unwrap();
@@ -171,7 +177,11 @@ fn barrier_with_timeout_does_not_poison_future_cohorts() {
     let moderator = AspectModerator::shared();
     let commit = moderator.declare_method(MethodId::new("commit"));
     moderator
-        .register(&commit, Concern::new("rendezvous"), Box::new(BarrierAspect::new(2)))
+        .register(
+            &commit,
+            Concern::new("rendezvous"),
+            Box::new(BarrierAspect::new(2)),
+        )
         .unwrap();
     let proxy = Arc::new(Moderated::new(0_u32, Arc::clone(&moderator)));
 

@@ -6,10 +6,10 @@
 use std::sync::Arc;
 use std::thread;
 
+use aspect_moderator::aspects::auth::Authenticator;
 use aspect_moderator::baseline::{TangledBuffer, TangledSecureBuffer};
 use aspect_moderator::core::AspectModerator;
 use aspect_moderator::ticketing::{ExtendedTicketServerProxy, Ticket, TicketServerProxy};
-use aspect_moderator::aspects::auth::Authenticator;
 
 /// Runs `producers` producer threads (each sending `per` items tagged by
 /// thread) through `put` while one consumer drains via `take`; returns

@@ -11,8 +11,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use aspect_moderator::core::{
-    Aspect, AspectModerator, Concern, InvocationContext, MethodId, Moderated, ReleaseCause,
-    Verdict,
+    Aspect, AspectModerator, Concern, InvocationContext, MethodId, Moderated, ReleaseCause, Verdict,
 };
 use proptest::prelude::*;
 
@@ -60,10 +59,7 @@ impl Aspect for Probe {
                 Verdict::Resume
             }
             Behavior::BlockThen(n) => {
-                let left = self
-                    .pending_blocks
-                    .entry(ctx.invocation())
-                    .or_insert(n);
+                let left = self.pending_blocks.entry(ctx.invocation()).or_insert(n);
                 if *left > 0 {
                     *left -= 1;
                     Verdict::Block
@@ -134,11 +130,8 @@ fn run_chain(behaviors: &[Behavior], invocations: u64, threads: u64) -> Vec<Arc<
             s.spawn(move || {
                 for _ in 0..invocations {
                     // Aborts and timeouts are both expected outcomes.
-                    let _ = proxy.invoke_timeout(
-                        &op,
-                        std::time::Duration::from_millis(50),
-                        |c| *c += 1,
-                    );
+                    let _ = proxy
+                        .invoke_timeout(&op, std::time::Duration::from_millis(50), |c| *c += 1);
                 }
             });
         }

@@ -123,7 +123,11 @@ fn without_rollback_the_pool_leaks_and_b_starves() {
 /// reservation, so the pool is immediately reusable.
 #[test]
 fn abort_releases_outer_reservation() {
-    let moderator = Arc::new(AspectModerator::builder().rollback(RollbackPolicy::Release).build());
+    let moderator = Arc::new(
+        AspectModerator::builder()
+            .rollback(RollbackPolicy::Release)
+            .build(),
+    );
     let m = moderator.declare_method(MethodId::new("m"));
     let pool = ExclusionGroup::new();
     // Inner (registered first, evaluated last): always aborts.

@@ -16,7 +16,13 @@ struct Buf {
     consuming: bool,
 }
 
-fn buffer_system(capacity: usize) -> (ModelSystem<Buf>, aspect_moderator::verify::MethodIx, aspect_moderator::verify::MethodIx) {
+fn buffer_system(
+    capacity: usize,
+) -> (
+    ModelSystem<Buf>,
+    aspect_moderator::verify::MethodIx,
+    aspect_moderator::verify::MethodIx,
+) {
     let mut sys = ModelSystem::new();
     let put = sys.method("put");
     let take = sys.method("take");
@@ -89,7 +95,10 @@ fn starved_consumer_is_detected() {
     match result.outcome {
         Outcome::Deadlock(trace) => {
             let last = trace.last().unwrap().to_string();
-            assert!(last.contains("blocked") || last.contains("post"), "{trace:?}");
+            assert!(
+                last.contains("blocked") || last.contains("post"),
+                "{trace:?}"
+            );
         }
         other => panic!("expected deadlock, got {other:?}"),
     }
@@ -214,8 +223,16 @@ fn stacked_gates_verified() {
     let mut sys = ModelSystem::new();
     let charge = sys.method("charge");
     // Inner: lease (registered first). Outer: concurrency gate.
-    sys.add_aspect(charge, "lease", aspects::counting_gate(2, |s: &mut S| &mut s.leases));
-    sys.add_aspect(charge, "limit", aspects::counting_gate(2, |s: &mut S| &mut s.running));
+    sys.add_aspect(
+        charge,
+        "lease",
+        aspects::counting_gate(2, |s: &mut S| &mut s.leases),
+    );
+    sys.add_aspect(
+        charge,
+        "limit",
+        aspects::counting_gate(2, |s: &mut S| &mut s.running),
+    );
     sys.set_body(charge, |s: &mut S| s.peak = s.peak.max(s.leases));
     let result = Checker::new(sys)
         .thread(vec![charge, charge])
@@ -241,8 +258,16 @@ fn mismatched_gates_leak_without_rollback() {
     let build = || {
         let mut sys = ModelSystem::new();
         let op = sys.method("op");
-        sys.add_aspect(op, "inner", aspects::counting_gate(1, |s: &mut S| &mut s.inner));
-        sys.add_aspect(op, "outer", aspects::counting_gate(2, |s: &mut S| &mut s.outer));
+        sys.add_aspect(
+            op,
+            "inner",
+            aspects::counting_gate(1, |s: &mut S| &mut s.inner),
+        );
+        sys.add_aspect(
+            op,
+            "outer",
+            aspects::counting_gate(2, |s: &mut S| &mut s.outer),
+        );
         (sys, op)
     };
     let quiescent = |s: &S| s.inner == 0 && s.outer == 0;
@@ -298,7 +323,9 @@ fn model_matches_real_sync_aspects() {
     let mut in_c = false;
     let mut seed = 0x2545_f491_4f6c_dd1d_u64;
     for _ in 0..500 {
-        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         match seed % 4 {
             0 if !in_p => {
                 let model_v = model_p.pre(&mut model_state);
