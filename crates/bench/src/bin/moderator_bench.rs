@@ -1,0 +1,135 @@
+//! Experiment E9 driver: global-lock vs sharded moderator throughput
+//! over two disjoint methods, written to `BENCH_moderator.json`.
+//!
+//! Three regimes are measured at 1/2/4/8 threads:
+//!
+//! - `cpu_bound`: a pure no-op chain, isolating the cost of the
+//!   coordination path itself.
+//! - `io_bound`: each precondition blocks for 200 µs of simulated I/O
+//!   (the audit-fsync / remote-auth shape) while its coordination cell
+//!   is held. The global lock serializes those waits across *all*
+//!   methods; per-method cells overlap them.
+//! - `noisy_neighbor`: the I/O-bound chains next to the service's
+//!   background coordination traffic — four callers parked on a gated
+//!   method plus a ticker whose post-activations broadcast wakeups
+//!   (the seed's default wiring). Under the global lock that churn
+//!   shares the measured methods' one lock; under sharding it stays on
+//!   the gated method's own cell.
+//!
+//! The headline `speedup_at_8_threads` comes from the noisy-neighbor
+//! regime, which is the service shape the refactor exists for.
+//!
+//! ```text
+//! cargo run -p amf-bench --release --bin moderator_bench
+//! cargo run -p amf-bench --release --bin moderator_bench -- --quick
+//! ```
+
+use std::time::Duration;
+
+use amf_bench::experiments::run_moderator_shard;
+use amf_bench::report::{fmt_ops, json_array, JsonObject, JsonValue};
+use amf_core::Coordination;
+
+const REPORT_PATH: &str = "BENCH_moderator.json";
+const ASPECT_WORK: Duration = Duration::from_micros(200);
+
+fn main() {
+    let mut quick = false;
+    let mut report = REPORT_PATH.to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" | "-q" => quick = true,
+            "--report" => match args.next() {
+                Some(path) => report = path,
+                None => {
+                    eprintln!("missing value for --report");
+                    std::process::exit(1);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: moderator_bench [--quick] [--report FILE]");
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // Untimed warmup: the very first measured run otherwise pays the
+    // process's cold-start (page faults, lazy allocator state) and
+    // skews the 1-thread row of whichever mode goes first.
+    for coordination in [Coordination::GlobalLock, Coordination::Sharded] {
+        run_moderator_shard(coordination, 2, 2_000, Duration::ZERO, false);
+    }
+
+    let mut speedup_at_8 = 0.0;
+    let mut run_regime = |label: &str, work: Duration, noisy: bool, per_thread: u64| -> JsonValue {
+        let mut rows = Vec::new();
+        for threads in [1_usize, 2, 4, 8] {
+            let global =
+                run_moderator_shard(Coordination::GlobalLock, threads, per_thread, work, noisy);
+            let sharded =
+                run_moderator_shard(Coordination::Sharded, threads, per_thread, work, noisy);
+            let speedup = sharded / global;
+            if threads == 8 && noisy {
+                speedup_at_8 = speedup;
+            }
+            println!(
+                "{label}, {threads} threads: global {} | sharded {} | speedup {speedup:.2}x",
+                fmt_ops(global),
+                fmt_ops(sharded),
+            );
+            rows.push(
+                JsonObject::new()
+                    .field("threads", threads)
+                    .field("global_lock_ops_per_sec", global)
+                    .field("sharded_ops_per_sec", sharded)
+                    .field("speedup", speedup)
+                    .build(),
+            );
+        }
+        JsonObject::new()
+            .field("aspect_work_us", work.as_micros() as u64)
+            .field("noisy_neighbor", u64::from(noisy))
+            .field("per_thread_ops", per_thread)
+            .field("rows", json_array(rows))
+            .build()
+    };
+
+    let cpu_bound = run_regime(
+        "cpu-bound",
+        Duration::ZERO,
+        false,
+        if quick { 20_000 } else { 400_000 },
+    );
+    let io_bound = run_regime(
+        "io-bound",
+        ASPECT_WORK,
+        false,
+        if quick { 100 } else { 2_000 },
+    );
+    let noisy = run_regime(
+        "noisy-neighbor",
+        ASPECT_WORK,
+        true,
+        if quick { 100 } else { 2_000 },
+    );
+
+    let json = JsonObject::new()
+        .field("benchmark", "moderator_sharding")
+        .field("methods", 2_u64)
+        .field("quick", if quick { 1_u64 } else { 0_u64 })
+        .field("cpu_bound", cpu_bound)
+        .field("io_bound", io_bound)
+        .field("noisy_neighbor", noisy)
+        .field("speedup_at_8_threads", speedup_at_8)
+        .build();
+    if let Err(e) = std::fs::write(&report, format!("{json}\n")) {
+        eprintln!("failed to write {report}: {e}");
+        std::process::exit(1);
+    }
+    println!("report: {report}");
+}

@@ -1,4 +1,4 @@
-//! Experiments E1–E8: the quantitative evaluation of `EXPERIMENTS.md`.
+//! Experiments E1–E9: the quantitative evaluation of `EXPERIMENTS.md`.
 //!
 //! Each function runs one experiment and returns its [`Table`]. Pass
 //! `quick = true` to shrink workloads (used by unit tests and smoke
@@ -15,8 +15,8 @@ use amf_aspects::sync::ExclusionGroup;
 use amf_baseline::{TangledBuffer, TangledSecureBuffer};
 use amf_concurrency::SchedulerPolicy;
 use amf_core::{
-    AspectModerator, Concern, FnAspect, InvocationContext, MethodId, Moderated, NoopAspect,
-    RollbackPolicy, Verdict, WakeMode,
+    AspectModerator, Concern, Coordination, FnAspect, InvocationContext, MethodId, Moderated,
+    NoopAspect, RollbackPolicy, Verdict, WakeMode,
 };
 use amf_ticketing::{ExtendedTicketServerProxy, Ticket, TicketServerProxy};
 
@@ -550,6 +550,201 @@ pub fn e8_adaptability(quick: bool) -> Table {
     t
 }
 
+/// Pre/post-activation cycles driven directly on the moderator — no
+/// component lock in the way — with `threads` threads split evenly over
+/// two disjoint methods. Each method carries a two-aspect chain and an
+/// empty wake set (disjoint methods never block each other), so the
+/// measurement isolates the coordination path itself.
+///
+/// `aspect_work` is blocking time spent inside each precondition while
+/// the method's coordination cell is held — the audit-fsync /
+/// remote-auth shape, where the aspect waits on something that is not
+/// the CPU. Under the global lock that wait stalls *every* method's
+/// coordination; under sharded cells it stalls only its own method, so
+/// disjoint methods' waits overlap even on a single-CPU host. Pass
+/// `Duration::ZERO` to measure the pure (CPU-bound) coordination path.
+///
+/// `noisy_neighbor` adds the service's background coordination traffic
+/// around the measured methods: four callers parked on a gated method
+/// (consumers waiting on an empty queue) and one ticker whose
+/// post-activations keep the seed's default broadcast wiring
+/// ([`WakeTargets::All`]), so every tick wakes the parked callers and
+/// each re-evaluates its I/O-guarded precondition before re-blocking.
+/// The topology is identical in both modes — only [`Coordination`]
+/// differs: the global lock serializes that churn with the measured
+/// methods, sharded cells confine it to the gated method's own cell.
+/// Returns measured activations per second (background ops excluded).
+pub fn run_moderator_shard(
+    coordination: Coordination,
+    threads: usize,
+    per_thread: u64,
+    aspect_work: Duration,
+    noisy_neighbor: bool,
+) -> f64 {
+    let moderator = Arc::new(
+        AspectModerator::builder()
+            .coordination(coordination)
+            .build(),
+    );
+    let io_aspect = move || {
+        FnAspect::new("audit-io").on_precondition(move |_| {
+            if !aspect_work.is_zero() {
+                std::thread::sleep(aspect_work);
+            }
+            Verdict::Resume
+        })
+    };
+    let a = moderator.declare_method(MethodId::new("shard_a"));
+    let b = moderator.declare_method(MethodId::new("shard_b"));
+    for m in [&a, &b] {
+        moderator
+            .register(m, Concern::new("sync"), Box::new(NoopAspect))
+            .unwrap();
+        moderator
+            .register(m, Concern::new("audit"), Box::new(io_aspect()))
+            .unwrap();
+        moderator.wire_wakes(m, &[]);
+    }
+    let gate_open = Arc::new(AtomicBool::new(false));
+    let stop = Arc::new(AtomicBool::new(false));
+    let background = noisy_neighbor.then(|| {
+        let gated = moderator.declare_method(MethodId::new("gated"));
+        let tick = moderator.declare_method(MethodId::new("tick"));
+        moderator
+            .register(&gated, Concern::new("audit"), Box::new(io_aspect()))
+            .unwrap();
+        let open = Arc::clone(&gate_open);
+        moderator
+            .register(
+                &gated,
+                Concern::new("admission"),
+                Box::new(FnAspect::new("closed-gate").on_precondition(move |_| {
+                    if open.load(Ordering::Relaxed) {
+                        Verdict::Resume
+                    } else {
+                        Verdict::Block
+                    }
+                })),
+            )
+            .unwrap();
+        moderator
+            .register(&tick, Concern::new("audit"), Box::new(io_aspect()))
+            .unwrap();
+        // `tick` keeps the default broadcast wiring: no `wire_wakes`.
+        (gated, tick)
+    });
+
+    let one_op = |m: &amf_core::MethodHandle| {
+        let mut ctx = InvocationContext::new(m.id().clone(), moderator.next_invocation());
+        moderator.preactivation(m, &mut ctx).unwrap();
+        moderator.postactivation(m, &mut ctx);
+    };
+
+    let barrier = std::sync::Barrier::new(threads);
+    let start = parking_lot::Mutex::new(None::<Instant>);
+    std::thread::scope(|s| {
+        if let Some((gated, tick)) = &background {
+            for _ in 0..4 {
+                let moderator = &moderator;
+                s.spawn(move || {
+                    let mut ctx =
+                        InvocationContext::new(gated.id().clone(), moderator.next_invocation());
+                    moderator.preactivation(gated, &mut ctx).unwrap();
+                    moderator.postactivation(gated, &mut ctx);
+                });
+            }
+            while moderator.method_stats(gated).blocks < 4 {
+                std::thread::yield_now();
+            }
+            let stop = &stop;
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    one_op(tick);
+                }
+            });
+        }
+
+        let mut joins = Vec::new();
+        for t in 0..threads {
+            let m = if t % 2 == 0 { a.clone() } else { b.clone() };
+            let moderator = &moderator;
+            let barrier = &barrier;
+            let start = &start;
+            joins.push(s.spawn(move || {
+                barrier.wait();
+                let t0 = *start.lock().get_or_insert_with(Instant::now);
+                for _ in 0..per_thread {
+                    let mut ctx =
+                        InvocationContext::new(m.id().clone(), moderator.next_invocation());
+                    moderator.preactivation(&m, &mut ctx).unwrap();
+                    moderator.postactivation(&m, &mut ctx);
+                }
+                t0.elapsed().as_secs_f64()
+            }));
+        }
+        let elapsed = joins
+            .into_iter()
+            .map(|j| j.join().unwrap())
+            .fold(0.0, f64::max);
+
+        // Unwind the background topology: open the gate, then keep
+        // ticking until every parked caller has resumed.
+        stop.store(true, Ordering::Relaxed);
+        gate_open.store(true, Ordering::Relaxed);
+        if let Some((gated, tick)) = &background {
+            while moderator.method_stats(gated).resumes < 4 {
+                one_op(tick);
+            }
+        }
+        (threads as u64 * per_thread) as f64 / elapsed
+    })
+}
+
+/// E9 — coordination sharding: per-method cells vs the retained global
+/// lock at 1/2/4/8 threads over two disjoint methods. Three regimes:
+/// a pure CPU-bound chain (`work 0`), chains whose aspects block on
+/// simulated I/O while their cell is held, and the I/O-bound chains
+/// next to noisy-neighbor background coordination traffic.
+pub fn e9_sharding(quick: bool) -> Table {
+    let mut t = Table::new(
+        "E9 — coordination sharding (two disjoint methods)",
+        &[
+            "threads",
+            "work/op",
+            "background",
+            "global lock",
+            "sharded cells",
+            "speedup",
+        ],
+    );
+    let io = Duration::from_micros(200);
+    for (work, noisy, per_thread) in [
+        (Duration::ZERO, false, scale(quick, 400_000)),
+        (io, false, scale(quick, 2_000) / 4),
+        (io, true, scale(quick, 2_000) / 4),
+    ] {
+        for threads in [1_usize, 2, 4, 8] {
+            let global =
+                run_moderator_shard(Coordination::GlobalLock, threads, per_thread, work, noisy);
+            let sharded =
+                run_moderator_shard(Coordination::Sharded, threads, per_thread, work, noisy);
+            t.row(&[
+                threads.to_string(),
+                if work.is_zero() {
+                    "0".into()
+                } else {
+                    format!("{} µs", work.as_micros())
+                },
+                if noisy { "noisy".into() } else { "idle".into() },
+                fmt_ops(global),
+                fmt_ops(sharded),
+                format!("{:.2}×", sharded / global),
+            ]);
+        }
+    }
+    t
+}
+
 /// V1 — exhaustive verification of the producer/consumer composition:
 /// states explored and verdicts across configurations, including the
 /// E7 anomaly as a machine-checked counterexample.
@@ -661,7 +856,7 @@ pub fn v1_verification(quick: bool) -> Table {
     t
 }
 
-/// Runs the named experiments ("e1".."e8", "v1" or "all") and prints
+/// Runs the named experiments ("e1".."e9", "v1" or "all") and prints
 /// their tables.
 pub fn run(names: &[String], quick: bool) {
     let wants = |n: &str| {
@@ -670,7 +865,7 @@ pub fn run(names: &[String], quick: bool) {
             || names.iter().any(|x| x.eq_ignore_ascii_case("all"))
     };
     type Runner = fn(bool) -> Table;
-    let runners: [(&str, Runner); 9] = [
+    let runners: [(&str, Runner); 10] = [
         ("e1", e1_overhead),
         ("e2", e2_throughput),
         ("e3", e3_composition),
@@ -679,6 +874,7 @@ pub fn run(names: &[String], quick: bool) {
         ("e6", e6_wakeup),
         ("e7", e7_rollback),
         ("e8", e8_adaptability),
+        ("e9", e9_sharding),
         ("v1", v1_verification),
     ];
     for (name, f) in runners {
@@ -744,5 +940,41 @@ mod tests {
     #[test]
     fn e8_produces_rows() {
         assert_eq!(e8_adaptability(true).len(), 2);
+    }
+
+    #[test]
+    fn e9_produces_rows() {
+        assert_eq!(e9_sharding(true).len(), 12);
+    }
+
+    #[test]
+    fn sharding_runner_counts_every_activation() {
+        for coordination in [Coordination::Sharded, Coordination::GlobalLock] {
+            let ops = run_moderator_shard(coordination, 4, 500, Duration::ZERO, false);
+            assert!(ops > 0.0);
+        }
+    }
+
+    #[test]
+    fn sharding_runner_respects_aspect_work() {
+        let ops = run_moderator_shard(
+            Coordination::Sharded,
+            2,
+            5,
+            Duration::from_micros(100),
+            false,
+        );
+        // 5 ops/thread at >=100 µs each cannot exceed 10 Kop/s per cell.
+        assert!(ops > 0.0 && ops < 50_000.0, "{ops}");
+    }
+
+    #[test]
+    fn sharding_runner_unwinds_noisy_neighbors() {
+        // Both modes must park 4 background callers, run the measured
+        // loop, then release every parked caller before returning.
+        for coordination in [Coordination::Sharded, Coordination::GlobalLock] {
+            let ops = run_moderator_shard(coordination, 2, 10, Duration::ZERO, true);
+            assert!(ops > 0.0);
+        }
     }
 }

@@ -231,6 +231,16 @@ impl ToJsonValue for JsonValue {
     }
 }
 
+/// Builds a JSON array from already-rendered values.
+pub fn json_array(values: impl IntoIterator<Item = JsonValue>) -> JsonValue {
+    let body = values
+        .into_iter()
+        .map(|v| v.0)
+        .collect::<Vec<_>>()
+        .join(", ");
+    JsonValue(format!("[{body}]"))
+}
+
 impl JsonObject {
     /// An empty object builder.
     pub fn new() -> Self {

@@ -9,6 +9,19 @@
 //! dense indices as they are declared, and each method row keeps its
 //! aspects in registration order (the order the moderator composes them
 //! in).
+//!
+//! Since the moderator's coordination state was sharded into per-method
+//! cells, the moderator no longer holds one bank for the whole system:
+//! each coordination cell owns a bank holding the rows it coordinates
+//! (one row per cell under [`Coordination::Sharded`], every row in the
+//! single shared cell under [`Coordination::GlobalLock`]). A method's
+//! chain is therefore guarded by its cell's lock alone, which is what
+//! lets disjoint methods evaluate their chains concurrently. The bank
+//! itself stays single-threaded and lock-free; whoever owns it provides
+//! the exclusion, exactly as the moderator's cells do.
+//!
+//! [`Coordination::Sharded`]: crate::Coordination::Sharded
+//! [`Coordination::GlobalLock`]: crate::Coordination::GlobalLock
 
 use std::collections::HashMap;
 use std::fmt;

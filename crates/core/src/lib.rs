@@ -78,7 +78,7 @@ pub use context::{InvocationContext, Outcome, Principal};
 pub use error::{AbortError, RegistrationError};
 pub use factory::{AspectFactory, ChainedFactory, RegistryFactory};
 pub use moderator::{
-    AspectModerator, MethodHandle, ModeratorBuilder, ModeratorStats, OrderingPolicy,
+    AspectModerator, Coordination, MethodHandle, ModeratorBuilder, ModeratorStats, OrderingPolicy,
     RollbackPolicy, WakeMode,
 };
 pub use proxy::{ActivationGuard, Moderated};

@@ -1,21 +1,70 @@
 //! The aspect moderator: the coordination engine of the framework.
 //!
-//! The moderator owns the [`AspectBank`] and drives the paper's protocol
-//! (Figure 11): *pre-activation* evaluates the preconditions of every
-//! aspect registered for a participating method — blocking the caller on
-//! the method's wait queue while any returns `BLOCKED`, failing the
-//! activation if any returns `ABORT` — and *post-activation* runs every
-//! aspect's postaction and notifies the wait queues of dependent methods.
+//! The moderator owns the aspect registry and drives the paper's
+//! protocol (Figure 11): *pre-activation* evaluates the preconditions of
+//! every aspect registered for a participating method — blocking the
+//! caller on the method's wait queue while any returns `BLOCKED`,
+//! failing the activation if any returns `ABORT` — and *post-activation*
+//! runs every aspect's postaction and notifies the wait queues of
+//! dependent methods.
 //!
-//! All aspect code runs under the moderator's single lock, mirroring the
-//! paper's `synchronized` moderator: aspects never need internal
-//! synchronization, and the bank is a consistent monitor.
+//! # Locking model
+//!
+//! The paper's `synchronized` moderator serializes every activation of
+//! every method behind one lock. This implementation **shards** that
+//! coordination state into per-method *cells* (see [`Coordination`]):
+//!
+//! * Each declared method owns a cell — a mutex guarding its aspect
+//!   chain and wake wiring — plus its own condition variable and a shard
+//!   of atomic counters. Activations of *different* methods coordinate
+//!   on different locks and proceed in parallel.
+//! * One method's aspect chain is never evaluated concurrently with
+//!   itself: the chain runs under the method's cell lock, so aspects
+//!   still need no internal synchronization for per-method state.
+//!   State shared *across* methods (e.g. the producer/consumer buffer
+//!   counters of `amf-aspects`) must carry its own lock, as every
+//!   aspect in this workspace already does.
+//! * Moderator-global state is lock-free: the invocation counter is an
+//!   atomic, stats are per-method atomic shards aggregated on read, and
+//!   the method-name→index registry sits behind an `RwLock` that the
+//!   hot path only ever read-locks (writes happen in `declare_method`).
+//! * **Notify discipline**: post-activation runs postactions under its
+//!   own cell, releases it, then signals each target method's condvar
+//!   *while holding that target's cell lock*. A waiter holds its cell
+//!   lock continuously from chain evaluation to parking, so a
+//!   cross-method wakeup (open→assign) can never land in the window
+//!   between "evaluated: blocked" and "parked" — it would have to wait
+//!   for the cell lock first.
+//! * **Rollback notification**: with sharding, another method's chain
+//!   may observe a reservation that a blocked or aborted chain later
+//!   rolls back (impossible under the single lock, where whole-chain
+//!   evaluation was atomic). Whenever rollback releases at least one
+//!   aspect, the moderator therefore notifies the method's wake targets
+//!   — the rollback is semantically a mini post-activation — and a
+//!   blocked caller that rolled back re-checks its chain on a short
+//!   backstop interval to close the residual race.
+//! * **Self-wake**: postactions (and rollbacks) mutate the very state a
+//!   method's *own* waiters are guarded by — the paper's `ActiveOpen ==
+//!   0` flag frees a fellow producer, not a consumer. Relying on the
+//!   *other* method's next post-activation to deliver that wakeup
+//!   deadlocks once that method has gone quiet (two producers, one
+//!   parked on the active flag, after the last consumer finished). The
+//!   moderator therefore always signals the method's own condvar after
+//!   postactions and after a rollback that released a reservation.
+//!   [`AspectModerator::wire_wakes`] restricts which *other* queues are
+//!   notified; the self-wake is uncounted and untraced.
+//!
+//! Lock ordering is `registry → at most one cell`: no code path holds a
+//! cell lock while acquiring the registry lock, and no path holds two
+//! cell locks at once, so the lock graph is acyclic by construction.
 
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering as MemOrdering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::aspect::{Aspect, ReleaseCause};
 use crate::bank::{AspectBank, MethodIndex};
@@ -25,6 +74,12 @@ use crate::error::{AbortError, RegistrationError};
 use crate::factory::AspectFactory;
 use crate::trace::{EventKind, TraceEvent, TraceSink};
 use crate::verdict::Verdict;
+
+/// How often a caller that blocked *after rolling back a reservation*
+/// re-evaluates its chain while parked. This backstop closes the
+/// sharded-moderator race where another method's chain observed the
+/// transient reservation; see the module docs ("Rollback notification").
+const ROLLBACK_RECHECK: Duration = Duration::from_millis(1);
 
 /// In what order a method's aspects compose.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -80,6 +135,20 @@ pub enum RollbackPolicy {
     None,
 }
 
+/// How coordination state is laid out across participating methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Coordination {
+    /// One coordination cell (lock + condvar + counters) per method:
+    /// activations of disjoint methods proceed in parallel (default).
+    #[default]
+    Sharded,
+    /// Every method shares a single cell, serializing all coordination
+    /// behind one lock — the paper's `synchronized` moderator. Retained
+    /// as the measured baseline for experiment E9; protocol semantics
+    /// are identical (each method still has its own wait queue).
+    GlobalLock,
+}
+
 /// Counters describing everything a moderator has done.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ModeratorStats {
@@ -91,16 +160,73 @@ pub struct ModeratorStats {
     pub blocks: u64,
     /// Times a parked caller was woken.
     pub wakeups: u64,
-    /// Notifications sent to wait queues by post-activations.
+    /// Notifications sent to wait queues by post-activations (and by
+    /// rollback notifications, see the module docs).
     pub notifications: u64,
     /// Activations aborted by an aspect.
     pub aborts: u64,
+    /// Non-blocking pre-activations that found the chain blocked and
+    /// returned `Ok(false)` instead of parking
+    /// ([`AspectModerator::try_preactivation`]).
+    pub would_blocks: u64,
     /// Activations aborted by timeout.
     pub timeouts: u64,
     /// Post-activations completed.
     pub postactivations: u64,
     /// Rollback releases delivered to earlier-resumed aspects.
     pub releases: u64,
+}
+
+/// One method's shard of the moderator counters. Plain atomics: the hot
+/// path updates them without any lock, [`AspectModerator::stats`]
+/// aggregates the shards on read.
+#[derive(Default)]
+struct StatShard {
+    preactivations: AtomicU64,
+    resumes: AtomicU64,
+    blocks: AtomicU64,
+    wakeups: AtomicU64,
+    notifications: AtomicU64,
+    aborts: AtomicU64,
+    would_blocks: AtomicU64,
+    timeouts: AtomicU64,
+    postactivations: AtomicU64,
+    releases: AtomicU64,
+}
+
+fn inc(counter: &AtomicU64) {
+    counter.fetch_add(1, MemOrdering::Relaxed);
+}
+
+impl StatShard {
+    fn snapshot(&self) -> ModeratorStats {
+        ModeratorStats {
+            preactivations: self.preactivations.load(MemOrdering::Relaxed),
+            resumes: self.resumes.load(MemOrdering::Relaxed),
+            blocks: self.blocks.load(MemOrdering::Relaxed),
+            wakeups: self.wakeups.load(MemOrdering::Relaxed),
+            notifications: self.notifications.load(MemOrdering::Relaxed),
+            aborts: self.aborts.load(MemOrdering::Relaxed),
+            would_blocks: self.would_blocks.load(MemOrdering::Relaxed),
+            timeouts: self.timeouts.load(MemOrdering::Relaxed),
+            postactivations: self.postactivations.load(MemOrdering::Relaxed),
+            releases: self.releases.load(MemOrdering::Relaxed),
+        }
+    }
+
+    fn add_into(&self, out: &mut ModeratorStats) {
+        let s = self.snapshot();
+        out.preactivations += s.preactivations;
+        out.resumes += s.resumes;
+        out.blocks += s.blocks;
+        out.wakeups += s.wakeups;
+        out.notifications += s.notifications;
+        out.aborts += s.aborts;
+        out.would_blocks += s.would_blocks;
+        out.timeouts += s.timeouts;
+        out.postactivations += s.postactivations;
+        out.releases += s.releases;
+    }
 }
 
 /// Handle to a declared participating method; obtained from
@@ -121,7 +247,7 @@ impl MethodHandle {
         &self.id
     }
 
-    /// The method's dense index in the issuing moderator's bank.
+    /// The method's dense index in the issuing moderator's registry.
     pub fn index(&self) -> MethodIndex {
         self.index
     }
@@ -133,12 +259,74 @@ impl fmt::Display for MethodHandle {
     }
 }
 
-struct Inner {
+/// The mutable coordination state of one cell: the aspect rows (an
+/// [`AspectBank`] with one row per hosted method — exactly one under
+/// [`Coordination::Sharded`]) and each hosted method's wake wiring.
+struct CellState {
     bank: AspectBank,
-    conds: Vec<Arc<Condvar>>,
+    /// Wake targets per local bank row, parallel to the bank's rows.
     wakes: Vec<WakeTargets>,
-    stats: ModeratorStats,
-    invocations: u64,
+}
+
+/// One coordination cell: the lock guarding a method's chain, wake
+/// wiring and blocked callers. Under [`Coordination::GlobalLock`] a
+/// single cell hosts every method.
+struct Cell {
+    state: Mutex<CellState>,
+}
+
+impl Cell {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(CellState {
+                bank: AspectBank::new(),
+                wakes: Vec::new(),
+            }),
+        })
+    }
+}
+
+/// Registry entry for one declared method: which cell hosts it, at which
+/// local row, plus its wait queue and stats shard.
+struct MethodEntry {
+    id: MethodId,
+    cell: Arc<Cell>,
+    /// The method's row index inside its cell's bank.
+    slot: MethodIndex,
+    cond: Arc<Condvar>,
+    stats: Arc<StatShard>,
+}
+
+/// The read-mostly method registry. Write-locked only by
+/// `declare_method`; every hot-path operation read-locks it briefly to
+/// clone the `Arc`s out and then operates on the cell alone.
+#[derive(Default)]
+struct Registry {
+    entries: Vec<MethodEntry>,
+    by_id: HashMap<MethodId, usize>,
+    /// The one shared cell under [`Coordination::GlobalLock`].
+    shared_cell: Option<Arc<Cell>>,
+}
+
+impl Registry {
+    fn check(&self, method: &MethodHandle) {
+        assert!(
+            self.entries
+                .get(method.index.as_usize())
+                .is_some_and(|e| e.id == method.id),
+            "method handle `{}` does not belong to this moderator",
+            method.id
+        );
+    }
+}
+
+/// A method's coordination handles, cloned out of the registry so the
+/// hot path drops the registry read lock before touching the cell.
+struct Resolved {
+    cell: Arc<Cell>,
+    slot: MethodIndex,
+    cond: Arc<Condvar>,
+    stats: Arc<StatShard>,
 }
 
 /// Configures and builds an [`AspectModerator`].
@@ -160,6 +348,7 @@ pub struct ModeratorBuilder {
     ordering: OrderingPolicy,
     wake_mode: WakeMode,
     rollback: RollbackPolicy,
+    coordination: Coordination,
     trace: Option<Arc<dyn TraceSink>>,
 }
 
@@ -169,6 +358,7 @@ impl fmt::Debug for ModeratorBuilder {
             .field("ordering", &self.ordering)
             .field("wake_mode", &self.wake_mode)
             .field("rollback", &self.rollback)
+            .field("coordination", &self.coordination)
             .field("trace", &self.trace.is_some())
             .finish()
     }
@@ -196,6 +386,13 @@ impl ModeratorBuilder {
         self
     }
 
+    /// Sets the coordination layout (default [`Coordination::Sharded`]).
+    #[must_use]
+    pub fn coordination(mut self, coordination: Coordination) -> Self {
+        self.coordination = coordination;
+        self
+    }
+
     /// Attaches a protocol trace sink.
     #[must_use]
     pub fn trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
@@ -206,22 +403,18 @@ impl ModeratorBuilder {
     /// Builds the moderator.
     pub fn build(self) -> AspectModerator {
         AspectModerator {
-            inner: Mutex::new(Inner {
-                bank: AspectBank::new(),
-                conds: Vec::new(),
-                wakes: Vec::new(),
-                stats: ModeratorStats::default(),
-                invocations: 0,
-            }),
+            registry: RwLock::new(Registry::default()),
+            invocations: AtomicU64::new(0),
             ordering: self.ordering,
             wake_mode: self.wake_mode,
             rollback: self.rollback,
+            coordination: self.coordination,
             trace: self.trace,
         }
     }
 }
 
-/// The coordination engine: owns the aspect bank, evaluates pre/post
+/// The coordination engine: owns the aspect registry, evaluates pre/post
 /// activation, parks and wakes callers.
 ///
 /// # Example
@@ -249,22 +442,30 @@ impl ModeratorBuilder {
 /// moderator.postactivation(&open, &mut ctx);
 /// ```
 pub struct AspectModerator {
-    inner: Mutex<Inner>,
+    registry: RwLock<Registry>,
+    invocations: AtomicU64,
     ordering: OrderingPolicy,
     wake_mode: WakeMode,
     rollback: RollbackPolicy,
+    coordination: Coordination,
     trace: Option<Arc<dyn TraceSink>>,
 }
 
 impl fmt::Debug for AspectModerator {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let inner = self.inner.lock();
+        let registry = self.registry.read();
+        let aspects: usize = registry
+            .entries
+            .iter()
+            .map(|e| e.cell.state.lock().bank.concern_count(e.slot))
+            .sum();
         f.debug_struct("AspectModerator")
-            .field("methods", &inner.bank.method_count())
-            .field("aspects", &inner.bank.aspect_count())
+            .field("methods", &registry.entries.len())
+            .field("aspects", &aspects)
             .field("ordering", &self.ordering)
             .field("wake_mode", &self.wake_mode)
             .field("rollback", &self.rollback)
+            .field("coordination", &self.coordination)
             .finish()
     }
 }
@@ -275,11 +476,19 @@ impl Default for AspectModerator {
     }
 }
 
-/// Outcome of one pass over a method's precondition chain.
+/// Outcome of one pass over a method's precondition chain. `released`
+/// counts the rollback releases the pass performed; a non-zero count
+/// obliges the caller to send a rollback notification (module docs).
 enum ChainOutcome {
     Resumed,
-    Blocked,
-    Aborted(Concern, crate::verdict::AbortReason),
+    Blocked {
+        released: usize,
+    },
+    Aborted {
+        concern: Concern,
+        reason: crate::verdict::AbortReason,
+        released: usize,
+    },
 }
 
 impl AspectModerator {
@@ -309,38 +518,81 @@ impl AspectModerator {
         }
     }
 
+    /// Clones a method's coordination handles out of the registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not belong to this moderator.
+    fn resolve(&self, method: &MethodHandle) -> Resolved {
+        let registry = self.registry.read();
+        registry.check(method);
+        let entry = &registry.entries[method.index.as_usize()];
+        Resolved {
+            cell: Arc::clone(&entry.cell),
+            slot: entry.slot,
+            cond: Arc::clone(&entry.cond),
+            stats: Arc::clone(&entry.stats),
+        }
+    }
+
     /// Declares a participating method; idempotent.
     pub fn declare_method(&self, id: MethodId) -> MethodHandle {
-        let mut inner = self.inner.lock();
-        let before = inner.bank.method_count();
-        let index = inner.bank.declare(id.clone());
-        if inner.bank.method_count() > before {
-            inner.conds.push(Arc::new(Condvar::new()));
-            inner.wakes.push(WakeTargets::All);
+        let mut registry = self.registry.write();
+        if let Some(&ix) = registry.by_id.get(&id) {
+            return MethodHandle {
+                index: MethodIndex(ix),
+                id,
+            };
         }
-        MethodHandle { index, id }
+        let cell = match self.coordination {
+            Coordination::Sharded => Cell::new(),
+            Coordination::GlobalLock => {
+                if registry.shared_cell.is_none() {
+                    registry.shared_cell = Some(Cell::new());
+                }
+                Arc::clone(registry.shared_cell.as_ref().expect("just seeded"))
+            }
+        };
+        let slot = {
+            let mut state = cell.state.lock();
+            let slot = state.bank.declare(id.clone());
+            if state.wakes.len() < state.bank.method_count() {
+                state.wakes.push(WakeTargets::All);
+            }
+            slot
+        };
+        let ix = registry.entries.len();
+        registry.by_id.insert(id.clone(), ix);
+        registry.entries.push(MethodEntry {
+            id: id.clone(),
+            cell,
+            slot,
+            cond: Arc::new(Condvar::new()),
+            stats: Arc::new(StatShard::default()),
+        });
+        MethodHandle {
+            index: MethodIndex(ix),
+            id,
+        }
     }
 
     /// Looks up the handle of an already-declared method.
     pub fn method(&self, id: &MethodId) -> Option<MethodHandle> {
-        let inner = self.inner.lock();
-        inner.bank.index_of(id).map(|index| MethodHandle {
-            index,
+        let registry = self.registry.read();
+        registry.by_id.get(id).map(|&ix| MethodHandle {
+            index: MethodIndex(ix),
             id: id.clone(),
         })
     }
 
     /// Declared method identifiers, in declaration order.
     pub fn methods(&self) -> Vec<MethodId> {
-        self.inner.lock().bank.methods().cloned().collect()
-    }
-
-    fn check(&self, inner: &Inner, method: &MethodHandle) {
-        assert!(
-            inner.bank.method_id(method.index) == &method.id,
-            "method handle `{}` does not belong to this moderator",
-            method.id
-        );
+        self.registry
+            .read()
+            .entries
+            .iter()
+            .map(|e| e.id.clone())
+            .collect()
     }
 
     /// Stores an aspect in the (method, concern) cell — the paper's
@@ -355,10 +607,11 @@ impl AspectModerator {
         concern: Concern,
         aspect: Box<dyn Aspect>,
     ) -> Result<(), RegistrationError> {
-        let mut inner = self.inner.lock();
-        self.check(&inner, method);
-        inner.bank.register(method.index, concern.clone(), aspect)?;
-        drop(inner);
+        let r = self.resolve(method);
+        {
+            let mut state = r.cell.state.lock();
+            state.bank.register(r.slot, concern.clone(), aspect)?;
+        }
         self.emit(0, &method.id, Some(concern), EventKind::AspectRegistered);
         Ok(())
     }
@@ -405,12 +658,16 @@ impl AspectModerator {
         method: &MethodHandle,
         concern: &Concern,
     ) -> Result<Box<dyn Aspect>, RegistrationError> {
-        let mut inner = self.inner.lock();
-        self.check(&inner, method);
-        let aspect = inner.bank.deregister(method.index, concern)?;
-        let cond = Arc::clone(&inner.conds[method.index.as_usize()]);
-        drop(inner);
-        cond.notify_all();
+        let r = self.resolve(method);
+        let aspect = {
+            let mut state = r.cell.state.lock();
+            let aspect = state.bank.deregister(r.slot, concern)?;
+            // Notify while holding the cell lock: a waiter either is
+            // already parked (woken now) or still holds the lock and
+            // will re-evaluate against the shortened chain anyway.
+            r.cond.notify_all();
+            aspect
+        };
         self.emit(
             0,
             &method.id,
@@ -422,35 +679,53 @@ impl AspectModerator {
 
     /// The concerns registered for a method, in registration order.
     pub fn concerns(&self, method: &MethodHandle) -> Vec<Concern> {
-        let inner = self.inner.lock();
-        self.check(&inner, method);
-        inner.bank.concerns(method.index)
+        let r = self.resolve(method);
+        let state = r.cell.state.lock();
+        state.bank.concerns(r.slot)
     }
 
     /// Restricts which wait queues `method`'s post-activation notifies
     /// (default: all queues). The paper wires `open` → `assign`'s queue
     /// and vice versa.
+    ///
+    /// The method's *own* queue is always signalled after its
+    /// postactions run, independent of this wiring (module docs:
+    /// self-wake) — wiring governs cross-method notifications only.
     pub fn wire_wakes(&self, method: &MethodHandle, targets: &[MethodHandle]) {
-        let mut inner = self.inner.lock();
-        self.check(&inner, method);
-        for t in targets {
-            self.check(&inner, t);
+        {
+            let registry = self.registry.read();
+            registry.check(method);
+            for t in targets {
+                registry.check(t);
+            }
         }
-        inner.wakes[method.index.as_usize()] =
+        let r = self.resolve(method);
+        let mut state = r.cell.state.lock();
+        state.wakes[r.slot.as_usize()] =
             WakeTargets::Wired(targets.iter().map(|t| t.index).collect());
     }
 
     /// Issues the next invocation number (used by proxies to build
     /// contexts).
     pub fn next_invocation(&self) -> u64 {
-        let mut inner = self.inner.lock();
-        inner.invocations += 1;
-        inner.invocations
+        self.invocations.fetch_add(1, MemOrdering::Relaxed) + 1
     }
 
-    /// Snapshot of the moderator's counters.
+    /// Snapshot of the moderator's counters, aggregated across every
+    /// method's shard.
     pub fn stats(&self) -> ModeratorStats {
-        self.inner.lock().stats
+        let registry = self.registry.read();
+        let mut out = ModeratorStats::default();
+        for entry in &registry.entries {
+            entry.stats.add_into(&mut out);
+        }
+        out
+    }
+
+    /// Snapshot of one method's shard of the counters. Notifications are
+    /// credited to the sending method.
+    pub fn method_stats(&self, method: &MethodHandle) -> ModeratorStats {
+        self.resolve(method).stats.snapshot()
     }
 
     /// Index of the `pos`-th aspect (of `n`) in precondition order.
@@ -472,17 +747,20 @@ impl AspectModerator {
         }
     }
 
-    /// One pass over the chain. Returns the outcome; on `Blocked` or
-    /// `Aborted`, earlier-resumed aspects have been released per policy.
+    /// One pass over the chain, under the method's cell lock. On
+    /// `Blocked` or `Aborted`, earlier-resumed aspects have been released
+    /// per policy and the release count is reported in the outcome.
     fn evaluate_chain(
         &self,
-        inner: &mut Inner,
+        state: &mut CellState,
+        slot: MethodIndex,
         method: &MethodHandle,
         ctx: &mut InvocationContext,
+        stats: &StatShard,
     ) -> ChainOutcome {
-        let n = inner.bank.concern_count(method.index);
+        let n = state.bank.concern_count(slot);
         let traced = self.trace.is_some();
-        let row = inner.bank.row_mut(method.index);
+        let row = state.bank.row_mut(slot);
         for pos in 0..n {
             let idx = self.pre_index(pos, n);
             let (concern, aspect) = &mut row.aspects[idx];
@@ -509,8 +787,9 @@ impl AspectModerator {
                             EventKind::PreconditionBlocked,
                         );
                     }
-                    self.release_prefix(row, pos, n, ctx, ReleaseCause::Blocked, &mut inner.stats);
-                    return ChainOutcome::Blocked;
+                    let released =
+                        self.release_prefix(row, pos, n, ctx, ReleaseCause::Blocked, stats);
+                    return ChainOutcome::Blocked { released };
                 }
                 Verdict::Abort(reason) => {
                     let concern = concern.clone();
@@ -522,8 +801,13 @@ impl AspectModerator {
                             EventKind::PreconditionAborted,
                         );
                     }
-                    self.release_prefix(row, pos, n, ctx, ReleaseCause::Aborted, &mut inner.stats);
-                    return ChainOutcome::Aborted(concern, reason);
+                    let released =
+                        self.release_prefix(row, pos, n, ctx, ReleaseCause::Aborted, stats);
+                    return ChainOutcome::Aborted {
+                        concern,
+                        reason,
+                        released,
+                    };
                 }
             }
         }
@@ -532,7 +816,7 @@ impl AspectModerator {
 
     /// Releases the `evaluated` already-resumed aspects (precondition
     /// positions `0..evaluated`) in reverse evaluation order — unwinding
-    /// the onion.
+    /// the onion. Returns the number of releases delivered.
     fn release_prefix(
         &self,
         row: &mut crate::bank::MethodRow,
@@ -540,16 +824,16 @@ impl AspectModerator {
         n: usize,
         ctx: &InvocationContext,
         cause: ReleaseCause,
-        stats: &mut ModeratorStats,
-    ) {
+        stats: &StatShard,
+    ) -> usize {
         if self.rollback == RollbackPolicy::None {
-            return;
+            return 0;
         }
         for pos in (0..evaluated).rev() {
             let idx = self.pre_index(pos, n);
             let (concern, aspect) = &mut row.aspects[idx];
             aspect.on_release(ctx, cause);
-            stats.releases += 1;
+            inc(&stats.releases);
             if self.trace.is_some() {
                 self.emit(
                     ctx.invocation(),
@@ -558,6 +842,72 @@ impl AspectModerator {
                     EventKind::AspectReleased,
                 );
             }
+        }
+        evaluated
+    }
+
+    /// Signals a method's *own* condvar (module docs: self-wake). The
+    /// caller must hold that method's cell lock. Deliberately neither
+    /// counted in [`ModeratorStats::notifications`] nor traced as
+    /// [`EventKind::NotificationSent`]: `wire_wakes` semantics (and the
+    /// tests pinning them) describe cross-method notifications only.
+    fn wake_self(&self, cond: &Condvar) {
+        match self.wake_mode {
+            WakeMode::NotifyAll => {
+                cond.notify_all();
+            }
+            WakeMode::NotifyOne => {
+                cond.notify_one();
+            }
+        }
+    }
+
+    /// Notifies the wait queues named by `targets`, signalling each
+    /// target's condvar **while holding that target's cell lock** — the
+    /// discipline that makes cross-method wakeups race-free (module
+    /// docs). The caller must not hold any cell lock.
+    fn notify_targets(
+        &self,
+        targets: &WakeTargets,
+        stats: &StatShard,
+        invocation: u64,
+        source: &MethodId,
+    ) {
+        let resolved: Vec<(Arc<Cell>, Arc<Condvar>, MethodId)> = {
+            let registry = self.registry.read();
+            let pick = |e: &MethodEntry| (Arc::clone(&e.cell), Arc::clone(&e.cond), e.id.clone());
+            match targets {
+                WakeTargets::All => registry.entries.iter().map(pick).collect(),
+                WakeTargets::Wired(t) => t
+                    .iter()
+                    .map(|ix| pick(&registry.entries[ix.as_usize()]))
+                    .collect(),
+            }
+        };
+        for (cell, cond, target_id) in resolved {
+            {
+                let _state = cell.state.lock();
+                match self.wake_mode {
+                    WakeMode::NotifyAll => {
+                        cond.notify_all();
+                    }
+                    WakeMode::NotifyOne => {
+                        cond.notify_one();
+                    }
+                }
+                // Emit while still holding the target cell: the woken
+                // waiter cannot log `WaitWoken` until it reacquires the
+                // lock, keeping notify→woken ordered in the trace.
+                if self.trace.is_some() {
+                    self.emit(
+                        invocation,
+                        source,
+                        None,
+                        EventKind::NotificationSent(target_id),
+                    );
+                }
+            }
+            inc(&stats.notifications);
         }
     }
 
@@ -597,19 +947,19 @@ impl AspectModerator {
         ctx: &mut InvocationContext,
         deadline: Option<Instant>,
     ) -> Result<(), AbortError> {
-        let mut inner = self.inner.lock();
-        self.check(&inner, method);
-        inner.stats.preactivations += 1;
+        let r = self.resolve(method);
+        inc(&r.stats.preactivations);
         self.emit(
             ctx.invocation(),
             &method.id,
             None,
             EventKind::PreactivationStarted,
         );
+        let mut state = r.cell.state.lock();
         loop {
-            match self.evaluate_chain(&mut inner, method, ctx) {
+            match self.evaluate_chain(&mut state, r.slot, method, ctx, &r.stats) {
                 ChainOutcome::Resumed => {
-                    inner.stats.resumes += 1;
+                    inc(&r.stats.resumes);
                     self.emit(
                         ctx.invocation(),
                         &method.id,
@@ -618,31 +968,63 @@ impl AspectModerator {
                     );
                     return Ok(());
                 }
-                ChainOutcome::Aborted(concern, reason) => {
-                    inner.stats.aborts += 1;
+                ChainOutcome::Aborted {
+                    concern,
+                    reason,
+                    released,
+                } => {
+                    inc(&r.stats.aborts);
                     self.emit(
                         ctx.invocation(),
                         &method.id,
                         None,
                         EventKind::ActivationAborted,
                     );
+                    let plan = (released > 0).then(|| state.wakes[r.slot.as_usize()].clone());
+                    if plan.is_some() {
+                        self.wake_self(&r.cond);
+                    }
+                    drop(state);
+                    if let Some(targets) = plan {
+                        self.notify_targets(&targets, &r.stats, ctx.invocation(), &method.id);
+                    }
                     return Err(AbortError::Aspect {
                         method: method.id.clone(),
                         concern,
                         reason,
                     });
                 }
-                ChainOutcome::Blocked => {
-                    inner.stats.blocks += 1;
+                ChainOutcome::Blocked { released } => {
+                    inc(&r.stats.blocks);
                     self.emit(ctx.invocation(), &method.id, None, EventKind::WaitStarted);
-                    let cond = Arc::clone(&inner.conds[method.index.as_usize()]);
-                    match deadline {
-                        Some(deadline) => {
-                            if cond.wait_until(&mut inner, deadline).timed_out() {
-                                inner.stats.timeouts += 1;
+                    let mut backstop = None;
+                    if released > 0 {
+                        // Rollback notification: another method's chain
+                        // may have blocked against the reservation this
+                        // pass just rolled back. Wake our targets, then
+                        // park with a short recheck backstop to close
+                        // the unlocked window (module docs).
+                        let targets = state.wakes[r.slot.as_usize()].clone();
+                        self.wake_self(&r.cond);
+                        drop(state);
+                        self.notify_targets(&targets, &r.stats, ctx.invocation(), &method.id);
+                        state = r.cell.state.lock();
+                        backstop = Some(Instant::now() + ROLLBACK_RECHECK);
+                    }
+                    let wait_until = match (deadline, backstop) {
+                        (Some(d), Some(b)) => Some(d.min(b)),
+                        (Some(d), None) => Some(d),
+                        (None, b) => b,
+                    };
+                    match wait_until {
+                        None => r.cond.wait(&mut state),
+                        Some(until) => {
+                            let timed_out = r.cond.wait_until(&mut state, until).timed_out();
+                            if timed_out && deadline.is_some_and(|d| Instant::now() >= d) {
+                                inc(&r.stats.timeouts);
                                 // Let enrollment-style aspects (admission
                                 // queues) forget this invocation.
-                                let row = inner.bank.row_mut(method.index);
+                                let row = state.bank.row_mut(r.slot);
                                 for (_, aspect) in row.aspects.iter_mut() {
                                     aspect.on_cancel(ctx);
                                 }
@@ -657,9 +1039,8 @@ impl AspectModerator {
                                 });
                             }
                         }
-                        None => cond.wait(&mut inner),
                     }
-                    inner.stats.wakeups += 1;
+                    inc(&r.stats.wakeups);
                     self.emit(ctx.invocation(), &method.id, None, EventKind::WaitWoken);
                 }
             }
@@ -679,18 +1060,19 @@ impl AspectModerator {
         method: &MethodHandle,
         ctx: &mut InvocationContext,
     ) -> Result<bool, AbortError> {
-        let mut inner = self.inner.lock();
-        self.check(&inner, method);
-        inner.stats.preactivations += 1;
+        let r = self.resolve(method);
+        inc(&r.stats.preactivations);
         self.emit(
             ctx.invocation(),
             &method.id,
             None,
             EventKind::PreactivationStarted,
         );
-        match self.evaluate_chain(&mut inner, method, ctx) {
+        let state = r.cell.state.lock();
+        let mut state = state;
+        match self.evaluate_chain(&mut state, r.slot, method, ctx, &r.stats) {
             ChainOutcome::Resumed => {
-                inner.stats.resumes += 1;
+                inc(&r.stats.resumes);
                 self.emit(
                     ctx.invocation(),
                     &method.id,
@@ -699,26 +1081,47 @@ impl AspectModerator {
                 );
                 Ok(true)
             }
-            ChainOutcome::Blocked => {
-                // Would block: the chain already rolled back; count the
-                // attempt as aborted-by-caller.
-                inner.stats.aborts += 1;
+            ChainOutcome::Blocked { released } => {
+                // Would block: the chain already rolled back. Counted as
+                // a would-block, not an abort — the caller chose not to
+                // park; no aspect vetoed anything.
+                inc(&r.stats.would_blocks);
                 self.emit(
                     ctx.invocation(),
                     &method.id,
                     None,
                     EventKind::ActivationAborted,
                 );
+                let plan = (released > 0).then(|| state.wakes[r.slot.as_usize()].clone());
+                if plan.is_some() {
+                    self.wake_self(&r.cond);
+                }
+                drop(state);
+                if let Some(targets) = plan {
+                    self.notify_targets(&targets, &r.stats, ctx.invocation(), &method.id);
+                }
                 Ok(false)
             }
-            ChainOutcome::Aborted(concern, reason) => {
-                inner.stats.aborts += 1;
+            ChainOutcome::Aborted {
+                concern,
+                reason,
+                released,
+            } => {
+                inc(&r.stats.aborts);
                 self.emit(
                     ctx.invocation(),
                     &method.id,
                     None,
                     EventKind::ActivationAborted,
                 );
+                let plan = (released > 0).then(|| state.wakes[r.slot.as_usize()].clone());
+                if plan.is_some() {
+                    self.wake_self(&r.cond);
+                }
+                drop(state);
+                if let Some(targets) = plan {
+                    self.notify_targets(&targets, &r.stats, ctx.invocation(), &method.id);
+                }
                 Err(AbortError::Aspect {
                     method: method.id.clone(),
                     concern,
@@ -729,21 +1132,22 @@ impl AspectModerator {
     }
 
     /// Runs the post-activation phase: every aspect's postaction (in
-    /// reverse precondition order), then notifies the wait queues wired
-    /// for this method.
+    /// reverse precondition order) under the method's cell lock, then —
+    /// after releasing it — notifies the wait queues wired for this
+    /// method under the notify-while-locking-target discipline.
     pub fn postactivation(&self, method: &MethodHandle, ctx: &mut InvocationContext) {
-        let mut inner = self.inner.lock();
-        self.check(&inner, method);
+        let r = self.resolve(method);
         self.emit(
             ctx.invocation(),
             &method.id,
             None,
             EventKind::PostactivationStarted,
         );
-        let n = inner.bank.concern_count(method.index);
-        let traced = self.trace.is_some();
-        {
-            let row = inner.bank.row_mut(method.index);
+        let targets = {
+            let mut state = r.cell.state.lock();
+            let n = state.bank.concern_count(r.slot);
+            let traced = self.trace.is_some();
+            let row = state.bank.row_mut(r.slot);
             for pos in 0..n {
                 let idx = self.post_index(pos, n);
                 let (concern, aspect) = &mut row.aspects[idx];
@@ -758,44 +1162,14 @@ impl AspectModerator {
                     );
                 }
             }
-        }
-        inner.stats.postactivations += 1;
-        let wired: Option<Vec<MethodIndex>> = match &inner.wakes[method.index.as_usize()] {
-            WakeTargets::All => None,
-            WakeTargets::Wired(t) => Some(t.clone()),
+            inc(&r.stats.postactivations);
+            // Postactions may have freed what this method's own waiters
+            // block on (active flags, slots): wake them too (module
+            // docs: self-wake). `wire_wakes` only governs other queues.
+            self.wake_self(&r.cond);
+            state.wakes[r.slot.as_usize()].clone()
         };
-        let notify = |inner: &mut Inner, t: MethodIndex| {
-            match self.wake_mode {
-                WakeMode::NotifyAll => {
-                    inner.conds[t.as_usize()].notify_all();
-                }
-                WakeMode::NotifyOne => {
-                    inner.conds[t.as_usize()].notify_one();
-                }
-            }
-            inner.stats.notifications += 1;
-            if traced {
-                let target_id = inner.bank.method_id(t).clone();
-                self.emit(
-                    ctx.invocation(),
-                    &method.id,
-                    None,
-                    EventKind::NotificationSent(target_id),
-                );
-            }
-        };
-        match wired {
-            None => {
-                for t in 0..inner.bank.method_count() {
-                    notify(&mut inner, MethodIndex(t));
-                }
-            }
-            Some(targets) => {
-                for t in targets {
-                    notify(&mut inner, t);
-                }
-            }
-        }
+        self.notify_targets(&targets, &r.stats, ctx.invocation(), &method.id);
     }
 
     /// Emits the `MethodInvoked` trace event (Figure 3's `open(ticket)`
@@ -806,7 +1180,7 @@ impl AspectModerator {
     }
 
     /// Runs `f` with mutable access to the aspect registered under
-    /// (method, concern), under the moderator's lock. Administrative
+    /// (method, concern), under the method's cell lock. Administrative
     /// escape hatch for inspecting or adjusting aspect state.
     ///
     /// # Errors
@@ -818,9 +1192,9 @@ impl AspectModerator {
         concern: &Concern,
         f: impl FnOnce(&mut dyn Aspect) -> R,
     ) -> Result<R, RegistrationError> {
-        let mut inner = self.inner.lock();
-        self.check(&inner, method);
-        match inner.bank.aspect_mut(method.index, concern) {
+        let r = self.resolve(method);
+        let mut state = r.cell.state.lock();
+        match state.bank.aspect_mut(r.slot, concern) {
             Some(aspect) => Ok(f(aspect)),
             None => Err(RegistrationError::UnknownConcern {
                 method: method.id.clone(),

@@ -17,6 +17,12 @@
 //! later run *first* on entry, so the activation sequence is
 //! metrics → auth → throttle → quota → sync → method — authentication
 //! attaches the principal before the quota aspect bills it.
+//!
+//! Dispatch is genuinely parallel across methods: the moderator keeps a
+//! coordination cell per method, so worker threads serving `open` never
+//! contend with workers serving `assign` on a shared moderator lock —
+//! they meet only where the protocol demands it (the buffer-sync aspect
+//! pair and cross-method wakeups).
 
 use std::io::{self, BufReader, BufWriter};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};

@@ -33,6 +33,25 @@ pub enum Step {
         /// The completing method.
         method: String,
     },
+    /// Sharded mode: a thread rolled back its earlier-resumed aspects
+    /// as a separate step (the reservations were visible to other
+    /// threads in between), then parked or completed aborted.
+    Unwind {
+        /// Which thread stepped.
+        thread: usize,
+        /// The method whose chain is unwinding.
+        method: String,
+        /// `"parked"` or `"aborted"`.
+        result: &'static str,
+    },
+    /// Racy-park mode: a thread that had decided to block actually
+    /// parked (the window in which it misses notifications closes).
+    Park {
+        /// Which thread stepped.
+        thread: usize,
+        /// The method it parks on.
+        method: String,
+    },
 }
 
 impl fmt::Display for Step {
@@ -45,6 +64,12 @@ impl fmt::Display for Step {
             } => write!(f, "t{thread}: chain({method}) -> {result}"),
             Step::Body { thread, method } => write!(f, "t{thread}: body({method})"),
             Step::Post { thread, method } => write!(f, "t{thread}: post({method})"),
+            Step::Unwind {
+                thread,
+                method,
+                result,
+            } => write!(f, "t{thread}: unwind({method}) -> {result}"),
+            Step::Park { thread, method } => write!(f, "t{thread}: park({method})"),
         }
     }
 }
@@ -87,6 +112,18 @@ enum Phase {
     Body(usize),
     /// Body ran; about to run post-activation.
     Post(usize),
+    /// Sharded mode: the chain decided to block (`then_block`) or abort
+    /// with `evaluated` earlier aspects still holding reservations; the
+    /// rollback happens in a later, separate step, so other threads can
+    /// observe the transient reservations in between.
+    Unwind {
+        method: usize,
+        evaluated: usize,
+        then_block: bool,
+    },
+    /// Racy-park mode: decided to block but not yet parked —
+    /// notifications sent in this window are missed.
+    WillBlock(usize),
     /// Script finished.
     Done,
 }
@@ -113,6 +150,9 @@ pub struct Checker<S> {
     final_invariant: Option<InvariantFn<S>>,
     max_states: usize,
     notify_one: bool,
+    sharded: bool,
+    rollback_notify: bool,
+    racy_park: bool,
 }
 
 impl<S> fmt::Debug for Checker<S> {
@@ -122,6 +162,9 @@ impl<S> fmt::Debug for Checker<S> {
             .field("threads", &self.scripts.len())
             .field("max_states", &self.max_states)
             .field("notify_one", &self.notify_one)
+            .field("sharded", &self.sharded)
+            .field("rollback_notify", &self.rollback_notify)
+            .field("racy_park", &self.racy_park)
             .finish()
     }
 }
@@ -136,6 +179,9 @@ impl<S: Clone + Eq + Hash> Checker<S> {
             final_invariant: None,
             max_states: 1_000_000,
             notify_one: false,
+            sharded: false,
+            rollback_notify: true,
+            racy_park: false,
         }
     }
 
@@ -189,6 +235,42 @@ impl<S: Clone + Eq + Hash> Checker<S> {
         self
     }
 
+    /// Models the *sharded* moderator (per-method coordination cells):
+    /// when a chain blocks or aborts after earlier aspects reserved,
+    /// the rollback becomes its own atomic step, so other threads can
+    /// observe the transient reservations — exactly the window the
+    /// single global lock used to close. The rollback step also sends a
+    /// rollback notification to the method's wake targets, mirroring
+    /// the implementation (disable with
+    /// [`Checker::without_rollback_notify`] to see why it is needed).
+    #[must_use]
+    pub fn sharded(mut self) -> Self {
+        self.sharded = true;
+        self
+    }
+
+    /// Ablation for [`Checker::sharded`]: rollbacks release their
+    /// reservations silently, without notifying the method's wake
+    /// targets. The checker exhibits the resulting lost wakeup: a
+    /// thread that blocked against a transient reservation is never
+    /// woken once the reservation is rolled back.
+    #[must_use]
+    pub fn without_rollback_notify(mut self) -> Self {
+        self.rollback_notify = false;
+        self
+    }
+
+    /// Ablation of the notify-while-locking-target discipline: a thread
+    /// that decided to block parks in a *separate* step, and
+    /// notifications sent in between are missed (they wake only already
+    /// parked threads). Models an implementation that signals a
+    /// target's condvar without holding that target's cell lock.
+    #[must_use]
+    pub fn racy_park(mut self) -> Self {
+        self.racy_park = true;
+        self
+    }
+
     fn phase_for(&self, thread: usize, pc: usize) -> Phase {
         if pc >= self.scripts[thread].len() {
             Phase::Done
@@ -197,9 +279,20 @@ impl<S: Clone + Eq + Hash> Checker<S> {
         }
     }
 
+    /// The phase a blocking thread enters: parked directly, or — in
+    /// racy-park mode — an intermediate "decided but not yet parked"
+    /// phase in which notifications are missed.
+    fn park_phase(&self, method: usize) -> Phase {
+        if self.racy_park {
+            Phase::WillBlock(method)
+        } else {
+            Phase::Blocked(method)
+        }
+    }
+
     /// Evaluates the chain of `method` atomically; returns the
-    /// successor phase ("resumed"/"blocked"/"aborted" label, new phase,
-    /// pc increment).
+    /// ("resumed"/"blocked"/"aborted") label and the successor phase
+    /// (`None` = the op completes aborted).
     fn chain_step(&self, method: usize, shared: &mut S) -> (&'static str, Option<Phase>) {
         let chain = &self.system.methods[method].chain;
         let n = chain.len();
@@ -208,15 +301,37 @@ impl<S: Clone + Eq + Hash> Checker<S> {
             match chain[idx].1.pre(shared) {
                 ModelVerdict::Resume => {}
                 ModelVerdict::Block => {
+                    if self.sharded && self.system.rollback && pos > 0 {
+                        // Sharded: the rollback is a later, separate
+                        // step — the reservations stay visible.
+                        return (
+                            "blocked",
+                            Some(Phase::Unwind {
+                                method,
+                                evaluated: pos,
+                                then_block: true,
+                            }),
+                        );
+                    }
                     if self.system.rollback {
                         for rpos in (0..pos).rev() {
                             let ridx = n - 1 - rpos;
                             chain[ridx].1.release(shared);
                         }
                     }
-                    return ("blocked", Some(Phase::Blocked(method)));
+                    return ("blocked", Some(self.park_phase(method)));
                 }
                 ModelVerdict::Abort => {
+                    if self.sharded && self.system.rollback && pos > 0 {
+                        return (
+                            "aborted",
+                            Some(Phase::Unwind {
+                                method,
+                                evaluated: pos,
+                                then_block: false,
+                            }),
+                        );
+                    }
                     if self.system.rollback {
                         for rpos in (0..pos).rev() {
                             let ridx = n - 1 - rpos;
@@ -230,16 +345,76 @@ impl<S: Clone + Eq + Hash> Checker<S> {
         ("resumed", Some(Phase::Body(method)))
     }
 
-    /// Applies postactions and computes the set of notified methods.
+    /// The methods whose queues `method` notifies.
+    fn wake_set(&self, method: usize) -> Vec<usize> {
+        match &self.system.methods[method].wakes {
+            WakeSet::All => (0..self.system.method_count()).collect(),
+            WakeSet::Wired(t) => t.iter().map(|ix| ix.0).collect(),
+        }
+    }
+
+    /// Applies postactions and computes the set of notified methods:
+    /// the wake wiring plus the method itself (self-wake — postactions
+    /// mutate the state the method's own waiters are guarded by, so
+    /// they must re-evaluate regardless of wiring).
     fn post_step(&self, method: usize, shared: &mut S) -> Vec<usize> {
         let m = &self.system.methods[method];
         for (_, aspect) in &m.chain {
             // post order = registration order under nesting
             aspect.post(shared);
         }
-        match &m.wakes {
-            WakeSet::All => (0..self.system.method_count()).collect(),
-            WakeSet::Wired(t) => t.iter().map(|ix| ix.0).collect(),
+        let mut notified = self.wake_set(method);
+        if !notified.contains(&method) {
+            notified.push(method);
+        }
+        notified
+    }
+
+    /// Wakes waiters on the `notified` queues. Notify-all readies every
+    /// parked waiter; notify-one branches over which single waiter each
+    /// queue wakes. Threads in `WillBlock` (racy-park mode) are missed
+    /// by design.
+    fn apply_notifications(&self, w: World<S>, notified: &[usize]) -> Vec<World<S>> {
+        if self.notify_one {
+            // Branch over which single waiter each target queue wakes
+            // (Java notify()).
+            let mut worlds = vec![w];
+            for &target in notified {
+                let mut next = Vec::new();
+                for base in worlds {
+                    let waiters: Vec<usize> = base
+                        .threads
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, (_, p))| *p == Phase::Blocked(target))
+                        .map(|(t, _)| t)
+                        .collect();
+                    if waiters.is_empty() {
+                        next.push(base);
+                    } else {
+                        for waiter in waiters {
+                            let mut b = base.clone();
+                            let wpc = b.threads[waiter].0;
+                            b.threads[waiter] = (wpc, Phase::Ready);
+                            next.push(b);
+                        }
+                    }
+                }
+                worlds = next;
+            }
+            worlds
+        } else {
+            // Notify-all: every waiter on a notified queue becomes
+            // ready to re-evaluate.
+            let mut w = w;
+            for t in 0..w.threads.len() {
+                if let (tpc, Phase::Blocked(m)) = w.threads[t].clone() {
+                    if notified.contains(&m) {
+                        w.threads[t] = (tpc, Phase::Ready);
+                    }
+                }
+            }
+            vec![w]
         }
     }
 
@@ -292,46 +467,65 @@ impl<S: Clone + Eq + Hash> Checker<S> {
                     thread,
                     method: self.system.methods[method].name.clone(),
                 };
-                if self.notify_one {
-                    // Branch over which single waiter each target queue
-                    // wakes (Java notify()).
-                    let mut worlds = vec![w];
-                    for &target in &notified {
-                        let mut next = Vec::new();
-                        for base in worlds {
-                            let waiters: Vec<usize> = base
-                                .threads
-                                .iter()
-                                .enumerate()
-                                .filter(|(_, (_, p))| *p == Phase::Blocked(target))
-                                .map(|(t, _)| t)
-                                .collect();
-                            if waiters.is_empty() {
-                                next.push(base);
-                            } else {
-                                for waiter in waiters {
-                                    let mut b = base.clone();
-                                    let wpc = b.threads[waiter].0;
-                                    b.threads[waiter] = (wpc, Phase::Ready);
-                                    next.push(b);
-                                }
-                            }
-                        }
-                        worlds = next;
-                    }
-                    worlds.into_iter().map(|w| (step.clone(), w)).collect()
-                } else {
-                    // Notify-all: every waiter on a notified queue
-                    // becomes ready to re-evaluate.
-                    for t in 0..w.threads.len() {
-                        if let (tpc, Phase::Blocked(m)) = w.threads[t].clone() {
-                            if notified.contains(&m) {
-                                w.threads[t] = (tpc, Phase::Ready);
-                            }
-                        }
-                    }
-                    vec![(step, w)]
+                self.apply_notifications(w, &notified)
+                    .into_iter()
+                    .map(|w| (step.clone(), w))
+                    .collect()
+            }
+            Phase::Unwind {
+                method,
+                evaluated,
+                then_block,
+            } => {
+                let mut w = world.clone();
+                let chain = &self.system.methods[method].chain;
+                let n = chain.len();
+                for rpos in (0..evaluated).rev() {
+                    let ridx = n - 1 - rpos;
+                    chain[ridx].1.release(&mut w.shared);
                 }
+                let step = Step::Unwind {
+                    thread,
+                    method: self.system.methods[method].name.clone(),
+                    result: if then_block { "parked" } else { "aborted" },
+                };
+                // Rollback notification (unless ablated). Sent before
+                // this thread parks, like the implementation, so it
+                // cannot wake itself. Includes the method's own queue
+                // (self-wake): the released reservation may be what a
+                // same-method peer blocks on.
+                let worlds = if self.rollback_notify {
+                    let mut notified = self.wake_set(method);
+                    if !notified.contains(&method) {
+                        notified.push(method);
+                    }
+                    self.apply_notifications(w, &notified)
+                } else {
+                    vec![w]
+                };
+                worlds
+                    .into_iter()
+                    .map(|mut w| {
+                        if then_block {
+                            w.threads[thread] = (pc, self.park_phase(method));
+                        } else {
+                            let npc = pc + 1;
+                            w.threads[thread] = (npc, self.phase_for(thread, npc));
+                        }
+                        (step.clone(), w)
+                    })
+                    .collect()
+            }
+            Phase::WillBlock(method) => {
+                let mut w = world.clone();
+                w.threads[thread] = (pc, Phase::Blocked(method));
+                vec![(
+                    Step::Park {
+                        thread,
+                        method: self.system.methods[method].name.clone(),
+                    },
+                    w,
+                )]
             }
         }
     }

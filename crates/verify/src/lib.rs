@@ -17,12 +17,22 @@
 //! * termination of every script.
 //!
 //! The protocol model matches `amf-core`'s moderator: preconditions of
-//! one activation evaluate atomically under the moderator lock
-//! (newest-first, the `Nested` policy), `Block` parks the thread on the
-//! method's queue, post-activations run postactions (oldest-first) and
-//! notify a wake set, and the rollback policy decides whether
+//! one activation evaluate atomically under the method's coordination
+//! cell (newest-first, the `Nested` policy), `Block` parks the thread on
+//! the method's queue, post-activations run postactions (oldest-first)
+//! and notify a wake set, and the rollback policy decides whether
 //! earlier-resumed aspects are released when a later one blocks or
 //! aborts.
+//!
+//! Since the moderator was sharded into per-method cells, the checker
+//! also models the finer atomicity of that protocol and its failure
+//! ablations ([`Checker::sharded`]): a blocked-after-releasing chain
+//! unwinds as its own atomic step, sends the rollback notification
+//! before parking ([`Checker::without_rollback_notify`] ablates it), and
+//! parks-while-holding-its-cell ([`Checker::racy_park`] ablates that,
+//! exhibiting the classic lost-wakeup deadlock the notify-while-locking
+//! discipline prevents). See `tests/sharded.rs` for both ablations as
+//! machine-checked counterexamples.
 //!
 //! # Example: proving the composition anomaly
 //!

@@ -1,0 +1,226 @@
+//! Model-checking the *sharded* moderator (per-method coordination
+//! cells): under sharding a chain's rollback is no longer atomic with
+//! its evaluation as seen from other methods, so another method can
+//! block against a transient reservation that is later rolled back —
+//! the E7 anomaly. These tests verify the two disciplines the
+//! implementation relies on:
+//!
+//! * **Rollback notification**: a rollback that released reservations
+//!   notifies the method's wake targets (ablate with
+//!   `without_rollback_notify` → the checker exhibits the lost wakeup).
+//! * **Notify-while-locking-target**: a blocking thread parks
+//!   atomically with its decision (ablate with `racy_park` → the
+//!   checker exhibits the missed-notification deadlock).
+
+use amf_verify::{aspects, Checker, ModelSystem, Outcome};
+
+#[derive(Clone, PartialEq, Eq, Hash, Default, Debug)]
+struct Buf {
+    reserved: usize,
+    produced: usize,
+    producing: bool,
+    consuming: bool,
+}
+
+fn buffer(
+    sys: &mut ModelSystem<Buf>,
+    capacity: usize,
+) -> (amf_verify::MethodIx, amf_verify::MethodIx) {
+    let put = sys.method("put");
+    let take = sys.method("take");
+    sys.add_aspect(
+        put,
+        "sync",
+        aspects::buffer_producer(
+            capacity,
+            |s: &mut Buf| &mut s.reserved,
+            |s: &mut Buf| &mut s.produced,
+            |s: &mut Buf| &mut s.producing,
+        ),
+    );
+    sys.add_aspect(
+        take,
+        "sync",
+        aspects::buffer_consumer(
+            |s: &mut Buf| &mut s.reserved,
+            |s: &mut Buf| &mut s.produced,
+            |s: &mut Buf| &mut s.consuming,
+        ),
+    );
+    (put, take)
+}
+
+/// The E7 shape, modeled: method `a` reserves the capacity-1 pool and
+/// then blocks on a gate; method `b` wants the same pool, and its body
+/// opens the gate. Under nested ordering (newest-first) `a`'s chain is
+/// registered gate-first so it *reserves, then blocks*.
+#[derive(Clone, PartialEq, Eq, Hash, Default, Debug)]
+struct Pool {
+    busy: bool,
+    gate: bool,
+}
+
+fn gated_system() -> (
+    ModelSystem<Pool>,
+    amf_verify::MethodIx,
+    amf_verify::MethodIx,
+) {
+    let mut sys = ModelSystem::new();
+    let a = sys.method("a");
+    let b = sys.method("b");
+    let pool = || {
+        aspects::reserve(
+            |s: &Pool| !s.busy,
+            |s: &mut Pool| s.busy = true,
+            |s: &mut Pool| s.busy = false,
+        )
+    };
+    // Registered gate-first so evaluation (newest-first) reserves the
+    // pool and then hits the closed gate.
+    sys.add_aspect(a, "gate", aspects::guard(|s: &Pool| s.gate));
+    sys.add_aspect(a, "pool", pool());
+    sys.add_aspect(b, "pool", pool());
+    sys.set_body(b, |s: &mut Pool| s.gate = true);
+    (sys, a, b)
+}
+
+/// The paper's producer/consumer wiring stays live when the rollback
+/// becomes a separately-observable step (the sharded moderator).
+#[test]
+fn sharded_paper_wiring_is_live() {
+    let mut sys = ModelSystem::new();
+    let (put, take) = buffer(&mut sys, 1);
+    sys.wire_wakes(put, vec![take]);
+    sys.wire_wakes(take, vec![put]);
+    let result = Checker::new(sys)
+        .sharded()
+        .thread(vec![put, put, put])
+        .thread(vec![take, take, take])
+        .run(Buf::default());
+    assert_eq!(result.outcome, Outcome::Ok);
+}
+
+/// The sharded protocol with rollback notifications passes the E7
+/// shape: `b` blocks against `a`'s transient reservation, `a`'s
+/// rollback wakes it, and every interleaving terminates with no leaked
+/// reservation.
+#[test]
+fn rollback_notification_closes_the_transient_reservation_race() {
+    let (sys, a, b) = gated_system();
+    let result = Checker::new(sys)
+        .sharded()
+        .thread(vec![a])
+        .thread(vec![b])
+        .final_invariant(|s: &Pool| !s.busy)
+        .run(Pool::default());
+    assert_eq!(result.outcome, Outcome::Ok);
+    // The transient-reservation interleaving is actually explored:
+    // sharded mode visits strictly more states than the atomic model.
+    let atomic = {
+        let (sys, a, b) = gated_system();
+        Checker::new(sys)
+            .thread(vec![a])
+            .thread(vec![b])
+            .run(Pool::default())
+    };
+    assert_eq!(atomic.outcome, Outcome::Ok);
+    assert!(result.states > atomic.states);
+}
+
+/// Ablation: silent rollback (no notification) loses the wakeup `b`
+/// needs — the checker exhibits the deadlock, proving the rollback
+/// notification is necessary, not defensive.
+#[test]
+fn silent_rollback_loses_wakeups() {
+    let (sys, a, b) = gated_system();
+    let result = Checker::new(sys)
+        .sharded()
+        .without_rollback_notify()
+        .thread(vec![a])
+        .thread(vec![b])
+        .run(Pool::default());
+    match result.outcome {
+        Outcome::Deadlock(trace) => {
+            let rendered: Vec<String> = trace.iter().map(ToString::to_string).collect();
+            // `b` blocked against the transient reservation...
+            assert!(
+                rendered.iter().any(|s| s.contains("chain(b) -> blocked")),
+                "{rendered:?}"
+            );
+            // ...and `a` rolled back without waking it.
+            assert!(
+                rendered.iter().any(|s| s.contains("unwind(a) -> parked")),
+                "{rendered:?}"
+            );
+        }
+        other => panic!("expected lost-wakeup deadlock, got {other:?}"),
+    }
+}
+
+/// Ablation of the notify-while-locking-target discipline: if a thread
+/// parks in a separate step from its decision to block, a notification
+/// sent in the window is missed and the checker finds the deadlock.
+#[test]
+fn racy_park_loses_wakeups() {
+    let mut sys = ModelSystem::new();
+    let (put, take) = buffer(&mut sys, 1);
+    sys.wire_wakes(put, vec![take]);
+    sys.wire_wakes(take, vec![put]);
+    let result = Checker::new(sys)
+        .sharded()
+        .racy_park()
+        .thread(vec![put])
+        .thread(vec![take])
+        .run(Buf::default());
+    match result.outcome {
+        Outcome::Deadlock(trace) => {
+            let rendered: Vec<String> = trace.iter().map(ToString::to_string).collect();
+            // The producer completed (post ran, notification sent)
+            // strictly between the consumer's decision to block and its
+            // actual park.
+            assert!(
+                rendered.iter().any(|s| s.contains("park(take)")),
+                "{rendered:?}"
+            );
+            assert!(
+                rendered.iter().any(|s| s.contains("post(put)")),
+                "{rendered:?}"
+            );
+        }
+        other => panic!("expected missed-notification deadlock, got {other:?}"),
+    }
+}
+
+/// The disciplined implementation (park atomic with the blocking
+/// decision) has no such window: same system, no ablation, all live.
+#[test]
+fn disciplined_park_is_live() {
+    let mut sys = ModelSystem::new();
+    let (put, take) = buffer(&mut sys, 1);
+    sys.wire_wakes(put, vec![take]);
+    sys.wire_wakes(take, vec![put]);
+    let result = Checker::new(sys)
+        .sharded()
+        .thread(vec![put])
+        .thread(vec![take])
+        .run(Buf::default());
+    assert_eq!(result.outcome, Outcome::Ok);
+}
+
+/// Sharding composes with `NotifyOne` (the paper's Java `notify()`):
+/// the single-wake pipeline from experiment E6 stays live when the
+/// rollback is a separate step.
+#[test]
+fn sharded_notify_one_buffer_is_live() {
+    let mut sys = ModelSystem::new();
+    let (put, take) = buffer(&mut sys, 1);
+    sys.wire_wakes(put, vec![take]);
+    sys.wire_wakes(take, vec![put]);
+    let result = Checker::new(sys)
+        .sharded()
+        .wake_one()
+        .thread(vec![put, put])
+        .thread(vec![take, take])
+        .run(Buf::default());
+    assert_eq!(result.outcome, Outcome::Ok);
+}

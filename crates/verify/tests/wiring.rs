@@ -102,6 +102,51 @@ fn one_directional_wiring_starves_producers() {
     assert!(matches!(result.outcome, Outcome::Deadlock(_)));
 }
 
+/// Regression (found by a stalled E2 run): with *two* callers per
+/// method, a consumer can block on the `consuming` active flag while a
+/// peer consumer is mid-activation. The peer's postaction clears the
+/// flag, but `take`'s wiring names only `put` — so once every producer
+/// has finished, nothing would ever wake the parked consumer. The
+/// moderator's unconditional self-wake (a post-activation always
+/// signals its own method's queue, regardless of wiring) is what keeps
+/// this live; `paper_wiring_is_live` cannot see it because one thread
+/// per method never contends on an active flag.
+#[test]
+fn paper_wiring_is_live_with_contending_peers() {
+    // Capacity 2 lets both producers finish before either consumer
+    // runs; capacity 1 would interleave put/take posts strictly, and a
+    // trailing producer post would always deliver the wakeup anyway.
+    let mut sys = ModelSystem::new();
+    let (put, take) = buffer(&mut sys, 2);
+    sys.wire_wakes(put, vec![take]);
+    sys.wire_wakes(take, vec![put]);
+    let result = Checker::new(sys)
+        .thread(vec![put])
+        .thread(vec![put])
+        .thread(vec![take])
+        .thread(vec![take])
+        .run(Buf::default());
+    assert_eq!(result.outcome, Outcome::Ok);
+}
+
+/// The same contending-peers shape stays live in the sharded model,
+/// where chain evaluation and rollback interleave at finer grain.
+#[test]
+fn sharded_paper_wiring_is_live_with_contending_peers() {
+    let mut sys = ModelSystem::new();
+    let (put, take) = buffer(&mut sys, 2);
+    sys.wire_wakes(put, vec![take]);
+    sys.wire_wakes(take, vec![put]);
+    let result = Checker::new(sys)
+        .sharded()
+        .thread(vec![put])
+        .thread(vec![put])
+        .thread(vec![take])
+        .thread(vec![take])
+        .run(Buf::default());
+    assert_eq!(result.outcome, Outcome::Ok);
+}
+
 /// Broadcast (the moderator's default) is immune to wiring mistakes —
 /// the safety/performance trade measured in experiment E4/E6.
 #[test]

@@ -1,0 +1,130 @@
+//! Cross-method wakeup races under the sharded moderator: heavy
+//! producer/consumer contention on a capacity-1 buffer, where every
+//! wakeup must cross from one method's coordination cell to another's.
+//! A lost wakeup shows up as a hang, so completion is bounded by a
+//! watchdog; reservation conservation is asserted afterwards.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use aspect_moderator::core::{
+    AspectModerator, Concern, FnAspect, InvocationContext, MethodId, Verdict, WakeMode,
+};
+use aspect_moderator::ticketing::{Ticket, TicketServerProxy};
+
+const WATCHDOG: Duration = Duration::from_secs(120);
+
+/// Runs `f` on its own thread and fails the test if it does not finish
+/// within [`WATCHDOG`] — the shape a lost wakeup takes at runtime.
+fn bounded<T: Send + 'static>(label: &str, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = mpsc::channel();
+    let handle = thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    let out = rx
+        .recv_timeout(WATCHDOG)
+        .unwrap_or_else(|_| panic!("{label}: lost wakeup suspected (no completion in time)"));
+    handle.join().unwrap();
+    out
+}
+
+/// 4 producers and 4 consumers hammer a capacity-1 buffer: every open
+/// must wake an assign across cells and vice versa. Asserts bounded
+/// completion, conserved reservations and quiescent stats.
+fn capacity_one_stress(wake_mode: WakeMode) {
+    let per: u64 = 250;
+    let producers = 4;
+    let consumers = 4;
+    let proxy = bounded("capacity-1 stress", move || {
+        let moderator = Arc::new(AspectModerator::builder().wake_mode(wake_mode).build());
+        let proxy = Arc::new(TicketServerProxy::new(1, moderator).unwrap());
+        thread::scope(|s| {
+            for p in 0..producers {
+                let proxy = Arc::clone(&proxy);
+                s.spawn(move || {
+                    for i in 0..per {
+                        proxy.open(Ticket::new(p * 100_000 + i, "stress")).unwrap();
+                    }
+                });
+            }
+            for _ in 0..consumers {
+                let proxy = Arc::clone(&proxy);
+                s.spawn(move || {
+                    for _ in 0..per {
+                        proxy.assign().unwrap();
+                    }
+                });
+            }
+        });
+        proxy
+    });
+    assert_eq!(proxy.totals(), (producers * per, consumers * per));
+    assert!(proxy.is_empty());
+    let snap = proxy.buffer_handle().snapshot();
+    assert_eq!(
+        (snap.reserved, snap.produced),
+        (0, 0),
+        "reservations must be conserved"
+    );
+    let s = proxy.moderator().stats();
+    assert_eq!(
+        s.preactivations,
+        s.resumes + s.aborts + s.timeouts,
+        "every preactivation must terminate: {s:?}"
+    );
+    assert_eq!(s.postactivations, s.resumes, "{s:?}");
+    assert_eq!(s.would_blocks, 0, "blocking API never would-blocks");
+}
+
+#[test]
+fn capacity_one_no_lost_wakeups_notify_all() {
+    capacity_one_stress(WakeMode::NotifyAll);
+}
+
+#[test]
+fn capacity_one_no_lost_wakeups_notify_one() {
+    capacity_one_stress(WakeMode::NotifyOne);
+}
+
+/// Deregistering the blocking aspect must wake callers parked on that
+/// method's cell: they re-evaluate the shortened chain and resume.
+#[test]
+fn deregister_while_blocked_releases_waiters() {
+    bounded("deregister while blocked", || {
+        let moderator = Arc::new(AspectModerator::new());
+        let m = moderator.declare_method(MethodId::new("gated"));
+        moderator
+            .register(
+                &m,
+                Concern::synchronization(),
+                Box::new(FnAspect::new("closed-gate").on_precondition(|_| Verdict::Block)),
+            )
+            .unwrap();
+
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let moderator = Arc::clone(&moderator);
+                let m = m.clone();
+                thread::spawn(move || {
+                    let mut ctx =
+                        InvocationContext::new(m.id().clone(), moderator.next_invocation());
+                    moderator.preactivation(&m, &mut ctx).unwrap();
+                    moderator.postactivation(&m, &mut ctx);
+                })
+            })
+            .collect();
+        while moderator.stats().blocks < 4 {
+            thread::yield_now();
+        }
+
+        moderator
+            .deregister(&m, &Concern::synchronization())
+            .unwrap();
+        for w in waiters {
+            w.join().unwrap();
+        }
+        assert_eq!(moderator.stats().resumes, 4);
+    });
+}
