@@ -19,6 +19,13 @@
 //! The headline `speedup_at_8_threads` comes from the noisy-neighbor
 //! regime, which is the service shape the refactor exists for.
 //!
+//! A fourth section, `fairness_tail` (experiment E10), measures wake
+//! fairness: per-activation latency of 8 producers on a capacity-1
+//! buffer next to the noisy neighbor, `Barging` vs `Fifo`. The
+//! ticketed FIFO queue trades a little median for a bounded tail —
+//! `fifo_p99_over_barging_p99 <= 1` is the property the fairness PR
+//! claims.
+//!
 //! ```text
 //! cargo run -p amf-bench --release --bin moderator_bench
 //! cargo run -p amf-bench --release --bin moderator_bench -- --quick
@@ -26,9 +33,9 @@
 
 use std::time::Duration;
 
-use amf_bench::experiments::run_moderator_shard;
-use amf_bench::report::{fmt_ops, json_array, JsonObject, JsonValue};
-use amf_core::Coordination;
+use amf_bench::experiments::{run_fairness_tail, run_moderator_shard};
+use amf_bench::report::{fmt_ns, fmt_ops, json_array, JsonObject, JsonValue};
+use amf_core::{Coordination, FairnessPolicy};
 
 const REPORT_PATH: &str = "BENCH_moderator.json";
 const ASPECT_WORK: Duration = Duration::from_micros(200);
@@ -118,6 +125,39 @@ fn main() {
         if quick { 100 } else { 2_000 },
     );
 
+    let fairness_tail = {
+        let producers = 8;
+        let per_thread = if quick { 500 } else { 20_000 };
+        let mut p99 = Vec::new();
+        let mut rows = Vec::new();
+        for (label, policy) in [
+            ("barging", FairnessPolicy::Barging),
+            ("fifo", FairnessPolicy::Fifo),
+        ] {
+            let s = run_fairness_tail(policy, producers, per_thread, true);
+            println!(
+                "fairness tail ({label}, noisy): p50 {} | p99 {} | max {}",
+                fmt_ns(s.p50_ns as f64),
+                fmt_ns(s.p99_ns as f64),
+                fmt_ns(s.max_ns as f64),
+            );
+            p99.push(s.p99_ns);
+            rows.push(
+                JsonObject::new()
+                    .field("policy", label)
+                    .field("latency", s.to_json())
+                    .build(),
+            );
+        }
+        JsonObject::new()
+            .field("producers", producers)
+            .field("per_thread_ops", per_thread)
+            .field("noisy_neighbor", 1_u64)
+            .field("rows", json_array(rows))
+            .field("fifo_p99_over_barging_p99", p99[1] as f64 / p99[0] as f64)
+            .build()
+    };
+
     let json = JsonObject::new()
         .field("benchmark", "moderator_sharding")
         .field("methods", 2_u64)
@@ -126,6 +166,7 @@ fn main() {
         .field("io_bound", io_bound)
         .field("noisy_neighbor", noisy)
         .field("speedup_at_8_threads", speedup_at_8)
+        .field("fairness_tail", fairness_tail)
         .build();
     if let Err(e) = std::fs::write(&report, format!("{json}\n")) {
         eprintln!("failed to write {report}: {e}");

@@ -1,11 +1,11 @@
-//! Experiments E1–E9: the quantitative evaluation of `EXPERIMENTS.md`.
+//! Experiments E1–E10: the quantitative evaluation of `EXPERIMENTS.md`.
 //!
 //! Each function runs one experiment and returns its [`Table`]. Pass
 //! `quick = true` to shrink workloads (used by unit tests and smoke
 //! runs); the recorded numbers in `EXPERIMENTS.md` come from
 //! `quick = false` release runs.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -15,13 +15,13 @@ use amf_aspects::sync::ExclusionGroup;
 use amf_baseline::{TangledBuffer, TangledSecureBuffer};
 use amf_concurrency::SchedulerPolicy;
 use amf_core::{
-    AspectModerator, Concern, Coordination, FnAspect, InvocationContext, MethodId, Moderated,
-    NoopAspect, RollbackPolicy, Verdict, WakeMode,
+    AspectModerator, Concern, Coordination, FairnessPolicy, FnAspect, InvocationContext, MethodId,
+    Moderated, NoopAspect, RollbackPolicy, Verdict, WakeMode,
 };
 use amf_ticketing::{ExtendedTicketServerProxy, Ticket, TicketServerProxy};
 
 use crate::pipeline::{ModeratedBuffer, OverheadTarget, PipelineConfig, StackTarget};
-use crate::report::{fmt_ns, fmt_ops, time_ns_per_op, Table};
+use crate::report::{fmt_ns, fmt_ops, time_ns_per_op, LatencySummary, Table};
 
 fn scale(quick: bool, full: u64) -> u64 {
     if quick {
@@ -745,6 +745,223 @@ pub fn e9_sharding(quick: bool) -> Table {
     t
 }
 
+/// Per-activation `open` latency through a capacity-1 gated buffer
+/// hammered by `producers` threads under `fairness`, with one consumer
+/// draining it. `noisy` adds the E9-style background churn: four
+/// callers parked on a closed gate plus a ticker that keeps the seed's
+/// default broadcast wiring, so every tick spuriously wakes the
+/// measured queues and each parked producer re-evaluates before
+/// re-blocking — the regime where a barging queue can starve a waiter
+/// (every freed slot is contested by fresh arrivals) while a ticketed
+/// queue bounds everyone's wait by queue length.
+///
+/// Returns the digest of every producer activation's wall-clock latency
+/// (preactivation through postactivation, parked time included).
+pub fn run_fairness_tail(
+    fairness: FairnessPolicy,
+    producers: usize,
+    per_thread: u64,
+    noisy: bool,
+) -> LatencySummary {
+    let moderator = Arc::new(AspectModerator::builder().fairness(fairness).build());
+    let slots = Arc::new(AtomicU64::new(1));
+    let items = Arc::new(AtomicU64::new(0));
+    let open = moderator.declare_method(MethodId::new("open"));
+    let take = moderator.declare_method(MethodId::new("take"));
+    {
+        let slots = Arc::clone(&slots);
+        let items = Arc::clone(&items);
+        moderator
+            .register(
+                &open,
+                Concern::synchronization(),
+                Box::new(
+                    FnAspect::new("slot-gate")
+                        .on_precondition(move |_| {
+                            if slots.load(Ordering::SeqCst) > 0 {
+                                slots.fetch_sub(1, Ordering::SeqCst);
+                                Verdict::Resume
+                            } else {
+                                Verdict::Block
+                            }
+                        })
+                        .on_postaction(move |_| {
+                            items.fetch_add(1, Ordering::SeqCst);
+                        }),
+                ),
+            )
+            .unwrap();
+    }
+    {
+        let slots = Arc::clone(&slots);
+        let items = Arc::clone(&items);
+        moderator
+            .register(
+                &take,
+                Concern::synchronization(),
+                Box::new(
+                    FnAspect::new("item-gate")
+                        .on_precondition(move |_| {
+                            if items.load(Ordering::SeqCst) > 0 {
+                                items.fetch_sub(1, Ordering::SeqCst);
+                                Verdict::Resume
+                            } else {
+                                Verdict::Block
+                            }
+                        })
+                        .on_postaction(move |_| {
+                            slots.fetch_add(1, Ordering::SeqCst);
+                        }),
+                ),
+            )
+            .unwrap();
+    }
+    moderator.wire_wakes(&open, std::slice::from_ref(&take));
+    moderator.wire_wakes(&take, std::slice::from_ref(&open));
+
+    let one_op = |m: &amf_core::MethodHandle| {
+        let mut ctx = InvocationContext::new(m.id().clone(), moderator.next_invocation());
+        moderator.preactivation(m, &mut ctx).unwrap();
+        moderator.postactivation(m, &mut ctx);
+    };
+
+    let gate_open = Arc::new(AtomicBool::new(false));
+    let stop = Arc::new(AtomicBool::new(false));
+    let background = noisy.then(|| {
+        let gated = moderator.declare_method(MethodId::new("gated"));
+        let tick = moderator.declare_method(MethodId::new("tick"));
+        let open_flag = Arc::clone(&gate_open);
+        moderator
+            .register(
+                &gated,
+                Concern::new("admission"),
+                Box::new(FnAspect::new("closed-gate").on_precondition(move |_| {
+                    Verdict::resume_if(open_flag.load(Ordering::Relaxed))
+                })),
+            )
+            .unwrap();
+        // The same audit-fsync shape as E9's background paces the
+        // ticker (~5K broadcasts/s): churn on the measured queues, not
+        // saturation of their cell locks.
+        moderator
+            .register(
+                &tick,
+                Concern::new("audit"),
+                Box::new(FnAspect::new("audit-io").on_precondition(move |_| {
+                    std::thread::sleep(Duration::from_micros(200));
+                    Verdict::Resume
+                })),
+            )
+            .unwrap();
+        // `tick` keeps the default broadcast wiring: every completion
+        // notifies all cells, including the measured buffer's queues.
+        (gated, tick)
+    });
+
+    let barrier = std::sync::Barrier::new(producers + 1);
+    let mut samples: Vec<u64> = Vec::with_capacity(producers * per_thread as usize);
+    std::thread::scope(|s| {
+        if let Some((gated, tick)) = &background {
+            for _ in 0..4 {
+                let moderator = &moderator;
+                s.spawn(move || {
+                    let mut ctx =
+                        InvocationContext::new(gated.id().clone(), moderator.next_invocation());
+                    moderator.preactivation(gated, &mut ctx).unwrap();
+                    moderator.postactivation(gated, &mut ctx);
+                });
+            }
+            while moderator.method_stats(gated).blocks < 4 {
+                std::thread::yield_now();
+            }
+            let stop = &stop;
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    one_op(tick);
+                }
+            });
+        }
+
+        let mut joins = Vec::new();
+        for _ in 0..producers {
+            let moderator = &moderator;
+            let open = &open;
+            let barrier = &barrier;
+            joins.push(s.spawn(move || {
+                let mut local = Vec::with_capacity(per_thread as usize);
+                barrier.wait();
+                for _ in 0..per_thread {
+                    let t0 = Instant::now();
+                    let mut ctx =
+                        InvocationContext::new(open.id().clone(), moderator.next_invocation());
+                    moderator.preactivation(open, &mut ctx).unwrap();
+                    moderator.postactivation(open, &mut ctx);
+                    local.push(t0.elapsed().as_nanos() as u64);
+                }
+                local
+            }));
+        }
+        {
+            let moderator = &moderator;
+            let take = &take;
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                for _ in 0..producers as u64 * per_thread {
+                    let mut ctx =
+                        InvocationContext::new(take.id().clone(), moderator.next_invocation());
+                    moderator.preactivation(take, &mut ctx).unwrap();
+                    moderator.postactivation(take, &mut ctx);
+                }
+            });
+        }
+        for j in joins {
+            samples.extend(j.join().unwrap());
+        }
+
+        stop.store(true, Ordering::Relaxed);
+        gate_open.store(true, Ordering::Relaxed);
+        if let Some((gated, tick)) = &background {
+            while moderator.method_stats(gated).resumes < 4 {
+                one_op(tick);
+            }
+        }
+    });
+    LatencySummary::from_unsorted(&mut samples)
+}
+
+/// E10 — wake fairness: per-activation tail latency of 8 producers on a
+/// capacity-1 buffer, `Barging` vs `Fifo`, idle and next to the
+/// broadcast-wake noisy neighbor. Barging minimizes the median (a
+/// newcomer that finds the slot free skips the queue); ticketed FIFO
+/// bounds the tail (no waiter is ever overtaken, so p99 tracks queue
+/// length instead of scheduler luck).
+pub fn e10_fairness(quick: bool) -> Table {
+    let per_thread = scale(quick, 20_000);
+    let producers = 8;
+    let mut t = Table::new(
+        "E10 — wake fairness tail latency (8 producers, capacity-1 buffer)",
+        &["policy", "background", "p50", "p99", "max", "mean"],
+    );
+    for noisy in [false, true] {
+        for (name, policy) in [
+            ("Barging", FairnessPolicy::Barging),
+            ("Fifo", FairnessPolicy::Fifo),
+        ] {
+            let s = run_fairness_tail(policy, producers, per_thread, noisy);
+            t.row(&[
+                name.to_string(),
+                if noisy { "noisy".into() } else { "idle".into() },
+                fmt_ns(s.p50_ns as f64),
+                fmt_ns(s.p99_ns as f64),
+                fmt_ns(s.max_ns as f64),
+                fmt_ns(s.mean_ns as f64),
+            ]);
+        }
+    }
+    t
+}
+
 /// V1 — exhaustive verification of the producer/consumer composition:
 /// states explored and verdicts across configurations, including the
 /// E7 anomaly as a machine-checked counterexample.
@@ -856,7 +1073,7 @@ pub fn v1_verification(quick: bool) -> Table {
     t
 }
 
-/// Runs the named experiments ("e1".."e9", "v1" or "all") and prints
+/// Runs the named experiments ("e1".."e10", "v1" or "all") and prints
 /// their tables.
 pub fn run(names: &[String], quick: bool) {
     let wants = |n: &str| {
@@ -865,7 +1082,7 @@ pub fn run(names: &[String], quick: bool) {
             || names.iter().any(|x| x.eq_ignore_ascii_case("all"))
     };
     type Runner = fn(bool) -> Table;
-    let runners: [(&str, Runner); 10] = [
+    let runners: [(&str, Runner); 11] = [
         ("e1", e1_overhead),
         ("e2", e2_throughput),
         ("e3", e3_composition),
@@ -875,6 +1092,7 @@ pub fn run(names: &[String], quick: bool) {
         ("e7", e7_rollback),
         ("e8", e8_adaptability),
         ("e9", e9_sharding),
+        ("e10", e10_fairness),
         ("v1", v1_verification),
     ];
     for (name, f) in runners {
@@ -945,6 +1163,20 @@ mod tests {
     #[test]
     fn e9_produces_rows() {
         assert_eq!(e9_sharding(true).len(), 12);
+    }
+
+    #[test]
+    fn e10_produces_rows() {
+        assert_eq!(e10_fairness(true).len(), 4);
+    }
+
+    #[test]
+    fn fairness_runner_measures_every_activation() {
+        for policy in [FairnessPolicy::Barging, FairnessPolicy::Fifo] {
+            let s = run_fairness_tail(policy, 2, 50, false);
+            assert_eq!(s.count, 100, "{s:?}");
+            assert!(s.p99_ns >= s.p50_ns, "{s:?}");
+        }
     }
 
     #[test]

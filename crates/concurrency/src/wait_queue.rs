@@ -11,7 +11,7 @@
 
 use std::collections::VecDeque;
 use std::fmt;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
@@ -97,27 +97,68 @@ impl WaitQueue {
     }
 
     /// Parks the calling thread until notified or until `timeout` elapses.
+    ///
+    /// The timeout is converted to an absolute deadline up front, so
+    /// spurious wakeups and grant re-checks cannot extend the wait past
+    /// `timeout` (each `Condvar::wait_for` retry used to restart the
+    /// full timeout).
     pub fn wait_timeout(&self, timeout: Duration) -> WaitStatus {
+        self.wait_deadline(Instant::now() + timeout)
+    }
+
+    /// Parks the calling thread until notified or until `deadline` passes.
+    ///
+    /// Deadline expiry wins over a racing grant: if `notify_one` selects
+    /// this ticket after the deadline has already passed, the waiter
+    /// still returns [`WaitStatus::TimedOut`] and the grant is handed to
+    /// the next parked ticket instead of being silently consumed — a
+    /// cancelled ticket must not strand its successors.
+    pub fn wait_deadline(&self, deadline: Instant) -> WaitStatus {
+        self.wait_deadline_core(deadline, None)
+    }
+
+    /// Implementation of the timed wait with a test-only seam.
+    ///
+    /// `race_window`, when present, runs with the queue lock released at
+    /// the exact point where the waiter has decided to time out but has
+    /// not yet surrendered its ticket — the window in which a concurrent
+    /// `notify_one` can still select the cancelling ticket. Production
+    /// callers pass `None`, which adds no unlock.
+    fn wait_deadline_core(&self, deadline: Instant, race_window: Option<&dyn Fn()>) -> WaitStatus {
         let mut st = self.state.lock();
         let ticket = st.next_ticket;
         st.next_ticket += 1;
         st.waiting.push_back(ticket);
         loop {
-            if let Some(pos) = st.granted.iter().position(|&t| t == ticket) {
-                st.granted.swap_remove(pos);
-                return WaitStatus::Notified;
-            }
-            if self.cond.wait_for(&mut st, timeout).timed_out() {
-                // Re-check: a grant may have raced with the timeout.
+            if Instant::now() < deadline {
                 if let Some(pos) = st.granted.iter().position(|&t| t == ticket) {
                     st.granted.swap_remove(pos);
                     return WaitStatus::Notified;
                 }
-                if let Some(pos) = st.waiting.iter().position(|&t| t == ticket) {
-                    st.waiting.remove(pos);
-                }
-                return WaitStatus::TimedOut;
+                self.cond.wait_until(&mut st, deadline);
+                continue;
             }
+            // Deadline passed: surrender the ticket.
+            if let Some(window) = race_window {
+                drop(st);
+                window();
+                st = self.state.lock();
+            }
+            if let Some(pos) = st.granted.iter().position(|&t| t == ticket) {
+                // A grant raced with the cancellation. Swallowing it here
+                // would strand the successor that `notify_one` meant to
+                // reach had this ticket already left: re-grant it to the
+                // next parked ticket.
+                st.granted.swap_remove(pos);
+                if let Some(next) = st.waiting.pop_front() {
+                    st.granted.push(next);
+                    drop(st);
+                    self.cond.notify_all();
+                }
+            } else if let Some(pos) = st.waiting.iter().position(|&t| t == ticket) {
+                st.waiting.remove(pos);
+            }
+            return WaitStatus::TimedOut;
         }
     }
 
@@ -247,6 +288,70 @@ mod tests {
             WaitStatus::TimedOut
         );
         assert!(q.is_empty(), "timed-out waiter must deregister itself");
+    }
+
+    #[test]
+    fn cancelled_ticket_hands_grant_to_successor() {
+        // Regression: a ticket selected by `notify_one` after its
+        // deadline has already passed must hand the grant to the next
+        // parked ticket on the way out, not consume it. The race window
+        // seam opens the exact gap between "decided to time out" and
+        // "surrendered the ticket".
+        let q = Arc::new(WaitQueue::new());
+        let handle: Mutex<Option<thread::JoinHandle<()>>> = Mutex::new(None);
+        let already_expired = Instant::now() - Duration::from_millis(1);
+        let status = q.wait_deadline_core(
+            already_expired,
+            Some(&|| {
+                let successor = Arc::clone(&q);
+                *handle.lock() = Some(thread::spawn(move || successor.wait()));
+                // Successor parks behind the cancelling ticket...
+                spin_until_len(&q, 2);
+                // ...and the racing notification selects the front
+                // ticket — the one that is about to cancel.
+                q.notify_one();
+            }),
+        );
+        assert_eq!(status, WaitStatus::TimedOut);
+        // The handed-off grant must reach the successor.
+        handle.lock().take().unwrap().join().unwrap();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn timed_wait_deadline_is_absolute() {
+        // Regression: grants to *earlier* tickets broadcast-wake a timed
+        // waiter; each recheck used to restart the full timeout, so
+        // steady churn could extend the wait without bound.
+        let q = Arc::new(WaitQueue::new());
+        let mut ahead = Vec::new();
+        for _ in 0..4 {
+            let quc = Arc::clone(&q);
+            ahead.push(thread::spawn(move || quc.wait()));
+        }
+        spin_until_len(&q, 4);
+        let timed = Arc::clone(&q);
+        let t = thread::spawn(move || {
+            let start = Instant::now();
+            let status = timed.wait_timeout(Duration::from_millis(50));
+            (status, start.elapsed())
+        });
+        spin_until_len(&q, 5);
+        // Churn: wake one of the earlier tickets every 15 ms, past the
+        // timed waiter's deadline.
+        for _ in 0..4 {
+            thread::sleep(Duration::from_millis(15));
+            q.notify_one();
+        }
+        let (status, elapsed) = t.join().unwrap();
+        assert_eq!(status, WaitStatus::TimedOut);
+        assert!(
+            elapsed < Duration::from_millis(150),
+            "timeout restarted under churn: waited {elapsed:?}"
+        );
+        for h in ahead {
+            h.join().unwrap();
+        }
     }
 
     #[test]

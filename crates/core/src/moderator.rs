@@ -53,12 +53,21 @@
 //!   postactions and after a rollback that released a reservation.
 //!   [`AspectModerator::wire_wakes`] restricts which *other* queues are
 //!   notified; the self-wake is uncounted and untraced.
+//! * **Fairness**: by default waiters barge — the condvar picks the
+//!   winner and a fresh arrival may overtake every parked waiter.
+//!   [`FairnessPolicy::Fifo`] replaces that with a ticketed FIFO queue
+//!   per cell: wake permits are recorded as queue state under the cell
+//!   lock (so none is lost in an unlocked window), grants go strictly
+//!   first-parked-first-served, newcomers finding waiters park without
+//!   evaluating their chain, and a timed-out ticket hands pending
+//!   permits to its successor on cancellation. See DESIGN.md
+//!   ("Fairness") for the full ticket lifecycle.
 //!
 //! Lock ordering is `registry → at most one cell`: no code path holds a
 //! cell lock while acquiring the registry lock, and no path holds two
 //! cell locks at once, so the lock graph is acyclic by construction.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering as MemOrdering};
 use std::sync::Arc;
@@ -149,6 +158,70 @@ pub enum Coordination {
     GlobalLock,
 }
 
+/// Which blocked caller proceeds when a notification opens the gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FairnessPolicy {
+    /// Waiters race for the grant: the condvar (ultimately the
+    /// scheduler) picks the winner, and a newly arriving caller
+    /// evaluates its chain immediately — overtaking every parked waiter
+    /// whose precondition would now resume. The paper's
+    /// `wait()`/`notify()` semantics; cheapest, starvation-prone under
+    /// contention (default).
+    #[default]
+    Barging,
+    /// Ticketed FIFO: each parked caller holds a monotonically
+    /// increasing per-cell ticket and grants are strictly
+    /// first-parked-first-served. A newly arriving caller finding
+    /// waiters queues behind them *without* evaluating its chain
+    /// (barging prevention), and a timed wait that cancels surrenders
+    /// its ticket to its successors. See the module docs ("Fairness")
+    /// and DESIGN.md.
+    Fifo,
+}
+
+/// Number of buckets in a [`WaitHistogram`].
+pub const WAIT_BUCKETS: usize = 16;
+
+/// Log₂-microsecond histogram of time callers spent blocked before
+/// resuming. Bucket 0 counts waits under 1 µs; bucket `b` counts waits
+/// in `[2^(b-1), 2^b)` µs; the last bucket is open-ended (≥ ~16 ms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WaitHistogram {
+    /// Per-bucket wait counts.
+    pub buckets: [u64; WAIT_BUCKETS],
+}
+
+impl WaitHistogram {
+    /// Total recorded waits.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Upper-bound estimate, in microseconds, of percentile `p`
+    /// (0–100). Returns 0 when no waits were recorded.
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << b;
+            }
+        }
+        1u64 << (WAIT_BUCKETS - 1)
+    }
+
+    fn merge(&mut self, other: &WaitHistogram) {
+        for (into, from) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *into += from;
+        }
+    }
+}
+
 /// Counters describing everything a moderator has done.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ModeratorStats {
@@ -175,6 +248,18 @@ pub struct ModeratorStats {
     pub postactivations: u64,
     /// Rollback releases delivered to earlier-resumed aspects.
     pub releases: u64,
+    /// FIFO tickets handed to parked callers
+    /// ([`FairnessPolicy::Fifo`] only; always 0 under `Barging`).
+    pub tickets_issued: u64,
+    /// FIFO tickets whose holder resumed. Tickets cancelled by timeout
+    /// or retired by an abort account for the difference.
+    pub tickets_served: u64,
+    /// High-water mark of concurrently parked callers on any single
+    /// method's queue (tracked under both fairness policies; aggregated
+    /// with `max`, not summed).
+    pub max_queue_depth: u64,
+    /// Distribution of time spent blocked before resuming.
+    pub wait_hist: WaitHistogram,
 }
 
 /// One method's shard of the moderator counters. Plain atomics: the hot
@@ -192,6 +277,13 @@ struct StatShard {
     timeouts: AtomicU64,
     postactivations: AtomicU64,
     releases: AtomicU64,
+    tickets_issued: AtomicU64,
+    tickets_served: AtomicU64,
+    /// High-water mark of `waiting_now`.
+    max_queue_depth: AtomicU64,
+    /// Callers currently parked on this method (gauge, not exported).
+    waiting_now: AtomicU64,
+    wait_hist: [AtomicU64; WAIT_BUCKETS],
 }
 
 fn inc(counter: &AtomicU64) {
@@ -199,7 +291,29 @@ fn inc(counter: &AtomicU64) {
 }
 
 impl StatShard {
+    /// Records a caller entering the parked state and bumps the
+    /// queue-depth high-water mark.
+    fn note_parked(&self) {
+        let depth = self.waiting_now.fetch_add(1, MemOrdering::Relaxed) + 1;
+        self.max_queue_depth.fetch_max(depth, MemOrdering::Relaxed);
+    }
+
+    fn note_unparked(&self) {
+        self.waiting_now.fetch_sub(1, MemOrdering::Relaxed);
+    }
+
+    /// Buckets one blocked-wait duration into the log₂-µs histogram.
+    fn record_wait(&self, waited: Duration) {
+        let us = waited.as_micros().min(u128::from(u64::MAX)) as u64;
+        let bucket = (64 - us.leading_zeros() as usize).min(WAIT_BUCKETS - 1);
+        inc(&self.wait_hist[bucket]);
+    }
+
     fn snapshot(&self) -> ModeratorStats {
+        let mut wait_hist = WaitHistogram::default();
+        for (into, from) in wait_hist.buckets.iter_mut().zip(self.wait_hist.iter()) {
+            *into = from.load(MemOrdering::Relaxed);
+        }
         ModeratorStats {
             preactivations: self.preactivations.load(MemOrdering::Relaxed),
             resumes: self.resumes.load(MemOrdering::Relaxed),
@@ -211,6 +325,10 @@ impl StatShard {
             timeouts: self.timeouts.load(MemOrdering::Relaxed),
             postactivations: self.postactivations.load(MemOrdering::Relaxed),
             releases: self.releases.load(MemOrdering::Relaxed),
+            tickets_issued: self.tickets_issued.load(MemOrdering::Relaxed),
+            tickets_served: self.tickets_served.load(MemOrdering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(MemOrdering::Relaxed),
+            wait_hist,
         }
     }
 
@@ -226,6 +344,10 @@ impl StatShard {
         out.timeouts += s.timeouts;
         out.postactivations += s.postactivations;
         out.releases += s.releases;
+        out.tickets_issued += s.tickets_issued;
+        out.tickets_served += s.tickets_served;
+        out.max_queue_depth = out.max_queue_depth.max(s.max_queue_depth);
+        out.wait_hist.merge(&s.wait_hist);
     }
 }
 
@@ -259,6 +381,147 @@ impl fmt::Display for MethodHandle {
     }
 }
 
+/// How a caller obtained the right to evaluate its chain under
+/// [`FairnessPolicy::Fifo`]; determines which queue state to consume
+/// when the evaluation settles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Grant {
+    /// First evaluation of a caller that found the queue empty — it
+    /// holds no ticket yet.
+    First,
+    /// The ticket is the cursor of an active broadcast sweep.
+    Sweep,
+    /// The ticket is the queue head and a single-waiter signal is
+    /// pending.
+    Signal,
+    /// Rollback-recheck backstop: an out-of-band re-evaluation granted
+    /// to a waiter that rolled back a reservation (module docs).
+    Backstop,
+}
+
+/// Ticketed FIFO wait state for one method under
+/// [`FairnessPolicy::Fifo`]. All operations run under the method's cell
+/// lock.
+///
+/// Wake permits are *state* — pending signals and broadcast sweeps —
+/// rather than bare condvar pulses, so a notification landing while a
+/// waiter's cell lock is released (e.g. during rollback notification)
+/// is retained instead of lost. The condvar only says "queue state
+/// changed, re-check"; eligibility lives here.
+#[derive(Debug, Default)]
+struct FifoQueue {
+    /// Next ticket to issue; per-(cell, slot) monotonic.
+    next_ticket: u64,
+    /// Parked tickets, oldest first. Always sorted ascending: tickets
+    /// are issued in order and removals preserve order.
+    waiting: VecDeque<u64>,
+    /// Pending [`WakeMode::NotifyOne`] permits: the queue head may
+    /// evaluate once per signal. Never exceeds the queue length.
+    signals: u64,
+    /// Active [`WakeMode::NotifyAll`] sweep as `(cursor, end)`: every
+    /// ticket below `end` gets one evaluation in ticket order; `cursor`
+    /// is the ticket currently allowed to evaluate.
+    sweep: Option<(u64, u64)>,
+}
+
+impl FifoQueue {
+    fn has_waiters(&self) -> bool {
+        !self.waiting.is_empty()
+    }
+
+    /// Whether any unconsumed wake permit exists.
+    fn has_pending(&self) -> bool {
+        self.signals > 0 || self.sweep.is_some()
+    }
+
+    /// Issues the next ticket and parks it at the back of the queue.
+    fn enqueue(&mut self) -> u64 {
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.waiting.push_back(ticket);
+        ticket
+    }
+
+    /// The permit, if any, entitling `ticket` to evaluate its chain now.
+    fn grant_for(&self, ticket: u64) -> Option<Grant> {
+        if self.sweep.is_some_and(|(cursor, _)| cursor == ticket) {
+            return Some(Grant::Sweep);
+        }
+        if self.signals > 0 && self.waiting.front() == Some(&ticket) {
+            return Some(Grant::Signal);
+        }
+        None
+    }
+
+    /// Records one notification. Under `NotifyAll` this (re)starts a
+    /// sweep over every currently ticketed waiter; under `NotifyOne` it
+    /// adds a single head-of-queue permit. A notification with no
+    /// waiters is lost (condition-queue semantics), same as a condvar
+    /// signal with nobody parked.
+    fn wake(&mut self, mode: WakeMode) {
+        if self.waiting.is_empty() {
+            return;
+        }
+        match mode {
+            WakeMode::NotifyAll => {
+                // Restarting from the head on merge gives already-swept
+                // tickets a harmless extra evaluation; each sweep stays
+                // finite because `end` is fixed at permit time.
+                self.sweep = Some((self.waiting[0], self.next_ticket));
+            }
+            WakeMode::NotifyOne => {
+                self.signals = (self.signals + 1).min(self.waiting.len() as u64);
+            }
+        }
+    }
+
+    /// Consumes the permit behind a finished evaluation; removes the
+    /// ticket when its holder is leaving the queue (resume or abort).
+    fn settle(&mut self, ticket: u64, grant: Grant, leaving: bool) {
+        match grant {
+            Grant::Sweep => self.advance_sweep(ticket),
+            Grant::Signal => self.signals -= 1,
+            Grant::First | Grant::Backstop => {}
+        }
+        if leaving {
+            self.remove(ticket);
+        }
+    }
+
+    /// Surrenders a cancelled (timed-out) ticket. Pending permits are
+    /// *not* discarded: signals re-attach to the new head and an active
+    /// sweep advances past the leaver, so successors are never stranded
+    /// by a cancellation.
+    fn cancel(&mut self, ticket: u64) {
+        if self.sweep.is_some_and(|(cursor, _)| cursor == ticket) {
+            self.advance_sweep(ticket);
+        }
+        self.remove(ticket);
+    }
+
+    fn remove(&mut self, ticket: u64) {
+        if let Some(pos) = self.waiting.iter().position(|&t| t == ticket) {
+            self.waiting.remove(pos);
+        }
+        self.signals = self.signals.min(self.waiting.len() as u64);
+        if self.waiting.is_empty() {
+            self.sweep = None;
+        }
+    }
+
+    /// Moves an active sweep's cursor to the next ticketed waiter after
+    /// `after`, ending the sweep when none remains below its end.
+    fn advance_sweep(&mut self, after: u64) {
+        let Some((_, end)) = self.sweep else { return };
+        self.sweep = self
+            .waiting
+            .iter()
+            .copied()
+            .find(|&t| t > after && t < end)
+            .map(|next| (next, end));
+    }
+}
+
 /// The mutable coordination state of one cell: the aspect rows (an
 /// [`AspectBank`] with one row per hosted method — exactly one under
 /// [`Coordination::Sharded`]) and each hosted method's wake wiring.
@@ -266,6 +529,9 @@ struct CellState {
     bank: AspectBank,
     /// Wake targets per local bank row, parallel to the bank's rows.
     wakes: Vec<WakeTargets>,
+    /// FIFO wait state per local bank row, parallel to the bank's rows.
+    /// Unused (never enqueued into) under [`FairnessPolicy::Barging`].
+    queues: Vec<FifoQueue>,
 }
 
 /// One coordination cell: the lock guarding a method's chain, wake
@@ -281,6 +547,7 @@ impl Cell {
             state: Mutex::new(CellState {
                 bank: AspectBank::new(),
                 wakes: Vec::new(),
+                queues: Vec::new(),
             }),
         })
     }
@@ -349,6 +616,7 @@ pub struct ModeratorBuilder {
     wake_mode: WakeMode,
     rollback: RollbackPolicy,
     coordination: Coordination,
+    fairness: FairnessPolicy,
     trace: Option<Arc<dyn TraceSink>>,
 }
 
@@ -359,6 +627,7 @@ impl fmt::Debug for ModeratorBuilder {
             .field("wake_mode", &self.wake_mode)
             .field("rollback", &self.rollback)
             .field("coordination", &self.coordination)
+            .field("fairness", &self.fairness)
             .field("trace", &self.trace.is_some())
             .finish()
     }
@@ -393,6 +662,14 @@ impl ModeratorBuilder {
         self
     }
 
+    /// Sets which blocked caller proceeds when a gate opens (default
+    /// [`FairnessPolicy::Barging`]).
+    #[must_use]
+    pub fn fairness(mut self, fairness: FairnessPolicy) -> Self {
+        self.fairness = fairness;
+        self
+    }
+
     /// Attaches a protocol trace sink.
     #[must_use]
     pub fn trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
@@ -409,6 +686,7 @@ impl ModeratorBuilder {
             wake_mode: self.wake_mode,
             rollback: self.rollback,
             coordination: self.coordination,
+            fairness: self.fairness,
             trace: self.trace,
         }
     }
@@ -448,6 +726,7 @@ pub struct AspectModerator {
     wake_mode: WakeMode,
     rollback: RollbackPolicy,
     coordination: Coordination,
+    fairness: FairnessPolicy,
     trace: Option<Arc<dyn TraceSink>>,
 }
 
@@ -466,6 +745,7 @@ impl fmt::Debug for AspectModerator {
             .field("wake_mode", &self.wake_mode)
             .field("rollback", &self.rollback)
             .field("coordination", &self.coordination)
+            .field("fairness", &self.fairness)
             .finish()
     }
 }
@@ -558,6 +838,7 @@ impl AspectModerator {
             let slot = state.bank.declare(id.clone());
             if state.wakes.len() < state.bank.method_count() {
                 state.wakes.push(WakeTargets::All);
+                state.queues.push(FifoQueue::default());
             }
             slot
         };
@@ -665,6 +946,11 @@ impl AspectModerator {
             // Notify while holding the cell lock: a waiter either is
             // already parked (woken now) or still holds the lock and
             // will re-evaluate against the shortened chain anyway.
+            // Under Fifo every ticketed waiter must get a turn against
+            // the shortened chain, in order — a full sweep.
+            if self.fairness == FairnessPolicy::Fifo {
+                state.queues[r.slot.as_usize()].wake(WakeMode::NotifyAll);
+            }
             r.cond.notify_all();
             aspect
         };
@@ -851,13 +1137,23 @@ impl AspectModerator {
     /// counted in [`ModeratorStats::notifications`] nor traced as
     /// [`EventKind::NotificationSent`]: `wire_wakes` semantics (and the
     /// tests pinning them) describe cross-method notifications only.
-    fn wake_self(&self, cond: &Condvar) {
-        match self.wake_mode {
-            WakeMode::NotifyAll => {
+    ///
+    /// Under [`FairnessPolicy::Fifo`] the wake is recorded as a queue
+    /// permit first; the condvar broadcast only tells parked waiters to
+    /// re-check their eligibility.
+    fn wake_own(&self, state: &mut CellState, slot: MethodIndex, cond: &Condvar) {
+        match self.fairness {
+            FairnessPolicy::Barging => match self.wake_mode {
+                WakeMode::NotifyAll => {
+                    cond.notify_all();
+                }
+                WakeMode::NotifyOne => {
+                    cond.notify_one();
+                }
+            },
+            FairnessPolicy::Fifo => {
+                state.queues[slot.as_usize()].wake(self.wake_mode);
                 cond.notify_all();
-            }
-            WakeMode::NotifyOne => {
-                cond.notify_one();
             }
         }
     }
@@ -873,9 +1169,16 @@ impl AspectModerator {
         invocation: u64,
         source: &MethodId,
     ) {
-        let resolved: Vec<(Arc<Cell>, Arc<Condvar>, MethodId)> = {
+        let resolved: Vec<(Arc<Cell>, MethodIndex, Arc<Condvar>, MethodId)> = {
             let registry = self.registry.read();
-            let pick = |e: &MethodEntry| (Arc::clone(&e.cell), Arc::clone(&e.cond), e.id.clone());
+            let pick = |e: &MethodEntry| {
+                (
+                    Arc::clone(&e.cell),
+                    e.slot,
+                    Arc::clone(&e.cond),
+                    e.id.clone(),
+                )
+            };
             match targets {
                 WakeTargets::All => registry.entries.iter().map(pick).collect(),
                 WakeTargets::Wired(t) => t
@@ -884,15 +1187,21 @@ impl AspectModerator {
                     .collect(),
             }
         };
-        for (cell, cond, target_id) in resolved {
+        for (cell, slot, cond, target_id) in resolved {
             {
-                let _state = cell.state.lock();
-                match self.wake_mode {
-                    WakeMode::NotifyAll => {
+                let mut state = cell.state.lock();
+                match self.fairness {
+                    FairnessPolicy::Barging => match self.wake_mode {
+                        WakeMode::NotifyAll => {
+                            cond.notify_all();
+                        }
+                        WakeMode::NotifyOne => {
+                            cond.notify_one();
+                        }
+                    },
+                    FairnessPolicy::Fifo => {
+                        state.queues[slot.as_usize()].wake(self.wake_mode);
                         cond.notify_all();
-                    }
-                    WakeMode::NotifyOne => {
-                        cond.notify_one();
                     }
                 }
                 // Emit while still holding the target cell: the woken
@@ -955,10 +1264,30 @@ impl AspectModerator {
             None,
             EventKind::PreactivationStarted,
         );
+        match self.fairness {
+            FairnessPolicy::Barging => self.preactivation_barging(&r, method, ctx, deadline),
+            FairnessPolicy::Fifo => self.preactivation_fifo(&r, method, ctx, deadline),
+        }
+    }
+
+    fn preactivation_barging(
+        &self,
+        r: &Resolved,
+        method: &MethodHandle,
+        ctx: &mut InvocationContext,
+        deadline: Option<Instant>,
+    ) -> Result<(), AbortError> {
         let mut state = r.cell.state.lock();
+        // Set on the first block; drives the wait histogram and the
+        // queue-depth gauge.
+        let mut blocked_at: Option<Instant> = None;
         loop {
             match self.evaluate_chain(&mut state, r.slot, method, ctx, &r.stats) {
                 ChainOutcome::Resumed => {
+                    if let Some(start) = blocked_at {
+                        r.stats.note_unparked();
+                        r.stats.record_wait(start.elapsed());
+                    }
                     inc(&r.stats.resumes);
                     self.emit(
                         ctx.invocation(),
@@ -973,6 +1302,9 @@ impl AspectModerator {
                     reason,
                     released,
                 } => {
+                    if blocked_at.is_some() {
+                        r.stats.note_unparked();
+                    }
                     inc(&r.stats.aborts);
                     self.emit(
                         ctx.invocation(),
@@ -982,7 +1314,7 @@ impl AspectModerator {
                     );
                     let plan = (released > 0).then(|| state.wakes[r.slot.as_usize()].clone());
                     if plan.is_some() {
-                        self.wake_self(&r.cond);
+                        self.wake_own(&mut state, r.slot, &r.cond);
                     }
                     drop(state);
                     if let Some(targets) = plan {
@@ -996,6 +1328,10 @@ impl AspectModerator {
                 }
                 ChainOutcome::Blocked { released } => {
                     inc(&r.stats.blocks);
+                    if blocked_at.is_none() {
+                        blocked_at = Some(Instant::now());
+                        r.stats.note_parked();
+                    }
                     self.emit(ctx.invocation(), &method.id, None, EventKind::WaitStarted);
                     let mut backstop = None;
                     if released > 0 {
@@ -1005,7 +1341,7 @@ impl AspectModerator {
                         // park with a short recheck backstop to close
                         // the unlocked window (module docs).
                         let targets = state.wakes[r.slot.as_usize()].clone();
-                        self.wake_self(&r.cond);
+                        self.wake_own(&mut state, r.slot, &r.cond);
                         drop(state);
                         self.notify_targets(&targets, &r.stats, ctx.invocation(), &method.id);
                         state = r.cell.state.lock();
@@ -1021,6 +1357,7 @@ impl AspectModerator {
                         Some(until) => {
                             let timed_out = r.cond.wait_until(&mut state, until).timed_out();
                             if timed_out && deadline.is_some_and(|d| Instant::now() >= d) {
+                                r.stats.note_unparked();
                                 inc(&r.stats.timeouts);
                                 // Let enrollment-style aspects (admission
                                 // queues) forget this invocation.
@@ -1042,6 +1379,190 @@ impl AspectModerator {
                     }
                     inc(&r.stats.wakeups);
                     self.emit(ctx.invocation(), &method.id, None, EventKind::WaitWoken);
+                }
+            }
+        }
+    }
+
+    /// Pre-activation under [`FairnessPolicy::Fifo`].
+    ///
+    /// The caller evaluates its chain only while holding a *grant*: its
+    /// first pass with an empty queue, a queue permit naming its ticket
+    /// (head signal or sweep cursor), or the rollback-recheck backstop.
+    /// A caller arriving to a non-empty queue takes a ticket and parks
+    /// without evaluating — even if its chain would resume — which is
+    /// what prevents barging. Queue order equals ticket order equals
+    /// park order, all maintained under the cell lock.
+    ///
+    /// On `Blocked { released > 0 }` the caller is already ticketed, so
+    /// cross-cell notifications landing while the lock is dropped for
+    /// the rollback notification persist as queue permits; its own
+    /// re-check still uses the [`ROLLBACK_RECHECK`] backstop (an
+    /// out-of-band grant, the one documented exception to strict FIFO),
+    /// because granting itself a permit would let a head-of-queue
+    /// rollback loop spin hot.
+    fn preactivation_fifo(
+        &self,
+        r: &Resolved,
+        method: &MethodHandle,
+        ctx: &mut InvocationContext,
+        deadline: Option<Instant>,
+    ) -> Result<(), AbortError> {
+        let slot = r.slot.as_usize();
+        let mut state = r.cell.state.lock();
+        let mut ticket: Option<u64> = None;
+        let mut blocked_at: Option<Instant> = None;
+        let mut backstop: Option<Instant> = None;
+        loop {
+            let grant = match ticket {
+                None => (!state.queues[slot].has_waiters()).then_some(Grant::First),
+                Some(t) => state.queues[slot].grant_for(t).or_else(|| {
+                    backstop
+                        .is_some_and(|b| Instant::now() >= b)
+                        .then_some(Grant::Backstop)
+                }),
+            };
+            let Some(grant) = grant else {
+                if ticket.is_none() {
+                    // Barging prevention: earlier tickets are waiting,
+                    // so this caller may not evaluate (and possibly
+                    // reserve) ahead of them. Queue up and park.
+                    ticket = Some(state.queues[slot].enqueue());
+                    inc(&r.stats.blocks);
+                    inc(&r.stats.tickets_issued);
+                    r.stats.note_parked();
+                    blocked_at = Some(Instant::now());
+                    self.emit(ctx.invocation(), &method.id, None, EventKind::WaitStarted);
+                    continue;
+                }
+                let wait_until = match (deadline, backstop) {
+                    (Some(d), Some(b)) => Some(d.min(b)),
+                    (Some(d), None) => Some(d),
+                    (None, b) => b,
+                };
+                match wait_until {
+                    None => r.cond.wait(&mut state),
+                    Some(until) => {
+                        let timed_out = r.cond.wait_until(&mut state, until).timed_out();
+                        if timed_out && deadline.is_some_and(|d| Instant::now() >= d) {
+                            // Surrender the ticket. `cancel` re-attaches
+                            // pending permits to the successor, so the
+                            // cancellation strands nobody; broadcast so
+                            // the new head notices its inheritance.
+                            let q = &mut state.queues[slot];
+                            q.cancel(ticket.expect("timed out while ticketed"));
+                            if q.has_pending() && q.has_waiters() {
+                                r.cond.notify_all();
+                            }
+                            r.stats.note_unparked();
+                            inc(&r.stats.timeouts);
+                            let row = state.bank.row_mut(r.slot);
+                            for (_, aspect) in row.aspects.iter_mut() {
+                                aspect.on_cancel(ctx);
+                            }
+                            self.emit(
+                                ctx.invocation(),
+                                &method.id,
+                                None,
+                                EventKind::ActivationAborted,
+                            );
+                            return Err(AbortError::Timeout {
+                                method: method.id.clone(),
+                            });
+                        }
+                    }
+                }
+                continue;
+            };
+            if ticket.is_some() {
+                inc(&r.stats.wakeups);
+                self.emit(ctx.invocation(), &method.id, None, EventKind::WaitWoken);
+            }
+            if grant == Grant::Backstop {
+                // One out-of-band re-check per arming; re-armed below
+                // only if this evaluation rolls back again.
+                backstop = None;
+            }
+            match self.evaluate_chain(&mut state, r.slot, method, ctx, &r.stats) {
+                ChainOutcome::Resumed => {
+                    if let Some(t) = ticket {
+                        let q = &mut state.queues[slot];
+                        q.settle(t, grant, true);
+                        inc(&r.stats.tickets_served);
+                        r.stats.note_unparked();
+                        if q.has_pending() && q.has_waiters() {
+                            r.cond.notify_all();
+                        }
+                    }
+                    if let Some(start) = blocked_at {
+                        r.stats.record_wait(start.elapsed());
+                    }
+                    inc(&r.stats.resumes);
+                    self.emit(
+                        ctx.invocation(),
+                        &method.id,
+                        None,
+                        EventKind::ActivationResumed,
+                    );
+                    return Ok(());
+                }
+                ChainOutcome::Aborted {
+                    concern,
+                    reason,
+                    released,
+                } => {
+                    if let Some(t) = ticket {
+                        let q = &mut state.queues[slot];
+                        q.settle(t, grant, true);
+                        r.stats.note_unparked();
+                        if q.has_pending() && q.has_waiters() {
+                            r.cond.notify_all();
+                        }
+                    }
+                    inc(&r.stats.aborts);
+                    self.emit(
+                        ctx.invocation(),
+                        &method.id,
+                        None,
+                        EventKind::ActivationAborted,
+                    );
+                    let plan = (released > 0).then(|| state.wakes[slot].clone());
+                    if plan.is_some() {
+                        self.wake_own(&mut state, r.slot, &r.cond);
+                    }
+                    drop(state);
+                    if let Some(targets) = plan {
+                        self.notify_targets(&targets, &r.stats, ctx.invocation(), &method.id);
+                    }
+                    return Err(AbortError::Aspect {
+                        method: method.id.clone(),
+                        concern,
+                        reason,
+                    });
+                }
+                ChainOutcome::Blocked { released } => {
+                    match ticket {
+                        Some(t) => state.queues[slot].settle(t, grant, false),
+                        None => {
+                            ticket = Some(state.queues[slot].enqueue());
+                            inc(&r.stats.tickets_issued);
+                            r.stats.note_parked();
+                            blocked_at = Some(Instant::now());
+                        }
+                    }
+                    inc(&r.stats.blocks);
+                    self.emit(ctx.invocation(), &method.id, None, EventKind::WaitStarted);
+                    if released > 0 {
+                        // Rollback notification (module docs). No
+                        // own-queue permit: our successors cannot pass
+                        // us anyway, and self-granting would make a
+                        // blocked queue head spin on its own rollback.
+                        let targets = state.wakes[slot].clone();
+                        drop(state);
+                        self.notify_targets(&targets, &r.stats, ctx.invocation(), &method.id);
+                        state = r.cell.state.lock();
+                        backstop = Some(Instant::now() + ROLLBACK_RECHECK);
+                    }
                 }
             }
         }
@@ -1070,6 +1591,19 @@ impl AspectModerator {
         );
         let state = r.cell.state.lock();
         let mut state = state;
+        if self.fairness == FairnessPolicy::Fifo && state.queues[r.slot.as_usize()].has_waiters() {
+            // Barging prevention applies to the non-blocking form too:
+            // evaluating (and possibly reserving) ahead of ticketed
+            // waiters would be exactly the overtake Fifo forbids.
+            inc(&r.stats.would_blocks);
+            self.emit(
+                ctx.invocation(),
+                &method.id,
+                None,
+                EventKind::ActivationAborted,
+            );
+            return Ok(false);
+        }
         match self.evaluate_chain(&mut state, r.slot, method, ctx, &r.stats) {
             ChainOutcome::Resumed => {
                 inc(&r.stats.resumes);
@@ -1094,7 +1628,7 @@ impl AspectModerator {
                 );
                 let plan = (released > 0).then(|| state.wakes[r.slot.as_usize()].clone());
                 if plan.is_some() {
-                    self.wake_self(&r.cond);
+                    self.wake_own(&mut state, r.slot, &r.cond);
                 }
                 drop(state);
                 if let Some(targets) = plan {
@@ -1116,7 +1650,7 @@ impl AspectModerator {
                 );
                 let plan = (released > 0).then(|| state.wakes[r.slot.as_usize()].clone());
                 if plan.is_some() {
-                    self.wake_self(&r.cond);
+                    self.wake_own(&mut state, r.slot, &r.cond);
                 }
                 drop(state);
                 if let Some(targets) = plan {
@@ -1166,7 +1700,7 @@ impl AspectModerator {
             // Postactions may have freed what this method's own waiters
             // block on (active flags, slots): wake them too (module
             // docs: self-wake). `wire_wakes` only governs other queues.
-            self.wake_self(&r.cond);
+            self.wake_own(&mut state, r.slot, &r.cond);
             state.wakes[r.slot.as_usize()].clone()
         };
         self.notify_targets(&targets, &r.stats, ctx.invocation(), &method.id);
@@ -1685,6 +2219,301 @@ mod tests {
         c.join().unwrap();
         assert_eq!(*items.lock(), 0);
         assert_eq!(m.stats().resumes, rounds * 2);
+    }
+
+    /// A token-gated method plus a `tick` method whose postaction mints
+    /// one token and whose post-activation notifies the gated queue —
+    /// the harness for the FIFO tests below.
+    fn gated(m: &AspectModerator, tokens: &Arc<AtomicU64>) -> (MethodHandle, MethodHandle) {
+        let open = m.declare_method(MethodId::new("open"));
+        let tick = m.declare_method(MethodId::new("tick"));
+        {
+            let tokens = Arc::clone(tokens);
+            m.register(
+                &open,
+                Concern::synchronization(),
+                Box::new(FnAspect::new("token-gate").on_precondition(move |_| {
+                    if tokens.load(AtomicOrdering::SeqCst) > 0 {
+                        tokens.fetch_sub(1, AtomicOrdering::SeqCst);
+                        Verdict::Resume
+                    } else {
+                        Verdict::Block
+                    }
+                })),
+            )
+            .unwrap();
+        }
+        {
+            let tokens = Arc::clone(tokens);
+            m.register(
+                &tick,
+                Concern::new("mint"),
+                Box::new(FnAspect::new("mint").on_postaction(move |_| {
+                    tokens.fetch_add(1, AtomicOrdering::SeqCst);
+                })),
+            )
+            .unwrap();
+        }
+        m.wire_wakes(&tick, std::slice::from_ref(&open));
+        m.wire_wakes(&open, &[]);
+        (open, tick)
+    }
+
+    fn fifo_grant_order(wake_mode: WakeMode) {
+        let m = Arc::new(
+            AspectModerator::builder()
+                .fairness(FairnessPolicy::Fifo)
+                .wake_mode(wake_mode)
+                .build(),
+        );
+        let tokens = Arc::new(AtomicU64::new(0));
+        let (open, tick) = gated(&m, &tokens);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let waiters = 4;
+        let mut handles = Vec::new();
+        for i in 0..waiters {
+            let mc = Arc::clone(&m);
+            let open = open.clone();
+            let order = Arc::clone(&order);
+            handles.push(thread::spawn(move || {
+                let mut ctx = ctx_for(&mc, &open);
+                mc.preactivation(&open, &mut ctx).unwrap();
+                order.lock().push(i);
+                mc.postactivation(&open, &mut ctx);
+            }));
+            // Serialize arrival so park order is [0, 1, 2, 3].
+            while m.stats().blocks < i + 1 {
+                thread::yield_now();
+            }
+        }
+        for served in 1..=waiters {
+            let mut ctx = ctx_for(&m, &tick);
+            m.preactivation(&tick, &mut ctx).unwrap();
+            m.postactivation(&tick, &mut ctx);
+            while (order.lock().len() as u64) < served {
+                thread::yield_now();
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*order.lock(), vec![0, 1, 2, 3], "grant order != park order");
+        let s = m.stats();
+        assert_eq!(s.tickets_issued, waiters);
+        assert_eq!(s.tickets_served, waiters);
+        assert_eq!(s.max_queue_depth, waiters);
+        assert_eq!(s.wait_hist.count(), waiters);
+    }
+
+    #[test]
+    fn fifo_serves_waiters_in_park_order_notify_one() {
+        fifo_grant_order(WakeMode::NotifyOne);
+    }
+
+    #[test]
+    fn fifo_serves_waiters_in_park_order_notify_all() {
+        fifo_grant_order(WakeMode::NotifyAll);
+    }
+
+    #[test]
+    fn fifo_newcomer_cannot_overtake_parked_waiter() {
+        let m = Arc::new(
+            AspectModerator::builder()
+                .fairness(FairnessPolicy::Fifo)
+                .build(),
+        );
+        let tokens = Arc::new(AtomicU64::new(0));
+        let (open, tick) = gated(&m, &tokens);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let spawn_caller = |tag: &'static str| {
+            let m = Arc::clone(&m);
+            let open = open.clone();
+            let order = Arc::clone(&order);
+            thread::spawn(move || {
+                let mut ctx = ctx_for(&m, &open);
+                m.preactivation(&open, &mut ctx).unwrap();
+                order.lock().push(tag);
+                m.postactivation(&open, &mut ctx);
+            })
+        };
+        let early = spawn_caller("early");
+        while m.stats().blocks == 0 {
+            thread::yield_now();
+        }
+        // A token appears, but no notification is sent: the parked
+        // waiter owns the queue head. A newcomer whose chain *would*
+        // resume must queue behind it instead of taking the token.
+        tokens.store(1, AtomicOrdering::SeqCst);
+        let late = spawn_caller("late");
+        while m.stats().blocks < 2 {
+            thread::yield_now();
+        }
+        assert!(order.lock().is_empty(), "a caller ran before any grant");
+        // Two ticks: each wakes the head and mints one more token.
+        for _ in 0..2 {
+            let mut ctx = ctx_for(&m, &tick);
+            m.preactivation(&tick, &mut ctx).unwrap();
+            m.postactivation(&tick, &mut ctx);
+        }
+        early.join().unwrap();
+        late.join().unwrap();
+        assert_eq!(*order.lock(), vec!["early", "late"]);
+    }
+
+    #[test]
+    fn fifo_try_preactivation_respects_queue() {
+        let m = Arc::new(
+            AspectModerator::builder()
+                .fairness(FairnessPolicy::Fifo)
+                .build(),
+        );
+        let tokens = Arc::new(AtomicU64::new(0));
+        let (open, _tick) = gated(&m, &tokens);
+        let waiter = {
+            let m = Arc::clone(&m);
+            let open = open.clone();
+            thread::spawn(move || {
+                let mut ctx = ctx_for(&m, &open);
+                m.preactivation_timeout(&open, &mut ctx, Duration::from_secs(5))
+            })
+        };
+        while m.stats().blocks == 0 {
+            thread::yield_now();
+        }
+        tokens.store(1, AtomicOrdering::SeqCst);
+        // The chain would resume, but an earlier ticket is parked:
+        // try_preactivation must refuse rather than overtake.
+        let mut ctx = ctx_for(&m, &open);
+        assert!(!m.try_preactivation(&open, &mut ctx).unwrap());
+        assert_eq!(m.stats().would_blocks, 1);
+        assert_eq!(tokens.load(AtomicOrdering::SeqCst), 1, "token untouched");
+        // Unblock the waiter so the test exits cleanly.
+        m.deregister(&open, &Concern::synchronization()).unwrap();
+        waiter.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn fifo_timed_out_ticket_does_not_strand_successor() {
+        let m = Arc::new(
+            AspectModerator::builder()
+                .fairness(FairnessPolicy::Fifo)
+                .wake_mode(WakeMode::NotifyOne)
+                .build(),
+        );
+        let tokens = Arc::new(AtomicU64::new(0));
+        let (open, tick) = gated(&m, &tokens);
+        // Head waiter gives up quickly...
+        let head = {
+            let m = Arc::clone(&m);
+            let open = open.clone();
+            thread::spawn(move || {
+                let mut ctx = ctx_for(&m, &open);
+                m.preactivation_timeout(&open, &mut ctx, Duration::from_millis(30))
+            })
+        };
+        while m.stats().blocks == 0 {
+            thread::yield_now();
+        }
+        // ...while a successor waits indefinitely behind it.
+        let successor = {
+            let m = Arc::clone(&m);
+            let open = open.clone();
+            thread::spawn(move || {
+                let mut ctx = ctx_for(&m, &open);
+                m.preactivation(&open, &mut ctx).unwrap();
+                m.postactivation(&open, &mut ctx);
+            })
+        };
+        while m.stats().blocks < 2 {
+            thread::yield_now();
+        }
+        let err = head.join().unwrap().unwrap_err();
+        assert!(err.is_timeout());
+        // One grant must now reach the successor, not the ghost of the
+        // cancelled head ticket.
+        let mut ctx = ctx_for(&m, &tick);
+        m.preactivation(&tick, &mut ctx).unwrap();
+        m.postactivation(&tick, &mut ctx);
+        successor.join().unwrap();
+        let s = m.stats();
+        assert_eq!(s.timeouts, 1);
+        assert_eq!(s.tickets_issued, 2);
+        assert_eq!(s.tickets_served, 1);
+    }
+
+    #[test]
+    fn fifo_pipeline_stays_live() {
+        // The capacity-1 producer/consumer hammer from
+        // `notify_one_pipeline_completes`, under Fifo in both wake
+        // modes: fairness must not cost liveness.
+        for wake_mode in [WakeMode::NotifyOne, WakeMode::NotifyAll] {
+            let m = Arc::new(
+                AspectModerator::builder()
+                    .fairness(FairnessPolicy::Fifo)
+                    .wake_mode(wake_mode)
+                    .build(),
+            );
+            let put = m.declare_method(MethodId::new("put"));
+            let take = m.declare_method(MethodId::new("take"));
+            m.wire_wakes(&put, std::slice::from_ref(&take));
+            m.wire_wakes(&take, std::slice::from_ref(&put));
+            let items = Arc::new(Mutex::new(0_u32));
+            {
+                let items = Arc::clone(&items);
+                m.register(
+                    &put,
+                    Concern::synchronization(),
+                    Box::new(FnAspect::new("not-full").on_precondition(move |_| {
+                        let mut i = items.lock();
+                        if *i < 1 {
+                            *i += 1;
+                            Verdict::Resume
+                        } else {
+                            Verdict::Block
+                        }
+                    })),
+                )
+                .unwrap();
+            }
+            {
+                let items = Arc::clone(&items);
+                m.register(
+                    &take,
+                    Concern::synchronization(),
+                    Box::new(FnAspect::new("not-empty").on_precondition(move |_| {
+                        let mut i = items.lock();
+                        if *i > 0 {
+                            *i -= 1;
+                            Verdict::Resume
+                        } else {
+                            Verdict::Block
+                        }
+                    })),
+                )
+                .unwrap();
+            }
+            let rounds = 500;
+            let run = |method: MethodHandle, m: Arc<AspectModerator>| {
+                thread::spawn(move || {
+                    for _ in 0..rounds {
+                        let mut ctx = ctx_for(&m, &method);
+                        m.preactivation(&method, &mut ctx).unwrap();
+                        m.postactivation(&method, &mut ctx);
+                    }
+                })
+            };
+            let threads = [
+                run(put.clone(), Arc::clone(&m)),
+                run(put, Arc::clone(&m)),
+                run(take.clone(), Arc::clone(&m)),
+                run(take, Arc::clone(&m)),
+            ];
+            for t in threads {
+                t.join().unwrap();
+            }
+            assert_eq!(*items.lock(), 0);
+            assert_eq!(m.stats().resumes, rounds * 4);
+        }
     }
 
     #[test]

@@ -77,6 +77,10 @@ pub struct WireStats {
     pub aborts: u64,
     /// Activations that timed out blocked.
     pub timeouts: u64,
+    /// Deepest wait queue any coordination cell has reached — the
+    /// worst-case position a request has waited from (tail-latency
+    /// headroom under `FairnessPolicy::Fifo`).
+    pub max_queue_depth: u64,
 }
 
 /// A server-to-client message.
@@ -248,6 +252,7 @@ pub fn encode_response(resp: &Response) -> Bytes {
             body.put_u64(s.queued);
             body.put_u64(s.aborts);
             body.put_u64(s.timeouts);
+            body.put_u64(s.max_queue_depth);
         }
     }
     frame(body)
@@ -311,6 +316,7 @@ pub fn decode_response(body: &[u8]) -> Result<Response, DecodeError> {
             queued: get_u64_checked(&mut cur)?,
             aborts: get_u64_checked(&mut cur)?,
             timeouts: get_u64_checked(&mut cur)?,
+            max_queue_depth: get_u64_checked(&mut cur)?,
         }),
         op => return Err(DecodeError::UnknownOpcode(op)),
     };
@@ -406,6 +412,7 @@ mod tests {
             queued: 3,
             aborts: 4,
             timeouts: 5,
+            max_queue_depth: 6,
         }));
     }
 

@@ -37,7 +37,7 @@ use amf_aspects::quota::QuotaAspect;
 use amf_aspects::sched::{RateLimitAspect, ThrottleMode};
 use amf_concurrency::{RateLimiter, RateLimiterConfig, SystemClock, WorkerPool};
 use amf_core::trace::MemoryTrace;
-use amf_core::{AbortError, AspectModerator, Concern, RegistrationError};
+use amf_core::{AbortError, AspectModerator, Concern, FairnessPolicy, RegistrationError};
 use amf_ticketing::{ExtendedTicketServerProxy, Ticket, TicketServerProxy};
 use parking_lot::Mutex;
 
@@ -64,6 +64,11 @@ pub struct ServiceConfig {
     /// How long a request may stay blocked (buffer full/empty) before
     /// the server answers `Blocked`.
     pub op_timeout: Duration,
+    /// Wake discipline of the coordination cells. `Barging` (the
+    /// default) minimizes median latency; `Fifo` tickets each cell's
+    /// waiters so no request is ever overtaken while parked — bounded
+    /// tail latency under contention at some median cost (E10).
+    pub fairness: FairnessPolicy,
 }
 
 impl Default for ServiceConfig {
@@ -75,6 +80,7 @@ impl Default for ServiceConfig {
             quota_window: Duration::from_secs(1),
             rate: None,
             op_timeout: Duration::from_millis(200),
+            fairness: FairnessPolicy::Barging,
         }
     }
 }
@@ -156,6 +162,7 @@ impl ServiceShared {
             queued: self.proxy.len() as u64,
             aborts: mod_stats.aborts,
             timeouts: mod_stats.timeouts,
+            max_queue_depth: mod_stats.max_queue_depth,
         }
     }
 
@@ -259,6 +266,7 @@ impl TicketService {
         let moderator = Arc::new(
             AspectModerator::builder()
                 .trace(trace.clone() as Arc<dyn amf_core::trace::TraceSink>)
+                .fairness(config.fairness)
                 .build(),
         );
         let auth = Authenticator::shared();

@@ -52,6 +52,14 @@ pub enum Step {
         /// The method it parks on.
         method: String,
     },
+    /// A timed thread gave up waiting: it surrendered its place in the
+    /// method's queue and its op completed timed-out.
+    Timeout {
+        /// Which thread stepped.
+        thread: usize,
+        /// The method it stopped waiting on.
+        method: String,
+    },
 }
 
 impl fmt::Display for Step {
@@ -70,6 +78,7 @@ impl fmt::Display for Step {
                 result,
             } => write!(f, "t{thread}: unwind({method}) -> {result}"),
             Step::Park { thread, method } => write!(f, "t{thread}: park({method})"),
+            Step::Timeout { thread, method } => write!(f, "t{thread}: timeout({method})"),
         }
     }
 }
@@ -87,6 +96,11 @@ pub enum Outcome {
     /// A terminal (all-threads-done) state violates the quiescence
     /// invariant — typically a leaked reservation.
     FinalInvariantViolation(Vec<Step>),
+    /// A thread's activation resumed while an *earlier-parked* waiter of
+    /// the same method was still queued (wake-order inversion). Only
+    /// reported when [`Checker::check_fairness`] is enabled; the trace
+    /// reproduces the overtake.
+    FairnessViolation(Vec<Step>),
     /// The state-space budget was exhausted before completion.
     StateLimit,
 }
@@ -133,6 +147,18 @@ struct World<S> {
     shared: S,
     /// (program counter, phase) per thread.
     threads: Vec<(usize, Phase)>,
+    /// Truth park order per method: thread ids in the order they
+    /// parked. This is the *specification* queue the fairness check
+    /// compares against; the protocol never consults it.
+    order: Vec<Vec<usize>>,
+    /// Eligibility queue per method: the queue the modeled *protocol*
+    /// consults for barging prevention and front-of-queue wakeups. In a
+    /// correct implementation it always equals `order`; the fairness
+    /// ablations corrupt it (and only it), so the divergence from
+    /// `order` is exactly the bug being modeled.
+    elig: Vec<Vec<usize>>,
+    /// Set when a step resumed past a still-queued earlier waiter.
+    violated: bool,
 }
 
 struct Node {
@@ -146,6 +172,8 @@ type InvariantFn<S> = Arc<dyn Fn(&S) -> bool + Send + Sync>;
 pub struct Checker<S> {
     system: ModelSystem<S>,
     scripts: Vec<Vec<MethodIx>>,
+    /// Whether each thread's blocked waits are timed (may give up).
+    timed: Vec<bool>,
     invariant: Option<InvariantFn<S>>,
     final_invariant: Option<InvariantFn<S>>,
     max_states: usize,
@@ -153,6 +181,10 @@ pub struct Checker<S> {
     sharded: bool,
     rollback_notify: bool,
     racy_park: bool,
+    fifo: bool,
+    check_fairness: bool,
+    racy_handoff: bool,
+    overtake_on_timeout: bool,
 }
 
 impl<S> fmt::Debug for Checker<S> {
@@ -165,6 +197,10 @@ impl<S> fmt::Debug for Checker<S> {
             .field("sharded", &self.sharded)
             .field("rollback_notify", &self.rollback_notify)
             .field("racy_park", &self.racy_park)
+            .field("fifo", &self.fifo)
+            .field("check_fairness", &self.check_fairness)
+            .field("racy_handoff", &self.racy_handoff)
+            .field("overtake_on_timeout", &self.overtake_on_timeout)
             .finish()
     }
 }
@@ -175,6 +211,7 @@ impl<S: Clone + Eq + Hash> Checker<S> {
         Self {
             system,
             scripts: Vec::new(),
+            timed: Vec::new(),
             invariant: None,
             final_invariant: None,
             max_states: 1_000_000,
@@ -182,6 +219,10 @@ impl<S: Clone + Eq + Hash> Checker<S> {
             sharded: false,
             rollback_notify: true,
             racy_park: false,
+            fifo: false,
+            check_fairness: false,
+            racy_handoff: false,
+            overtake_on_timeout: false,
         }
     }
 
@@ -200,6 +241,24 @@ impl<S: Clone + Eq + Hash> Checker<S> {
             );
         }
         self.scripts.push(script);
+        self.timed.push(false);
+        self
+    }
+
+    /// Adds a thread whose blocked waits are *timed*: whenever it is
+    /// parked, an extra `timeout` step is enabled in which it surrenders
+    /// its place in the queue and the op completes timed-out — modeling
+    /// `preactivation_timeout`. Use timed threads in fairness-ablation
+    /// scenarios so no interleaving can end in [`Outcome::Deadlock`] and
+    /// the exploration is guaranteed to reach the overtake instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the script references an undeclared method.
+    #[must_use]
+    pub fn timed_thread(mut self, script: Vec<MethodIx>) -> Self {
+        self = self.thread(script);
+        *self.timed.last_mut().expect("just pushed") = true;
         self
     }
 
@@ -268,6 +327,54 @@ impl<S: Clone + Eq + Hash> Checker<S> {
     #[must_use]
     pub fn racy_park(mut self) -> Self {
         self.racy_park = true;
+        self
+    }
+
+    /// Models `FairnessPolicy::Fifo`: each method's queue is strictly
+    /// first-parked-first-served. A notification readies every parked
+    /// waiter, but only the *front* of the queue may evaluate its chain
+    /// (a sweep serves the rest in order as the front settles), and a
+    /// newly arriving caller finding the queue non-empty joins it
+    /// without evaluating (barging prevention; the step appears as
+    /// `chain(m) -> queued` in traces). Without this flag the model has
+    /// barging semantics: woken waiters and newcomers race freely.
+    #[must_use]
+    pub fn fifo(mut self) -> Self {
+        self.fifo = true;
+        self
+    }
+
+    /// Checks wake-order fairness as an explored property: any step in
+    /// which an activation *resumes* while an earlier-parked waiter of
+    /// the same method is still queued yields
+    /// [`Outcome::FairnessViolation`] with the offending trace. Combine
+    /// with [`Checker::fifo`] to prove no-overtake, or leave fifo off to
+    /// exhibit that barging semantics violate it.
+    #[must_use]
+    pub fn check_fairness(mut self) -> Self {
+        self.check_fairness = true;
+        self
+    }
+
+    /// Fairness ablation: newcomers bypass the queue check — a freshly
+    /// arriving caller evaluates its chain immediately even when ticketed
+    /// waiters are queued, modeling an implementation that hands out the
+    /// resource before consulting `has_waiters`. Only meaningful with
+    /// [`Checker::fifo`].
+    #[must_use]
+    pub fn racy_handoff(mut self) -> Self {
+        self.racy_handoff = true;
+        self
+    }
+
+    /// Fairness ablation: a timed waiter that gives up cancels not just
+    /// its own ticket but the *eligibility seniority of everyone parked
+    /// behind it* (as if the cancellation reset the queue), so newcomers
+    /// can barge ahead of still-parked earlier waiters. Only meaningful
+    /// with [`Checker::fifo`] and at least one timed thread.
+    #[must_use]
+    pub fn overtake_on_timeout(mut self) -> Self {
+        self.overtake_on_timeout = true;
         self
     }
 
@@ -373,9 +480,30 @@ impl<S: Clone + Eq + Hash> Checker<S> {
     /// Wakes waiters on the `notified` queues. Notify-all readies every
     /// parked waiter; notify-one branches over which single waiter each
     /// queue wakes. Threads in `WillBlock` (racy-park mode) are missed
-    /// by design.
+    /// by design. In fifo mode wake permits are persistent queue state
+    /// in the implementation (a pending signal survives until a waiter
+    /// consumes it), so both wake modes ready every parked waiter here
+    /// and the eligibility queue serializes who actually evaluates.
+    /// Removes `thread` from `method`'s queues when its op resumes,
+    /// aborts, or cancels.
+    fn leave_queues(w: &mut World<S>, thread: usize, method: usize) {
+        w.order[method].retain(|&t| t != thread);
+        w.elig[method].retain(|&t| t != thread);
+    }
+
+    /// Records `thread` parking on `method` (idempotent across
+    /// re-blocks: a woken waiter that blocks again keeps its place).
+    fn join_queues(w: &mut World<S>, thread: usize, method: usize) {
+        if !w.order[method].contains(&thread) {
+            w.order[method].push(thread);
+        }
+        if !w.elig[method].contains(&thread) {
+            w.elig[method].push(thread);
+        }
+    }
+
     fn apply_notifications(&self, w: World<S>, notified: &[usize]) -> Vec<World<S>> {
-        if self.notify_one {
+        if self.notify_one && !self.fifo {
             // Branch over which single waiter each target queue wakes
             // (Java notify()).
             let mut worlds = vec![w];
@@ -422,11 +550,84 @@ impl<S: Clone + Eq + Hash> Checker<S> {
     fn successors(&self, world: &World<S>, thread: usize) -> Vec<(Step, World<S>)> {
         let (pc, phase) = world.threads[thread].clone();
         match phase {
-            Phase::Done | Phase::Blocked(_) => Vec::new(),
+            Phase::Done => Vec::new(),
+            Phase::Blocked(method) => {
+                if !self.timed[thread] {
+                    return Vec::new();
+                }
+                // Timed wait: the thread may give up, surrendering its
+                // place in the queue; the op completes timed-out.
+                let mut w = world.clone();
+                w.order[method].retain(|&t| t != thread);
+                if self.overtake_on_timeout {
+                    // Ablation: cancellation wipes the eligibility
+                    // seniority of every waiter parked behind it.
+                    if let Some(pos) = w.elig[method].iter().position(|&t| t == thread) {
+                        w.elig[method].truncate(pos);
+                    }
+                } else {
+                    w.elig[method].retain(|&t| t != thread);
+                }
+                let npc = pc + 1;
+                w.threads[thread] = (npc, self.phase_for(thread, npc));
+                vec![(
+                    Step::Timeout {
+                        thread,
+                        method: self.system.methods[method].name.clone(),
+                    },
+                    w,
+                )]
+            }
             Phase::Ready => {
                 let method = self.scripts[thread][pc].0;
+                if self.fifo {
+                    if let Some(&front) = world.elig[method].first() {
+                        if world.elig[method].contains(&thread) {
+                            // A woken waiter evaluates only at the
+                            // front of the queue.
+                            if front != thread {
+                                return Vec::new();
+                            }
+                        } else if !self.racy_handoff {
+                            // Barging prevention: a newcomer finding
+                            // ticketed waiters joins the queue without
+                            // evaluating. The racy-handoff ablation
+                            // skips exactly this step.
+                            let mut w = world.clone();
+                            Self::join_queues(&mut w, thread, method);
+                            w.threads[thread] = (pc, Phase::Blocked(method));
+                            return vec![(
+                                Step::Chain {
+                                    thread,
+                                    method: self.system.methods[method].name.clone(),
+                                    result: "queued",
+                                },
+                                w,
+                            )];
+                        }
+                    }
+                }
                 let mut w = world.clone();
                 let (label, next) = self.chain_step(method, &mut w.shared);
+                match label {
+                    "resumed" => {
+                        if self.check_fairness
+                            && w.order[method].first().is_some_and(|&t| t != thread)
+                        {
+                            // Overtake: an earlier-parked waiter of this
+                            // method is still queued.
+                            w.violated = true;
+                        }
+                        Self::leave_queues(&mut w, thread, method);
+                    }
+                    "blocked" => {
+                        // Queue membership is taken at decision time,
+                        // under the cell lock — before any Unwind or
+                        // Park step — matching the implementation.
+                        Self::join_queues(&mut w, thread, method);
+                    }
+                    _ => Self::leave_queues(&mut w, thread, method),
+                }
                 match next {
                     Some(phase) => w.threads[thread] = (pc, phase),
                     None => {
@@ -548,6 +749,9 @@ impl<S: Clone + Eq + Hash> Checker<S> {
             threads: (0..self.scripts.len())
                 .map(|t| (0, self.phase_for(t, 0)))
                 .collect(),
+            order: vec![Vec::new(); self.system.method_count()],
+            elig: vec![Vec::new(); self.system.method_count()],
+            violated: false,
         };
         if let Some(inv) = &self.invariant {
             if !inv(&initial_world.shared) {
@@ -591,6 +795,13 @@ impl<S: Clone + Eq + Hash> Checker<S> {
                         parent: Some((idx, step)),
                     });
                     let nidx = arena.len() - 1;
+                    if next.violated {
+                        return Exploration {
+                            outcome: Outcome::FairnessViolation(Self::trace(&arena, nidx)),
+                            states: visited.len(),
+                            terminals,
+                        };
+                    }
                     if let Some(inv) = &self.invariant {
                         if !inv(&next.shared) {
                             return Exploration {

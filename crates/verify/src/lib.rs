@@ -34,6 +34,16 @@
 //! discipline prevents). See `tests/sharded.rs` for both ablations as
 //! machine-checked counterexamples.
 //!
+//! Wake-order **fairness** is likewise a checked property
+//! ([`Checker::check_fairness`]): with [`Checker::fifo`] the model
+//! serves each cell's queue strictly first-parked-first-served
+//! (`FairnessPolicy::Fifo`), and the checker proves that no activation
+//! ever resumes past a still-queued earlier waiter — while the barging
+//! model and two seeded defects ([`Checker::racy_handoff`],
+//! [`Checker::overtake_on_timeout`]) are each caught with a concrete
+//! overtake trace (`tests/fairness.rs`). Timed waits are modeled by
+//! [`Checker::timed_thread`].
+//!
 //! # Example: proving the composition anomaly
 //!
 //! ```

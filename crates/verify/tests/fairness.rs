@@ -1,0 +1,318 @@
+//! Model-checking wake-order fairness (`FairnessPolicy::Fifo`): each
+//! coordination cell serves parked waiters strictly first-parked-first-
+//! served, and a newcomer cannot overtake a ticketed waiter whose
+//! precondition would now resume. Following PR 2's wiring tests, the
+//! discipline is verified *by ablation*: the faithful model passes the
+//! `check_fairness` property, while
+//!
+//! * the default **barging** model (no `fifo()`),
+//! * the **racy-handoff** ablation (newcomers bypass the queue check),
+//! * the **overtake-on-timeout** ablation (a cancelled ticket wipes its
+//!   successors' seniority)
+//!
+//! are each caught with a concrete overtake trace. Ablation scenarios
+//! use timed threads throughout so no interleaving can end in
+//! `Deadlock` — the only reportable defect is the fairness violation.
+
+use amf_verify::{aspects, Checker, MethodIx, ModelSystem, ModelVerdict, Outcome};
+
+/// A token gate: `open` consumes a token or blocks; `tick` mints one
+/// and notifies `open`'s queue — the minimal shape in which wake order
+/// is observable (one token, many parked openers).
+#[derive(Clone, PartialEq, Eq, Hash, Default, Debug)]
+struct Tokens {
+    avail: usize,
+}
+
+fn gated() -> (ModelSystem<Tokens>, MethodIx, MethodIx) {
+    let mut sys = ModelSystem::new();
+    let open = sys.method("open");
+    let tick = sys.method("tick");
+    sys.add_aspect(
+        open,
+        "gate",
+        aspects::from_fns(
+            |s: &mut Tokens| {
+                if s.avail > 0 {
+                    s.avail -= 1;
+                    ModelVerdict::Resume
+                } else {
+                    ModelVerdict::Block
+                }
+            },
+            |_| (),
+            |s: &mut Tokens| s.avail += 1,
+        ),
+    );
+    sys.add_aspect(
+        tick,
+        "mint",
+        aspects::from_fns(
+            |s: &mut Tokens| {
+                s.avail += 1;
+                ModelVerdict::Resume
+            },
+            |_| (),
+            |_| (),
+        ),
+    );
+    sys.wire_wakes(tick, vec![open]);
+    sys.wire_wakes(open, vec![]);
+    (sys, open, tick)
+}
+
+/// The fifo model proves no-overtake: across every interleaving of two
+/// contending openers and a producer, no activation ever resumes past a
+/// still-queued earlier waiter.
+#[test]
+fn fifo_proves_no_overtake() {
+    let (sys, open, tick) = gated();
+    let result = Checker::new(sys)
+        .fifo()
+        .check_fairness()
+        .thread(vec![open])
+        .thread(vec![open])
+        .thread(vec![tick, tick])
+        .run(Tokens::default());
+    assert_eq!(result.outcome, Outcome::Ok);
+    assert!(result.terminals >= 1);
+}
+
+/// No-overtake also holds under `NotifyOne` semantics: fifo wake
+/// permits are persistent queue state, so the single-wake mode changes
+/// nothing about order.
+#[test]
+fn fifo_proves_no_overtake_under_wake_one() {
+    let (sys, open, tick) = gated();
+    let result = Checker::new(sys)
+        .fifo()
+        .check_fairness()
+        .wake_one()
+        .thread(vec![open])
+        .thread(vec![open])
+        .thread(vec![tick, tick])
+        .run(Tokens::default());
+    assert_eq!(result.outcome, Outcome::Ok);
+}
+
+/// Timed waiters cancel without ever enabling an overtake: a
+/// surrendered ticket's successors keep their seniority.
+#[test]
+fn fifo_with_timed_waiters_stays_fair() {
+    let (sys, open, tick) = gated();
+    let result = Checker::new(sys)
+        .fifo()
+        .check_fairness()
+        .timed_thread(vec![open])
+        .timed_thread(vec![open])
+        .thread(vec![tick])
+        .run(Tokens::default());
+    assert_eq!(result.outcome, Outcome::Ok);
+}
+
+/// The default barging model is *caught* by the same property: a woken
+/// later waiter (or newcomer) can grab the token ahead of the queue
+/// front, and the checker produces the overtake trace. This is the
+/// behavior `FairnessPolicy::Barging` admits and `Fifo` forbids.
+#[test]
+fn barging_model_is_caught() {
+    let (sys, open, tick) = gated();
+    let result = Checker::new(sys)
+        .check_fairness()
+        .thread(vec![open])
+        .thread(vec![open])
+        .thread(vec![tick, tick])
+        .run(Tokens::default());
+    match result.outcome {
+        Outcome::FairnessViolation(trace) => {
+            let rendered: Vec<String> = trace.iter().map(ToString::to_string).collect();
+            // An opener parked, and a *different* thread's `open`
+            // resumed past it.
+            let parked = rendered
+                .iter()
+                .find(|s| s.contains("chain(open) -> blocked"))
+                .unwrap_or_else(|| panic!("{rendered:?}"));
+            let resumed = rendered.last().unwrap();
+            assert!(resumed.contains("chain(open) -> resumed"), "{rendered:?}");
+            let tid = |s: &str| s.split(':').next().unwrap().to_string();
+            assert_ne!(tid(parked), tid(resumed), "{rendered:?}");
+        }
+        other => panic!("expected fairness violation, got {other:?}"),
+    }
+}
+
+/// Racy-handoff ablation: a newcomer evaluates its chain without
+/// consulting the queue, takes the freshly minted token, and overtakes
+/// the parked waiter — caught. The un-ablated fifo model on the exact
+/// same scenario passes.
+#[test]
+fn racy_handoff_ablation_is_caught() {
+    let (sys, open, tick) = gated();
+    let ablated = Checker::new(sys)
+        .fifo()
+        .check_fairness()
+        .racy_handoff()
+        .timed_thread(vec![open])
+        .timed_thread(vec![open])
+        .thread(vec![tick])
+        .run(Tokens::default());
+    match ablated.outcome {
+        Outcome::FairnessViolation(trace) => {
+            let rendered: Vec<String> = trace.iter().map(ToString::to_string).collect();
+            assert!(
+                rendered.last().unwrap().contains("chain(open) -> resumed"),
+                "{rendered:?}"
+            );
+        }
+        other => panic!("expected fairness violation, got {other:?}"),
+    }
+
+    let (sys, open, tick) = gated();
+    let faithful = Checker::new(sys)
+        .fifo()
+        .check_fairness()
+        .timed_thread(vec![open])
+        .timed_thread(vec![open])
+        .thread(vec![tick])
+        .run(Tokens::default());
+    assert_eq!(faithful.outcome, Outcome::Ok);
+}
+
+/// Overtake-on-timeout ablation: a timed waiter that gives up wipes the
+/// eligibility seniority of the waiter parked behind it, so a newcomer
+/// barges ahead of a still-queued earlier waiter — caught, with the
+/// cancellation visible in the trace. The un-ablated model, where a
+/// cancelled ticket removes only itself, passes.
+#[test]
+fn overtake_on_timeout_ablation_is_caught() {
+    let (sys, open, tick) = gated();
+    let ablated = Checker::new(sys)
+        .fifo()
+        .check_fairness()
+        .overtake_on_timeout()
+        .timed_thread(vec![open])
+        .timed_thread(vec![open])
+        .timed_thread(vec![open])
+        .thread(vec![tick])
+        .run(Tokens::default());
+    match ablated.outcome {
+        Outcome::FairnessViolation(trace) => {
+            let rendered: Vec<String> = trace.iter().map(ToString::to_string).collect();
+            assert!(
+                rendered.iter().any(|s| s.contains("timeout(open)")),
+                "{rendered:?}"
+            );
+            assert!(
+                rendered.last().unwrap().contains("chain(open) -> resumed"),
+                "{rendered:?}"
+            );
+        }
+        other => panic!("expected fairness violation, got {other:?}"),
+    }
+
+    let (sys, open, tick) = gated();
+    let faithful = Checker::new(sys)
+        .fifo()
+        .check_fairness()
+        .timed_thread(vec![open])
+        .timed_thread(vec![open])
+        .timed_thread(vec![open])
+        .thread(vec![tick])
+        .run(Tokens::default());
+    assert_eq!(faithful.outcome, Outcome::Ok);
+}
+
+/// Fifo composes with the sharded protocol: the transient-reservation
+/// shape from `tests/sharded.rs` (reserve, then block on a gate, then
+/// roll back as a separate observable step) stays live and fair when
+/// waiters are queued at decision time.
+#[test]
+fn fifo_composes_with_sharded_rollback() {
+    #[derive(Clone, PartialEq, Eq, Hash, Default, Debug)]
+    struct Pool {
+        busy: bool,
+        gate: bool,
+    }
+    let mut sys = ModelSystem::new();
+    let a = sys.method("a");
+    let b = sys.method("b");
+    let pool = || {
+        aspects::reserve(
+            |s: &Pool| !s.busy,
+            |s: &mut Pool| s.busy = true,
+            |s: &mut Pool| s.busy = false,
+        )
+    };
+    sys.add_aspect(a, "gate", aspects::guard(|s: &Pool| s.gate));
+    sys.add_aspect(a, "pool", pool());
+    sys.add_aspect(b, "pool", pool());
+    sys.set_body(b, |s: &mut Pool| s.gate = true);
+    let result = Checker::new(sys)
+        .sharded()
+        .fifo()
+        .check_fairness()
+        .thread(vec![a])
+        .thread(vec![b])
+        .final_invariant(|s: &Pool| !s.busy)
+        .run(Pool::default());
+    assert_eq!(result.outcome, Outcome::Ok);
+}
+
+/// The paper's wired producer/consumer pipeline stays live under fifo
+/// in both wake modes — queueing newcomers must not introduce a
+/// deadlock the barging model does not have.
+#[test]
+fn fifo_pipeline_is_live() {
+    #[derive(Clone, PartialEq, Eq, Hash, Default, Debug)]
+    struct Buf {
+        reserved: usize,
+        produced: usize,
+        producing: bool,
+        consuming: bool,
+    }
+    let build = || {
+        let mut sys = ModelSystem::new();
+        let put = sys.method("put");
+        let take = sys.method("take");
+        sys.add_aspect(
+            put,
+            "sync",
+            aspects::buffer_producer(
+                1,
+                |s: &mut Buf| &mut s.reserved,
+                |s: &mut Buf| &mut s.produced,
+                |s: &mut Buf| &mut s.producing,
+            ),
+        );
+        sys.add_aspect(
+            take,
+            "sync",
+            aspects::buffer_consumer(
+                |s: &mut Buf| &mut s.reserved,
+                |s: &mut Buf| &mut s.produced,
+                |s: &mut Buf| &mut s.consuming,
+            ),
+        );
+        sys.wire_wakes(put, vec![take]);
+        sys.wire_wakes(take, vec![put]);
+        (sys, put, take)
+    };
+    let (sys, put, take) = build();
+    let all = Checker::new(sys)
+        .fifo()
+        .check_fairness()
+        .thread(vec![put, put])
+        .thread(vec![take, take])
+        .run(Buf::default());
+    assert_eq!(all.outcome, Outcome::Ok);
+
+    let (sys, put, take) = build();
+    let one = Checker::new(sys)
+        .fifo()
+        .check_fairness()
+        .wake_one()
+        .thread(vec![put, put])
+        .thread(vec![take, take])
+        .run(Buf::default());
+    assert_eq!(one.outcome, Outcome::Ok);
+}

@@ -7,6 +7,7 @@ use std::time::Duration;
 
 use amf_service::{ClientError, ServiceClient, ServiceConfig, TicketService};
 use aspect_moderator::aspects::auth::AuthToken;
+use aspect_moderator::core::FairnessPolicy;
 use aspect_moderator::ticketing::Severity;
 
 fn spawn_service(config: ServiceConfig) -> amf_service::ServiceHandle {
@@ -142,6 +143,44 @@ fn full_buffer_blocks_then_unblocks_across_connections() {
         let mut d = ServiceClient::connect(addr).unwrap();
         assert_eq!(d.assign(token).unwrap().id.0, 3);
     }
+    handle.shutdown();
+}
+
+#[test]
+fn fifo_service_reports_queue_depth_over_the_wire() {
+    let mut handle = spawn_service(ServiceConfig {
+        capacity: 1,
+        workers: 8,
+        op_timeout: Duration::from_secs(5),
+        fairness: FairnessPolicy::Fifo,
+        ..ServiceConfig::default()
+    });
+    handle.authenticator().add_user("ops", "pw");
+    let token = handle.authenticator().login("ops", "pw").unwrap();
+    let addr = handle.addr();
+
+    let mut filler = ServiceClient::connect(addr).unwrap();
+    filler.open(token, 1, Severity::Low, "fills").unwrap();
+    // A second open parks on the full buffer's fifo queue.
+    let parked = thread::spawn(move || {
+        let mut c = ServiceClient::connect(addr).unwrap();
+        c.open(token, 2, Severity::Low, "queued")
+    });
+    while handle.stats().max_queue_depth == 0 {
+        thread::sleep(Duration::from_millis(1));
+    }
+    let mut drainer = ServiceClient::connect(addr).unwrap();
+    assert_eq!(drainer.assign(token).unwrap().id.0, 1);
+    parked.join().unwrap().unwrap();
+    assert_eq!(drainer.assign(token).unwrap().id.0, 2);
+
+    // The high-water mark survives the wire round trip (6th u64 of the
+    // StatsReply frame) and matches the local view.
+    let wire = drainer.stats().unwrap();
+    assert!(wire.max_queue_depth >= 1, "{wire:?}");
+    assert_eq!(wire.max_queue_depth, handle.stats().max_queue_depth);
+    assert_eq!(wire.queued, 0);
+    assert_eq!(wire.opened, 2);
     handle.shutdown();
 }
 
