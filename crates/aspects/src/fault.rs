@@ -2,10 +2,15 @@
 //!
 //! "Fault tolerance" heads the paper's list of interaction properties.
 //! [`CircuitBreakerAspect`] stops calling a failing method until a
-//! cooldown elapses; [`FailureInjectionAspect`] aborts a configurable
-//! fraction of activations, for chaos-style testing of composed systems.
+//! cooldown elapses; [`FailureInjectionAspect`] aborts and
+//! [`PanicInjectionAspect`] panics a configurable fraction of
+//! activations, for chaos-style testing of composed systems. Both
+//! injectors are seeded (see [`chaos_seed`]) and count the faults they
+//! actually fired, so a chaos run can assert its injection tally
+//! against the moderator's accounting.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -162,18 +167,33 @@ impl Aspect for CircuitBreakerAspect {
     }
 }
 
+/// The seed for deterministic chaos runs: `AMF_CHAOS_SEED` from the
+/// environment when set (mirroring `AMF_FAIRNESS_SEED` for the fairness
+/// stress tests), else `default`. Unparsable values fall back to
+/// `default` rather than silently reseeding from zero.
+pub fn chaos_seed(default: u64) -> u64 {
+    std::env::var("AMF_CHAOS_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 /// Aborts a pseudo-random fraction of activations — failure injection
 /// for testing how composed systems behave under faults. Deterministic
-/// for a given seed.
+/// for a given seed ([`chaos_seed`] wires in `AMF_CHAOS_SEED`), and
+/// counts every abort it injects so a chaos run can assert how many
+/// faults actually fired once the aspect is boxed away.
 pub struct FailureInjectionAspect {
     rng: StdRng,
     probability: f64,
+    injected: Arc<AtomicU64>,
 }
 
 impl fmt::Debug for FailureInjectionAspect {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("FailureInjectionAspect")
             .field("probability", &self.probability)
+            .field("injected", &self.injected.load(Ordering::Relaxed))
             .finish()
     }
 }
@@ -185,13 +205,26 @@ impl FailureInjectionAspect {
         Self {
             rng: StdRng::seed_from_u64(seed),
             probability: probability.clamp(0.0, 1.0),
+            injected: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Shared handle on the injected-abort counter; clone it before
+    /// registering the aspect (registration boxes the aspect away).
+    pub fn counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.injected)
+    }
+
+    /// How many aborts this aspect has injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
     }
 }
 
 impl Aspect for FailureInjectionAspect {
     fn precondition(&mut self, _ctx: &mut InvocationContext) -> Verdict {
         if self.rng.gen::<f64>() < self.probability {
+            self.injected.fetch_add(1, Ordering::Relaxed);
             Verdict::abort("injected failure")
         } else {
             Verdict::Resume
@@ -202,6 +235,75 @@ impl Aspect for FailureInjectionAspect {
 
     fn describe(&self) -> &str {
         "failure injection"
+    }
+}
+
+/// Panics a pseudo-random fraction of aspect callbacks — the chaos
+/// companion to [`FailureInjectionAspect`] for exercising the
+/// moderator's fault containment (`PanicPolicy`). Preconditions and
+/// postactions misfire at independent configurable rates; the counter
+/// is bumped *before* the unwind so the tally is exact even though the
+/// panic aborts the callback.
+pub struct PanicInjectionAspect {
+    rng: StdRng,
+    pre_rate: f64,
+    post_rate: f64,
+    injected: Arc<AtomicU64>,
+}
+
+impl fmt::Debug for PanicInjectionAspect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PanicInjectionAspect")
+            .field("pre_rate", &self.pre_rate)
+            .field("post_rate", &self.post_rate)
+            .field("injected", &self.injected.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl PanicInjectionAspect {
+    /// Panics in `precondition` with probability `pre_rate` and in
+    /// `postaction` with probability `post_rate` (each clamped to
+    /// `[0, 1]`), seeded for reproducibility.
+    pub fn new(pre_rate: f64, post_rate: f64, seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            pre_rate: pre_rate.clamp(0.0, 1.0),
+            post_rate: post_rate.clamp(0.0, 1.0),
+            injected: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Shared handle on the injected-panic counter; clone it before
+    /// registering the aspect.
+    pub fn counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.injected)
+    }
+
+    /// How many panics this aspect has injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+}
+
+impl Aspect for PanicInjectionAspect {
+    fn precondition(&mut self, _ctx: &mut InvocationContext) -> Verdict {
+        if self.rng.gen::<f64>() < self.pre_rate {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            panic!("injected panic (precondition)");
+        }
+        Verdict::Resume
+    }
+
+    fn postaction(&mut self, _ctx: &mut InvocationContext) {
+        if self.rng.gen::<f64>() < self.post_rate {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            panic!("injected panic (postaction)");
+        }
+    }
+
+    fn describe(&self) -> &str {
+        "panic injection"
     }
 }
 
@@ -513,5 +615,86 @@ mod tests {
         };
         assert_eq!(collect(7), collect(7));
         assert_ne!(collect(7), collect(8));
+    }
+
+    #[test]
+    fn injection_counter_matches_fired_aborts() {
+        let mut a = FailureInjectionAspect::new(0.5, 99);
+        let counter = a.counter();
+        let mut aborted = 0_u64;
+        for _ in 0..1_000 {
+            if a.precondition(&mut ctx()).is_abort() {
+                aborted += 1;
+            }
+        }
+        assert_eq!(a.injected(), aborted);
+        assert_eq!(counter.load(Ordering::Relaxed), aborted);
+        assert!(aborted > 0);
+    }
+
+    #[test]
+    fn panic_injection_counts_exactly_what_it_fires() {
+        let mut a = PanicInjectionAspect::new(0.3, 0.3, 1234);
+        let counter = a.counter();
+        let mut pre_panics = 0_u64;
+        let mut post_panics = 0_u64;
+        for _ in 0..500 {
+            let mut c = ctx();
+            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| a.precondition(&mut c)))
+                .is_err()
+            {
+                pre_panics += 1;
+            }
+            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| a.postaction(&mut c)))
+                .is_err()
+            {
+                post_panics += 1;
+            }
+        }
+        assert!(pre_panics > 0 && post_panics > 0);
+        assert_eq!(counter.load(Ordering::Relaxed), pre_panics + post_panics);
+    }
+
+    #[test]
+    fn panic_injection_is_deterministic_per_seed() {
+        let collect = |seed| {
+            let mut a = PanicInjectionAspect::new(0.5, 0.0, seed);
+            (0..64)
+                .map(|_| {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        a.precondition(&mut ctx())
+                    }))
+                    .is_err()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(collect(7), collect(7));
+        assert_ne!(collect(7), collect(8));
+    }
+
+    #[test]
+    fn panic_injection_zero_rate_never_fires() {
+        let mut a = PanicInjectionAspect::new(0.0, 0.0, 5);
+        for _ in 0..200 {
+            let mut c = ctx();
+            assert!(a.precondition(&mut c).is_resume());
+            a.postaction(&mut c);
+        }
+        assert_eq!(a.injected(), 0);
+    }
+
+    #[test]
+    fn chaos_seed_prefers_env() {
+        // Process-global env var: restore it so parallel tests in this
+        // binary are unaffected.
+        let prior = std::env::var("AMF_CHAOS_SEED").ok();
+        std::env::set_var("AMF_CHAOS_SEED", "31337");
+        assert_eq!(chaos_seed(1), 31337);
+        std::env::set_var("AMF_CHAOS_SEED", "not-a-number");
+        assert_eq!(chaos_seed(1), 1);
+        match prior {
+            Some(v) => std::env::set_var("AMF_CHAOS_SEED", v),
+            None => std::env::remove_var("AMF_CHAOS_SEED"),
+        }
     }
 }

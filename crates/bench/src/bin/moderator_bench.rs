@@ -26,6 +26,12 @@
 //! `fifo_p99_over_barging_p99 <= 1` is the property the fairness PR
 //! claims.
 //!
+//! A fifth section, `chaos` (experiment E11), prices panic
+//! containment: `Propagate` (no `catch_unwind`) vs `AbortInvocation`
+//! at panic rate 0 — `containment_p50_overhead_{barging,fifo}` should
+//! stay within 5% of 1.0 — plus recovery latency while a seeded
+//! injector panics in 1% of preconditions.
+//!
 //! ```text
 //! cargo run -p amf-bench --release --bin moderator_bench
 //! cargo run -p amf-bench --release --bin moderator_bench -- --quick
@@ -33,9 +39,9 @@
 
 use std::time::Duration;
 
-use amf_bench::experiments::{run_fairness_tail, run_moderator_shard};
+use amf_bench::experiments::{run_chaos, run_fairness_tail, run_moderator_shard};
 use amf_bench::report::{fmt_ns, fmt_ops, json_array, JsonObject, JsonValue};
-use amf_core::{Coordination, FairnessPolicy};
+use amf_core::{Coordination, FairnessPolicy, PanicPolicy};
 
 const REPORT_PATH: &str = "BENCH_moderator.json";
 const ASPECT_WORK: Duration = Duration::from_micros(200);
@@ -158,6 +164,57 @@ fn main() {
             .build()
     };
 
+    // Experiment E11 — panic containment: the `catch_unwind` safety net
+    // priced at panic rate 0 (`containment_p50_overhead_*` should stay
+    // within 5% of the `Propagate` baseline) and recovery throughput at
+    // a 1% injected precondition panic rate.
+    let chaos = {
+        let producers = 8;
+        let per_thread = if quick { 500 } else { 20_000 };
+        std::panic::set_hook(Box::new(|_| {}));
+        let mut rows = Vec::new();
+        let mut overhead = Vec::new();
+        for (fname, fairness) in [
+            ("barging", FairnessPolicy::Barging),
+            ("fifo", FairnessPolicy::Fifo),
+        ] {
+            let mut p50_by_policy = Vec::new();
+            for (pname, policy, rate) in [
+                ("propagate", PanicPolicy::Propagate, 0.0),
+                ("abort_invocation", PanicPolicy::AbortInvocation, 0.0),
+                ("abort_invocation", PanicPolicy::AbortInvocation, 0.01),
+            ] {
+                let (s, panics) = run_chaos(fairness, policy, rate, producers, per_thread);
+                println!(
+                    "chaos ({fname}, {pname}, rate {rate}): p50 {} | p99 {} | panics {panics}",
+                    fmt_ns(s.p50_ns as f64),
+                    fmt_ns(s.p99_ns as f64),
+                );
+                if rate == 0.0 {
+                    p50_by_policy.push(s.p50_ns);
+                }
+                rows.push(
+                    JsonObject::new()
+                        .field("fairness", fname)
+                        .field("policy", pname)
+                        .field("panic_rate", rate)
+                        .field("panics_caught", panics)
+                        .field("latency", s.to_json())
+                        .build(),
+                );
+            }
+            overhead.push((fname, p50_by_policy[1] as f64 / p50_by_policy[0] as f64));
+        }
+        let _ = std::panic::take_hook();
+        JsonObject::new()
+            .field("producers", producers)
+            .field("per_thread_ops", per_thread)
+            .field("rows", json_array(rows))
+            .field("containment_p50_overhead_barging", overhead[0].1)
+            .field("containment_p50_overhead_fifo", overhead[1].1)
+            .build()
+    };
+
     let json = JsonObject::new()
         .field("benchmark", "moderator_sharding")
         .field("methods", 2_u64)
@@ -167,6 +224,7 @@ fn main() {
         .field("noisy_neighbor", noisy)
         .field("speedup_at_8_threads", speedup_at_8)
         .field("fairness_tail", fairness_tail)
+        .field("chaos", chaos)
         .build();
     if let Err(e) = std::fs::write(&report, format!("{json}\n")) {
         eprintln!("failed to write {report}: {e}");

@@ -1,4 +1,4 @@
-//! Experiments E1–E10: the quantitative evaluation of `EXPERIMENTS.md`.
+//! Experiments E1–E11: the quantitative evaluation of `EXPERIMENTS.md`.
 //!
 //! Each function runs one experiment and returns its [`Table`]. Pass
 //! `quick = true` to shrink workloads (used by unit tests and smoke
@@ -16,7 +16,7 @@ use amf_baseline::{TangledBuffer, TangledSecureBuffer};
 use amf_concurrency::SchedulerPolicy;
 use amf_core::{
     AspectModerator, Concern, Coordination, FairnessPolicy, FnAspect, InvocationContext, MethodId,
-    Moderated, NoopAspect, RollbackPolicy, Verdict, WakeMode,
+    Moderated, NoopAspect, PanicPolicy, RollbackPolicy, Verdict, WakeMode,
 };
 use amf_ticketing::{ExtendedTicketServerProxy, Ticket, TicketServerProxy};
 
@@ -962,6 +962,209 @@ pub fn e10_fairness(quick: bool) -> Table {
     t
 }
 
+/// One chaos-regime run for E11: `producers` threads push `per_thread`
+/// ops each through a capacity-16 put/take pipeline (low contention, so
+/// the latency measures the coordination path itself, not queueing)
+/// under the given panic policy, with a seeded [`PanicInjectionAspect`]
+/// firing in `put`'s precondition at `pre_rate` *after* the slot gate
+/// has reserved — every injected panic exercises the prefix unwind.
+/// Producers retry through contained panics, so the measured latency at
+/// a non-zero rate includes recovery. Returns the per-op latency
+/// summary and the moderator's `panics_caught`.
+///
+/// [`PanicInjectionAspect`]: amf_aspects::fault::PanicInjectionAspect
+pub fn run_chaos(
+    fairness: FairnessPolicy,
+    policy: PanicPolicy,
+    pre_rate: f64,
+    producers: usize,
+    per_thread: u64,
+) -> (LatencySummary, u64) {
+    use amf_aspects::fault::{chaos_seed, PanicInjectionAspect};
+
+    assert!(
+        pre_rate == 0.0 || policy != PanicPolicy::Propagate,
+        "a propagating run cannot inject panics"
+    );
+    let moderator = Arc::new(
+        AspectModerator::builder()
+            .fairness(fairness)
+            .panic_policy(policy)
+            .build(),
+    );
+    let capacity: u64 = 16;
+    let slots = Arc::new(AtomicU64::new(capacity));
+    let items = Arc::new(AtomicU64::new(0));
+    let put = moderator.declare_method(MethodId::new("put"));
+    let take = moderator.declare_method(MethodId::new("take"));
+    // The injector registers first so the slot gate (registered after,
+    // hence newest) evaluates before it: a fired panic always finds a
+    // reserved slot to unwind.
+    moderator
+        .register(
+            &put,
+            Concern::new("panic-injection"),
+            Box::new(PanicInjectionAspect::new(pre_rate, 0.0, chaos_seed(0xE11))),
+        )
+        .unwrap();
+    {
+        let (dec, undo, done) = (Arc::clone(&slots), Arc::clone(&slots), Arc::clone(&items));
+        moderator
+            .register(
+                &put,
+                Concern::synchronization(),
+                Box::new(
+                    FnAspect::new("slot-gate")
+                        .on_precondition(move |_| {
+                            if dec.load(Ordering::SeqCst) > 0 {
+                                dec.fetch_sub(1, Ordering::SeqCst);
+                                Verdict::Resume
+                            } else {
+                                Verdict::Block
+                            }
+                        })
+                        .on_postaction(move |_| {
+                            done.fetch_add(1, Ordering::SeqCst);
+                        })
+                        .on_release_do(move |_, _| {
+                            undo.fetch_add(1, Ordering::SeqCst);
+                        }),
+                ),
+            )
+            .unwrap();
+    }
+    {
+        let (dec, undo, done) = (Arc::clone(&items), Arc::clone(&items), Arc::clone(&slots));
+        moderator
+            .register(
+                &take,
+                Concern::synchronization(),
+                Box::new(
+                    FnAspect::new("item-gate")
+                        .on_precondition(move |_| {
+                            if dec.load(Ordering::SeqCst) > 0 {
+                                dec.fetch_sub(1, Ordering::SeqCst);
+                                Verdict::Resume
+                            } else {
+                                Verdict::Block
+                            }
+                        })
+                        .on_postaction(move |_| {
+                            done.fetch_add(1, Ordering::SeqCst);
+                        })
+                        .on_release_do(move |_, _| {
+                            undo.fetch_add(1, Ordering::SeqCst);
+                        }),
+                ),
+            )
+            .unwrap();
+    }
+    moderator.wire_wakes(&put, std::slice::from_ref(&take));
+    moderator.wire_wakes(&take, std::slice::from_ref(&put));
+
+    let barrier = std::sync::Barrier::new(producers + 1);
+    let mut samples: Vec<u64> = Vec::with_capacity(producers * per_thread as usize);
+    std::thread::scope(|s| {
+        let mut joins = Vec::new();
+        for _ in 0..producers {
+            let moderator = &moderator;
+            let put = &put;
+            let barrier = &barrier;
+            joins.push(s.spawn(move || {
+                let mut local = Vec::with_capacity(per_thread as usize);
+                barrier.wait();
+                for _ in 0..per_thread {
+                    let t0 = Instant::now();
+                    // Retry through contained panics: at a non-zero
+                    // rate the sample includes the recovery cost.
+                    loop {
+                        let mut ctx =
+                            InvocationContext::new(put.id().clone(), moderator.next_invocation());
+                        match moderator.preactivation(put, &mut ctx) {
+                            Ok(()) => {
+                                moderator.postactivation(put, &mut ctx);
+                                break;
+                            }
+                            Err(e) if e.is_panic() => continue,
+                            Err(e) => panic!("unexpected abort: {e}"),
+                        }
+                    }
+                    local.push(t0.elapsed().as_nanos() as u64);
+                }
+                local
+            }));
+        }
+        {
+            let moderator = &moderator;
+            let take = &take;
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                for _ in 0..producers as u64 * per_thread {
+                    let mut ctx =
+                        InvocationContext::new(take.id().clone(), moderator.next_invocation());
+                    moderator.preactivation(take, &mut ctx).unwrap();
+                    moderator.postactivation(take, &mut ctx);
+                }
+            });
+        }
+        for j in joins {
+            samples.extend(j.join().unwrap());
+        }
+    });
+    let panics = moderator.stats().panics_caught;
+    (LatencySummary::from_unsorted(&mut samples), panics)
+}
+
+/// E11 — containment overhead and recovery: the put/take pipeline under
+/// `Propagate` (no `catch_unwind` anywhere) vs `AbortInvocation` at
+/// panic rate 0 — the price of the safety net when nothing panics —
+/// then `AbortInvocation` riding out a 1% precondition panic rate, with
+/// producers retrying through every contained abort.
+pub fn e11_containment(quick: bool) -> Table {
+    let per_thread = scale(quick, 20_000);
+    let producers = 8;
+    let mut t = Table::new(
+        "E11 — panic containment overhead and recovery (8 producers, capacity-16 buffer)",
+        &[
+            "fairness",
+            "policy",
+            "panic rate",
+            "p50",
+            "p99",
+            "mean",
+            "panics caught",
+        ],
+    );
+    // Contained panics run the (default, printing) panic hook; silence
+    // it for the storm rows so release runs do not flood stderr.
+    let _ = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    for (fname, fairness) in [
+        ("Barging", FairnessPolicy::Barging),
+        ("Fifo", FairnessPolicy::Fifo),
+    ] {
+        for (pname, policy, rate) in [
+            ("Propagate", PanicPolicy::Propagate, 0.0),
+            ("AbortInvocation", PanicPolicy::AbortInvocation, 0.0),
+            ("AbortInvocation", PanicPolicy::AbortInvocation, 0.01),
+        ] {
+            let (s, panics) = run_chaos(fairness, policy, rate, producers, per_thread);
+            t.row(&[
+                fname.to_string(),
+                pname.to_string(),
+                format!("{:.0}%", rate * 100.0),
+                fmt_ns(s.p50_ns as f64),
+                fmt_ns(s.p99_ns as f64),
+                fmt_ns(s.mean_ns as f64),
+                panics.to_string(),
+            ]);
+        }
+    }
+    let _ = std::panic::take_hook();
+    t
+}
+
 /// V1 — exhaustive verification of the producer/consumer composition:
 /// states explored and verdicts across configurations, including the
 /// E7 anomaly as a machine-checked counterexample.
@@ -1082,7 +1285,7 @@ pub fn run(names: &[String], quick: bool) {
             || names.iter().any(|x| x.eq_ignore_ascii_case("all"))
     };
     type Runner = fn(bool) -> Table;
-    let runners: [(&str, Runner); 11] = [
+    let runners: [(&str, Runner); 12] = [
         ("e1", e1_overhead),
         ("e2", e2_throughput),
         ("e3", e3_composition),
@@ -1093,6 +1296,7 @@ pub fn run(names: &[String], quick: bool) {
         ("e8", e8_adaptability),
         ("e9", e9_sharding),
         ("e10", e10_fairness),
+        ("e11", e11_containment),
         ("v1", v1_verification),
     ];
     for (name, f) in runners {
@@ -1168,6 +1372,26 @@ mod tests {
     #[test]
     fn e10_produces_rows() {
         assert_eq!(e10_fairness(true).len(), 4);
+    }
+
+    #[test]
+    fn e11_produces_rows() {
+        assert_eq!(e11_containment(true).len(), 6);
+    }
+
+    #[test]
+    fn chaos_runner_accounts_for_every_panic() {
+        std::panic::set_hook(Box::new(|_| {}));
+        let (s, panics) = run_chaos(
+            FairnessPolicy::Barging,
+            PanicPolicy::AbortInvocation,
+            0.2,
+            2,
+            200,
+        );
+        let _ = std::panic::take_hook();
+        assert_eq!(s.count, 400, "{s:?}");
+        assert!(panics > 0, "a 20% rate over 400+ evaluations must fire");
     }
 
     #[test]

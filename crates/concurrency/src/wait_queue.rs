@@ -8,6 +8,18 @@
 //!
 //! Like a Java condition queue — and unlike a semaphore — a notification
 //! with no waiters is lost.
+//!
+//! # Unwind safety
+//!
+//! The queue is audited for use under panicking callers (the
+//! moderator's fault-containment work): `parking_lot` mutexes do not
+//! poison, every state transition (`enqueue`, `remove`, `grant`)
+//! happens entirely inside the queue's own lock, and no user-supplied
+//! code ever runs while that lock is held — so an aspect panic caught
+//! by the moderator can never leave `State` half-mutated or strand a
+//! waiter here. The protocol-level hazard (a departing ticket that
+//! holds a wake permit or sweep cursor) is the moderator's to handle;
+//! see the coordination-cell notes in `amf-core`.
 
 use std::collections::VecDeque;
 use std::fmt;

@@ -23,6 +23,17 @@ pub enum AbortError {
         /// The aspect's stated reason.
         reason: AbortReason,
     },
+    /// An aspect callback panicked and the moderator contained the
+    /// unwind (under `PanicPolicy::AbortInvocation` or `Quarantine`);
+    /// the invocation is aborted with the chain fully rolled back.
+    AspectPanicked {
+        /// The participating method whose activation failed.
+        method: MethodId,
+        /// The concern whose aspect panicked.
+        concern: Concern,
+        /// The panic payload, rendered as a string when possible.
+        message: String,
+    },
     /// The caller's wait for a `Resume` exceeded its timeout.
     Timeout {
         /// The participating method whose activation timed out.
@@ -34,15 +45,19 @@ impl AbortError {
     /// The method whose activation failed.
     pub fn method(&self) -> &MethodId {
         match self {
-            AbortError::Aspect { method, .. } | AbortError::Timeout { method } => method,
+            AbortError::Aspect { method, .. }
+            | AbortError::AspectPanicked { method, .. }
+            | AbortError::Timeout { method } => method,
         }
     }
 
-    /// The concern that aborted, if an aspect (rather than a timeout) was
-    /// responsible.
+    /// The concern that aborted or panicked, if an aspect (rather than a
+    /// timeout) was responsible.
     pub fn concern(&self) -> Option<&Concern> {
         match self {
-            AbortError::Aspect { concern, .. } => Some(concern),
+            AbortError::Aspect { concern, .. } | AbortError::AspectPanicked { concern, .. } => {
+                Some(concern)
+            }
             AbortError::Timeout { .. } => None,
         }
     }
@@ -50,6 +65,11 @@ impl AbortError {
     /// Whether this abort came from a timeout.
     pub fn is_timeout(&self) -> bool {
         matches!(self, AbortError::Timeout { .. })
+    }
+
+    /// Whether this abort came from a contained aspect panic.
+    pub fn is_panic(&self) -> bool {
+        matches!(self, AbortError::AspectPanicked { .. })
     }
 }
 
@@ -63,6 +83,14 @@ impl fmt::Display for AbortError {
             } => write!(
                 f,
                 "activation of `{method}` aborted by concern `{concern}`: {reason}"
+            ),
+            AbortError::AspectPanicked {
+                method,
+                concern,
+                message,
+            } => write!(
+                f,
+                "activation of `{method}` aborted: aspect for concern `{concern}` panicked: {message}"
             ),
             AbortError::Timeout { method } => {
                 write!(f, "activation of `{method}` timed out waiting to resume")
@@ -146,6 +174,20 @@ mod tests {
             e.to_string(),
             "activation of `open` aborted by concern `authenticate`: bad token"
         );
+    }
+
+    #[test]
+    fn panic_error_accessors() {
+        let e = AbortError::AspectPanicked {
+            method: MethodId::new("open"),
+            concern: Concern::metrics(),
+            message: "index out of bounds".to_string(),
+        };
+        assert_eq!(e.method().as_str(), "open");
+        assert_eq!(e.concern(), Some(&Concern::metrics()));
+        assert!(e.is_panic());
+        assert!(!e.is_timeout());
+        assert!(e.to_string().contains("panicked: index out of bounds"));
     }
 
     #[test]

@@ -79,7 +79,7 @@ pub use error::{AbortError, RegistrationError};
 pub use factory::{AspectFactory, ChainedFactory, RegistryFactory};
 pub use moderator::{
     AspectModerator, Coordination, FairnessPolicy, MethodHandle, ModeratorBuilder, ModeratorStats,
-    OrderingPolicy, RollbackPolicy, WaitHistogram, WakeMode, WAIT_BUCKETS,
+    OrderingPolicy, PanicPolicy, RollbackPolicy, WaitHistogram, WakeMode, WAIT_BUCKETS,
 };
 pub use proxy::{ActivationGuard, Moderated};
 pub use trace::{FilterSink, MemoryTrace, TeeSink, TraceSink};

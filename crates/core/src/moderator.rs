@@ -62,6 +62,16 @@
 //!   evaluating their chain, and a timed-out ticket hands pending
 //!   permits to its successor on cancellation. See DESIGN.md
 //!   ("Fairness") for the full ticket lifecycle.
+//! * **Fault containment**: aspects are foreign code running inside the
+//!   coordination engine, under the cell lock. Under a non-default
+//!   [`PanicPolicy`] every aspect callback (precondition, postaction,
+//!   release, cancel) runs inside `catch_unwind`; a precondition panic
+//!   takes the same compensation path as a mid-chain `Verdict::Abort`
+//!   (prefix rollback + rollback notification), a postaction panic
+//!   still finishes the remaining postactions and releases the
+//!   activation, and [`PanicPolicy::Quarantine`] disables a repeatedly
+//!   panicking slot so one bad concern degrades gracefully instead of
+//!   taking its method down. See DESIGN.md ("Fault containment").
 //!
 //! Lock ordering is `registry → at most one cell`: no code path holds a
 //! cell lock while acquiring the registry lock, and no path holds two
@@ -69,6 +79,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering as MemOrdering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -179,6 +190,41 @@ pub enum FairnessPolicy {
     Fifo,
 }
 
+/// What the moderator does when an aspect callback panics.
+///
+/// Aspects run inside the coordination engine, under the method's cell
+/// lock; an uncontained panic there unwinds with the chain
+/// half-evaluated, leaking reservations and stranding waiters. The
+/// non-default policies wrap every callback in `catch_unwind` and route
+/// a precondition panic through the same compensation path a mid-chain
+/// [`Verdict::Abort`] takes (prefix rollback + notifications), so no
+/// reservation or wake permit leaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PanicPolicy {
+    /// No containment: the panic unwinds through the moderator to the
+    /// caller, exactly as if the aspect had been called directly. The
+    /// paper's (implicit) semantics, and zero-overhead: callbacks are
+    /// invoked without a `catch_unwind` frame (default).
+    #[default]
+    Propagate,
+    /// Catch the panic and abort the invocation with
+    /// [`AbortError::AspectPanicked`], rolling back the
+    /// already-evaluated prefix of the chain. The aspect stays
+    /// registered and will run again on the next invocation.
+    AbortInvocation,
+    /// Like [`PanicPolicy::AbortInvocation`], but after an aspect slot
+    /// has panicked `after` times it is *quarantined*: from then on it
+    /// evaluates as `Resume`/no-op, the method keeps serving, and the
+    /// slot is reported in [`AspectModerator::quarantined_concerns`].
+    /// Quarantining shortens the effective chain, so the method's
+    /// waiters are woken to re-evaluate (same discipline as
+    /// [`AspectModerator::deregister`]).
+    Quarantine {
+        /// Number of caught panics after which the slot is disabled.
+        after: u32,
+    },
+}
+
 /// Number of buckets in a [`WaitHistogram`].
 pub const WAIT_BUCKETS: usize = 16;
 
@@ -258,6 +304,11 @@ pub struct ModeratorStats {
     /// method's queue (tracked under both fairness policies; aggregated
     /// with `max`, not summed).
     pub max_queue_depth: u64,
+    /// Aspect-callback panics caught by the containment layer (always 0
+    /// under [`PanicPolicy::Propagate`]).
+    pub panics_caught: u64,
+    /// Aspect slots disabled by [`PanicPolicy::Quarantine`].
+    pub quarantined_aspects: u64,
     /// Distribution of time spent blocked before resuming.
     pub wait_hist: WaitHistogram,
 }
@@ -283,6 +334,8 @@ struct StatShard {
     max_queue_depth: AtomicU64,
     /// Callers currently parked on this method (gauge, not exported).
     waiting_now: AtomicU64,
+    panics_caught: AtomicU64,
+    quarantined_aspects: AtomicU64,
     wait_hist: [AtomicU64; WAIT_BUCKETS],
 }
 
@@ -328,6 +381,8 @@ impl StatShard {
             tickets_issued: self.tickets_issued.load(MemOrdering::Relaxed),
             tickets_served: self.tickets_served.load(MemOrdering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(MemOrdering::Relaxed),
+            panics_caught: self.panics_caught.load(MemOrdering::Relaxed),
+            quarantined_aspects: self.quarantined_aspects.load(MemOrdering::Relaxed),
             wait_hist,
         }
     }
@@ -347,6 +402,8 @@ impl StatShard {
         out.tickets_issued += s.tickets_issued;
         out.tickets_served += s.tickets_served;
         out.max_queue_depth = out.max_queue_depth.max(s.max_queue_depth);
+        out.panics_caught += s.panics_caught;
+        out.quarantined_aspects += s.quarantined_aspects;
         out.wait_hist.merge(&s.wait_hist);
     }
 }
@@ -493,13 +550,18 @@ impl FifoQueue {
     /// sweep advances past the leaver, so successors are never stranded
     /// by a cancellation.
     fn cancel(&mut self, ticket: u64) {
-        if self.sweep.is_some_and(|(cursor, _)| cursor == ticket) {
-            self.advance_sweep(ticket);
-        }
         self.remove(ticket);
     }
 
     fn remove(&mut self, ticket: u64) {
+        // A departing ticket may hold the sweep cursor under a grant
+        // other than `Sweep`: a wake issued *during its own evaluation*
+        // (aspect quarantine, deregister from an aspect) starts the
+        // sweep at the queue head — the evaluator itself. Pass the
+        // cursor on, or the sweep dangles and strands every successor.
+        if self.sweep.is_some_and(|(cursor, _)| cursor == ticket) {
+            self.advance_sweep(ticket);
+        }
         if let Some(pos) = self.waiting.iter().position(|&t| t == ticket) {
             self.waiting.remove(pos);
         }
@@ -522,6 +584,16 @@ impl FifoQueue {
     }
 }
 
+/// Containment bookkeeping for one aspect slot: how often its callbacks
+/// have panicked and whether [`PanicPolicy::Quarantine`] has disabled
+/// it. Lives in the cell (not the bank) so replacing an aspect via
+/// `deregister`/`register` keeps the slot's fault history.
+#[derive(Debug, Clone, Copy, Default)]
+struct SlotFault {
+    panics: u32,
+    quarantined: bool,
+}
+
 /// The mutable coordination state of one cell: the aspect rows (an
 /// [`AspectBank`] with one row per hosted method — exactly one under
 /// [`Coordination::Sharded`]) and each hosted method's wake wiring.
@@ -532,6 +604,9 @@ struct CellState {
     /// FIFO wait state per local bank row, parallel to the bank's rows.
     /// Unused (never enqueued into) under [`FairnessPolicy::Barging`].
     queues: Vec<FifoQueue>,
+    /// Per-slot panic bookkeeping, keyed by concern, parallel to the
+    /// bank's rows. Empty under [`PanicPolicy::Propagate`].
+    faults: Vec<HashMap<Concern, SlotFault>>,
 }
 
 /// One coordination cell: the lock guarding a method's chain, wake
@@ -548,6 +623,7 @@ impl Cell {
                 bank: AspectBank::new(),
                 wakes: Vec::new(),
                 queues: Vec::new(),
+                faults: Vec::new(),
             }),
         })
     }
@@ -617,6 +693,7 @@ pub struct ModeratorBuilder {
     rollback: RollbackPolicy,
     coordination: Coordination,
     fairness: FairnessPolicy,
+    panic_policy: PanicPolicy,
     trace: Option<Arc<dyn TraceSink>>,
 }
 
@@ -628,6 +705,7 @@ impl fmt::Debug for ModeratorBuilder {
             .field("rollback", &self.rollback)
             .field("coordination", &self.coordination)
             .field("fairness", &self.fairness)
+            .field("panic_policy", &self.panic_policy)
             .field("trace", &self.trace.is_some())
             .finish()
     }
@@ -670,6 +748,14 @@ impl ModeratorBuilder {
         self
     }
 
+    /// Sets what happens when an aspect callback panics (default
+    /// [`PanicPolicy::Propagate`]).
+    #[must_use]
+    pub fn panic_policy(mut self, policy: PanicPolicy) -> Self {
+        self.panic_policy = policy;
+        self
+    }
+
     /// Attaches a protocol trace sink.
     #[must_use]
     pub fn trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
@@ -687,6 +773,7 @@ impl ModeratorBuilder {
             rollback: self.rollback,
             coordination: self.coordination,
             fairness: self.fairness,
+            panic_policy: self.panic_policy,
             trace: self.trace,
         }
     }
@@ -727,6 +814,7 @@ pub struct AspectModerator {
     rollback: RollbackPolicy,
     coordination: Coordination,
     fairness: FairnessPolicy,
+    panic_policy: PanicPolicy,
     trace: Option<Arc<dyn TraceSink>>,
 }
 
@@ -746,6 +834,7 @@ impl fmt::Debug for AspectModerator {
             .field("rollback", &self.rollback)
             .field("coordination", &self.coordination)
             .field("fairness", &self.fairness)
+            .field("panic_policy", &self.panic_policy)
             .finish()
     }
 }
@@ -768,7 +857,21 @@ enum ChainOutcome {
         concern: Concern,
         reason: crate::verdict::AbortReason,
         released: usize,
+        /// True when the abort is a contained aspect panic rather than a
+        /// `Verdict::Abort`; surfaced as [`AbortError::AspectPanicked`].
+        panicked: bool,
     },
+}
+
+/// Renders a caught panic payload for diagnostics.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 impl AspectModerator {
@@ -839,6 +942,7 @@ impl AspectModerator {
             if state.wakes.len() < state.bank.method_count() {
                 state.wakes.push(WakeTargets::All);
                 state.queues.push(FifoQueue::default());
+                state.faults.push(HashMap::new());
             }
             slot
         };
@@ -1014,6 +1118,42 @@ impl AspectModerator {
         self.resolve(method).stats.snapshot()
     }
 
+    /// The moderator's panic containment policy.
+    pub fn panic_policy(&self) -> PanicPolicy {
+        self.panic_policy
+    }
+
+    /// Per-slot caught-panic counts for `method`, in registration order.
+    /// Slots that never panicked are reported with a count of 0.
+    pub fn panic_counts(&self, method: &MethodHandle) -> Vec<(Concern, u32)> {
+        let r = self.resolve(method);
+        let state = r.cell.state.lock();
+        let fault_map = &state.faults[r.slot.as_usize()];
+        state
+            .bank
+            .concerns(r.slot)
+            .into_iter()
+            .map(|c| {
+                let panics = fault_map.get(&c).map_or(0, |f| f.panics);
+                (c, panics)
+            })
+            .collect()
+    }
+
+    /// The concerns of `method` currently quarantined by
+    /// [`PanicPolicy::Quarantine`], in registration order.
+    pub fn quarantined_concerns(&self, method: &MethodHandle) -> Vec<Concern> {
+        let r = self.resolve(method);
+        let state = r.cell.state.lock();
+        let fault_map = &state.faults[r.slot.as_usize()];
+        state
+            .bank
+            .concerns(r.slot)
+            .into_iter()
+            .filter(|c| fault_map.get(c).is_some_and(|f| f.quarantined))
+            .collect()
+    }
+
     /// Index of the `pos`-th aspect (of `n`) in precondition order.
     #[inline]
     fn pre_index(&self, pos: usize, n: usize) -> usize {
@@ -1033,24 +1173,204 @@ impl AspectModerator {
         }
     }
 
+    /// Records one contained aspect panic: bumps the counters and the
+    /// slot's fault entry, emits [`EventKind::PanicCaught`], and — under
+    /// [`PanicPolicy::Quarantine`] — disables the slot once its budget
+    /// is spent. Quarantining shortens the effective chain exactly like
+    /// `deregister`, so the method's own waiters are woken (full sweep
+    /// under Fifo) to re-evaluate. The caller must hold the cell lock.
+    #[allow(clippy::too_many_arguments)]
+    fn note_panic(
+        &self,
+        fault_map: &mut HashMap<Concern, SlotFault>,
+        queue: &mut FifoQueue,
+        cond: &Condvar,
+        method: &MethodId,
+        concern: &Concern,
+        invocation: u64,
+        stats: &StatShard,
+    ) {
+        inc(&stats.panics_caught);
+        self.emit(
+            invocation,
+            method,
+            Some(concern.clone()),
+            EventKind::PanicCaught,
+        );
+        let entry = fault_map.entry(concern.clone()).or_default();
+        entry.panics = entry.panics.saturating_add(1);
+        if let PanicPolicy::Quarantine { after } = self.panic_policy {
+            if !entry.quarantined && entry.panics >= after {
+                entry.quarantined = true;
+                inc(&stats.quarantined_aspects);
+                self.emit(
+                    invocation,
+                    method,
+                    Some(concern.clone()),
+                    EventKind::AspectQuarantined,
+                );
+                if self.fairness == FairnessPolicy::Fifo {
+                    queue.wake(WakeMode::NotifyAll);
+                }
+                cond.notify_all();
+            }
+        }
+    }
+
+    /// Whether `concern`'s slot has been quarantined (always false under
+    /// policies other than [`PanicPolicy::Quarantine`], which never set
+    /// the flag).
+    fn is_quarantined(fault_map: &HashMap<Concern, SlotFault>, concern: &Concern) -> bool {
+        fault_map.get(concern).is_some_and(|f| f.quarantined)
+    }
+
+    /// Builds the error for a chain that ended in `Aborted`: a contained
+    /// panic surfaces as [`AbortError::AspectPanicked`], a
+    /// [`Verdict::Abort`] as [`AbortError::Aspect`].
+    fn abort_error(
+        method: &MethodId,
+        concern: Concern,
+        reason: crate::verdict::AbortReason,
+        panicked: bool,
+    ) -> AbortError {
+        if panicked {
+            AbortError::AspectPanicked {
+                method: method.clone(),
+                concern,
+                message: reason.message().to_string(),
+            }
+        } else {
+            AbortError::Aspect {
+                method: method.clone(),
+                concern,
+                reason,
+            }
+        }
+    }
+
+    /// Delivers `on_cancel` to every aspect in a method's row (the
+    /// timeout path), with containment per policy: quarantined slots are
+    /// skipped and a panicking `on_cancel` is caught and counted so the
+    /// remaining aspects still see the cancellation.
+    fn cancel_all(
+        &self,
+        state: &mut CellState,
+        slot: MethodIndex,
+        method: &MethodId,
+        ctx: &InvocationContext,
+        cond: &Condvar,
+        stats: &StatShard,
+    ) {
+        let contain = self.panic_policy != PanicPolicy::Propagate;
+        let CellState {
+            bank,
+            queues,
+            faults,
+            ..
+        } = state;
+        let row = bank.row_mut(slot);
+        let queue = &mut queues[slot.as_usize()];
+        let fault_map = &mut faults[slot.as_usize()];
+        for (concern, aspect) in row.aspects.iter_mut() {
+            if contain && Self::is_quarantined(fault_map, concern) {
+                continue;
+            }
+            let delivered = if contain {
+                catch_unwind(AssertUnwindSafe(|| aspect.on_cancel(ctx))).is_ok()
+            } else {
+                aspect.on_cancel(ctx);
+                true
+            };
+            if !delivered {
+                let concern = concern.clone();
+                self.note_panic(
+                    fault_map,
+                    queue,
+                    cond,
+                    method,
+                    &concern,
+                    ctx.invocation(),
+                    stats,
+                );
+            }
+        }
+    }
+
     /// One pass over the chain, under the method's cell lock. On
     /// `Blocked` or `Aborted`, earlier-resumed aspects have been released
     /// per policy and the release count is reported in the outcome.
+    ///
+    /// Under a containing [`PanicPolicy`] each precondition runs inside
+    /// `catch_unwind`; a panic is treated as an abort at that position
+    /// (same prefix rollback), and quarantined slots are skipped
+    /// (evaluate as `Resume` without running).
     fn evaluate_chain(
         &self,
         state: &mut CellState,
         slot: MethodIndex,
         method: &MethodHandle,
         ctx: &mut InvocationContext,
+        cond: &Condvar,
         stats: &StatShard,
     ) -> ChainOutcome {
         let n = state.bank.concern_count(slot);
         let traced = self.trace.is_some();
-        let row = state.bank.row_mut(slot);
+        let contain = self.panic_policy != PanicPolicy::Propagate;
+        let CellState {
+            bank,
+            queues,
+            faults,
+            ..
+        } = state;
+        let row = bank.row_mut(slot);
+        let queue = &mut queues[slot.as_usize()];
+        let fault_map = &mut faults[slot.as_usize()];
         for pos in 0..n {
             let idx = self.pre_index(pos, n);
             let (concern, aspect) = &mut row.aspects[idx];
-            let verdict = aspect.precondition(ctx);
+            if contain && Self::is_quarantined(fault_map, concern) {
+                continue;
+            }
+            let verdict = if contain {
+                match catch_unwind(AssertUnwindSafe(|| aspect.precondition(ctx))) {
+                    Ok(v) => v,
+                    Err(payload) => {
+                        let concern = concern.clone();
+                        let message = panic_message(payload.as_ref());
+                        self.note_panic(
+                            fault_map,
+                            queue,
+                            cond,
+                            &method.id,
+                            &concern,
+                            ctx.invocation(),
+                            stats,
+                        );
+                        // Same compensation path as a mid-chain Abort:
+                        // unwind the already-evaluated prefix so no
+                        // reservation leaks past the panic.
+                        let released = self.release_prefix(
+                            row,
+                            fault_map,
+                            queue,
+                            cond,
+                            pos,
+                            n,
+                            ctx,
+                            ReleaseCause::Aborted,
+                            stats,
+                        );
+                        return ChainOutcome::Aborted {
+                            concern,
+                            reason: crate::verdict::AbortReason::new(message),
+                            released,
+                            panicked: true,
+                        };
+                    }
+                }
+            } else {
+                aspect.precondition(ctx)
+            };
             match verdict {
                 Verdict::Resume => {
                     if traced {
@@ -1073,8 +1393,17 @@ impl AspectModerator {
                             EventKind::PreconditionBlocked,
                         );
                     }
-                    let released =
-                        self.release_prefix(row, pos, n, ctx, ReleaseCause::Blocked, stats);
+                    let released = self.release_prefix(
+                        row,
+                        fault_map,
+                        queue,
+                        cond,
+                        pos,
+                        n,
+                        ctx,
+                        ReleaseCause::Blocked,
+                        stats,
+                    );
                     return ChainOutcome::Blocked { released };
                 }
                 Verdict::Abort(reason) => {
@@ -1087,12 +1416,22 @@ impl AspectModerator {
                             EventKind::PreconditionAborted,
                         );
                     }
-                    let released =
-                        self.release_prefix(row, pos, n, ctx, ReleaseCause::Aborted, stats);
+                    let released = self.release_prefix(
+                        row,
+                        fault_map,
+                        queue,
+                        cond,
+                        pos,
+                        n,
+                        ctx,
+                        ReleaseCause::Aborted,
+                        stats,
+                    );
                     return ChainOutcome::Aborted {
                         concern,
                         reason,
                         released,
+                        panicked: false,
                     };
                 }
             }
@@ -1102,10 +1441,19 @@ impl AspectModerator {
 
     /// Releases the `evaluated` already-resumed aspects (precondition
     /// positions `0..evaluated`) in reverse evaluation order — unwinding
-    /// the onion. Returns the number of releases delivered.
+    /// the onion. Returns the number of release deliveries attempted.
+    ///
+    /// Under a containing [`PanicPolicy`], quarantined slots are skipped
+    /// (their precondition never ran in this pass, so there is nothing
+    /// to undo) and a panicking `on_release` is caught and counted so
+    /// the unwind still reaches every remaining aspect in the prefix.
+    #[allow(clippy::too_many_arguments)]
     fn release_prefix(
         &self,
         row: &mut crate::bank::MethodRow,
+        fault_map: &mut HashMap<Concern, SlotFault>,
+        queue: &mut FifoQueue,
+        cond: &Condvar,
         evaluated: usize,
         n: usize,
         ctx: &InvocationContext,
@@ -1115,21 +1463,45 @@ impl AspectModerator {
         if self.rollback == RollbackPolicy::None {
             return 0;
         }
+        let contain = self.panic_policy != PanicPolicy::Propagate;
+        let mut attempted = 0;
         for pos in (0..evaluated).rev() {
             let idx = self.pre_index(pos, n);
             let (concern, aspect) = &mut row.aspects[idx];
-            aspect.on_release(ctx, cause);
-            inc(&stats.releases);
-            if self.trace.is_some() {
-                self.emit(
-                    ctx.invocation(),
+            if contain && Self::is_quarantined(fault_map, concern) {
+                continue;
+            }
+            attempted += 1;
+            let delivered = if contain {
+                catch_unwind(AssertUnwindSafe(|| aspect.on_release(ctx, cause))).is_ok()
+            } else {
+                aspect.on_release(ctx, cause);
+                true
+            };
+            if delivered {
+                inc(&stats.releases);
+                if self.trace.is_some() {
+                    self.emit(
+                        ctx.invocation(),
+                        ctx.method(),
+                        Some(concern.clone()),
+                        EventKind::AspectReleased,
+                    );
+                }
+            } else {
+                let concern = concern.clone();
+                self.note_panic(
+                    fault_map,
+                    queue,
+                    cond,
                     ctx.method(),
-                    Some(concern.clone()),
-                    EventKind::AspectReleased,
+                    &concern,
+                    ctx.invocation(),
+                    stats,
                 );
             }
         }
-        evaluated
+        attempted
     }
 
     /// Signals a method's *own* condvar (module docs: self-wake). The
@@ -1282,7 +1654,7 @@ impl AspectModerator {
         // queue-depth gauge.
         let mut blocked_at: Option<Instant> = None;
         loop {
-            match self.evaluate_chain(&mut state, r.slot, method, ctx, &r.stats) {
+            match self.evaluate_chain(&mut state, r.slot, method, ctx, &r.cond, &r.stats) {
                 ChainOutcome::Resumed => {
                     if let Some(start) = blocked_at {
                         r.stats.note_unparked();
@@ -1301,6 +1673,7 @@ impl AspectModerator {
                     concern,
                     reason,
                     released,
+                    panicked,
                 } => {
                     if blocked_at.is_some() {
                         r.stats.note_unparked();
@@ -1320,11 +1693,7 @@ impl AspectModerator {
                     if let Some(targets) = plan {
                         self.notify_targets(&targets, &r.stats, ctx.invocation(), &method.id);
                     }
-                    return Err(AbortError::Aspect {
-                        method: method.id.clone(),
-                        concern,
-                        reason,
-                    });
+                    return Err(Self::abort_error(&method.id, concern, reason, panicked));
                 }
                 ChainOutcome::Blocked { released } => {
                     inc(&r.stats.blocks);
@@ -1361,10 +1730,9 @@ impl AspectModerator {
                                 inc(&r.stats.timeouts);
                                 // Let enrollment-style aspects (admission
                                 // queues) forget this invocation.
-                                let row = state.bank.row_mut(r.slot);
-                                for (_, aspect) in row.aspects.iter_mut() {
-                                    aspect.on_cancel(ctx);
-                                }
+                                self.cancel_all(
+                                    &mut state, r.slot, &method.id, ctx, &r.cond, &r.stats,
+                                );
                                 self.emit(
                                     ctx.invocation(),
                                     &method.id,
@@ -1456,10 +1824,7 @@ impl AspectModerator {
                             }
                             r.stats.note_unparked();
                             inc(&r.stats.timeouts);
-                            let row = state.bank.row_mut(r.slot);
-                            for (_, aspect) in row.aspects.iter_mut() {
-                                aspect.on_cancel(ctx);
-                            }
+                            self.cancel_all(&mut state, r.slot, &method.id, ctx, &r.cond, &r.stats);
                             self.emit(
                                 ctx.invocation(),
                                 &method.id,
@@ -1483,7 +1848,7 @@ impl AspectModerator {
                 // only if this evaluation rolls back again.
                 backstop = None;
             }
-            match self.evaluate_chain(&mut state, r.slot, method, ctx, &r.stats) {
+            match self.evaluate_chain(&mut state, r.slot, method, ctx, &r.cond, &r.stats) {
                 ChainOutcome::Resumed => {
                     if let Some(t) = ticket {
                         let q = &mut state.queues[slot];
@@ -1510,6 +1875,7 @@ impl AspectModerator {
                     concern,
                     reason,
                     released,
+                    panicked,
                 } => {
                     if let Some(t) = ticket {
                         let q = &mut state.queues[slot];
@@ -1534,11 +1900,7 @@ impl AspectModerator {
                     if let Some(targets) = plan {
                         self.notify_targets(&targets, &r.stats, ctx.invocation(), &method.id);
                     }
-                    return Err(AbortError::Aspect {
-                        method: method.id.clone(),
-                        concern,
-                        reason,
-                    });
+                    return Err(Self::abort_error(&method.id, concern, reason, panicked));
                 }
                 ChainOutcome::Blocked { released } => {
                     match ticket {
@@ -1604,7 +1966,7 @@ impl AspectModerator {
             );
             return Ok(false);
         }
-        match self.evaluate_chain(&mut state, r.slot, method, ctx, &r.stats) {
+        match self.evaluate_chain(&mut state, r.slot, method, ctx, &r.cond, &r.stats) {
             ChainOutcome::Resumed => {
                 inc(&r.stats.resumes);
                 self.emit(
@@ -1640,6 +2002,7 @@ impl AspectModerator {
                 concern,
                 reason,
                 released,
+                panicked,
             } => {
                 inc(&r.stats.aborts);
                 self.emit(
@@ -1656,11 +2019,7 @@ impl AspectModerator {
                 if let Some(targets) = plan {
                     self.notify_targets(&targets, &r.stats, ctx.invocation(), &method.id);
                 }
-                Err(AbortError::Aspect {
-                    method: method.id.clone(),
-                    concern,
-                    reason,
-                })
+                Err(Self::abort_error(&method.id, concern, reason, panicked))
             }
         }
     }
@@ -1669,6 +2028,11 @@ impl AspectModerator {
     /// reverse precondition order) under the method's cell lock, then —
     /// after releasing it — notifies the wait queues wired for this
     /// method under the notify-while-locking-target discipline.
+    ///
+    /// Under a containing [`PanicPolicy`] a panicking postaction is
+    /// caught and counted; the remaining postactions still run and the
+    /// activation is still released (post-activation completes, waiters
+    /// are notified), so one bad postaction cannot leak the activation.
     pub fn postactivation(&self, method: &MethodHandle, ctx: &mut InvocationContext) {
         let r = self.resolve(method);
         self.emit(
@@ -1681,19 +2045,51 @@ impl AspectModerator {
             let mut state = r.cell.state.lock();
             let n = state.bank.concern_count(r.slot);
             let traced = self.trace.is_some();
-            let row = state.bank.row_mut(r.slot);
-            for pos in 0..n {
-                let idx = self.post_index(pos, n);
-                let (concern, aspect) = &mut row.aspects[idx];
-                aspect.postaction(ctx);
-                if traced {
-                    let concern = concern.clone();
-                    self.emit(
-                        ctx.invocation(),
-                        &method.id,
-                        Some(concern),
-                        EventKind::PostactionRun,
-                    );
+            let contain = self.panic_policy != PanicPolicy::Propagate;
+            {
+                let CellState {
+                    bank,
+                    queues,
+                    faults,
+                    ..
+                } = &mut *state;
+                let row = bank.row_mut(r.slot);
+                let queue = &mut queues[r.slot.as_usize()];
+                let fault_map = &mut faults[r.slot.as_usize()];
+                for pos in 0..n {
+                    let idx = self.post_index(pos, n);
+                    let (concern, aspect) = &mut row.aspects[idx];
+                    if contain && Self::is_quarantined(fault_map, concern) {
+                        continue;
+                    }
+                    let delivered = if contain {
+                        catch_unwind(AssertUnwindSafe(|| aspect.postaction(ctx))).is_ok()
+                    } else {
+                        aspect.postaction(ctx);
+                        true
+                    };
+                    if delivered {
+                        if traced {
+                            let concern = concern.clone();
+                            self.emit(
+                                ctx.invocation(),
+                                &method.id,
+                                Some(concern),
+                                EventKind::PostactionRun,
+                            );
+                        }
+                    } else {
+                        let concern = concern.clone();
+                        self.note_panic(
+                            fault_map,
+                            queue,
+                            &r.cond,
+                            &method.id,
+                            &concern,
+                            ctx.invocation(),
+                            &r.stats,
+                        );
+                    }
                 }
             }
             inc(&r.stats.postactivations);
@@ -2596,5 +2992,439 @@ mod tests {
         assert_eq!(slots.lock().used, 0);
         let s = m.stats();
         assert_eq!(s.resumes, rounds * 2);
+    }
+
+    #[test]
+    fn propagate_policy_lets_aspect_panics_escape() {
+        // The default policy adds no containment frame: the unwind
+        // crosses preactivation untouched. Observed with an explicit
+        // catch_unwind at the call site, not #[should_panic] — no test
+        // may rely on an implicitly propagating aspect panic.
+        let m = AspectModerator::new();
+        assert_eq!(m.panic_policy(), PanicPolicy::Propagate);
+        let open = m.declare_method(MethodId::new("open"));
+        m.register(
+            &open,
+            Concern::new("bomb"),
+            Box::new(FnAspect::new("bomb").on_precondition(|_| panic!("kaboom"))),
+        )
+        .unwrap();
+        let mut ctx = ctx_for(&m, &open);
+        let unwound =
+            std::panic::catch_unwind(AssertUnwindSafe(|| m.preactivation(&open, &mut ctx)));
+        assert!(unwound.is_err(), "panic must escape under Propagate");
+        assert_eq!(m.stats().panics_caught, 0);
+    }
+
+    #[test]
+    fn precondition_panic_aborts_and_rolls_back_prefix() {
+        let released = Arc::new(AtomicU64::new(0));
+        let trace = MemoryTrace::shared();
+        let m = AspectModerator::builder()
+            .panic_policy(PanicPolicy::AbortInvocation)
+            .trace(trace.clone())
+            .build();
+        let open = m.declare_method(MethodId::new("open"));
+        // Nested ordering: "reserve" (registered second) runs first, so
+        // it has resumed by the time "bomb" panics.
+        m.register(
+            &open,
+            Concern::new("bomb"),
+            Box::new(FnAspect::new("bomb").on_precondition(|_| panic!("kaboom"))),
+        )
+        .unwrap();
+        {
+            let released = Arc::clone(&released);
+            m.register(
+                &open,
+                Concern::new("reserve"),
+                Box::new(
+                    FnAspect::new("reserve")
+                        .on_precondition(|_| Verdict::Resume)
+                        .on_release_do(move |_, cause| {
+                            assert_eq!(cause, ReleaseCause::Aborted);
+                            released.fetch_add(1, AtomicOrdering::SeqCst);
+                        }),
+                ),
+            )
+            .unwrap();
+        }
+        let mut ctx = ctx_for(&m, &open);
+        let err = m.preactivation(&open, &mut ctx).unwrap_err();
+        match &err {
+            AbortError::AspectPanicked {
+                method,
+                concern,
+                message,
+            } => {
+                assert_eq!(method.as_str(), "open");
+                assert_eq!(concern.as_str(), "bomb");
+                assert_eq!(message, "kaboom");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(err.is_panic());
+        // Same compensation as a mid-chain Abort: the prefix unwound.
+        assert_eq!(released.load(AtomicOrdering::SeqCst), 1);
+        let s = m.stats();
+        assert_eq!(s.panics_caught, 1);
+        assert_eq!(s.aborts, 1);
+        assert_eq!(s.releases, 1);
+        assert_eq!(s.quarantined_aspects, 0, "AbortInvocation never disables");
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| e.kind == EventKind::PanicCaught));
+        // The slot stays armed: the next activation panics again.
+        let mut ctx = ctx_for(&m, &open);
+        assert!(m.preactivation(&open, &mut ctx).unwrap_err().is_panic());
+        assert_eq!(
+            m.panic_counts(&open),
+            vec![(Concern::new("bomb"), 2), (Concern::new("reserve"), 0)]
+        );
+    }
+
+    #[test]
+    fn postaction_panic_finishes_chain_and_releases_activation() {
+        let log = Arc::new(Mutex::new(Vec::<&'static str>::new()));
+        let m = AspectModerator::builder()
+            .panic_policy(PanicPolicy::AbortInvocation)
+            .build();
+        let open = m.declare_method(MethodId::new("open"));
+        // Nested postaction order is registration order: the bomb runs
+        // before "audit", which must still see the postaction.
+        m.register(
+            &open,
+            Concern::new("bomb"),
+            Box::new(FnAspect::new("bomb").on_postaction(|_| panic!("post kaboom"))),
+        )
+        .unwrap();
+        {
+            let log = Arc::clone(&log);
+            m.register(
+                &open,
+                Concern::new("audit"),
+                Box::new(FnAspect::new("audit").on_postaction(move |_| log.lock().push("audit"))),
+            )
+            .unwrap();
+        }
+        let mut ctx = ctx_for(&m, &open);
+        m.preactivation(&open, &mut ctx).unwrap();
+        m.postactivation(&open, &mut ctx);
+        assert_eq!(*log.lock(), vec!["audit"]);
+        let s = m.stats();
+        assert_eq!(s.panics_caught, 1);
+        assert_eq!(s.postactivations, 1, "activation still released");
+        // The invocation as a whole succeeded — no abort was recorded.
+        assert_eq!(s.aborts, 0);
+    }
+
+    #[test]
+    fn quarantine_disables_slot_after_budget() {
+        let trace = MemoryTrace::shared();
+        let m = AspectModerator::builder()
+            .panic_policy(PanicPolicy::Quarantine { after: 2 })
+            .trace(trace.clone())
+            .build();
+        let open = m.declare_method(MethodId::new("open"));
+        let runs = Arc::new(AtomicU64::new(0));
+        {
+            let runs = Arc::clone(&runs);
+            m.register(
+                &open,
+                Concern::new("flaky"),
+                Box::new(FnAspect::new("flaky").on_precondition(move |_| {
+                    runs.fetch_add(1, AtomicOrdering::SeqCst);
+                    panic!("always broken")
+                })),
+            )
+            .unwrap();
+        }
+        for _ in 0..2 {
+            let mut ctx = ctx_for(&m, &open);
+            assert!(m.preactivation(&open, &mut ctx).unwrap_err().is_panic());
+        }
+        // Budget spent: the slot now evaluates as Resume without running.
+        let mut ctx = ctx_for(&m, &open);
+        m.preactivation(&open, &mut ctx).unwrap();
+        m.postactivation(&open, &mut ctx);
+        assert_eq!(runs.load(AtomicOrdering::SeqCst), 2, "quarantined slot ran");
+        let s = m.stats();
+        assert_eq!(s.panics_caught, 2);
+        assert_eq!(s.quarantined_aspects, 1);
+        assert_eq!(s.resumes, 1);
+        assert_eq!(m.panic_counts(&open), vec![(Concern::new("flaky"), 2)]);
+        assert_eq!(m.quarantined_concerns(&open), vec![Concern::new("flaky")]);
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| e.kind == EventKind::AspectQuarantined));
+    }
+
+    #[test]
+    fn quarantine_wakes_parked_waiter_barging() {
+        // A waiter parked on a blocking aspect must be woken when that
+        // aspect is quarantined out of the chain — quarantining shortens
+        // the chain exactly like deregister, and the same wake applies.
+        let m = Arc::new(
+            AspectModerator::builder()
+                .panic_policy(PanicPolicy::Quarantine { after: 1 })
+                .build(),
+        );
+        let open = m.declare_method(MethodId::new("open"));
+        let armed = Arc::new(AtomicU64::new(0));
+        {
+            let armed = Arc::clone(&armed);
+            m.register(
+                &open,
+                Concern::new("gate"),
+                Box::new(FnAspect::new("gate").on_precondition(move |_| {
+                    if armed.load(AtomicOrdering::SeqCst) == 1 {
+                        panic!("armed")
+                    }
+                    Verdict::Block
+                })),
+            )
+            .unwrap();
+        }
+        let waiter = {
+            let m = Arc::clone(&m);
+            let open = open.clone();
+            thread::spawn(move || {
+                let mut ctx = ctx_for(&m, &open);
+                m.preactivation(&open, &mut ctx).unwrap();
+                m.postactivation(&open, &mut ctx);
+            })
+        };
+        while m.stats().blocks == 0 {
+            thread::yield_now();
+        }
+        // A second caller trips the panic; quarantine (budget 1) disables
+        // the gate and must wake the parked waiter onto the empty chain.
+        armed.store(1, AtomicOrdering::SeqCst);
+        let mut ctx = ctx_for(&m, &open);
+        assert!(m.preactivation(&open, &mut ctx).unwrap_err().is_panic());
+        armed.store(2, AtomicOrdering::SeqCst); // disarm; slot is dead anyway
+        waiter.join().unwrap();
+        let s = m.stats();
+        assert_eq!(s.quarantined_aspects, 1);
+        assert_eq!(s.resumes, 1);
+    }
+
+    #[test]
+    fn quarantine_wakes_fifo_successor_after_head_panics() {
+        // Fifo: the head waiter's re-evaluation panics and quarantines
+        // the slot. The successor holds a later ticket and no grant is
+        // in flight — only the quarantine wake (full sweep) frees it.
+        let m = Arc::new(
+            AspectModerator::builder()
+                .fairness(FairnessPolicy::Fifo)
+                .wake_mode(WakeMode::NotifyOne)
+                .panic_policy(PanicPolicy::Quarantine { after: 1 })
+                .build(),
+        );
+        let open = m.declare_method(MethodId::new("open"));
+        let tick = m.declare_method(MethodId::new("tick"));
+        m.wire_wakes(&tick, std::slice::from_ref(&open));
+        m.wire_wakes(&open, &[]);
+        let evals = Arc::new(AtomicU64::new(0));
+        {
+            let evals = Arc::clone(&evals);
+            m.register(
+                &open,
+                Concern::new("flaky-gate"),
+                Box::new(FnAspect::new("flaky-gate").on_precondition(move |_| {
+                    // First evaluation parks the head; the re-evaluation
+                    // after the tick's grant panics.
+                    if evals.fetch_add(1, AtomicOrdering::SeqCst) == 0 {
+                        Verdict::Block
+                    } else {
+                        panic!("flaky gate")
+                    }
+                })),
+            )
+            .unwrap();
+        }
+        let head = {
+            let m = Arc::clone(&m);
+            let open = open.clone();
+            thread::spawn(move || {
+                let mut ctx = ctx_for(&m, &open);
+                m.preactivation(&open, &mut ctx)
+            })
+        };
+        while m.stats().blocks == 0 {
+            thread::yield_now();
+        }
+        let successor = {
+            let m = Arc::clone(&m);
+            let open = open.clone();
+            thread::spawn(move || {
+                let mut ctx = ctx_for(&m, &open);
+                m.preactivation(&open, &mut ctx).unwrap();
+                m.postactivation(&open, &mut ctx);
+            })
+        };
+        while m.stats().blocks < 2 {
+            thread::yield_now();
+        }
+        // Grant the head: its re-evaluation panics and quarantines the
+        // gate; the successor must then resume on the shortened chain.
+        let mut ctx = ctx_for(&m, &tick);
+        m.preactivation(&tick, &mut ctx).unwrap();
+        m.postactivation(&tick, &mut ctx);
+        assert!(head.join().unwrap().unwrap_err().is_panic());
+        successor.join().unwrap();
+        let s = m.stats();
+        assert_eq!(s.quarantined_aspects, 1);
+        assert_eq!(s.panics_caught, 1);
+    }
+
+    #[test]
+    fn contained_panic_never_leaks_reservation_or_strands_other_cell() {
+        // The cross-cell regression: `put` reserves capacity, then a
+        // later aspect in its chain panics. The rollback must release
+        // the reservation (else capacity leaks) and the `take` waiter
+        // parked on the *other* cell must still complete after a good
+        // put — the PR-2 wake discipline under unwind.
+        let m = Arc::new(
+            AspectModerator::builder()
+                .panic_policy(PanicPolicy::AbortInvocation)
+                .build(),
+        );
+        let put = m.declare_method(MethodId::new("put"));
+        let take = m.declare_method(MethodId::new("take"));
+        m.wire_wakes(&put, std::slice::from_ref(&take));
+        m.wire_wakes(&take, std::slice::from_ref(&put));
+        let items = Arc::new(Mutex::new(0_u32));
+        let armed = Arc::new(AtomicU64::new(1));
+        // Nested ordering: "sync" (registered second) reserves before
+        // "bomb" (registered first) runs — the panic lands mid-chain
+        // with a reservation held.
+        {
+            let armed = Arc::clone(&armed);
+            m.register(
+                &put,
+                Concern::new("bomb"),
+                Box::new(FnAspect::new("bomb").on_precondition(move |_| {
+                    if armed.load(AtomicOrdering::SeqCst) == 1 {
+                        panic!("mid-chain")
+                    }
+                    Verdict::Resume
+                })),
+            )
+            .unwrap();
+        }
+        {
+            let items = Arc::clone(&items);
+            let undo = Arc::clone(&items);
+            m.register(
+                &put,
+                Concern::synchronization(),
+                Box::new(
+                    FnAspect::new("not-full")
+                        .on_precondition(move |_| {
+                            let mut i = items.lock();
+                            if *i < 1 {
+                                *i += 1;
+                                Verdict::Resume
+                            } else {
+                                Verdict::Block
+                            }
+                        })
+                        .on_release_do(move |_, _| {
+                            *undo.lock() -= 1;
+                        }),
+                ),
+            )
+            .unwrap();
+        }
+        {
+            let items = Arc::clone(&items);
+            m.register(
+                &take,
+                Concern::synchronization(),
+                Box::new(FnAspect::new("not-empty").on_precondition(move |_| {
+                    let mut i = items.lock();
+                    if *i > 0 {
+                        *i -= 1;
+                        Verdict::Resume
+                    } else {
+                        Verdict::Block
+                    }
+                })),
+            )
+            .unwrap();
+        }
+        let consumer = {
+            let m = Arc::clone(&m);
+            let take = take.clone();
+            thread::spawn(move || {
+                let mut ctx = ctx_for(&m, &take);
+                m.preactivation(&take, &mut ctx).unwrap();
+                m.postactivation(&take, &mut ctx);
+            })
+        };
+        while m.stats().blocks == 0 {
+            thread::yield_now();
+        }
+        // Panicking put: contained, reservation rolled back.
+        let mut ctx = ctx_for(&m, &put);
+        assert!(m.preactivation(&put, &mut ctx).unwrap_err().is_panic());
+        assert_eq!(*items.lock(), 0, "reservation leaked past the panic");
+        // A good put now fits in the capacity-1 buffer and frees the
+        // parked consumer.
+        armed.store(0, AtomicOrdering::SeqCst);
+        let mut ctx = ctx_for(&m, &put);
+        m.preactivation(&put, &mut ctx).unwrap();
+        m.postactivation(&put, &mut ctx);
+        consumer.join().unwrap();
+        assert_eq!(*items.lock(), 0);
+        assert_eq!(m.stats().panics_caught, 1);
+    }
+
+    #[test]
+    fn cancel_panic_is_contained_and_chain_still_cancelled() {
+        // A timeout delivers on_cancel to every aspect; a panicking
+        // on_cancel must not rob the remaining aspects of theirs.
+        let cancelled = Arc::new(AtomicU64::new(0));
+        let m = AspectModerator::builder()
+            .panic_policy(PanicPolicy::AbortInvocation)
+            .build();
+        let open = m.declare_method(MethodId::new("open"));
+        m.register(
+            &open,
+            Concern::new("gate"),
+            Box::new(FnAspect::new("gate").on_precondition(|_| Verdict::Block)),
+        )
+        .unwrap();
+        m.register(
+            &open,
+            Concern::new("bomb"),
+            Box::new(
+                FnAspect::new("bomb")
+                    .on_precondition(|_| Verdict::Resume)
+                    .on_cancel_do(|_| panic!("cancel kaboom")),
+            ),
+        )
+        .unwrap();
+        {
+            let cancelled = Arc::clone(&cancelled);
+            m.register(
+                &open,
+                Concern::new("audit"),
+                Box::new(FnAspect::new("audit").on_cancel_do(move |_| {
+                    cancelled.fetch_add(1, AtomicOrdering::SeqCst);
+                })),
+            )
+            .unwrap();
+        }
+        let mut ctx = ctx_for(&m, &open);
+        let err = m
+            .preactivation_timeout(&open, &mut ctx, Duration::from_millis(20))
+            .unwrap_err();
+        assert!(err.is_timeout());
+        assert_eq!(cancelled.load(AtomicOrdering::SeqCst), 1);
+        assert_eq!(m.stats().panics_caught, 1);
     }
 }

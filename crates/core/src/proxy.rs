@@ -435,6 +435,53 @@ mod tests {
         assert_eq!(*seen.lock(), vec![Outcome::Success, Outcome::Failure]);
     }
 
+    /// An `Err` body *and* a panicking postaction in the same
+    /// activation: the contained panic must not double-run or skip the
+    /// outcome observer — the failure is recorded exactly once, and the
+    /// activation still completes.
+    #[test]
+    fn invoke_fallible_err_outcome_survives_postaction_panic() {
+        use crate::moderator::PanicPolicy;
+
+        let moderator = Arc::new(
+            AspectModerator::builder()
+                .panic_policy(PanicPolicy::AbortInvocation)
+                .build(),
+        );
+        let push = moderator.declare_method(MethodId::new("push"));
+        let proxy = Moderated::new(Vec::<u32>::new(), Arc::clone(&moderator));
+        // Postactions run in registration order: the bomb panics first,
+        // the observer must still run afterwards.
+        moderator
+            .register(
+                &push,
+                Concern::fault_tolerance(),
+                Box::new(
+                    FnAspect::new("post-bomb").on_postaction(|_| panic!("postaction exploded")),
+                ),
+            )
+            .unwrap();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        {
+            let seen = Arc::clone(&seen);
+            moderator
+                .register(
+                    &push,
+                    Concern::audit(),
+                    Box::new(FnAspect::new("observer").on_postaction(move |ctx| {
+                        seen.lock().push(ctx.outcome());
+                    })),
+                )
+                .unwrap();
+        }
+        let r: Result<Result<(), &str>, _> = proxy.invoke_fallible(&push, |_| Err("boom"));
+        assert_eq!(r.unwrap(), Err("boom"));
+        assert_eq!(*seen.lock(), vec![Outcome::Failure], "exactly once");
+        let s = moderator.stats();
+        assert_eq!(s.panics_caught, 1, "{s:?}");
+        assert_eq!(s.postactivations, 1, "{s:?}");
+    }
+
     #[test]
     fn guard_drop_runs_postactivation() {
         let (moderator, push, proxy) = setup();

@@ -51,6 +51,12 @@ pub enum EventKind {
     /// The moderator notified a method's wait queue; the payload is the
     /// notified method.
     NotificationSent(MethodId),
+    /// An aspect callback panicked and the moderator contained the
+    /// unwind (robustness extension; see DESIGN.md "Fault containment").
+    PanicCaught,
+    /// An aspect slot exceeded its panic budget and was quarantined: it
+    /// evaluates as a no-op from now on.
+    AspectQuarantined,
 }
 
 /// A timestamped-by-order record of one protocol step.
@@ -88,6 +94,8 @@ impl TraceEvent {
             EventKind::PostactivationStarted => "postactivation".to_string(),
             EventKind::PostactionRun => "postaction".to_string(),
             EventKind::NotificationSent(target) => format!("notify->{target}"),
+            EventKind::PanicCaught => "panic-caught".to_string(),
+            EventKind::AspectQuarantined => "quarantined".to_string(),
         };
         match &self.concern {
             Some(c) => format!("#{} {} {}/{}", self.invocation, kind, self.method, c),

@@ -13,6 +13,11 @@
 //! byte length followed by UTF-8 bytes. The codec is strict: trailing
 //! bytes, truncated payloads, oversized frames and unknown opcodes are
 //! all decode errors, never silently ignored.
+//!
+//! Wire-format history: `OP_STATS_REPLY` originally carried six `u64`
+//! counters; the fault-containment release appended a seventh,
+//! `panics_caught`. Because decoding is strict, old and new peers do
+//! not interoperate on `Stats` — deploy both sides together.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -81,6 +86,9 @@ pub struct WireStats {
     /// worst-case position a request has waited from (tail-latency
     /// headroom under `FairnessPolicy::Fifo`).
     pub max_queue_depth: u64,
+    /// Aspect panics the moderator contained (seventh field, appended
+    /// by the fault-containment release).
+    pub panics_caught: u64,
 }
 
 /// A server-to-client message.
@@ -253,6 +261,7 @@ pub fn encode_response(resp: &Response) -> Bytes {
             body.put_u64(s.aborts);
             body.put_u64(s.timeouts);
             body.put_u64(s.max_queue_depth);
+            body.put_u64(s.panics_caught);
         }
     }
     frame(body)
@@ -317,6 +326,7 @@ pub fn decode_response(body: &[u8]) -> Result<Response, DecodeError> {
             aborts: get_u64_checked(&mut cur)?,
             timeouts: get_u64_checked(&mut cur)?,
             max_queue_depth: get_u64_checked(&mut cur)?,
+            panics_caught: get_u64_checked(&mut cur)?,
         }),
         op => return Err(DecodeError::UnknownOpcode(op)),
     };
@@ -413,6 +423,7 @@ mod tests {
             aborts: 4,
             timeouts: 5,
             max_queue_depth: 6,
+            panics_caught: 7,
         }));
     }
 

@@ -37,7 +37,9 @@ use amf_aspects::quota::QuotaAspect;
 use amf_aspects::sched::{RateLimitAspect, ThrottleMode};
 use amf_concurrency::{RateLimiter, RateLimiterConfig, SystemClock, WorkerPool};
 use amf_core::trace::MemoryTrace;
-use amf_core::{AbortError, AspectModerator, Concern, FairnessPolicy, RegistrationError};
+use amf_core::{
+    AbortError, AspectModerator, Concern, FairnessPolicy, PanicPolicy, RegistrationError,
+};
 use amf_ticketing::{ExtendedTicketServerProxy, Ticket, TicketServerProxy};
 use parking_lot::Mutex;
 
@@ -69,6 +71,11 @@ pub struct ServiceConfig {
     /// waiters so no request is ever overtaken while parked — bounded
     /// tail latency under contention at some median cost (E10).
     pub fairness: FairnessPolicy,
+    /// What the moderator does with a panicking aspect. The service
+    /// defaults to `AbortInvocation`: the panic is contained, the chain
+    /// rolled back, and the client sees `Response::Err` instead of a
+    /// dead worker thread.
+    pub panic_policy: PanicPolicy,
 }
 
 impl Default for ServiceConfig {
@@ -81,6 +88,7 @@ impl Default for ServiceConfig {
             rate: None,
             op_timeout: Duration::from_millis(200),
             fairness: FairnessPolicy::Barging,
+            panic_policy: PanicPolicy::AbortInvocation,
         }
     }
 }
@@ -163,6 +171,7 @@ impl ServiceShared {
             aborts: mod_stats.aborts,
             timeouts: mod_stats.timeouts,
             max_queue_depth: mod_stats.max_queue_depth,
+            panics_caught: mod_stats.panics_caught,
         }
     }
 
@@ -181,6 +190,9 @@ fn abort_to_response(err: &AbortError) -> Response {
         AbortError::Aspect {
             concern, reason, ..
         } => Response::Aborted(format!("{concern}: {reason}")),
+        AbortError::AspectPanicked {
+            concern, message, ..
+        } => Response::Err(format!("aspect panic contained ({concern}): {message}")),
     }
 }
 
@@ -226,6 +238,15 @@ impl ServiceHandle {
         &self.trace
     }
 
+    /// The live moderated proxy behind the service. Registering
+    /// further aspects through it (via `proxy().base().moderator()`)
+    /// is the paper's adaptability move applied to a running service —
+    /// the chaos battery uses it to inject panics against live
+    /// connections.
+    pub fn proxy(&self) -> &ExtendedTicketServerProxy {
+        &self.shared.proxy
+    }
+
     /// Current service counters (same numbers as the `Stats` opcode).
     pub fn stats(&self) -> WireStats {
         self.shared.stats()
@@ -267,6 +288,7 @@ impl TicketService {
             AspectModerator::builder()
                 .trace(trace.clone() as Arc<dyn amf_core::trace::TraceSink>)
                 .fairness(config.fairness)
+                .panic_policy(config.panic_policy)
                 .build(),
         );
         let auth = Authenticator::shared();
@@ -382,11 +404,18 @@ fn serve_connection(shared: &Arc<ServiceShared>, stream: TcpStream) {
             Ok(req) => (shared.handle_request(req), false),
             Err(e) => (Response::Err(e.to_string()), true),
         };
+        let stop_service = then_shutdown && matches!(response, Response::Ok(_));
+        if stop_service {
+            // Raise the flag before acknowledging: the moment the client
+            // reads this Ok it may open a fresh connection, and that
+            // connection must already see the service as down.
+            shared.shutting_down.store(true, Ordering::SeqCst);
+        }
         if write_frame(&mut writer, &encode_response(&response)).is_err() {
             return;
         }
         if then_shutdown {
-            if matches!(response, Response::Ok(_)) {
+            if stop_service {
                 shared.begin_shutdown();
             }
             return;

@@ -105,6 +105,31 @@ pub fn abort_unless<S: 'static>(
     )
 }
 
+/// A one-shot faulty aspect: the precondition *panics* while the
+/// `armed` flag in `S` is set, clearing it as it fires — so exactly one
+/// activation panics and every other evaluation resumes. The fuse
+/// lives in the shared state (not in the aspect) so the checker can
+/// hash and memoize worlds; it models a deterministic fault injection
+/// like `amf_aspects::fault::PanicInjectionAspect` with a one-panic
+/// budget.
+pub fn panic_fuse<S: 'static>(
+    armed: impl Fn(&mut S) -> &mut bool + Send + Sync + 'static,
+) -> Arc<dyn ModelAspect<S>> {
+    from_fns(
+        move |s: &mut S| {
+            let fuse = armed(s);
+            if *fuse {
+                *fuse = false;
+                ModelVerdict::Panic
+            } else {
+                ModelVerdict::Resume
+            }
+        },
+        |_| (),
+        |_| (),
+    )
+}
+
 /// A counting gate (the model twin of
 /// `amf_aspects::sync::ConcurrencyLimitAspect`): at most `limit`
 /// activations hold the gate; the counter lives in `S` behind the
@@ -236,6 +261,19 @@ mod tests {
         let mut s = S::default();
         assert_eq!(a.pre(&mut s), ModelVerdict::Abort);
         s.ok = true;
+        assert_eq!(a.pre(&mut s), ModelVerdict::Resume);
+    }
+
+    #[test]
+    fn panic_fuse_fires_once() {
+        #[derive(Clone, PartialEq, Eq, Hash, Default, Debug)]
+        struct F {
+            armed: bool,
+        }
+        let a = panic_fuse(|s: &mut F| &mut s.armed);
+        let mut s = F { armed: true };
+        assert_eq!(a.pre(&mut s), ModelVerdict::Panic);
+        assert!(!s.armed, "firing consumes the fuse");
         assert_eq!(a.pre(&mut s), ModelVerdict::Resume);
     }
 

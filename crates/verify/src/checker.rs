@@ -16,7 +16,9 @@ pub enum Step {
         thread: usize,
         /// Which method it is activating.
         method: String,
-        /// `"resumed"`, `"blocked"` or `"aborted"`.
+        /// `"resumed"`, `"blocked"`, `"aborted"`, `"panicked"`, or —
+        /// in fifo mode — `"queued"` (a newcomer joined the queue
+        /// without evaluating).
         result: &'static str,
     },
     /// A thread ran the functional method body.
@@ -185,6 +187,7 @@ pub struct Checker<S> {
     check_fairness: bool,
     racy_handoff: bool,
     overtake_on_timeout: bool,
+    leak_on_panic: bool,
 }
 
 impl<S> fmt::Debug for Checker<S> {
@@ -201,6 +204,7 @@ impl<S> fmt::Debug for Checker<S> {
             .field("check_fairness", &self.check_fairness)
             .field("racy_handoff", &self.racy_handoff)
             .field("overtake_on_timeout", &self.overtake_on_timeout)
+            .field("leak_on_panic", &self.leak_on_panic)
             .finish()
     }
 }
@@ -223,6 +227,7 @@ impl<S: Clone + Eq + Hash> Checker<S> {
             check_fairness: false,
             racy_handoff: false,
             overtake_on_timeout: false,
+            leak_on_panic: false,
         }
     }
 
@@ -378,6 +383,18 @@ impl<S: Clone + Eq + Hash> Checker<S> {
         self
     }
 
+    /// Containment ablation: a [`ModelVerdict::Panic`] completes the op
+    /// *without* releasing the earlier-resumed prefix of the chain —
+    /// modeling an implementation that catches the unwind but skips the
+    /// Abort-path compensation. The leaked reservations strand every
+    /// waiter guarded by them, which the checker reports as
+    /// [`Outcome::Deadlock`] with the stranding trace.
+    #[must_use]
+    pub fn leak_on_panic(mut self) -> Self {
+        self.leak_on_panic = true;
+        self
+    }
+
     fn phase_for(&self, thread: usize, pc: usize) -> Phase {
         if pc >= self.scripts[thread].len() {
             Phase::Done
@@ -446,6 +463,32 @@ impl<S: Clone + Eq + Hash> Checker<S> {
                         }
                     }
                     return ("aborted", None); // op completes (failed)
+                }
+                ModelVerdict::Panic => {
+                    if self.leak_on_panic {
+                        // Ablation: the panic is caught but the
+                        // earlier-resumed prefix is never released.
+                        return ("panicked", None);
+                    }
+                    // Contained panic: same compensation as a
+                    // mid-chain Abort.
+                    if self.sharded && self.system.rollback && pos > 0 {
+                        return (
+                            "panicked",
+                            Some(Phase::Unwind {
+                                method,
+                                evaluated: pos,
+                                then_block: false,
+                            }),
+                        );
+                    }
+                    if self.system.rollback {
+                        for rpos in (0..pos).rev() {
+                            let ridx = n - 1 - rpos;
+                            chain[ridx].1.release(shared);
+                        }
+                    }
+                    return ("panicked", None); // op completes (failed)
                 }
             }
         }

@@ -44,6 +44,19 @@
 //! overtake trace (`tests/fairness.rs`). Timed waits are modeled by
 //! [`Checker::timed_thread`].
 //!
+//! **Fault containment** is the newest checked dimension: an aspect
+//! precondition may *panic* ([`ModelVerdict::Panic`]), and the faithful
+//! model compensates exactly like a mid-chain abort — the
+//! earlier-resumed prefix of the chain is released (as its own
+//! observable step under [`Checker::sharded`], with the rollback
+//! notification) and the op completes failed. The checker proves the
+//! containment invariant: no interleaving with a panicking transition
+//! leaks a reservation or strands a waiter, and under
+//! [`Checker::fifo`] no-overtake survives the panic. The
+//! [`Checker::leak_on_panic`] ablation — catch the unwind but skip the
+//! prefix rollback — is caught with a concrete stranded-waiter
+//! deadlock trace (`tests/containment.rs`).
+//!
 //! # Example: proving the composition anomaly
 //!
 //! ```

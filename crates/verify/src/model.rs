@@ -12,6 +12,16 @@ pub enum ModelVerdict {
     Block,
     /// Fail the activation (the script's op completes as "aborted").
     Abort,
+    /// The precondition *panics*. Under the framework's containment
+    /// policy this compensates exactly like a mid-chain [`Abort`]:
+    /// earlier-resumed aspects of the chain are released and the op
+    /// completes failed (the script's op appears as "panicked"). The
+    /// [`Checker::leak_on_panic`](crate::Checker::leak_on_panic)
+    /// ablation models an implementation that skips that prefix
+    /// unwind, leaking the reservations.
+    ///
+    /// [`Abort`]: ModelVerdict::Abort
+    Panic,
 }
 
 /// One concern of one method, as *pure functions over the shared

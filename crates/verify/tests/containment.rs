@@ -1,0 +1,195 @@
+//! Model-checking panic containment: an aspect precondition that
+//! panics must compensate exactly like a mid-chain abort — the
+//! earlier-resumed prefix of the chain is released and the method's
+//! waiters are re-notified — or the leaked reservation strands every
+//! thread guarded by it. Following the fairness battery, the property
+//! is verified *by ablation*: the faithful model passes the
+//! containment invariant (every interleaving terminates, quiescence
+//! holds, fifo order survives the panic), while `leak_on_panic` —
+//! catch the unwind, skip the prefix rollback — is caught with a
+//! concrete stranded-waiter deadlock trace.
+
+use amf_verify::{aspects, Checker, MethodIx, ModelSystem, ModelVerdict, Outcome, Step};
+
+/// A capacity-1 pool with a one-shot panic fuse. `op`'s chain is
+/// `[bomb, pool]` in registration order, so under nested (newest-
+/// first) evaluation the pool reserves *before* the bomb fires — the
+/// panic always has a resumed prefix to unwind.
+#[derive(Clone, PartialEq, Eq, Hash, Default, Debug)]
+struct Pool {
+    busy: bool,
+    fuse: bool,
+}
+
+fn pooled() -> (ModelSystem<Pool>, MethodIx) {
+    let mut sys = ModelSystem::new();
+    let op = sys.method("op");
+    sys.add_aspect(op, "bomb", aspects::panic_fuse(|s: &mut Pool| &mut s.fuse));
+    sys.add_aspect(
+        op,
+        "pool",
+        aspects::reserve(
+            |s: &Pool| !s.busy,
+            |s: &mut Pool| s.busy = true,
+            |s: &mut Pool| s.busy = false,
+        ),
+    );
+    (sys, op)
+}
+
+/// The containment invariant: with the fuse armed, exactly one of the
+/// contending activations panics mid-chain, its pool reservation is
+/// rolled back, the stranded-looking peer is re-notified, and every
+/// interleaving terminates with the pool free. No leaked reservation,
+/// no stranded waiter.
+#[test]
+fn contained_panic_releases_prefix_and_strands_nobody() {
+    let (sys, op) = pooled();
+    let result = Checker::new(sys)
+        .sharded()
+        .thread(vec![op])
+        .thread(vec![op])
+        .final_invariant(|s: &Pool| !s.busy)
+        .run(Pool {
+            busy: false,
+            fuse: true,
+        });
+    assert_eq!(result.outcome, Outcome::Ok);
+    assert!(result.terminals >= 1);
+}
+
+/// A panic with no resumed prefix (the bomb is the chain's sole,
+/// outermost aspect) needs no unwind step: the op simply completes
+/// failed and the system stays live.
+#[test]
+fn prefixless_panic_completes_the_op() {
+    let mut sys = ModelSystem::new();
+    let op = sys.method("op");
+    sys.add_aspect(op, "bomb", aspects::panic_fuse(|s: &mut Pool| &mut s.fuse));
+    let result = Checker::new(sys).sharded().thread(vec![op, op]).run(Pool {
+        busy: false,
+        fuse: true,
+    });
+    assert_eq!(result.outcome, Outcome::Ok);
+}
+
+/// Fifo no-overtake survives a panic: the head of the queue panics
+/// mid-chain (after consuming the token), the rollback returns the
+/// token and re-notifies the queue, and across every interleaving no
+/// later waiter ever resumes past a still-queued earlier one.
+#[test]
+fn fifo_no_overtake_survives_a_panic() {
+    #[derive(Clone, PartialEq, Eq, Hash, Default, Debug)]
+    struct Tokens {
+        avail: usize,
+        fuse: bool,
+    }
+    let mut sys = ModelSystem::new();
+    let open = sys.method("open");
+    let tick = sys.method("tick");
+    sys.add_aspect(
+        open,
+        "bomb",
+        aspects::panic_fuse(|s: &mut Tokens| &mut s.fuse),
+    );
+    sys.add_aspect(
+        open,
+        "gate",
+        aspects::from_fns(
+            |s: &mut Tokens| {
+                if s.avail > 0 {
+                    s.avail -= 1;
+                    ModelVerdict::Resume
+                } else {
+                    ModelVerdict::Block
+                }
+            },
+            |_| (),
+            |s: &mut Tokens| s.avail += 1,
+        ),
+    );
+    sys.add_aspect(
+        tick,
+        "mint",
+        aspects::from_fns(
+            |s: &mut Tokens| {
+                s.avail += 1;
+                ModelVerdict::Resume
+            },
+            |_| (),
+            |_| (),
+        ),
+    );
+    sys.wire_wakes(tick, vec![open]);
+    sys.wire_wakes(open, vec![]);
+    let result = Checker::new(sys)
+        .sharded()
+        .fifo()
+        .check_fairness()
+        .thread(vec![open])
+        .thread(vec![open])
+        .thread(vec![tick, tick])
+        .run(Tokens {
+            avail: 0,
+            fuse: true,
+        });
+    assert_eq!(result.outcome, Outcome::Ok);
+    assert!(result.terminals >= 1);
+}
+
+/// The ablation: catching the panic but skipping the prefix unwind
+/// leaks the pool reservation, and the peer activation — blocked on
+/// the pool that will never be freed — is stranded. The checker
+/// produces the concrete trace: a `panicked` chain step followed by a
+/// waiter blocking forever, reported as a deadlock.
+#[test]
+fn leak_on_panic_ablation_strands_a_waiter() {
+    let (sys, op) = pooled();
+    let ablated = Checker::new(sys)
+        .sharded()
+        .leak_on_panic()
+        .thread(vec![op])
+        .thread(vec![op])
+        .run(Pool {
+            busy: false,
+            fuse: true,
+        });
+    match ablated.outcome {
+        Outcome::Deadlock(trace) => {
+            let rendered: Vec<String> = trace.iter().map(ToString::to_string).collect();
+            assert!(
+                rendered.iter().any(|s| s.contains("chain(op) -> panicked")),
+                "the leak must be visible in the trace: {rendered:?}"
+            );
+            assert!(
+                rendered.iter().any(|s| s.contains("chain(op) -> blocked")),
+                "the stranded waiter must be visible in the trace: {rendered:?}"
+            );
+            // The stranding is causal: the panic leaks first, then the
+            // peer parks against the leaked reservation.
+            let panicked = trace
+                .iter()
+                .position(|s| matches!(s, Step::Chain { result, .. } if *result == "panicked"))
+                .expect("panicked step present");
+            let blocked = trace
+                .iter()
+                .position(|s| matches!(s, Step::Chain { result, .. } if *result == "blocked"))
+                .expect("blocked step present");
+            assert!(panicked < blocked, "{rendered:?}");
+        }
+        other => panic!("expected stranded-waiter deadlock, got {other:?}"),
+    }
+
+    // The faithful model on the exact same scenario stays live.
+    let (sys, op) = pooled();
+    let faithful = Checker::new(sys)
+        .sharded()
+        .thread(vec![op])
+        .thread(vec![op])
+        .final_invariant(|s: &Pool| !s.busy)
+        .run(Pool {
+            busy: false,
+            fuse: true,
+        });
+    assert_eq!(faithful.outcome, Outcome::Ok);
+}

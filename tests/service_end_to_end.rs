@@ -262,3 +262,60 @@ fn load_generator_round_trips_over_the_wire() {
     assert!(outcome.throughput() > 0.0);
     handle.shutdown();
 }
+
+/// Fault containment on the wire: a panicking aspect registered against
+/// the *live* service maps to `Response::Err` — the client sees a
+/// server error naming the contained panic, the same connection keeps
+/// working (the worker thread survived the unwind), and `panics_caught`
+/// crosses the wire as the seventh stats counter.
+#[test]
+fn contained_panic_maps_to_err_and_spares_the_connection() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    use aspect_moderator::core::{Concern, FnAspect, Verdict};
+
+    let mut handle = spawn_service(ServiceConfig::default());
+    handle.authenticator().add_user("ops", "pw");
+    let token = handle.authenticator().login("ops", "pw").unwrap();
+
+    // One-shot bomb on `open`, registered through the live proxy.
+    let armed = Arc::new(AtomicBool::new(true));
+    let base = handle.proxy().base();
+    base.moderator()
+        .register(
+            base.open_handle(),
+            Concern::new("chaos-bomb"),
+            Box::new(FnAspect::new("bomb").on_precondition({
+                let armed = Arc::clone(&armed);
+                move |_| {
+                    if armed.swap(false, Ordering::SeqCst) {
+                        panic!("wire bomb");
+                    }
+                    Verdict::Resume
+                }
+            })),
+        )
+        .unwrap();
+
+    let mut client = ServiceClient::connect(handle.addr()).unwrap();
+    match client.open(token, 1, Severity::Low, "boom") {
+        Err(ClientError::Server(msg)) => {
+            assert!(msg.contains("aspect panic contained"), "{msg}");
+            assert!(msg.contains("chaos-bomb"), "{msg}");
+            assert!(msg.contains("wire bomb"), "{msg}");
+        }
+        other => panic!("expected contained-panic server error, got {other:?}"),
+    }
+
+    // Same connection, next request: the bomb is spent and the worker
+    // thread is alive.
+    client.open(token, 2, Severity::Low, "fine").unwrap();
+    let got = client.assign(token).unwrap();
+    assert_eq!(got.id.0, 2);
+
+    let wire = client.stats().unwrap();
+    assert_eq!(wire.panics_caught, 1);
+    assert_eq!(wire.panics_caught, handle.stats().panics_caught);
+    handle.shutdown();
+}
