@@ -32,6 +32,13 @@
 //! stay within 5% of 1.0 — plus recovery latency while a seeded
 //! injector panics in 1% of preconditions.
 //!
+//! A sixth section, `convoy` (experiment E12), measures batched FIFO
+//! admission: 8 producers on a capacity-4 gate whose slots come free
+//! four at a time under `NotifyOne`, `grant_batching` off vs on. The
+//! claims are `batched_handoffs < unbatched_handoffs` (the freed
+//! prefix drains on one cursor-ordered sweep instead of a wake chain)
+//! and `batched_p99_over_unbatched_p99 <= 1` within noise.
+//!
 //! ```text
 //! cargo run -p amf-bench --release --bin moderator_bench
 //! cargo run -p amf-bench --release --bin moderator_bench -- --quick
@@ -39,7 +46,7 @@
 
 use std::time::Duration;
 
-use amf_bench::experiments::{run_chaos, run_fairness_tail, run_moderator_shard};
+use amf_bench::experiments::{run_chaos, run_convoy, run_fairness_tail, run_moderator_shard};
 use amf_bench::report::{fmt_ns, fmt_ops, json_array, JsonObject, JsonValue};
 use amf_core::{Coordination, FairnessPolicy, PanicPolicy};
 
@@ -215,6 +222,50 @@ fn main() {
             .build()
     };
 
+    // Experiment E12 — batched FIFO admission: handoff count and tail
+    // latency of the capacity-4 convoy shape, `grant_batching` off/on.
+    let convoy = {
+        let producers = 8;
+        let per_thread = if quick { 500 } else { 20_000 };
+        let batch = 4;
+        let mut rows = Vec::new();
+        let mut p99 = Vec::new();
+        let mut handoffs = Vec::new();
+        for (label, batching) in [("off", false), ("on", true)] {
+            let (s, served, batched) = run_convoy(batching, producers, per_thread, batch);
+            println!(
+                "convoy (batching {label}): p50 {} | p99 {} | served {served} | \
+                 batched {batched} | handoffs {}",
+                fmt_ns(s.p50_ns as f64),
+                fmt_ns(s.p99_ns as f64),
+                served - batched,
+            );
+            p99.push(s.p99_ns);
+            handoffs.push(served - batched);
+            rows.push(
+                JsonObject::new()
+                    .field("grant_batching", u64::from(batching))
+                    .field("tickets_served", served)
+                    .field("batched_grants", batched)
+                    .field("handoffs", served - batched)
+                    .field("latency", s.to_json())
+                    .build(),
+            );
+        }
+        JsonObject::new()
+            .field("producers", producers)
+            .field("per_thread_ops", per_thread)
+            .field("batch", batch)
+            .field("rows", json_array(rows))
+            .field("unbatched_handoffs", handoffs[0])
+            .field("batched_handoffs", handoffs[1])
+            .field(
+                "batched_p99_over_unbatched_p99",
+                p99[1] as f64 / p99[0] as f64,
+            )
+            .build()
+    };
+
     let json = JsonObject::new()
         .field("benchmark", "moderator_sharding")
         .field("methods", 2_u64)
@@ -225,6 +276,7 @@ fn main() {
         .field("speedup_at_8_threads", speedup_at_8)
         .field("fairness_tail", fairness_tail)
         .field("chaos", chaos)
+        .field("convoy", convoy)
         .build();
     if let Err(e) = std::fs::write(&report, format!("{json}\n")) {
         eprintln!("failed to write {report}: {e}");

@@ -1,4 +1,4 @@
-//! Experiments E1–E11: the quantitative evaluation of `EXPERIMENTS.md`.
+//! Experiments E1–E12: the quantitative evaluation of `EXPERIMENTS.md`.
 //!
 //! Each function runs one experiment and returns its [`Table`]. Pass
 //! `quick = true` to shrink workloads (used by unit tests and smoke
@@ -568,7 +568,7 @@ pub fn e8_adaptability(quick: bool) -> Table {
 /// around the measured methods: four callers parked on a gated method
 /// (consumers waiting on an empty queue) and one ticker whose
 /// post-activations keep the seed's default broadcast wiring
-/// ([`WakeTargets::All`]), so every tick wakes the parked callers and
+/// (`WakeTargets::All`), so every tick wakes the parked callers and
 /// each re-evaluates its I/O-guarded precondition before re-blocking.
 /// The topology is identical in both modes — only [`Coordination`]
 /// differs: the global lock serializes that churn with the measured
@@ -1165,6 +1165,167 @@ pub fn e11_containment(quick: bool) -> Table {
     t
 }
 
+/// One convoy run for E12: `producers` FIFO threads contend for slots
+/// that a single drainer frees `batch` at a time — each drain
+/// postaction returns `batch` slots in one sweep-triggering settle, the
+/// capacity-`k` shape batched admission exists for. Under `NotifyOne`
+/// the drain sends *one* signal; without batching every admission past
+/// the signalled head needs a fresh wake handoff (the convoy), with
+/// batching the freed prefix rides the grant-extension chain. Returns
+/// the per-`open` latency summary plus `open`'s
+/// (`tickets_served`, `batched_grants`) — handoffs are their
+/// difference.
+pub fn run_convoy(
+    grant_batching: bool,
+    producers: usize,
+    per_thread: u64,
+    batch: u64,
+) -> (LatencySummary, u64, u64) {
+    let moderator = Arc::new(
+        AspectModerator::builder()
+            .fairness(FairnessPolicy::Fifo)
+            .wake_mode(WakeMode::NotifyOne)
+            .grant_batching(grant_batching)
+            .build(),
+    );
+    let slots = Arc::new(AtomicU64::new(batch));
+    let items = Arc::new(AtomicU64::new(0));
+    let open = moderator.declare_method(MethodId::new("open"));
+    let drain = moderator.declare_method(MethodId::new("drain"));
+    {
+        let slots = Arc::clone(&slots);
+        let items = Arc::clone(&items);
+        moderator
+            .register(
+                &open,
+                Concern::synchronization(),
+                Box::new(
+                    FnAspect::new("slot-gate")
+                        .on_precondition(move |_| {
+                            if slots.load(Ordering::SeqCst) > 0 {
+                                slots.fetch_sub(1, Ordering::SeqCst);
+                                Verdict::Resume
+                            } else {
+                                Verdict::Block
+                            }
+                        })
+                        .on_postaction(move |_| {
+                            items.fetch_add(1, Ordering::SeqCst);
+                        }),
+                ),
+            )
+            .unwrap();
+    }
+    {
+        let slots = Arc::clone(&slots);
+        let items = Arc::clone(&items);
+        moderator
+            .register(
+                &drain,
+                Concern::synchronization(),
+                Box::new(
+                    FnAspect::new("batch-gate")
+                        .on_precondition(move |_| {
+                            if items.load(Ordering::SeqCst) >= batch {
+                                items.fetch_sub(batch, Ordering::SeqCst);
+                                Verdict::Resume
+                            } else {
+                                Verdict::Block
+                            }
+                        })
+                        .on_postaction(move |_| {
+                            // The convoy trigger: `batch` slots come
+                            // free in this one postactivation.
+                            slots.fetch_add(batch, Ordering::SeqCst);
+                        }),
+                ),
+            )
+            .unwrap();
+    }
+    moderator.wire_wakes(&open, std::slice::from_ref(&drain));
+    moderator.wire_wakes(&drain, std::slice::from_ref(&open));
+
+    let total = producers as u64 * per_thread;
+    assert_eq!(total % batch, 0, "drains must consume the run exactly");
+    let barrier = std::sync::Barrier::new(producers + 1);
+    let mut samples: Vec<u64> = Vec::with_capacity(total as usize);
+    std::thread::scope(|s| {
+        let mut joins = Vec::new();
+        for _ in 0..producers {
+            let moderator = &moderator;
+            let open = &open;
+            let barrier = &barrier;
+            joins.push(s.spawn(move || {
+                let mut local = Vec::with_capacity(per_thread as usize);
+                barrier.wait();
+                for _ in 0..per_thread {
+                    let t0 = Instant::now();
+                    let mut ctx =
+                        InvocationContext::new(open.id().clone(), moderator.next_invocation());
+                    moderator.preactivation(open, &mut ctx).unwrap();
+                    moderator.postactivation(open, &mut ctx);
+                    local.push(t0.elapsed().as_nanos() as u64);
+                }
+                local
+            }));
+        }
+        {
+            let moderator = &moderator;
+            let drain = &drain;
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                for _ in 0..total / batch {
+                    let mut ctx =
+                        InvocationContext::new(drain.id().clone(), moderator.next_invocation());
+                    moderator.preactivation(drain, &mut ctx).unwrap();
+                    moderator.postactivation(drain, &mut ctx);
+                }
+            });
+        }
+        for j in joins {
+            samples.extend(j.join().unwrap());
+        }
+    });
+    let ms = moderator.method_stats(&open);
+    (
+        LatencySummary::from_unsorted(&mut samples),
+        ms.tickets_served,
+        ms.batched_grants,
+    )
+}
+
+/// E12 — batched FIFO admission: convoy cost on a capacity-4 gate whose
+/// slots are freed four at a time under `NotifyOne`, `grant_batching`
+/// off vs on. Handoffs (`tickets_served − batched_grants`) must drop
+/// strictly when batching is on — the freed prefix drains on one
+/// cursor-ordered sweep instead of a wake chain — while p99 stays no
+/// worse.
+pub fn e12_convoy(quick: bool) -> Table {
+    let per_thread = scale(quick, 10_000);
+    let producers = 8;
+    let batch = 4;
+    let mut t = Table::new(
+        "E12 — batched admission convoy (8 producers, 4 slots freed per drain, NotifyOne)",
+        &[
+            "batching", "p50", "p99", "max", "served", "batched", "handoffs",
+        ],
+    );
+    for (name, on) in [("off", false), ("on", true)] {
+        let (s, served, batched) = run_convoy(on, producers, per_thread, batch);
+        t.row(&[
+            name.to_string(),
+            fmt_ns(s.p50_ns as f64),
+            fmt_ns(s.p99_ns as f64),
+            fmt_ns(s.max_ns as f64),
+            served.to_string(),
+            batched.to_string(),
+            (served - batched).to_string(),
+        ]);
+    }
+    t
+}
+
 /// V1 — exhaustive verification of the producer/consumer composition:
 /// states explored and verdicts across configurations, including the
 /// E7 anomaly as a machine-checked counterexample.
@@ -1276,7 +1437,7 @@ pub fn v1_verification(quick: bool) -> Table {
     t
 }
 
-/// Runs the named experiments ("e1".."e10", "v1" or "all") and prints
+/// Runs the named experiments ("e1".."e12", "v1" or "all") and prints
 /// their tables.
 pub fn run(names: &[String], quick: bool) {
     let wants = |n: &str| {
@@ -1285,7 +1446,7 @@ pub fn run(names: &[String], quick: bool) {
             || names.iter().any(|x| x.eq_ignore_ascii_case("all"))
     };
     type Runner = fn(bool) -> Table;
-    let runners: [(&str, Runner); 12] = [
+    let runners: [(&str, Runner); 13] = [
         ("e1", e1_overhead),
         ("e2", e2_throughput),
         ("e3", e3_composition),
@@ -1297,6 +1458,7 @@ pub fn run(names: &[String], quick: bool) {
         ("e9", e9_sharding),
         ("e10", e10_fairness),
         ("e11", e11_containment),
+        ("e12", e12_convoy),
         ("v1", v1_verification),
     ];
     for (name, f) in runners {
@@ -1377,6 +1539,21 @@ mod tests {
     #[test]
     fn e11_produces_rows() {
         assert_eq!(e11_containment(true).len(), 6);
+    }
+
+    #[test]
+    fn e12_produces_rows() {
+        assert_eq!(e12_convoy(true).len(), 2);
+    }
+
+    #[test]
+    fn convoy_runner_counts_batched_grants_only_when_enabled() {
+        let (s_off, served_off, batched_off) = run_convoy(false, 4, 200, 4);
+        assert_eq!(s_off.count, 800, "{s_off:?}");
+        assert_eq!(served_off + batched_off, served_off, "no extensions off");
+        let (s_on, served_on, batched_on) = run_convoy(true, 4, 200, 4);
+        assert_eq!(s_on.count, 800, "{s_on:?}");
+        assert!(batched_on <= served_on, "{batched_on} vs {served_on}");
     }
 
     #[test]

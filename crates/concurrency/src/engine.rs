@@ -1,0 +1,162 @@
+//! Engine-agnostic park/wake abstraction for coordination cells.
+//!
+//! The moderator's coordination protocol (who may evaluate, in what
+//! order, which permits are pending) lives entirely in shared state
+//! guarded by a mutex — see [`TicketQueue`](crate::TicketQueue). The
+//! only thing a concrete threading engine contributes is the ability to
+//! *park* until that state may have changed and to *wake* parked
+//! parties. [`GrantSource`] and [`Waiter`] capture exactly that
+//! contract, so the protocol code never names a condvar and an async
+//! engine can slot in without touching it.
+//!
+//! # Contract
+//!
+//! - [`Waiter::park`] releases the given guard, blocks the caller, and
+//!   re-acquires the lock before returning. Spurious returns are
+//!   allowed: callers must re-check their predicate in a loop.
+//! - [`Waiter::park_until`] is `park` with a deadline; it returns
+//!   `true` when the deadline elapsed without a wake. A racing wake is
+//!   allowed to report either way — callers decide by re-checking
+//!   state, not by trusting the flag alone.
+//! - [`Waiter::wake_one`]/[`Waiter::wake_all`] are *hints*, not
+//!   permits: they mean "re-check", never "proceed". Eligibility is
+//!   carried by queue state so wakes landing while no one is parked are
+//!   harmless (the state persists; the pulse may be lost).
+//! - A waiter handle is shared by everything parking on one waitpoint;
+//!   wakes must reach every party parked via the same handle.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Condvar, MutexGuard};
+
+/// One waitpoint: a place where callers park while a predicate over
+/// mutex-guarded state of type `T` is false, and which wakers pulse
+/// when that state changes. See the module docs for the full contract.
+pub trait Waiter<T>: Send + Sync {
+    /// Atomically releases `guard`'s lock, parks the caller, and
+    /// re-acquires the lock before returning. May return spuriously.
+    fn park(&self, guard: &mut MutexGuard<'_, T>);
+
+    /// Like [`park`](Self::park) with a deadline. Returns `true` if the
+    /// deadline elapsed (a racing wake may report either way — re-check
+    /// state).
+    fn park_until(&self, guard: &mut MutexGuard<'_, T>, deadline: Instant) -> bool;
+
+    /// Wakes at least one party parked on this waitpoint, if any.
+    fn wake_one(&self);
+
+    /// Wakes every party parked on this waitpoint.
+    fn wake_all(&self);
+}
+
+/// Factory for [`Waiter`] waitpoints; one engine serves a whole
+/// moderator, one waitpoint serves one coordination waitset.
+pub trait GrantSource<T>: Send + Sync {
+    /// Creates a fresh, independent waitpoint.
+    fn waiter(&self) -> Arc<dyn Waiter<T>>;
+}
+
+/// The default engine: OS-thread parking on a `parking_lot` condvar.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CondvarEngine;
+
+impl<T> GrantSource<T> for CondvarEngine {
+    fn waiter(&self) -> Arc<dyn Waiter<T>> {
+        Arc::new(CondvarWaiter::default())
+    }
+}
+
+/// A condvar-backed waitpoint. The condvar must always be used with the
+/// same mutex — guaranteed here because each waitpoint belongs to
+/// exactly one cell and only that cell's guard is ever passed in.
+#[derive(Debug, Default)]
+pub struct CondvarWaiter {
+    cond: Condvar,
+}
+
+impl<T> Waiter<T> for CondvarWaiter {
+    fn park(&self, guard: &mut MutexGuard<'_, T>) {
+        self.cond.wait(guard);
+    }
+
+    fn park_until(&self, guard: &mut MutexGuard<'_, T>, deadline: Instant) -> bool {
+        self.cond.wait_until(guard, deadline).timed_out()
+    }
+
+    fn wake_one(&self) {
+        self.cond.notify_one();
+    }
+
+    fn wake_all(&self) {
+        self.cond.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn condvar_waiter_parks_and_wakes() {
+        let engine = CondvarEngine;
+        let waiter: Arc<dyn Waiter<bool>> = GrantSource::<bool>::waiter(&engine);
+        let state = Arc::new(Mutex::new(false));
+        let woke = Arc::new(AtomicUsize::new(0));
+
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let (w, s, k) = (waiter.clone(), state.clone(), woke.clone());
+                thread::spawn(move || {
+                    let mut g = s.lock();
+                    while !*g {
+                        w.park(&mut g);
+                    }
+                    k.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+
+        thread::sleep(Duration::from_millis(20));
+        *state.lock() = true;
+        waiter.wake_all();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(woke.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn park_until_times_out_without_wake() {
+        let waiter = CondvarWaiter::default();
+        let state = Mutex::new(());
+        let mut g = state.lock();
+        let deadline = Instant::now() + Duration::from_millis(10);
+        assert!(Waiter::<()>::park_until(&waiter, &mut g, deadline));
+    }
+
+    #[test]
+    fn park_until_reports_wake_before_deadline() {
+        let waiter = Arc::new(CondvarWaiter::default());
+        let state = Arc::new(Mutex::new(false));
+        let (w, s) = (waiter.clone(), state.clone());
+        let h = thread::spawn(move || {
+            let mut g = s.lock();
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while !*g {
+                if Waiter::<bool>::park_until(&*w, &mut g, deadline) {
+                    return true; // timed out — re-check found predicate false
+                }
+            }
+            false
+        });
+        thread::sleep(Duration::from_millis(20));
+        *state.lock() = true;
+        Waiter::<bool>::wake_all(&*waiter);
+        assert!(!h.join().unwrap(), "woken before the 5s deadline");
+    }
+}

@@ -34,6 +34,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod clock;
+pub mod engine;
 pub mod executor;
 pub mod latch;
 pub mod monitor;
@@ -42,9 +43,11 @@ pub mod rate;
 pub mod ring;
 pub mod scheduler;
 pub mod semaphore;
+pub mod ticket;
 pub mod wait_queue;
 
 pub use clock::{Clock, ManualClock, SystemClock};
+pub use engine::{CondvarEngine, CondvarWaiter, GrantSource, Waiter};
 pub use executor::WorkerPool;
 pub use latch::CountdownLatch;
 pub use monitor::Monitor;
@@ -53,4 +56,5 @@ pub use rate::{RateLimiter, RateLimiterConfig};
 pub use ring::{RingBuffer, RingFullError, SyncRingBuffer};
 pub use scheduler::{Scheduler, SchedulerPolicy};
 pub use semaphore::{Semaphore, SemaphorePermit};
+pub use ticket::{Grant, TicketQueue};
 pub use wait_queue::{WaitQueue, WaitStatus};

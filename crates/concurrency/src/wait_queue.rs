@@ -9,23 +9,34 @@
 //! Like a Java condition queue — and unlike a semaphore — a notification
 //! with no waiters is lost.
 //!
+//! The FIFO discipline itself lives in [`TicketQueue`] (the one
+//! ticketed-FIFO state machine in the workspace, shared with the
+//! moderator's coordination cells); this type pairs it with a
+//! [`CondvarWaiter`] waitpoint and a self-contained blocking API.
+//! Because grants are cursor-ordered queue state rather than per-thread
+//! tokens, every state change that leaves a permit pending is followed
+//! by a broadcast (`handoff`) so the now-eligible ticket re-checks —
+//! the pulse says "re-check", the queue says who may go.
+//!
 //! # Unwind safety
 //!
 //! The queue is audited for use under panicking callers (the
 //! moderator's fault-containment work): `parking_lot` mutexes do not
-//! poison, every state transition (`enqueue`, `remove`, `grant`)
+//! poison, every state transition (`enqueue`, `cancel`, `settle`)
 //! happens entirely inside the queue's own lock, and no user-supplied
 //! code ever runs while that lock is held — so an aspect panic caught
-//! by the moderator can never leave `State` half-mutated or strand a
-//! waiter here. The protocol-level hazard (a departing ticket that
-//! holds a wake permit or sweep cursor) is the moderator's to handle;
-//! see the coordination-cell notes in `amf-core`.
+//! by the moderator can never leave the [`TicketQueue`] half-mutated or
+//! strand a waiter here. The protocol-level hazard (a departing ticket
+//! that holds a wake permit or sweep cursor) is handled inside
+//! [`TicketQueue::cancel`]/[`TicketQueue::settle`].
 
-use std::collections::VecDeque;
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Mutex, MutexGuard};
+
+use crate::engine::{CondvarWaiter, Waiter};
+use crate::ticket::TicketQueue;
 
 /// Outcome of a timed wait on a [`WaitQueue`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -34,15 +45,6 @@ pub enum WaitStatus {
     Notified,
     /// The timeout elapsed before a notification arrived.
     TimedOut,
-}
-
-#[derive(Debug, Default)]
-struct State {
-    next_ticket: u64,
-    /// Tickets currently parked, oldest first.
-    waiting: VecDeque<u64>,
-    /// Tickets that have been granted a wakeup but have not yet resumed.
-    granted: Vec<u64>,
 }
 
 /// A first-in-first-out condition queue.
@@ -63,8 +65,8 @@ struct State {
 /// ```
 #[derive(Default)]
 pub struct WaitQueue {
-    state: Mutex<State>,
-    cond: Condvar,
+    state: Mutex<TicketQueue>,
+    point: CondvarWaiter,
 }
 
 impl fmt::Debug for WaitQueue {
@@ -83,7 +85,7 @@ impl WaitQueue {
 
     /// Number of threads currently parked on the queue.
     pub fn len(&self) -> usize {
-        self.state.lock().waiting.len()
+        self.state.lock().len()
     }
 
     /// Whether no thread is parked on the queue.
@@ -91,20 +93,31 @@ impl WaitQueue {
         self.len() == 0
     }
 
+    /// Releases the lock and broadcasts if a permit is still pending, so
+    /// the ticket the permit now covers re-checks. Required because a
+    /// sweep cursor advancing onto a parked ticket carries no pulse of
+    /// its own.
+    fn handoff(&self, st: MutexGuard<'_, TicketQueue>) {
+        let pending = st.has_pending();
+        drop(st);
+        if pending {
+            Waiter::<TicketQueue>::wake_all(&self.point);
+        }
+    }
+
     /// Parks the calling thread until it is notified.
     ///
     /// Waiters are woken in arrival order by [`WaitQueue::notify_one`].
     pub fn wait(&self) {
         let mut st = self.state.lock();
-        let ticket = st.next_ticket;
-        st.next_ticket += 1;
-        st.waiting.push_back(ticket);
+        let ticket = st.enqueue();
         loop {
-            if let Some(pos) = st.granted.iter().position(|&t| t == ticket) {
-                st.granted.swap_remove(pos);
+            if let Some(grant) = st.grant_for(ticket) {
+                st.settle(ticket, grant, true);
+                self.handoff(st);
                 return;
             }
-            self.cond.wait(&mut st);
+            self.point.park(&mut st);
         }
     }
 
@@ -138,16 +151,15 @@ impl WaitQueue {
     /// callers pass `None`, which adds no unlock.
     fn wait_deadline_core(&self, deadline: Instant, race_window: Option<&dyn Fn()>) -> WaitStatus {
         let mut st = self.state.lock();
-        let ticket = st.next_ticket;
-        st.next_ticket += 1;
-        st.waiting.push_back(ticket);
+        let ticket = st.enqueue();
         loop {
             if Instant::now() < deadline {
-                if let Some(pos) = st.granted.iter().position(|&t| t == ticket) {
-                    st.granted.swap_remove(pos);
+                if let Some(grant) = st.grant_for(ticket) {
+                    st.settle(ticket, grant, true);
+                    self.handoff(st);
                     return WaitStatus::Notified;
                 }
-                self.cond.wait_until(&mut st, deadline);
+                self.point.park_until(&mut st, deadline);
                 continue;
             }
             // Deadline passed: surrender the ticket.
@@ -156,20 +168,11 @@ impl WaitQueue {
                 window();
                 st = self.state.lock();
             }
-            if let Some(pos) = st.granted.iter().position(|&t| t == ticket) {
-                // A grant raced with the cancellation. Swallowing it here
-                // would strand the successor that `notify_one` meant to
-                // reach had this ticket already left: re-grant it to the
-                // next parked ticket.
-                st.granted.swap_remove(pos);
-                if let Some(next) = st.waiting.pop_front() {
-                    st.granted.push(next);
-                    drop(st);
-                    self.cond.notify_all();
-                }
-            } else if let Some(pos) = st.waiting.iter().position(|&t| t == ticket) {
-                st.waiting.remove(pos);
-            }
+            // `cancel` re-attaches any permit this ticket held — a
+            // signal moves to the new head, a sweep cursor passes on —
+            // and the handoff broadcast reaches the successor.
+            st.cancel(ticket);
+            self.handoff(st);
             return WaitStatus::TimedOut;
         }
     }
@@ -178,20 +181,15 @@ impl WaitQueue {
     /// waiters is lost (condition-queue semantics).
     pub fn notify_one(&self) {
         let mut st = self.state.lock();
-        if let Some(ticket) = st.waiting.pop_front() {
-            st.granted.push(ticket);
-            drop(st);
-            self.cond.notify_all();
-        }
+        st.wake_one();
+        self.handoff(st);
     }
 
     /// Wakes every parked thread.
     pub fn notify_all(&self) {
         let mut st = self.state.lock();
-        let drained: Vec<u64> = st.waiting.drain(..).collect();
-        st.granted.extend(drained);
-        drop(st);
-        self.cond.notify_all();
+        st.wake_all();
+        self.handoff(st);
     }
 }
 

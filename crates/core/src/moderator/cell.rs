@@ -1,0 +1,360 @@
+//! Coordination cells and the method registry.
+//!
+//! Each declared method owns a *cell* — a mutex guarding its aspect
+//! chain, wake wiring, FIFO queue and fault bookkeeping — plus a
+//! [`Waiter`] waitpoint supplied by the moderator's [`GrantSource`]
+//! engine and a shard of atomic counters. Under
+//! [`Coordination::GlobalLock`](super::Coordination::GlobalLock) every
+//! method shares one cell. Lock ordering is `registry → at most one
+//! cell` (see the module docs in [`super`]).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use amf_concurrency::{TicketQueue, Waiter};
+use parking_lot::Mutex;
+
+use super::fault::SlotFault;
+use super::queue::{wake_queue, WakeTargets};
+use super::stats::StatShard;
+use super::{AspectModerator, Coordination, FairnessPolicy, WakeMode};
+use crate::aspect::Aspect;
+use crate::bank::{AspectBank, MethodIndex};
+use crate::concern::{Concern, MethodId};
+use crate::error::RegistrationError;
+use crate::factory::AspectFactory;
+use crate::trace::EventKind;
+
+/// Handle to a declared participating method; obtained from
+/// [`AspectModerator::declare_method`] and used for all per-method
+/// operations.
+///
+/// Handles are cheap to clone and are only valid on the moderator that
+/// issued them.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MethodHandle {
+    pub(crate) index: MethodIndex,
+    pub(crate) id: MethodId,
+}
+
+impl MethodHandle {
+    /// The method's identifier.
+    pub fn id(&self) -> &MethodId {
+        &self.id
+    }
+
+    /// The method's dense index in the issuing moderator's registry.
+    pub fn index(&self) -> MethodIndex {
+        self.index
+    }
+}
+
+impl fmt::Display for MethodHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id.as_str())
+    }
+}
+
+/// The mutable coordination state of one cell: the aspect rows (an
+/// [`AspectBank`] with one row per hosted method — exactly one under
+/// [`Coordination::Sharded`]) and each hosted method's wake wiring.
+pub(crate) struct CellState {
+    pub(super) bank: AspectBank,
+    /// Wake targets per local bank row, parallel to the bank's rows.
+    pub(super) wakes: Vec<WakeTargets>,
+    /// Ticketed FIFO wait state per local bank row, parallel to the
+    /// bank's rows (the workspace-shared discipline from
+    /// `amf-concurrency`). Unused (never enqueued into) under
+    /// [`FairnessPolicy::Barging`].
+    pub(super) queues: Vec<TicketQueue>,
+    /// Per-slot panic bookkeeping, keyed by concern, parallel to the
+    /// bank's rows. Empty under
+    /// [`PanicPolicy::Propagate`](super::PanicPolicy::Propagate).
+    pub(super) faults: Vec<HashMap<Concern, SlotFault>>,
+}
+
+/// One coordination cell: the lock guarding a method's chain, wake
+/// wiring and blocked callers. Under [`Coordination::GlobalLock`] a
+/// single cell hosts every method.
+pub(super) struct Cell {
+    pub(super) state: Mutex<CellState>,
+}
+
+impl Cell {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(CellState {
+                bank: AspectBank::new(),
+                wakes: Vec::new(),
+                queues: Vec::new(),
+                faults: Vec::new(),
+            }),
+        })
+    }
+}
+
+/// Registry entry for one declared method: which cell hosts it, at which
+/// local row, plus its waitpoint and stats shard.
+pub(super) struct MethodEntry {
+    pub(super) id: MethodId,
+    pub(super) cell: Arc<Cell>,
+    /// The method's row index inside its cell's bank.
+    pub(super) slot: MethodIndex,
+    /// Where this method's callers park; engine-supplied, so the
+    /// protocol never names a concrete parking primitive.
+    pub(super) point: Arc<dyn Waiter<CellState>>,
+    pub(super) stats: Arc<StatShard>,
+}
+
+/// The read-mostly method registry. Write-locked only by
+/// `declare_method`; every hot-path operation read-locks it briefly to
+/// clone the `Arc`s out and then operates on the cell alone.
+#[derive(Default)]
+pub(super) struct Registry {
+    pub(super) entries: Vec<MethodEntry>,
+    pub(super) by_id: HashMap<MethodId, usize>,
+    /// The one shared cell under [`Coordination::GlobalLock`].
+    shared_cell: Option<Arc<Cell>>,
+}
+
+impl Registry {
+    pub(super) fn check(&self, method: &MethodHandle) {
+        assert!(
+            self.entries
+                .get(method.index.as_usize())
+                .is_some_and(|e| e.id == method.id),
+            "method handle `{}` does not belong to this moderator",
+            method.id
+        );
+    }
+}
+
+/// A method's coordination handles, cloned out of the registry so the
+/// hot path drops the registry read lock before touching the cell.
+pub(super) struct Resolved {
+    pub(super) cell: Arc<Cell>,
+    pub(super) slot: MethodIndex,
+    pub(super) point: Arc<dyn Waiter<CellState>>,
+    pub(super) stats: Arc<StatShard>,
+}
+
+impl AspectModerator {
+    /// Clones a method's coordination handles out of the registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not belong to this moderator.
+    pub(super) fn resolve(&self, method: &MethodHandle) -> Resolved {
+        let registry = self.registry.read();
+        registry.check(method);
+        let entry = &registry.entries[method.index.as_usize()];
+        Resolved {
+            cell: Arc::clone(&entry.cell),
+            slot: entry.slot,
+            point: Arc::clone(&entry.point),
+            stats: Arc::clone(&entry.stats),
+        }
+    }
+
+    /// Declares a participating method; idempotent.
+    pub fn declare_method(&self, id: MethodId) -> MethodHandle {
+        let mut registry = self.registry.write();
+        if let Some(&ix) = registry.by_id.get(&id) {
+            return MethodHandle {
+                index: MethodIndex(ix),
+                id,
+            };
+        }
+        let cell = match self.coordination {
+            Coordination::Sharded => Cell::new(),
+            Coordination::GlobalLock => {
+                if registry.shared_cell.is_none() {
+                    registry.shared_cell = Some(Cell::new());
+                }
+                Arc::clone(registry.shared_cell.as_ref().expect("just seeded"))
+            }
+        };
+        let slot = {
+            let mut state = cell.state.lock();
+            let slot = state.bank.declare(id.clone());
+            if state.wakes.len() < state.bank.method_count() {
+                state.wakes.push(WakeTargets::All);
+                state.queues.push(TicketQueue::new(self.grant_batching));
+                state.faults.push(HashMap::new());
+            }
+            slot
+        };
+        let ix = registry.entries.len();
+        registry.by_id.insert(id.clone(), ix);
+        registry.entries.push(MethodEntry {
+            id: id.clone(),
+            cell,
+            slot,
+            point: self.engine.waiter(),
+            stats: Arc::new(StatShard::default()),
+        });
+        MethodHandle {
+            index: MethodIndex(ix),
+            id,
+        }
+    }
+
+    /// Looks up the handle of an already-declared method.
+    pub fn method(&self, id: &MethodId) -> Option<MethodHandle> {
+        let registry = self.registry.read();
+        registry.by_id.get(id).map(|&ix| MethodHandle {
+            index: MethodIndex(ix),
+            id: id.clone(),
+        })
+    }
+
+    /// Declared method identifiers, in declaration order.
+    pub fn methods(&self) -> Vec<MethodId> {
+        self.registry
+            .read()
+            .entries
+            .iter()
+            .map(|e| e.id.clone())
+            .collect()
+    }
+
+    /// Stores an aspect in the (method, concern) cell — the paper's
+    /// `registerAspect`.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistrationError::DuplicateConcern`] if the cell is occupied.
+    pub fn register(
+        &self,
+        method: &MethodHandle,
+        concern: Concern,
+        aspect: Box<dyn Aspect>,
+    ) -> Result<(), RegistrationError> {
+        let r = self.resolve(method);
+        {
+            let mut state = r.cell.state.lock();
+            state.bank.register(r.slot, concern.clone(), aspect)?;
+        }
+        self.emit(0, &method.id, Some(concern), EventKind::AspectRegistered);
+        Ok(())
+    }
+
+    /// Asks `factory` to create the aspect for (method, concern) and
+    /// registers it — the paper's initialization idiom
+    /// `moderator.registerAspect(open, SYNC, factory.create(open, SYNC))`.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistrationError::FactoryRefused`] if the factory returns no
+    /// aspect, or [`RegistrationError::DuplicateConcern`] if the cell is
+    /// occupied.
+    pub fn register_from(
+        &self,
+        factory: &dyn AspectFactory,
+        method: &MethodHandle,
+        concern: Concern,
+    ) -> Result<(), RegistrationError> {
+        let aspect = factory.create(&method.id, &concern).ok_or_else(|| {
+            RegistrationError::FactoryRefused {
+                method: method.id.clone(),
+                concern: concern.clone(),
+            }
+        })?;
+        self.emit(
+            0,
+            &method.id,
+            Some(concern.clone()),
+            EventKind::AspectCreated,
+        );
+        self.register(method, concern, aspect)
+    }
+
+    /// Removes and returns the aspect in the (method, concern) cell,
+    /// waking all of the method's waiters so they re-evaluate against the
+    /// shortened chain.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistrationError::UnknownConcern`] if the cell is empty.
+    pub fn deregister(
+        &self,
+        method: &MethodHandle,
+        concern: &Concern,
+    ) -> Result<Box<dyn Aspect>, RegistrationError> {
+        let r = self.resolve(method);
+        let aspect = {
+            let mut state = r.cell.state.lock();
+            let aspect = state.bank.deregister(r.slot, concern)?;
+            // Notify while holding the cell lock: a waiter either is
+            // already parked (woken now) or still holds the lock and
+            // will re-evaluate against the shortened chain anyway.
+            // Under Fifo every ticketed waiter must get a turn against
+            // the shortened chain, in order — a full sweep.
+            if self.fairness == FairnessPolicy::Fifo {
+                wake_queue(&mut state.queues[r.slot.as_usize()], WakeMode::NotifyAll);
+            }
+            r.point.wake_all();
+            aspect
+        };
+        self.emit(
+            0,
+            &method.id,
+            Some(concern.clone()),
+            EventKind::AspectDeregistered,
+        );
+        Ok(aspect)
+    }
+
+    /// The concerns registered for a method, in registration order.
+    pub fn concerns(&self, method: &MethodHandle) -> Vec<Concern> {
+        let r = self.resolve(method);
+        let state = r.cell.state.lock();
+        state.bank.concerns(r.slot)
+    }
+
+    /// Restricts which wait queues `method`'s post-activation notifies
+    /// (default: all queues). The paper wires `open` → `assign`'s queue
+    /// and vice versa.
+    ///
+    /// The method's *own* queue is always signalled after its
+    /// postactions run, independent of this wiring (module docs:
+    /// self-wake) — wiring governs cross-method notifications only.
+    pub fn wire_wakes(&self, method: &MethodHandle, targets: &[MethodHandle]) {
+        {
+            let registry = self.registry.read();
+            registry.check(method);
+            for t in targets {
+                registry.check(t);
+            }
+        }
+        let r = self.resolve(method);
+        let mut state = r.cell.state.lock();
+        state.wakes[r.slot.as_usize()] =
+            WakeTargets::Wired(targets.iter().map(|t| t.index).collect());
+    }
+
+    /// Runs `f` with mutable access to the aspect registered under
+    /// (method, concern), under the method's cell lock. Administrative
+    /// escape hatch for inspecting or adjusting aspect state.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistrationError::UnknownConcern`] if the cell is empty.
+    pub fn with_aspect<R>(
+        &self,
+        method: &MethodHandle,
+        concern: &Concern,
+        f: impl FnOnce(&mut dyn Aspect) -> R,
+    ) -> Result<R, RegistrationError> {
+        let r = self.resolve(method);
+        let mut state = r.cell.state.lock();
+        match state.bank.aspect_mut(r.slot, concern) {
+            Some(aspect) => Ok(f(aspect)),
+            None => Err(RegistrationError::UnknownConcern {
+                method: method.id.clone(),
+                concern: concern.clone(),
+            }),
+        }
+    }
+}

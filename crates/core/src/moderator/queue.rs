@@ -1,0 +1,136 @@
+//! Wake plumbing: which queues a notification reaches and how it is
+//! recorded.
+//!
+//! The ticketed FIFO discipline itself lives in
+//! [`amf_concurrency::TicketQueue`] — the moderator holds one per
+//! (cell, slot) and this module bridges the moderator's [`WakeMode`]
+//! onto it. Under [`FairnessPolicy::Fifo`] a notification is recorded
+//! as *queue state* first (a head-of-queue signal or a broadcast sweep)
+//! and only then pulsed through the cell's [`Waiter`] waitpoint, so a
+//! wake landing while a waiter's cell lock is released persists as a
+//! permit instead of being lost.
+//!
+//! [`Waiter`]: amf_concurrency::Waiter
+
+use std::sync::Arc;
+
+use amf_concurrency::{TicketQueue, Waiter};
+
+use super::cell::{Cell, CellState, MethodEntry};
+use super::stats::{inc, StatShard};
+use super::{AspectModerator, FairnessPolicy, WakeMode};
+use crate::bank::MethodIndex;
+use crate::concern::MethodId;
+use crate::trace::EventKind;
+
+/// Which wait queues a method's post-activation notifies.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub(super) enum WakeTargets {
+    /// Notify every declared method's queue (safe default).
+    #[default]
+    All,
+    /// Notify exactly these methods' queues (the paper wires open→assign
+    /// and assign→open by hand; [`AspectModerator::wire_wakes`] does the
+    /// same declaratively).
+    Wired(Vec<MethodIndex>),
+}
+
+/// Records one notification on a method's FIFO queue: a broadcast sweep
+/// under [`WakeMode::NotifyAll`], a single head-of-queue permit under
+/// [`WakeMode::NotifyOne`].
+pub(super) fn wake_queue(queue: &mut TicketQueue, mode: WakeMode) {
+    match mode {
+        WakeMode::NotifyAll => queue.wake_all(),
+        WakeMode::NotifyOne => queue.wake_one(),
+    }
+}
+
+impl AspectModerator {
+    /// Signals a method's *own* waitpoint (module docs: self-wake). The
+    /// caller must hold that method's cell lock. Deliberately neither
+    /// counted in [`ModeratorStats::notifications`] nor traced as
+    /// [`EventKind::NotificationSent`]: `wire_wakes` semantics (and the
+    /// tests pinning them) describe cross-method notifications only.
+    ///
+    /// Under [`FairnessPolicy::Fifo`] the wake is recorded as a queue
+    /// permit first; the waitpoint broadcast only tells parked waiters
+    /// to re-check their eligibility.
+    ///
+    /// [`ModeratorStats::notifications`]: super::ModeratorStats::notifications
+    pub(super) fn wake_own(
+        &self,
+        state: &mut CellState,
+        slot: MethodIndex,
+        point: &Arc<dyn Waiter<CellState>>,
+    ) {
+        match self.fairness {
+            FairnessPolicy::Barging => match self.wake_mode {
+                WakeMode::NotifyAll => point.wake_all(),
+                WakeMode::NotifyOne => point.wake_one(),
+            },
+            FairnessPolicy::Fifo => {
+                wake_queue(&mut state.queues[slot.as_usize()], self.wake_mode);
+                point.wake_all();
+            }
+        }
+    }
+
+    /// Notifies the wait queues named by `targets`, signalling each
+    /// target's waitpoint **while holding that target's cell lock** —
+    /// the discipline that makes cross-method wakeups race-free (module
+    /// docs). The caller must not hold any cell lock.
+    pub(super) fn notify_targets(
+        &self,
+        targets: &WakeTargets,
+        stats: &StatShard,
+        invocation: u64,
+        source: &MethodId,
+    ) {
+        type Target = (Arc<Cell>, MethodIndex, Arc<dyn Waiter<CellState>>, MethodId);
+        let resolved: Vec<Target> = {
+            let registry = self.registry.read();
+            let pick = |e: &MethodEntry| {
+                (
+                    Arc::clone(&e.cell),
+                    e.slot,
+                    Arc::clone(&e.point),
+                    e.id.clone(),
+                )
+            };
+            match targets {
+                WakeTargets::All => registry.entries.iter().map(pick).collect(),
+                WakeTargets::Wired(t) => t
+                    .iter()
+                    .map(|ix| pick(&registry.entries[ix.as_usize()]))
+                    .collect(),
+            }
+        };
+        for (cell, slot, point, target_id) in resolved {
+            {
+                let mut state = cell.state.lock();
+                match self.fairness {
+                    FairnessPolicy::Barging => match self.wake_mode {
+                        WakeMode::NotifyAll => point.wake_all(),
+                        WakeMode::NotifyOne => point.wake_one(),
+                    },
+                    FairnessPolicy::Fifo => {
+                        wake_queue(&mut state.queues[slot.as_usize()], self.wake_mode);
+                        point.wake_all();
+                    }
+                }
+                // Emit while still holding the target cell: the woken
+                // waiter cannot log `WaitWoken` until it reacquires the
+                // lock, keeping notify→woken ordered in the trace.
+                if self.trace.is_some() {
+                    self.emit(
+                        invocation,
+                        source,
+                        None,
+                        EventKind::NotificationSent(target_id),
+                    );
+                }
+            }
+            inc(&stats.notifications);
+        }
+    }
+}

@@ -16,8 +16,12 @@
 //!
 //! Wire-format history: `OP_STATS_REPLY` originally carried six `u64`
 //! counters; the fault-containment release appended a seventh,
-//! `panics_caught`. Because decoding is strict, old and new peers do
-//! not interoperate on `Stats` — deploy both sides together.
+//! `panics_caught`, and the batched-admission release an eighth,
+//! `batched_grants`. The counter list lives in one place —
+//! [`STATS_FIELDS`] plus [`WireStats::to_array`]/[`WireStats::from_array`]
+//! — so encode, decode and tests cannot drift apart. Because decoding
+//! is strict, old and new peers do not interoperate on `Stats` — deploy
+//! both sides together.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -69,6 +73,12 @@ pub enum Request {
     Shutdown,
 }
 
+/// Number of `u64` counters in an `OP_STATS_REPLY` payload — the single
+/// source of truth for the `Stats` wire format: encode and decode both
+/// iterate [`WireStats::to_array`]/[`WireStats::from_array`], whose
+/// lengths this const fixes at compile time.
+pub const STATS_FIELDS: usize = 8;
+
 /// Counters reported by [`Response::Stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct WireStats {
@@ -89,6 +99,47 @@ pub struct WireStats {
     /// Aspect panics the moderator contained (seventh field, appended
     /// by the fault-containment release).
     pub panics_caught: u64,
+    /// FIFO admissions served by grant extension rather than a fresh
+    /// wake handoff (eighth field, appended by the batched-admission
+    /// release).
+    pub batched_grants: u64,
+}
+
+impl WireStats {
+    /// The counters in wire order. The array length is pinned to
+    /// [`STATS_FIELDS`], so adding a struct field without growing the
+    /// wire format (or vice versa) fails to compile here.
+    #[must_use]
+    pub fn to_array(&self) -> [u64; STATS_FIELDS] {
+        [
+            self.opened,
+            self.assigned,
+            self.queued,
+            self.aborts,
+            self.timeouts,
+            self.max_queue_depth,
+            self.panics_caught,
+            self.batched_grants,
+        ]
+    }
+
+    /// Rebuilds the counters from wire order; inverse of
+    /// [`WireStats::to_array`].
+    #[must_use]
+    pub fn from_array(fields: [u64; STATS_FIELDS]) -> Self {
+        let [opened, assigned, queued, aborts, timeouts, max_queue_depth, panics_caught, batched_grants] =
+            fields;
+        Self {
+            opened,
+            assigned,
+            queued,
+            aborts,
+            timeouts,
+            max_queue_depth,
+            panics_caught,
+            batched_grants,
+        }
+    }
 }
 
 /// A server-to-client message.
@@ -255,13 +306,9 @@ pub fn encode_response(resp: &Response) -> Bytes {
         }
         Response::Stats(s) => {
             body.put_u8(OP_STATS_REPLY);
-            body.put_u64(s.opened);
-            body.put_u64(s.assigned);
-            body.put_u64(s.queued);
-            body.put_u64(s.aborts);
-            body.put_u64(s.timeouts);
-            body.put_u64(s.max_queue_depth);
-            body.put_u64(s.panics_caught);
+            for counter in s.to_array() {
+                body.put_u64(counter);
+            }
         }
     }
     frame(body)
@@ -319,15 +366,13 @@ pub fn decode_response(body: &[u8]) -> Result<Response, DecodeError> {
         OP_BLOCKED => Response::Blocked,
         OP_ABORTED => Response::Aborted(get_string(&mut cur)?),
         OP_ERR => Response::Err(get_string(&mut cur)?),
-        OP_STATS_REPLY => Response::Stats(WireStats {
-            opened: get_u64_checked(&mut cur)?,
-            assigned: get_u64_checked(&mut cur)?,
-            queued: get_u64_checked(&mut cur)?,
-            aborts: get_u64_checked(&mut cur)?,
-            timeouts: get_u64_checked(&mut cur)?,
-            max_queue_depth: get_u64_checked(&mut cur)?,
-            panics_caught: get_u64_checked(&mut cur)?,
-        }),
+        OP_STATS_REPLY => {
+            let mut fields = [0u64; STATS_FIELDS];
+            for counter in &mut fields {
+                *counter = get_u64_checked(&mut cur)?;
+            }
+            Response::Stats(WireStats::from_array(fields))
+        }
         op => return Err(DecodeError::UnknownOpcode(op)),
     };
     finish(resp, cur)
@@ -424,6 +469,7 @@ mod tests {
             timeouts: 5,
             max_queue_depth: 6,
             panics_caught: 7,
+            batched_grants: 8,
         }));
     }
 

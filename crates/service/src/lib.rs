@@ -30,5 +30,5 @@ pub mod codec;
 pub mod server;
 
 pub use client::{run_load, ClientError, LoadConfig, LoadOutcome, ServiceClient};
-pub use codec::{DecodeError, Request, Response, WireStats, MAX_FRAME};
+pub use codec::{DecodeError, Request, Response, WireStats, MAX_FRAME, STATS_FIELDS};
 pub use server::{ServiceConfig, ServiceError, ServiceHandle, TicketService};

@@ -10,7 +10,7 @@
 //! | buffer synchronization | `sync` pair (in the base proxy) | first (innermost) |
 //! | per-principal rate limiting | [`QuotaAspect`] | second |
 //! | global throughput ceiling | [`RateLimitAspect`] | third (optional) |
-//! | authentication | [`AuthenticationAspect`] via proxy upgrade | fourth |
+//! | authentication | `AuthenticationAspect` via proxy upgrade | fourth |
 //! | counters + latency histograms | [`MetricsAspect`] | last (outermost) |
 //!
 //! Registration order is the composition order: aspects registered
@@ -172,6 +172,7 @@ impl ServiceShared {
             timeouts: mod_stats.timeouts,
             max_queue_depth: mod_stats.max_queue_depth,
             panics_caught: mod_stats.panics_caught,
+            batched_grants: mod_stats.batched_grants,
         }
     }
 

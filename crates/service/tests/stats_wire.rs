@@ -1,0 +1,52 @@
+//! Property test for the `Stats` wire format: every combination of
+//! counter values round-trips through encode/decode, and the frame
+//! layout is derived from the one shared [`STATS_FIELDS`] const — so a
+//! counter added to [`WireStats`] without updating the const (or vice
+//! versa) fails here, not in production against an old peer.
+
+use amf_service::{Response, WireStats, STATS_FIELDS};
+use proptest::prelude::*;
+
+/// The `Stats` frame body is the opcode byte plus exactly
+/// `STATS_FIELDS` big-endian `u64`s — no hidden padding, no stray
+/// fields.
+fn expected_body_len() -> usize {
+    1 + STATS_FIELDS * 8
+}
+
+proptest! {
+    #[test]
+    fn stats_reply_round_trips(
+        fields in proptest::collection::vec(any::<u64>(), STATS_FIELDS..STATS_FIELDS + 1)
+    ) {
+        let mut wire = [0u64; STATS_FIELDS];
+        wire.copy_from_slice(&fields);
+        let stats = WireStats::from_array(wire);
+
+        // from_array/to_array are inverses: no counter is dropped or
+        // duplicated between struct and wire order.
+        prop_assert_eq!(stats.to_array(), wire);
+
+        let framed = amf_service::codec::encode_response(&Response::Stats(stats));
+        let body = &framed[4..];
+        prop_assert_eq!(body.len(), expected_body_len());
+        let decoded = amf_service::codec::decode_response(body).unwrap();
+        prop_assert_eq!(decoded, Response::Stats(stats));
+    }
+}
+
+/// A truncated reply — one counter short of `STATS_FIELDS` — must be
+/// rejected, proving the decoder really demands the full const-derived
+/// field count.
+#[test]
+fn stats_reply_is_strict_about_field_count() {
+    let stats = WireStats::from_array([7; STATS_FIELDS]);
+    let framed = amf_service::codec::encode_response(&Response::Stats(stats));
+    let body = &framed[4..];
+    assert_eq!(body.len(), expected_body_len());
+    let short = &body[..body.len() - 8];
+    assert!(amf_service::codec::decode_response(short).is_err());
+    let mut long = body.to_vec();
+    long.extend_from_slice(&[0u8; 8]);
+    assert!(amf_service::codec::decode_response(&long).is_err());
+}

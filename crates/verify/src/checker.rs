@@ -188,6 +188,8 @@ pub struct Checker<S> {
     racy_handoff: bool,
     overtake_on_timeout: bool,
     leak_on_panic: bool,
+    batched_grants: bool,
+    split_batch_overtake: bool,
 }
 
 impl<S> fmt::Debug for Checker<S> {
@@ -205,6 +207,8 @@ impl<S> fmt::Debug for Checker<S> {
             .field("racy_handoff", &self.racy_handoff)
             .field("overtake_on_timeout", &self.overtake_on_timeout)
             .field("leak_on_panic", &self.leak_on_panic)
+            .field("batched_grants", &self.batched_grants)
+            .field("split_batch_overtake", &self.split_batch_overtake)
             .finish()
     }
 }
@@ -228,6 +232,8 @@ impl<S: Clone + Eq + Hash> Checker<S> {
             racy_handoff: false,
             overtake_on_timeout: false,
             leak_on_panic: false,
+            batched_grants: false,
+            split_batch_overtake: false,
         }
     }
 
@@ -380,6 +386,39 @@ impl<S: Clone + Eq + Hash> Checker<S> {
     #[must_use]
     pub fn overtake_on_timeout(mut self) -> Self {
         self.overtake_on_timeout = true;
+        self
+    }
+
+    /// Models batched FIFO admission (grant extension on departure, the
+    /// implementation's `ModeratorBuilder::grant_batching`): whenever a
+    /// ticketed waiter *leaves* the queue — resumes, aborts, or cancels
+    /// on timeout — the grant is extended to the new queue front, which
+    /// re-evaluates without any fresh notification pulse. A freed
+    /// capacity of `k` therefore drains the front-`k` prefix in one
+    /// cursor-ordered sweep. Ordering is untouched: only the front ever
+    /// becomes eligible, so no-overtake must still hold — combine with
+    /// [`Checker::fifo`] + [`Checker::check_fairness`] to prove it, and
+    /// with [`Checker::split_batch_overtake`] to see what unordered
+    /// batch permits would break. Only meaningful with [`Checker::fifo`].
+    #[must_use]
+    pub fn batched_grants(mut self) -> Self {
+        self.batched_grants = true;
+        self
+    }
+
+    /// Batching ablation: a departure hands the freed capacity to the
+    /// front *two* queued waiters as independent permits — and because
+    /// the permits are unordered, the second-in-line can evaluate before
+    /// the first (modeled by swapping their eligibility seniority). This
+    /// is the bug a batched implementation without cursor ordering would
+    /// have; it corrupts only the eligibility queue, so
+    /// [`Checker::check_fairness`] catches the overtake with a concrete
+    /// trace. Implies [`Checker::batched_grants`]; only meaningful with
+    /// [`Checker::fifo`].
+    #[must_use]
+    pub fn split_batch_overtake(mut self) -> Self {
+        self.batched_grants = true;
+        self.split_batch_overtake = true;
         self
     }
 
@@ -536,6 +575,30 @@ impl<S: Clone + Eq + Hash> Checker<S> {
 
     /// Records `thread` parking on `method` (idempotent across
     /// re-blocks: a woken waiter that blocks again keeps its place).
+    /// Grant extension on departure (batched mode): the new front of
+    /// `method`'s eligibility queue becomes runnable without a fresh
+    /// notification pulse — the modeled counterpart of the cursor-ordered
+    /// batched sweep. The split-batch ablation instead hands the freed
+    /// capacity to the front *two* waiters as unordered permits, swapping
+    /// their seniority (corrupting `elig` only, never `order`).
+    fn extend_grant(&self, w: &mut World<S>, method: usize) {
+        if !self.batched_grants {
+            return;
+        }
+        if self.split_batch_overtake && w.elig[method].len() >= 2 {
+            w.elig[method].swap(0, 1);
+        }
+        let take = if self.split_batch_overtake { 2 } else { 1 };
+        let targets: Vec<usize> = w.elig[method].iter().take(take).copied().collect();
+        for t in targets {
+            if let (tpc, Phase::Blocked(m)) = w.threads[t].clone() {
+                if m == method {
+                    w.threads[t] = (tpc, Phase::Ready);
+                }
+            }
+        }
+    }
+
     fn join_queues(w: &mut World<S>, thread: usize, method: usize) {
         if !w.order[method].contains(&thread) {
             w.order[method].push(thread);
@@ -611,6 +674,10 @@ impl<S: Clone + Eq + Hash> Checker<S> {
                 } else {
                     w.elig[method].retain(|&t| t != thread);
                 }
+                // A cancellation is a departure too: in batched mode the
+                // implementation's `TicketQueue::cancel` extends the
+                // grant to the surviving front.
+                self.extend_grant(&mut w, method);
                 let npc = pc + 1;
                 w.threads[thread] = (npc, self.phase_for(thread, npc));
                 vec![(
@@ -662,6 +729,7 @@ impl<S: Clone + Eq + Hash> Checker<S> {
                             w.violated = true;
                         }
                         Self::leave_queues(&mut w, thread, method);
+                        self.extend_grant(&mut w, method);
                     }
                     "blocked" => {
                         // Queue membership is taken at decision time,
@@ -669,7 +737,10 @@ impl<S: Clone + Eq + Hash> Checker<S> {
                         // Park step — matching the implementation.
                         Self::join_queues(&mut w, thread, method);
                     }
-                    _ => Self::leave_queues(&mut w, thread, method),
+                    _ => {
+                        Self::leave_queues(&mut w, thread, method);
+                        self.extend_grant(&mut w, method);
+                    }
                 }
                 match next {
                     Some(phase) => w.threads[thread] = (pc, phase),

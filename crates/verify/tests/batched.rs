@@ -1,0 +1,201 @@
+//! Model-checking batched FIFO admission (grant extension on
+//! departure, `ModeratorBuilder::grant_batching`): when a departure
+//! frees capacity `k`, the front-`k` prefix of the queue drains in one
+//! cursor-ordered sweep — each leaver hands the grant to the next
+//! front, which re-evaluates *without a fresh notification pulse*,
+//! possibly before the leaver's own postactivation has run. The claim
+//! to verify is that this extra concurrency preserves no-overtake.
+//!
+//! Following the fairness battery's method, the proof is by ablation:
+//!
+//! * the faithful batched model (`batched_grants`) passes
+//!   `check_fairness` across every interleaving, in both wake modes and
+//!   with timed (cancelling) waiters — cursor ordering means only the
+//!   queue front ever becomes eligible;
+//! * the **split-batch** ablation (`split_batch_overtake`) hands the
+//!   freed capacity to the front two waiters as *unordered* permits —
+//!   the second-in-line can evaluate first — and is caught with a
+//!   concrete overtake trace.
+
+use amf_verify::{aspects, Checker, MethodIx, ModelSystem, ModelVerdict, Outcome};
+
+/// A capacity-`k` gate: `take` consumes a unit or blocks; `refill`
+/// restores the full capacity in one postaction — the shape in which a
+/// single departure (the refiller) frees multiple units at once, so
+/// batched admission is observable.
+#[derive(Clone, PartialEq, Eq, Hash, Default, Debug)]
+struct Units {
+    avail: usize,
+}
+
+fn capacity_gate(k: usize) -> (ModelSystem<Units>, MethodIx, MethodIx) {
+    let mut sys = ModelSystem::new();
+    let take = sys.method("take");
+    let refill = sys.method("refill");
+    sys.add_aspect(
+        take,
+        "gate",
+        aspects::from_fns(
+            |s: &mut Units| {
+                if s.avail > 0 {
+                    s.avail -= 1;
+                    ModelVerdict::Resume
+                } else {
+                    ModelVerdict::Block
+                }
+            },
+            |_| (),
+            |_| (),
+        ),
+    );
+    sys.add_aspect(
+        refill,
+        "mint",
+        aspects::from_fns(
+            |_: &mut Units| ModelVerdict::Resume,
+            move |s: &mut Units| s.avail = k,
+            |_| (),
+        ),
+    );
+    sys.wire_wakes(refill, vec![take]);
+    sys.wire_wakes(take, vec![]);
+    (sys, take, refill)
+}
+
+/// The batched model proves no-overtake: two contending takers park on
+/// an empty gate and a refiller frees two units in one postaction —
+/// across every interleaving, including those where a grant extension
+/// lets the second taker evaluate before the first's postactivation has
+/// run, no activation resumes past a still-queued earlier waiter, and
+/// every schedule drains to completion.
+#[test]
+fn batched_grants_preserve_no_overtake() {
+    let (sys, take, refill) = capacity_gate(2);
+    let result = Checker::new(sys)
+        .fifo()
+        .check_fairness()
+        .batched_grants()
+        .thread(vec![take])
+        .thread(vec![take])
+        .thread(vec![refill])
+        .run(Units::default());
+    assert_eq!(result.outcome, Outcome::Ok);
+    assert!(result.terminals >= 1);
+}
+
+/// Same property under `NotifyOne`: a batched sweep carries admissions
+/// past the single signalled head, and order still holds.
+#[test]
+fn batched_grants_preserve_no_overtake_under_wake_one() {
+    let (sys, take, refill) = capacity_gate(2);
+    let result = Checker::new(sys)
+        .fifo()
+        .check_fairness()
+        .batched_grants()
+        .wake_one()
+        .thread(vec![take])
+        .thread(vec![take])
+        .thread(vec![refill])
+        .run(Units::default());
+    assert_eq!(result.outcome, Outcome::Ok);
+}
+
+/// Cancellation during a batched sweep: a timed waiter giving up is a
+/// departure and extends the grant to the surviving front
+/// (`TicketQueue::cancel`); seniority of everyone behind it is intact.
+#[test]
+fn batched_grants_stay_fair_with_cancelling_waiters() {
+    let (sys, take, refill) = capacity_gate(2);
+    let result = Checker::new(sys)
+        .fifo()
+        .check_fairness()
+        .batched_grants()
+        .timed_thread(vec![take])
+        .timed_thread(vec![take])
+        .timed_thread(vec![take])
+        .thread(vec![refill])
+        .run(Units::default());
+    assert_eq!(result.outcome, Outcome::Ok);
+}
+
+/// The split-batch ablation is caught: handing the freed capacity to
+/// the front two waiters as unordered permits lets the second-in-line
+/// resume while the first is still queued. The checker produces the
+/// overtake trace — a parked taker and a *different* thread's `take`
+/// resuming past it — and the faithful batched model on the exact same
+/// scenario passes.
+#[test]
+fn split_batch_overtake_ablation_is_caught() {
+    let (sys, take, refill) = capacity_gate(2);
+    let ablated = Checker::new(sys)
+        .fifo()
+        .check_fairness()
+        .split_batch_overtake()
+        .timed_thread(vec![take])
+        .timed_thread(vec![take])
+        .timed_thread(vec![take])
+        .thread(vec![refill])
+        .run(Units::default());
+    match ablated.outcome {
+        Outcome::FairnessViolation(trace) => {
+            let rendered: Vec<String> = trace.iter().map(ToString::to_string).collect();
+            let parked = rendered
+                .iter()
+                .find(|s| s.contains("chain(take) -> blocked"))
+                .unwrap_or_else(|| panic!("{rendered:?}"));
+            let resumed = rendered.last().unwrap();
+            assert!(resumed.contains("chain(take) -> resumed"), "{rendered:?}");
+            let tid = |s: &str| s.split(':').next().unwrap().to_string();
+            assert_ne!(tid(parked), tid(resumed), "{rendered:?}");
+        }
+        other => panic!("expected fairness violation, got {other:?}"),
+    }
+
+    let (sys, take, refill) = capacity_gate(2);
+    let faithful = Checker::new(sys)
+        .fifo()
+        .check_fairness()
+        .batched_grants()
+        .timed_thread(vec![take])
+        .timed_thread(vec![take])
+        .timed_thread(vec![take])
+        .thread(vec![refill])
+        .run(Units::default());
+    assert_eq!(faithful.outcome, Outcome::Ok);
+}
+
+/// Batching composes with the sharded protocol's transient
+/// reservations: the rollback shape from `tests/sharded.rs` stays live
+/// and fair when departures extend grants.
+#[test]
+fn batched_grants_compose_with_sharded_rollback() {
+    #[derive(Clone, PartialEq, Eq, Hash, Default, Debug)]
+    struct Pool {
+        busy: bool,
+        gate: bool,
+    }
+    let mut sys = ModelSystem::new();
+    let a = sys.method("a");
+    let b = sys.method("b");
+    let pool = || {
+        aspects::reserve(
+            |s: &Pool| !s.busy,
+            |s: &mut Pool| s.busy = true,
+            |s: &mut Pool| s.busy = false,
+        )
+    };
+    sys.add_aspect(a, "gate", aspects::guard(|s: &Pool| s.gate));
+    sys.add_aspect(a, "pool", pool());
+    sys.add_aspect(b, "pool", pool());
+    sys.set_body(b, |s: &mut Pool| s.gate = true);
+    let result = Checker::new(sys)
+        .sharded()
+        .fifo()
+        .check_fairness()
+        .batched_grants()
+        .thread(vec![a])
+        .thread(vec![b])
+        .final_invariant(|s: &Pool| !s.busy)
+        .run(Pool::default());
+    assert_eq!(result.outcome, Outcome::Ok);
+}

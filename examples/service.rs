@@ -63,8 +63,16 @@ fn main() {
 
     let stats = handle.stats();
     println!(
-        "\nstats: opened={} assigned={} queued={} aborts={} timeouts={}",
-        stats.opened, stats.assigned, stats.queued, stats.aborts, stats.timeouts
+        "\nstats: opened={} assigned={} queued={} aborts={} timeouts={} \
+         max_queue_depth={} panics_caught={} batched_grants={}",
+        stats.opened,
+        stats.assigned,
+        stats.queued,
+        stats.aborts,
+        stats.timeouts,
+        stats.max_queue_depth,
+        stats.panics_caught,
+        stats.batched_grants,
     );
     handle.shutdown();
 }

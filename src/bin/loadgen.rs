@@ -142,7 +142,11 @@ fn main() -> ExitCode {
     let assign_summary = LatencySummary::from_unsorted(&mut assign);
     let overall = LatencySummary::from_unsorted(&mut all);
 
-    let report = JsonObject::new()
+    // Server-side counters (the full `StatsReply`), fetched before the
+    // local server is torn down.
+    let server_stats = local.as_ref().map(|handle| handle.stats());
+
+    let mut report = JsonObject::new()
         .field("benchmark", "service_loadgen")
         .field("clients", args.clients)
         .field("requests", outcome.total())
@@ -153,8 +157,23 @@ fn main() -> ExitCode {
         .field("throughput_ops_per_sec", outcome.throughput())
         .field("open", open_summary.to_json())
         .field("assign", assign_summary.to_json())
-        .field("overall", overall.to_json())
-        .build();
+        .field("overall", overall.to_json());
+    if let Some(s) = &server_stats {
+        report = report.field(
+            "server_stats",
+            JsonObject::new()
+                .field("opened", s.opened)
+                .field("assigned", s.assigned)
+                .field("queued", s.queued)
+                .field("aborts", s.aborts)
+                .field("timeouts", s.timeouts)
+                .field("max_queue_depth", s.max_queue_depth)
+                .field("panics_caught", s.panics_caught)
+                .field("batched_grants", s.batched_grants)
+                .build(),
+        );
+    }
+    let report = report.build();
     if let Err(e) = std::fs::write(&args.report, format!("{report}\n")) {
         eprintln!("failed to write {}: {e}", args.report);
         return ExitCode::FAILURE;
@@ -175,6 +194,21 @@ fn main() -> ExitCode {
         fmt_ns(overall.p99_ns as f64),
         args.report,
     );
+
+    if let Some(s) = &server_stats {
+        println!(
+            "server stats: opened={} assigned={} queued={} aborts={} timeouts={} \
+             max_queue_depth={} panics_caught={} batched_grants={}",
+            s.opened,
+            s.assigned,
+            s.queued,
+            s.aborts,
+            s.timeouts,
+            s.max_queue_depth,
+            s.panics_caught,
+            s.batched_grants,
+        );
+    }
 
     if let Some(mut handle) = local {
         handle.shutdown();

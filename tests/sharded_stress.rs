@@ -10,7 +10,8 @@ use std::thread;
 use std::time::Duration;
 
 use aspect_moderator::core::{
-    AspectModerator, Concern, FnAspect, InvocationContext, MethodId, Verdict, WakeMode,
+    AspectModerator, Concern, FairnessPolicy, FnAspect, InvocationContext, MethodId, Verdict,
+    WakeMode,
 };
 use aspect_moderator::ticketing::{Ticket, TicketServerProxy};
 
@@ -127,4 +128,108 @@ fn deregister_while_blocked_releases_waiters() {
         }
         assert_eq!(moderator.stats().resumes, 4);
     });
+}
+
+/// Deregistering the gate while FIFO waiters are parked and a *batched
+/// sweep* is draining them: a refill frees two units at once under
+/// `NotifyOne` (one signal, the second admission rides the grant
+/// extension) while a racing thread removes the gating aspect
+/// mid-sweep. Every ticketed waiter must still be released, in bounded
+/// time, whichever of the sweep cursor or the deregistration full-queue
+/// sweep reaches it first. Iterated to vary the interleaving.
+#[test]
+fn deregister_during_batched_sweep_releases_fifo_waiters() {
+    for round in 0..20 {
+        bounded("deregister during batched sweep", move || {
+            let moderator = Arc::new(
+                AspectModerator::builder()
+                    .fairness(FairnessPolicy::Fifo)
+                    .wake_mode(WakeMode::NotifyOne)
+                    .build(),
+            );
+            let gated = moderator.declare_method(MethodId::new("gated"));
+            let refill = moderator.declare_method(MethodId::new("refill"));
+            moderator.wire_wakes(&refill, std::slice::from_ref(&gated));
+            moderator.wire_wakes(&gated, &[]);
+
+            let capacity = Arc::new(parking_lot::Mutex::new(0u32));
+            {
+                let capacity = Arc::clone(&capacity);
+                moderator
+                    .register(
+                        &gated,
+                        Concern::synchronization(),
+                        Box::new(FnAspect::new("capacity").on_precondition(move |_| {
+                            let mut c = capacity.lock();
+                            if *c > 0 {
+                                *c -= 1;
+                                Verdict::Resume
+                            } else {
+                                Verdict::Block
+                            }
+                        })),
+                    )
+                    .unwrap();
+            }
+            {
+                let capacity = Arc::clone(&capacity);
+                moderator
+                    .register(
+                        &refill,
+                        Concern::new("mint"),
+                        Box::new(FnAspect::new("mint").on_postaction(move |_| {
+                            *capacity.lock() += 2;
+                        })),
+                    )
+                    .unwrap();
+            }
+
+            let waiters: Vec<_> = (0..6)
+                .map(|_| {
+                    let moderator = Arc::clone(&moderator);
+                    let gated = gated.clone();
+                    thread::spawn(move || {
+                        let mut ctx =
+                            InvocationContext::new(gated.id().clone(), moderator.next_invocation());
+                        moderator.preactivation(&gated, &mut ctx).unwrap();
+                        moderator.postactivation(&gated, &mut ctx);
+                    })
+                })
+                .collect();
+            while moderator.stats().blocks < 6 {
+                thread::yield_now();
+            }
+
+            // Refill (starts a batched sweep over the parked tickets)
+            // and deregister race; alternate the head start per round.
+            let refiller = {
+                let moderator = Arc::clone(&moderator);
+                let refill = refill.clone();
+                thread::spawn(move || {
+                    let mut ctx =
+                        InvocationContext::new(refill.id().clone(), moderator.next_invocation());
+                    moderator.preactivation(&refill, &mut ctx).unwrap();
+                    moderator.postactivation(&refill, &mut ctx);
+                })
+            };
+            if round % 2 == 0 {
+                thread::yield_now();
+            }
+            moderator
+                .deregister(&gated, &Concern::synchronization())
+                .unwrap();
+            refiller.join().unwrap();
+            for w in waiters {
+                w.join().unwrap();
+            }
+
+            let s = moderator.stats();
+            // 6 gated + 1 refill, all resumed — nobody stranded.
+            assert_eq!(s.resumes, 7, "{s:?}");
+            assert_eq!(s.preactivations, s.resumes + s.aborts + s.timeouts, "{s:?}");
+            assert_eq!(s.postactivations, s.resumes, "{s:?}");
+            let gs = moderator.method_stats(&gated);
+            assert_eq!(gs.tickets_issued, gs.tickets_served, "{gs:?}");
+        });
+    }
 }
