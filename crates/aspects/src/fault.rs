@@ -170,12 +170,11 @@ impl Aspect for CircuitBreakerAspect {
 /// The seed for deterministic chaos runs: `AMF_CHAOS_SEED` from the
 /// environment when set (mirroring `AMF_FAIRNESS_SEED` for the fairness
 /// stress tests), else `default`. Unparsable values fall back to
-/// `default` rather than silently reseeding from zero.
+/// `default` rather than silently reseeding from zero. Thin wrapper
+/// over [`amf_verify::seed_from_env`], the workspace's single seed
+/// entry point.
 pub fn chaos_seed(default: u64) -> u64 {
-    std::env::var("AMF_CHAOS_SEED")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    amf_verify::seed_from_env("AMF_CHAOS_SEED", default)
 }
 
 /// Aborts a pseudo-random fraction of activations — failure injection

@@ -39,6 +39,12 @@
 //! prefix drains on one cursor-ordered sweep instead of a wake chain)
 //! and `batched_p99_over_unbatched_p99 <= 1` within noise.
 //!
+//! A seventh section, `simulation` (experiment E13), records the
+//! exhaustive explorer's state/schedule counts on the canonical 2×2
+//! buffer (asserted stable across two runs), its states/sec at a
+//! larger bound, and the `amf-sim` record→replay round-trip on the
+//! real moderator (`replay_byte_identical` must be 1).
+//!
 //! ```text
 //! cargo run -p amf-bench --release --bin moderator_bench
 //! cargo run -p amf-bench --release --bin moderator_bench -- --quick
@@ -46,7 +52,9 @@
 
 use std::time::Duration;
 
-use amf_bench::experiments::{run_chaos, run_convoy, run_fairness_tail, run_moderator_shard};
+use amf_bench::experiments::{
+    explore_buffer, run_chaos, run_convoy, run_fairness_tail, run_moderator_shard,
+};
 use amf_bench::report::{fmt_ns, fmt_ops, json_array, JsonObject, JsonValue};
 use amf_core::{Coordination, FairnessPolicy, PanicPolicy};
 
@@ -266,6 +274,82 @@ fn main() {
             .build()
     };
 
+    // Experiment E13 — deterministic simulation & exhaustive
+    // exploration: schedule-count stability, explorer throughput, and
+    // the simulator's byte-identical record→replay round-trip.
+    let simulation = {
+        use amf_sim::{run_buffer_scenario, ReplayHeader, ScenarioParams};
+
+        let (a, _) = explore_buffer(1, 1, 2);
+        let (b, _) = explore_buffer(1, 1, 2);
+        let stable = a.states == b.states && a.schedules == b.schedules;
+        println!(
+            "simulation (exhaustive 2x2): {} states | {} schedules | stable {}",
+            a.states, a.schedules, stable
+        );
+        let (pairs, ops) = if quick { (2, 2) } else { (3, 2) };
+        let (big, secs) = explore_buffer(1, pairs, ops);
+        let states_per_sec = big.states as f64 / secs;
+        println!(
+            "simulation (exhaustive {}x{ops}): {} states | {} schedules | {}",
+            2 * pairs,
+            big.states,
+            big.schedules,
+            fmt_ops(states_per_sec),
+        );
+        let params = ScenarioParams {
+            seed: 42,
+            producers: 2,
+            consumers: 1,
+            rounds: if quick { 3 } else { 10 },
+            fault_permille: 100,
+        };
+        let recorded = run_buffer_scenario(&params, None);
+        let artifact = recorded.to_json();
+        let replay_ok = recorded.error.is_none()
+            && ReplayHeader::scan(&artifact)
+                .map(|h| run_buffer_scenario(&params, Some(h.schedule)).to_json() == artifact)
+                .unwrap_or(false);
+        println!(
+            "simulation (record→replay): {} decisions | {} grants | {} faults | \
+             byte-identical {replay_ok}",
+            recorded.schedule.len(),
+            recorded.grants.len(),
+            recorded.faults.len(),
+        );
+        JsonObject::new()
+            .field(
+                "canonical_2x2",
+                JsonObject::new()
+                    .field("states", a.states as u64)
+                    .field("schedules", a.schedules as u64)
+                    .field("stable_across_runs", u64::from(stable))
+                    .build(),
+            )
+            .field(
+                "explore",
+                JsonObject::new()
+                    .field("threads", (2 * pairs) as u64)
+                    .field("ops_per_thread", ops as u64)
+                    .field("states", big.states as u64)
+                    .field("schedules", big.schedules as u64)
+                    .field("seconds", secs)
+                    .field("states_per_sec", states_per_sec)
+                    .build(),
+            )
+            .field(
+                "replay",
+                JsonObject::new()
+                    .field("seed", 42_u64)
+                    .field("scheduling_decisions", recorded.schedule.len() as u64)
+                    .field("grants", recorded.grants.len() as u64)
+                    .field("faults_injected", recorded.faults.len() as u64)
+                    .field("replay_byte_identical", u64::from(replay_ok))
+                    .build(),
+            )
+            .build()
+    };
+
     let json = JsonObject::new()
         .field("benchmark", "moderator_sharding")
         .field("methods", 2_u64)
@@ -277,6 +361,7 @@ fn main() {
         .field("fairness_tail", fairness_tail)
         .field("chaos", chaos)
         .field("convoy", convoy)
+        .field("simulation", simulation)
         .build();
     if let Err(e) = std::fs::write(&report, format!("{json}\n")) {
         eprintln!("failed to write {report}: {e}");

@@ -1,4 +1,4 @@
-//! Experiments E1–E12: the quantitative evaluation of `EXPERIMENTS.md`.
+//! Experiments E1–E13: the quantitative evaluation of `EXPERIMENTS.md`.
 //!
 //! Each function runs one experiment and returns its [`Table`]. Pass
 //! `quick = true` to shrink workloads (used by unit tests and smoke
@@ -1437,7 +1437,142 @@ pub fn v1_verification(quick: bool) -> Table {
     t
 }
 
-/// Runs the named experiments ("e1".."e12", "v1" or "all") and prints
+/// Exhaustively explores the producer/consumer model at the given
+/// bounds and returns the exploration report plus the wall time it
+/// took, for E13's states/sec accounting.
+pub fn explore_buffer(capacity: usize, pairs: usize, ops: usize) -> (amf_verify::Exploration, f64) {
+    use amf_verify::{aspects, Checker, ModelSystem, Strategy};
+
+    #[derive(Clone, PartialEq, Eq, Hash, Default)]
+    struct Buf {
+        reserved: usize,
+        produced: usize,
+        producing: bool,
+        consuming: bool,
+    }
+    let mut sys = ModelSystem::new();
+    let put = sys.method("put");
+    let take = sys.method("take");
+    sys.add_aspect(
+        put,
+        "sync",
+        aspects::buffer_producer(
+            capacity,
+            |s: &mut Buf| &mut s.reserved,
+            |s: &mut Buf| &mut s.produced,
+            |s: &mut Buf| &mut s.producing,
+        ),
+    );
+    sys.add_aspect(
+        take,
+        "sync",
+        aspects::buffer_consumer(
+            |s: &mut Buf| &mut s.reserved,
+            |s: &mut Buf| &mut s.produced,
+            |s: &mut Buf| &mut s.consuming,
+        ),
+    );
+    let mut checker = Checker::new(sys)
+        .strategy(Strategy::Exhaustive)
+        .invariant(move |s: &Buf| s.reserved <= capacity && s.produced <= s.reserved);
+    for _ in 0..pairs {
+        checker = checker.thread(vec![put; ops]);
+        checker = checker.thread(vec![take; ops]);
+    }
+    let start = Instant::now();
+    let r = checker.run(Buf::default());
+    let secs = start.elapsed().as_secs_f64();
+    (r, secs)
+}
+
+/// E13 — deterministic simulation & exhaustive exploration: the
+/// explorer's schedule/state counts (stable across runs) with
+/// states/sec at a larger bound, plus the simulator's record→replay
+/// round-trip on the real moderator (byte-identical artifact).
+pub fn e13_simulation(quick: bool) -> Table {
+    use amf_sim::{run_buffer_scenario, ReplayHeader, ScenarioParams};
+    use amf_verify::Outcome;
+
+    let mut t = Table::new(
+        "E13 — deterministic simulation & exhaustive exploration",
+        &[
+            "scenario",
+            "size",
+            "states",
+            "schedules",
+            "states/sec",
+            "verdict",
+        ],
+    );
+
+    // The canonical bounded scenario, twice: the counts must agree.
+    let (a, _) = explore_buffer(1, 1, 2);
+    let (b, _) = explore_buffer(1, 1, 2);
+    let stable = a.states == b.states && a.schedules == b.schedules;
+    t.row(&[
+        "exhaustive buffer cap 1".to_string(),
+        "2×2".to_string(),
+        a.states.to_string(),
+        a.schedules.to_string(),
+        "-".to_string(),
+        match (&a.outcome, stable) {
+            (Outcome::Ok, true) => "ok, counts stable across runs ✔".to_string(),
+            (Outcome::Ok, false) => "counts UNSTABLE ✘".to_string(),
+            (other, _) => format!("{other:?}"),
+        },
+    ]);
+
+    // A larger bound for meaningful throughput numbers.
+    let (pairs, ops) = if quick { (2, 2) } else { (3, 2) };
+    let (big, secs) = explore_buffer(1, pairs, ops);
+    t.row(&[
+        "exhaustive buffer cap 1".to_string(),
+        format!("{}×{ops}", 2 * pairs),
+        big.states.to_string(),
+        big.schedules.to_string(),
+        fmt_ops(big.states as f64 / secs),
+        match big.outcome {
+            Outcome::Ok => "deadlock-free + invariants hold".to_string(),
+            other => format!("{other:?}"),
+        },
+    ]);
+
+    // The simulator on the real moderator: record a faulted run, replay
+    // its schedule, demand a byte-identical artifact.
+    let params = ScenarioParams {
+        seed: 42,
+        producers: 2,
+        consumers: 1,
+        rounds: if quick { 3 } else { 10 },
+        fault_permille: 100,
+    };
+    let recorded = run_buffer_scenario(&params, None);
+    let artifact = recorded.to_json();
+    let replay_ok = ReplayHeader::scan(&artifact)
+        .map(|h| run_buffer_scenario(&params, Some(h.schedule)).to_json() == artifact)
+        .unwrap_or(false);
+    t.row(&[
+        "sim record→replay (real moderator)".to_string(),
+        format!(
+            "p{} c{} r{} seed {}",
+            params.producers, params.consumers, params.rounds, params.seed
+        ),
+        "-".to_string(),
+        recorded.schedule.len().to_string(),
+        "-".to_string(),
+        if recorded.error.is_none() && replay_ok {
+            format!(
+                "byte-identical, {} faults injected ✔",
+                recorded.faults.len()
+            )
+        } else {
+            format!("replay DIVERGED ✘ (error: {:?})", recorded.error)
+        },
+    ]);
+    t
+}
+
+/// Runs the named experiments ("e1".."e13", "v1" or "all") and prints
 /// their tables.
 pub fn run(names: &[String], quick: bool) {
     let wants = |n: &str| {
@@ -1446,7 +1581,7 @@ pub fn run(names: &[String], quick: bool) {
             || names.iter().any(|x| x.eq_ignore_ascii_case("all"))
     };
     type Runner = fn(bool) -> Table;
-    let runners: [(&str, Runner); 13] = [
+    let runners: [(&str, Runner); 14] = [
         ("e1", e1_overhead),
         ("e2", e2_throughput),
         ("e3", e3_composition),
@@ -1459,6 +1594,7 @@ pub fn run(names: &[String], quick: bool) {
         ("e10", e10_fairness),
         ("e11", e11_containment),
         ("e12", e12_convoy),
+        ("e13", e13_simulation),
         ("v1", v1_verification),
     ];
     for (name, f) in runners {
@@ -1501,6 +1637,13 @@ mod tests {
     #[test]
     fn e6_produces_rows() {
         assert_eq!(e6_wakeup(true).len(), 4);
+    }
+
+    #[test]
+    fn e13_explores_and_round_trips() {
+        let md = e13_simulation(true).to_markdown();
+        assert!(md.contains("counts stable across runs ✔"), "{md}");
+        assert!(md.contains("byte-identical"), "{md}");
     }
 
     #[test]

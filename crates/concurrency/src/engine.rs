@@ -26,7 +26,7 @@
 //!   wakes must reach every party parked via the same handle.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, MutexGuard};
 
@@ -42,6 +42,17 @@ pub trait Waiter<T>: Send + Sync {
     /// deadline elapsed (a racing wake may report either way — re-check
     /// state).
     fn park_until(&self, guard: &mut MutexGuard<'_, T>, deadline: Instant) -> bool;
+
+    /// Like [`park`](Self::park) with a *relative* timeout; returns
+    /// `true` if the timeout elapsed (same racing-wake caveat as
+    /// [`park_until`](Self::park_until)). Timed protocol waits go
+    /// through this entry point with timeouts derived from a
+    /// `Clock`, so an engine whose time is virtual (a deterministic
+    /// simulator) can honor them without consulting the OS clock. The
+    /// default forwards to `park_until` against wall time.
+    fn park_for(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
+        self.park_until(guard, Instant::now() + timeout)
+    }
 
     /// Wakes at least one party parked on this waitpoint, if any.
     fn wake_one(&self);
@@ -82,6 +93,10 @@ impl<T> Waiter<T> for CondvarWaiter {
 
     fn park_until(&self, guard: &mut MutexGuard<'_, T>, deadline: Instant) -> bool {
         self.cond.wait_until(guard, deadline).timed_out()
+    }
+
+    fn park_for(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
+        self.cond.wait_for(guard, timeout).timed_out()
     }
 
     fn wake_one(&self) {

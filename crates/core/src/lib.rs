@@ -78,8 +78,9 @@ pub use context::{InvocationContext, Outcome, Principal};
 pub use error::{AbortError, RegistrationError};
 pub use factory::{AspectFactory, ChainedFactory, RegistryFactory};
 pub use moderator::{
-    AspectModerator, Coordination, FairnessPolicy, MethodHandle, ModeratorBuilder, ModeratorStats,
-    OrderingPolicy, PanicPolicy, RollbackPolicy, WaitHistogram, WakeMode, WAIT_BUCKETS,
+    AspectModerator, CellState, Coordination, FairnessPolicy, MethodHandle, ModeratorBuilder,
+    ModeratorStats, OrderingPolicy, PanicPolicy, RollbackPolicy, WaitHistogram, WakeMode,
+    WAIT_BUCKETS,
 };
 pub use proxy::{ActivationGuard, Moderated};
 pub use trace::{FilterSink, MemoryTrace, TeeSink, TraceSink};

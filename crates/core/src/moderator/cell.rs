@@ -59,7 +59,7 @@ impl fmt::Display for MethodHandle {
 /// The mutable coordination state of one cell: the aspect rows (an
 /// [`AspectBank`] with one row per hosted method — exactly one under
 /// [`Coordination::Sharded`]) and each hosted method's wake wiring.
-pub(crate) struct CellState {
+pub struct CellState {
     pub(super) bank: AspectBank,
     /// Wake targets per local bank row, parallel to the bank's rows.
     pub(super) wakes: Vec<WakeTargets>,

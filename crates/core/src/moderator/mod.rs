@@ -112,7 +112,7 @@ use std::sync::atomic::{AtomicU64, Ordering as MemOrdering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use amf_concurrency::{CondvarEngine, GrantSource};
+use amf_concurrency::{Clock, CondvarEngine, GrantSource, SystemClock};
 use parking_lot::RwLock;
 
 use crate::concern::{Concern, MethodId};
@@ -128,10 +128,10 @@ mod tests;
 #[cfg(test)]
 mod tests_fifo;
 
-pub use cell::MethodHandle;
+pub use cell::{CellState, MethodHandle};
 pub use stats::{ModeratorStats, WaitHistogram};
 
-use cell::{CellState, Registry};
+use cell::Registry;
 
 /// How often a caller that blocked *after rolling back a reservation*
 /// re-evaluates its chain while parked. This backstop closes the
@@ -278,6 +278,7 @@ pub struct ModeratorBuilder {
     panic_policy: PanicPolicy,
     grant_batching: bool,
     engine: Option<Arc<dyn GrantSource<CellState>>>,
+    clock: Option<Arc<dyn Clock>>,
     trace: Option<Arc<dyn TraceSink>>,
 }
 
@@ -292,6 +293,7 @@ impl Default for ModeratorBuilder {
             panic_policy: PanicPolicy::default(),
             grant_batching: true,
             engine: None,
+            clock: None,
             trace: None,
         }
     }
@@ -308,6 +310,7 @@ impl fmt::Debug for ModeratorBuilder {
             .field("panic_policy", &self.panic_policy)
             .field("grant_batching", &self.grant_batching)
             .field("engine", &self.engine.is_some())
+            .field("clock", &self.clock.is_some())
             .field("trace", &self.trace.is_some())
             .finish()
     }
@@ -375,14 +378,26 @@ impl ModeratorBuilder {
     }
 
     /// Replaces the park/wake engine (default: condvar-backed
-    /// [`CondvarEngine`]). Test seam: the engine contract is
-    /// engine-agnostic, but `CellState` is crate-internal, so custom
-    /// engines are currently limited to this crate (an async engine is
-    /// the ROADMAP follow-up).
-    #[cfg(test)]
+    /// [`CondvarEngine`]). The engine contract is engine-agnostic —
+    /// nothing in the protocol names a condvar — so alternative engines
+    /// (the deterministic simulator in `amf-sim`, an async engine) slot
+    /// in here. [`CellState`] is deliberately opaque: an engine parks
+    /// and wakes on guards over it without inspecting it.
     #[must_use]
-    pub(crate) fn engine(mut self, engine: Arc<dyn GrantSource<CellState>>) -> Self {
+    pub fn engine(mut self, engine: Arc<dyn GrantSource<CellState>>) -> Self {
         self.engine = Some(engine);
+        self
+    }
+
+    /// Replaces the protocol's time source (default: wall-clock
+    /// [`SystemClock`]). Every protocol deadline — timed preactivations
+    /// and the rollback-recheck backstop — is computed against this
+    /// clock and waited out through [`amf_concurrency::Waiter::park_for`],
+    /// so a virtual clock (e.g. the simulator's) makes timed waits
+    /// deterministic: no wall time enters a scheduling decision.
+    #[must_use]
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = Some(clock);
         self
     }
 
@@ -406,6 +421,7 @@ impl ModeratorBuilder {
             panic_policy: self.panic_policy,
             grant_batching: self.grant_batching,
             engine: self.engine.unwrap_or_else(|| Arc::new(CondvarEngine)),
+            clock: self.clock.unwrap_or_else(|| Arc::new(SystemClock::new())),
             trace: self.trace,
         }
     }
@@ -449,6 +465,7 @@ pub struct AspectModerator {
     panic_policy: PanicPolicy,
     grant_batching: bool,
     engine: Arc<dyn GrantSource<CellState>>,
+    clock: Arc<dyn Clock>,
     trace: Option<Arc<dyn TraceSink>>,
 }
 

@@ -8,7 +8,7 @@
 //! locking model and the fairness/batching disciplines.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::Instant;
+use std::time::Duration;
 
 use amf_concurrency::Grant;
 
@@ -295,14 +295,14 @@ impl AspectModerator {
         ctx: &mut InvocationContext,
         timeout: std::time::Duration,
     ) -> Result<(), AbortError> {
-        self.preactivation_inner(method, ctx, Some(Instant::now() + timeout))
+        self.preactivation_inner(method, ctx, Some(self.clock.now() + timeout))
     }
 
     fn preactivation_inner(
         &self,
         method: &MethodHandle,
         ctx: &mut InvocationContext,
-        deadline: Option<Instant>,
+        deadline: Option<Duration>,
     ) -> Result<(), AbortError> {
         let r = self.resolve(method);
         inc(&r.stats.preactivations);
@@ -323,18 +323,19 @@ impl AspectModerator {
         r: &Resolved,
         method: &MethodHandle,
         ctx: &mut InvocationContext,
-        deadline: Option<Instant>,
+        deadline: Option<Duration>,
     ) -> Result<(), AbortError> {
         let mut state = r.cell.state.lock();
         // Set on the first block; drives the wait histogram and the
-        // queue-depth gauge.
-        let mut blocked_at: Option<Instant> = None;
+        // queue-depth gauge. All readings come from the moderator's
+        // clock so a virtual-time engine sees consistent deadlines.
+        let mut blocked_at: Option<Duration> = None;
         loop {
             match self.evaluate_chain(&mut state, r.slot, method, ctx, r) {
                 ChainOutcome::Resumed => {
                     if let Some(start) = blocked_at {
                         r.stats.note_unparked();
-                        r.stats.record_wait(start.elapsed());
+                        r.stats.record_wait(self.clock.now().saturating_sub(start));
                     }
                     inc(&r.stats.resumes);
                     self.emit(
@@ -374,7 +375,7 @@ impl AspectModerator {
                 ChainOutcome::Blocked { released } => {
                     inc(&r.stats.blocks);
                     if blocked_at.is_none() {
-                        blocked_at = Some(Instant::now());
+                        blocked_at = Some(self.clock.now());
                         r.stats.note_parked();
                     }
                     self.emit(ctx.invocation(), &method.id, None, EventKind::WaitStarted);
@@ -390,7 +391,7 @@ impl AspectModerator {
                         drop(state);
                         self.notify_targets(&targets, &r.stats, ctx.invocation(), &method.id);
                         state = r.cell.state.lock();
-                        backstop = Some(Instant::now() + ROLLBACK_RECHECK);
+                        backstop = Some(self.clock.now() + ROLLBACK_RECHECK);
                     }
                     let wait_until = match (deadline, backstop) {
                         (Some(d), Some(b)) => Some(d.min(b)),
@@ -400,8 +401,9 @@ impl AspectModerator {
                     match wait_until {
                         None => r.point.park(&mut state),
                         Some(until) => {
-                            let timed_out = r.point.park_until(&mut state, until);
-                            if timed_out && deadline.is_some_and(|d| Instant::now() >= d) {
+                            let remaining = until.saturating_sub(self.clock.now());
+                            let timed_out = r.point.park_for(&mut state, remaining);
+                            if timed_out && deadline.is_some_and(|d| self.clock.now() >= d) {
                                 r.stats.note_unparked();
                                 inc(&r.stats.timeouts);
                                 // Let enrollment-style aspects (admission
@@ -464,19 +466,19 @@ impl AspectModerator {
         r: &Resolved,
         method: &MethodHandle,
         ctx: &mut InvocationContext,
-        deadline: Option<Instant>,
+        deadline: Option<Duration>,
     ) -> Result<(), AbortError> {
         let slot = r.slot.as_usize();
         let mut state = r.cell.state.lock();
         let mut ticket: Option<u64> = None;
-        let mut blocked_at: Option<Instant> = None;
-        let mut backstop: Option<Instant> = None;
+        let mut blocked_at: Option<Duration> = None;
+        let mut backstop: Option<Duration> = None;
         loop {
             let grant = match ticket {
                 None => (!state.queues[slot].has_waiters()).then_some(Grant::First),
                 Some(t) => state.queues[slot].grant_for(t).or_else(|| {
                     backstop
-                        .is_some_and(|b| Instant::now() >= b)
+                        .is_some_and(|b| self.clock.now() >= b)
                         .then_some(Grant::Backstop)
                 }),
             };
@@ -489,7 +491,7 @@ impl AspectModerator {
                     inc(&r.stats.blocks);
                     inc(&r.stats.tickets_issued);
                     r.stats.note_parked();
-                    blocked_at = Some(Instant::now());
+                    blocked_at = Some(self.clock.now());
                     self.emit(ctx.invocation(), &method.id, None, EventKind::WaitStarted);
                     continue;
                 }
@@ -501,8 +503,9 @@ impl AspectModerator {
                 match wait_until {
                     None => r.point.park(&mut state),
                     Some(until) => {
-                        let timed_out = r.point.park_until(&mut state, until);
-                        if timed_out && deadline.is_some_and(|d| Instant::now() >= d) {
+                        let remaining = until.saturating_sub(self.clock.now());
+                        let timed_out = r.point.park_for(&mut state, remaining);
+                        if timed_out && deadline.is_some_and(|d| self.clock.now() >= d) {
                             // Surrender the ticket. `cancel` re-attaches
                             // pending permits to the successor, so the
                             // cancellation strands nobody; broadcast so
@@ -554,7 +557,7 @@ impl AspectModerator {
                         }
                     }
                     if let Some(start) = blocked_at {
-                        r.stats.record_wait(start.elapsed());
+                        r.stats.record_wait(self.clock.now().saturating_sub(start));
                     }
                     inc(&r.stats.resumes);
                     self.emit(
@@ -607,7 +610,7 @@ impl AspectModerator {
                             ticket = Some(state.queues[slot].enqueue());
                             inc(&r.stats.tickets_issued);
                             r.stats.note_parked();
-                            blocked_at = Some(Instant::now());
+                            blocked_at = Some(self.clock.now());
                         }
                     }
                     inc(&r.stats.blocks);
@@ -621,7 +624,7 @@ impl AspectModerator {
                         drop(state);
                         self.notify_targets(&targets, &r.stats, ctx.invocation(), &method.id);
                         state = r.cell.state.lock();
-                        backstop = Some(Instant::now() + ROLLBACK_RECHECK);
+                        backstop = Some(self.clock.now() + ROLLBACK_RECHECK);
                     }
                 }
             }

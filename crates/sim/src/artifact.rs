@@ -1,0 +1,223 @@
+//! The replayable run artifact: a JSON record of one simulated run —
+//! scenario parameters, the schedule, the grant order, and the injected
+//! faults — plus the minimal field scanning replay needs to re-drive
+//! it. Rendering is hand-rolled (the workspace's `serde` is an offline
+//! API shim) and deterministic: replaying an artifact's schedule must
+//! reproduce its bytes exactly, so byte equality is the replay check.
+
+use std::time::Duration;
+
+/// Everything recorded about one simulated scenario run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunRecord {
+    /// Scheduler (and fault-injection) seed.
+    pub seed: u64,
+    /// Scenario shape: producer thread count.
+    pub producers: u64,
+    /// Scenario shape: consumer thread count.
+    pub consumers: u64,
+    /// Rounds per producer.
+    pub rounds: u64,
+    /// Injected precondition-panic rate, in permille, on the audit
+    /// method (0 disables injection).
+    pub fault_permille: u64,
+    /// Simulated-thread names, indexed by thread id.
+    pub threads: Vec<String>,
+    /// The full grant order (thread id per scheduling decision).
+    pub schedule: Vec<usize>,
+    /// Final virtual-clock reading, in nanoseconds.
+    pub clock_ns: u128,
+    /// `(invocation, method)` per pre-activation grant, in grant order.
+    pub grants: Vec<(u64, String)>,
+    /// Invocations aborted by an injected aspect panic, in order.
+    pub faults: Vec<u64>,
+    /// Scheduler-fatal condition (deadlock, replay divergence), if any.
+    pub error: Option<String>,
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl RunRecord {
+    /// Renders the artifact. The layout is fixed and the content is a
+    /// pure function of the run, so a faithful replay reproduces the
+    /// output byte for byte.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!(
+            "  \"scenario\": {{ \"producers\": {}, \"consumers\": {}, \"rounds\": {}, \
+             \"fault_permille\": {} }},\n",
+            self.producers, self.consumers, self.rounds, self.fault_permille
+        ));
+        let names: Vec<String> = self
+            .threads
+            .iter()
+            .map(|n| format!("\"{}\"", escape(n)))
+            .collect();
+        out.push_str(&format!("  \"threads\": [{}],\n", names.join(", ")));
+        let steps: Vec<String> = self.schedule.iter().map(usize::to_string).collect();
+        out.push_str(&format!("  \"schedule\": [{}],\n", steps.join(", ")));
+        out.push_str(&format!("  \"clock_ns\": {},\n", self.clock_ns));
+        let grants: Vec<String> = self
+            .grants
+            .iter()
+            .map(|(inv, method)| {
+                format!(
+                    "{{ \"invocation\": {inv}, \"method\": \"{}\" }}",
+                    escape(method)
+                )
+            })
+            .collect();
+        out.push_str(&format!("  \"grants\": [{}],\n", grants.join(", ")));
+        let faults: Vec<String> = self.faults.iter().map(u64::to_string).collect();
+        out.push_str(&format!("  \"faults\": [{}],\n", faults.join(", ")));
+        match &self.error {
+            None => out.push_str("  \"error\": null\n"),
+            Some(e) => out.push_str(&format!("  \"error\": \"{}\"\n", escape(e))),
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Final virtual clock as a [`Duration`].
+    pub fn clock(&self) -> Duration {
+        Duration::from_nanos(self.clock_ns as u64)
+    }
+}
+
+/// The fields replay needs from a recorded artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayHeader {
+    /// Scheduler (and fault-injection) seed of the recorded run.
+    pub seed: u64,
+    /// Recorded producer thread count.
+    pub producers: u64,
+    /// Recorded consumer thread count.
+    pub consumers: u64,
+    /// Recorded rounds per producer.
+    pub rounds: u64,
+    /// Recorded injection rate, in permille.
+    pub fault_permille: u64,
+    /// Recorded grant order, to be followed as the replay script.
+    pub schedule: Vec<usize>,
+}
+
+impl ReplayHeader {
+    /// Scans `text` (an artifact rendered by [`RunRecord::to_json`])
+    /// for the replay fields. Returns `None` if any field is missing
+    /// or malformed — this is a key scanner for our own fixed layout,
+    /// not a general JSON parser.
+    pub fn scan(text: &str) -> Option<Self> {
+        Some(Self {
+            seed: scan_u64(text, "seed")?,
+            producers: scan_u64(text, "producers")?,
+            consumers: scan_u64(text, "consumers")?,
+            rounds: scan_u64(text, "rounds")?,
+            fault_permille: scan_u64(text, "fault_permille")?,
+            schedule: scan_usize_array(text, "schedule")?,
+        })
+    }
+}
+
+/// The digits following `"key":` (first occurrence), parsed as `u64`.
+fn scan_u64(text: &str, key: &str) -> Option<u64> {
+    let rest = after_key(text, key)?;
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// The `[n, n, ...]` following `"key":` (first occurrence).
+fn scan_usize_array(text: &str, key: &str) -> Option<Vec<usize>> {
+    let rest = after_key(text, key)?;
+    let rest = rest.strip_prefix('[')?;
+    let body = &rest[..rest.find(']')?];
+    let trimmed = body.trim();
+    if trimmed.is_empty() {
+        return Some(Vec::new());
+    }
+    trimmed
+        .split(',')
+        .map(|part| part.trim().parse().ok())
+        .collect()
+}
+
+/// The text following `"key":` with leading whitespace trimmed.
+fn after_key<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)?;
+    Some(text[at + needle.len()..].trim_start())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> RunRecord {
+        RunRecord {
+            seed: 42,
+            producers: 2,
+            consumers: 1,
+            rounds: 3,
+            fault_permille: 125,
+            threads: vec!["p0".into(), "p1".into(), "c0".into()],
+            schedule: vec![0, 1, 2, 0, 2],
+            clock_ns: 1_000_000,
+            grants: vec![(1, "open".into()), (2, "take".into())],
+            faults: vec![4],
+            error: None,
+        }
+    }
+
+    #[test]
+    fn scan_recovers_replay_fields() {
+        let rec = record();
+        let header = ReplayHeader::scan(&rec.to_json()).unwrap();
+        assert_eq!(
+            header,
+            ReplayHeader {
+                seed: 42,
+                producers: 2,
+                consumers: 1,
+                rounds: 3,
+                fault_permille: 125,
+                schedule: vec![0, 1, 2, 0, 2],
+            }
+        );
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        assert_eq!(record().to_json(), record().to_json());
+    }
+
+    #[test]
+    fn empty_schedule_scans_as_empty() {
+        let mut rec = record();
+        rec.schedule.clear();
+        let header = ReplayHeader::scan(&rec.to_json()).unwrap();
+        assert!(header.schedule.is_empty());
+    }
+
+    #[test]
+    fn error_strings_are_escaped() {
+        let mut rec = record();
+        rec.error = Some("deadlock: [\"a\"]\nparked".into());
+        let json = rec.to_json();
+        assert!(json.contains("\\\"a\\\""));
+        assert!(json.contains("\\n"));
+    }
+}

@@ -1,0 +1,83 @@
+//! [`SimEngine`]: the moderator's engine seam, backed by the
+//! deterministic scheduler instead of OS condvars.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use amf_concurrency::{GrantSource, Waiter};
+use parking_lot::MutexGuard;
+
+use crate::scheduler::{current_sim_id, Shared};
+
+/// A [`GrantSource`] whose waitpoints park through the simulation
+/// scheduler: a parking thread yields the run token, and wakes mark
+/// scheduler state instead of pulsing a condvar. Install it via
+/// `ModeratorBuilder::engine` (together with the runner's clock via
+/// `ModeratorBuilder::clock`) to drive a real moderator — unmodified
+/// protocol code and all — under a seeded, replayable schedule.
+///
+/// Obtained from [`SimRunner::engine`](crate::SimRunner::engine);
+/// waitpoints may only be used from threads spawned through
+/// [`SimRunner::spawn`](crate::SimRunner::spawn).
+pub struct SimEngine {
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for SimEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimEngine").finish_non_exhaustive()
+    }
+}
+
+impl SimEngine {
+    pub(crate) fn from_shared(shared: Arc<Shared>) -> Self {
+        Self { shared }
+    }
+}
+
+impl<T> GrantSource<T> for SimEngine {
+    fn waiter(&self) -> Arc<dyn Waiter<T>> {
+        Arc::new(SimWaiter {
+            shared: Arc::clone(&self.shared),
+            point: self.shared.next_point.fetch_add(1, Ordering::SeqCst),
+        })
+    }
+}
+
+/// One simulated waitpoint, identified by `point` inside the scheduler.
+struct SimWaiter {
+    shared: Arc<Shared>,
+    point: usize,
+}
+
+impl<T> Waiter<T> for SimWaiter {
+    fn park(&self, guard: &mut MutexGuard<'_, T>) {
+        let me = current_sim_id();
+        MutexGuard::unlocked(guard, || {
+            self.shared.park(me, self.point, None);
+        });
+    }
+
+    fn park_until(&self, guard: &mut MutexGuard<'_, T>, deadline: Instant) -> bool {
+        // A wall-clock deadline is meaningless under virtual time;
+        // honor the remaining wall interval as a virtual timeout. The
+        // protocol itself never takes this path (it derives timeouts
+        // from its clock and calls `park_for`).
+        let timeout = deadline.saturating_duration_since(Instant::now());
+        Waiter::<T>::park_for(self, guard, timeout)
+    }
+
+    fn park_for(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
+        let me = current_sim_id();
+        MutexGuard::unlocked(guard, || self.shared.park(me, self.point, Some(timeout)))
+    }
+
+    fn wake_one(&self) {
+        self.shared.wake(self.point, false);
+    }
+
+    fn wake_all(&self) {
+        self.shared.wake(self.point, true);
+    }
+}

@@ -1,0 +1,205 @@
+//! The recorded scenario behind the `amf-sim` binary: a capacity-1
+//! producer/consumer buffer (the paper's bounded-buffer shape, as two
+//! moderated methods with cross-wired wakes) plus an `audit` method
+//! carrying a seeded panic-injection aspect. Running it under a
+//! [`SimRunner`] yields a [`RunRecord`] whose schedule replays the run
+//! byte-identically.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Once};
+
+use amf_aspects::fault::PanicInjectionAspect;
+use amf_core::trace::EventKind;
+use amf_core::{
+    AspectModerator, Concern, FairnessPolicy, FnAspect, InvocationContext, MemoryTrace,
+    MethodHandle, MethodId, PanicPolicy, Verdict,
+};
+
+use crate::{RunRecord, SimRunner};
+
+/// Shape of one simulated buffer run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioParams {
+    /// Scheduler and fault-injection seed.
+    pub seed: u64,
+    /// Producer threads (each `open`s the buffer `rounds` times).
+    pub producers: u64,
+    /// Consumer threads (the `producers * rounds` takes are split
+    /// between them).
+    pub consumers: u64,
+    /// Rounds per producer.
+    pub rounds: u64,
+    /// Precondition-panic rate on the audit method, in permille.
+    pub fault_permille: u64,
+}
+
+impl Default for ScenarioParams {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            producers: 2,
+            consumers: 1,
+            rounds: 3,
+            fault_permille: 0,
+        }
+    }
+}
+
+/// Replaces the panic hook with a no-op, once. Injected aspect panics
+/// are contained by the moderator but still run the hook; silencing it
+/// keeps recorded runs from flooding stderr with backtraces.
+pub fn silence_panic_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| std::panic::set_hook(Box::new(|_| {})));
+}
+
+fn invoke(m: &AspectModerator, h: &MethodHandle, aborted: &Mutex<Vec<u64>>) {
+    let invocation = m.next_invocation();
+    let mut ctx = InvocationContext::new(h.id().clone(), invocation);
+    match m.preactivation(h, &mut ctx) {
+        Ok(()) => m.postactivation(h, &mut ctx),
+        Err(_) => aborted.lock().unwrap().push(invocation),
+    }
+}
+
+/// Runs the buffer scenario under a fresh simulation. With
+/// `script: None` the run records (scheduling by `params.seed`); with
+/// `Some(schedule)` it replays that schedule. The returned record is a
+/// pure function of `(params, script)` — recording and then replaying
+/// the recorded schedule reproduces it exactly.
+pub fn run_buffer_scenario(params: &ScenarioParams, script: Option<Vec<usize>>) -> RunRecord {
+    if params.fault_permille > 0 {
+        silence_panic_hook();
+    }
+    let mut runner = match script {
+        None => SimRunner::new(params.seed),
+        Some(s) => SimRunner::replay(params.seed, s),
+    };
+    let trace = MemoryTrace::shared();
+    let moderator = Arc::new(
+        AspectModerator::builder()
+            .fairness(FairnessPolicy::Fifo)
+            .panic_policy(PanicPolicy::AbortInvocation)
+            .engine(Arc::new(runner.engine()))
+            .clock(Arc::new(runner.clock()))
+            .trace(trace.clone())
+            .build(),
+    );
+    let open = moderator.declare_method(MethodId::new("open"));
+    let take = moderator.declare_method(MethodId::new("take"));
+    let audit = moderator.declare_method(MethodId::new("audit"));
+
+    let slots = Arc::new(AtomicU64::new(1));
+    let items = Arc::new(AtomicU64::new(0));
+    {
+        let slots = Arc::clone(&slots);
+        let items = Arc::clone(&items);
+        moderator
+            .register(
+                &open,
+                Concern::synchronization(),
+                Box::new(
+                    FnAspect::new("slot-gate")
+                        .on_precondition(move |_| {
+                            if slots.load(Ordering::SeqCst) > 0 {
+                                slots.fetch_sub(1, Ordering::SeqCst);
+                                Verdict::Resume
+                            } else {
+                                Verdict::Block
+                            }
+                        })
+                        .on_postaction(move |_| {
+                            items.fetch_add(1, Ordering::SeqCst);
+                        }),
+                ),
+            )
+            .expect("register slot-gate");
+    }
+    {
+        let slots = Arc::clone(&slots);
+        let items = Arc::clone(&items);
+        moderator
+            .register(
+                &take,
+                Concern::synchronization(),
+                Box::new(
+                    FnAspect::new("item-gate")
+                        .on_precondition(move |_| {
+                            if items.load(Ordering::SeqCst) > 0 {
+                                items.fetch_sub(1, Ordering::SeqCst);
+                                Verdict::Resume
+                            } else {
+                                Verdict::Block
+                            }
+                        })
+                        .on_postaction(move |_| {
+                            slots.fetch_add(1, Ordering::SeqCst);
+                        }),
+                ),
+            )
+            .expect("register item-gate");
+    }
+    moderator
+        .register(
+            &audit,
+            Concern::new("fault-injection"),
+            Box::new(PanicInjectionAspect::new(
+                params.fault_permille as f64 / 1000.0,
+                0.0,
+                params.seed,
+            )),
+        )
+        .expect("register fault injector");
+    moderator.wire_wakes(&open, std::slice::from_ref(&take));
+    moderator.wire_wakes(&take, std::slice::from_ref(&open));
+    moderator.wire_wakes(&audit, &[]);
+
+    let aborted = Arc::new(Mutex::new(Vec::new()));
+    for p in 0..params.producers {
+        let m = Arc::clone(&moderator);
+        let (open, audit) = (open.clone(), audit.clone());
+        let aborted = Arc::clone(&aborted);
+        let rounds = params.rounds;
+        runner.spawn(&format!("p{p}"), move || {
+            for _ in 0..rounds {
+                invoke(&m, &open, &aborted);
+                invoke(&m, &audit, &aborted);
+            }
+        });
+    }
+    let total_takes = params.producers * params.rounds;
+    for c in 0..params.consumers {
+        let m = Arc::clone(&moderator);
+        let take = take.clone();
+        let aborted = Arc::clone(&aborted);
+        // Split the takes; earlier consumers absorb the remainder.
+        let share = total_takes / params.consumers + u64::from(c < total_takes % params.consumers);
+        runner.spawn(&format!("c{c}"), move || {
+            for _ in 0..share {
+                invoke(&m, &take, &aborted);
+            }
+        });
+    }
+
+    let report = runner.run();
+    let faults = aborted.lock().unwrap().clone();
+    let grants = trace
+        .events()
+        .into_iter()
+        .filter(|e| matches!(e.kind, EventKind::ActivationResumed))
+        .map(|e| (e.invocation, e.method.as_str().to_string()))
+        .collect();
+    RunRecord {
+        seed: params.seed,
+        producers: params.producers,
+        consumers: params.consumers,
+        rounds: params.rounds,
+        fault_permille: params.fault_permille,
+        threads: report.names,
+        schedule: report.schedule,
+        clock_ns: report.clock.as_nanos(),
+        grants,
+        faults,
+        error: report.error,
+    }
+}

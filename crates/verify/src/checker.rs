@@ -1,11 +1,54 @@
-//! The exhaustive interleaving explorer.
+//! The schedule explorer: exhaustive (havoc-style DFS over action
+//! schedules, with state-hash pruning and iterative-deepening replay)
+//! or randomized (seeded walks) behind the [`Strategy`] knob.
 
-use std::collections::HashSet;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
 use crate::model::{MethodIx, ModelSystem, ModelVerdict, WakeSet};
+
+/// How [`Checker::run`] covers the schedule space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Enumerate *every* schedule of the bounded scenario: a DFS over
+    /// explicit `(thread, branch)` choices with state-hash pruning and
+    /// iterative-deepening replay (the depth bound doubles until the
+    /// whole space fits, so counterexamples are found near their
+    /// shortest depth). The default.
+    Exhaustive,
+    /// Seeded random walks ([`Checker::samples`] of them) through the
+    /// schedule space — sampling, not enumeration. For scenarios whose
+    /// state space exceeds the exhaustive budget.
+    Randomized {
+        /// Seed for the walk RNG; equal seeds replay equal walks.
+        seed: u64,
+    },
+}
+
+/// Classification of one thread's next action at a given state — the
+/// explorer's live/blocked bookkeeping. A state where every unfinished
+/// thread is [`ActionResult::Blocked`] is a deadlock and is reported
+/// with its schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActionResult {
+    /// The action is live: scheduling the thread produces at least one
+    /// successor state.
+    Ran,
+    /// The thread is parked on a queue with no timeout step enabled —
+    /// not currently schedulable.
+    Blocked,
+    /// The thread finished its script and joined.
+    Joined,
+    /// The thread is live but its only enabled step is a panicking
+    /// chain evaluation.
+    Panicked,
+}
 
 /// One atomic protocol step, as it appears in counterexample traces.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -105,6 +148,10 @@ pub enum Outcome {
     FairnessViolation(Vec<Step>),
     /// The state-space budget was exhausted before completion.
     StateLimit,
+    /// The [`Checker::max_depth`] bound was reached with schedules
+    /// still unexplored (exhaustive mode only; without an explicit
+    /// bound the deepening continues until the space fits).
+    DepthLimit,
 }
 
 /// Result of [`Checker::run`].
@@ -112,10 +159,62 @@ pub enum Outcome {
 pub struct Exploration {
     /// The verdict.
     pub outcome: Outcome,
-    /// Distinct states visited.
+    /// Distinct states visited (by state hash).
     pub states: usize,
     /// Number of terminal (all-threads-done) states reached.
     pub terminals: usize,
+    /// Maximal schedules explored: paths ending at a terminal state, a
+    /// pruned revisit of an already-explored state, or the depth
+    /// bound. Deterministic under [`Strategy::Exhaustive`] — the count
+    /// is stable across runs of the same scenario.
+    pub schedules: usize,
+}
+
+/// One scheduling decision: which thread steps, and which of its
+/// (possibly several, under notify-one branching) successor worlds is
+/// taken.
+type Choice = (usize, usize);
+
+/// Failure discriminants shared by exploration and replay; carries no
+/// trace so shrinking can compare candidates cheaply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Failure {
+    Deadlock,
+    Invariant,
+    FinalInvariant,
+    Fairness,
+}
+
+impl Failure {
+    fn into_outcome(self, trace: Vec<Step>) -> Outcome {
+        match self {
+            Failure::Deadlock => Outcome::Deadlock(trace),
+            Failure::Invariant => Outcome::InvariantViolation(trace),
+            Failure::FinalInvariant => Outcome::FinalInvariantViolation(trace),
+            Failure::Fairness => Outcome::FairnessViolation(trace),
+        }
+    }
+}
+
+/// End of one depth-bounded DFS pass.
+enum PassEnd {
+    /// The whole space fits under the bound: exploration is complete.
+    Complete,
+    /// Some schedule hit the depth bound; a deeper replay is needed.
+    Cutoff,
+    /// A failing schedule was found.
+    Failed {
+        schedule: Vec<Choice>,
+        failure: Failure,
+    },
+    /// The distinct-state budget ran out.
+    StateLimit,
+}
+
+#[derive(Default)]
+struct PassStats {
+    terminals: usize,
+    schedules: usize,
 }
 
 #[derive(Clone, PartialEq, Eq, Hash)]
@@ -163,10 +262,6 @@ struct World<S> {
     violated: bool,
 }
 
-struct Node {
-    parent: Option<(usize, Step)>,
-}
-
 type InvariantFn<S> = Arc<dyn Fn(&S) -> bool + Send + Sync>;
 
 /// Explores every interleaving of a [`ModelSystem`] driven by thread
@@ -178,7 +273,10 @@ pub struct Checker<S> {
     timed: Vec<bool>,
     invariant: Option<InvariantFn<S>>,
     final_invariant: Option<InvariantFn<S>>,
+    strategy: Strategy,
     max_states: usize,
+    max_depth: Option<usize>,
+    samples: usize,
     notify_one: bool,
     sharded: bool,
     rollback_notify: bool,
@@ -190,6 +288,7 @@ pub struct Checker<S> {
     leak_on_panic: bool,
     batched_grants: bool,
     split_batch_overtake: bool,
+    seed_deadlock: bool,
 }
 
 impl<S> fmt::Debug for Checker<S> {
@@ -197,7 +296,9 @@ impl<S> fmt::Debug for Checker<S> {
         f.debug_struct("Checker")
             .field("system", &self.system)
             .field("threads", &self.scripts.len())
+            .field("strategy", &self.strategy)
             .field("max_states", &self.max_states)
+            .field("max_depth", &self.max_depth)
             .field("notify_one", &self.notify_one)
             .field("sharded", &self.sharded)
             .field("rollback_notify", &self.rollback_notify)
@@ -209,6 +310,7 @@ impl<S> fmt::Debug for Checker<S> {
             .field("leak_on_panic", &self.leak_on_panic)
             .field("batched_grants", &self.batched_grants)
             .field("split_batch_overtake", &self.split_batch_overtake)
+            .field("seed_deadlock", &self.seed_deadlock)
             .finish()
     }
 }
@@ -222,7 +324,10 @@ impl<S: Clone + Eq + Hash> Checker<S> {
             timed: Vec::new(),
             invariant: None,
             final_invariant: None,
+            strategy: Strategy::Exhaustive,
             max_states: 1_000_000,
+            max_depth: None,
+            samples: 1_000,
             notify_one: false,
             sharded: false,
             rollback_notify: true,
@@ -234,6 +339,7 @@ impl<S: Clone + Eq + Hash> Checker<S> {
             leak_on_panic: false,
             batched_grants: false,
             split_batch_overtake: false,
+            seed_deadlock: false,
         }
     }
 
@@ -289,10 +395,37 @@ impl<S: Clone + Eq + Hash> Checker<S> {
         self
     }
 
+    /// Selects how the schedule space is covered (default
+    /// [`Strategy::Exhaustive`]).
+    #[must_use]
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
     /// Caps the number of distinct states (default one million).
     #[must_use]
     pub fn max_states(mut self, n: usize) -> Self {
         self.max_states = n;
+        self
+    }
+
+    /// Caps the schedule depth. In exhaustive mode the
+    /// iterative-deepening bound stops doubling here and unexplored
+    /// deeper schedules yield [`Outcome::DepthLimit`]; in randomized
+    /// mode each walk stops after this many choices. Default: unbounded
+    /// (exhaustive) / 10 000 choices per walk (randomized).
+    #[must_use]
+    pub fn max_depth(mut self, n: usize) -> Self {
+        self.max_depth = Some(n);
+        self
+    }
+
+    /// Number of random walks [`Strategy::Randomized`] performs
+    /// (default 1000). Ignored in exhaustive mode.
+    #[must_use]
+    pub fn samples(mut self, n: usize) -> Self {
+        self.samples = n;
         self
     }
 
@@ -434,6 +567,19 @@ impl<S: Clone + Eq + Hash> Checker<S> {
         self
     }
 
+    /// Ablation reconstructing the PR-2 latent seed bug: completion
+    /// and rollback notifications skip the *self-wake* — a waiter
+    /// parked on its own method's active flag is never woken by a
+    /// same-method peer's completion, because only the wired wake
+    /// targets are notified. With wake wiring that omits the method
+    /// itself, the second caller parks forever; the deadlock detector
+    /// reports it with a minimal schedule.
+    #[must_use]
+    pub fn seed_deadlock(mut self) -> Self {
+        self.seed_deadlock = true;
+        self
+    }
+
     fn phase_for(&self, thread: usize, pc: usize) -> Phase {
         if pc >= self.scripts[thread].len() {
             Phase::Done
@@ -553,7 +699,8 @@ impl<S: Clone + Eq + Hash> Checker<S> {
             aspect.post(shared);
         }
         let mut notified = self.wake_set(method);
-        if !notified.contains(&method) {
+        if !self.seed_deadlock && !notified.contains(&method) {
+            // The self-wake the seed-deadlock ablation forgets.
             notified.push(method);
         }
         notified
@@ -811,7 +958,7 @@ impl<S: Clone + Eq + Hash> Checker<S> {
                 // same-method peer blocks on.
                 let worlds = if self.rollback_notify {
                     let mut notified = self.wake_set(method);
-                    if !notified.contains(&method) {
+                    if !self.seed_deadlock && !notified.contains(&method) {
                         notified.push(method);
                     }
                     self.apply_notifications(w, &notified)
@@ -845,20 +992,70 @@ impl<S: Clone + Eq + Hash> Checker<S> {
         }
     }
 
-    fn trace(arena: &[Node], mut idx: usize) -> Vec<Step> {
-        let mut steps = Vec::new();
-        while let Some((parent, step)) = &arena[idx].parent {
-            steps.push(step.clone());
-            idx = *parent;
-        }
-        steps.reverse();
-        steps
+    /// Deterministic hash of a world (SipHash with fixed keys, so
+    /// hashes — and with them exploration counts — are stable across
+    /// processes). Pruning on hashes accepts the usual vanishingly
+    /// small collision risk in exchange for not retaining every world.
+    fn state_hash(world: &World<S>) -> u64 {
+        let mut h = DefaultHasher::new();
+        world.hash(&mut h);
+        h.finish()
     }
 
-    /// Explores every interleaving starting from `initial` shared
-    /// state.
-    pub fn run(&self, initial: S) -> Exploration {
-        let initial_world = World {
+    /// All enabled transitions of `world`, in deterministic order:
+    /// ascending thread index, then branch index within that thread's
+    /// successor list. The fixed order is what makes exhaustive
+    /// exploration (and its schedule count) reproducible.
+    fn transitions(&self, world: &World<S>) -> Vec<(Choice, Step, World<S>)> {
+        let mut out = Vec::new();
+        for thread in 0..self.scripts.len() {
+            for (branch, (step, next)) in self.successors(world, thread).into_iter().enumerate() {
+                out.push(((thread, branch), step, next));
+            }
+        }
+        out
+    }
+
+    /// Classifies every thread's next action at `world` given its
+    /// precomputed `transitions` — the live/blocked action sets. A
+    /// world whose unfinished threads are all [`ActionResult::Blocked`]
+    /// is deadlocked.
+    fn action_results(
+        &self,
+        world: &World<S>,
+        transitions: &[(Choice, Step, World<S>)],
+    ) -> Vec<ActionResult> {
+        (0..self.scripts.len())
+            .map(|t| {
+                if matches!(world.threads[t].1, Phase::Done) {
+                    return ActionResult::Joined;
+                }
+                let mut any = false;
+                let mut all_panic = true;
+                for (choice, step, _) in transitions {
+                    if choice.0 != t {
+                        continue;
+                    }
+                    any = true;
+                    all_panic &= matches!(
+                        step,
+                        Step::Chain {
+                            result: "panicked",
+                            ..
+                        }
+                    );
+                }
+                match (any, all_panic) {
+                    (false, _) => ActionResult::Blocked,
+                    (true, true) => ActionResult::Panicked,
+                    (true, false) => ActionResult::Ran,
+                }
+            })
+            .collect()
+    }
+
+    fn initial_world(&self, initial: S) -> World<S> {
+        World {
             shared: initial,
             threads: (0..self.scripts.len())
                 .map(|t| (0, self.phase_for(t, 0)))
@@ -866,88 +1063,352 @@ impl<S: Clone + Eq + Hash> Checker<S> {
             order: vec![Vec::new(); self.system.method_count()],
             elig: vec![Vec::new(); self.system.method_count()],
             violated: false,
-        };
-        if let Some(inv) = &self.invariant {
-            if !inv(&initial_world.shared) {
-                return Exploration {
-                    outcome: Outcome::InvariantViolation(Vec::new()),
-                    states: 1,
-                    terminals: 0,
-                };
+        }
+    }
+
+    fn invariant_fails(&self, shared: &S) -> bool {
+        self.invariant.as_ref().is_some_and(|inv| !inv(shared))
+    }
+
+    fn final_invariant_fails(&self, shared: &S) -> bool {
+        self.final_invariant
+            .as_ref()
+            .is_some_and(|inv| !inv(shared))
+    }
+
+    /// Replays an explicit schedule from `initial`, re-deriving every
+    /// step. Returns `None` if some choice is invalid at its state
+    /// (the schedule does not parse — shrinking candidates often
+    /// aren't valid schedules); otherwise the steps taken up to the
+    /// first failure, and the failure if one fired. Replay is the
+    /// ground truth the explorer's counterexamples are validated
+    /// against: a reported trace is always re-derived here, never
+    /// read back from exploration bookkeeping.
+    fn replay(
+        &self,
+        initial: &World<S>,
+        schedule: &[Choice],
+    ) -> Option<(Vec<Step>, Option<Failure>)> {
+        let mut world = initial.clone();
+        let mut steps = Vec::new();
+        if self.invariant_fails(&world.shared) {
+            return Some((steps, Some(Failure::Invariant)));
+        }
+        for &(thread, branch) in schedule {
+            let (step, next) = self.successors(&world, thread).into_iter().nth(branch)?;
+            steps.push(step);
+            world = next;
+            if world.violated {
+                return Some((steps, Some(Failure::Fairness)));
+            }
+            if self.invariant_fails(&world.shared) {
+                return Some((steps, Some(Failure::Invariant)));
             }
         }
-        let mut visited: HashSet<World<S>> = HashSet::new();
-        visited.insert(initial_world.clone());
-        let mut arena = vec![Node { parent: None }];
-        let mut stack = vec![(initial_world, 0_usize)];
-        let mut terminals = 0_usize;
+        if world.threads.iter().all(|(_, p)| matches!(p, Phase::Done)) {
+            if self.final_invariant_fails(&world.shared) {
+                return Some((steps, Some(Failure::FinalInvariant)));
+            }
+            return Some((steps, None));
+        }
+        let deadlocked = (0..self.scripts.len()).all(|t| self.successors(&world, t).is_empty());
+        if deadlocked {
+            return Some((steps, Some(Failure::Deadlock)));
+        }
+        Some((steps, None))
+    }
 
-        while let Some((world, idx)) = stack.pop() {
-            let mut any_enabled = false;
-            let all_done = world.threads.iter().all(|(_, p)| *p == Phase::Done);
-            if all_done {
-                terminals += 1;
-                if let Some(inv) = &self.final_invariant {
-                    if !inv(&world.shared) {
-                        return Exploration {
-                            outcome: Outcome::FinalInvariantViolation(Self::trace(&arena, idx)),
-                            states: visited.len(),
-                            terminals,
-                        };
-                    }
+    /// Minimizes a failing schedule by greedy prefix elision (drop the
+    /// longest prefix that still reproduces), then greedy single-step
+    /// elision, to a fixpoint. Every candidate is validated by replay
+    /// reproducing the same failure discriminant; the returned trace is
+    /// the replay of the shrunk schedule, truncated at the step where
+    /// the failure fires.
+    fn shrink(&self, initial: &World<S>, mut schedule: Vec<Choice>, target: Failure) -> Vec<Step> {
+        let reproduces = |cand: &[Choice]| matches!(self.replay(initial, cand), Some((_, Some(f))) if f == target);
+        loop {
+            let mut improved = false;
+            for k in (1..schedule.len()).rev() {
+                if reproduces(&schedule[k..]) {
+                    schedule.drain(..k);
+                    improved = true;
+                    break;
                 }
+            }
+            let mut i = 0;
+            while i < schedule.len() {
+                let mut cand = schedule.clone();
+                cand.remove(i);
+                if reproduces(&cand) {
+                    schedule = cand;
+                    improved = true;
+                } else {
+                    i += 1;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        match self.replay(initial, &schedule) {
+            Some((steps, Some(f))) if f == target => steps,
+            _ => unreachable!("shrunk schedule no longer reproduces its failure"),
+        }
+    }
+
+    /// One depth-bounded DFS pass over explicit schedules, pruning on
+    /// state hashes. `min_depth` maps each hash to the shallowest depth
+    /// it was reached at: a state reached again at the same or greater
+    /// depth is pruned; reached *shallower*, it is re-expanded so the
+    /// depth bound never hides schedules (the invariant that makes
+    /// iterative deepening sound with pruning).
+    fn dfs_pass(
+        &self,
+        initial: &World<S>,
+        limit: usize,
+        all_states: &mut HashSet<u64>,
+        stats: &mut PassStats,
+    ) -> PassEnd {
+        struct Frame<S> {
+            succs: Vec<(Choice, Step, World<S>)>,
+            next: usize,
+        }
+        let mut min_depth: HashMap<u64, usize> = HashMap::new();
+        min_depth.insert(Self::state_hash(initial), 0);
+        let mut cutoff = false;
+        let mut schedule: Vec<Choice> = Vec::new();
+        let mut stack = vec![Frame {
+            succs: self.transitions(initial),
+            next: 0,
+        }];
+        while !stack.is_empty() {
+            let (choice, world) = {
+                let frame = stack.last_mut().expect("non-empty stack");
+                if frame.next >= frame.succs.len() {
+                    stack.pop();
+                    schedule.pop();
+                    continue;
+                }
+                let (choice, _, world) = frame.succs[frame.next].clone();
+                frame.next += 1;
+                (choice, world)
+            };
+            schedule.push(choice);
+            if world.violated {
+                return PassEnd::Failed {
+                    schedule,
+                    failure: Failure::Fairness,
+                };
+            }
+            if self.invariant_fails(&world.shared) {
+                return PassEnd::Failed {
+                    schedule,
+                    failure: Failure::Invariant,
+                };
+            }
+            let h = Self::state_hash(&world);
+            all_states.insert(h);
+            if all_states.len() > self.max_states {
+                return PassEnd::StateLimit;
+            }
+            let depth = schedule.len();
+            if min_depth.get(&h).is_some_and(|&d| d <= depth) {
+                // Already explored from here at least this shallow:
+                // this schedule ends in known territory.
+                stats.schedules += 1;
+                schedule.pop();
                 continue;
             }
-            for thread in 0..self.scripts.len() {
-                for (step, next) in self.successors(&world, thread) {
-                    any_enabled = true;
-                    if visited.contains(&next) {
-                        continue;
-                    }
-                    visited.insert(next.clone());
-                    arena.push(Node {
-                        parent: Some((idx, step)),
-                    });
-                    let nidx = arena.len() - 1;
-                    if next.violated {
-                        return Exploration {
-                            outcome: Outcome::FairnessViolation(Self::trace(&arena, nidx)),
-                            states: visited.len(),
-                            terminals,
-                        };
-                    }
-                    if let Some(inv) = &self.invariant {
-                        if !inv(&next.shared) {
-                            return Exploration {
-                                outcome: Outcome::InvariantViolation(Self::trace(&arena, nidx)),
-                                states: visited.len(),
-                                terminals,
-                            };
-                        }
-                    }
-                    if visited.len() > self.max_states {
-                        return Exploration {
-                            outcome: Outcome::StateLimit,
-                            states: visited.len(),
-                            terminals,
-                        };
-                    }
-                    stack.push((next, nidx));
+            min_depth.insert(h, depth);
+            let succs = self.transitions(&world);
+            let results = self.action_results(&world, &succs);
+            if results.iter().all(|r| *r == ActionResult::Joined) {
+                stats.terminals += 1;
+                stats.schedules += 1;
+                if self.final_invariant_fails(&world.shared) {
+                    return PassEnd::Failed {
+                        schedule,
+                        failure: Failure::FinalInvariant,
+                    };
                 }
+                schedule.pop();
+                continue;
             }
-            if !any_enabled {
-                // Unfinished threads, none runnable: deadlock.
-                return Exploration {
-                    outcome: Outcome::Deadlock(Self::trace(&arena, idx)),
-                    states: visited.len(),
-                    terminals,
+            let any_live = results
+                .iter()
+                .any(|r| matches!(r, ActionResult::Ran | ActionResult::Panicked));
+            if !any_live {
+                // Every unfinished action is blocked: deadlock.
+                return PassEnd::Failed {
+                    schedule,
+                    failure: Failure::Deadlock,
                 };
             }
+            if depth >= limit {
+                cutoff = true;
+                stats.schedules += 1;
+                schedule.pop();
+                continue;
+            }
+            stack.push(Frame { succs, next: 0 });
         }
+        if cutoff {
+            PassEnd::Cutoff
+        } else {
+            PassEnd::Complete
+        }
+    }
+
+    fn exploration(
+        &self,
+        outcome: Outcome,
+        all_states: &HashSet<u64>,
+        stats: &PassStats,
+    ) -> Exploration {
         Exploration {
-            outcome: Outcome::Ok,
-            states: visited.len(),
-            terminals,
+            outcome,
+            states: all_states.len(),
+            terminals: stats.terminals,
+            schedules: stats.schedules,
+        }
+    }
+
+    /// Iterative-deepening exhaustive exploration: DFS passes with a
+    /// doubling depth bound, re-replayed from the initial state, until
+    /// a pass completes without cutoff (or fails, or runs out of
+    /// budget). Failing schedules are shrunk before reporting.
+    fn run_exhaustive(&self, initial_world: World<S>) -> Exploration {
+        let mut all_states: HashSet<u64> = HashSet::new();
+        all_states.insert(Self::state_hash(&initial_world));
+        let mut stats = PassStats::default();
+
+        let root_succs = self.transitions(&initial_world);
+        let results = self.action_results(&initial_world, &root_succs);
+        if results.iter().all(|r| *r == ActionResult::Joined) {
+            stats.terminals = 1;
+            stats.schedules = 1;
+            let outcome = if self.final_invariant_fails(&initial_world.shared) {
+                Outcome::FinalInvariantViolation(Vec::new())
+            } else {
+                Outcome::Ok
+            };
+            return self.exploration(outcome, &all_states, &stats);
+        }
+        if !results
+            .iter()
+            .any(|r| matches!(r, ActionResult::Ran | ActionResult::Panicked))
+        {
+            return self.exploration(Outcome::Deadlock(Vec::new()), &all_states, &stats);
+        }
+
+        let cap = self.max_depth.unwrap_or(usize::MAX);
+        let mut limit = 8_usize.min(cap);
+        loop {
+            stats = PassStats::default();
+            match self.dfs_pass(&initial_world, limit, &mut all_states, &mut stats) {
+                PassEnd::Failed { schedule, failure } => {
+                    let trace = self.shrink(&initial_world, schedule, failure);
+                    return self.exploration(failure.into_outcome(trace), &all_states, &stats);
+                }
+                PassEnd::StateLimit => {
+                    return self.exploration(Outcome::StateLimit, &all_states, &stats);
+                }
+                PassEnd::Complete => {
+                    return self.exploration(Outcome::Ok, &all_states, &stats);
+                }
+                PassEnd::Cutoff => {
+                    if limit >= cap {
+                        return self.exploration(Outcome::DepthLimit, &all_states, &stats);
+                    }
+                    limit = limit.saturating_mul(2).min(cap);
+                }
+            }
+        }
+    }
+
+    /// Seeded random walks through the schedule space. Failing walks
+    /// are shrunk exactly like exhaustive counterexamples.
+    fn run_randomized(&self, initial_world: World<S>, seed: u64) -> Exploration {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut all_states: HashSet<u64> = HashSet::new();
+        all_states.insert(Self::state_hash(&initial_world));
+        let mut stats = PassStats::default();
+        let walk_cap = self.max_depth.unwrap_or(10_000);
+        for _ in 0..self.samples {
+            let mut world = initial_world.clone();
+            let mut schedule: Vec<Choice> = Vec::new();
+            loop {
+                let succs = self.transitions(&world);
+                let results = self.action_results(&world, &succs);
+                if results.iter().all(|r| *r == ActionResult::Joined) {
+                    stats.terminals += 1;
+                    stats.schedules += 1;
+                    if self.final_invariant_fails(&world.shared) {
+                        let trace = self.shrink(&initial_world, schedule, Failure::FinalInvariant);
+                        return self.exploration(
+                            Outcome::FinalInvariantViolation(trace),
+                            &all_states,
+                            &stats,
+                        );
+                    }
+                    break;
+                }
+                if !results
+                    .iter()
+                    .any(|r| matches!(r, ActionResult::Ran | ActionResult::Panicked))
+                {
+                    let trace = self.shrink(&initial_world, schedule, Failure::Deadlock);
+                    return self.exploration(Outcome::Deadlock(trace), &all_states, &stats);
+                }
+                if schedule.len() >= walk_cap {
+                    // Inconclusive walk: give up on it, count it.
+                    stats.schedules += 1;
+                    break;
+                }
+                let pick = rng.gen_range(0..succs.len());
+                let (choice, _, next) = succs[pick].clone();
+                schedule.push(choice);
+                world = next;
+                all_states.insert(Self::state_hash(&world));
+                if world.violated {
+                    let trace = self.shrink(&initial_world, schedule, Failure::Fairness);
+                    return self.exploration(
+                        Outcome::FairnessViolation(trace),
+                        &all_states,
+                        &stats,
+                    );
+                }
+                if self.invariant_fails(&world.shared) {
+                    let trace = self.shrink(&initial_world, schedule, Failure::Invariant);
+                    return self.exploration(
+                        Outcome::InvariantViolation(trace),
+                        &all_states,
+                        &stats,
+                    );
+                }
+                if all_states.len() > self.max_states {
+                    return self.exploration(Outcome::StateLimit, &all_states, &stats);
+                }
+            }
+        }
+        self.exploration(Outcome::Ok, &all_states, &stats)
+    }
+
+    /// Explores the schedule space starting from `initial` shared
+    /// state, per the configured [`Strategy`].
+    pub fn run(&self, initial: S) -> Exploration {
+        let initial_world = self.initial_world(initial);
+        if self.invariant_fails(&initial_world.shared) {
+            return Exploration {
+                outcome: Outcome::InvariantViolation(Vec::new()),
+                states: 1,
+                terminals: 0,
+                schedules: 0,
+            };
+        }
+        match self.strategy {
+            Strategy::Exhaustive => self.run_exhaustive(initial_world),
+            Strategy::Randomized { seed } => self.run_randomized(initial_world, seed),
         }
     }
 }

@@ -57,6 +57,38 @@
 //! prefix rollback — is caught with a concrete stranded-waiter
 //! deadlock trace (`tests/containment.rs`).
 //!
+//! # Exploration strategies
+//!
+//! [`Checker::run`] covers the schedule space per the configured
+//! [`Strategy`]:
+//!
+//! * [`Strategy::Exhaustive`] (default) — a havoc-style DFS over
+//!   explicit `(thread, branch)` action schedules: live/blocked action
+//!   sets ([`ActionResult`]), state-hash pruning, iterative-deepening
+//!   replay of the depth bound, deadlock detection (every unfinished
+//!   action blocked ⇒ the schedule is reported), and
+//!   minimal-counterexample output — failing schedules are shrunk by
+//!   greedy prefix/step elision before the trace is re-derived by
+//!   replay. Every schedule of a bounded scenario is checked and the
+//!   explored-schedule count ([`Exploration::schedules`]) is stable
+//!   across runs.
+//! * [`Strategy::Randomized`] — seeded random walks for scenarios too
+//!   large to enumerate; failures shrink the same way.
+//!
+//! # Seed & environment knobs
+//!
+//! Every randomized battery in the workspace derives its determinism
+//! from one seed, read by [`seed_from_env`]. The complete list:
+//!
+//! | Variable | Consumer | Default |
+//! |---|---|---|
+//! | `AMF_CHAOS_SEED` | `tests/chaos.rs` panic-injection storms and the bench harness `chaos` section (via `amf_aspects::fault::chaos_seed`) | `0xC4A0_5BA7` (tests) |
+//! | `AMF_FAIRNESS_SEED` | `tests/properties_fairness.rs` randomized fairness battery | `0x5eed_fa18` |
+//!
+//! CI pins both. [`Strategy::Randomized`] and `amf-sim` take their
+//! seeds as explicit values, never from the environment — exhaustive
+//! exploration needs no seed at all.
+//!
 //! # Example: proving the composition anomaly
 //!
 //! ```
@@ -108,5 +140,17 @@ pub mod aspects;
 mod checker;
 mod model;
 
-pub use checker::{Checker, Exploration, Outcome, Step};
+pub use checker::{ActionResult, Checker, Exploration, Outcome, Step, Strategy};
 pub use model::{MethodIx, ModelAspect, ModelSystem, ModelVerdict, WakeSet};
+
+/// Reads a deterministic seed from the environment variable `var`,
+/// falling back to `default` when the variable is unset or does not
+/// parse as a `u64`. The single entry point for the workspace's seed
+/// plumbing — see the crate docs ("Seed & environment knobs") for the
+/// complete list of variables and their consumers.
+pub fn seed_from_env(var: &str, default: u64) -> u64 {
+    std::env::var(var)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}

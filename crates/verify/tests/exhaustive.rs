@@ -1,0 +1,531 @@
+//! The exhaustive explorer at minimal bounds: every ablation the
+//! randomized batteries catch is re-caught here *seed-free* — the DFS
+//! enumerates every schedule of a deliberately tiny scenario (two
+//! threads where the defect allows it), so the counterexample is found
+//! by enumeration, not by luck, and the explored-schedule count is a
+//! stable, reportable number.
+//!
+//! Bounds per ablation:
+//!
+//! * `racy_park`, `leak_on_panic`, `seed_deadlock` — 2 threads;
+//! * `racy_handoff` — 2 threads (the overtaking newcomer shares a
+//!   thread with the producer);
+//! * `overtake_on_timeout` — 2 threads (the canceller returns as the
+//!   overtaking newcomer);
+//! * `split_batch_overtake` — 3 threads, provably its minimum: the
+//!   defect is two *unordered* permits handed to the front two parked
+//!   waiters, so it needs two parked takers plus one departing
+//!   refiller.
+
+use amf_verify::{aspects, Checker, MethodIx, ModelSystem, ModelVerdict, Outcome, Step, Strategy};
+
+/// The canonical bounded scenario: a capacity-1 buffer, two producers'
+/// worth of puts against the matching takes, 2 threads × 2 actions.
+#[derive(Clone, PartialEq, Eq, Hash, Default, Debug)]
+struct Buf {
+    reserved: usize,
+    produced: usize,
+    producing: bool,
+    consuming: bool,
+}
+
+fn buffer_2x2() -> (ModelSystem<Buf>, MethodIx, MethodIx) {
+    let mut sys = ModelSystem::new();
+    let put = sys.method("put");
+    let take = sys.method("take");
+    sys.add_aspect(
+        put,
+        "sync",
+        aspects::buffer_producer(
+            1,
+            |s: &mut Buf| &mut s.reserved,
+            |s: &mut Buf| &mut s.produced,
+            |s: &mut Buf| &mut s.producing,
+        ),
+    );
+    sys.add_aspect(
+        take,
+        "sync",
+        aspects::buffer_consumer(
+            |s: &mut Buf| &mut s.reserved,
+            |s: &mut Buf| &mut s.produced,
+            |s: &mut Buf| &mut s.consuming,
+        ),
+    );
+    sys.wire_wakes(put, vec![take]);
+    sys.wire_wakes(take, vec![put]);
+    (sys, put, take)
+}
+
+/// Exhaustive mode enumerates the whole schedule space of the 2×2
+/// buffer: the run is `Ok`, and the explored-schedule count is a
+/// deterministic property of the scenario — two independent runs
+/// report the identical number.
+#[test]
+fn exhaustive_schedule_count_is_stable_on_the_2x2_buffer() {
+    let explore = || {
+        let (sys, put, take) = buffer_2x2();
+        Checker::new(sys)
+            .strategy(Strategy::Exhaustive)
+            .thread(vec![put, put])
+            .thread(vec![take, take])
+            .final_invariant(|s: &Buf| s.reserved == 0 && s.produced == 0)
+            .run(Buf::default())
+    };
+    let a = explore();
+    let b = explore();
+    assert_eq!(a.outcome, Outcome::Ok);
+    assert!(a.terminals >= 1, "{a:?}");
+    assert!(a.schedules >= a.terminals, "{a:?}");
+    assert_eq!(a.schedules, b.schedules, "enumeration must be stable");
+    assert_eq!(a.states, b.states);
+    assert_eq!(a.terminals, b.terminals);
+}
+
+/// The same scenario under `Randomized` walks is seeded and
+/// reproducible, but samples rather than enumerates: same seed, same
+/// report.
+#[test]
+fn randomized_walks_reproduce_per_seed() {
+    let walk = |seed| {
+        let (sys, put, take) = buffer_2x2();
+        Checker::new(sys)
+            .strategy(Strategy::Randomized { seed })
+            .samples(50)
+            .thread(vec![put, put])
+            .thread(vec![take, take])
+            .run(Buf::default())
+    };
+    let a = walk(13);
+    let b = walk(13);
+    assert_eq!(a.outcome, Outcome::Ok);
+    assert_eq!(a.schedules, b.schedules);
+    assert_eq!(a.states, b.states);
+}
+
+/// `racy_park` at its 2-thread minimum (the bound the sharded battery
+/// already uses): one put against one take, notification landing in
+/// the decide-to-park window, deadlock found by pure enumeration.
+#[test]
+fn racy_park_caught_exhaustively_at_two_threads() {
+    #[derive(Clone, PartialEq, Eq, Hash, Default, Debug)]
+    struct B {
+        reserved: usize,
+        produced: usize,
+        producing: bool,
+        consuming: bool,
+    }
+    let build = || {
+        let mut sys = ModelSystem::new();
+        let put = sys.method("put");
+        let take = sys.method("take");
+        sys.add_aspect(
+            put,
+            "sync",
+            aspects::buffer_producer(
+                1,
+                |s: &mut B| &mut s.reserved,
+                |s: &mut B| &mut s.produced,
+                |s: &mut B| &mut s.producing,
+            ),
+        );
+        sys.add_aspect(
+            take,
+            "sync",
+            aspects::buffer_consumer(
+                |s: &mut B| &mut s.reserved,
+                |s: &mut B| &mut s.produced,
+                |s: &mut B| &mut s.consuming,
+            ),
+        );
+        sys.wire_wakes(put, vec![take]);
+        sys.wire_wakes(take, vec![put]);
+        (sys, put, take)
+    };
+    let (sys, put, take) = build();
+    let ablated = Checker::new(sys)
+        .strategy(Strategy::Exhaustive)
+        .sharded()
+        .racy_park()
+        .thread(vec![put])
+        .thread(vec![take])
+        .run(B::default());
+    match ablated.outcome {
+        Outcome::Deadlock(trace) => {
+            let rendered: Vec<String> = trace.iter().map(ToString::to_string).collect();
+            assert!(
+                rendered.iter().any(|s| s.contains("park(take)")),
+                "{rendered:?}"
+            );
+            assert!(
+                rendered.iter().any(|s| s.contains("post(put)")),
+                "{rendered:?}"
+            );
+        }
+        other => panic!("expected missed-notification deadlock, got {other:?}"),
+    }
+
+    let (sys, put, take) = build();
+    let faithful = Checker::new(sys)
+        .strategy(Strategy::Exhaustive)
+        .sharded()
+        .thread(vec![put])
+        .thread(vec![take])
+        .run(B::default());
+    assert_eq!(faithful.outcome, Outcome::Ok);
+}
+
+/// A token gate (from the fairness battery): `open` consumes a token
+/// or blocks, `tick` mints one and notifies `open`'s queue.
+#[derive(Clone, PartialEq, Eq, Hash, Default, Debug)]
+struct Tokens {
+    avail: usize,
+}
+
+fn gated() -> (ModelSystem<Tokens>, MethodIx, MethodIx) {
+    let mut sys = ModelSystem::new();
+    let open = sys.method("open");
+    let tick = sys.method("tick");
+    sys.add_aspect(
+        open,
+        "gate",
+        aspects::from_fns(
+            |s: &mut Tokens| {
+                if s.avail > 0 {
+                    s.avail -= 1;
+                    ModelVerdict::Resume
+                } else {
+                    ModelVerdict::Block
+                }
+            },
+            |_| (),
+            |s: &mut Tokens| s.avail += 1,
+        ),
+    );
+    sys.add_aspect(
+        tick,
+        "mint",
+        aspects::from_fns(
+            |s: &mut Tokens| {
+                s.avail += 1;
+                ModelVerdict::Resume
+            },
+            |_| (),
+            |_| (),
+        ),
+    );
+    sys.wire_wakes(tick, vec![open]);
+    sys.wire_wakes(open, vec![]);
+    (sys, open, tick)
+}
+
+/// `racy_handoff` at its 2-thread minimum: thread 0 parks on `open`,
+/// thread 1 mints a token and then — as the overtaking newcomer —
+/// `open`s past the parked waiter without consulting the queue. Both
+/// threads are timed so no schedule dead-ends in a deadlock and the
+/// one bad outcome is the overtake itself. The faithful fifo model on
+/// the same 2-thread scenario is fair everywhere.
+#[test]
+fn racy_handoff_caught_exhaustively_at_two_threads() {
+    let (sys, open, tick) = gated();
+    let ablated = Checker::new(sys)
+        .strategy(Strategy::Exhaustive)
+        .fifo()
+        .check_fairness()
+        .racy_handoff()
+        .timed_thread(vec![open])
+        .timed_thread(vec![tick, open])
+        .run(Tokens::default());
+    match ablated.outcome {
+        Outcome::FairnessViolation(trace) => {
+            let rendered: Vec<String> = trace.iter().map(ToString::to_string).collect();
+            let parked = rendered
+                .iter()
+                .find(|s| s.contains("chain(open) -> blocked"))
+                .unwrap_or_else(|| panic!("{rendered:?}"));
+            let resumed = rendered.last().unwrap();
+            assert!(resumed.contains("chain(open) -> resumed"), "{rendered:?}");
+            let tid = |s: &str| s.split(':').next().unwrap().to_string();
+            assert_ne!(tid(parked), tid(resumed), "{rendered:?}");
+        }
+        other => panic!("expected fairness violation, got {other:?}"),
+    }
+
+    let (sys, open, tick) = gated();
+    let faithful = Checker::new(sys)
+        .strategy(Strategy::Exhaustive)
+        .fifo()
+        .check_fairness()
+        .timed_thread(vec![open])
+        .timed_thread(vec![tick, open])
+        .run(Tokens::default());
+    assert_eq!(faithful.outcome, Outcome::Ok);
+}
+
+/// `overtake_on_timeout` at its 2-thread minimum: thread 0's timed
+/// `open` parks first and cancels — under the ablation the
+/// cancellation wipes the seniority of thread 1 parked behind it —
+/// then thread 0 mints a token and returns as the newcomer that
+/// overtakes the still-queued thread 1. The faithful model (a
+/// cancelled ticket removes only itself) is fair on the same scenario.
+#[test]
+fn overtake_on_timeout_caught_exhaustively_at_two_threads() {
+    let (sys, open, tick) = gated();
+    let ablated = Checker::new(sys)
+        .strategy(Strategy::Exhaustive)
+        .fifo()
+        .check_fairness()
+        .overtake_on_timeout()
+        .timed_thread(vec![open, tick, open])
+        .timed_thread(vec![open])
+        .run(Tokens::default());
+    match ablated.outcome {
+        Outcome::FairnessViolation(trace) => {
+            let rendered: Vec<String> = trace.iter().map(ToString::to_string).collect();
+            assert!(
+                rendered.iter().any(|s| s.contains("timeout(open)")),
+                "{rendered:?}"
+            );
+            assert!(
+                rendered.last().unwrap().contains("chain(open) -> resumed"),
+                "{rendered:?}"
+            );
+        }
+        other => panic!("expected fairness violation, got {other:?}"),
+    }
+
+    let (sys, open, tick) = gated();
+    let faithful = Checker::new(sys)
+        .strategy(Strategy::Exhaustive)
+        .fifo()
+        .check_fairness()
+        .timed_thread(vec![open, tick, open])
+        .timed_thread(vec![open])
+        .run(Tokens::default());
+    assert_eq!(faithful.outcome, Outcome::Ok);
+}
+
+/// `leak_on_panic` at 2 threads × 2 methods: `op`'s chain is
+/// `[bomb, pool]` (nested order reserves the pool before the bomb
+/// fires), `use` guards on the same pool. Leaking the reservation
+/// strands the `use` caller — found exhaustively, with the causal
+/// order (panic before the stranded block) in the trace.
+#[test]
+fn leak_on_panic_caught_exhaustively_at_two_threads_two_methods() {
+    #[derive(Clone, PartialEq, Eq, Hash, Default, Debug)]
+    struct Pool {
+        busy: bool,
+        fuse: bool,
+    }
+    let build = || {
+        let mut sys = ModelSystem::new();
+        let op = sys.method("op");
+        let user = sys.method("use");
+        let pool = || {
+            aspects::reserve(
+                |s: &Pool| !s.busy,
+                |s: &mut Pool| s.busy = true,
+                |s: &mut Pool| s.busy = false,
+            )
+        };
+        sys.add_aspect(op, "bomb", aspects::panic_fuse(|s: &mut Pool| &mut s.fuse));
+        sys.add_aspect(op, "pool", pool());
+        sys.add_aspect(user, "pool", pool());
+        sys.wire_wakes(op, vec![user]);
+        sys.wire_wakes(user, vec![op]);
+        (sys, op, user)
+    };
+    let (sys, op, user) = build();
+    let armed = Pool {
+        busy: false,
+        fuse: true,
+    };
+    let ablated = Checker::new(sys)
+        .strategy(Strategy::Exhaustive)
+        .sharded()
+        .leak_on_panic()
+        .thread(vec![op])
+        .thread(vec![user])
+        .run(armed.clone());
+    match ablated.outcome {
+        Outcome::Deadlock(trace) => {
+            let panicked = trace
+                .iter()
+                .position(|s| matches!(s, Step::Chain { result, .. } if *result == "panicked"))
+                .expect("panicked step present");
+            let blocked = trace
+                .iter()
+                .position(|s| matches!(s, Step::Chain { result, .. } if *result == "blocked"))
+                .expect("blocked step present");
+            assert!(panicked < blocked, "the leak strands the later caller");
+        }
+        other => panic!("expected stranded-waiter deadlock, got {other:?}"),
+    }
+
+    let (sys, op, user) = build();
+    let faithful = Checker::new(sys)
+        .strategy(Strategy::Exhaustive)
+        .sharded()
+        .thread(vec![op])
+        .thread(vec![user])
+        .final_invariant(|s: &Pool| !s.busy)
+        .run(armed);
+    assert_eq!(faithful.outcome, Outcome::Ok);
+}
+
+/// `split_batch_overtake` at its 3-thread minimum. The defect fires
+/// when a departure hands unordered permits to two *surviving* parked
+/// waiters — so it needs two parked takers plus one departing thread,
+/// and no 2-thread scenario can exhibit it. Here the third thread is
+/// both the canceller (its timed `take` gives up, splitting the batch
+/// across the two survivors) and the refiller that then lets the
+/// swapped pair resume in corrupted order.
+#[test]
+fn split_batch_overtake_caught_exhaustively_at_three_threads() {
+    #[derive(Clone, PartialEq, Eq, Hash, Default, Debug)]
+    struct Units {
+        avail: usize,
+    }
+    let build = || {
+        let mut sys = ModelSystem::new();
+        let take = sys.method("take");
+        let refill = sys.method("refill");
+        sys.add_aspect(
+            take,
+            "gate",
+            aspects::from_fns(
+                |s: &mut Units| {
+                    if s.avail > 0 {
+                        s.avail -= 1;
+                        ModelVerdict::Resume
+                    } else {
+                        ModelVerdict::Block
+                    }
+                },
+                |_| (),
+                |_| (),
+            ),
+        );
+        sys.add_aspect(
+            refill,
+            "mint",
+            aspects::from_fns(
+                |_: &mut Units| ModelVerdict::Resume,
+                |s: &mut Units| s.avail = 2,
+                |_| (),
+            ),
+        );
+        sys.wire_wakes(refill, vec![take]);
+        sys.wire_wakes(take, vec![]);
+        (sys, take, refill)
+    };
+    let (sys, take, refill) = build();
+    let ablated = Checker::new(sys)
+        .strategy(Strategy::Exhaustive)
+        .fifo()
+        .check_fairness()
+        .split_batch_overtake()
+        .thread(vec![take])
+        .thread(vec![take])
+        .timed_thread(vec![take, refill])
+        .run(Units::default());
+    match ablated.outcome {
+        Outcome::FairnessViolation(trace) => {
+            let rendered: Vec<String> = trace.iter().map(ToString::to_string).collect();
+            let resumed = rendered.last().unwrap();
+            assert!(resumed.contains("chain(take) -> resumed"), "{rendered:?}");
+            let tid = |s: &str| s.split(':').next().unwrap().to_string();
+            // The overtaken waiter — a *different* thread — parked
+            // earlier in the trace and is still queued at the resume.
+            assert!(
+                rendered
+                    .iter()
+                    .any(|s| s.contains("chain(take) -> blocked") && tid(s) != tid(resumed)),
+                "{rendered:?}"
+            );
+        }
+        other => panic!("expected fairness violation, got {other:?}"),
+    }
+
+    let (sys, take, refill) = build();
+    let faithful = Checker::new(sys)
+        .strategy(Strategy::Exhaustive)
+        .fifo()
+        .check_fairness()
+        .batched_grants()
+        .thread(vec![take])
+        .thread(vec![take])
+        .timed_thread(vec![take, refill])
+        .run(Units::default());
+    assert_eq!(faithful.outcome, Outcome::Ok);
+}
+
+/// The `seed_deadlock` ablation: drop the unconditional self-wake the
+/// protocol sends after postactions (and rollbacks). A capacity-1
+/// reservation whose wake wiring names no other queue then strands the
+/// second caller — its wake could only ever have come from the
+/// self-wake. Found seed-free, with the minimal schedule: first caller
+/// resumes, second blocks, first completes, nobody wakes the second.
+#[test]
+fn seed_deadlock_ablation_strands_the_self_waiter() {
+    #[derive(Clone, PartialEq, Eq, Hash, Default, Debug)]
+    struct Pool {
+        busy: bool,
+    }
+    let build = || {
+        let mut sys = ModelSystem::new();
+        let op = sys.method("op");
+        sys.add_aspect(
+            op,
+            "pool",
+            aspects::reserve(
+                |s: &Pool| !s.busy,
+                |s: &mut Pool| s.busy = true,
+                |s: &mut Pool| s.busy = false,
+            ),
+        );
+        // No cross-queue wiring: the second caller's only wake is the
+        // moderator's own-queue notification after postactivation.
+        sys.wire_wakes(op, vec![]);
+        (sys, op)
+    };
+    let (sys, op) = build();
+    let ablated = Checker::new(sys)
+        .strategy(Strategy::Exhaustive)
+        .seed_deadlock()
+        .thread(vec![op])
+        .thread(vec![op])
+        .run(Pool::default());
+    match ablated.outcome {
+        Outcome::Deadlock(trace) => {
+            let rendered: Vec<String> = trace.iter().map(ToString::to_string).collect();
+            assert!(
+                rendered.iter().any(|s| s.contains("chain(op) -> resumed")),
+                "{rendered:?}"
+            );
+            assert!(
+                rendered.iter().any(|s| s.contains("chain(op) -> blocked")),
+                "{rendered:?}"
+            );
+            // Minimality: the shrunk schedule is exactly the stranding
+            // — the winner's resume, the loser's park, and the
+            // winner's completion that fails to wake anyone.
+            assert!(
+                rendered.len() <= 4,
+                "expected the minimal stranding trace, got {rendered:?}"
+            );
+        }
+        other => panic!("expected self-wake deadlock, got {other:?}"),
+    }
+
+    // The faithful protocol (self-wake intact) is live on the same
+    // scenario, with no wake wiring at all.
+    let (sys, op) = build();
+    let faithful = Checker::new(sys)
+        .strategy(Strategy::Exhaustive)
+        .thread(vec![op])
+        .thread(vec![op])
+        .final_invariant(|s: &Pool| !s.busy)
+        .run(Pool::default());
+    assert_eq!(faithful.outcome, Outcome::Ok);
+}

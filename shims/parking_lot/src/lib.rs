@@ -39,6 +39,7 @@ impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
         MutexGuard {
+            lock: &self.inner,
             inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
         }
     }
@@ -46,8 +47,12 @@ impl<T: ?Sized> Mutex<T> {
     /// Attempts to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Ok(g) => Some(MutexGuard {
+                lock: &self.inner,
+                inner: Some(g),
+            }),
             Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                lock: &self.inner,
                 inner: Some(p.into_inner()),
             }),
             Err(std::sync::TryLockError::WouldBlock) => None,
@@ -71,11 +76,29 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
 
 /// RAII guard for [`Mutex`].
 ///
-/// The inner `Option` exists so [`Condvar`] waits can temporarily take
-/// the std guard out (std's condvar consumes and returns guards); it is
-/// `Some` at every other moment.
+/// The inner `Option` exists so [`Condvar`] waits and
+/// [`MutexGuard::unlocked`] can temporarily take the std guard out
+/// (std's condvar consumes and returns guards); it is `Some` at every
+/// other moment. The `lock` back-reference is what lets `unlocked`
+/// re-acquire.
 pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a std::sync::Mutex<T>,
     inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> MutexGuard<'_, T> {
+    /// Temporarily unlocks the mutex while `f` runs, re-locking before
+    /// returning — parking_lot's `MutexGuard::unlocked`. An associated
+    /// function, like the original, so it cannot shadow methods of `T`.
+    pub fn unlocked<F, U>(s: &mut Self, f: F) -> U
+    where
+        F: FnOnce() -> U,
+    {
+        drop(s.inner.take().expect("guard present outside wait"));
+        let out = f();
+        s.inner = Some(s.lock.lock().unwrap_or_else(PoisonError::into_inner));
+        out
+    }
 }
 
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
@@ -300,6 +323,27 @@ mod tests {
         *l.write() += 1;
         assert_eq!(*l.read(), 2);
         assert_eq!(l.into_inner(), 2);
+    }
+
+    #[test]
+    fn unlocked_releases_and_reacquires() {
+        let m = Arc::new(Mutex::new(0));
+        let mut g = m.lock();
+        *g += 1;
+        let observed = MutexGuard::unlocked(&mut g, {
+            let m = Arc::clone(&m);
+            move || {
+                // The lock is genuinely free while `f` runs.
+                let peek = *m.lock();
+                let t = std::thread::spawn(move || *m.lock() += 10);
+                t.join().unwrap();
+                peek
+            }
+        });
+        assert_eq!(observed, 1);
+        *g += 100;
+        drop(g);
+        assert_eq!(*m.lock(), 111);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | [`scenarios`] | `amf-scenarios` | auction, reservation, timecard, checkout |
 //! | [`baseline`] | `amf-baseline` | hand-tangled comparators |
 //! | [`verify`] | `amf-verify` | exhaustive model checker for compositions |
+//! | [`sim`] | `amf-sim` | deterministic virtual-clock simulator engine |
 //!
 //! ```
 //! use aspect_moderator::core::{AspectModerator, Concern, MethodId, NoopAspect};
@@ -35,5 +36,6 @@ pub use amf_baseline as baseline;
 pub use amf_concurrency as concurrency;
 pub use amf_core as core;
 pub use amf_scenarios as scenarios;
+pub use amf_sim as sim;
 pub use amf_ticketing as ticketing;
 pub use amf_verify as verify;

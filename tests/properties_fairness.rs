@@ -32,10 +32,7 @@ const DEFAULT_SEED: u64 = 0x5eed_fa18;
 const WATCHDOG: Duration = Duration::from_secs(300);
 
 fn seed() -> u64 {
-    std::env::var("AMF_FAIRNESS_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_SEED)
+    aspect_moderator::verify::seed_from_env("AMF_FAIRNESS_SEED", DEFAULT_SEED)
 }
 
 /// Runs `f` on its own thread and fails the test if it does not finish
