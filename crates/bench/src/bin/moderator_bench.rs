@@ -16,8 +16,10 @@
 //!   shares the measured methods' one lock; under sharding it stays on
 //!   the gated method's own cell.
 //!
-//! The headline `speedup_at_8_threads` comes from the noisy-neighbor
-//! regime, which is the service shape the refactor exists for.
+//! Each throughput regime contributes its own 8-thread speedup to the
+//! top-level `summary` map (`cpu_bound`, `io_bound`, `noisy_neighbor`,
+//! `fast_path` — there is deliberately no single headline number: the
+//! regimes answer different questions).
 //!
 //! A fourth section, `fairness_tail` (experiment E10), measures wake
 //! fairness: per-activation latency of 8 producers on a capacity-1
@@ -45,6 +47,13 @@
 //! larger bound, and the `amf-sim` record→replay round-trip on the
 //! real moderator (`replay_byte_identical` must be 1).
 //!
+//! An eighth section, `fast_path` (experiment E14), measures the
+//! lock-free two-phase admission lane: two disjoint methods with pure
+//! no-op chains, capability-declared (one CAS admit + one CAS release
+//! per activation) vs undeclared under the global lock. The claim is
+//! `fast_lane_ops_per_sec >= 3 × global_lock_ops_per_sec` at 8
+//! threads on a CPU-bound chain.
+//!
 //! ```text
 //! cargo run -p amf-bench --release --bin moderator_bench
 //! cargo run -p amf-bench --release --bin moderator_bench -- --quick
@@ -53,9 +62,10 @@
 use std::time::Duration;
 
 use amf_bench::experiments::{
-    explore_buffer, run_chaos, run_convoy, run_fairness_tail, run_moderator_shard,
+    explore_buffer, run_chaos, run_convoy, run_fairness_tail, run_moderator_fast,
+    run_moderator_shard,
 };
-use amf_bench::report::{fmt_ns, fmt_ops, json_array, JsonObject, JsonValue};
+use amf_bench::report::{fmt_ns, fmt_ops, json_array, JsonObject};
 use amf_core::{Coordination, FairnessPolicy, PanicPolicy};
 
 const REPORT_PATH: &str = "BENCH_moderator.json";
@@ -93,16 +103,20 @@ fn main() {
         run_moderator_shard(coordination, 2, 2_000, Duration::ZERO, false);
     }
 
-    let mut speedup_at_8 = 0.0;
-    let mut run_regime = |label: &str, work: Duration, noisy: bool, per_thread: u64| -> JsonValue {
+    // Per-regime speedup at 8 threads, keyed by section name — the
+    // top-level `summary` map. (The old scalar `speedup_at_8_threads`
+    // silently reported only the noisy-neighbor regime.)
+    let mut summary = JsonObject::new();
+    let run_regime = |label: &str, work: Duration, noisy: bool, per_thread: u64| {
         let mut rows = Vec::new();
+        let mut speedup_at_8 = 0.0;
         for threads in [1_usize, 2, 4, 8] {
             let global =
                 run_moderator_shard(Coordination::GlobalLock, threads, per_thread, work, noisy);
             let sharded =
                 run_moderator_shard(Coordination::Sharded, threads, per_thread, work, noisy);
             let speedup = sharded / global;
-            if threads == 8 && noisy {
+            if threads == 8 {
                 speedup_at_8 = speedup;
             }
             println!(
@@ -119,32 +133,77 @@ fn main() {
                     .build(),
             );
         }
-        JsonObject::new()
+        let section = JsonObject::new()
             .field("aspect_work_us", work.as_micros() as u64)
             .field("noisy_neighbor", u64::from(noisy))
             .field("per_thread_ops", per_thread)
             .field("rows", json_array(rows))
-            .build()
+            .build();
+        (section, speedup_at_8)
     };
 
-    let cpu_bound = run_regime(
+    let (cpu_bound, cpu_speedup) = run_regime(
         "cpu-bound",
         Duration::ZERO,
         false,
         if quick { 20_000 } else { 400_000 },
     );
-    let io_bound = run_regime(
+    summary = summary.field("cpu_bound_speedup_at_8_threads", cpu_speedup);
+    let (io_bound, io_speedup) = run_regime(
         "io-bound",
         ASPECT_WORK,
         false,
         if quick { 100 } else { 2_000 },
     );
-    let noisy = run_regime(
+    summary = summary.field("io_bound_speedup_at_8_threads", io_speedup);
+    let (noisy, noisy_speedup) = run_regime(
         "noisy-neighbor",
         ASPECT_WORK,
         true,
         if quick { 100 } else { 2_000 },
     );
+    summary = summary.field("noisy_neighbor_speedup_at_8_threads", noisy_speedup);
+
+    // Experiment E14 — the lock-free fast lane on CPU-bound pure
+    // chains: capability-declared CAS admission vs the undeclared
+    // locked path under the global lock, plus the sharded-but-locked
+    // middle ground to separate "no global lock" from "no lock".
+    let fast_path = {
+        let per_thread = if quick { 20_000 } else { 400_000 };
+        let mut rows = Vec::new();
+        let mut speedup_at_8 = 0.0;
+        for threads in [1_usize, 2, 4, 8] {
+            let global = run_moderator_fast(Coordination::GlobalLock, threads, per_thread, false);
+            let locked = run_moderator_fast(Coordination::Sharded, threads, per_thread, false);
+            let fast = run_moderator_fast(Coordination::Sharded, threads, per_thread, true);
+            let speedup = fast / global;
+            if threads == 8 {
+                speedup_at_8 = speedup;
+            }
+            println!(
+                "fast-path, {threads} threads: global {} | sharded-locked {} | fast lane {} | \
+                 speedup {speedup:.2}x",
+                fmt_ops(global),
+                fmt_ops(locked),
+                fmt_ops(fast),
+            );
+            rows.push(
+                JsonObject::new()
+                    .field("threads", threads)
+                    .field("global_lock_ops_per_sec", global)
+                    .field("sharded_locked_ops_per_sec", locked)
+                    .field("fast_lane_ops_per_sec", fast)
+                    .field("speedup", speedup)
+                    .build(),
+            );
+        }
+        summary = summary.field("fast_path_speedup_at_8_threads", speedup_at_8);
+        JsonObject::new()
+            .field("aspect_work_us", 0_u64)
+            .field("per_thread_ops", per_thread)
+            .field("rows", json_array(rows))
+            .build()
+    };
 
     let fairness_tail = {
         let producers = 8;
@@ -357,7 +416,8 @@ fn main() {
         .field("cpu_bound", cpu_bound)
         .field("io_bound", io_bound)
         .field("noisy_neighbor", noisy)
-        .field("speedup_at_8_threads", speedup_at_8)
+        .field("fast_path", fast_path)
+        .field("summary", summary.build())
         .field("fairness_tail", fairness_tail)
         .field("chaos", chaos)
         .field("convoy", convoy)

@@ -1,4 +1,4 @@
-//! Experiments E1–E13: the quantitative evaluation of `EXPERIMENTS.md`.
+//! Experiments E1–E14: the quantitative evaluation of `EXPERIMENTS.md`.
 //!
 //! Each function runs one experiment and returns its [`Table`]. Pass
 //! `quick = true` to shrink workloads (used by unit tests and smoke
@@ -15,8 +15,9 @@ use amf_aspects::sync::ExclusionGroup;
 use amf_baseline::{TangledBuffer, TangledSecureBuffer};
 use amf_concurrency::SchedulerPolicy;
 use amf_core::{
-    AspectModerator, Concern, Coordination, FairnessPolicy, FnAspect, InvocationContext, MethodId,
-    Moderated, NoopAspect, PanicPolicy, RollbackPolicy, Verdict, WakeMode,
+    AspectCapabilities, AspectModerator, Concern, Coordination, FairnessPolicy, FnAspect,
+    InvocationContext, MethodId, Moderated, NoopAspect, PanicPolicy, RollbackPolicy, Verdict,
+    WakeMode,
 };
 use amf_ticketing::{ExtendedTicketServerProxy, Ticket, TicketServerProxy};
 
@@ -1572,7 +1573,115 @@ pub fn e13_simulation(quick: bool) -> Table {
     t
 }
 
-/// Runs the named experiments ("e1".."e13", "v1" or "all") and prints
+/// Throughput of two disjoint methods whose two-aspect chains are pure
+/// no-ops, with `declare_pure` controlling whether the aspects
+/// *declare* the capability contract ([`AspectCapabilities::all`])
+/// that makes their rows fast-path eligible. Undeclared, every
+/// activation takes the locked two-phase path under `coordination`;
+/// declared, the hot path is one CAS admit and one CAS release per
+/// activation, and the cell lock is never touched. Wake wiring is
+/// empty in both variants (an eligibility precondition, and the same
+/// wiring `run_moderator_shard` uses). Returns activations per second.
+pub fn run_moderator_fast(
+    coordination: Coordination,
+    threads: usize,
+    per_thread: u64,
+    declare_pure: bool,
+) -> f64 {
+    let moderator = Arc::new(
+        AspectModerator::builder()
+            .coordination(coordination)
+            .build(),
+    );
+    let aspect = |name: &'static str| {
+        let a = FnAspect::new(name).on_precondition(|_| Verdict::Resume);
+        if declare_pure {
+            a.declare_capabilities(AspectCapabilities::all())
+        } else {
+            a
+        }
+    };
+    let a = moderator.declare_method(MethodId::new("fast_a"));
+    let b = moderator.declare_method(MethodId::new("fast_b"));
+    for m in [&a, &b] {
+        moderator
+            .register(m, Concern::new("sync"), Box::new(aspect("pure-sync")))
+            .unwrap();
+        moderator
+            .register(m, Concern::new("audit"), Box::new(aspect("pure-audit")))
+            .unwrap();
+        moderator.wire_wakes(m, &[]);
+    }
+    let barrier = std::sync::Barrier::new(threads);
+    let start = parking_lot::Mutex::new(None::<Instant>);
+    std::thread::scope(|s| {
+        let mut joins = Vec::new();
+        for t in 0..threads {
+            let m = if t % 2 == 0 { a.clone() } else { b.clone() };
+            let moderator = &moderator;
+            let barrier = &barrier;
+            let start = &start;
+            joins.push(s.spawn(move || {
+                barrier.wait();
+                let t0 = *start.lock().get_or_insert_with(Instant::now);
+                for _ in 0..per_thread {
+                    let mut ctx =
+                        InvocationContext::new(m.id().clone(), moderator.next_invocation());
+                    moderator.preactivation(&m, &mut ctx).unwrap();
+                    moderator.postactivation(&m, &mut ctx);
+                }
+                t0.elapsed().as_secs_f64()
+            }));
+        }
+        let elapsed = joins
+            .into_iter()
+            .map(|j| j.join().unwrap())
+            .fold(0.0, f64::max);
+        if declare_pure {
+            let s = moderator.stats();
+            assert!(
+                s.fast_path_admits > 0,
+                "declared-pure rows must take the CAS lane: {s:?}"
+            );
+        }
+        (threads as u64 * per_thread) as f64 / elapsed
+    })
+}
+
+/// E14 — lock-free two-phase admission: the CAS fast lane against the
+/// locked path at 1/2/4/8 threads over two disjoint pure-chain
+/// methods. Three columns: the retained global lock (undeclared
+/// aspects), sharded cells still taking the locked path (undeclared),
+/// and sharded cells with the capability contract declared — the
+/// headline is the last column's speedup over the first.
+pub fn e14_fast_path(quick: bool) -> Table {
+    let mut t = Table::new(
+        "E14 — lock-free fast-lane admission (two pure methods)",
+        &[
+            "threads",
+            "global lock",
+            "sharded locked",
+            "fast lane",
+            "speedup vs lock",
+        ],
+    );
+    let per_thread = scale(quick, 400_000);
+    for threads in [1_usize, 2, 4, 8] {
+        let global = run_moderator_fast(Coordination::GlobalLock, threads, per_thread, false);
+        let locked = run_moderator_fast(Coordination::Sharded, threads, per_thread, false);
+        let fast = run_moderator_fast(Coordination::Sharded, threads, per_thread, true);
+        t.row(&[
+            threads.to_string(),
+            fmt_ops(global),
+            fmt_ops(locked),
+            fmt_ops(fast),
+            format!("{:.2}×", fast / global),
+        ]);
+    }
+    t
+}
+
+/// Runs the named experiments ("e1".."e14", "v1" or "all") and prints
 /// their tables.
 pub fn run(names: &[String], quick: bool) {
     let wants = |n: &str| {
@@ -1581,7 +1690,7 @@ pub fn run(names: &[String], quick: bool) {
             || names.iter().any(|x| x.eq_ignore_ascii_case("all"))
     };
     type Runner = fn(bool) -> Table;
-    let runners: [(&str, Runner); 14] = [
+    let runners: [(&str, Runner); 15] = [
         ("e1", e1_overhead),
         ("e2", e2_throughput),
         ("e3", e3_composition),
@@ -1595,6 +1704,7 @@ pub fn run(names: &[String], quick: bool) {
         ("e11", e11_containment),
         ("e12", e12_convoy),
         ("e13", e13_simulation),
+        ("e14", e14_fast_path),
         ("v1", v1_verification),
     ];
     for (name, f) in runners {
@@ -1637,6 +1747,11 @@ mod tests {
     #[test]
     fn e6_produces_rows() {
         assert_eq!(e6_wakeup(true).len(), 4);
+    }
+
+    #[test]
+    fn e14_produces_rows() {
+        assert_eq!(e14_fast_path(true).len(), 4);
     }
 
     #[test]

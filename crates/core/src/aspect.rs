@@ -12,6 +12,65 @@ use std::fmt;
 use crate::context::InvocationContext;
 use crate::verdict::Verdict;
 
+/// The capability contract an aspect declares for fast-lane admission
+/// (Design-by-Contract applied to composition: the framework cannot
+/// check a closure for purity, so the aspect *declares* it and the
+/// moderator holds it to the claim).
+///
+/// An invocation may skip the locked chain evaluation entirely — a
+/// single-CAS admit on the method's fast lane — only when **every**
+/// aspect of the method declares all three capabilities:
+///
+/// * [`pure`](Self::pure) — the precondition and postaction read and
+///   write no shared state; skipping them is unobservable.
+/// * [`veto_free`](Self::veto_free) — the precondition never returns
+///   [`Verdict::Block`] or [`Verdict::Abort`], so admission cannot be
+///   refused.
+/// * [`no_park`](Self::no_park) — no callback blocks the calling
+///   thread (sleeps, I/O, lock acquisition).
+///
+/// The default is *no* capabilities: existing aspects are conservative
+/// and never fast-lane eligible. A contained panic in any callback of
+/// a row **falsifies** that row's declared contract (a pure function
+/// does not panic) and revokes its eligibility until the row is woven
+/// again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct AspectCapabilities {
+    /// Callbacks have no moderator-visible side effects.
+    pub pure: bool,
+    /// The precondition always returns [`Verdict::Resume`].
+    pub veto_free: bool,
+    /// No callback blocks the calling thread.
+    pub no_park: bool,
+}
+
+impl AspectCapabilities {
+    /// No declared capabilities — the conservative default; never
+    /// fast-lane eligible.
+    pub const fn none() -> Self {
+        Self {
+            pure: false,
+            veto_free: false,
+            no_park: false,
+        }
+    }
+
+    /// All three capabilities: `pure`, `veto_free` and `no_park`.
+    pub const fn all() -> Self {
+        Self {
+            pure: true,
+            veto_free: true,
+            no_park: true,
+        }
+    }
+
+    /// Whether this contract admits the fast lane (all three
+    /// capabilities declared).
+    pub const fn fast_path_eligible(self) -> bool {
+        self.pure && self.veto_free && self.no_park
+    }
+}
+
 /// Why a previously resumed aspect is being released before the method
 /// ran.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -82,6 +141,13 @@ pub trait Aspect: Send {
     fn describe(&self) -> &str {
         "aspect"
     }
+
+    /// The capability contract this aspect declares for fast-lane
+    /// admission. Default: [`AspectCapabilities::none`] — conservative,
+    /// never eligible. See [`AspectCapabilities`].
+    fn capabilities(&self) -> AspectCapabilities {
+        AspectCapabilities::none()
+    }
 }
 
 impl fmt::Debug for dyn Aspect {
@@ -104,6 +170,11 @@ impl Aspect for NoopAspect {
 
     fn describe(&self) -> &str {
         "noop"
+    }
+
+    fn capabilities(&self) -> AspectCapabilities {
+        // Trivially holds every contract: both phases are empty.
+        AspectCapabilities::all()
     }
 }
 
@@ -131,6 +202,7 @@ pub struct FnAspect {
     post: Option<PostFn>,
     release: Option<ReleaseFn>,
     cancel: Option<CancelFn>,
+    caps: AspectCapabilities,
 }
 
 impl fmt::Debug for FnAspect {
@@ -149,7 +221,17 @@ impl FnAspect {
             post: None,
             release: None,
             cancel: None,
+            caps: AspectCapabilities::none(),
         }
+    }
+
+    /// Declares the aspect's capability contract (the framework cannot
+    /// verify a closure, so the caller asserts it; a contained panic in
+    /// any phase later falsifies the claim and revokes eligibility).
+    #[must_use]
+    pub fn declare_capabilities(mut self, caps: AspectCapabilities) -> Self {
+        self.caps = caps;
+        self
     }
 
     /// Sets the precondition closure.
@@ -215,6 +297,10 @@ impl Aspect for FnAspect {
 
     fn describe(&self) -> &str {
         &self.name
+    }
+
+    fn capabilities(&self) -> AspectCapabilities {
+        self.caps
     }
 }
 
@@ -300,6 +386,26 @@ mod tests {
     fn dyn_aspect_debug_uses_describe() {
         let a: Box<dyn Aspect> = Box::new(FnAspect::new("pretty"));
         assert_eq!(format!("{a:?}"), "Aspect(pretty)");
+    }
+
+    #[test]
+    fn capabilities_default_conservative() {
+        assert!(!AspectCapabilities::none().fast_path_eligible());
+        assert!(AspectCapabilities::all().fast_path_eligible());
+        assert!(!AspectCapabilities {
+            pure: true,
+            veto_free: true,
+            no_park: false,
+        }
+        .fast_path_eligible());
+        // NoopAspect trivially honors every contract; a bare closure
+        // aspect declares nothing until told otherwise.
+        assert!(NoopAspect.capabilities().fast_path_eligible());
+        assert!(!FnAspect::new("f").capabilities().fast_path_eligible());
+        assert!(FnAspect::new("f")
+            .declare_capabilities(AspectCapabilities::all())
+            .capabilities()
+            .fast_path_eligible());
     }
 
     #[test]

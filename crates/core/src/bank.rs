@@ -46,6 +46,22 @@ pub(crate) struct MethodRow {
     pub(crate) id: MethodId,
     /// (concern, aspect) pairs in registration order.
     pub(crate) aspects: Vec<(Concern, Box<dyn Aspect>)>,
+    /// Cached conjunction of the row's declared capability contracts
+    /// ([`Aspect::capabilities`]): true iff every aspect declares
+    /// `pure + veto_free + no_park`. Recomputed on every weave/unweave
+    /// and *revoked* (set false without recomputation) when a contained
+    /// panic falsifies the contract — the hot path must read one flag,
+    /// never walk the chain.
+    pub(crate) fast_eligible: bool,
+}
+
+impl MethodRow {
+    fn recompute_fast_eligibility(&mut self) {
+        self.fast_eligible = self
+            .aspects
+            .iter()
+            .all(|(_, a)| a.capabilities().fast_path_eligible());
+    }
 }
 
 /// Two-dimensional registry of aspects, indexed by (method, concern).
@@ -96,6 +112,8 @@ impl AspectBank {
         self.rows.push(MethodRow {
             id,
             aspects: Vec::new(),
+            // An empty chain vacuously satisfies every contract.
+            fast_eligible: true,
         });
         MethodIndex(ix)
     }
@@ -145,6 +163,7 @@ impl AspectBank {
             });
         }
         row.aspects.push((concern, aspect));
+        row.recompute_fast_eligibility();
         Ok(())
     }
 
@@ -159,9 +178,12 @@ impl AspectBank {
     ) -> Option<Box<dyn Aspect>> {
         let row = &mut self.rows[method.0];
         if let Some(slot) = row.aspects.iter_mut().find(|(c, _)| *c == concern) {
-            return Some(std::mem::replace(&mut slot.1, aspect));
+            let old = std::mem::replace(&mut slot.1, aspect);
+            row.recompute_fast_eligibility();
+            return Some(old);
         }
         row.aspects.push((concern, aspect));
+        row.recompute_fast_eligibility();
         None
     }
 
@@ -177,7 +199,11 @@ impl AspectBank {
     ) -> Result<Box<dyn Aspect>, RegistrationError> {
         let row = &mut self.rows[method.0];
         match row.aspects.iter().position(|(c, _)| c == concern) {
-            Some(pos) => Ok(row.aspects.remove(pos).1),
+            Some(pos) => {
+                let aspect = row.aspects.remove(pos).1;
+                row.recompute_fast_eligibility();
+                Ok(aspect)
+            }
             None => Err(RegistrationError::UnknownConcern {
                 method: row.id.clone(),
                 concern: concern.clone(),
@@ -210,6 +236,22 @@ impl AspectBank {
     /// Total number of occupied cells across all methods.
     pub fn aspect_count(&self) -> usize {
         self.rows.iter().map(|r| r.aspects.len()).sum()
+    }
+
+    /// Whether `method`'s cached capability conjunction currently admits
+    /// the fast lane: every registered aspect declares
+    /// `pure + veto_free + no_park` (see
+    /// [`AspectCapabilities`](crate::AspectCapabilities)) and no
+    /// contained panic has revoked the contract since the last weave.
+    pub fn fast_path_eligible(&self, method: MethodIndex) -> bool {
+        self.rows[method.0].fast_eligible
+    }
+
+    /// Recomputes `method`'s cached eligibility from its chain's current
+    /// declarations — for callers that mutated aspect state out-of-band
+    /// (e.g. via [`AspectBank::aspect_mut`]).
+    pub(crate) fn recompute_fast_eligibility(&mut self, method: MethodIndex) {
+        self.rows[method.0].recompute_fast_eligibility();
     }
 
     /// Mutable access to a method's composition chain, for the
@@ -368,6 +410,35 @@ mod tests {
         let s = format!("{b:?}");
         assert!(s.contains("open"));
         assert!(s.contains("sync"));
+    }
+
+    #[test]
+    fn fast_eligibility_tracks_the_weave() {
+        use crate::aspect::AspectCapabilities;
+        let (mut b, open) = bank_with_open();
+        // Empty chain: vacuously eligible.
+        assert!(b.fast_path_eligible(open));
+        // Noop declares every capability; a bare closure declares none.
+        b.register(open, Concern::synchronization(), Box::new(NoopAspect))
+            .unwrap();
+        assert!(b.fast_path_eligible(open));
+        b.register(open, Concern::audit(), Box::new(FnAspect::new("a")))
+            .unwrap();
+        assert!(!b.fast_path_eligible(open));
+        // Replacing the undeclared aspect with a declared one restores
+        // eligibility; unweaving it does too.
+        b.replace(
+            open,
+            Concern::audit(),
+            Box::new(FnAspect::new("a").declare_capabilities(AspectCapabilities::all())),
+        );
+        assert!(b.fast_path_eligible(open));
+        // A contained panic revokes the contract until the next weave
+        // (the moderator's `note_panic` clears the row's cached flag).
+        b.row_mut(open).fast_eligible = false;
+        assert!(!b.fast_path_eligible(open));
+        b.deregister(open, &Concern::audit()).unwrap();
+        assert!(b.fast_path_eligible(open));
     }
 
     #[test]

@@ -84,6 +84,10 @@ pub struct InvocationContext {
     principal: Option<Principal>,
     outcome: Outcome,
     attrs: HashMap<TypeId, Box<dyn Any + Send>>,
+    /// Set by a fast-lane preactivation (single-CAS admit, no chain
+    /// evaluation); tells postactivation to depart through the matching
+    /// CAS release instead of the locked path.
+    pub(crate) fast_admitted: bool,
 }
 
 impl fmt::Debug for InvocationContext {
@@ -111,7 +115,15 @@ impl InvocationContext {
             principal: None,
             outcome: Outcome::default(),
             attrs: HashMap::new(),
+            fast_admitted: false,
         }
+    }
+
+    /// Whether this invocation was admitted through the lock-free fast
+    /// lane (no aspect chain evaluation; meaningful between
+    /// pre-activation and post-activation).
+    pub fn fast_admitted(&self) -> bool {
+        self.fast_admitted
     }
 
     /// Attaches a principal (builder style).

@@ -70,7 +70,7 @@ pub mod proxy;
 pub mod trace;
 pub mod verdict;
 
-pub use aspect::{Aspect, FnAspect, NoopAspect, ReleaseCause};
+pub use aspect::{Aspect, AspectCapabilities, FnAspect, NoopAspect, ReleaseCause};
 pub use bank::{AspectBank, MethodIndex};
 pub use blueprint::{Blueprint, BlueprintHandles};
 pub use concern::{Concern, MethodId};

@@ -8,11 +8,11 @@ use std::sync::Arc;
 
 use amf_concurrency::{TicketQueue, Waiter};
 
-use super::cell::CellState;
+use super::cell::{CellState, FastLane};
 use super::queue::wake_queue;
 use super::stats::{inc, StatShard};
 use super::{AspectModerator, FairnessPolicy, MethodHandle, PanicPolicy, WakeMode};
-use crate::bank::MethodIndex;
+use crate::bank::{MethodIndex, MethodRow};
 use crate::concern::{Concern, MethodId};
 use crate::context::InvocationContext;
 use crate::error::AbortError;
@@ -82,17 +82,28 @@ impl AspectModerator {
     /// is spent. Quarantining shortens the effective chain exactly like
     /// `deregister`, so the method's own waiters are woken (full sweep
     /// under Fifo) to re-evaluate. The caller must hold the cell lock.
+    ///
+    /// A contained panic also **falsifies the row's declared capability
+    /// contract** (a pure callback does not panic): the row's cached
+    /// fast-lane eligibility is revoked and the lane closed before any
+    /// other bookkeeping, so no CAS admission can ride on the
+    /// now-discredited declaration. The next weave of the row
+    /// recomputes eligibility from its (new) declarations.
     #[allow(clippy::too_many_arguments)]
     pub(super) fn note_panic(
         &self,
         fault_map: &mut HashMap<Concern, SlotFault>,
         queue: &mut TicketQueue,
         point: &Arc<dyn Waiter<CellState>>,
+        lane: &FastLane,
+        fast_eligible: &mut bool,
         method: &MethodId,
         concern: &Concern,
         invocation: u64,
         stats: &StatShard,
     ) {
+        *fast_eligible = false;
+        lane.close();
         inc(&stats.panics_caught);
         self.emit(
             invocation,
@@ -159,6 +170,7 @@ impl AspectModerator {
     /// timeout path), with containment per policy: quarantined slots are
     /// skipped and a panicking `on_cancel` is caught and counted so the
     /// remaining aspects still see the cancellation.
+    #[allow(clippy::too_many_arguments)]
     pub(super) fn cancel_all(
         &self,
         state: &mut CellState,
@@ -166,6 +178,7 @@ impl AspectModerator {
         method: &MethodId,
         ctx: &InvocationContext,
         point: &Arc<dyn Waiter<CellState>>,
+        lane: &FastLane,
         stats: &StatShard,
     ) {
         let contain = self.panic_policy != PanicPolicy::Propagate;
@@ -178,7 +191,12 @@ impl AspectModerator {
         let row = bank.row_mut(slot);
         let queue = &mut queues[slot.as_usize()];
         let fault_map = &mut faults[slot.as_usize()];
-        for (concern, aspect) in row.aspects.iter_mut() {
+        let MethodRow {
+            aspects,
+            fast_eligible,
+            ..
+        } = row;
+        for (concern, aspect) in aspects.iter_mut() {
             if contain && Self::is_quarantined(fault_map, concern) {
                 continue;
             }
@@ -194,6 +212,8 @@ impl AspectModerator {
                     fault_map,
                     queue,
                     point,
+                    lane,
+                    fast_eligible,
                     method,
                     &concern,
                     ctx.invocation(),

@@ -92,6 +92,25 @@
 //!   `split_batch_overtake` ablation showing what unordered batch
 //!   permits would break). Batched admissions are counted in
 //!   [`ModeratorStats::batched_grants`].
+//! * **Two-phase admission (the lock-free fast lane)**: every method
+//!   carries a packed atomic *lane word* (`cell::FastLane`) encoding
+//!   open/closed, the count of in-flight fast admissions, and an ABA
+//!   epoch. While every aspect of the row declares its callbacks
+//!   `pure + veto_free + no_park`
+//!   ([`AspectCapabilities`](crate::AspectCapabilities)), the cell is
+//!   waiter-free, no slot is quarantined and the wake wiring is empty,
+//!   the lane is *open* and pre-activation admits with a single CAS —
+//!   no cell lock, no chain evaluation — with post-activation departing
+//!   through the matching lock-free release. The slow path closes the
+//!   lane eagerly *before* any waiter enqueues or parks; only the
+//!   departure that leaves the cell waiter-free reopens it
+//!   (`queue::refresh_lane`, the single opening authority), and a
+//!   contained panic revokes the row's eligibility outright. Fast
+//!   admissions are counted in [`ModeratorStats::fast_path_admits`];
+//!   CAS contention falls back to the locked path and counts in
+//!   [`ModeratorStats::fast_path_fallbacks`]. See DESIGN.md
+//!   ("Two-phase admission") for the word layout and the
+//!   memory-ordering table.
 //! * **Fault containment**: aspects are foreign code running inside the
 //!   coordination engine, under the cell lock. Under a non-default
 //!   [`PanicPolicy`] every aspect callback (precondition, postaction,
@@ -108,7 +127,7 @@
 //! cell locks at once, so the lock graph is acyclic by construction.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering as MemOrdering};
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -527,6 +546,6 @@ impl AspectModerator {
     /// Issues the next invocation number (used by proxies to build
     /// contexts).
     pub fn next_invocation(&self) -> u64 {
-        self.invocations.fetch_add(1, MemOrdering::Relaxed) + 1
+        stats::next_invocation_id(&self.invocations)
     }
 }

@@ -12,8 +12,9 @@ use std::time::Duration;
 
 use amf_concurrency::Grant;
 
-use super::cell::{CellState, Resolved};
+use super::cell::{CellState, FastAdmit, Resolved};
 use super::fault::panic_message;
+use super::queue::refresh_lane;
 use super::stats::inc;
 use super::{
     AspectModerator, FairnessPolicy, MethodHandle, OrderingPolicy, PanicPolicy, RollbackPolicy,
@@ -109,6 +110,8 @@ impl AspectModerator {
                             fault_map,
                             queue,
                             &r.point,
+                            &r.lane,
+                            &mut row.fast_eligible,
                             &method.id,
                             &concern,
                             ctx.invocation(),
@@ -258,6 +261,8 @@ impl AspectModerator {
                     fault_map,
                     queue,
                     &r.point,
+                    &r.lane,
+                    &mut row.fast_eligible,
                     ctx.method(),
                     &concern,
                     ctx.invocation(),
@@ -304,18 +309,67 @@ impl AspectModerator {
         ctx: &mut InvocationContext,
         deadline: Option<Duration>,
     ) -> Result<(), AbortError> {
+        if self.admit_fast(method, ctx) == FastAdmit::Admitted {
+            return Ok(());
+        }
         let r = self.resolve(method);
-        inc(&r.stats.preactivations);
+        match self.fairness {
+            FairnessPolicy::Barging => self.preactivation_barging(&r, method, ctx, deadline),
+            FairnessPolicy::Fifo => self.preactivation_fifo(&r, method, ctx, deadline),
+        }
+    }
+
+    /// Two-phase admission, phase one: a single CAS on the method's
+    /// lane word. A successful CAS *proves* the lane was open at the
+    /// admission instant — the whole eligibility predicate is encoded
+    /// in the word, so there is no check-then-act window. The chain
+    /// is not evaluated at all: every aspect of an eligible row has
+    /// declared its callbacks pure, so skipping them is unobservable.
+    ///
+    /// The attempt runs under the registry read guard so the
+    /// uncontended hot path never clones an `Arc` out of the registry:
+    /// an admitted invocation costs one read-lock round trip, the
+    /// admission CAS and its stat bumps — [`resolve`] (four
+    /// reference-count increments and their matching drops) is paid
+    /// only on the locked path. Trace events fire after the guard
+    /// drops so a sink can safely re-enter the moderator.
+    ///
+    /// On `Admitted` the context owes a lock-free lane release.
+    ///
+    /// [`resolve`]: AspectModerator::resolve
+    fn admit_fast(&self, method: &MethodHandle, ctx: &mut InvocationContext) -> FastAdmit {
+        let verdict = {
+            let registry = self.registry.read();
+            registry.check(method);
+            let entry = &registry.entries[method.index.as_usize()];
+            inc(&entry.stats.preactivations);
+            let verdict = entry.lane.try_admit();
+            match verdict {
+                FastAdmit::Admitted => {
+                    inc(&entry.stats.fast_path_admits);
+                    inc(&entry.stats.resumes);
+                    ctx.fast_admitted = true;
+                }
+                FastAdmit::Contended => inc(&entry.stats.fast_path_fallbacks),
+                FastAdmit::Closed => {}
+            }
+            verdict
+        };
         self.emit(
             ctx.invocation(),
             &method.id,
             None,
             EventKind::PreactivationStarted,
         );
-        match self.fairness {
-            FairnessPolicy::Barging => self.preactivation_barging(&r, method, ctx, deadline),
-            FairnessPolicy::Fifo => self.preactivation_fifo(&r, method, ctx, deadline),
+        if verdict == FastAdmit::Admitted {
+            self.emit(
+                ctx.invocation(),
+                &method.id,
+                None,
+                EventKind::ActivationResumed,
+            );
         }
+        verdict
     }
 
     fn preactivation_barging(
@@ -336,6 +390,8 @@ impl AspectModerator {
                     if let Some(start) = blocked_at {
                         r.stats.note_unparked();
                         r.stats.record_wait(self.clock.now().saturating_sub(start));
+                        state.parked[r.slot.as_usize()] -= 1;
+                        refresh_lane(&state, &r.lane, r.slot);
                     }
                     inc(&r.stats.resumes);
                     self.emit(
@@ -354,6 +410,8 @@ impl AspectModerator {
                 } => {
                     if blocked_at.is_some() {
                         r.stats.note_unparked();
+                        state.parked[r.slot.as_usize()] -= 1;
+                        refresh_lane(&state, &r.lane, r.slot);
                     }
                     inc(&r.stats.aborts);
                     self.emit(
@@ -377,6 +435,13 @@ impl AspectModerator {
                     if blocked_at.is_none() {
                         blocked_at = Some(self.clock.now());
                         r.stats.note_parked();
+                        // Close the lane *before* this caller first
+                        // parks: a CAS admission must never overtake a
+                        // parked waiter. Reopened only by the departure
+                        // that leaves the cell waiter-free
+                        // (`refresh_lane`).
+                        r.lane.close();
+                        state.parked[r.slot.as_usize()] += 1;
                     }
                     self.emit(ctx.invocation(), &method.id, None, EventKind::WaitStarted);
                     let mut backstop = None;
@@ -405,12 +470,15 @@ impl AspectModerator {
                             let timed_out = r.point.park_for(&mut state, remaining);
                             if timed_out && deadline.is_some_and(|d| self.clock.now() >= d) {
                                 r.stats.note_unparked();
+                                state.parked[r.slot.as_usize()] -= 1;
                                 inc(&r.stats.timeouts);
                                 // Let enrollment-style aspects (admission
                                 // queues) forget this invocation.
                                 self.cancel_all(
-                                    &mut state, r.slot, &method.id, ctx, &r.point, &r.stats,
+                                    &mut state, r.slot, &method.id, ctx, &r.point, &r.lane,
+                                    &r.stats,
                                 );
+                                refresh_lane(&state, &r.lane, r.slot);
                                 self.emit(
                                     ctx.invocation(),
                                     &method.id,
@@ -486,7 +554,10 @@ impl AspectModerator {
                 if ticket.is_none() {
                     // Barging prevention: earlier tickets are waiting,
                     // so this caller may not evaluate (and possibly
-                    // reserve) ahead of them. Queue up and park.
+                    // reserve) ahead of them. Queue up and park — lane
+                    // closed first, so no CAS admission overtakes the
+                    // ticket about to be issued.
+                    r.lane.close();
                     ticket = Some(state.queues[slot].enqueue());
                     inc(&r.stats.blocks);
                     inc(&r.stats.tickets_issued);
@@ -518,8 +589,9 @@ impl AspectModerator {
                             r.stats.note_unparked();
                             inc(&r.stats.timeouts);
                             self.cancel_all(
-                                &mut state, r.slot, &method.id, ctx, &r.point, &r.stats,
+                                &mut state, r.slot, &method.id, ctx, &r.point, &r.lane, &r.stats,
                             );
+                            refresh_lane(&state, &r.lane, r.slot);
                             self.emit(
                                 ctx.invocation(),
                                 &method.id,
@@ -555,6 +627,9 @@ impl AspectModerator {
                         if q.has_pending() && q.has_waiters() {
                             r.point.wake_all();
                         }
+                        // This departure may have drained the queue —
+                        // the one transition allowed to reopen the lane.
+                        refresh_lane(&state, &r.lane, r.slot);
                     }
                     if let Some(start) = blocked_at {
                         r.stats.record_wait(self.clock.now().saturating_sub(start));
@@ -583,6 +658,7 @@ impl AspectModerator {
                         if q.has_pending() && q.has_waiters() {
                             r.point.wake_all();
                         }
+                        refresh_lane(&state, &r.lane, r.slot);
                     }
                     inc(&r.stats.aborts);
                     self.emit(
@@ -607,6 +683,7 @@ impl AspectModerator {
                             state.queues[slot].settle(t, grant, false);
                         }
                         None => {
+                            r.lane.close();
                             ticket = Some(state.queues[slot].enqueue());
                             inc(&r.stats.tickets_issued);
                             r.stats.note_parked();
@@ -644,14 +721,14 @@ impl AspectModerator {
         method: &MethodHandle,
         ctx: &mut InvocationContext,
     ) -> Result<bool, AbortError> {
+        // Same CAS fast lane as the blocking form; the lane-open
+        // predicate subsumes barging prevention (the lane closes before
+        // any ticket is issued), so a successful admit cannot overtake
+        // a ticketed waiter.
+        if self.admit_fast(method, ctx) == FastAdmit::Admitted {
+            return Ok(true);
+        }
         let r = self.resolve(method);
-        inc(&r.stats.preactivations);
-        self.emit(
-            ctx.invocation(),
-            &method.id,
-            None,
-            EventKind::PreactivationStarted,
-        );
         let mut state = r.cell.state.lock();
         if self.fairness == FairnessPolicy::Fifo && state.queues[r.slot.as_usize()].has_waiters() {
             // Barging prevention applies to the non-blocking form too:
@@ -734,6 +811,31 @@ impl AspectModerator {
     /// activation is still released (post-activation completes, waiters
     /// are notified), so one bad postaction cannot leak the activation.
     pub fn postactivation(&self, method: &MethodHandle, ctx: &mut InvocationContext) {
+        // Two-phase admission, phase two: a fast-admitted invocation
+        // departs through the matching lock-free release. Skipping the
+        // postactions is sound because every aspect of the row declared
+        // them pure at admission time; skipping the self-wake and the
+        // cross-method notify is sound because lane eligibility requires
+        // an empty wake wiring and a waiter-free cell — an invocation
+        // that ran no aspects changed nothing any waiter could be
+        // blocked on (the no-lost-wake argument, model-checked in
+        // `amf-verify`). Like `admit_fast`, the release runs under the
+        // registry read guard so the fast departure clones no `Arc`s.
+        if ctx.fast_admitted {
+            ctx.fast_admitted = false;
+            self.emit(
+                ctx.invocation(),
+                &method.id,
+                None,
+                EventKind::PostactivationStarted,
+            );
+            let registry = self.registry.read();
+            registry.check(method);
+            let entry = &registry.entries[method.index.as_usize()];
+            entry.lane.release();
+            inc(&entry.stats.postactivations);
+            return;
+        }
         let r = self.resolve(method);
         self.emit(
             ctx.invocation(),
@@ -784,6 +886,8 @@ impl AspectModerator {
                             fault_map,
                             queue,
                             &r.point,
+                            &r.lane,
+                            &mut row.fast_eligible,
                             &method.id,
                             &concern,
                             ctx.invocation(),

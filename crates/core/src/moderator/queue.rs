@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use amf_concurrency::{TicketQueue, Waiter};
 
-use super::cell::{Cell, CellState, MethodEntry};
+use super::cell::{Cell, CellState, FastLane, MethodEntry};
 use super::stats::{inc, StatShard};
 use super::{AspectModerator, FairnessPolicy, WakeMode};
 use crate::bank::MethodIndex;
@@ -42,6 +42,44 @@ pub(super) fn wake_queue(queue: &mut TicketQueue, mode: WakeMode) {
     match mode {
         WakeMode::NotifyAll => queue.wake_all(),
         WakeMode::NotifyOne => queue.wake_one(),
+    }
+}
+
+/// Recomputes and publishes one method's fast-lane state. The single
+/// authority for *opening* the lane — the full predicate, checked under
+/// the cell lock:
+///
+/// 1. the row's cached capability conjunction holds
+///    ([`AspectBank::fast_path_eligible`](crate::AspectBank), revoked
+///    by any contained panic),
+/// 2. the ticket queue has no waiters **and no unserved grants** (the
+///    departure that drains the FIFO queue is the one that reopens the
+///    lane — a batched grant still being consumed keeps it closed, so
+///    batched admission and timeout cancellation compose),
+/// 3. nobody is parked outside the queue (the barging discipline),
+/// 4. the method's completion notifies no one
+///    ([`WakeTargets::Wired`] and empty — a fast departure skips the
+///    post-activation notify, which is only sound if there is no one
+///    to notify),
+/// 5. no slot of the row is quarantined.
+///
+/// Closing, by contrast, is *eager*: the slow path calls
+/// [`FastLane::close`] directly before any waiter enqueues or parks,
+/// and a contained panic closes the lane inside `note_panic`. This
+/// function then merely confirms the closed state until the last
+/// pending waiter departs.
+pub(super) fn refresh_lane(state: &CellState, lane: &FastLane, slot: MethodIndex) {
+    let ix = slot.as_usize();
+    let clear = state.bank.fast_path_eligible(slot)
+        && state.queues[ix].is_empty()
+        && !state.queues[ix].has_pending()
+        && state.parked[ix] == 0
+        && matches!(&state.wakes[ix], WakeTargets::Wired(t) if t.is_empty())
+        && state.faults[ix].values().all(|f| !f.quarantined);
+    if clear {
+        lane.open();
+    } else {
+        lane.close();
     }
 }
 

@@ -107,6 +107,18 @@ pub struct ModeratorStats {
     ///
     /// [`PanicPolicy::Quarantine`]: super::PanicPolicy::Quarantine
     pub quarantined_aspects: u64,
+    /// Invocations admitted through the lock-free fast lane: a single
+    /// CAS on the method's lane word instead of a locked chain
+    /// evaluation, available only while every aspect of the row
+    /// declares `pure + veto_free + no_park` and the lane is open (see
+    /// the module docs, "Two-phase admission"). Fast admissions still
+    /// count in `preactivations`/`resumes`/`postactivations`.
+    pub fast_path_admits: u64,
+    /// Fast-lane attempts that found the lane *open* but lost the CAS
+    /// to contention (or a concurrent close) and fell back to the
+    /// locked slow path. Attempts against a closed lane — the normal
+    /// state for undeclared rows — are not counted.
+    pub fast_path_fallbacks: u64,
     /// Distribution of time spent blocked before resuming.
     pub wait_hist: WaitHistogram,
 }
@@ -135,11 +147,23 @@ pub(super) struct StatShard {
     waiting_now: AtomicU64,
     pub(super) panics_caught: AtomicU64,
     pub(super) quarantined_aspects: AtomicU64,
+    pub(super) fast_path_admits: AtomicU64,
+    pub(super) fast_path_fallbacks: AtomicU64,
     wait_hist: [AtomicU64; WAIT_BUCKETS],
 }
 
 pub(super) fn inc(counter: &AtomicU64) {
     counter.fetch_add(1, MemOrdering::Relaxed);
+}
+
+/// Bumps the moderator-wide invocation counter. Relaxed is correct:
+/// the counter only needs uniqueness and monotonicity, never
+/// synchronization. This module is the CI allowlist for
+/// `Ordering::Relaxed` in the moderator tree — every ordering outside
+/// it is `Acquire`/`Release` and justified in the fast-lane table
+/// (`cell.rs`).
+pub(super) fn next_invocation_id(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, MemOrdering::Relaxed) + 1
 }
 
 impl StatShard {
@@ -183,6 +207,8 @@ impl StatShard {
             max_queue_depth: self.max_queue_depth.load(MemOrdering::Relaxed),
             panics_caught: self.panics_caught.load(MemOrdering::Relaxed),
             quarantined_aspects: self.quarantined_aspects.load(MemOrdering::Relaxed),
+            fast_path_admits: self.fast_path_admits.load(MemOrdering::Relaxed),
+            fast_path_fallbacks: self.fast_path_fallbacks.load(MemOrdering::Relaxed),
             wait_hist,
         }
     }
@@ -205,6 +231,8 @@ impl StatShard {
         out.max_queue_depth = out.max_queue_depth.max(s.max_queue_depth);
         out.panics_caught += s.panics_caught;
         out.quarantined_aspects += s.quarantined_aspects;
+        out.fast_path_admits += s.fast_path_admits;
+        out.fast_path_fallbacks += s.fast_path_fallbacks;
         out.wait_hist.merge(&s.wait_hist);
     }
 }

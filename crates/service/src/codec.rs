@@ -16,8 +16,9 @@
 //!
 //! Wire-format history: `OP_STATS_REPLY` originally carried six `u64`
 //! counters; the fault-containment release appended a seventh,
-//! `panics_caught`, and the batched-admission release an eighth,
-//! `batched_grants`. The counter list lives in one place —
+//! `panics_caught`, the batched-admission release an eighth,
+//! `batched_grants`, and the lock-free-admission release a ninth,
+//! `fast_path_admits`. The counter list lives in one place —
 //! [`STATS_FIELDS`] plus [`WireStats::to_array`]/[`WireStats::from_array`]
 //! — so encode, decode and tests cannot drift apart. Because decoding
 //! is strict, old and new peers do not interoperate on `Stats` — deploy
@@ -77,7 +78,7 @@ pub enum Request {
 /// source of truth for the `Stats` wire format: encode and decode both
 /// iterate [`WireStats::to_array`]/[`WireStats::from_array`], whose
 /// lengths this const fixes at compile time.
-pub const STATS_FIELDS: usize = 8;
+pub const STATS_FIELDS: usize = 9;
 
 /// Counters reported by [`Response::Stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -103,6 +104,10 @@ pub struct WireStats {
     /// wake handoff (eighth field, appended by the batched-admission
     /// release).
     pub batched_grants: u64,
+    /// Activations admitted through the lock-free CAS fast lane,
+    /// skipping the cell lock entirely (ninth field, appended by the
+    /// lock-free-admission release).
+    pub fast_path_admits: u64,
 }
 
 impl WireStats {
@@ -120,6 +125,7 @@ impl WireStats {
             self.max_queue_depth,
             self.panics_caught,
             self.batched_grants,
+            self.fast_path_admits,
         ]
     }
 
@@ -127,7 +133,7 @@ impl WireStats {
     /// [`WireStats::to_array`].
     #[must_use]
     pub fn from_array(fields: [u64; STATS_FIELDS]) -> Self {
-        let [opened, assigned, queued, aborts, timeouts, max_queue_depth, panics_caught, batched_grants] =
+        let [opened, assigned, queued, aborts, timeouts, max_queue_depth, panics_caught, batched_grants, fast_path_admits] =
             fields;
         Self {
             opened,
@@ -138,6 +144,7 @@ impl WireStats {
             max_queue_depth,
             panics_caught,
             batched_grants,
+            fast_path_admits,
         }
     }
 }
@@ -470,6 +477,7 @@ mod tests {
             max_queue_depth: 6,
             panics_caught: 7,
             batched_grants: 8,
+            fast_path_admits: 9,
         }));
     }
 

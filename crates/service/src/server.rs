@@ -173,6 +173,7 @@ impl ServiceShared {
             max_queue_depth: mod_stats.max_queue_depth,
             panics_caught: mod_stats.panics_caught,
             batched_grants: mod_stats.batched_grants,
+            fast_path_admits: mod_stats.fast_path_admits,
         }
     }
 

@@ -317,6 +317,82 @@ fn body_panics_are_recorded_and_do_not_stall_the_run() {
     assert!(report.panics[0].1.contains("injected body panic"));
 }
 
+/// The lock-free fast lane under the simulator: a capability-declared
+/// `audit` method races the blocking buffer pair, so the run exercises
+/// CAS admits interleaved with parks, wakes, and the lane closing and
+/// reopening around them. Recording the schedule and replaying it
+/// reproduces the *entire* trace event stream byte-for-byte — fast
+/// admits included — and the same `fast_path_admits` count.
+#[test]
+fn fast_path_record_then_replay_is_byte_identical() {
+    use amf_core::AspectCapabilities;
+
+    const ROUNDS: u64 = 10;
+    let run = |schedule: Option<Vec<usize>>| {
+        let mut runner = match schedule {
+            Some(s) => SimRunner::replay(4242, s),
+            None => SimRunner::new(4242),
+        };
+        let buf = sim_buffer(&runner, FairnessPolicy::Fifo);
+        let audit = buf.moderator.declare_method(MethodId::new("audit"));
+        buf.moderator
+            .register(
+                &audit,
+                Concern::synchronization(),
+                Box::new(
+                    FnAspect::new("pure-gate")
+                        .on_precondition(|_| Verdict::Resume)
+                        .declare_capabilities(AspectCapabilities::all()),
+                ),
+            )
+            .unwrap();
+        buf.moderator.wire_wakes(&audit, &[]);
+        for p in 0..2u64 {
+            let m = Arc::clone(&buf.moderator);
+            let open = buf.open.clone();
+            let audit = audit.clone();
+            runner.spawn(&format!("p{p}"), move || {
+                for _ in 0..ROUNDS {
+                    invoke(&m, &audit);
+                    invoke(&m, &open);
+                }
+            });
+        }
+        {
+            let m = Arc::clone(&buf.moderator);
+            let take = buf.take.clone();
+            let audit = audit.clone();
+            runner.spawn("c0", move || {
+                for _ in 0..2 * ROUNDS {
+                    invoke(&m, &take);
+                    invoke(&m, &audit);
+                }
+            });
+        }
+        let report = runner.run();
+        assert_eq!(report.error, None);
+        assert!(report.panics.is_empty(), "{:?}", report.panics);
+        let stats = buf.moderator.stats();
+        let rendered = format!("{:?}", buf.trace.events());
+        (report.schedule, rendered, stats)
+    };
+
+    let (schedule, rendered, stats) = run(None);
+    assert!(
+        stats.fast_path_admits > 0,
+        "the pure method must take the CAS lane: {stats:?}"
+    );
+    let (schedule_b, rendered_b, stats_b) = run(Some(schedule.clone()));
+    assert_eq!(schedule_b, schedule, "replay followed without divergence");
+    assert_eq!(
+        rendered_b.as_bytes(),
+        rendered.as_bytes(),
+        "byte-identical trace reproduction"
+    );
+    assert_eq!(stats_b.fast_path_admits, stats.fast_path_admits);
+    assert_eq!(stats_b.fast_path_fallbacks, stats.fast_path_fallbacks);
+}
+
 #[test]
 fn scenario_record_then_replay_is_byte_identical() {
     let params = ScenarioParams {

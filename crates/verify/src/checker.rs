@@ -105,6 +105,23 @@ pub enum Step {
         /// The method it stopped waiting on.
         method: String,
     },
+    /// A thread was admitted through the modeled lock-free fast lane:
+    /// a single CAS on the lane word, no chain evaluation, no queue
+    /// interaction (see [`Checker::fast_lane`]).
+    FastAdmit {
+        /// Which thread stepped.
+        thread: usize,
+        /// The method it was fast-admitted to.
+        method: String,
+    },
+    /// A fast-admitted thread departed through the matching lock-free
+    /// release: no postactions, no notifications, no self-wake.
+    FastRelease {
+        /// Which thread stepped.
+        thread: usize,
+        /// The method it departs.
+        method: String,
+    },
 }
 
 impl fmt::Display for Step {
@@ -124,6 +141,10 @@ impl fmt::Display for Step {
             } => write!(f, "t{thread}: unwind({method}) -> {result}"),
             Step::Park { thread, method } => write!(f, "t{thread}: park({method})"),
             Step::Timeout { thread, method } => write!(f, "t{thread}: timeout({method})"),
+            Step::FastAdmit { thread, method } => write!(f, "t{thread}: fast-admit({method})"),
+            Step::FastRelease { thread, method } => {
+                write!(f, "t{thread}: fast-release({method})")
+            }
         }
     }
 }
@@ -239,6 +260,11 @@ enum Phase {
     /// Racy-park mode: decided to block but not yet parked —
     /// notifications sent in this window are missed.
     WillBlock(usize),
+    /// Fast-admitted (no chain evaluation); about to run the body.
+    FastBody(usize),
+    /// Fast-admitted body ran; about to depart through the lock-free
+    /// release (no postactions, no notifications).
+    FastPost(usize),
     /// Script finished.
     Done,
 }
@@ -258,6 +284,11 @@ struct World<S> {
     /// ablations corrupt it (and only it), so the divergence from
     /// `order` is exactly the bug being modeled.
     elig: Vec<Vec<usize>>,
+    /// Per method: whether a chain evaluation has panicked — the model
+    /// counterpart of the implementation's revoked capability contract
+    /// (a contained panic falsifies the purity declaration, so the
+    /// method's fast lane must never admit again until a reweave).
+    panic_seen: Vec<bool>,
     /// Set when a step resumed past a still-queued earlier waiter.
     violated: bool,
 }
@@ -289,6 +320,9 @@ pub struct Checker<S> {
     batched_grants: bool,
     split_batch_overtake: bool,
     seed_deadlock: bool,
+    fast_lanes: HashSet<usize>,
+    leaky_fast_path: bool,
+    stale_eligibility: bool,
 }
 
 impl<S> fmt::Debug for Checker<S> {
@@ -311,6 +345,9 @@ impl<S> fmt::Debug for Checker<S> {
             .field("batched_grants", &self.batched_grants)
             .field("split_batch_overtake", &self.split_batch_overtake)
             .field("seed_deadlock", &self.seed_deadlock)
+            .field("fast_lanes", &self.fast_lanes.len())
+            .field("leaky_fast_path", &self.leaky_fast_path)
+            .field("stale_eligibility", &self.stale_eligibility)
             .finish()
     }
 }
@@ -340,6 +377,9 @@ impl<S: Clone + Eq + Hash> Checker<S> {
             batched_grants: false,
             split_batch_overtake: false,
             seed_deadlock: false,
+            fast_lanes: HashSet::new(),
+            leaky_fast_path: false,
+            stale_eligibility: false,
         }
     }
 
@@ -580,6 +620,51 @@ impl<S: Clone + Eq + Hash> Checker<S> {
         self
     }
 
+    /// Declares `method`'s fast lane open for two-phase admission: a
+    /// `Ready` thread that is not a ticketed waiter may skip the chain
+    /// entirely — one CAS-admit step, the body, one CAS-release step —
+    /// exactly like the implementation's fast path for a
+    /// capability-declared row. The model does not re-verify the purity
+    /// declaration (that is the implementation contract); it proves the
+    /// lane *discipline*: combine with [`Checker::fifo`] +
+    /// [`Checker::check_fairness`] for no-overtake (the lane must be
+    /// closed whenever a waiter is queued), and rely on deadlock
+    /// detection for no-lost-wake (a fast release notifies nobody,
+    /// which is sound only while the wake wiring is `Wired` and empty —
+    /// a precondition the modeled lane enforces, like the
+    /// implementation's eligibility predicate). Both successors are
+    /// always offered while the lane is open, so exploration also
+    /// covers the CAS-contention fallback onto the locked path.
+    #[must_use]
+    pub fn fast_lane(mut self, method: MethodIx) -> Self {
+        self.fast_lanes.insert(method.0);
+        self
+    }
+
+    /// Fast-lane ablation: the lane stays open while waiters are still
+    /// queued — an implementation that forgets to close the lane before
+    /// enqueueing, or re-opens it while tickets survive. A newcomer
+    /// then CAS-admits straight past the queue;
+    /// [`Checker::check_fairness`] reports the overtake with a shrunk
+    /// trace. Only meaningful with at least one [`Checker::fast_lane`].
+    #[must_use]
+    pub fn leaky_fast_path(mut self) -> Self {
+        self.leaky_fast_path = true;
+        self
+    }
+
+    /// Fast-lane ablation: a contained chain panic fails to revoke the
+    /// method's fast-path eligibility — the lane keeps admitting on the
+    /// stale capability contract, so later invocations skip aspects the
+    /// panic just proved are load-bearing. Caught by a state invariant
+    /// over what the skipped aspects should have recorded. Only
+    /// meaningful with at least one [`Checker::fast_lane`].
+    #[must_use]
+    pub fn stale_eligibility(mut self) -> Self {
+        self.stale_eligibility = true;
+        self
+    }
+
     fn phase_for(&self, thread: usize, pc: usize) -> Phase {
         if pc >= self.scripts[thread].len() {
             Phase::Done
@@ -678,6 +763,31 @@ impl<S: Clone + Eq + Hash> Checker<S> {
             }
         }
         ("resumed", Some(Phase::Body(method)))
+    }
+
+    /// Whether `method`'s fast lane is open at `w`: declared via
+    /// [`Checker::fast_lane`], wake wiring `Wired` and empty (a fast
+    /// release notifies nobody, so there must be nobody to notify —
+    /// the model counterpart of the implementation's eligibility
+    /// predicate), no waiter queued, and no chain panic on record. The
+    /// two ablations each drop exactly one conjunct: `leaky_fast_path`
+    /// ignores the queue, `stale_eligibility` ignores the revocation.
+    fn lane_open(&self, w: &World<S>, method: usize) -> bool {
+        if !self.fast_lanes.contains(&method) {
+            return false;
+        }
+        let wired_empty = matches!(
+            &self.system.methods[method].wakes,
+            WakeSet::Wired(t) if t.is_empty()
+        );
+        if !wired_empty {
+            return false;
+        }
+        let quiet = w.order[method].is_empty() && w.elig[method].is_empty();
+        if !(quiet || self.leaky_fast_path) {
+            return false;
+        }
+        !w.panic_seen[method] || self.stale_eligibility
     }
 
     /// The methods whose queues `method` notifies.
@@ -837,13 +947,37 @@ impl<S: Clone + Eq + Hash> Checker<S> {
             }
             Phase::Ready => {
                 let method = self.scripts[thread][pc].0;
+                let mut out = Vec::new();
+                if self.lane_open(world, method) && !world.elig[method].contains(&thread) {
+                    // Fast lane: one CAS admits without evaluating the
+                    // chain or touching any queue. Ticketed waiters
+                    // never re-try the fast path (the implementation
+                    // parks them on the locked path), hence the `elig`
+                    // exclusion. The slow-path successor below stays
+                    // offered too: a failed CAS falls back to the lock.
+                    let mut w = world.clone();
+                    if self.check_fairness && !w.order[method].is_empty() {
+                        // A fast admit past a still-queued earlier
+                        // waiter is an overtake (reachable only under
+                        // the leaky ablation).
+                        w.violated = true;
+                    }
+                    w.threads[thread] = (pc, Phase::FastBody(method));
+                    out.push((
+                        Step::FastAdmit {
+                            thread,
+                            method: self.system.methods[method].name.clone(),
+                        },
+                        w,
+                    ));
+                }
                 if self.fifo {
                     if let Some(&front) = world.elig[method].first() {
                         if world.elig[method].contains(&thread) {
                             // A woken waiter evaluates only at the
                             // front of the queue.
                             if front != thread {
-                                return Vec::new();
+                                return out;
                             }
                         } else if !self.racy_handoff {
                             // Barging prevention: a newcomer finding
@@ -853,19 +987,26 @@ impl<S: Clone + Eq + Hash> Checker<S> {
                             let mut w = world.clone();
                             Self::join_queues(&mut w, thread, method);
                             w.threads[thread] = (pc, Phase::Blocked(method));
-                            return vec![(
+                            out.push((
                                 Step::Chain {
                                     thread,
                                     method: self.system.methods[method].name.clone(),
                                     result: "queued",
                                 },
                                 w,
-                            )];
+                            ));
+                            return out;
                         }
                     }
                 }
                 let mut w = world.clone();
                 let (label, next) = self.chain_step(method, &mut w.shared);
+                if label == "panicked" {
+                    // Record the contract revocation: from here the
+                    // method's fast lane must never admit again (the
+                    // stale-eligibility ablation ignores this).
+                    w.panic_seen[method] = true;
+                }
                 match label {
                     "resumed" => {
                         if self.check_fairness
@@ -897,14 +1038,15 @@ impl<S: Clone + Eq + Hash> Checker<S> {
                         w.threads[thread] = (npc, self.phase_for(thread, npc));
                     }
                 }
-                vec![(
+                out.push((
                     Step::Chain {
                         thread,
                         method: self.system.methods[method].name.clone(),
                         result: label,
                     },
                     w,
-                )]
+                ));
+                out
             }
             Phase::Body(method) => {
                 let mut w = world.clone();
@@ -989,6 +1131,36 @@ impl<S: Clone + Eq + Hash> Checker<S> {
                     w,
                 )]
             }
+            Phase::FastBody(method) => {
+                let mut w = world.clone();
+                if let Some(body) = &self.system.methods[method].body {
+                    body(&mut w.shared);
+                }
+                w.threads[thread] = (pc, Phase::FastPost(method));
+                vec![(
+                    Step::Body {
+                        thread,
+                        method: self.system.methods[method].name.clone(),
+                    },
+                    w,
+                )]
+            }
+            Phase::FastPost(method) => {
+                // The CAS release: no postactions, no notifications,
+                // no self-wake — the entire point of the fast lane.
+                // Soundness rests on `lane_open`'s preconditions
+                // (empty wiring, waiter-free cell at admit time).
+                let mut w = world.clone();
+                let npc = pc + 1;
+                w.threads[thread] = (npc, self.phase_for(thread, npc));
+                vec![(
+                    Step::FastRelease {
+                        thread,
+                        method: self.system.methods[method].name.clone(),
+                    },
+                    w,
+                )]
+            }
         }
     }
 
@@ -1062,6 +1234,7 @@ impl<S: Clone + Eq + Hash> Checker<S> {
                 .collect(),
             order: vec![Vec::new(); self.system.method_count()],
             elig: vec![Vec::new(); self.system.method_count()],
+            panic_seen: vec![false; self.system.method_count()],
             violated: false,
         }
     }

@@ -84,8 +84,9 @@
 //! |---|---|---|
 //! | `AMF_CHAOS_SEED` | `tests/chaos.rs` panic-injection storms and the bench harness `chaos` section (via `amf_aspects::fault::chaos_seed`) | `0xC4A0_5BA7` (tests) |
 //! | `AMF_FAIRNESS_SEED` | `tests/properties_fairness.rs` randomized fairness battery | `0x5eed_fa18` |
+//! | `AMF_FAST_PATH_SEED` | `tests/fast_path.rs` mixed fast/slow admission storm | `0xFA57_1A4E` |
 //!
-//! CI pins both. [`Strategy::Randomized`] and `amf-sim` take their
+//! CI pins all three. [`Strategy::Randomized`] and `amf-sim` take their
 //! seeds as explicit values, never from the environment — exhaustive
 //! exploration needs no seed at all.
 //!

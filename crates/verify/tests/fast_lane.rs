@@ -1,0 +1,283 @@
+//! Two-phase admission under the model checker: the lock-free fast
+//! lane as a *declaration* whose discipline is proved by enumeration.
+//!
+//! The modeled lane admits a thread in one CAS step — no chain
+//! evaluation, no queue interaction — and releases it in one CAS step —
+//! no postactions, no notifications. The checker does not re-verify the
+//! purity contract (that is the implementation's capability check); it
+//! proves the two properties the lane's *protocol* must uphold across
+//! every open/close transition:
+//!
+//! * **no-overtake** — the lane is closed whenever a waiter is queued,
+//!   so a fast admit never passes a ticketed thread
+//!   ([`Checker::check_fairness`] over every schedule);
+//! * **no-lost-wake** — a fast release notifies nobody, which is sound
+//!   only because the lane opens solely for waiter-free, empty-wired
+//!   methods (deadlock detection over every schedule).
+//!
+//! Each property has a matching ablation that drops exactly one
+//! conjunct of the lane predicate and is caught exhaustively with a
+//! shrunk trace: [`Checker::leaky_fast_path`] (lane open while the
+//! queue is non-empty) and [`Checker::stale_eligibility`] (a contained
+//! panic fails to revoke the eligibility).
+
+use amf_verify::{aspects, Checker, MethodIx, ModelSystem, ModelVerdict, Outcome, Strategy};
+
+/// A token gate: `open` consumes a token or parks, `tick` mints one
+/// and notifies `open`'s queue. `open` is empty-wired (its completion
+/// wakes nobody), which is precisely the lane-eligibility shape.
+#[derive(Clone, PartialEq, Eq, Hash, Default, Debug)]
+struct Tokens {
+    avail: usize,
+}
+
+fn gated() -> (ModelSystem<Tokens>, MethodIx, MethodIx) {
+    let mut sys = ModelSystem::new();
+    let open = sys.method("open");
+    let tick = sys.method("tick");
+    sys.add_aspect(
+        open,
+        "gate",
+        aspects::from_fns(
+            |s: &mut Tokens| {
+                if s.avail > 0 {
+                    s.avail -= 1;
+                    ModelVerdict::Resume
+                } else {
+                    ModelVerdict::Block
+                }
+            },
+            |_| (),
+            |s: &mut Tokens| s.avail += 1,
+        ),
+    );
+    sys.add_aspect(
+        tick,
+        "mint",
+        aspects::from_fns(
+            |s: &mut Tokens| {
+                s.avail += 1;
+                ModelVerdict::Resume
+            },
+            |_| (),
+            |_| (),
+        ),
+    );
+    sys.wire_wakes(tick, vec![open]);
+    sys.wire_wakes(open, vec![]);
+    (sys, open, tick)
+}
+
+/// No-overtake across lane transitions, proved exhaustively: with the
+/// fast lane declared on `open`, every schedule — fast admits, slow
+/// admits, parks, timeouts, and every interleaving of lane closes and
+/// reopens around them — preserves wake order. The checker offers the
+/// fast successor *alongside* the locked path wherever the lane is
+/// open, so the enumeration also covers the CAS-contention fallback.
+#[test]
+fn fast_lane_preserves_fifo_order_exhaustively() {
+    let (sys, open, tick) = gated();
+    let explored = Checker::new(sys)
+        .strategy(Strategy::Exhaustive)
+        .fifo()
+        .check_fairness()
+        .fast_lane(open)
+        .timed_thread(vec![open])
+        .timed_thread(vec![tick, open])
+        .run(Tokens::default());
+    assert_eq!(explored.outcome, Outcome::Ok);
+    assert!(explored.terminals >= 1, "{explored:?}");
+
+    // Same property under notify-one wakeups: the lane discipline is
+    // wake-mode independent, like the implementation's two `WakeMode`s.
+    let (sys, open, tick) = gated();
+    let explored = Checker::new(sys)
+        .strategy(Strategy::Exhaustive)
+        .fifo()
+        .check_fairness()
+        .wake_one()
+        .fast_lane(open)
+        .timed_thread(vec![open])
+        .timed_thread(vec![tick, open])
+        .run(Tokens::default());
+    assert_eq!(explored.outcome, Outcome::Ok);
+}
+
+/// No-lost-wake, proved exhaustively: a fast-lane method (`log`, no
+/// aspects, empty-wired) interleaves with a capacity-1 buffer protocol
+/// whose liveness depends on every completion notification arriving.
+/// The fast release sends none — and no schedule strands a waiter,
+/// because the lane only ever opens for a method nobody can be parked
+/// on. The quiescence invariant additionally proves the silent release
+/// leaked nothing.
+#[test]
+fn fast_lane_releases_lose_no_wakes() {
+    #[derive(Clone, PartialEq, Eq, Hash, Default, Debug)]
+    struct Buf {
+        reserved: usize,
+        produced: usize,
+        producing: bool,
+        consuming: bool,
+    }
+    let mut sys = ModelSystem::new();
+    let log = sys.method("log");
+    let put = sys.method("put");
+    let take = sys.method("take");
+    sys.add_aspect(
+        put,
+        "sync",
+        aspects::buffer_producer(
+            1,
+            |s: &mut Buf| &mut s.reserved,
+            |s: &mut Buf| &mut s.produced,
+            |s: &mut Buf| &mut s.producing,
+        ),
+    );
+    sys.add_aspect(
+        take,
+        "sync",
+        aspects::buffer_consumer(
+            |s: &mut Buf| &mut s.reserved,
+            |s: &mut Buf| &mut s.produced,
+            |s: &mut Buf| &mut s.consuming,
+        ),
+    );
+    sys.wire_wakes(put, vec![take]);
+    sys.wire_wakes(take, vec![put]);
+    sys.wire_wakes(log, vec![]);
+    let explored = Checker::new(sys)
+        .strategy(Strategy::Exhaustive)
+        .fast_lane(log)
+        .thread(vec![log, put, put])
+        .thread(vec![take, log, take])
+        .final_invariant(|s: &Buf| s.reserved == 0 && s.produced == 0)
+        .run(Buf::default());
+    assert_eq!(explored.outcome, Outcome::Ok);
+}
+
+/// The leaky-lane ablation at its 2-thread minimum: thread 0 parks on
+/// `open` (no tokens), and because the lane failed to close before the
+/// enqueue, thread 1 CAS-admits straight past the queued waiter. The
+/// shrunk trace is exactly the park followed by the overtaking
+/// fast admit. (Both threads are timed so no schedule dead-ends in a
+/// tokenless deadlock and the one bad outcome is the overtake itself.)
+#[test]
+fn leaky_fast_path_overtake_caught_exhaustively() {
+    let (sys, open, _tick) = gated();
+    let ablated = Checker::new(sys)
+        .strategy(Strategy::Exhaustive)
+        .fifo()
+        .check_fairness()
+        .fast_lane(open)
+        .leaky_fast_path()
+        .timed_thread(vec![open])
+        .timed_thread(vec![open])
+        .run(Tokens::default());
+    match ablated.outcome {
+        Outcome::FairnessViolation(trace) => {
+            let rendered: Vec<String> = trace.iter().map(ToString::to_string).collect();
+            let overtake = rendered.last().unwrap();
+            assert!(overtake.contains("fast-admit(open)"), "{rendered:?}");
+            let parked = rendered
+                .iter()
+                .find(|s| s.contains("chain(open) -> blocked"))
+                .unwrap_or_else(|| panic!("{rendered:?}"));
+            let tid = |s: &str| s.split(':').next().unwrap().to_string();
+            assert_ne!(tid(parked), tid(overtake), "{rendered:?}");
+            // Minimality: the shrunk schedule is the park and the
+            // overtaking admit, nothing else.
+            assert!(rendered.len() <= 3, "{rendered:?}");
+        }
+        other => panic!("expected fast-lane overtake, got {other:?}"),
+    }
+}
+
+/// The stale-eligibility ablation: `audit`'s aspect panics once (the
+/// contained fault that falsifies the purity contract) and from then
+/// on *counts* every chain evaluation. Faithfully, the panic closes
+/// the lane for good, so every later invocation is audited before its
+/// body runs; under the ablation a later caller CAS-admits on the
+/// stale contract and the body executes unaudited — caught by the
+/// state invariant with the panic visible in the shrunk trace. The
+/// scenario is a single thread of sequential calls: the defect is a
+/// *sequencing* defect (an admit after the revocation), and a second
+/// concurrent caller would only add benign straddles — invocations
+/// fast-admitted before the fault whose bodies run after it — that no
+/// shared-state invariant can tell apart from the bug.
+#[test]
+fn stale_eligibility_admit_after_panic_caught_exhaustively() {
+    #[derive(Clone, PartialEq, Eq, Hash, Default, Debug)]
+    struct Audit {
+        panicked: bool,
+        audited_after: usize,
+        entered_after: usize,
+    }
+    let build = || {
+        let mut sys = ModelSystem::new();
+        let audit = sys.method("audit");
+        sys.add_aspect(
+            audit,
+            "audit",
+            aspects::from_fns(
+                |s: &mut Audit| {
+                    if s.panicked {
+                        s.audited_after += 1;
+                        ModelVerdict::Resume
+                    } else {
+                        s.panicked = true;
+                        ModelVerdict::Panic
+                    }
+                },
+                |_| (),
+                |_| (),
+            ),
+        );
+        sys.set_body(audit, |s: &mut Audit| {
+            if s.panicked {
+                s.entered_after += 1;
+            }
+        });
+        sys.wire_wakes(audit, vec![]);
+        (sys, audit)
+    };
+    let post_panic_audited = |s: &Audit| !s.panicked || s.entered_after <= s.audited_after;
+
+    let (sys, audit) = build();
+    let ablated = Checker::new(sys)
+        .strategy(Strategy::Exhaustive)
+        .fast_lane(audit)
+        .stale_eligibility()
+        .invariant(post_panic_audited)
+        .thread(vec![audit, audit])
+        .run(Audit::default());
+    match ablated.outcome {
+        Outcome::InvariantViolation(trace) => {
+            let rendered: Vec<String> = trace.iter().map(ToString::to_string).collect();
+            let panicked = rendered
+                .iter()
+                .position(|s| s.contains("chain(audit) -> panicked"))
+                .unwrap_or_else(|| panic!("{rendered:?}"));
+            let admitted = rendered
+                .iter()
+                .position(|s| s.contains("fast-admit(audit)"))
+                .unwrap_or_else(|| panic!("{rendered:?}"));
+            assert!(panicked < admitted, "{rendered:?}");
+            assert!(
+                rendered.last().unwrap().contains("body(audit)"),
+                "{rendered:?}"
+            );
+        }
+        other => panic!("expected unaudited fast admit, got {other:?}"),
+    }
+
+    // Faithfully, the panic revokes the lane: every schedule keeps the
+    // body behind a fresh chain evaluation once the fault is on record.
+    let (sys, audit) = build();
+    let faithful = Checker::new(sys)
+        .strategy(Strategy::Exhaustive)
+        .fast_lane(audit)
+        .invariant(post_panic_audited)
+        .thread(vec![audit, audit])
+        .run(Audit::default());
+    assert_eq!(faithful.outcome, Outcome::Ok);
+}

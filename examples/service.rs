@@ -64,7 +64,7 @@ fn main() {
     let stats = handle.stats();
     println!(
         "\nstats: opened={} assigned={} queued={} aborts={} timeouts={} \
-         max_queue_depth={} panics_caught={} batched_grants={}",
+         max_queue_depth={} panics_caught={} batched_grants={} fast_path_admits={}",
         stats.opened,
         stats.assigned,
         stats.queued,
@@ -73,6 +73,7 @@ fn main() {
         stats.max_queue_depth,
         stats.panics_caught,
         stats.batched_grants,
+        stats.fast_path_admits,
     );
     handle.shutdown();
 }

@@ -170,6 +170,7 @@ fn main() -> ExitCode {
                 .field("max_queue_depth", s.max_queue_depth)
                 .field("panics_caught", s.panics_caught)
                 .field("batched_grants", s.batched_grants)
+                .field("fast_path_admits", s.fast_path_admits)
                 .build(),
         );
     }
@@ -198,7 +199,7 @@ fn main() -> ExitCode {
     if let Some(s) = &server_stats {
         println!(
             "server stats: opened={} assigned={} queued={} aborts={} timeouts={} \
-             max_queue_depth={} panics_caught={} batched_grants={}",
+             max_queue_depth={} panics_caught={} batched_grants={} fast_path_admits={}",
             s.opened,
             s.assigned,
             s.queued,
@@ -207,6 +208,7 @@ fn main() -> ExitCode {
             s.max_queue_depth,
             s.panics_caught,
             s.batched_grants,
+            s.fast_path_admits,
         );
     }
 
