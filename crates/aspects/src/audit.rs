@@ -8,7 +8,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use amf_core::{Aspect, InvocationContext, Outcome, Verdict};
+use amf_core::{Aspect, AspectCapabilities, InvocationContext, Outcome, Verdict};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
@@ -241,6 +241,20 @@ impl Aspect for AuditAspect {
             AuditPhase::Completed,
             Some(ctx.outcome().into()),
         );
+    }
+
+    /// The audit trail is an observability sink: its precondition is
+    /// always [`Verdict::Resume`] (`veto_free`), it mutates nothing the
+    /// moderator can see — the log lives outside the coordination state
+    /// (`pure`) — and its internal mutex is bounded and never held
+    /// across a park (`no_park`). Declaring this makes a row of audit
+    /// aspects fast-lane eligible; note that CAS-admitted activations
+    /// skip the chain, so they appear in the moderator trace
+    /// (`PreactivationStarted`/`ActivationResumed`) but not in the
+    /// [`AuditLog`]. Register a vetoing aspect alongside if every
+    /// activation must be logged.
+    fn capabilities(&self) -> AspectCapabilities {
+        AspectCapabilities::all()
     }
 
     fn describe(&self) -> &str {

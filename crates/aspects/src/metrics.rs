@@ -8,7 +8,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use amf_concurrency::{Clock, SystemClock};
-use amf_core::{Aspect, InvocationContext, Outcome, Verdict};
+use amf_core::{Aspect, AspectCapabilities, InvocationContext, Outcome, Verdict};
 use parking_lot::Mutex;
 
 /// Fixed-boundary latency histogram.
@@ -211,6 +211,18 @@ impl Aspect for MetricsAspect {
             elapsed,
             ctx.outcome() == Outcome::Failure,
         );
+    }
+
+    /// Metrics are an observability sink: the precondition always
+    /// resumes (`veto_free`), the hub's histograms are invisible to the
+    /// moderator's coordination state (`pure`), and the hub mutex is
+    /// bounded, never held across a park (`no_park`). A row of metrics
+    /// aspects is therefore fast-lane eligible; CAS-admitted
+    /// activations skip the chain and are *not* timed — they remain
+    /// visible in the moderator trace and the `fast_path_admits`
+    /// counter instead.
+    fn capabilities(&self) -> AspectCapabilities {
+        AspectCapabilities::all()
     }
 
     fn describe(&self) -> &str {

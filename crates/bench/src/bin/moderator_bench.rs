@@ -54,6 +54,18 @@
 //! `fast_lane_ops_per_sec >= 3 × global_lock_ops_per_sec` at 8
 //! threads on a CPU-bound chain.
 //!
+//! A ninth section, `reduction` (experiment E15), runs the exhaustive
+//! explorer over the same bounds under `ReductionPolicy::None` vs
+//! `Dpor`. The verdict and reachable-state count must agree at every
+//! bound; the payoff is `schedule_reduction_factor` — the sleep-set
+//! layer visits strictly fewer interleavings for the same coverage.
+//!
+//! A tenth section, `topology` (the multi-moderator half of E15),
+//! records a 2-node lease-handoff ring — independent moderators wired
+//! through the simulated scheduler by a droppable, reorderable
+//! channel — replays it byte-identically, and checks that the
+//! dropped-handoff ablation ends in a *detected* deadlock.
+//!
 //! ```text
 //! cargo run -p amf-bench --release --bin moderator_bench
 //! cargo run -p amf-bench --release --bin moderator_bench -- --quick
@@ -409,6 +421,120 @@ fn main() {
             .build()
     };
 
+    // Experiment E15 — DPOR schedule reduction: the exhaustive
+    // explorer under `ReductionPolicy::None` vs `Dpor` at the same
+    // bounds. Verdict and state count must agree (reduction prunes
+    // redundant transition *orders*, never coverage); the headline is
+    // the schedule reduction factor at the largest bound.
+    let reduction = {
+        use amf_bench::experiments::explore_buffer_with;
+        use amf_verify::{Outcome, ReductionPolicy};
+
+        let bounds: &[(usize, usize)] = if quick {
+            &[(1, 2), (2, 2)]
+        } else {
+            &[(2, 2), (3, 2)]
+        };
+        let mut rows = Vec::new();
+        let mut all_agree = true;
+        let mut last_factor = 0.0;
+        for &(pairs, ops) in bounds {
+            let (full, full_secs) =
+                explore_buffer_with(1, pairs, ops, ReductionPolicy::None, 1 << 22);
+            let (red, red_secs) =
+                explore_buffer_with(1, pairs, ops, ReductionPolicy::Dpor, 1 << 22);
+            let agree = full.outcome == Outcome::Ok
+                && red.outcome == Outcome::Ok
+                && full.states == red.states;
+            all_agree &= agree;
+            let factor = full.schedules as f64 / red.schedules.max(1) as f64;
+            last_factor = factor;
+            println!(
+                "reduction ({}x{ops}): none {} schedules | dpor {} schedules | \
+                 {factor:.1}x fewer | states & verdict agree {agree}",
+                2 * pairs,
+                full.schedules,
+                red.schedules,
+            );
+            rows.push(
+                JsonObject::new()
+                    .field("threads", (2 * pairs) as u64)
+                    .field("ops_per_thread", ops as u64)
+                    .field("states", full.states as u64)
+                    .field("schedules_none", full.schedules as u64)
+                    .field("schedules_dpor", red.schedules as u64)
+                    .field("schedule_reduction_factor", factor)
+                    .field("seconds_none", full_secs)
+                    .field("seconds_dpor", red_secs)
+                    .field("verdict_and_states_agree", u64::from(agree))
+                    .build(),
+            );
+        }
+        summary = summary.field("dpor_schedule_reduction_at_largest_bound", last_factor);
+        JsonObject::new()
+            .field("rows", json_array(rows))
+            .field("all_bounds_agree", u64::from(all_agree))
+            .build()
+    };
+
+    // The multi-moderator lease-handoff ring: record, replay
+    // byte-identically, and confirm the dropped-handoff ablation is a
+    // detected deadlock (parked set named) rather than a hang.
+    let topology = {
+        use amf_sim::{run_topology_scenario, TopologyParams, TopologyReplayHeader};
+
+        let params = TopologyParams {
+            seed: 42,
+            nodes: 2,
+            leases: if quick { 2 } else { 3 },
+            hops: if quick { 2 } else { 4 },
+            max_delay_ns: 50_000,
+            drop_nth: None,
+        };
+        let recorded = run_topology_scenario(&params, None);
+        let artifact = recorded.to_json();
+        let replay_ok = recorded.error.is_none()
+            && TopologyReplayHeader::scan(&artifact)
+                .map(|h| run_topology_scenario(&params, Some(h.schedule)).to_json() == artifact)
+                .unwrap_or(false);
+        println!(
+            "topology (record→replay): {} decisions | {} handoffs | {} leases retired | \
+             {} fast-lane admits | byte-identical {replay_ok}",
+            recorded.schedule.len(),
+            recorded.handoffs.len(),
+            recorded.retired.len(),
+            recorded.fast_path_admits,
+        );
+        let dropped = run_topology_scenario(
+            &TopologyParams {
+                drop_nth: Some(3),
+                ..params.clone()
+            },
+            None,
+        );
+        let deadlock_detected = dropped
+            .error
+            .as_deref()
+            .is_some_and(|e| e.contains("deadlock"));
+        println!("topology (drop 3rd handoff): detected deadlock {deadlock_detected}");
+        JsonObject::new()
+            .field("nodes", params.nodes)
+            .field("leases", params.leases)
+            .field("hops", params.hops)
+            .field("max_delay_ns", params.max_delay_ns)
+            .field("scheduling_decisions", recorded.schedule.len() as u64)
+            .field("handoffs", recorded.handoffs.len() as u64)
+            .field("leases_retired", recorded.retired.len() as u64)
+            .field("fast_path_admits", recorded.fast_path_admits)
+            .field("fast_path_fallbacks", recorded.fast_path_fallbacks)
+            .field("replay_byte_identical", u64::from(replay_ok))
+            .field(
+                "dropped_handoff_detected_deadlock",
+                u64::from(deadlock_detected),
+            )
+            .build()
+    };
+
     let json = JsonObject::new()
         .field("benchmark", "moderator_sharding")
         .field("methods", 2_u64)
@@ -422,6 +548,8 @@ fn main() {
         .field("chaos", chaos)
         .field("convoy", convoy)
         .field("simulation", simulation)
+        .field("reduction", reduction)
+        .field("topology", topology)
         .build();
     if let Err(e) = std::fs::write(&report, format!("{json}\n")) {
         eprintln!("failed to write {report}: {e}");

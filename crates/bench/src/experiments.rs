@@ -1,4 +1,4 @@
-//! Experiments E1–E14: the quantitative evaluation of `EXPERIMENTS.md`.
+//! Experiments E1–E15: the quantitative evaluation of `EXPERIMENTS.md`.
 //!
 //! Each function runs one experiment and returns its [`Table`]. Pass
 //! `quick = true` to shrink workloads (used by unit tests and smoke
@@ -1442,6 +1442,28 @@ pub fn v1_verification(quick: bool) -> Table {
 /// bounds and returns the exploration report plus the wall time it
 /// took, for E13's states/sec accounting.
 pub fn explore_buffer(capacity: usize, pairs: usize, ops: usize) -> (amf_verify::Exploration, f64) {
+    explore_buffer_with(
+        capacity,
+        pairs,
+        ops,
+        amf_verify::ReductionPolicy::None,
+        1_000_000,
+    )
+}
+
+/// [`explore_buffer`] with an explicit [`ReductionPolicy`] and state
+/// budget — the A/B harness behind E15's reduction-factor rows. The
+/// scenario keeps its per-step invariant, so the persistent-set layer
+/// is inert here and the measured reduction is the sleep sets' alone.
+///
+/// [`ReductionPolicy`]: amf_verify::ReductionPolicy
+pub fn explore_buffer_with(
+    capacity: usize,
+    pairs: usize,
+    ops: usize,
+    policy: amf_verify::ReductionPolicy,
+    max_states: usize,
+) -> (amf_verify::Exploration, f64) {
     use amf_verify::{aspects, Checker, ModelSystem, Strategy};
 
     #[derive(Clone, PartialEq, Eq, Hash, Default)]
@@ -1475,6 +1497,8 @@ pub fn explore_buffer(capacity: usize, pairs: usize, ops: usize) -> (amf_verify:
     );
     let mut checker = Checker::new(sys)
         .strategy(Strategy::Exhaustive)
+        .reduction(policy)
+        .max_states(max_states)
         .invariant(move |s: &Buf| s.reserved <= capacity && s.produced <= s.reserved);
     for _ in 0..pairs {
         checker = checker.thread(vec![put; ops]);
@@ -1681,7 +1705,83 @@ pub fn e14_fast_path(quick: bool) -> Table {
     t
 }
 
-/// Runs the named experiments ("e1".."e14", "v1" or "all") and prints
+/// E15 — DPOR schedule reduction: the exhaustive explorer under
+/// `ReductionPolicy::None` vs `ReductionPolicy::Dpor` on the
+/// capacity-1 producer/consumer model. Verdicts must agree at every
+/// bound (reduction prunes redundant transition *orders*, never
+/// states); the headline is the schedule reduction factor at 6×2 and
+/// the 8×2 row, which only completes at all under `Dpor`.
+pub fn e15_reduction(quick: bool) -> Table {
+    use amf_verify::{Outcome, ReductionPolicy};
+
+    let mut t = Table::new(
+        "E15 — DPOR schedule reduction (exhaustive buffer, cap 1)",
+        &[
+            "size",
+            "policy",
+            "states",
+            "schedules",
+            "states/sec",
+            "verdict",
+        ],
+    );
+    let bounds: &[(usize, usize)] = if quick {
+        &[(1, 2), (2, 2)]
+    } else {
+        &[(2, 2), (3, 2)]
+    };
+    for &(pairs, ops) in bounds {
+        let (full, full_secs) = explore_buffer_with(1, pairs, ops, ReductionPolicy::None, 1 << 22);
+        let (red, red_secs) = explore_buffer_with(1, pairs, ops, ReductionPolicy::Dpor, 1 << 22);
+        let agree = full.outcome == red.outcome && full.states == red.states;
+        let factor = full.schedules as f64 / red.schedules.max(1) as f64;
+        t.row(&[
+            format!("{}×{ops}", 2 * pairs),
+            "None".to_string(),
+            full.states.to_string(),
+            full.schedules.to_string(),
+            fmt_ops(full.states as f64 / full_secs),
+            match full.outcome {
+                Outcome::Ok => "ok".to_string(),
+                ref other => format!("{other:?}"),
+            },
+        ]);
+        t.row(&[
+            format!("{}×{ops}", 2 * pairs),
+            "Dpor".to_string(),
+            red.states.to_string(),
+            red.schedules.to_string(),
+            fmt_ops(red.states as f64 / red_secs),
+            if agree {
+                format!("same verdict & states, {factor:.1}× fewer schedules ✔")
+            } else {
+                format!("verdict/states DIVERGED ✘ ({:?})", red.outcome)
+            },
+        ]);
+    }
+    // The frontier bound: infeasible under None (the schedule count
+    // explodes past any reasonable budget), completed under Dpor —
+    // 50.9M states / 47.6M schedules, roughly 70 minutes and ~25 GB on
+    // a single shared core, so it only runs in full (non-quick) mode.
+    if !quick {
+        eprintln!("e15: exploring the 8×2 frontier bound (expect ~an hour) ...");
+        let (big, secs) = explore_buffer_with(1, 4, 2, ReductionPolicy::Dpor, 1 << 26);
+        t.row(&[
+            "8×2".to_string(),
+            "Dpor".to_string(),
+            big.states.to_string(),
+            big.schedules.to_string(),
+            fmt_ops(big.states as f64 / secs),
+            match big.outcome {
+                Outcome::Ok => "ok (previously infeasible) ✔".to_string(),
+                ref other => format!("{other:?}"),
+            },
+        ]);
+    }
+    t
+}
+
+/// Runs the named experiments ("e1".."e15", "v1" or "all") and prints
 /// their tables.
 pub fn run(names: &[String], quick: bool) {
     let wants = |n: &str| {
@@ -1690,7 +1790,7 @@ pub fn run(names: &[String], quick: bool) {
             || names.iter().any(|x| x.eq_ignore_ascii_case("all"))
     };
     type Runner = fn(bool) -> Table;
-    let runners: [(&str, Runner); 15] = [
+    let runners: [(&str, Runner); 16] = [
         ("e1", e1_overhead),
         ("e2", e2_throughput),
         ("e3", e3_composition),
@@ -1705,6 +1805,7 @@ pub fn run(names: &[String], quick: bool) {
         ("e12", e12_convoy),
         ("e13", e13_simulation),
         ("e14", e14_fast_path),
+        ("e15", e15_reduction),
         ("v1", v1_verification),
     ];
     for (name, f) in runners {
@@ -1759,6 +1860,13 @@ mod tests {
         let md = e13_simulation(true).to_markdown();
         assert!(md.contains("counts stable across runs ✔"), "{md}");
         assert!(md.contains("byte-identical"), "{md}");
+    }
+
+    #[test]
+    fn e15_reduces_with_agreement() {
+        let md = e15_reduction(true).to_markdown();
+        assert!(md.contains("fewer schedules ✔"), "{md}");
+        assert!(!md.contains("DIVERGED"), "{md}");
     }
 
     #[test]

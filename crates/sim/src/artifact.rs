@@ -31,6 +31,16 @@ pub struct RunRecord {
     pub grants: Vec<(u64, String)>,
     /// Invocations aborted by an injected aspect panic, in order.
     pub faults: Vec<u64>,
+    /// Invocations admitted through the moderator's lock-free fast
+    /// lane (single CAS, chain skipped). Part of the byte-identity
+    /// check: a replay that admits differently diverges here.
+    pub fast_path_admits: u64,
+    /// Fast-lane attempts that found the lane open but lost the CAS
+    /// and fell back to the locked path. Always 0 under the simulator's
+    /// token scheduler (one thread runs at a time, so the CAS never
+    /// races) — recorded so a real-contention harness can reuse the
+    /// artifact shape and so a nonzero value flags a scheduler bug.
+    pub fast_path_fallbacks: u64,
     /// Scheduler-fatal condition (deadlock, replay divergence), if any.
     pub error: Option<String>,
 }
@@ -85,6 +95,10 @@ impl RunRecord {
         out.push_str(&format!("  \"grants\": [{}],\n", grants.join(", ")));
         let faults: Vec<String> = self.faults.iter().map(u64::to_string).collect();
         out.push_str(&format!("  \"faults\": [{}],\n", faults.join(", ")));
+        out.push_str(&format!(
+            "  \"fast_path\": {{ \"admits\": {}, \"fallbacks\": {} }},\n",
+            self.fast_path_admits, self.fast_path_fallbacks
+        ));
         match &self.error {
             None => out.push_str("  \"error\": null\n"),
             Some(e) => out.push_str(&format!("  \"error\": \"{}\"\n", escape(e))),
@@ -96,6 +110,145 @@ impl RunRecord {
     /// Final virtual clock as a [`Duration`].
     pub fn clock(&self) -> Duration {
         Duration::from_nanos(self.clock_ns as u64)
+    }
+}
+
+/// Everything recorded about one simulated multi-moderator topology
+/// run (`run_topology_scenario`): N independent moderators in a ring,
+/// leases handed off over simulated channels with virtual-clock
+/// delivery delays. Same byte-identity contract as [`RunRecord`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopologyRecord {
+    /// Scheduler (and delivery-jitter) seed.
+    pub seed: u64,
+    /// Ring size: independent moderator instances.
+    pub nodes: u64,
+    /// Leases circulating the ring (all start at node 0).
+    pub leases: u64,
+    /// Full ring laps each lease makes before retiring.
+    pub hops: u64,
+    /// Upper bound on the seeded per-message delivery delay, in
+    /// nanoseconds of virtual time (0 = instant delivery).
+    pub max_delay_ns: u64,
+    /// Fault ablation: the global 1-based index of a handoff message
+    /// to drop in flight, if any. A dropped handoff starves the
+    /// receiving courier's sequence cursor, so the whole ring winds
+    /// down into a detected deadlock.
+    pub drop_nth: Option<u64>,
+    /// Simulated-thread names, indexed by thread id.
+    pub threads: Vec<String>,
+    /// The full grant order (thread id per scheduling decision).
+    pub schedule: Vec<usize>,
+    /// Final virtual-clock reading, in nanoseconds.
+    pub clock_ns: u128,
+    /// `(channel, seq, lease)` per completed handoff, in delivery
+    /// order. Per channel, `seq` is strictly increasing — the courier
+    /// holds out-of-order arrivals back — which is the FIFO
+    /// no-overtake obligation the model checker proves.
+    pub handoffs: Vec<(u64, u64, u64)>,
+    /// Lease ids in retirement order.
+    pub retired: Vec<u64>,
+    /// Fast-lane admissions summed over every node's moderator (the
+    /// per-node telemetry row rides the lane).
+    pub fast_path_admits: u64,
+    /// Fast-lane CAS losses summed over every node's moderator.
+    pub fast_path_fallbacks: u64,
+    /// Scheduler-fatal condition (deadlock, replay divergence), if any.
+    pub error: Option<String>,
+}
+
+impl TopologyRecord {
+    /// Renders the artifact; fixed layout, byte-reproducible by a
+    /// faithful replay (see [`RunRecord::to_json`]).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        let drop_nth = match self.drop_nth {
+            None => "null".to_string(),
+            Some(n) => n.to_string(),
+        };
+        out.push_str(&format!(
+            "  \"topology\": {{ \"nodes\": {}, \"leases\": {}, \"hops\": {}, \
+             \"max_delay_ns\": {}, \"drop_nth\": {} }},\n",
+            self.nodes, self.leases, self.hops, self.max_delay_ns, drop_nth
+        ));
+        let names: Vec<String> = self
+            .threads
+            .iter()
+            .map(|n| format!("\"{}\"", escape(n)))
+            .collect();
+        out.push_str(&format!("  \"threads\": [{}],\n", names.join(", ")));
+        let steps: Vec<String> = self.schedule.iter().map(usize::to_string).collect();
+        out.push_str(&format!("  \"schedule\": [{}],\n", steps.join(", ")));
+        out.push_str(&format!("  \"clock_ns\": {},\n", self.clock_ns));
+        let handoffs: Vec<String> = self
+            .handoffs
+            .iter()
+            .map(|(channel, seq, lease)| {
+                format!("{{ \"channel\": {channel}, \"seq\": {seq}, \"lease\": {lease} }}")
+            })
+            .collect();
+        out.push_str(&format!("  \"handoffs\": [{}],\n", handoffs.join(", ")));
+        let retired: Vec<String> = self.retired.iter().map(u64::to_string).collect();
+        out.push_str(&format!("  \"retired\": [{}],\n", retired.join(", ")));
+        out.push_str(&format!(
+            "  \"fast_path\": {{ \"admits\": {}, \"fallbacks\": {} }},\n",
+            self.fast_path_admits, self.fast_path_fallbacks
+        ));
+        match &self.error {
+            None => out.push_str("  \"error\": null\n"),
+            Some(e) => out.push_str(&format!("  \"error\": \"{}\"\n", escape(e))),
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Final virtual clock as a [`Duration`].
+    pub fn clock(&self) -> Duration {
+        Duration::from_nanos(self.clock_ns as u64)
+    }
+}
+
+/// The fields replay needs from a recorded topology artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopologyReplayHeader {
+    /// Recorded seed.
+    pub seed: u64,
+    /// Recorded ring size.
+    pub nodes: u64,
+    /// Recorded lease count.
+    pub leases: u64,
+    /// Recorded laps per lease.
+    pub hops: u64,
+    /// Recorded delivery-jitter bound.
+    pub max_delay_ns: u64,
+    /// Recorded drop ablation, if any.
+    pub drop_nth: Option<u64>,
+    /// Recorded grant order, the replay script.
+    pub schedule: Vec<usize>,
+}
+
+impl TopologyReplayHeader {
+    /// Scans a [`TopologyRecord::to_json`] rendering for the replay
+    /// fields; `None` on any missing or malformed field.
+    pub fn scan(text: &str) -> Option<Self> {
+        let drop_nth = match after_key(text, "drop_nth")? {
+            rest if rest.starts_with("null") => None,
+            rest => {
+                let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+                Some(digits.parse().ok()?)
+            }
+        };
+        Some(Self {
+            seed: scan_u64(text, "seed")?,
+            nodes: scan_u64(text, "nodes")?,
+            leases: scan_u64(text, "leases")?,
+            hops: scan_u64(text, "hops")?,
+            max_delay_ns: scan_u64(text, "max_delay_ns")?,
+            drop_nth,
+            schedule: scan_usize_array(text, "schedule")?,
+        })
     }
 }
 
@@ -178,6 +331,8 @@ mod tests {
             clock_ns: 1_000_000,
             grants: vec![(1, "open".into()), (2, "take".into())],
             faults: vec![4],
+            fast_path_admits: 6,
+            fast_path_fallbacks: 0,
             error: None,
         }
     }
@@ -210,6 +365,88 @@ mod tests {
         rec.schedule.clear();
         let header = ReplayHeader::scan(&rec.to_json()).unwrap();
         assert!(header.schedule.is_empty());
+    }
+
+    #[test]
+    fn fast_path_counters_render_and_discriminate() {
+        let rec = record();
+        let json = rec.to_json();
+        assert!(json.contains("\"fast_path\": { \"admits\": 6, \"fallbacks\": 0 }"));
+        // The counters are inside the byte-identity perimeter: a run
+        // that admits differently cannot render the same artifact.
+        let mut other = record();
+        other.fast_path_admits = 5;
+        assert_ne!(other.to_json(), json);
+        // And the replay scanner is unconfused by the nested object.
+        assert_eq!(
+            ReplayHeader::scan(&json),
+            ReplayHeader::scan(&other.to_json())
+        );
+    }
+
+    fn topology_record() -> TopologyRecord {
+        TopologyRecord {
+            seed: 7,
+            nodes: 2,
+            leases: 2,
+            hops: 3,
+            max_delay_ns: 500,
+            drop_nth: None,
+            threads: vec![
+                "w0".into(),
+                "courier0".into(),
+                "w1".into(),
+                "courier1".into(),
+            ],
+            schedule: vec![0, 2, 1, 3],
+            clock_ns: 2_500,
+            handoffs: vec![(1, 0, 0), (0, 0, 0), (1, 1, 1)],
+            retired: vec![0, 1],
+            fast_path_admits: 12,
+            fast_path_fallbacks: 0,
+            error: None,
+        }
+    }
+
+    #[test]
+    fn topology_scan_recovers_replay_fields() {
+        let rec = topology_record();
+        let header = TopologyReplayHeader::scan(&rec.to_json()).unwrap();
+        assert_eq!(
+            header,
+            TopologyReplayHeader {
+                seed: 7,
+                nodes: 2,
+                leases: 2,
+                hops: 3,
+                max_delay_ns: 500,
+                drop_nth: None,
+                schedule: vec![0, 2, 1, 3],
+            }
+        );
+    }
+
+    #[test]
+    fn topology_drop_nth_round_trips() {
+        let mut rec = topology_record();
+        rec.drop_nth = Some(4);
+        let json = rec.to_json();
+        assert!(json.contains("\"drop_nth\": 4"));
+        let header = TopologyReplayHeader::scan(&json).unwrap();
+        assert_eq!(header.drop_nth, Some(4));
+    }
+
+    #[test]
+    fn topology_rendering_is_deterministic() {
+        assert_eq!(topology_record().to_json(), topology_record().to_json());
+        // Handoffs and fast-path counters sit inside the byte-identity
+        // perimeter.
+        let mut other = topology_record();
+        other.handoffs[0].1 = 9;
+        assert_ne!(other.to_json(), topology_record().to_json());
+        let mut other = topology_record();
+        other.fast_path_admits = 0;
+        assert_ne!(other.to_json(), topology_record().to_json());
     }
 
     #[test]

@@ -6,6 +6,9 @@
 //! amf-sim record <path> [--seed N] [--producers N] [--consumers N]
 //!                       [--rounds N] [--faults PERMILLE]
 //! amf-sim replay <path>
+//! amf-sim record-topology <path> [--seed N] [--nodes N] [--leases N]
+//!                                [--hops N] [--max-delay NS] [--drop N]
+//! amf-sim replay-topology <path>
 //! ```
 //!
 //! `record` runs the scenario under a fresh seeded simulation and
@@ -14,16 +17,23 @@
 //! the scenario along the artifact's recorded schedule and compares
 //! the regenerated artifact byte-for-byte against the file; any
 //! divergence (including a schedule that no longer matches the code)
-//! exits non-zero.
+//! exits non-zero. The `-topology` pair does the same for the
+//! multi-moderator lease-handoff ring (`--drop N` drops the Nth
+//! handoff in flight, ending the run in a detected deadlock).
 
 use std::process::ExitCode;
 
-use amf_sim::{run_buffer_scenario, ReplayHeader, ScenarioParams};
+use amf_sim::{
+    run_buffer_scenario, run_topology_scenario, ReplayHeader, ScenarioParams, TopologyParams,
+    TopologyReplayHeader,
+};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: amf-sim record <path> [--seed N] [--producers N] [--consumers N] \
-         [--rounds N] [--faults PERMILLE]\n       amf-sim replay <path>"
+         [--rounds N] [--faults PERMILLE]\n       amf-sim replay <path>\n       \
+         amf-sim record-topology <path> [--seed N] [--nodes N] [--leases N] \
+         [--hops N] [--max-delay NS] [--drop N]\n       amf-sim replay-topology <path>"
     );
     ExitCode::FAILURE
 }
@@ -93,6 +103,74 @@ fn replay(path: &str) -> Result<(), String> {
     }
 }
 
+fn record_topology(path: &str, args: &[String]) -> Result<(), String> {
+    let drop_nth = match parse_flag(args, "--drop", 0)? {
+        0 => None,
+        n => Some(n),
+    };
+    let params = TopologyParams {
+        seed: parse_flag(args, "--seed", 42)?,
+        nodes: parse_flag(args, "--nodes", 2)?,
+        leases: parse_flag(args, "--leases", 2)?,
+        hops: parse_flag(args, "--hops", 3)?,
+        max_delay_ns: parse_flag(args, "--max-delay", 1_000)?,
+        drop_nth,
+    };
+    let record = run_topology_scenario(&params, None);
+    std::fs::write(path, record.to_json()).map_err(|e| format!("write {path}: {e}"))?;
+    println!(
+        "recorded {path}: seed {}, {}-node ring, {} scheduling decisions, {} handoffs, \
+         {} leases retired, {} fast-lane admits, virtual clock {:?}",
+        record.seed,
+        record.nodes,
+        record.schedule.len(),
+        record.handoffs.len(),
+        record.retired.len(),
+        record.fast_path_admits,
+        record.clock(),
+    );
+    match &record.error {
+        None => Ok(()),
+        // A drop ablation is *supposed* to end in a detected deadlock;
+        // the artifact is still written for postmortem replay.
+        Some(e) if record.drop_nth.is_some() => {
+            println!("expected ablation outcome: {e}");
+            Ok(())
+        }
+        Some(e) => Err(format!("run ended abnormally: {e}")),
+    }
+}
+
+fn replay_topology(path: &str) -> Result<(), String> {
+    let recorded = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let header = TopologyReplayHeader::scan(&recorded)
+        .ok_or_else(|| format!("{path}: not an amf-sim topology artifact"))?;
+    let params = TopologyParams {
+        seed: header.seed,
+        nodes: header.nodes,
+        leases: header.leases,
+        hops: header.hops,
+        max_delay_ns: header.max_delay_ns,
+        drop_nth: header.drop_nth,
+    };
+    let replayed = run_topology_scenario(&params, Some(header.schedule)).to_json();
+    if replayed == recorded {
+        println!(
+            "replay of {path} reproduced the topology artifact byte-identically \
+             ({} bytes)",
+            recorded.len()
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "replay of {path} diverged: regenerated artifact differs \
+             ({} vs {} bytes)",
+            replayed.len(),
+            recorded.len()
+        ))
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (Some(mode), Some(path)) = (args.first(), args.get(1)) else {
@@ -101,6 +179,8 @@ fn main() -> ExitCode {
     let result = match mode.as_str() {
         "record" => record(path, &args[2..]),
         "replay" => replay(path),
+        "record-topology" => record_topology(path, &args[2..]),
+        "replay-topology" => replay_topology(path),
         _ => return usage(),
     };
     match result {

@@ -45,7 +45,9 @@ mod engine;
 mod scenario;
 mod scheduler;
 
-pub use artifact::{ReplayHeader, RunRecord};
+pub use artifact::{ReplayHeader, RunRecord, TopologyRecord, TopologyReplayHeader};
 pub use engine::SimEngine;
-pub use scenario::{run_buffer_scenario, silence_panic_hook, ScenarioParams};
+pub use scenario::{
+    run_buffer_scenario, run_topology_scenario, silence_panic_hook, ScenarioParams, TopologyParams,
+};
 pub use scheduler::{SimReport, SimRunner};

@@ -1,21 +1,29 @@
 //! The recorded scenario behind the `amf-sim` binary: a capacity-1
 //! producer/consumer buffer (the paper's bounded-buffer shape, as two
-//! moderated methods with cross-wired wakes) plus an `audit` method
-//! carrying a seeded panic-injection aspect. Running it under a
-//! [`SimRunner`] yields a [`RunRecord`] whose schedule replays the run
-//! byte-identically.
+//! moderated methods with cross-wired wakes) plus an `audit` method.
+//! With `fault_permille > 0` the audit row carries a seeded
+//! panic-injection aspect (undeclared, so every call takes the locked
+//! path); fault-free runs carry the real `AuditAspect` instead, whose
+//! declared capability contract sends the row through the lock-free
+//! fast lane — the recorded `fast_path` counters come from there.
+//! Running under a [`SimRunner`] yields a [`RunRecord`] whose schedule
+//! replays the run byte-identically.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, Once};
+use std::time::Duration;
 
+use amf_aspects::audit::{AuditAspect, AuditLog};
 use amf_aspects::fault::PanicInjectionAspect;
+use amf_concurrency::{Clock, GrantSource, Waiter};
 use amf_core::trace::EventKind;
 use amf_core::{
     AspectModerator, Concern, FairnessPolicy, FnAspect, InvocationContext, MemoryTrace,
     MethodHandle, MethodId, PanicPolicy, Verdict,
 };
 
-use crate::{RunRecord, SimRunner};
+use crate::{RunRecord, SimRunner, TopologyRecord};
 
 /// Shape of one simulated buffer run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -139,17 +147,32 @@ pub fn run_buffer_scenario(params: &ScenarioParams, script: Option<Vec<usize>>) 
             )
             .expect("register item-gate");
     }
-    moderator
-        .register(
-            &audit,
-            Concern::new("fault-injection"),
-            Box::new(PanicInjectionAspect::new(
-                params.fault_permille as f64 / 1000.0,
-                0.0,
-                params.seed,
-            )),
-        )
-        .expect("register fault injector");
+    if params.fault_permille > 0 {
+        moderator
+            .register(
+                &audit,
+                Concern::new("fault-injection"),
+                Box::new(PanicInjectionAspect::new(
+                    params.fault_permille as f64 / 1000.0,
+                    0.0,
+                    params.seed,
+                )),
+            )
+            .expect("register fault injector");
+    } else {
+        // Fault-free runs carry the real audit sink instead: it
+        // declares the full capability contract, so the audit row
+        // rides the lock-free fast lane and the recorded
+        // `fast_path_admits` exercises the lane under the simulated
+        // scheduler.
+        moderator
+            .register(
+                &audit,
+                Concern::new("audit"),
+                Box::new(AuditAspect::new(AuditLog::shared())),
+            )
+            .expect("register audit sink");
+    }
     moderator.wire_wakes(&open, std::slice::from_ref(&take));
     moderator.wire_wakes(&take, std::slice::from_ref(&open));
     moderator.wire_wakes(&audit, &[]);
@@ -182,6 +205,7 @@ pub fn run_buffer_scenario(params: &ScenarioParams, script: Option<Vec<usize>>) 
     }
 
     let report = runner.run();
+    let stats = moderator.stats();
     let faults = aborted.lock().unwrap().clone();
     let grants = trace
         .events()
@@ -200,6 +224,308 @@ pub fn run_buffer_scenario(params: &ScenarioParams, script: Option<Vec<usize>>) 
         clock_ns: report.clock.as_nanos(),
         grants,
         faults,
+        fast_path_admits: stats.fast_path_admits,
+        fast_path_fallbacks: stats.fast_path_fallbacks,
+        error: report.error,
+    }
+}
+
+/// Shape of one simulated multi-moderator topology run: a ring of
+/// [`TopologyParams::nodes`] *independent* [`AspectModerator`]
+/// instances connected by simulated lease-handoff channels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopologyParams {
+    /// Scheduler and delivery-jitter seed.
+    pub seed: u64,
+    /// Ring size (each node is its own moderator).
+    pub nodes: u64,
+    /// Leases circulating the ring; all start at node 0.
+    pub leases: u64,
+    /// Full ring laps each lease makes before retiring.
+    pub hops: u64,
+    /// Upper bound on the seeded per-message delivery delay, in
+    /// nanoseconds of virtual time. Nonzero values make arrivals
+    /// overtake each other in flight; the receiving courier reassembles
+    /// sequence order before granting.
+    pub max_delay_ns: u64,
+    /// Ablation: drop the nth handoff message (global 1-based count)
+    /// in flight. The ring then starves and the run ends in a detected
+    /// deadlock instead of hanging.
+    pub drop_nth: Option<u64>,
+}
+
+impl Default for TopologyParams {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            nodes: 2,
+            leases: 2,
+            hops: 3,
+            max_delay_ns: 1_000,
+            drop_nth: None,
+        }
+    }
+}
+
+/// SplitMix64 finalizer: the per-message delivery jitter is a pure
+/// function of `(seed, channel, seq)`, so record and replay draw
+/// identical delays without consuming scheduler randomness.
+fn jitter(seed: u64, channel: u64, seq: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(channel.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(seq.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One lease-handoff channel: messages in flight toward one node,
+/// tagged with a sender-assigned sequence number and a virtual-time
+/// delivery deadline. The receiving courier delivers strictly in
+/// sequence order (holding back early arrivals), which is what makes
+/// the handoff FIFO-preserving over a reorderable transport.
+#[derive(Default)]
+struct Channel {
+    /// `(seq, deliver_at, lease, visits_left)`, arrival order.
+    in_flight: Vec<(u64, Duration, u64, u64)>,
+    next_send: u64,
+    next_recv: u64,
+}
+
+/// Runs the multi-moderator ring under a fresh simulation. With
+/// `script: None` the run records (scheduling by `params.seed`); with
+/// `Some(schedule)` it replays that schedule. The returned record is a
+/// pure function of `(params, script)`.
+///
+/// Per node: a *worker* thread acquires each arriving lease through
+/// the node's own moderator (`acquire` blocks on an empty inbox),
+/// reports one fast-lane `observe` telemetry call, and forwards the
+/// lease to the next node's channel with seeded virtual-clock delay; a
+/// *courier* thread reassembles its channel's sequence order —
+/// parking through the simulated engine while a message is missing or
+/// still in flight — and deposits each lease via a moderated `grant`
+/// whose post-activation wakes the worker. Dropping a handoff
+/// ([`TopologyParams::drop_nth`]) starves the courier's cursor and the
+/// run ends in a detected deadlock naming the parked ring.
+pub fn run_topology_scenario(
+    params: &TopologyParams,
+    script: Option<Vec<usize>>,
+) -> TopologyRecord {
+    assert!(params.nodes >= 1, "a ring needs at least one node");
+    assert!(
+        params.leases >= 1 && params.hops >= 1,
+        "nothing to simulate"
+    );
+    let mut runner = match script {
+        None => SimRunner::new(params.seed),
+        Some(s) => SimRunner::replay(params.seed, s),
+    };
+    let engine = runner.engine();
+    let clock = runner.clock();
+    let nodes = params.nodes as usize;
+
+    struct Node {
+        moderator: Arc<AspectModerator>,
+        acquire: MethodHandle,
+        grant: MethodHandle,
+        observe: MethodHandle,
+        inbox: Arc<Mutex<VecDeque<(u64, u64)>>>,
+    }
+    let mut ring = Vec::with_capacity(nodes);
+    for _ in 0..nodes {
+        let moderator = Arc::new(
+            AspectModerator::builder()
+                .fairness(FairnessPolicy::Fifo)
+                .panic_policy(PanicPolicy::AbortInvocation)
+                .engine(Arc::new(runner.engine()))
+                .clock(Arc::new(runner.clock()))
+                .build(),
+        );
+        let acquire = moderator.declare_method(MethodId::new("acquire"));
+        let grant = moderator.declare_method(MethodId::new("grant"));
+        let observe = moderator.declare_method(MethodId::new("observe"));
+        let inbox: Arc<Mutex<VecDeque<(u64, u64)>>> = Arc::new(Mutex::new(VecDeque::new()));
+        {
+            let inbox = Arc::clone(&inbox);
+            moderator
+                .register(
+                    &acquire,
+                    Concern::synchronization(),
+                    Box::new(FnAspect::new("lease-gate").on_precondition(move |_| {
+                        if inbox.lock().unwrap().is_empty() {
+                            Verdict::Block
+                        } else {
+                            Verdict::Resume
+                        }
+                    })),
+                )
+                .expect("register lease-gate");
+        }
+        moderator
+            .register(
+                &grant,
+                Concern::new("handoff"),
+                Box::new(FnAspect::new("handoff")),
+            )
+            .expect("register handoff");
+        // Real library sink, declared pure: the telemetry row rides the
+        // lock-free fast lane, which is where the recorded `fast_path`
+        // counters come from.
+        moderator
+            .register(
+                &observe,
+                Concern::new("telemetry"),
+                Box::new(AuditAspect::new(AuditLog::shared())),
+            )
+            .expect("register telemetry");
+        moderator.wire_wakes(&grant, std::slice::from_ref(&acquire));
+        moderator.wire_wakes(&acquire, &[]);
+        moderator.wire_wakes(&observe, &[]);
+        ring.push(Node {
+            moderator,
+            acquire,
+            grant,
+            observe,
+            inbox,
+        });
+    }
+    // All leases start at node 0 with their full visit budget.
+    let total_visits = params.nodes * params.hops;
+    {
+        let mut inbox = ring[0].inbox.lock().unwrap();
+        for lease in 0..params.leases {
+            inbox.push_back((lease, total_visits));
+        }
+    }
+
+    // Channel `c` delivers into node `c`; node `i`'s worker sends into
+    // channel `(i + 1) % nodes`.
+    type ChannelSlot = Arc<(parking_lot::Mutex<Channel>, Arc<dyn Waiter<Channel>>)>;
+    let channels: Vec<ChannelSlot> = (0..nodes)
+        .map(|_| {
+            Arc::new((
+                parking_lot::Mutex::new(Channel::default()),
+                GrantSource::<Channel>::waiter(&engine),
+            ))
+        })
+        .collect();
+    let sends = Arc::new(AtomicU64::new(0));
+    let handoffs: Arc<Mutex<Vec<(u64, u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+    let retired: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+
+    fn invoke_ok(m: &AspectModerator, h: &MethodHandle) {
+        let mut ctx = InvocationContext::new(h.id().clone(), m.next_invocation());
+        m.preactivation(h, &mut ctx)
+            .expect("topology rows never abort");
+        m.postactivation(h, &mut ctx);
+    }
+
+    for (i, node) in ring.iter().enumerate() {
+        // Worker: acquire every lease visit at this node, observe, and
+        // forward (or retire) the lease.
+        let m = Arc::clone(&node.moderator);
+        let (acquire, observe) = (node.acquire.clone(), node.observe.clone());
+        let inbox = Arc::clone(&node.inbox);
+        let next_channel = Arc::clone(&channels[(i + 1) % nodes]);
+        let next_c = ((i + 1) % nodes) as u64;
+        let (sends, retired) = (Arc::clone(&sends), Arc::clone(&retired));
+        let (clock_w, p) = (clock.clone(), params.clone());
+        runner.spawn(&format!("w{i}"), move || {
+            for _ in 0..p.leases * p.hops {
+                let mut ctx = InvocationContext::new(acquire.id().clone(), m.next_invocation());
+                m.preactivation(&acquire, &mut ctx)
+                    .expect("acquire never aborts");
+                let (lease, visits) = inbox
+                    .lock()
+                    .unwrap()
+                    .pop_front()
+                    .expect("a resumed acquire finds a lease");
+                m.postactivation(&acquire, &mut ctx);
+                invoke_ok(&m, &observe);
+                let visits = visits - 1;
+                if visits == 0 {
+                    retired.lock().unwrap().push(lease);
+                    continue;
+                }
+                let (ch, waiter) = &*next_channel;
+                let mut g = ch.lock();
+                let seq = g.next_send;
+                g.next_send += 1;
+                let nth = sends.fetch_add(1, Ordering::SeqCst) + 1;
+                if p.drop_nth == Some(nth) {
+                    continue; // lost in flight; the sequence number is gone with it
+                }
+                let delay = jitter(p.seed, next_c, seq) % (p.max_delay_ns + 1);
+                let deliver_at = clock_w.now() + Duration::from_nanos(delay);
+                g.in_flight.push((seq, deliver_at, lease, visits));
+                drop(g);
+                waiter.wake_all();
+            }
+        });
+
+        // Courier: reassemble the channel's sequence order, honoring
+        // each message's virtual delivery time, and grant each lease
+        // into the node through its moderator.
+        let m = Arc::clone(&node.moderator);
+        let grant = node.grant.clone();
+        let inbox = Arc::clone(&node.inbox);
+        let channel = Arc::clone(&channels[i]);
+        let handoffs = Arc::clone(&handoffs);
+        let (clock_c, p) = (clock.clone(), params.clone());
+        let c = i as u64;
+        runner.spawn(&format!("courier{i}"), move || {
+            let expected = p.leases * p.hops - if c == 0 { p.leases } else { 0 };
+            for _ in 0..expected {
+                let (seq, lease, visits) = {
+                    let (ch, waiter) = &*channel;
+                    let mut g = ch.lock();
+                    loop {
+                        let want = g.next_recv;
+                        match g.in_flight.iter().position(|msg| msg.0 == want) {
+                            Some(pos) => {
+                                let now = clock_c.now();
+                                let deliver_at = g.in_flight[pos].1;
+                                if deliver_at <= now {
+                                    let (seq, _, lease, visits) = g.in_flight.remove(pos);
+                                    g.next_recv += 1;
+                                    break (seq, lease, visits);
+                                }
+                                waiter.park_for(&mut g, deliver_at - now);
+                            }
+                            None => waiter.park(&mut g),
+                        }
+                    }
+                };
+                handoffs.lock().unwrap().push((c, seq, lease));
+                inbox.lock().unwrap().push_back((lease, visits));
+                invoke_ok(&m, &grant);
+            }
+        });
+    }
+
+    let report = runner.run();
+    let (mut admits, mut fallbacks) = (0, 0);
+    for node in &ring {
+        let s = node.moderator.stats();
+        admits += s.fast_path_admits;
+        fallbacks += s.fast_path_fallbacks;
+    }
+    let handoffs = handoffs.lock().unwrap().clone();
+    let retired = retired.lock().unwrap().clone();
+    TopologyRecord {
+        seed: params.seed,
+        nodes: params.nodes,
+        leases: params.leases,
+        hops: params.hops,
+        max_delay_ns: params.max_delay_ns,
+        drop_nth: params.drop_nth,
+        threads: report.names,
+        schedule: report.schedule,
+        clock_ns: report.clock.as_nanos(),
+        handoffs,
+        retired,
+        fast_path_admits: admits,
+        fast_path_fallbacks: fallbacks,
         error: report.error,
     }
 }

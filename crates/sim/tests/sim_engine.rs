@@ -13,7 +13,10 @@ use amf_core::{
     AbortError, AspectModerator, Concern, FairnessPolicy, FnAspect, InvocationContext, MemoryTrace,
     MethodHandle, MethodId, Verdict,
 };
-use amf_sim::{run_buffer_scenario, ReplayHeader, ScenarioParams, SimRunner};
+use amf_sim::{
+    run_buffer_scenario, run_topology_scenario, ReplayHeader, ScenarioParams, SimRunner,
+    TopologyParams, TopologyReplayHeader,
+};
 
 fn invoke(m: &AspectModerator, h: &MethodHandle) {
     let invocation = m.next_invocation();
@@ -409,6 +412,147 @@ fn scenario_record_then_replay_is_byte_identical() {
     assert_eq!(header.seed, params.seed);
     let replayed = run_buffer_scenario(&params, Some(header.schedule));
     assert_eq!(replayed.to_json(), json, "byte-identical reproduction");
+}
+
+/// Regression for the recorded fast-path counters: a fault-free run's
+/// audit row rides the lock-free lane, the artifact surfaces both
+/// counters, and they sit inside the byte-identity perimeter — a
+/// replay that admitted differently could not reproduce the bytes.
+#[test]
+fn scenario_artifact_surfaces_fast_path_counters() {
+    let params = ScenarioParams {
+        seed: 9,
+        producers: 2,
+        consumers: 2,
+        rounds: 5,
+        fault_permille: 0,
+    };
+    let recorded = run_buffer_scenario(&params, None);
+    assert_eq!(recorded.error, None);
+    assert!(
+        recorded.fast_path_admits > 0,
+        "fault-free audit row must use the lane: {recorded:?}"
+    );
+    assert_eq!(
+        recorded.fast_path_fallbacks, 0,
+        "the token scheduler never loses a CAS: {recorded:?}"
+    );
+    let json = recorded.to_json();
+    assert!(json.contains(&format!(
+        "\"fast_path\": {{ \"admits\": {}, \"fallbacks\": 0 }}",
+        recorded.fast_path_admits
+    )));
+    let header = ReplayHeader::scan(&json).expect("artifact scans");
+    let replayed = run_buffer_scenario(&params, Some(header.schedule));
+    assert_eq!(replayed.fast_path_admits, recorded.fast_path_admits);
+    assert_eq!(replayed.to_json(), json, "byte-identical reproduction");
+}
+
+// ------------------------------------------------------------------ //
+// Multi-moderator topology: a ring of independent moderators joined by
+// simulated lease-handoff channels (virtual-clock delays, reorderable
+// in flight, droppable). The model-checked twin of these properties
+// lives in crates/verify/tests/multi_moderator.rs.
+// ------------------------------------------------------------------ //
+
+/// The 2-node lease handoff records and replays byte-identically, the
+/// couriers preserve FIFO per channel despite in-flight reordering,
+/// every lease retires, and the per-node telemetry rows exercise the
+/// fast lane (the counters the artifact surfaces).
+#[test]
+fn topology_record_then_replay_is_byte_identical() {
+    let params = TopologyParams {
+        seed: 4242,
+        nodes: 2,
+        leases: 3,
+        hops: 4,
+        max_delay_ns: 50_000,
+        drop_nth: None,
+    };
+    let recorded = run_topology_scenario(&params, None);
+    assert_eq!(recorded.error, None, "{recorded:?}");
+
+    // Every lease retires exactly once.
+    let mut retired = recorded.retired.clone();
+    retired.sort_unstable();
+    assert_eq!(retired, vec![0, 1, 2]);
+    // Cross-node FIFO no-overtake: per channel, delivered sequence
+    // numbers are exactly 0, 1, 2, ... in delivery order.
+    for channel in 0..params.nodes {
+        let seqs: Vec<u64> = recorded
+            .handoffs
+            .iter()
+            .filter(|(c, _, _)| *c == channel)
+            .map(|(_, seq, _)| *seq)
+            .collect();
+        assert_eq!(
+            seqs,
+            (0..seqs.len() as u64).collect::<Vec<_>>(),
+            "channel {channel}"
+        );
+    }
+    // node 0 receives leases*hops - leases handoffs, node 1 leases*hops.
+    assert_eq!(
+        recorded.handoffs.len() as u64,
+        2 * params.leases * params.hops - params.leases
+    );
+    assert!(
+        recorded.fast_path_admits > 0,
+        "telemetry row must ride the lane"
+    );
+
+    let json = recorded.to_json();
+    let header = TopologyReplayHeader::scan(&json).expect("artifact scans");
+    assert_eq!(header.seed, params.seed);
+    assert_eq!(header.drop_nth, None);
+    let replayed = run_topology_scenario(&params, Some(header.schedule));
+    assert_eq!(replayed.to_json(), json, "byte-identical reproduction");
+}
+
+/// Same-seed determinism and cross-seed schedule sensitivity: the
+/// handoff interleaving is a pure function of the seed.
+#[test]
+fn topology_runs_are_deterministic_per_seed() {
+    let params = TopologyParams {
+        seed: 7,
+        nodes: 3,
+        leases: 2,
+        hops: 2,
+        max_delay_ns: 10_000,
+        drop_nth: None,
+    };
+    let a = run_topology_scenario(&params, None);
+    let b = run_topology_scenario(&params, None);
+    assert_eq!(a.to_json(), b.to_json());
+    assert_eq!(a.error, None);
+}
+
+/// Dropping one handoff in flight starves the receiving courier's
+/// sequence cursor; the ring winds down and the scheduler reports a
+/// deadlock naming the parked threads instead of hanging the test.
+#[test]
+fn topology_dropped_handoff_is_a_detected_deadlock() {
+    let params = TopologyParams {
+        seed: 4242,
+        nodes: 2,
+        leases: 2,
+        hops: 3,
+        max_delay_ns: 1_000,
+        drop_nth: Some(3),
+    };
+    let recorded = run_topology_scenario(&params, None);
+    let err = recorded
+        .error
+        .as_deref()
+        .expect("dropped handoff must deadlock");
+    assert!(err.contains("deadlock"), "{err}");
+    // The artifact still renders and carries the ablation parameter,
+    // so a postmortem replay reproduces the stuck run.
+    let json = recorded.to_json();
+    let header = TopologyReplayHeader::scan(&json).expect("artifact scans");
+    assert_eq!(header.drop_nth, Some(3));
+    // Fewer leases retire than circulate: the ring really starved.
+    assert!(recorded.retired.len() < params.leases as usize + 1);
 }
 
 #[test]

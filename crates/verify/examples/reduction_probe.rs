@@ -1,0 +1,88 @@
+//! Probe for the DPOR reduction factor on the canonical capacity-1
+//! producer/consumer scenario (the E13/E15 workload), at bounds given
+//! on the command line:
+//!
+//! ```text
+//! cargo run -p amf-verify --release --example reduction_probe -- \
+//!     <pairs> <ops> [max-states-log2 (default 23)] [none|dpor|both]
+//! ```
+//!
+//! prints states / schedules / terminals / wall for the selected
+//! [`ReductionPolicy`] values at `pairs`×`ops`.
+
+use std::time::Instant;
+
+use amf_verify::{aspects, Checker, ModelSystem, ReductionPolicy, Strategy};
+
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+struct Buf {
+    reserved: usize,
+    produced: usize,
+    producing: bool,
+    consuming: bool,
+}
+
+fn explore(pairs: usize, ops: usize, policy: ReductionPolicy, max_states: usize) {
+    let capacity = 1;
+    let mut sys = ModelSystem::new();
+    let put = sys.method("put");
+    let take = sys.method("take");
+    sys.add_aspect(
+        put,
+        "sync",
+        aspects::buffer_producer(
+            capacity,
+            |s: &mut Buf| &mut s.reserved,
+            |s: &mut Buf| &mut s.produced,
+            |s: &mut Buf| &mut s.producing,
+        ),
+    );
+    sys.add_aspect(
+        take,
+        "sync",
+        aspects::buffer_consumer(
+            |s: &mut Buf| &mut s.reserved,
+            |s: &mut Buf| &mut s.produced,
+            |s: &mut Buf| &mut s.consuming,
+        ),
+    );
+    let mut checker = Checker::new(sys)
+        .strategy(Strategy::Exhaustive)
+        .reduction(policy)
+        .max_states(max_states)
+        .invariant(move |s: &Buf| s.reserved <= capacity && s.produced <= s.reserved);
+    for _ in 0..pairs {
+        checker = checker.thread(vec![put; ops]);
+        checker = checker.thread(vec![take; ops]);
+    }
+    let start = Instant::now();
+    let r = checker.run(Buf::default());
+    println!(
+        "{policy:?}: states={} schedules={} terminals={} outcome={:?} wall={:.2}s",
+        r.states,
+        r.schedules,
+        r.terminals,
+        r.outcome,
+        start.elapsed().as_secs_f64()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let num = |i: usize, d: usize| args.get(i).and_then(|a| a.parse().ok()).unwrap_or(d);
+    let (pairs, ops, bits) = (num(0, 2), num(1, 2), num(2, 23));
+    let which = args.get(3).map(String::as_str).unwrap_or("both");
+    println!(
+        "bounds: {}x{} ({} threads, {} ops each), max_states 2^{bits}",
+        2 * pairs,
+        ops,
+        2 * pairs,
+        ops
+    );
+    if which != "dpor" {
+        explore(pairs, ops, ReductionPolicy::None, 1 << bits);
+    }
+    if which != "none" {
+        explore(pairs, ops, ReductionPolicy::Dpor, 1 << bits);
+    }
+}

@@ -31,6 +31,51 @@ pub enum Strategy {
     },
 }
 
+/// Schedule-space reduction applied by [`Strategy::Exhaustive`]
+/// (selected with [`Checker::reduction`]; ignored by
+/// [`Strategy::Randomized`]).
+///
+/// Reduction never changes *verdicts*: the reduced exploration visits
+/// every reachable state the unreduced one does (sleep sets prune
+/// redundant transition orders, not states; the persistent-set layer
+/// is applied only where deadlock- and terminal-preservation are
+/// guaranteed), so [`Exploration::outcome`] is identical under both
+/// policies and any counterexample still replays and shrinks the same
+/// way. Only [`Exploration::schedules`] (and with it wall-clock time)
+/// shrinks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReductionPolicy {
+    /// No reduction: explore every schedule (the default). Exploration
+    /// counts are exactly those of the explorer before reduction
+    /// existed, preserved for A/B comparison and for the CI
+    /// schedule-count regression gate.
+    #[default]
+    None,
+    /// Sleep-set + persistent-set dynamic partial-order reduction.
+    ///
+    /// *Sleep sets*: once a thread's step has been explored from a
+    /// state, sibling branches carry it in a sleep set and skip it for
+    /// as long as every step taken since provably commutes with it.
+    /// Commutation is never assumed from the declared dependency
+    /// footprints alone — it is *proved* per state by a
+    /// replay-equivalence self-check (execute both orders, require
+    /// bit-identical worlds), so a wrong declaration can cost
+    /// reduction but never soundness.
+    ///
+    /// *Persistent sets*: when every method a thread may still touch
+    /// has a dependency footprint (cell, queue, lane word, declared
+    /// shared-state region — see [`ModelSystem::set_region`]) disjoint
+    /// from the footprints of all other unfinished threads, the
+    /// explorer commits to a conflict-closed subset of enabled threads
+    /// and defers the rest. Applied only when no per-step invariant is
+    /// configured (a step invariant reads the whole shared state, so
+    /// every step conflicts with it); deadlocks, terminal states,
+    /// final-invariant and fairness verdicts are preserved.
+    ///
+    /// [`ModelSystem::set_region`]: crate::ModelSystem::set_region
+    Dpor,
+}
+
 /// Classification of one thread's next action at a given state — the
 /// explorer's live/blocked bookkeeping. A state where every unfinished
 /// thread is [`ActionResult::Blocked`] is a deadlock and is reported
@@ -196,6 +241,11 @@ pub struct Exploration {
 /// taken.
 type Choice = (usize, usize);
 
+/// Memo of per-state commutation proofs: `(state hash, thread a,
+/// thread b) -> commutes`. Shared across deepening passes — the result
+/// is a pure function of the state.
+type CommuteCache = HashMap<(u64, usize, usize), bool>;
+
 /// Failure discriminants shared by exploration and replay; carries no
 /// trace so shrinking can compare candidates cheaply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -236,6 +286,47 @@ enum PassEnd {
 struct PassStats {
     terminals: usize,
     schedules: usize,
+}
+
+/// One resource in a step's declared dependency footprint. Two steps
+/// whose footprints share no conflicting resource are *candidate*
+/// independent; the DPOR layers then treat the declaration
+/// differently: the persistent-set layer trusts conflict-closure over
+/// these footprints (they are conservative over-approximations), while
+/// the sleep-set layer additionally proves every commutation by the
+/// replay-equivalence self-check before acting on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Res {
+    /// A method's coordination cell: chain evaluation, unwind,
+    /// timeout cancellation all serialize on it.
+    Cell(usize),
+    /// A method's wait/ticket queue — membership (`order`/`elig`) and
+    /// the phases of threads parked on it (notifications flip those).
+    Queue(usize),
+    /// A method's packed atomic lane word (fast admit / fast release).
+    Lane(usize),
+    /// A declared region of the user shared state `S` (see
+    /// [`ModelSystem::set_region`](crate::ModelSystem::set_region)):
+    /// methods in different regions promise not to read or write each
+    /// other's part of `S`.
+    Region(usize),
+    /// Undeclared shared state: the whole registry of `S`. Conflicts
+    /// with itself and with every region.
+    Shared,
+}
+
+impl Res {
+    fn conflicts(self, other: Res) -> bool {
+        match (self, other) {
+            (Res::Shared, Res::Shared | Res::Region(_)) => true,
+            (Res::Region(_), Res::Shared) => true,
+            (a, b) => a == b,
+        }
+    }
+}
+
+fn footprints_conflict(a: &[Res], b: &[Res]) -> bool {
+    a.iter().any(|&ra| b.iter().any(|&rb| ra.conflicts(rb)))
 }
 
 #[derive(Clone, PartialEq, Eq, Hash)]
@@ -305,6 +396,7 @@ pub struct Checker<S> {
     invariant: Option<InvariantFn<S>>,
     final_invariant: Option<InvariantFn<S>>,
     strategy: Strategy,
+    reduction: ReductionPolicy,
     max_states: usize,
     max_depth: Option<usize>,
     samples: usize,
@@ -331,6 +423,7 @@ impl<S> fmt::Debug for Checker<S> {
             .field("system", &self.system)
             .field("threads", &self.scripts.len())
             .field("strategy", &self.strategy)
+            .field("reduction", &self.reduction)
             .field("max_states", &self.max_states)
             .field("max_depth", &self.max_depth)
             .field("notify_one", &self.notify_one)
@@ -362,6 +455,7 @@ impl<S: Clone + Eq + Hash> Checker<S> {
             invariant: None,
             final_invariant: None,
             strategy: Strategy::Exhaustive,
+            reduction: ReductionPolicy::None,
             max_states: 1_000_000,
             max_depth: None,
             samples: 1_000,
@@ -440,6 +534,17 @@ impl<S: Clone + Eq + Hash> Checker<S> {
     #[must_use]
     pub fn strategy(mut self, strategy: Strategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Selects the exhaustive explorer's schedule-space reduction
+    /// (default [`ReductionPolicy::None`], which preserves the
+    /// pre-reduction exploration counts exactly). See
+    /// [`ReductionPolicy::Dpor`] for what the reduced exploration
+    /// guarantees. Ignored by [`Strategy::Randomized`].
+    #[must_use]
+    pub fn reduction(mut self, policy: ReductionPolicy) -> Self {
+        self.reduction = policy;
         self
     }
 
@@ -1226,6 +1331,260 @@ impl<S: Clone + Eq + Hash> Checker<S> {
             .collect()
     }
 
+    /// The shared-state resource `method`'s user code (aspect
+    /// pre/post/release functions and the body) may touch: its declared
+    /// region, or the whole registry when undeclared. Methods with no
+    /// user code touch no shared state at all.
+    fn shared_res(&self, method: usize) -> Option<Res> {
+        let m = &self.system.methods[method];
+        if m.chain.is_empty() && m.body.is_none() {
+            return None;
+        }
+        Some(match m.region {
+            Some(r) => Res::Region(r),
+            None => Res::Shared,
+        })
+    }
+
+    /// Declared dependency footprint of `thread`'s *next step* at `w`:
+    /// the coordination cell, queue, lane word and shared-state
+    /// resources the step may read or write. Conservative — a step's
+    /// footprint covers every variant of the step (a chain evaluation
+    /// that might block covers the queue join; a post covers every
+    /// wake-target queue).
+    fn step_footprint(&self, w: &World<S>, thread: usize) -> Vec<Res> {
+        let (pc, phase) = &w.threads[thread];
+        let mut fp = Vec::new();
+        match phase {
+            Phase::Done => {}
+            Phase::Ready => {
+                let m = self.scripts[thread][*pc].0;
+                fp.push(Res::Cell(m));
+                fp.push(Res::Queue(m));
+                if self.fast_lanes.contains(&m) {
+                    fp.push(Res::Lane(m));
+                }
+                fp.extend(self.shared_res(m));
+            }
+            Phase::Blocked(m) | Phase::WillBlock(m) => {
+                // Timeout cancellation / the racy park: queue
+                // membership and the parked phase itself.
+                fp.push(Res::Cell(*m));
+                fp.push(Res::Queue(*m));
+            }
+            Phase::Body(m) | Phase::FastBody(m) => {
+                fp.extend(self.shared_res(*m));
+            }
+            Phase::Post(m) | Phase::Unwind { method: m, .. } => {
+                fp.push(Res::Cell(*m));
+                fp.push(Res::Queue(*m));
+                fp.extend(self.shared_res(*m));
+                for t in self.wake_set(*m) {
+                    fp.push(Res::Queue(t));
+                }
+            }
+            Phase::FastPost(m) => {
+                fp.push(Res::Lane(*m));
+            }
+        }
+        fp
+    }
+
+    /// Static footprint of `method`: the union of the step footprints
+    /// of every phase an activation of it can pass through.
+    fn method_footprint(&self, method: usize) -> Vec<Res> {
+        let mut fp = vec![Res::Cell(method), Res::Queue(method)];
+        if self.fast_lanes.contains(&method) {
+            fp.push(Res::Lane(method));
+        }
+        fp.extend(self.shared_res(method));
+        for t in self.wake_set(method) {
+            if t != method {
+                fp.push(Res::Queue(t));
+            }
+        }
+        fp
+    }
+
+    /// Everything `thread` may still touch from `w` on: the footprint
+    /// of its in-flight activation plus those of every script op not
+    /// yet started. The persistent-set layer compares these to find
+    /// threads whose entire futures are disjoint.
+    fn remaining_footprint(&self, w: &World<S>, thread: usize) -> Vec<Res> {
+        let (pc, phase) = &w.threads[thread];
+        let mut fp = Vec::new();
+        match phase {
+            Phase::Done | Phase::Ready => {}
+            Phase::Blocked(m)
+            | Phase::WillBlock(m)
+            | Phase::Body(m)
+            | Phase::Post(m)
+            | Phase::FastBody(m)
+            | Phase::FastPost(m)
+            | Phase::Unwind { method: m, .. } => fp.extend(self.method_footprint(*m)),
+        }
+        for op in &self.scripts[thread][(*pc).min(self.scripts[thread].len())..] {
+            fp.extend(self.method_footprint(op.0));
+        }
+        fp
+    }
+
+    /// The successor world of `thread` at `w`, provided the step is
+    /// *deterministic* (exactly one successor). Branching steps
+    /// (notify-one wakes, an open fast lane's dual admit) are never
+    /// treated as independent of anything.
+    fn singleton_successor(&self, w: &World<S>, thread: usize) -> Option<World<S>> {
+        let mut succ = self.successors(w, thread);
+        if succ.len() == 1 {
+            Some(succ.pop().expect("len checked").1)
+        } else {
+            None
+        }
+    }
+
+    /// The replay-equivalence self-check: `a` and `b` commute at `w`
+    /// iff both steps are deterministic, each remains deterministic
+    /// after the other, and executing them in either order reaches the
+    /// *bit-identical* world (shared state, phases, queues, panic
+    /// flags, fairness flag). This is the proof obligation behind
+    /// every sleep-set pruning decision — declared footprints propose,
+    /// replay equivalence disposes.
+    fn commutes(&self, w: &World<S>, a: usize, b: usize) -> bool {
+        let (Some(wa), Some(wb)) = (
+            self.singleton_successor(w, a),
+            self.singleton_successor(w, b),
+        ) else {
+            return false;
+        };
+        let (Some(wab), Some(wba)) = (
+            self.singleton_successor(&wa, b),
+            self.singleton_successor(&wb, a),
+        ) else {
+            return false;
+        };
+        wab == wba
+    }
+
+    /// Memoized independence of two threads' next steps at `w`, keyed
+    /// by the state hash and the (unordered) thread pair — shares the
+    /// pruning layer's accepted hash-collision risk.
+    ///
+    /// Two tiers: when both steps' declared footprints are *purely
+    /// structural* (cell, queue, lane — computed by the checker from
+    /// the model, never claimed by the user) and disjoint, the steps
+    /// operate on disjoint parts of the world and independence follows
+    /// without running anything. Everything else — conflicting
+    /// footprints that may still commute dynamically (the buffer
+    /// protocol's bread and butter), or footprints resting on a
+    /// user-declared region — is settled by the replay-equivalence
+    /// self-check: declared footprints propose, replay equivalence
+    /// disposes.
+    fn independent(
+        &self,
+        w: &World<S>,
+        wh: u64,
+        a: usize,
+        b: usize,
+        cache: &mut CommuteCache,
+    ) -> bool {
+        let key = (wh, a.min(b), a.max(b));
+        if let Some(&v) = cache.get(&key) {
+            return v;
+        }
+        let fa = self.step_footprint(w, a);
+        let fb = self.step_footprint(w, b);
+        let structural = fa
+            .iter()
+            .chain(fb.iter())
+            .all(|r| !matches!(r, Res::Region(_)));
+        let v = (structural && !footprints_conflict(&fa, &fb)) || self.commutes(w, a, b);
+        cache.insert(key, v);
+        v
+    }
+
+    /// The persistent-set layer: restricts `succs` to a conflict-closed
+    /// subset of the enabled threads whose remaining footprints are
+    /// disjoint from every thread left out, so the deferred threads'
+    /// steps commute with everything explored first. Returns `succs`
+    /// unchanged whenever no reduction is provable: a per-step
+    /// invariant is configured (it reads all of `S`, so everything
+    /// conflicts), a *blocked* thread conflicts with the set (waking it
+    /// needs a conflicting step), or the closure swallows every enabled
+    /// thread. Declared regions are spot-checked: each deferred thread
+    /// must pass the replay-equivalence self-check against the chosen
+    /// set at this state, else the declaration is distrusted and no
+    /// reduction happens.
+    fn persistent_filter(
+        &self,
+        w: &World<S>,
+        succs: Vec<(Choice, Step, World<S>)>,
+        cache: &mut CommuteCache,
+    ) -> Vec<(Choice, Step, World<S>)> {
+        if self.invariant.is_some() {
+            return succs;
+        }
+        let n = self.scripts.len();
+        let mut enabled = vec![false; n];
+        for ((t, _), _, _) in &succs {
+            enabled[*t] = true;
+        }
+        let first = match (0..n).find(|&t| enabled[t]) {
+            Some(t) => t,
+            None => return succs,
+        };
+        if enabled.iter().filter(|&&e| e).count() <= 1 {
+            return succs;
+        }
+        let unfinished: Vec<bool> = (0..n)
+            .map(|t| !matches!(w.threads[t].1, Phase::Done))
+            .collect();
+        let rf: Vec<Vec<Res>> = (0..n).map(|t| self.remaining_footprint(w, t)).collect();
+        let mut in_set = vec![false; n];
+        in_set[first] = true;
+        loop {
+            let mut changed = false;
+            for u in 0..n {
+                if in_set[u] || !unfinished[u] {
+                    continue;
+                }
+                let conflicts = (0..n).any(|p| in_set[p] && footprints_conflict(&rf[u], &rf[p]));
+                if conflicts {
+                    if !enabled[u] {
+                        // A blocked thread conflicts with the set:
+                        // whoever wakes it would have to be included,
+                        // so give up on reducing here.
+                        return succs;
+                    }
+                    in_set[u] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        if (0..n).all(|t| !enabled[t] || in_set[t]) {
+            return succs;
+        }
+        // Spot-check the declarations: every deferred enabled thread
+        // must actually commute, here and now, with every member.
+        let wh = Self::state_hash(w);
+        for u in 0..n {
+            if !enabled[u] || in_set[u] {
+                continue;
+            }
+            for p in 0..n {
+                if in_set[p] && enabled[p] && !self.independent(w, wh, u, p, cache) {
+                    return succs;
+                }
+            }
+        }
+        succs
+            .into_iter()
+            .filter(|((t, _), _, _)| in_set[*t])
+            .collect()
+    }
+
     fn initial_world(&self, initial: S) -> World<S> {
         World {
             shared: initial,
@@ -1335,36 +1694,134 @@ impl<S: Clone + Eq + Hash> Checker<S> {
     /// depth is pruned; reached *shallower*, it is re-expanded so the
     /// depth bound never hides schedules (the invariant that makes
     /// iterative deepening sound with pruning).
+    ///
+    /// Under [`ReductionPolicy::Dpor`] each frame additionally carries
+    /// a *sleep set*: threads whose steps were already explored from an
+    /// earlier sibling branch and have commuted (proved by the
+    /// replay-equivalence self-check) with every step taken since.
+    /// Their branches are skipped — any schedule starting with them is
+    /// a reordering of one already explored. Because sleep sets change
+    /// what is explored *from* a state, the pruning key widens to
+    /// (state, sleep set): a revisit is pruned only when an earlier
+    /// expansion covered at least as many transitions (its sleep set
+    /// was a subset) at least as shallow.
     fn dfs_pass(
         &self,
         initial: &World<S>,
         limit: usize,
         all_states: &mut HashSet<u64>,
         stats: &mut PassStats,
+        cache: &mut CommuteCache,
     ) -> PassEnd {
         struct Frame<S> {
+            world: World<S>,
+            /// Hash of `world`, computed once at push.
+            hash: u64,
             succs: Vec<(Choice, Step, World<S>)>,
             next: usize,
+            /// Dpor: sleeping threads, as a bitmask over thread ids
+            /// (the reduction caps out at 64 threads — far beyond any
+            /// enumerable scenario).
+            sleep: u64,
+            /// Dpor: some schedule below this frame hit the depth
+            /// bound, so its subtree is *not* completely explored.
+            dirty: bool,
+            /// Dpor: the `(state hash, index)` of this expansion's
+            /// entry in `visits`, to mark clean once the frame pops.
+            record: Option<(u64, usize)>,
         }
+        /// One recorded expansion of a state: the depth it happened
+        /// at, the sleep mask it happened with, and whether the subtree
+        /// was explored to completion (no descendant hit the depth
+        /// bound). A clean expansion covers revisits at *any* depth —
+        /// completeness is depth-independent: every schedule below it
+        /// ended naturally, so it also fits under any later budget.
+        type Record = (usize, u64, bool);
+        let dpor = self.reduction == ReductionPolicy::Dpor && self.scripts.len() <= 64;
         let mut min_depth: HashMap<u64, usize> = HashMap::new();
-        min_depth.insert(Self::state_hash(initial), 0);
+        // Dpor bookkeeping per state: the mask of threads enabled there
+        // (after the persistent filter — a pure function of the state,
+        // so safe to cache by hash) and every expansion on record.
+        let mut visits: HashMap<u64, (u64, Vec<Record>)> = HashMap::new();
         let mut cutoff = false;
         let mut schedule: Vec<Choice> = Vec::new();
+        let root_succs = if dpor {
+            self.persistent_filter(initial, self.transitions(initial), cache)
+        } else {
+            self.transitions(initial)
+        };
+        let root_hash = Self::state_hash(initial);
+        if dpor {
+            let mut enabled = 0u64;
+            for ((t, _), _, _) in &root_succs {
+                enabled |= 1 << t;
+            }
+            visits.insert(root_hash, (enabled, vec![(0, 0, false)]));
+        } else {
+            min_depth.insert(root_hash, 0);
+        }
         let mut stack = vec![Frame {
-            succs: self.transitions(initial),
+            world: initial.clone(),
+            hash: root_hash,
+            succs: root_succs,
             next: 0,
+            sleep: 0,
+            dirty: false,
+            record: if dpor { Some((root_hash, 0)) } else { None },
         }];
         while !stack.is_empty() {
-            let (choice, world) = {
+            let (choice, world, child_sleep) = {
                 let frame = stack.last_mut().expect("non-empty stack");
                 if frame.next >= frame.succs.len() {
-                    stack.pop();
+                    let frame = stack.pop().expect("non-empty stack");
                     schedule.pop();
+                    if dpor {
+                        if frame.dirty {
+                            if let Some(parent) = stack.last_mut() {
+                                parent.dirty = true;
+                            }
+                        } else if let Some((h, idx)) = frame.record {
+                            if let Some((_, records)) = visits.get_mut(&h) {
+                                records[idx].2 = true;
+                            }
+                        }
+                    }
                     continue;
                 }
                 let (choice, _, world) = frame.succs[frame.next].clone();
+                let thread = choice.0;
+                if dpor && frame.sleep >> thread & 1 == 1 {
+                    // Asleep: every schedule beginning with this step
+                    // reorders one an earlier sibling already covered.
+                    frame.next += 1;
+                    continue;
+                }
                 frame.next += 1;
-                (choice, world)
+                let child_sleep = if dpor {
+                    let fh = frame.hash;
+                    // A sleeping thread stays asleep past this step
+                    // only while the commutation proof holds here.
+                    let mut filtered = 0u64;
+                    let mut rest = frame.sleep;
+                    while rest != 0 {
+                        let u = rest.trailing_zeros() as usize;
+                        rest &= rest - 1;
+                        if self.independent(&frame.world, fh, u, thread, cache) {
+                            filtered |= 1 << u;
+                        }
+                    }
+                    // Once past the thread's last branch, later
+                    // siblings may treat its step as covered.
+                    let done_with_thread =
+                        frame.next >= frame.succs.len() || frame.succs[frame.next].0 .0 != thread;
+                    if done_with_thread {
+                        frame.sleep |= 1 << thread;
+                    }
+                    filtered
+                } else {
+                    0
+                };
+                (choice, world, child_sleep)
             };
             schedule.push(choice);
             if world.violated {
@@ -1385,16 +1842,86 @@ impl<S: Clone + Eq + Hash> Checker<S> {
                 return PassEnd::StateLimit;
             }
             let depth = schedule.len();
-            if min_depth.get(&h).is_some_and(|&d| d <= depth) {
-                // Already explored from here at least this shallow:
-                // this schedule ends in known territory.
-                stats.schedules += 1;
-                schedule.pop();
-                continue;
-            }
-            min_depth.insert(h, depth);
+            let mut needs_insert = false;
+            let mut frame_record = None;
+            let frame_sleep = if dpor {
+                match visits.get_mut(&h) {
+                    Some((enabled, records)) => {
+                        // An earlier expansion covers this revisit if
+                        // it was *clean* (its whole subtree fit under
+                        // the bound — depth-independent) or happened at
+                        // least this shallow (at least this much
+                        // remaining budget). A thread needs expansion
+                        // here only if it is awake now and *every*
+                        // covering expansion had it asleep — anything
+                        // else was already explored from this state
+                        // with enough budget (difference exploration,
+                        // the state-caching refinement of sleep sets).
+                        let mut missed = !0u64;
+                        let mut any_eligible = false;
+                        for (d, z, clean) in records.iter() {
+                            if *clean || *d <= depth {
+                                any_eligible = true;
+                                missed &= z;
+                            }
+                        }
+                        if !any_eligible {
+                            // Only deeper, cut-off expansions on
+                            // record: the depth bound may have hidden
+                            // schedules, so re-expand in full (the
+                            // deepening invariant, as in the unreduced
+                            // explorer).
+                            frame_record = Some((h, records.len()));
+                            records.push((depth, child_sleep, false));
+                            child_sleep
+                        } else {
+                            let explore = *enabled & !child_sleep & missed;
+                            if explore == 0 {
+                                stats.schedules += 1;
+                                schedule.pop();
+                                continue;
+                            }
+                            // Everything not expanded goes to sleep
+                            // for the children.
+                            let extended = child_sleep | (*enabled & !explore);
+                            frame_record = Some((h, records.len()));
+                            records.push((depth, extended, false));
+                            extended
+                        }
+                    }
+                    None => {
+                        // Fresh state: the enabled set is recorded once
+                        // the persistent filter has run, below.
+                        needs_insert = true;
+                        child_sleep
+                    }
+                }
+            } else {
+                if min_depth.get(&h).is_some_and(|&d| d <= depth) {
+                    // Already explored from here at least this shallow:
+                    // this schedule ends in known territory.
+                    stats.schedules += 1;
+                    schedule.pop();
+                    continue;
+                }
+                min_depth.insert(h, depth);
+                0
+            };
             let succs = self.transitions(&world);
             let results = self.action_results(&world, &succs);
+            let succs = if dpor {
+                self.persistent_filter(&world, succs, cache)
+            } else {
+                succs
+            };
+            if needs_insert {
+                let mut enabled = 0u64;
+                for ((t, _), _, _) in &succs {
+                    enabled |= 1 << t;
+                }
+                frame_record = Some((h, 0));
+                visits.insert(h, (enabled, vec![(depth, frame_sleep, false)]));
+            }
             if results.iter().all(|r| *r == ActionResult::Joined) {
                 stats.terminals += 1;
                 stats.schedules += 1;
@@ -1421,9 +1948,24 @@ impl<S: Clone + Eq + Hash> Checker<S> {
                 cutoff = true;
                 stats.schedules += 1;
                 schedule.pop();
+                if dpor {
+                    // The parent's subtree is incomplete: its state
+                    // must not be marked clean when it pops.
+                    if let Some(parent) = stack.last_mut() {
+                        parent.dirty = true;
+                    }
+                }
                 continue;
             }
-            stack.push(Frame { succs, next: 0 });
+            stack.push(Frame {
+                world,
+                hash: h,
+                succs,
+                next: 0,
+                sleep: frame_sleep,
+                dirty: false,
+                record: frame_record,
+            });
         }
         if cutoff {
             PassEnd::Cutoff
@@ -1476,9 +2018,16 @@ impl<S: Clone + Eq + Hash> Checker<S> {
 
         let cap = self.max_depth.unwrap_or(usize::MAX);
         let mut limit = 8_usize.min(cap);
+        let mut cache = CommuteCache::new();
         loop {
             stats = PassStats::default();
-            match self.dfs_pass(&initial_world, limit, &mut all_states, &mut stats) {
+            match self.dfs_pass(
+                &initial_world,
+                limit,
+                &mut all_states,
+                &mut stats,
+                &mut cache,
+            ) {
                 PassEnd::Failed { schedule, failure } => {
                     let trace = self.shrink(&initial_world, schedule, failure);
                     return self.exploration(failure.into_outcome(trace), &all_states, &stats);
@@ -1744,6 +2293,107 @@ mod tests {
             Outcome::FinalInvariantViolation(trace) => assert!(!trace.is_empty()),
             other => panic!("expected final violation, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn dpor_preserves_verdicts_and_reduces_schedules() {
+        let (sys, op) = exclusion_system();
+        let base = || {
+            Checker::new(sys.clone())
+                .thread(vec![op, op])
+                .thread(vec![op, op])
+                .thread(vec![op])
+                .final_invariant(|s: &Excl| !s.busy && s.inside == 0)
+        };
+        let full = base().run(Excl::default());
+        let reduced = base().reduction(ReductionPolicy::Dpor).run(Excl::default());
+        assert_eq!(full.outcome, Outcome::Ok);
+        assert_eq!(reduced.outcome, Outcome::Ok);
+        assert!(
+            reduced.schedules < full.schedules,
+            "dpor must explore strictly fewer schedules: {} vs {}",
+            reduced.schedules,
+            full.schedules
+        );
+    }
+
+    #[test]
+    fn dpor_still_finds_the_deadlock() {
+        #[derive(Clone, PartialEq, Eq, Hash, Default)]
+        struct S {
+            open: bool,
+        }
+        let mut sys = ModelSystem::new();
+        let gated = sys.method("gated");
+        sys.add_aspect(gated, "gate", aspects::guard(|s: &S| s.open));
+        let result = Checker::new(sys)
+            .reduction(ReductionPolicy::Dpor)
+            .thread(vec![gated])
+            .thread(vec![gated])
+            .run(S::default());
+        match result.outcome {
+            Outcome::Deadlock(trace) => assert!(!trace.is_empty()),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn declared_regions_enable_persistent_reduction() {
+        // Two fully independent "nodes": disjoint counters, disjoint
+        // methods, wired-empty wakes, disjoint declared regions. The
+        // persistent-set layer should explore them compositionally.
+        #[derive(Clone, PartialEq, Eq, Hash, Default)]
+        struct S {
+            a: usize,
+            b: usize,
+        }
+        let mut sys = ModelSystem::new();
+        let op_a = sys.method("op_a");
+        let op_b = sys.method("op_b");
+        sys.add_aspect(
+            op_a,
+            "bump",
+            aspects::from_fns(
+                |s: &mut S| {
+                    s.a += 1;
+                    ModelVerdict::Resume
+                },
+                |_| (),
+                |_| (),
+            ),
+        );
+        sys.add_aspect(
+            op_b,
+            "bump",
+            aspects::from_fns(
+                |s: &mut S| {
+                    s.b += 1;
+                    ModelVerdict::Resume
+                },
+                |_| (),
+                |_| (),
+            ),
+        );
+        sys.wire_wakes(op_a, vec![op_a]);
+        sys.wire_wakes(op_b, vec![op_b]);
+        sys.set_region(op_a, 0);
+        sys.set_region(op_b, 1);
+        let base = || {
+            Checker::new(sys.clone())
+                .thread(vec![op_a, op_a, op_a])
+                .thread(vec![op_b, op_b, op_b])
+                .final_invariant(|s: &S| s.a == 3 && s.b == 3)
+        };
+        let full = base().run(S::default());
+        let reduced = base().reduction(ReductionPolicy::Dpor).run(S::default());
+        assert_eq!(full.outcome, Outcome::Ok);
+        assert_eq!(reduced.outcome, Outcome::Ok);
+        assert!(
+            reduced.schedules * 4 <= full.schedules,
+            "independent nodes should reduce heavily: {} vs {}",
+            reduced.schedules,
+            full.schedules
+        );
     }
 
     #[test]

@@ -75,6 +75,21 @@
 //! * [`Strategy::Randomized`] — seeded random walks for scenarios too
 //!   large to enumerate; failures shrink the same way.
 //!
+//! Exhaustive exploration optionally applies **partial-order
+//! reduction** ([`Checker::reduction`], default
+//! [`ReductionPolicy::None`]): under [`ReductionPolicy::Dpor`] the DFS
+//! carries sleep sets (a step already explored from a state is skipped
+//! by sibling branches while every step taken since provably commutes
+//! with it) and persistent sets (threads whose declared dependency
+//! footprints — coordination cell, queue, lane word, shared-state
+//! region — are disjoint from everyone else's remaining work are
+//! deferred). Commutation is proved per state by a replay-equivalence
+//! self-check, never assumed from the declarations, so the verdict and
+//! its counterexamples are identical under both policies — only
+//! [`Exploration::schedules`] (and wall-clock time) shrinks. See
+//! `DESIGN.md` ("Schedule reduction") for the footprint table and the
+//! sleep-set invariant.
+//!
 //! # Seed & environment knobs
 //!
 //! Every randomized battery in the workspace derives its determinism
@@ -141,7 +156,7 @@ pub mod aspects;
 mod checker;
 mod model;
 
-pub use checker::{ActionResult, Checker, Exploration, Outcome, Step, Strategy};
+pub use checker::{ActionResult, Checker, Exploration, Outcome, ReductionPolicy, Step, Strategy};
 pub use model::{MethodIx, ModelAspect, ModelSystem, ModelVerdict, WakeSet};
 
 /// Reads a deterministic seed from the environment variable `var`,

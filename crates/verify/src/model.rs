@@ -71,6 +71,9 @@ pub(crate) struct ModelMethod<S> {
     pub(crate) chain: Vec<(String, Arc<dyn ModelAspect<S>>)>,
     pub(crate) body: Option<Body<S>>,
     pub(crate) wakes: WakeSet,
+    /// Declared shared-state region (see [`ModelSystem::set_region`]);
+    /// `None` means the method may touch all of `S`.
+    pub(crate) region: Option<usize>,
 }
 
 impl<S> Clone for ModelMethod<S> {
@@ -80,6 +83,7 @@ impl<S> Clone for ModelMethod<S> {
             chain: self.chain.clone(),
             body: self.body.clone(),
             wakes: self.wakes.clone(),
+            region: self.region,
         }
     }
 }
@@ -139,8 +143,28 @@ impl<S> ModelSystem<S> {
             chain: Vec::new(),
             body: None,
             wakes: WakeSet::All,
+            region: None,
         });
         MethodIx(self.methods.len() - 1)
+    }
+
+    /// Declares that `method`'s user code (aspect preconditions,
+    /// postactions, releases, and the body) reads and writes *only* the
+    /// part of the shared state belonging to `region` — methods with
+    /// different regions promise mutually disjoint shared-state
+    /// footprints, like the BIP-style separation of behavior from
+    /// interaction. The checker's persistent-set reduction
+    /// ([`ReductionPolicy::Dpor`](crate::ReductionPolicy::Dpor)) uses
+    /// the declaration to explore independent subsystems
+    /// compositionally. It is a *contract*, in the spirit of
+    /// `AspectCapabilities`: the checker spot-checks it with
+    /// replay-equivalence self-checks (a lying declaration forfeits
+    /// the reduction at the states where the lie is caught) but the
+    /// exploration-order soundness of the persistent-set layer rests
+    /// on it being honest. Methods with no declared region conflict
+    /// with every method.
+    pub fn set_region(&mut self, method: MethodIx, region: usize) {
+        self.methods[method.0].region = Some(region);
     }
 
     /// Registers an aspect at the end of `method`'s chain (it becomes

@@ -1,0 +1,268 @@
+//! The built-in observability sinks ride the fast lane.
+//!
+//! `AuditAspect` and `MetricsAspect` declare the full
+//! [`AspectCapabilities`] contract (they are pure observability sinks:
+//! always-resume preconditions, no moderator-visible state, bounded
+//! internal locks), so a row built from them is fast-lane eligible out
+//! of the box — no `FnAspect::declare_capabilities` wrapper needed.
+//! This file proves the declaration end to end: the contract itself,
+//! single-threaded eligibility with exact sink accounting (CAS-admitted
+//! activations skip the chain, so the log and the hub see exactly the
+//! locked-path remainder), and a seeded mixed fast/slow storm with the
+//! same conservation laws `tests/fast_path.rs` checks for hand-declared
+//! rows.
+//!
+//! Set `AMF_FAST_PATH_SEED` to replay a particular mix.
+
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::Duration;
+
+use aspect_moderator::aspects::audit::{AuditAspect, AuditLog, AuditPhase};
+use aspect_moderator::aspects::metrics::{MetricsAspect, MetricsHub};
+use aspect_moderator::core::{
+    Aspect, AspectModerator, Concern, FnAspect, InvocationContext, MethodHandle, MethodId,
+    PanicPolicy, Verdict, WakeMode,
+};
+use aspect_moderator::verify::seed_from_env;
+
+const WATCHDOG: Duration = Duration::from_secs(120);
+const DEFAULT_SEED: u64 = 0xFA57_1A4E;
+
+/// Runs `f` on its own thread and fails the test if it does not finish
+/// within [`WATCHDOG`].
+fn bounded<T: Send + 'static>(label: &str, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = mpsc::channel();
+    let handle = thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    let out = rx
+        .recv_timeout(WATCHDOG)
+        .unwrap_or_else(|_| panic!("{label}: lost wakeup suspected (no completion in time)"));
+    handle.join().unwrap();
+    out
+}
+
+/// SplitMix64, as in `tests/fast_path.rs`.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// One full protocol round trip on `method`.
+fn invoke(moderator: &AspectModerator, method: &MethodHandle) {
+    let mut ctx = InvocationContext::new(method.id().clone(), moderator.next_invocation());
+    moderator.preactivation(method, &mut ctx).unwrap();
+    moderator.postactivation(method, &mut ctx);
+}
+
+#[test]
+fn builtin_sinks_declare_the_full_contract() {
+    let audit = AuditAspect::new(AuditLog::shared());
+    assert!(audit.capabilities().fast_path_eligible(), "audit");
+    let metrics = MetricsAspect::new(MetricsHub::new());
+    assert!(metrics.capabilities().fast_path_eligible(), "metrics");
+}
+
+/// A row of nothing but the built-in sinks is fast-lane eligible, and
+/// the sinks account exactly for the locked-path remainder: every
+/// invocation either fast-admits (skipping both callbacks) or runs the
+/// chain (one attempt/completed pair in the log, one hub sample).
+#[test]
+fn audit_metrics_row_is_fast_lane_eligible() {
+    let moderator = AspectModerator::builder()
+        .panic_policy(PanicPolicy::AbortInvocation)
+        .build();
+    let observe = moderator.declare_method(MethodId::new("observe"));
+    moderator.wire_wakes(&observe, &[]);
+    let log = AuditLog::shared();
+    let hub = MetricsHub::new();
+    moderator
+        .register(
+            &observe,
+            Concern::new("audit"),
+            Box::new(AuditAspect::new(Arc::clone(&log))),
+        )
+        .unwrap();
+    moderator
+        .register(
+            &observe,
+            Concern::new("metrics"),
+            Box::new(MetricsAspect::new(hub.clone())),
+        )
+        .unwrap();
+
+    let n: u64 = 64;
+    for _ in 0..n {
+        invoke(&moderator, &observe);
+    }
+
+    let s = moderator.stats();
+    assert!(s.fast_path_admits > 0, "built-in row never admitted: {s:?}");
+    assert!(s.fast_path_admits <= n, "{s:?}");
+    assert_eq!(s.preactivations, n, "{s:?}");
+    assert_eq!(s.resumes, n, "{s:?}");
+
+    // Sink accounting: fast admits skip the chain, everything else ran
+    // it exactly once.
+    let slow = n - s.fast_path_admits;
+    assert_eq!(log.len() as u64, 2 * slow, "{s:?}");
+    for pair in log.records().chunks(2) {
+        assert_eq!(pair[0].phase, AuditPhase::Attempt);
+        assert_eq!(pair[1].phase, AuditPhase::Completed);
+    }
+    let timed = hub.method("observe").map_or(0, |m| m.invocations);
+    assert_eq!(timed, slow, "{s:?}");
+}
+
+/// Builds the mixed system of `tests/fast_path.rs`, but the fast-lane
+/// row carries the *real* library sinks instead of a hand-declared
+/// `FnAspect`.
+fn sink_system(
+    wake_mode: WakeMode,
+) -> (
+    Arc<AspectModerator>,
+    MethodHandle,
+    MethodHandle,
+    MethodHandle,
+    Arc<AuditLog>,
+    MetricsHub,
+) {
+    let moderator = Arc::new(
+        AspectModerator::builder()
+            .wake_mode(wake_mode)
+            .panic_policy(PanicPolicy::AbortInvocation)
+            .build(),
+    );
+    let put = moderator.declare_method(MethodId::new("put"));
+    let take = moderator.declare_method(MethodId::new("take"));
+    let observe = moderator.declare_method(MethodId::new("observe"));
+    moderator.wire_wakes(&put, std::slice::from_ref(&take));
+    moderator.wire_wakes(&take, &[]);
+    moderator.wire_wakes(&observe, &[]);
+
+    let tokens = Arc::new(parking_lot::Mutex::new(0u64));
+    {
+        let tokens = Arc::clone(&tokens);
+        moderator
+            .register(
+                &put,
+                Concern::new("mint"),
+                Box::new(FnAspect::new("mint").on_postaction(move |_| {
+                    *tokens.lock() += 1;
+                })),
+            )
+            .unwrap();
+    }
+    {
+        let tokens = Arc::clone(&tokens);
+        moderator
+            .register(
+                &take,
+                Concern::synchronization(),
+                Box::new(FnAspect::new("guard").on_precondition(move |_| {
+                    let mut t = tokens.lock();
+                    if *t > 0 {
+                        *t -= 1;
+                        Verdict::Resume
+                    } else {
+                        Verdict::Block
+                    }
+                })),
+            )
+            .unwrap();
+    }
+    let log = AuditLog::shared();
+    let hub = MetricsHub::new();
+    moderator
+        .register(
+            &observe,
+            Concern::new("audit"),
+            Box::new(AuditAspect::new(Arc::clone(&log))),
+        )
+        .unwrap();
+    moderator
+        .register(
+            &observe,
+            Concern::new("metrics"),
+            Box::new(MetricsAspect::new(hub.clone())),
+        )
+        .unwrap();
+    (moderator, put, take, observe, log, hub)
+}
+
+/// Seeded storm: blocking put/take traffic on the locked path, random
+/// bursts of `observe` calls riding the lane, and the sink-accounting
+/// law checked at the end — `fast_path_admits` is the regression
+/// counter this test pins above zero.
+fn sink_storm(wake_mode: WakeMode) {
+    let per: u64 = 200;
+    let workers = 4;
+    let seed = seed_from_env("AMF_FAST_PATH_SEED", DEFAULT_SEED).wrapping_add(0xB111);
+
+    let (moderator, put, take, observe, log, hub) = sink_system(wake_mode);
+    let observes = bounded("built-in sink storm", {
+        let moderator = Arc::clone(&moderator);
+        let (put, take, observe) = (put.clone(), take.clone(), observe.clone());
+        move || {
+            thread::scope(|s| {
+                let mut handles = Vec::new();
+                for w in 0..workers * 2 {
+                    let moderator = Arc::clone(&moderator);
+                    let slow = if w < workers {
+                        put.clone()
+                    } else {
+                        take.clone()
+                    };
+                    let observe = observe.clone();
+                    handles.push(s.spawn(move || {
+                        let mut rng = SplitMix(seed.wrapping_add(w));
+                        let mut observes = 0u64;
+                        for _ in 0..per {
+                            for _ in 0..rng.next() % 4 {
+                                invoke(&moderator, &observe);
+                                observes += 1;
+                            }
+                            invoke(&moderator, &slow);
+                        }
+                        observes
+                    }));
+                }
+                handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+            })
+        }
+    });
+
+    let s = moderator.stats();
+    assert_eq!(s.preactivations, s.resumes + s.aborts + s.timeouts, "{s:?}");
+    assert_eq!(s.postactivations, s.resumes, "{s:?}");
+    assert_eq!(s.aborts, 0, "{s:?}");
+    assert_eq!(s.preactivations, workers * 2 * per + observes, "{s:?}");
+    assert!(s.fast_path_admits > 0, "lane never admitted: {s:?}");
+    assert!(s.fast_path_admits <= observes, "{s:?}");
+
+    // Every observe either fast-admitted (sinks skipped) or ran the
+    // chain exactly once; no record is lost or duplicated under load.
+    let slow_observes = observes - s.fast_path_admits;
+    assert_eq!(log.len() as u64, 2 * slow_observes, "{s:?}");
+    let m = hub.method("observe");
+    assert_eq!(m.as_ref().map_or(0, |m| m.invocations), slow_observes);
+    assert_eq!(m.map_or(0, |m| m.failures), 0);
+}
+
+#[test]
+fn builtin_sink_storm_notify_all() {
+    sink_storm(WakeMode::NotifyAll);
+}
+
+#[test]
+fn builtin_sink_storm_notify_one() {
+    sink_storm(WakeMode::NotifyOne);
+}
