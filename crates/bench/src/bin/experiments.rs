@@ -13,7 +13,7 @@ fn main() {
         match arg.as_str() {
             "--quick" | "-q" => quick = true,
             "--help" | "-h" => {
-                eprintln!("usage: experiments [--quick] [e1..e15 | v1 | all]...");
+                eprintln!("usage: experiments [--quick] [e1..e16 | v1 | all]...");
                 return;
             }
             other => names.push(other.to_string()),

@@ -490,6 +490,8 @@ fn main() {
             hops: if quick { 2 } else { 4 },
             max_delay_ns: 50_000,
             drop_nth: None,
+            dup_nth: None,
+            expiry_ns: 0,
         };
         let recorded = run_topology_scenario(&params, None);
         let artifact = recorded.to_json();

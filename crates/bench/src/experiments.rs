@@ -1,4 +1,4 @@
-//! Experiments E1–E15: the quantitative evaluation of `EXPERIMENTS.md`.
+//! Experiments E1–E16: the quantitative evaluation of `EXPERIMENTS.md`.
 //!
 //! Each function runs one experiment and returns its [`Table`]. Pass
 //! `quick = true` to shrink workloads (used by unit tests and smoke
@@ -16,9 +16,10 @@ use amf_baseline::{TangledBuffer, TangledSecureBuffer};
 use amf_concurrency::SchedulerPolicy;
 use amf_core::{
     AspectCapabilities, AspectModerator, Concern, Coordination, FairnessPolicy, FnAspect,
-    InvocationContext, MethodId, Moderated, NoopAspect, PanicPolicy, RollbackPolicy, Verdict,
-    WakeMode,
+    InvocationContext, LeaseConfig, MethodId, Moderated, NoopAspect, PanicPolicy, RollbackPolicy,
+    Verdict, WakeMode,
 };
+use amf_service::{FaultProxy, FaultProxyConfig, PeerConfig, PeerNode};
 use amf_ticketing::{ExtendedTicketServerProxy, Ticket, TicketServerProxy};
 
 use crate::pipeline::{ModeratedBuffer, OverheadTarget, PipelineConfig, StackTarget};
@@ -1781,7 +1782,146 @@ pub fn e15_reduction(quick: bool) -> Table {
     t
 }
 
-/// Runs the named experiments ("e1".."e15", "v1" or "all") and prints
+/// Outcome of one E16 ring run: throughput, recovery work, and the
+/// grant ack-latency digest.
+#[derive(Debug, Clone, Copy)]
+pub struct WireRun {
+    /// Lease visits completed per second of wall time.
+    pub goodput: f64,
+    /// Grant-plane frames retransmitted after a backoff deadline.
+    pub retransmits: u64,
+    /// Handoffs reclaimed after expiry.
+    pub reclaimed: u64,
+    /// Duplicate grants dropped idempotently.
+    pub dup_dropped: u64,
+    /// First-send → acknowledged latency digest of every grant
+    /// (retransmissions included) — the recovery-time distribution.
+    pub recovery: LatencySummary,
+    /// Whether every lease retired exactly once.
+    pub complete: bool,
+}
+
+/// Spawns a live 3-node [`PeerNode`] ring over loopback TCP, each link
+/// fronted by a seeded [`FaultProxy`] dropping and duplicating
+/// `fault_permille` of grant-plane frames, and runs `leases` leases of
+/// `visits` visits to retirement. Shared by E16 and the service load
+/// generator's `wire_topology` report section.
+pub fn run_wire_ring(fault_permille: u64, leases: u64, visits: u64, expiry: Duration) -> WireRun {
+    const NODES: usize = 3;
+    let lease = LeaseConfig {
+        expiry,
+        backoff_base: Duration::from_millis(5),
+        backoff_cap: Duration::from_millis(40),
+        jitter_seed: 7,
+    };
+    let nodes: Vec<PeerNode> = (0..NODES)
+        .map(|i| {
+            PeerNode::spawn(PeerConfig {
+                node: i as u64,
+                seed_leases: if i == 0 { leases } else { 0 },
+                visits,
+                lease: lease.clone(),
+                ..PeerConfig::default()
+            })
+            .expect("spawn ring node")
+        })
+        .collect();
+    let addrs: Vec<String> = nodes.iter().map(|n| n.addr().to_string()).collect();
+    let mut proxies = Vec::new();
+    for (i, node) in nodes.iter().enumerate() {
+        let proxy = FaultProxy::spawn(FaultProxyConfig {
+            target: addrs[(i + 1) % NODES].clone(),
+            drop_permille: fault_permille,
+            dup_permille: fault_permille,
+            max_delay: Duration::from_micros(200),
+            seed: 0xE16 + i as u64,
+            ..FaultProxyConfig::default()
+        })
+        .expect("spawn fault proxy");
+        node.set_next(&proxy.addr().to_string());
+        proxies.push(proxy);
+    }
+    let t0 = Instant::now();
+    let deadline = Duration::from_secs(60);
+    loop {
+        let retired: u64 = nodes.iter().map(|n| n.stats().retired).sum();
+        if retired >= leases || t0.elapsed() > deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let mut retired: Vec<u64> = nodes.iter().flat_map(|n| n.retired()).collect();
+    retired.sort_unstable();
+    let complete = retired == (0..leases).collect::<Vec<u64>>();
+    let mut samples: Vec<u64> = nodes
+        .iter()
+        .flat_map(|n| n.ack_latencies())
+        .map(|d| d.as_nanos() as u64)
+        .collect();
+    let (retransmits, reclaimed, dup_dropped) = nodes.iter().fold((0, 0, 0), |acc, n| {
+        let s = n.stats();
+        (
+            acc.0 + s.retransmits,
+            acc.1 + s.reclaimed,
+            acc.2 + s.dup_dropped,
+        )
+    });
+    WireRun {
+        goodput: (leases * visits) as f64 / elapsed,
+        retransmits,
+        reclaimed,
+        dup_dropped,
+        recovery: LatencySummary::from_unsorted(&mut samples),
+        complete,
+    }
+}
+
+/// E16 — wire recovery: a live 3-node TCP ring under seeded link
+/// faults at 0‰ / 10‰ / 100‰ drop (with equal duplication). Every
+/// lease must retire exactly once at every fault rate, and the handoff
+/// recovery p99 — first send to acknowledged, retransmissions included
+/// — must stay within 2× the lease expiry deadline: the acceptance
+/// bound for the recovery state machine on the real wire.
+pub fn e16_wire_recovery(quick: bool) -> Table {
+    let mut t = Table::new(
+        "E16 — wire recovery (live 3-node TCP ring, seeded fault proxies)",
+        &[
+            "faults ‰",
+            "goodput",
+            "retransmits",
+            "reclaimed",
+            "dup dropped",
+            "recovery p99",
+            "verdict",
+        ],
+    );
+    let (leases, visits) = if quick { (2, 6) } else { (8, 30) };
+    let expiry = Duration::from_millis(150);
+    for faults in [0_u64, 10, 100] {
+        let r = run_wire_ring(faults, leases, visits, expiry);
+        let within = Duration::from_nanos(r.recovery.p99_ns) <= 2 * expiry;
+        t.row(&[
+            faults.to_string(),
+            format!("{:.0} visits/s", r.goodput),
+            r.retransmits.to_string(),
+            r.reclaimed.to_string(),
+            r.dup_dropped.to_string(),
+            fmt_ns(r.recovery.p99_ns as f64),
+            if r.complete && within {
+                "zero lost, p99 ≤ 2× deadline ✔".to_string()
+            } else {
+                format!(
+                    "FAILED ✘ (complete={}, p99 within bound={within})",
+                    r.complete
+                )
+            },
+        ]);
+    }
+    t
+}
+
+/// Runs the named experiments ("e1".."e16", "v1" or "all") and prints
 /// their tables.
 pub fn run(names: &[String], quick: bool) {
     let wants = |n: &str| {
@@ -1790,7 +1930,7 @@ pub fn run(names: &[String], quick: bool) {
             || names.iter().any(|x| x.eq_ignore_ascii_case("all"))
     };
     type Runner = fn(bool) -> Table;
-    let runners: [(&str, Runner); 16] = [
+    let runners: [(&str, Runner); 17] = [
         ("e1", e1_overhead),
         ("e2", e2_throughput),
         ("e3", e3_composition),
@@ -1806,6 +1946,7 @@ pub fn run(names: &[String], quick: bool) {
         ("e13", e13_simulation),
         ("e14", e14_fast_path),
         ("e15", e15_reduction),
+        ("e16", e16_wire_recovery),
         ("v1", v1_verification),
     ];
     for (name, f) in runners {
@@ -1867,6 +2008,16 @@ mod tests {
         let md = e15_reduction(true).to_markdown();
         assert!(md.contains("fewer schedules ✔"), "{md}");
         assert!(!md.contains("DIVERGED"), "{md}");
+    }
+
+    #[test]
+    fn e16_recovers_on_the_wire() {
+        let md = e16_wire_recovery(true).to_markdown();
+        assert!(
+            md.contains("zero lost, p99 ≤ 2× deadline ✔"),
+            "every fault rate must pass:\n{md}"
+        );
+        assert!(!md.contains("FAILED"), "{md}");
     }
 
     #[test]

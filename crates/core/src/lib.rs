@@ -65,6 +65,7 @@ pub mod context;
 pub mod error;
 pub mod factory;
 pub mod guide;
+pub mod lease;
 pub mod moderator;
 pub mod proxy;
 pub mod trace;
@@ -77,6 +78,7 @@ pub use concern::{Concern, MethodId};
 pub use context::{InvocationContext, Outcome, Principal};
 pub use error::{AbortError, RegistrationError};
 pub use factory::{AspectFactory, ChainedFactory, RegistryFactory};
+pub use lease::{Delivery, LeaseAction, LeaseConfig, LeaseIn, LeaseLinkStats, LeaseMsg, LeaseOut};
 pub use moderator::{
     AspectModerator, CellState, Coordination, FairnessPolicy, MethodHandle, ModeratorBuilder,
     ModeratorStats, OrderingPolicy, PanicPolicy, RollbackPolicy, WaitHistogram, WakeMode,

@@ -28,6 +28,15 @@ pub enum ClientError {
     Protocol(DecodeError),
     /// The reply type did not match the request.
     UnexpectedResponse,
+    /// The connection died in the middle of a frame: the server (or the
+    /// path to it) vanished after part of a reply was read. Unlike
+    /// `Blocked` this is not retryable on the same connection — framing
+    /// sync is gone.
+    FrameTruncated(String),
+    /// The socket deadline ([`crate::ServiceConfig::io_deadline`])
+    /// elapsed with no reply. The connection may still be usable but a
+    /// late reply would desync framing; reconnect.
+    Timeout,
     /// Transport failure (includes the server hanging up mid-call).
     Io(io::Error),
 }
@@ -40,6 +49,8 @@ impl fmt::Display for ClientError {
             ClientError::Server(msg) => write!(f, "server error: {msg}"),
             ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
             ClientError::UnexpectedResponse => f.write_str("reply did not match the request"),
+            ClientError::FrameTruncated(detail) => write!(f, "frame truncated: {detail}"),
+            ClientError::Timeout => f.write_str("socket deadline elapsed waiting for the server"),
             ClientError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -49,7 +60,11 @@ impl std::error::Error for ClientError {}
 
 impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> Self {
-        ClientError::Io(e)
+        match e.kind() {
+            io::ErrorKind::UnexpectedEof => ClientError::FrameTruncated(e.to_string()),
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ClientError::Timeout,
+            _ => ClientError::Io(e),
+        }
     }
 }
 
@@ -67,14 +82,29 @@ impl fmt::Debug for ServiceClient {
 }
 
 impl ServiceClient {
-    /// Connects to a running service.
+    /// Connects to a running service with the default socket deadline
+    /// ([`crate::ServiceConfig::default`]'s `io_deadline`).
     ///
     /// # Errors
     ///
     /// Propagates connection errors.
     pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        Self::connect_with_deadline(addr, crate::ServiceConfig::default().io_deadline)
+    }
+
+    /// Connects with an explicit socket deadline applied via
+    /// `set_read_timeout`/`set_write_timeout`; `None` blocks forever
+    /// (the pre-robustness behavior). A tripped deadline surfaces as
+    /// [`ClientError::Timeout`] instead of a hang.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect_with_deadline(addr: SocketAddr, deadline: Option<Duration>) -> io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(deadline)?;
+        stream.set_write_timeout(deadline)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Self {
             reader,
@@ -85,10 +115,7 @@ impl ServiceClient {
     fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
         write_frame(&mut self.writer, &encode_request(req))?;
         let body = read_frame(&mut self.reader)?.ok_or_else(|| {
-            ClientError::Io(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed the connection mid-call",
-            ))
+            ClientError::FrameTruncated("server closed the connection mid-call".into())
         })?;
         let resp = decode_response(&body).map_err(ClientError::Protocol)?;
         match resp {
@@ -276,4 +303,61 @@ fn run_one_client(
         }
     }
     Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::TcpListener;
+
+    /// A server that answers a `Stats` request with `reply` bytes and
+    /// hangs up (or stalls, if `reply` is `None`).
+    fn one_shot_server(reply: Option<Vec<u8>>) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(conn.try_clone().unwrap());
+            let _ = read_frame(&mut reader);
+            match reply {
+                Some(bytes) => {
+                    let _ = conn.write_all(&bytes);
+                    // Hang up mid-frame.
+                }
+                None => {
+                    // Stall: never answer, keep the socket open.
+                    std::thread::sleep(Duration::from_secs(30));
+                }
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn partial_frame_surfaces_as_frame_truncated_not_a_hang() {
+        use crate::codec::encode_response;
+        let full = encode_response(&Response::Stats(WireStats::default()));
+        // One reply cut inside the length prefix, one inside the body.
+        for cut in [2, full.len() - 3] {
+            let addr = one_shot_server(Some(full[..cut].to_vec()));
+            let mut client =
+                ServiceClient::connect_with_deadline(addr, Some(Duration::from_secs(5))).unwrap();
+            match client.stats() {
+                Err(ClientError::FrameTruncated(_)) => {}
+                other => panic!("cut at {cut}: expected FrameTruncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn silent_server_trips_the_deadline_instead_of_hanging() {
+        let addr = one_shot_server(None);
+        let mut client =
+            ServiceClient::connect_with_deadline(addr, Some(Duration::from_millis(50))).unwrap();
+        match client.stats() {
+            Err(ClientError::Timeout) => {}
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+    }
 }

@@ -17,8 +17,9 @@
 //! Wire-format history: `OP_STATS_REPLY` originally carried six `u64`
 //! counters; the fault-containment release appended a seventh,
 //! `panics_caught`, the batched-admission release an eighth,
-//! `batched_grants`, and the lock-free-admission release a ninth,
-//! `fast_path_admits`. The counter list lives in one place —
+//! `batched_grants`, the lock-free-admission release a ninth,
+//! `fast_path_admits`, and the wire-topology release a tenth,
+//! `fast_path_fallbacks`. The counter list lives in one place —
 //! [`STATS_FIELDS`] plus [`WireStats::to_array`]/[`WireStats::from_array`]
 //! — so encode, decode and tests cannot drift apart. Because decoding
 //! is strict, old and new peers do not interoperate on `Stats` — deploy
@@ -27,6 +28,7 @@
 use std::fmt;
 use std::io::{self, Read, Write};
 
+use amf_core::LeaseMsg;
 use amf_ticketing::{Severity, Ticket};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -48,6 +50,11 @@ const OP_BLOCKED: u8 = 0x82;
 const OP_ABORTED: u8 = 0x83;
 const OP_ERR: u8 = 0x84;
 const OP_STATS_REPLY: u8 = 0x85;
+
+// Node-to-node lease plane (peer sessions, not client sessions).
+const OP_LEASE_GRANT: u8 = 0x10;
+const OP_LEASE_RELEASE: u8 = 0x11;
+const OP_LEASE_ACK: u8 = 0x90;
 
 /// A client-to-server message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -78,7 +85,7 @@ pub enum Request {
 /// source of truth for the `Stats` wire format: encode and decode both
 /// iterate [`WireStats::to_array`]/[`WireStats::from_array`], whose
 /// lengths this const fixes at compile time.
-pub const STATS_FIELDS: usize = 9;
+pub const STATS_FIELDS: usize = 10;
 
 /// Counters reported by [`Response::Stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -108,6 +115,11 @@ pub struct WireStats {
     /// skipping the cell lock entirely (ninth field, appended by the
     /// lock-free-admission release).
     pub fast_path_admits: u64,
+    /// Activations that raced the CAS fast lane, lost, and fell back to
+    /// the cell lock (tenth field, appended by the wire-topology
+    /// release). `fallbacks / (admits + fallbacks)` is the live
+    /// contention ratio on the fast lane.
+    pub fast_path_fallbacks: u64,
 }
 
 impl WireStats {
@@ -126,6 +138,7 @@ impl WireStats {
             self.panics_caught,
             self.batched_grants,
             self.fast_path_admits,
+            self.fast_path_fallbacks,
         ]
     }
 
@@ -133,7 +146,7 @@ impl WireStats {
     /// [`WireStats::to_array`].
     #[must_use]
     pub fn from_array(fields: [u64; STATS_FIELDS]) -> Self {
-        let [opened, assigned, queued, aborts, timeouts, max_queue_depth, panics_caught, batched_grants, fast_path_admits] =
+        let [opened, assigned, queued, aborts, timeouts, max_queue_depth, panics_caught, batched_grants, fast_path_admits, fast_path_fallbacks] =
             fields;
         Self {
             opened,
@@ -145,8 +158,88 @@ impl WireStats {
             panics_caught,
             batched_grants,
             fast_path_admits,
+            fast_path_fallbacks,
         }
     }
+}
+
+/// A node-to-node frame on the lease plane: the sender's ring index plus
+/// the protocol message from [`amf_core::lease`]. Rides the same
+/// length-prefixed framing as client traffic, under its own opcodes, so
+/// the fault proxy and the simulator's socket-shaped channel forward
+/// both planes identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerFrame {
+    /// Ring index of the sending node.
+    pub node: u64,
+    /// The lease protocol message.
+    pub msg: LeaseMsg,
+}
+
+/// Encodes a peer frame as a complete frame (length prefix included).
+pub fn encode_peer(frame_msg: &PeerFrame) -> Bytes {
+    let mut body = BytesMut::with_capacity(48);
+    match frame_msg.msg {
+        LeaseMsg::Grant {
+            seq,
+            lease,
+            hop,
+            visits,
+        } => {
+            body.put_u8(OP_LEASE_GRANT);
+            body.put_u64(frame_msg.node);
+            body.put_u64(seq);
+            body.put_u64(lease);
+            body.put_u64(hop);
+            body.put_u64(visits);
+        }
+        LeaseMsg::Release { seq } => {
+            body.put_u8(OP_LEASE_RELEASE);
+            body.put_u64(frame_msg.node);
+            body.put_u64(seq);
+        }
+        LeaseMsg::Ack { seq, cursor } => {
+            body.put_u8(OP_LEASE_ACK);
+            body.put_u64(frame_msg.node);
+            body.put_u64(seq);
+            body.put_u64(cursor);
+        }
+    }
+    frame(body)
+}
+
+/// Decodes a peer frame from a frame *body* (no length prefix).
+pub fn decode_peer(body: &[u8]) -> Result<PeerFrame, DecodeError> {
+    if body.len() > MAX_FRAME {
+        return Err(DecodeError::Oversized { len: body.len() });
+    }
+    let mut cur = body;
+    let frame_msg = match get_u8_checked(&mut cur)? {
+        OP_LEASE_GRANT => PeerFrame {
+            node: get_u64_checked(&mut cur)?,
+            msg: LeaseMsg::Grant {
+                seq: get_u64_checked(&mut cur)?,
+                lease: get_u64_checked(&mut cur)?,
+                hop: get_u64_checked(&mut cur)?,
+                visits: get_u64_checked(&mut cur)?,
+            },
+        },
+        OP_LEASE_RELEASE => PeerFrame {
+            node: get_u64_checked(&mut cur)?,
+            msg: LeaseMsg::Release {
+                seq: get_u64_checked(&mut cur)?,
+            },
+        },
+        OP_LEASE_ACK => PeerFrame {
+            node: get_u64_checked(&mut cur)?,
+            msg: LeaseMsg::Ack {
+                seq: get_u64_checked(&mut cur)?,
+                cursor: get_u64_checked(&mut cur)?,
+            },
+        },
+        op => return Err(DecodeError::UnknownOpcode(op)),
+    };
+    finish(frame_msg, cur)
 }
 
 /// A server-to-client message.
@@ -386,18 +479,32 @@ pub fn decode_response(body: &[u8]) -> Result<Response, DecodeError> {
 }
 
 /// Reads one frame body from `r`. Returns `Ok(None)` on clean EOF
-/// (connection closed between frames).
+/// (connection closed *between* frames).
 ///
 /// # Errors
 ///
-/// I/O errors; an oversized or short-read frame surfaces as
-/// [`io::ErrorKind::InvalidData`] / [`io::ErrorKind::UnexpectedEof`].
+/// I/O errors. A connection that dies *mid-frame* — after part of the
+/// length prefix or part of the body — is distinguished from a clean
+/// close and surfaces as [`io::ErrorKind::UnexpectedEof`] with a
+/// "truncated frame" message, so callers report a typed error instead
+/// of treating the peer's crash as an orderly shutdown. An oversized
+/// length prefix surfaces as [`io::ErrorKind::InvalidData`].
 pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
     let mut len_raw = [0u8; 4];
-    match r.read_exact(&mut len_raw) {
-        Ok(()) => {}
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
+    let mut filled = 0;
+    while filled < len_raw.len() {
+        match r.read(&mut len_raw[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("truncated frame: EOF after {filled} of 4 length bytes"),
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
     }
     let len = u32::from_be_bytes(len_raw) as usize;
     if len > MAX_FRAME {
@@ -407,7 +514,16 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
         ));
     }
     let mut body = vec![0u8; len];
-    r.read_exact(&mut body)?;
+    r.read_exact(&mut body).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("truncated frame: EOF inside a {len}-byte body"),
+            )
+        } else {
+            e
+        }
+    })?;
     Ok(Some(body))
 }
 
@@ -478,6 +594,7 @@ mod tests {
             panics_caught: 7,
             batched_grants: 8,
             fast_path_admits: 9,
+            fast_path_fallbacks: 10,
         }));
     }
 
@@ -568,6 +685,72 @@ mod tests {
             Request::Assign { token: 11 }
         );
         assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn peer_frames_round_trip() {
+        for msg in [
+            LeaseMsg::Grant {
+                seq: 3,
+                lease: 9,
+                hop: 17,
+                visits: 2,
+            },
+            LeaseMsg::Ack { seq: 3, cursor: 4 },
+            LeaseMsg::Release { seq: 8 },
+        ] {
+            let pf = PeerFrame { node: 1, msg };
+            let framed = encode_peer(&pf);
+            assert_eq!(
+                u32::from_be_bytes(framed[..4].try_into().unwrap()) as usize,
+                framed.len() - 4
+            );
+            assert_eq!(decode_peer(&framed[4..]).unwrap(), pf);
+        }
+    }
+
+    #[test]
+    fn truncated_peer_frames_are_rejected() {
+        let framed = encode_peer(&PeerFrame {
+            node: 2,
+            msg: LeaseMsg::Grant {
+                seq: 1,
+                lease: 2,
+                hop: 3,
+                visits: 4,
+            },
+        });
+        let body = &framed[4..];
+        for cut in 0..body.len() {
+            assert_eq!(decode_peer(&body[..cut]), Err(DecodeError::Truncated));
+        }
+        let mut long = body.to_vec();
+        long.push(0);
+        assert_eq!(decode_peer(&long), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn mid_frame_eof_is_truncation_not_clean_close() {
+        let framed = encode_request(&Request::Open {
+            token: 1,
+            id: 2,
+            severity: 1,
+            summary: "half a frame".into(),
+        });
+        // EOF inside the length prefix.
+        for cut in 1..4 {
+            let err = read_frame(&mut &framed[..cut]).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+            assert!(err.to_string().contains("truncated frame"), "{err}");
+        }
+        // EOF inside the body.
+        for cut in [5, framed.len() - 1] {
+            let err = read_frame(&mut &framed[..cut]).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+            assert!(err.to_string().contains("truncated frame"), "{err}");
+        }
+        // Zero bytes is still a clean close.
+        assert_eq!(read_frame(&mut &framed[..0]).unwrap(), None);
     }
 
     #[test]

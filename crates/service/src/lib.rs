@@ -27,8 +27,10 @@
 
 pub mod client;
 pub mod codec;
+pub mod peer;
 pub mod server;
 
 pub use client::{run_load, ClientError, LoadConfig, LoadOutcome, ServiceClient};
-pub use codec::{DecodeError, Request, Response, WireStats, MAX_FRAME, STATS_FIELDS};
+pub use codec::{DecodeError, PeerFrame, Request, Response, WireStats, MAX_FRAME, STATS_FIELDS};
+pub use peer::{FaultProxy, FaultProxyConfig, FaultProxyStats, PeerConfig, PeerNode, PeerStats};
 pub use server::{ServiceConfig, ServiceError, ServiceHandle, TicketService};

@@ -1,0 +1,935 @@
+//! Node-to-node session layer: the lease-handoff ring on the real wire.
+//!
+//! [`PeerNode`] is one member of a moderation ring across OS processes.
+//! Each node runs its own [`AspectModerator`] and hands the circulation
+//! lease to its successor over the length-prefixed TCP codec
+//! ([`crate::codec::encode_peer`]). Unlike the simulator's in-memory
+//! channels, the wire drops, delays, duplicates, and dies — so every
+//! link runs the recovery state machine from [`amf_core::lease`]:
+//! retransmission with capped exponential backoff, expiry-based
+//! reclaim, idempotent dedup, and hole-filling releases.
+//!
+//! Degraded mode is woven as an aspect, not scattered through the
+//! session code: a `degradation` concern on the `acquire` method
+//! observes the node's link state and counts every admission moderated
+//! while the peer is unreachable ([`PeerStats::degraded_entries`]). The
+//! node keeps serving local lease visits off its own moderator the
+//! whole time, and re-syncs the lease cursor when the peer returns
+//! (each fresh inbound connection is greeted with an unsolicited
+//! cumulative ack).
+//!
+//! [`FaultProxy`] is the test/bench harness companion: a frame-aware
+//! TCP forwarder that drops, duplicates, and delays *grant-plane*
+//! frames by a seeded permille, leaving the ack return path intact —
+//! the fault model the recovery machine is verified under (see
+//! `crates/verify/tests/lease_handoff.rs` and DESIGN.md).
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use amf_aspects::audit::{AuditAspect, AuditLog};
+use amf_core::{
+    AspectModerator, Concern, FairnessPolicy, FnAspect, InvocationContext, LeaseAction,
+    LeaseConfig, LeaseIn, LeaseMsg, LeaseOut, MethodId, PanicPolicy, Verdict,
+};
+use parking_lot::Mutex;
+
+use crate::codec::{decode_peer, encode_peer, read_frame, write_frame, PeerFrame, MAX_FRAME};
+
+/// Tuning knobs for one ring node.
+#[derive(Debug, Clone)]
+pub struct PeerConfig {
+    /// This node's ring index.
+    pub node: u64,
+    /// Address to listen on for the predecessor's frames (port 0 for
+    /// ephemeral).
+    pub listen: String,
+    /// The successor's listen address — possibly a [`FaultProxy`] in
+    /// front of it.
+    pub next: String,
+    /// Leases seeded into this node's inbox at start (node 0 seeds the
+    /// ring; others pass 0).
+    pub seed_leases: u64,
+    /// Visit budget each seeded lease starts with.
+    pub visits: u64,
+    /// Recovery knobs: expiry deadline, backoff, jitter seed. Expiry
+    /// must be nonzero — a live link without recovery deadlocks on the
+    /// first lost frame.
+    pub lease: LeaseConfig,
+    /// Granularity of the outbound pump (socket read timeout): bounds
+    /// both forwarding latency and how late a timer can fire.
+    pub io_tick: Duration,
+    /// Pause after each moderated visit. Zero for full speed; nonzero
+    /// slows circulation so a harness can observe (or interfere with)
+    /// the ring at a known position.
+    pub visit_delay: Duration,
+}
+
+impl Default for PeerConfig {
+    fn default() -> Self {
+        Self {
+            node: 0,
+            listen: "127.0.0.1:0".into(),
+            next: String::new(),
+            seed_leases: 0,
+            visits: 0,
+            lease: LeaseConfig::default(),
+            io_tick: Duration::from_millis(1),
+            visit_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// Counters one node exports; the union of moderator telemetry and the
+/// lease links' recovery statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeerStats {
+    /// Leases delivered to this node (in-order grants plus reclaims).
+    pub delivered: u64,
+    /// Leases that retired here (visit budget exhausted).
+    pub retired: u64,
+    /// Handoffs reclaimed after expiry.
+    pub reclaimed: u64,
+    /// Frames retransmitted after a backoff deadline.
+    pub retransmits: u64,
+    /// Duplicate frames dropped idempotently.
+    pub dup_dropped: u64,
+    /// Grants refused by per-lease hop fencing.
+    pub stale_dropped: u64,
+    /// Admissions moderated while the node was degraded (peer
+    /// unreachable) — counted by the `degradation` aspect.
+    pub degraded_entries: u64,
+    /// Times the peer came back after a degraded spell.
+    pub rejoins: u64,
+    /// Whether the node is degraded right now.
+    pub degraded_now: bool,
+    /// Fast-lane admissions on the telemetry row.
+    pub fast_path_admits: u64,
+    /// Fast-lane fallbacks on the telemetry row.
+    pub fast_path_fallbacks: u64,
+}
+
+/// One lease riding this node's inbox.
+#[derive(Debug, Clone, Copy)]
+struct InboxEntry {
+    lease: u64,
+    hop: u64,
+    visits: u64,
+}
+
+struct PeerShared {
+    cfg: PeerConfig,
+    /// The successor's address; empty means "not wired yet" (the ring
+    /// builder binds every listener before wiring the links).
+    next: Mutex<String>,
+    out: Mutex<LeaseOut>,
+    inn: Mutex<LeaseIn>,
+    /// Frames the outbound pump still has to write.
+    wire_q: Mutex<VecDeque<LeaseMsg>>,
+    inbox: Mutex<VecDeque<InboxEntry>>,
+    degraded: AtomicBool,
+    degraded_entries: AtomicU64,
+    delivered: AtomicU64,
+    rejoins: AtomicU64,
+    retired: Mutex<Vec<u64>>,
+    stop: AtomicBool,
+    inbound_conns: Mutex<Vec<TcpStream>>,
+}
+
+/// Handle on a running ring node. Dropping it shuts the node down.
+pub struct PeerNode {
+    addr: SocketAddr,
+    shared: Arc<PeerShared>,
+    moderator: Arc<AspectModerator>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for PeerNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PeerNode")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PeerNode {
+    /// Binds the listener, composes the node's moderator, seeds the
+    /// inbox, and starts the session threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors. A `lease.expiry` of zero is refused: a
+    /// live link without recovery deadlocks on the first lost frame.
+    pub fn spawn(cfg: PeerConfig) -> io::Result<Self> {
+        if !cfg.lease.recovery_enabled() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "live peer links require a nonzero lease expiry",
+            ));
+        }
+        let listener = TcpListener::bind(&cfg.listen)?;
+        let addr = listener.local_addr()?;
+
+        let moderator = Arc::new(
+            AspectModerator::builder()
+                .fairness(FairnessPolicy::Fifo)
+                .panic_policy(PanicPolicy::AbortInvocation)
+                .build(),
+        );
+        let acquire = moderator.declare_method(MethodId::new("acquire"));
+        let grant = moderator.declare_method(MethodId::new("grant"));
+        let observe = moderator.declare_method(MethodId::new("observe"));
+
+        let shared = Arc::new(PeerShared {
+            next: Mutex::new(cfg.next.clone()),
+            out: Mutex::new(LeaseOut::new(cfg.lease.clone())),
+            inn: Mutex::new(LeaseIn::new()),
+            wire_q: Mutex::new(VecDeque::new()),
+            inbox: Mutex::new(VecDeque::new()),
+            degraded: AtomicBool::new(false),
+            degraded_entries: AtomicU64::new(0),
+            delivered: AtomicU64::new(0),
+            rejoins: AtomicU64::new(0),
+            retired: Mutex::new(Vec::new()),
+            stop: AtomicBool::new(false),
+            inbound_conns: Mutex::new(Vec::new()),
+            cfg,
+        });
+
+        // Synchronization concern: `acquire` admits only when the inbox
+        // holds a lease.
+        {
+            let s = Arc::clone(&shared);
+            moderator
+                .register(
+                    &acquire,
+                    Concern::synchronization(),
+                    Box::new(FnAspect::new("lease-gate").on_precondition(move |_| {
+                        if s.inbox.lock().is_empty() {
+                            Verdict::Block
+                        } else {
+                            Verdict::Resume
+                        }
+                    })),
+                )
+                .expect("register lease-gate");
+        }
+        // Fault-tolerance as a crosscutting concern: degraded-mode
+        // accounting is an aspect on the same method, not session code.
+        // Every admission moderated while the successor link is down is
+        // a degraded entry.
+        {
+            let s = Arc::clone(&shared);
+            moderator
+                .register(
+                    &acquire,
+                    Concern::new("degradation"),
+                    Box::new(FnAspect::new("degraded-entries").on_postaction(move |_| {
+                        if s.degraded.load(Ordering::SeqCst) {
+                            s.degraded_entries.fetch_add(1, Ordering::SeqCst);
+                        }
+                    })),
+                )
+                .expect("register degraded-entries");
+        }
+        moderator
+            .register(
+                &grant,
+                Concern::new("handoff"),
+                Box::new(FnAspect::new("handoff")),
+            )
+            .expect("register handoff");
+        moderator
+            .register(
+                &observe,
+                Concern::new("telemetry"),
+                Box::new(AuditAspect::new(AuditLog::shared())),
+            )
+            .expect("register telemetry");
+        moderator.wire_wakes(&grant, std::slice::from_ref(&acquire));
+        moderator.wire_wakes(&acquire, &[]);
+        moderator.wire_wakes(&observe, &[]);
+
+        // Seed the ring (node 0 in the standard layout).
+        {
+            let mut inbox = shared.inbox.lock();
+            for lease in 0..shared.cfg.seed_leases {
+                inbox.push_back(InboxEntry {
+                    lease,
+                    hop: 0,
+                    visits: shared.cfg.visits,
+                });
+            }
+        }
+
+        let mut threads = Vec::new();
+        // Inbound: accept the predecessor, greet with a cursor sync,
+        // deliver grants through the moderator, ack everything.
+        {
+            let s = Arc::clone(&shared);
+            let (m, grant) = (Arc::clone(&moderator), grant.clone());
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("peer{}-accept", s.cfg.node))
+                    .spawn(move || accept_loop(&listener, &s, &m, &grant))?,
+            );
+        }
+        // Outbound: own the successor connection, pump sends, drain
+        // acks, drive the retransmit/expiry timers.
+        {
+            let s = Arc::clone(&shared);
+            let (m, grant) = (Arc::clone(&moderator), grant.clone());
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("peer{}-out", s.cfg.node))
+                    .spawn(move || outbound_loop(&s, &m, &grant))?,
+            );
+        }
+        // Worker: moderate every lease visit at this node.
+        {
+            let s = Arc::clone(&shared);
+            let m = Arc::clone(&moderator);
+            let (acquire, observe) = (acquire.clone(), observe.clone());
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("peer{}-worker", s.cfg.node))
+                    .spawn(move || worker_loop(&s, &m, &acquire, &observe))?,
+            );
+        }
+
+        Ok(PeerNode {
+            addr,
+            shared,
+            moderator,
+            threads,
+        })
+    }
+
+    /// The bound listen address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// (Re)points the successor link. An empty [`PeerConfig::next`]
+    /// plus a later `set_next` lets a ring builder bind every listener
+    /// before wiring any link.
+    pub fn set_next(&self, addr: &str) {
+        *self.shared.next.lock() = addr.to_string();
+    }
+
+    /// Snapshot of the node's counters.
+    pub fn stats(&self) -> PeerStats {
+        let out = self.shared.out.lock();
+        let inn = self.shared.inn.lock();
+        let m = self.moderator.stats();
+        PeerStats {
+            delivered: self.shared.delivered.load(Ordering::SeqCst),
+            retired: self.shared.retired.lock().len() as u64,
+            reclaimed: out.stats().reclaimed,
+            retransmits: out.stats().retransmits,
+            dup_dropped: inn.stats().dup_dropped,
+            stale_dropped: inn.stats().stale_dropped,
+            degraded_entries: self.shared.degraded_entries.load(Ordering::SeqCst),
+            rejoins: self.shared.rejoins.load(Ordering::SeqCst),
+            degraded_now: out.degraded(),
+            fast_path_admits: m.fast_path_admits,
+            fast_path_fallbacks: m.fast_path_fallbacks,
+        }
+    }
+
+    /// The leases that retired at this node, in retirement order.
+    pub fn retired(&self) -> Vec<u64> {
+        self.shared.retired.lock().clone()
+    }
+
+    /// First-send → ack-complete latencies of grants acknowledged by
+    /// the successor — the handoff recovery-time distribution. A
+    /// retransmitted grant shows up as a sample near the backoff
+    /// deadline; a reclaimed one never appears here at all.
+    pub fn ack_latencies(&self) -> Vec<Duration> {
+        self.shared.out.lock().ack_latencies().to_vec()
+    }
+
+    /// Stops every session thread and joins them. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        for conn in self.shared.inbound_conns.lock().drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        // Wake the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for PeerNode {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn now_since(start: Instant) -> Duration {
+    start.elapsed()
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    s: &Arc<PeerShared>,
+    m: &Arc<AspectModerator>,
+    grant: &amf_core::MethodHandle,
+) {
+    for stream in listener.incoming() {
+        if s.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        if let Ok(clone) = stream.try_clone() {
+            s.inbound_conns.lock().push(clone);
+        }
+        let s = Arc::clone(s);
+        let m = Arc::clone(m);
+        let grant = grant.clone();
+        // One predecessor at a time in a ring; a thread per connection
+        // still keeps a half-dead old socket from blocking a reconnect.
+        let _ = std::thread::Builder::new()
+            .name(format!("peer{}-in", s.cfg.node))
+            .spawn(move || inbound_conn(stream, &s, &m, &grant));
+    }
+}
+
+fn inbound_conn(
+    stream: TcpStream,
+    s: &Arc<PeerShared>,
+    m: &Arc<AspectModerator>,
+    grant: &amf_core::MethodHandle,
+) {
+    let mut reader = match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    // Greet the (possibly returning) predecessor with an unsolicited
+    // cumulative ack so it re-syncs its cursor before sending anything.
+    {
+        let inn = s.inn.lock();
+        let sync = PeerFrame {
+            node: s.cfg.node,
+            msg: inn.ack(u64::MAX),
+        };
+        if write_frame(&mut writer, &encode_peer(&sync)).is_err() {
+            return;
+        }
+    }
+    loop {
+        if s.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let body = match read_frame(&mut reader) {
+            Ok(Some(body)) => body,
+            Ok(None) | Err(_) => return,
+        };
+        let Ok(frame) = decode_peer(&body) else {
+            return;
+        };
+        let (deliveries, ack) = {
+            let mut inn = s.inn.lock();
+            match frame.msg {
+                LeaseMsg::Grant {
+                    seq,
+                    lease,
+                    hop,
+                    visits,
+                } => inn.on_grant(seq, lease, hop, visits),
+                LeaseMsg::Release { seq } => inn.on_release(seq),
+                // The ack plane is outbound-only; an ack here is a
+                // protocol error from a confused peer. Drop it.
+                LeaseMsg::Ack { .. } => continue,
+            }
+        };
+        for d in deliveries {
+            s.delivered.fetch_add(1, Ordering::SeqCst);
+            s.inbox.lock().push_back(InboxEntry {
+                lease: d.lease,
+                hop: d.hop,
+                visits: d.visits,
+            });
+            invoke_ok(m, grant);
+        }
+        let reply = PeerFrame {
+            node: s.cfg.node,
+            msg: ack,
+        };
+        if write_frame(&mut writer, &encode_peer(&reply)).is_err() {
+            return;
+        }
+    }
+}
+
+/// Accumulates bytes across socket-timeout ticks and yields complete
+/// frame bodies: a timeout mid-frame must not desync framing, so
+/// partial reads are buffered rather than discarded.
+struct FrameBuffer {
+    buf: Vec<u8>,
+}
+
+impl FrameBuffer {
+    fn new() -> Self {
+        FrameBuffer { buf: Vec::new() }
+    }
+
+    /// Reads whatever is available before the socket deadline and
+    /// returns the complete frames. `Ok(frames)` on timeout (possibly
+    /// empty), `Err` on EOF or transport failure.
+    fn pump(&mut self, r: &mut impl Read) -> io::Result<Vec<Vec<u8>>> {
+        let mut scratch = [0u8; 4096];
+        let mut frames = Vec::new();
+        loop {
+            match r.read(&mut scratch) {
+                Ok(0) => {
+                    if frames.is_empty() {
+                        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed"));
+                    }
+                    return Ok(frames);
+                }
+                Ok(n) => {
+                    self.buf.extend_from_slice(&scratch[..n]);
+                    self.extract(&mut frames)?;
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(frames);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn extract(&mut self, frames: &mut Vec<Vec<u8>>) -> io::Result<()> {
+        loop {
+            if self.buf.len() < 4 {
+                return Ok(());
+            }
+            let len = u32::from_be_bytes(self.buf[..4].try_into().expect("4 bytes")) as usize;
+            if len > MAX_FRAME {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "oversized peer frame",
+                ));
+            }
+            if self.buf.len() < 4 + len {
+                return Ok(());
+            }
+            frames.push(self.buf[4..4 + len].to_vec());
+            self.buf.drain(..4 + len);
+        }
+    }
+}
+
+fn outbound_loop(s: &Arc<PeerShared>, m: &Arc<AspectModerator>, grant: &amf_core::MethodHandle) {
+    let start = Instant::now();
+    let mut conn: Option<TcpStream> = None;
+    let mut frames = FrameBuffer::new();
+    // Set once this connection's greeting (the peer's unsolicited
+    // cursor-sync ack) has been processed. Frames written earlier could
+    // carry numbering from the peer's previous incarnation.
+    let mut greeted = false;
+    while !s.stop.load(Ordering::SeqCst) {
+        // (Re)connect if needed.
+        let target = s.next.lock().clone();
+        if target.is_empty() {
+            std::thread::sleep(s.cfg.io_tick);
+            continue;
+        }
+        if conn.is_none() {
+            match TcpStream::connect(&target) {
+                Ok(c) => {
+                    let _ = c.set_nodelay(true);
+                    let _ = c.set_read_timeout(Some(s.cfg.io_tick));
+                    frames = FrameBuffer::new();
+                    greeted = false;
+                    conn = Some(c);
+                }
+                Err(_) => {
+                    // Peer gone. Timers below still run (that is where
+                    // expiry-based reclaim and degradation come from);
+                    // retry the connect next tick.
+                    std::thread::sleep(s.cfg.io_tick);
+                }
+            }
+        }
+        // Write every queued frame — once the greeting has re-synced
+        // the link (a rebase would invalidate anything written before).
+        if let Some(c) = conn.as_mut().filter(|_| greeted) {
+            let pending: Vec<LeaseMsg> = s.wire_q.lock().drain(..).collect();
+            let mut broken = false;
+            for msg in pending {
+                let f = PeerFrame {
+                    node: s.cfg.node,
+                    msg,
+                };
+                if !broken && write_frame(c, &encode_peer(&f)).is_err() {
+                    broken = true;
+                }
+                // A frame that failed to write is simply dropped: it
+                // stays pending in LeaseOut and retransmission covers
+                // it once the connection is back.
+            }
+            if broken {
+                conn = None;
+            }
+        }
+        // Drain acks until the tick elapses. This doubles as the
+        // "drain every readable ack before reclaiming" guard the
+        // recovery machine's soundness depends on.
+        if let Some(c) = conn.as_mut() {
+            match frames.pump(c) {
+                Ok(bodies) => {
+                    for body in bodies {
+                        let Ok(frame) = decode_peer(&body) else {
+                            continue;
+                        };
+                        let LeaseMsg::Ack { seq, cursor } = frame.msg else {
+                            continue;
+                        };
+                        let now = now_since(start);
+                        let rejoined = if seq == u64::MAX {
+                            // The peer's connection greeting: re-sync the
+                            // sender onto its cursor. A rebase means the
+                            // peer restarted from scratch — everything
+                            // queued under the old numbering is garbage,
+                            // replaced by the renumbered resend set.
+                            let resync = s.out.lock().on_greeting(cursor, now);
+                            if resync.rebased {
+                                let mut q = s.wire_q.lock();
+                                q.clear();
+                                q.extend(resync.resend);
+                            }
+                            greeted = true;
+                            resync.rejoined
+                        } else {
+                            s.out.lock().on_ack(seq, cursor, now)
+                        };
+                        if rejoined {
+                            s.rejoins.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                }
+                Err(_) => conn = None,
+            }
+        } else {
+            std::thread::sleep(s.cfg.io_tick);
+        }
+        // Drive the timers: retransmits go back on the wire queue,
+        // reclaimed leases re-enter the local inbox as degraded work.
+        let actions = s.out.lock().poll(now_since(start));
+        let mut reclaimed = Vec::new();
+        {
+            let mut q = s.wire_q.lock();
+            for a in actions {
+                match a {
+                    LeaseAction::Send(msg) => q.push_back(msg),
+                    LeaseAction::Reclaim { lease, hop, visits } => {
+                        reclaimed.push(InboxEntry { lease, hop, visits });
+                    }
+                }
+            }
+        }
+        for entry in reclaimed {
+            // The lease is ours again: fence its hop so a late stale
+            // re-delivery can never double-grant, then moderate it
+            // locally like any other arrival.
+            s.inn.lock().fence(entry.lease, entry.hop);
+            s.delivered.fetch_add(1, Ordering::SeqCst);
+            s.inbox.lock().push_back(entry);
+            invoke_ok(m, grant);
+        }
+        s.degraded.store(s.out.lock().degraded(), Ordering::SeqCst);
+    }
+}
+
+fn worker_loop(
+    s: &Arc<PeerShared>,
+    m: &Arc<AspectModerator>,
+    acquire: &amf_core::MethodHandle,
+    observe: &amf_core::MethodHandle,
+) {
+    let start = Instant::now();
+    while !s.stop.load(Ordering::SeqCst) {
+        let mut ctx = InvocationContext::new(acquire.id().clone(), m.next_invocation());
+        match m.preactivation_timeout(
+            acquire,
+            &mut ctx,
+            s.cfg.io_tick.max(Duration::from_millis(5)),
+        ) {
+            Ok(()) => {}
+            Err(_) => continue, // timeout: re-check the stop flag
+        }
+        let entry = s.inbox.lock().pop_front();
+        m.postactivation(acquire, &mut ctx);
+        let Some(entry) = entry else { continue };
+        invoke_ok(m, observe);
+        if !s.cfg.visit_delay.is_zero() {
+            std::thread::sleep(s.cfg.visit_delay);
+        }
+        let visits = entry.visits - 1;
+        if visits == 0 {
+            s.retired.lock().push(entry.lease);
+            continue;
+        }
+        let msg = s
+            .out
+            .lock()
+            .grant(entry.lease, entry.hop + 1, visits, now_since(start));
+        s.wire_q.lock().push_back(msg);
+    }
+}
+
+fn invoke_ok(m: &AspectModerator, h: &amf_core::MethodHandle) {
+    let mut ctx = InvocationContext::new(h.id().clone(), m.next_invocation());
+    m.preactivation(h, &mut ctx).expect("peer rows never abort");
+    m.postactivation(h, &mut ctx);
+}
+
+/// Per-frame decision drawn by the fault proxy: a pure function of
+/// `(seed, index)` so every run at a pinned seed injects the same
+/// faults.
+fn fault_draw(seed: u64, index: u64) -> u64 {
+    let mut z = seed.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Knobs for a [`FaultProxy`].
+#[derive(Debug, Clone)]
+pub struct FaultProxyConfig {
+    /// Address to listen on (port 0 for ephemeral).
+    pub listen: String,
+    /// Where real frames go.
+    pub target: String,
+    /// Per-frame drop probability, in permille, on the forward (grant)
+    /// plane.
+    pub drop_permille: u64,
+    /// Per-frame duplication probability, in permille.
+    pub dup_permille: u64,
+    /// Upper bound on a seeded per-frame forwarding delay.
+    pub max_delay: Duration,
+    /// Decision seed.
+    pub seed: u64,
+}
+
+impl Default for FaultProxyConfig {
+    fn default() -> Self {
+        Self {
+            listen: "127.0.0.1:0".into(),
+            target: String::new(),
+            drop_permille: 0,
+            dup_permille: 0,
+            max_delay: Duration::ZERO,
+            seed: 42,
+        }
+    }
+}
+
+/// Counters a [`FaultProxy`] keeps about its mischief.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultProxyStats {
+    /// Frames forwarded unharmed.
+    pub forwarded: u64,
+    /// Frames silently dropped.
+    pub dropped: u64,
+    /// Frames forwarded twice.
+    pub duplicated: u64,
+}
+
+struct ProxyShared {
+    cfg: FaultProxyConfig,
+    index: AtomicU64,
+    forwarded: AtomicU64,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    stop: AtomicBool,
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+/// A frame-aware unreliable link: forwards client→target frames with
+/// seeded drop/duplicate/delay faults, and copies the target→client
+/// byte stream verbatim (acks survive — the declared fault model).
+pub struct FaultProxy {
+    addr: SocketAddr,
+    shared: Arc<ProxyShared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for FaultProxy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultProxy")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FaultProxy {
+    /// Binds the proxy and starts forwarding.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn spawn(cfg: FaultProxyConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&cfg.listen)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ProxyShared {
+            cfg,
+            index: AtomicU64::new(0),
+            forwarded: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            duplicated: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+        });
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("fault-proxy-accept".into())
+                .spawn(move || proxy_accept(&listener, &shared))?
+        };
+        Ok(FaultProxy {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The proxy's listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// What the proxy has done so far.
+    pub fn stats(&self) -> FaultProxyStats {
+        FaultProxyStats {
+            forwarded: self.shared.forwarded.load(Ordering::SeqCst),
+            dropped: self.shared.dropped.load(Ordering::SeqCst),
+            duplicated: self.shared.duplicated.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Stops forwarding and joins the proxy threads. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        for conn in self.shared.conns.lock().drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn proxy_accept(listener: &TcpListener, shared: &Arc<ProxyShared>) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(client) = stream else { continue };
+        let Ok(target) = TcpStream::connect(&shared.cfg.target) else {
+            continue;
+        };
+        let _ = client.set_nodelay(true);
+        let _ = target.set_nodelay(true);
+        for c in [&client, &target] {
+            if let Ok(clone) = c.try_clone() {
+                shared.conns.lock().push(clone);
+            }
+        }
+        // Forward plane: client → target, frame-aware, faults applied.
+        {
+            let shared = Arc::clone(shared);
+            let (mut from, mut to) = match (client.try_clone(), target.try_clone()) {
+                (Ok(f), Ok(t)) => (f, t),
+                _ => continue,
+            };
+            let _ = std::thread::Builder::new()
+                .name("fault-proxy-fwd".into())
+                .spawn(move || {
+                    while !shared.stop.load(Ordering::SeqCst) {
+                        let body = match read_frame(&mut from) {
+                            Ok(Some(b)) => b,
+                            Ok(None) | Err(_) => break,
+                        };
+                        let i = shared.index.fetch_add(1, Ordering::SeqCst);
+                        let draw = fault_draw(shared.cfg.seed, i);
+                        if draw % 1000 < shared.cfg.drop_permille {
+                            shared.dropped.fetch_add(1, Ordering::SeqCst);
+                            continue;
+                        }
+                        let delay_ns = shared.cfg.max_delay.as_nanos() as u64;
+                        if delay_ns > 0 {
+                            std::thread::sleep(Duration::from_nanos(
+                                fault_draw(shared.cfg.seed ^ 0xDE1A, i) % (delay_ns + 1),
+                            ));
+                        }
+                        let mut framed = Vec::with_capacity(4 + body.len());
+                        framed.extend_from_slice(&(body.len() as u32).to_be_bytes());
+                        framed.extend_from_slice(&body);
+                        let copies = if (draw >> 32) % 1000 < shared.cfg.dup_permille {
+                            2
+                        } else {
+                            1
+                        };
+                        if copies == 2 {
+                            shared.duplicated.fetch_add(1, Ordering::SeqCst);
+                        }
+                        let mut dead = false;
+                        for _ in 0..copies {
+                            if to.write_all(&framed).is_err() {
+                                dead = true;
+                                break;
+                            }
+                        }
+                        if dead || to.flush().is_err() {
+                            break;
+                        }
+                        shared.forwarded.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+        }
+        // Return plane: target → client, verbatim copy.
+        {
+            let shared = Arc::clone(shared);
+            let (mut from, mut to) = (target, client);
+            let _ = std::thread::Builder::new()
+                .name("fault-proxy-ret".into())
+                .spawn(move || {
+                    let mut buf = [0u8; 4096];
+                    while !shared.stop.load(Ordering::SeqCst) {
+                        match from.read(&mut buf) {
+                            Ok(0) | Err(_) => break,
+                            Ok(n) => {
+                                if to.write_all(&buf[..n]).is_err() || to.flush().is_err() {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                });
+        }
+    }
+}

@@ -76,6 +76,11 @@ pub struct ServiceConfig {
     /// rolled back, and the client sees `Response::Err` instead of a
     /// dead worker thread.
     pub panic_policy: PanicPolicy,
+    /// Socket read/write deadline applied by [`crate::ServiceClient`]
+    /// (`set_read_timeout`/`set_write_timeout`). A client whose server
+    /// dies mid-reply surfaces `ClientError::Timeout` instead of
+    /// hanging forever. `None` restores the old block-forever behavior.
+    pub io_deadline: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -89,6 +94,7 @@ impl Default for ServiceConfig {
             op_timeout: Duration::from_millis(200),
             fairness: FairnessPolicy::Barging,
             panic_policy: PanicPolicy::AbortInvocation,
+            io_deadline: Some(Duration::from_secs(5)),
         }
     }
 }
@@ -174,6 +180,7 @@ impl ServiceShared {
             panics_caught: mod_stats.panics_caught,
             batched_grants: mod_stats.batched_grants,
             fast_path_admits: mod_stats.fast_path_admits,
+            fast_path_fallbacks: mod_stats.fast_path_fallbacks,
         }
     }
 

@@ -1,0 +1,139 @@
+//! In-process ring of [`PeerNode`]s over real TCP: the recovery state
+//! machine exercised against loopback sockets, with and without an
+//! unreliable link in the middle.
+
+use std::time::{Duration, Instant};
+
+use amf_core::LeaseConfig;
+use amf_service::{FaultProxy, FaultProxyConfig, PeerConfig, PeerNode};
+
+fn lease_cfg(expiry_ms: u64) -> LeaseConfig {
+    LeaseConfig {
+        expiry: Duration::from_millis(expiry_ms),
+        backoff_base: Duration::from_millis(5),
+        backoff_cap: Duration::from_millis(40),
+        jitter_seed: 7,
+    }
+}
+
+/// Spawns `n` nodes, wires the ring `0 → 1 → … → 0`, seeding `leases`
+/// at node 0 with `visits` each. `wrap` interposes on each link address
+/// (identity for a clean ring, a fault proxy for an unreliable one).
+fn spawn_ring(
+    n: usize,
+    leases: u64,
+    visits: u64,
+    expiry_ms: u64,
+    mut wrap: impl FnMut(usize, String) -> String,
+) -> Vec<PeerNode> {
+    // Bind every listener first so successor addresses exist, then wire
+    // the links.
+    let nodes: Vec<PeerNode> = (0..n)
+        .map(|i| {
+            PeerNode::spawn(PeerConfig {
+                node: i as u64,
+                seed_leases: if i == 0 { leases } else { 0 },
+                visits,
+                lease: lease_cfg(expiry_ms),
+                ..PeerConfig::default()
+            })
+            .expect("spawn node")
+        })
+        .collect();
+    let addrs: Vec<String> = nodes.iter().map(|p| p.addr().to_string()).collect();
+    for (i, node) in nodes.iter().enumerate() {
+        let next = wrap(i, addrs[(i + 1) % n].clone());
+        node.set_next(&next);
+    }
+    nodes
+}
+
+fn await_retired(nodes: &[PeerNode], want: u64, deadline: Duration) -> u64 {
+    let t0 = Instant::now();
+    loop {
+        let got: u64 = nodes.iter().map(|n| n.stats().retired).sum();
+        if got >= want || t0.elapsed() > deadline {
+            return got;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn assert_no_lease_lost_or_doubled(nodes: &[PeerNode], leases: u64) {
+    let mut retired: Vec<u64> = nodes.iter().flat_map(|n| n.retired()).collect();
+    retired.sort_unstable();
+    let expect: Vec<u64> = (0..leases).collect();
+    assert_eq!(retired, expect, "every lease retires exactly once");
+}
+
+#[test]
+fn clean_ring_circulates_and_retires_every_lease() {
+    let leases = 4;
+    let visits = 9; // 3 laps of 3 nodes
+    let nodes = spawn_ring(3, leases, visits, 200, |_, addr| addr);
+    let got = await_retired(&nodes, leases, Duration::from_secs(10));
+    assert_eq!(got, leases, "all leases retire");
+    assert_no_lease_lost_or_doubled(&nodes, leases);
+    let total_delivered: u64 = nodes.iter().map(|n| n.stats().delivered).sum();
+    // Every visit after the seeded ones is a delivery.
+    assert_eq!(total_delivered, leases * visits - leases);
+    for n in &nodes {
+        let s = n.stats();
+        assert_eq!(s.reclaimed, 0, "no reclaims on a clean ring: {s:?}");
+        assert!(!s.degraded_now);
+        assert!(s.fast_path_admits > 0, "telemetry row rides the fast lane");
+    }
+}
+
+#[test]
+fn lossy_ring_retransmits_dedups_and_still_loses_nothing() {
+    let leases = 3;
+    let visits = 9;
+    let mut proxies: Vec<FaultProxy> = Vec::new();
+    let nodes = spawn_ring(3, leases, visits, 150, |i, addr| {
+        let proxy = FaultProxy::spawn(FaultProxyConfig {
+            target: addr,
+            drop_permille: 100,
+            dup_permille: 100,
+            max_delay: Duration::from_micros(200),
+            seed: 0xC0FFEE + i as u64,
+            ..FaultProxyConfig::default()
+        })
+        .expect("spawn proxy");
+        let a = proxy.addr().to_string();
+        proxies.push(proxy);
+        a
+    });
+    let got = await_retired(&nodes, leases, Duration::from_secs(30));
+    assert_eq!(got, leases, "all leases survive a 10% drop / 10% dup link");
+    assert_no_lease_lost_or_doubled(&nodes, leases);
+    let dropped: u64 = proxies.iter().map(|p| p.stats().dropped).sum();
+    let duplicated: u64 = proxies.iter().map(|p| p.stats().duplicated).sum();
+    let retransmits: u64 = nodes.iter().map(|n| n.stats().retransmits).sum();
+    let dups_dropped: u64 = nodes.iter().map(|n| n.stats().dup_dropped).sum();
+    if dropped > 0 {
+        assert!(retransmits > 0, "drops must be answered by retransmits");
+    }
+    if duplicated > 0 {
+        assert!(dups_dropped > 0, "duplicates must be dropped idempotently");
+    }
+}
+
+#[test]
+fn severed_link_degrades_locally_and_loses_nothing() {
+    let leases = 3;
+    let visits = 6;
+    // Node 0's successor is a dead address: every handoff expires and
+    // is reclaimed, so all visits happen locally in degraded mode.
+    let nodes = spawn_ring(1, leases, visits, 60, |_, _| "127.0.0.1:9".into());
+    let got = await_retired(&nodes, leases, Duration::from_secs(20));
+    assert_eq!(got, leases, "a partitioned node still finishes its work");
+    assert_no_lease_lost_or_doubled(&nodes, leases);
+    let s = nodes[0].stats();
+    assert!(s.reclaimed > 0, "handoffs must expire and reclaim: {s:?}");
+    assert!(
+        s.degraded_entries > 0,
+        "degraded admissions are counted: {s:?}"
+    );
+    assert!(s.degraded_now, "peer never returned, node stays degraded");
+}

@@ -131,10 +131,18 @@ pub struct TopologyRecord {
     /// nanoseconds of virtual time (0 = instant delivery).
     pub max_delay_ns: u64,
     /// Fault ablation: the global 1-based index of a handoff message
-    /// to drop in flight, if any. A dropped handoff starves the
-    /// receiving courier's sequence cursor, so the whole ring winds
-    /// down into a detected deadlock.
+    /// to drop in flight, if any. With recovery disabled
+    /// (`expiry_ns == 0`) a dropped handoff starves the receiving
+    /// courier's sequence cursor and the whole ring winds down into a
+    /// detected deadlock; with recovery enabled the sender retransmits
+    /// and the run completes.
     pub drop_nth: Option<u64>,
+    /// Fault knob: the global 1-based index of a handoff message to
+    /// duplicate in flight, if any (socket-shaped channel).
+    pub dup_nth: Option<u64>,
+    /// Lease expiry deadline in nanoseconds of virtual time; 0 runs
+    /// the pre-recovery protocol (no retransmission, no reclaim).
+    pub expiry_ns: u64,
     /// Simulated-thread names, indexed by thread id.
     pub threads: Vec<String>,
     /// The full grant order (thread id per scheduling decision).
@@ -148,6 +156,16 @@ pub struct TopologyRecord {
     pub handoffs: Vec<(u64, u64, u64)>,
     /// Lease ids in retirement order.
     pub retired: Vec<u64>,
+    /// Frames retransmitted after a backoff deadline, summed over the
+    /// ring (0 with recovery disabled).
+    pub retransmits: u64,
+    /// Handoffs reclaimed after lease expiry, summed over the ring.
+    pub reclaimed: u64,
+    /// Duplicate frames dropped idempotently by receivers.
+    pub dup_dropped: u64,
+    /// Admissions moderated while a node was degraded (its successor
+    /// link had reclaimed work outstanding).
+    pub degraded_entries: u64,
     /// Fast-lane admissions summed over every node's moderator (the
     /// per-node telemetry row rides the lane).
     pub fast_path_admits: u64,
@@ -168,10 +186,20 @@ impl TopologyRecord {
             None => "null".to_string(),
             Some(n) => n.to_string(),
         };
+        let dup_nth = match self.dup_nth {
+            None => "null".to_string(),
+            Some(n) => n.to_string(),
+        };
         out.push_str(&format!(
             "  \"topology\": {{ \"nodes\": {}, \"leases\": {}, \"hops\": {}, \
-             \"max_delay_ns\": {}, \"drop_nth\": {} }},\n",
-            self.nodes, self.leases, self.hops, self.max_delay_ns, drop_nth
+             \"max_delay_ns\": {}, \"drop_nth\": {}, \"dup_nth\": {}, \"expiry_ns\": {} }},\n",
+            self.nodes,
+            self.leases,
+            self.hops,
+            self.max_delay_ns,
+            drop_nth,
+            dup_nth,
+            self.expiry_ns
         ));
         let names: Vec<String> = self
             .threads
@@ -192,6 +220,11 @@ impl TopologyRecord {
         out.push_str(&format!("  \"handoffs\": [{}],\n", handoffs.join(", ")));
         let retired: Vec<String> = self.retired.iter().map(u64::to_string).collect();
         out.push_str(&format!("  \"retired\": [{}],\n", retired.join(", ")));
+        out.push_str(&format!(
+            "  \"recovery\": {{ \"retransmits\": {}, \"reclaimed\": {}, \"dup_dropped\": {}, \
+             \"degraded_entries\": {} }},\n",
+            self.retransmits, self.reclaimed, self.dup_dropped, self.degraded_entries
+        ));
         out.push_str(&format!(
             "  \"fast_path\": {{ \"admits\": {}, \"fallbacks\": {} }},\n",
             self.fast_path_admits, self.fast_path_fallbacks
@@ -225,6 +258,10 @@ pub struct TopologyReplayHeader {
     pub max_delay_ns: u64,
     /// Recorded drop ablation, if any.
     pub drop_nth: Option<u64>,
+    /// Recorded duplication knob, if any.
+    pub dup_nth: Option<u64>,
+    /// Recorded lease expiry (0 = recovery disabled).
+    pub expiry_ns: u64,
     /// Recorded grant order, the replay script.
     pub schedule: Vec<usize>,
 }
@@ -233,23 +270,30 @@ impl TopologyReplayHeader {
     /// Scans a [`TopologyRecord::to_json`] rendering for the replay
     /// fields; `None` on any missing or malformed field.
     pub fn scan(text: &str) -> Option<Self> {
-        let drop_nth = match after_key(text, "drop_nth")? {
-            rest if rest.starts_with("null") => None,
-            rest => {
-                let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
-                Some(digits.parse().ok()?)
-            }
-        };
         Some(Self {
             seed: scan_u64(text, "seed")?,
             nodes: scan_u64(text, "nodes")?,
             leases: scan_u64(text, "leases")?,
             hops: scan_u64(text, "hops")?,
             max_delay_ns: scan_u64(text, "max_delay_ns")?,
-            drop_nth,
+            drop_nth: scan_opt_u64(text, "drop_nth")?,
+            dup_nth: scan_opt_u64(text, "dup_nth")?,
+            expiry_ns: scan_u64(text, "expiry_ns")?,
             schedule: scan_usize_array(text, "schedule")?,
         })
     }
+}
+
+/// The value following `"key":` as `Some(n)` for digits, `None` (inner)
+/// for `null`; outer `None` when the key is missing.
+#[allow(clippy::option_option)]
+fn scan_opt_u64(text: &str, key: &str) -> Option<Option<u64>> {
+    let rest = after_key(text, key)?;
+    if rest.starts_with("null") {
+        return Some(None);
+    }
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    Some(Some(digits.parse().ok()?))
 }
 
 /// The fields replay needs from a recorded artifact.
@@ -392,6 +436,8 @@ mod tests {
             hops: 3,
             max_delay_ns: 500,
             drop_nth: None,
+            dup_nth: None,
+            expiry_ns: 0,
             threads: vec![
                 "w0".into(),
                 "courier0".into(),
@@ -402,6 +448,10 @@ mod tests {
             clock_ns: 2_500,
             handoffs: vec![(1, 0, 0), (0, 0, 0), (1, 1, 1)],
             retired: vec![0, 1],
+            retransmits: 0,
+            reclaimed: 0,
+            dup_dropped: 0,
+            degraded_entries: 0,
             fast_path_admits: 12,
             fast_path_fallbacks: 0,
             error: None,
@@ -421,6 +471,8 @@ mod tests {
                 hops: 3,
                 max_delay_ns: 500,
                 drop_nth: None,
+                dup_nth: None,
+                expiry_ns: 0,
                 schedule: vec![0, 2, 1, 3],
             }
         );
@@ -434,6 +486,31 @@ mod tests {
         assert!(json.contains("\"drop_nth\": 4"));
         let header = TopologyReplayHeader::scan(&json).unwrap();
         assert_eq!(header.drop_nth, Some(4));
+    }
+
+    #[test]
+    fn topology_recovery_fields_round_trip() {
+        let mut rec = topology_record();
+        rec.dup_nth = Some(2);
+        rec.expiry_ns = 50_000;
+        rec.retransmits = 3;
+        rec.reclaimed = 1;
+        rec.dup_dropped = 2;
+        rec.degraded_entries = 4;
+        let json = rec.to_json();
+        assert!(json.contains("\"dup_nth\": 2"));
+        assert!(json.contains("\"expiry_ns\": 50000"));
+        assert!(json.contains(
+            "\"recovery\": { \"retransmits\": 3, \"reclaimed\": 1, \"dup_dropped\": 2, \
+             \"degraded_entries\": 4 }"
+        ));
+        let header = TopologyReplayHeader::scan(&json).unwrap();
+        assert_eq!(header.dup_nth, Some(2));
+        assert_eq!(header.expiry_ns, 50_000);
+        // Recovery counters sit inside the byte-identity perimeter.
+        let mut other = rec.clone();
+        other.retransmits = 0;
+        assert_ne!(other.to_json(), json);
     }
 
     #[test]

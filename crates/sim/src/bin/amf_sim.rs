@@ -8,6 +8,7 @@
 //! amf-sim replay <path>
 //! amf-sim record-topology <path> [--seed N] [--nodes N] [--leases N]
 //!                                [--hops N] [--max-delay NS] [--drop N]
+//!                                [--dup N] [--expiry-ns NS]
 //! amf-sim replay-topology <path>
 //! ```
 //!
@@ -18,8 +19,12 @@
 //! the regenerated artifact byte-for-byte against the file; any
 //! divergence (including a schedule that no longer matches the code)
 //! exits non-zero. The `-topology` pair does the same for the
-//! multi-moderator lease-handoff ring (`--drop N` drops the Nth
-//! handoff in flight, ending the run in a detected deadlock).
+//! multi-moderator lease-handoff ring. `--drop N` drops the Nth
+//! handoff in flight: without recovery (`--expiry-ns 0`, the default)
+//! the run ends in a detected deadlock; with `--expiry-ns` nonzero the
+//! handoff is severed and the recovery protocol (backoff retransmits,
+//! expiry, reclaim into degraded local moderation) carries the run to
+//! completion anyway. `--dup N` delivers the Nth handoff twice.
 
 use std::process::ExitCode;
 
@@ -33,7 +38,8 @@ fn usage() -> ExitCode {
         "usage: amf-sim record <path> [--seed N] [--producers N] [--consumers N] \
          [--rounds N] [--faults PERMILLE]\n       amf-sim replay <path>\n       \
          amf-sim record-topology <path> [--seed N] [--nodes N] [--leases N] \
-         [--hops N] [--max-delay NS] [--drop N]\n       amf-sim replay-topology <path>"
+         [--hops N] [--max-delay NS] [--drop N] [--dup N] [--expiry-ns NS]\n       \
+         amf-sim replay-topology <path>"
     );
     ExitCode::FAILURE
 }
@@ -108,6 +114,10 @@ fn record_topology(path: &str, args: &[String]) -> Result<(), String> {
         0 => None,
         n => Some(n),
     };
+    let dup_nth = match parse_flag(args, "--dup", 0)? {
+        0 => None,
+        n => Some(n),
+    };
     let params = TopologyParams {
         seed: parse_flag(args, "--seed", 42)?,
         nodes: parse_flag(args, "--nodes", 2)?,
@@ -115,6 +125,8 @@ fn record_topology(path: &str, args: &[String]) -> Result<(), String> {
         hops: parse_flag(args, "--hops", 3)?,
         max_delay_ns: parse_flag(args, "--max-delay", 1_000)?,
         drop_nth,
+        dup_nth,
+        expiry_ns: parse_flag(args, "--expiry-ns", 0)?,
     };
     let record = run_topology_scenario(&params, None);
     std::fs::write(path, record.to_json()).map_err(|e| format!("write {path}: {e}"))?;
@@ -131,9 +143,11 @@ fn record_topology(path: &str, args: &[String]) -> Result<(), String> {
     );
     match &record.error {
         None => Ok(()),
-        // A drop ablation is *supposed* to end in a detected deadlock;
-        // the artifact is still written for postmortem replay.
-        Some(e) if record.drop_nth.is_some() => {
+        // A drop ablation without recovery is *supposed* to end in a
+        // detected deadlock; the artifact is still written for
+        // postmortem replay. With recovery enabled the same drop must
+        // be absorbed, so an error there is a real failure.
+        Some(e) if record.drop_nth.is_some() && record.expiry_ns == 0 => {
             println!("expected ablation outcome: {e}");
             Ok(())
         }
@@ -152,6 +166,8 @@ fn replay_topology(path: &str) -> Result<(), String> {
         hops: header.hops,
         max_delay_ns: header.max_delay_ns,
         drop_nth: header.drop_nth,
+        dup_nth: header.dup_nth,
+        expiry_ns: header.expiry_ns,
     };
     let replayed = run_topology_scenario(&params, Some(header.schedule)).to_json();
     if replayed == recorded {

@@ -248,10 +248,25 @@ pub struct TopologyParams {
     /// overtake each other in flight; the receiving courier reassembles
     /// sequence order before granting.
     pub max_delay_ns: u64,
-    /// Ablation: drop the nth handoff message (global 1-based count)
-    /// in flight. The ring then starves and the run ends in a detected
-    /// deadlock instead of hanging.
+    /// Drop knob: the nth handoff send (global 1-based count). With
+    /// recovery disabled (`expiry_ns == 0`) the one in-flight copy is
+    /// lost, the ring starves, and the run ends in a detected deadlock.
+    /// With recovery enabled the knob *severs* that handoff — every
+    /// retransmission of it is lost too — so the sender walks the full
+    /// recovery path: backoff retransmits, expiry, reclaim, degraded
+    /// local moderation, and a cursor-advancing release.
     pub drop_nth: Option<u64>,
+    /// Duplicate knob: the nth handoff send is delivered twice, with
+    /// independent jitter. Harmless under recovery (the receiver dedups
+    /// idempotently); benign under the legacy courier (the stray copy
+    /// is simply never the cursor's next sequence).
+    pub dup_nth: Option<u64>,
+    /// Lease expiry deadline in nanoseconds of virtual time. 0 runs
+    /// the pre-recovery protocol (in-memory channels, no
+    /// retransmission); nonzero routes every handoff through the
+    /// socket-shaped channel as encoded wire frames driven by the
+    /// shared [`amf_core::lease`] state machine.
+    pub expiry_ns: u64,
 }
 
 impl Default for TopologyParams {
@@ -263,6 +278,8 @@ impl Default for TopologyParams {
             hops: 3,
             max_delay_ns: 1_000,
             drop_nth: None,
+            dup_nth: None,
+            expiry_ns: 0,
         }
     }
 }
@@ -316,6 +333,17 @@ pub fn run_topology_scenario(
         params.leases >= 1 && params.hops >= 1,
         "nothing to simulate"
     );
+    if params.expiry_ns > 0 {
+        return run_topology_recovery(params, script);
+    }
+    run_topology_legacy(params, script)
+}
+
+/// The pre-recovery ring: in-memory channels, fire-and-forget handoffs,
+/// strict sequence-cursor reassembly. A dropped handoff deadlocks the
+/// ring — which is the point of keeping this path: it is the ablation
+/// the recovery protocol is measured against.
+fn run_topology_legacy(params: &TopologyParams, script: Option<Vec<usize>>) -> TopologyRecord {
     let mut runner = match script {
         None => SimRunner::new(params.seed),
         Some(s) => SimRunner::replay(params.seed, s),
@@ -458,6 +486,16 @@ pub fn run_topology_scenario(
                 let delay = jitter(p.seed, next_c, seq) % (p.max_delay_ns + 1);
                 let deliver_at = clock_w.now() + Duration::from_nanos(delay);
                 g.in_flight.push((seq, deliver_at, lease, visits));
+                if p.dup_nth == Some(nth) {
+                    // A stray duplicate: same sequence number, its own
+                    // jitter. The courier's cursor delivers the first
+                    // copy it reaches and the stray is never `want`ed
+                    // again — benign by construction here, counted and
+                    // dropped by the recovery path's dedup window.
+                    let delay = jitter(p.seed ^ 0xD0B1, next_c, seq) % (p.max_delay_ns + 1);
+                    let deliver_at = clock_w.now() + Duration::from_nanos(delay);
+                    g.in_flight.push((seq, deliver_at, lease, visits));
+                }
                 drop(g);
                 waiter.wake_all();
             }
@@ -519,11 +557,465 @@ pub fn run_topology_scenario(
         hops: params.hops,
         max_delay_ns: params.max_delay_ns,
         drop_nth: params.drop_nth,
+        dup_nth: params.dup_nth,
+        expiry_ns: params.expiry_ns,
         threads: report.names,
         schedule: report.schedule,
         clock_ns: report.clock.as_nanos(),
         handoffs,
         retired,
+        retransmits: 0,
+        reclaimed: 0,
+        dup_dropped: 0,
+        degraded_entries: 0,
+        fast_path_admits: admits,
+        fast_path_fallbacks: fallbacks,
+        error: report.error,
+    }
+}
+
+/// The recovery-protocol ring over a *socket-shaped* fault channel:
+/// every handoff is an encoded wire frame ([`amf_service::codec`]),
+/// every link runs the shared [`amf_core::lease`] state machine —
+/// exactly the code path the live [`amf_service::PeerNode`] drives over
+/// TCP, here under the virtual clock so record→replay covers it.
+///
+/// Per node, three simulated threads: the *worker* moderates each
+/// lease visit and grants the lease onward through its link's
+/// [`LeaseOut`]; the *courier* decodes deliverable frames, runs the
+/// receiver half ([`LeaseIn`]: dedup window, cursor reassembly, hop
+/// fencing) and acks on the reliable return plane; the *daemon* drains
+/// acks and drives the retransmit/expiry timers. With recovery enabled,
+/// [`TopologyParams::drop_nth`] severs its handoff entirely (every
+/// retransmission lost), so the sender expires the lease, reclaims it
+/// into degraded local moderation, and releases the sequence hole.
+fn run_topology_recovery(params: &TopologyParams, script: Option<Vec<usize>>) -> TopologyRecord {
+    use amf_core::{LeaseAction, LeaseConfig, LeaseIn, LeaseMsg, LeaseOut};
+    use amf_service::codec::{decode_peer, encode_peer, PeerFrame};
+
+    let mut runner = match script {
+        None => SimRunner::new(params.seed),
+        Some(s) => SimRunner::replay(params.seed, s),
+    };
+    let engine = runner.engine();
+    let clock = runner.clock();
+    let nodes = params.nodes as usize;
+    let lease_cfg = LeaseConfig {
+        expiry: Duration::from_nanos(params.expiry_ns),
+        backoff_base: Duration::from_nanos((params.expiry_ns / 8).max(1)),
+        backoff_cap: Duration::from_nanos((params.expiry_ns / 2).max(1)),
+        jitter_seed: params.seed,
+    };
+
+    /// Delivered `(lease, hop, visits)` triples; `None` is the
+    /// completion poison pill.
+    type Inbox = Arc<Mutex<VecDeque<Option<(u64, u64, u64)>>>>;
+    struct Node {
+        moderator: Arc<AspectModerator>,
+        acquire: MethodHandle,
+        grant: MethodHandle,
+        observe: MethodHandle,
+        inbox: Inbox,
+        out: Arc<parking_lot::Mutex<LeaseOut>>,
+        inn: Arc<parking_lot::Mutex<LeaseIn>>,
+    }
+    let mut ring = Vec::with_capacity(nodes);
+    for _ in 0..nodes {
+        let moderator = Arc::new(
+            AspectModerator::builder()
+                .fairness(FairnessPolicy::Fifo)
+                .panic_policy(PanicPolicy::AbortInvocation)
+                .engine(Arc::new(runner.engine()))
+                .clock(Arc::new(runner.clock()))
+                .build(),
+        );
+        let acquire = moderator.declare_method(MethodId::new("acquire"));
+        let grant = moderator.declare_method(MethodId::new("grant"));
+        let observe = moderator.declare_method(MethodId::new("observe"));
+        let inbox: Inbox = Arc::new(Mutex::new(VecDeque::new()));
+        {
+            let inbox = Arc::clone(&inbox);
+            moderator
+                .register(
+                    &acquire,
+                    Concern::synchronization(),
+                    Box::new(FnAspect::new("lease-gate").on_precondition(move |_| {
+                        if inbox.lock().unwrap().is_empty() {
+                            Verdict::Block
+                        } else {
+                            Verdict::Resume
+                        }
+                    })),
+                )
+                .expect("register lease-gate");
+        }
+        moderator
+            .register(
+                &grant,
+                Concern::new("handoff"),
+                Box::new(FnAspect::new("handoff")),
+            )
+            .expect("register handoff");
+        moderator
+            .register(
+                &observe,
+                Concern::new("telemetry"),
+                Box::new(AuditAspect::new(AuditLog::shared())),
+            )
+            .expect("register telemetry");
+        moderator.wire_wakes(&grant, std::slice::from_ref(&acquire));
+        moderator.wire_wakes(&acquire, &[]);
+        moderator.wire_wakes(&observe, &[]);
+        ring.push(Node {
+            moderator,
+            acquire,
+            grant,
+            observe,
+            inbox,
+            out: Arc::new(parking_lot::Mutex::new(LeaseOut::new(lease_cfg.clone()))),
+            inn: Arc::new(parking_lot::Mutex::new(LeaseIn::new())),
+        });
+    }
+    let total_visits = params.nodes * params.hops;
+    {
+        let mut inbox = ring[0].inbox.lock().unwrap();
+        for lease in 0..params.leases {
+            inbox.push_back(Some((lease, 0, total_visits)));
+        }
+    }
+
+    /// One frame in one direction of a link: `(encoded body,
+    /// deliver_at, tie-break index)`.
+    type Flight = Vec<(Vec<u8>, Duration, u64)>;
+    type Plane = Arc<(parking_lot::Mutex<Flight>, Arc<dyn Waiter<Flight>>)>;
+    let new_plane = || -> Plane {
+        Arc::new((
+            parking_lot::Mutex::new(Vec::new()),
+            GrantSource::<Flight>::waiter(&engine),
+        ))
+    };
+    // grant_plane[c] delivers into node c; ack_plane[c] carries node
+    // c's acks back toward its predecessor. The grant plane drops,
+    // delays, and duplicates; the ack plane only delays — the declared
+    // fault model (acks ride the TCP return path).
+    let grant_planes: Vec<Plane> = (0..nodes).map(|_| new_plane()).collect();
+    let ack_planes: Vec<Plane> = (0..nodes).map(|_| new_plane()).collect();
+
+    let sends = Arc::new(AtomicU64::new(0));
+    let acks_sent = Arc::new(AtomicU64::new(0));
+    // Handoffs the drop knob has severed: every copy of these
+    // `(channel, seq)` grants is lost, retransmits included.
+    let severed: Arc<Mutex<Vec<(u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+    let handoffs: Arc<Mutex<Vec<(u64, u64, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+    let retired: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let degraded_entries = Arc::new(AtomicU64::new(0));
+    let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    fn invoke_ok(m: &AspectModerator, h: &MethodHandle) {
+        let mut ctx = InvocationContext::new(h.id().clone(), m.next_invocation());
+        m.preactivation(h, &mut ctx)
+            .expect("topology rows never abort");
+        m.postactivation(h, &mut ctx);
+    }
+
+    // Sends `msg` from node `from` onto grant plane `to`, applying the
+    // drop (sever), duplicate, and delay knobs. Returns whether the
+    // frame actually entered the channel.
+    let send_grant = {
+        let sends = Arc::clone(&sends);
+        let severed = Arc::clone(&severed);
+        let clock = clock.clone();
+        let p = params.clone();
+        move |planes: &[Plane], from: u64, to: u64, msg: LeaseMsg| {
+            let is_grant = matches!(msg, LeaseMsg::Grant { .. });
+            if is_grant && severed.lock().unwrap().contains(&(to, msg.seq())) {
+                return; // the severed handoff: every copy is lost
+            }
+            let nth = sends.fetch_add(1, Ordering::SeqCst) + 1;
+            if is_grant && p.drop_nth == Some(nth) {
+                severed.lock().unwrap().push((to, msg.seq()));
+                return;
+            }
+            let frame = encode_peer(&PeerFrame { node: from, msg });
+            let body = frame[4..].to_vec();
+            let (ch, waiter) = &*planes[to as usize];
+            let mut g = ch.lock();
+            let delay = jitter(p.seed, to, nth) % (p.max_delay_ns + 1);
+            g.push((body.clone(), clock.now() + Duration::from_nanos(delay), nth));
+            if p.dup_nth == Some(nth) {
+                let delay = jitter(p.seed ^ 0xD0B1, to, nth) % (p.max_delay_ns + 1);
+                g.push((
+                    body,
+                    clock.now() + Duration::from_nanos(delay),
+                    nth | (1 << 63),
+                ));
+            }
+            drop(g);
+            waiter.wake_all();
+        }
+    };
+
+    // Flood every inbox with a poison pill and wake every plane: the
+    // last retirement releases the whole ring.
+    let finish = {
+        let done = Arc::clone(&done);
+        move |ring: &[Node], grant_planes: &[Plane], ack_planes: &[Plane]| {
+            done.store(true, Ordering::SeqCst);
+            for node in ring {
+                node.inbox.lock().unwrap().push_back(None);
+                invoke_ok(&node.moderator, &node.grant);
+            }
+            for plane in grant_planes.iter().chain(ack_planes) {
+                // Lock-then-wake: a thread that checked `done` before
+                // this store is either still holding the plane mutex
+                // (we serialize behind it) or already parked (the wake
+                // reaches it). Either way the wake cannot be lost.
+                let (ch, waiter) = &**plane;
+                drop(ch.lock());
+                waiter.wake_all();
+            }
+        }
+    };
+
+    let ring = Arc::new(ring);
+    let grant_planes = Arc::new(grant_planes);
+    let ack_planes = Arc::new(ack_planes);
+
+    for i in 0..nodes {
+        let next = (i + 1) % nodes;
+        // Worker: moderate every visit, forward through LeaseOut.
+        {
+            let ring = Arc::clone(&ring);
+            let (grant_planes, ack_planes) = (Arc::clone(&grant_planes), Arc::clone(&ack_planes));
+            let (retired, degraded_entries) = (Arc::clone(&retired), Arc::clone(&degraded_entries));
+            let (send_grant, finish) = (send_grant.clone(), finish.clone());
+            let clock = clock.clone();
+            let p = params.clone();
+            runner.spawn(&format!("w{i}"), move || {
+                let node = &ring[i];
+                loop {
+                    let mut ctx = InvocationContext::new(
+                        node.acquire.id().clone(),
+                        node.moderator.next_invocation(),
+                    );
+                    node.moderator
+                        .preactivation(&node.acquire, &mut ctx)
+                        .expect("acquire never aborts");
+                    let entry = node.inbox.lock().unwrap().pop_front().flatten();
+                    node.moderator.postactivation(&node.acquire, &mut ctx);
+                    let Some((lease, hop, visits)) = entry else {
+                        break;
+                    };
+                    invoke_ok(&node.moderator, &node.observe);
+                    if node.out.lock().degraded() {
+                        degraded_entries.fetch_add(1, Ordering::SeqCst);
+                    }
+                    let visits = visits - 1;
+                    if visits == 0 {
+                        let mut r = retired.lock().unwrap();
+                        r.push(lease);
+                        if r.len() as u64 == p.leases {
+                            drop(r);
+                            finish(&ring, &grant_planes, &ack_planes);
+                        }
+                        continue;
+                    }
+                    let msg = node.out.lock().grant(lease, hop + 1, visits, clock.now());
+                    send_grant(&grant_planes, i as u64, next as u64, msg);
+                    // The daemon may now have a retransmit timer to
+                    // watch; lock-then-wake so it either sees the new
+                    // deadline on its next pass or takes this wake.
+                    let (ch, waiter) = &*ack_planes[next];
+                    drop(ch.lock());
+                    waiter.wake_all();
+                }
+            });
+        }
+        // Courier: decode deliverable frames, run the receiver half,
+        // ack on the return plane.
+        {
+            let ring = Arc::clone(&ring);
+            let (grant_planes, ack_planes) = (Arc::clone(&grant_planes), Arc::clone(&ack_planes));
+            let handoffs = Arc::clone(&handoffs);
+            let (acks_sent, done) = (Arc::clone(&acks_sent), Arc::clone(&done));
+            let clock = clock.clone();
+            let p = params.clone();
+            runner.spawn(&format!("courier{i}"), move || {
+                let node = &ring[i];
+                loop {
+                    let body = {
+                        let (ch, waiter) = &*grant_planes[i];
+                        let mut g = ch.lock();
+                        loop {
+                            if done.load(Ordering::SeqCst) {
+                                return;
+                            }
+                            let now = clock.now();
+                            // Deliver the earliest-due frame; insertion
+                            // index breaks ties deterministically.
+                            let due = g
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, m)| m.1 <= now)
+                                .min_by_key(|(_, m)| (m.1, m.2))
+                                .map(|(idx, _)| idx);
+                            if let Some(idx) = due {
+                                break g.remove(idx).0;
+                            }
+                            match g.iter().map(|m| m.1).min() {
+                                Some(at) => {
+                                    waiter.park_for(&mut g, at - now);
+                                }
+                                None => waiter.park(&mut g),
+                            }
+                        }
+                    };
+                    let Ok(frame) = decode_peer(&body) else {
+                        continue;
+                    };
+                    let (deliveries, ack) = {
+                        let mut inn = node.inn.lock();
+                        match frame.msg {
+                            LeaseMsg::Grant {
+                                seq,
+                                lease,
+                                hop,
+                                visits,
+                            } => inn.on_grant(seq, lease, hop, visits),
+                            LeaseMsg::Release { seq } => inn.on_release(seq),
+                            LeaseMsg::Ack { .. } => continue,
+                        }
+                    };
+                    for d in deliveries {
+                        handoffs.lock().unwrap().push((i as u64, d.seq, d.lease));
+                        node.inbox
+                            .lock()
+                            .unwrap()
+                            .push_back(Some((d.lease, d.hop, d.visits)));
+                        invoke_ok(&node.moderator, &node.grant);
+                    }
+                    // Ack on the reliable return plane, with delay.
+                    let nth = acks_sent.fetch_add(1, Ordering::SeqCst) + 1;
+                    let frame = encode_peer(&PeerFrame {
+                        node: i as u64,
+                        msg: ack,
+                    });
+                    let (ch, waiter) = &*ack_planes[i];
+                    let mut g = ch.lock();
+                    let delay = jitter(p.seed ^ 0xACC5, i as u64, nth) % (p.max_delay_ns + 1);
+                    g.push((
+                        frame[4..].to_vec(),
+                        clock.now() + Duration::from_nanos(delay),
+                        nth,
+                    ));
+                    drop(g);
+                    waiter.wake_all();
+                }
+            });
+        }
+        // Daemon: drain due acks, drive retransmit/expiry timers.
+        {
+            let ring = Arc::clone(&ring);
+            let (grant_planes, ack_planes) = (Arc::clone(&grant_planes), Arc::clone(&ack_planes));
+            let done = Arc::clone(&done);
+            let send_grant = send_grant.clone();
+            let clock = clock.clone();
+            runner.spawn(&format!("daemon{i}"), move || {
+                let node = &ring[i];
+                loop {
+                    // Drain every ack due by now — the "drain readable
+                    // acks before poll" reclaim guard — then park until
+                    // the next ack arrival or retransmit/expiry timer.
+                    let mut due_acks = {
+                        let (ch, waiter) = &*ack_planes[next];
+                        let mut g = ch.lock();
+                        if done.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        let now = clock.now();
+                        let (due, rest): (Flight, Flight) = g.drain(..).partition(|m| m.1 <= now);
+                        *g = rest;
+                        if due.is_empty() {
+                            let timer = node.out.lock().next_deadline();
+                            let next_at = g.iter().map(|m| m.1).min();
+                            let wake_at = [timer, next_at].into_iter().flatten().min();
+                            match wake_at {
+                                Some(at) if at > now => {
+                                    waiter.park_for(&mut g, at - now);
+                                }
+                                Some(_) => {} // a timer is already due
+                                None => waiter.park(&mut g),
+                            }
+                            if done.load(Ordering::SeqCst) {
+                                return;
+                            }
+                        }
+                        due
+                    };
+                    due_acks.sort_by_key(|m| (m.1, m.2));
+                    for (body, _, _) in due_acks {
+                        let Ok(frame) = decode_peer(&body) else {
+                            continue;
+                        };
+                        if let LeaseMsg::Ack { seq, cursor } = frame.msg {
+                            node.out.lock().on_ack(seq, cursor, clock.now());
+                        }
+                    }
+                    let actions = node.out.lock().poll(clock.now());
+                    for a in actions {
+                        match a {
+                            LeaseAction::Send(msg) => {
+                                send_grant(&grant_planes, i as u64, next as u64, msg);
+                            }
+                            LeaseAction::Reclaim { lease, hop, visits } => {
+                                // Ours again: fence the hop, moderate
+                                // it locally (degraded entry).
+                                node.inn.lock().fence(lease, hop);
+                                node.inbox
+                                    .lock()
+                                    .unwrap()
+                                    .push_back(Some((lease, hop, visits)));
+                                invoke_ok(&node.moderator, &node.grant);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    }
+
+    let report = runner.run();
+    let (mut admits, mut fallbacks) = (0, 0);
+    let (mut retransmits, mut reclaimed, mut dup_dropped) = (0, 0, 0);
+    for node in ring.iter() {
+        let s = node.moderator.stats();
+        admits += s.fast_path_admits;
+        fallbacks += s.fast_path_fallbacks;
+        let o = node.out.lock().stats();
+        retransmits += o.retransmits;
+        reclaimed += o.reclaimed;
+        dup_dropped += node.inn.lock().stats().dup_dropped;
+    }
+    let handoffs = handoffs.lock().unwrap().clone();
+    let retired = retired.lock().unwrap().clone();
+    TopologyRecord {
+        seed: params.seed,
+        nodes: params.nodes,
+        leases: params.leases,
+        hops: params.hops,
+        max_delay_ns: params.max_delay_ns,
+        drop_nth: params.drop_nth,
+        dup_nth: params.dup_nth,
+        expiry_ns: params.expiry_ns,
+        threads: report.names,
+        schedule: report.schedule,
+        clock_ns: report.clock.as_nanos(),
+        handoffs,
+        retired,
+        retransmits,
+        reclaimed,
+        dup_dropped,
+        degraded_entries: degraded_entries.load(Ordering::SeqCst),
         fast_path_admits: admits,
         fast_path_fallbacks: fallbacks,
         error: report.error,

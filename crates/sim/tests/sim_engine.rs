@@ -468,6 +468,8 @@ fn topology_record_then_replay_is_byte_identical() {
         hops: 4,
         max_delay_ns: 50_000,
         drop_nth: None,
+        dup_nth: None,
+        expiry_ns: 0,
     };
     let recorded = run_topology_scenario(&params, None);
     assert_eq!(recorded.error, None, "{recorded:?}");
@@ -520,6 +522,8 @@ fn topology_runs_are_deterministic_per_seed() {
         hops: 2,
         max_delay_ns: 10_000,
         drop_nth: None,
+        dup_nth: None,
+        expiry_ns: 0,
     };
     let a = run_topology_scenario(&params, None);
     let b = run_topology_scenario(&params, None);
@@ -539,6 +543,8 @@ fn topology_dropped_handoff_is_a_detected_deadlock() {
         hops: 3,
         max_delay_ns: 1_000,
         drop_nth: Some(3),
+        dup_nth: None,
+        expiry_ns: 0,
     };
     let recorded = run_topology_scenario(&params, None);
     let err = recorded
@@ -553,6 +559,148 @@ fn topology_dropped_handoff_is_a_detected_deadlock() {
     assert_eq!(header.drop_nth, Some(3));
     // Fewer leases retire than circulate: the ring really starved.
     assert!(recorded.retired.len() < params.leases as usize + 1);
+}
+
+// ------------------------------------------------------------------ //
+// Recovery mode (`expiry_ns > 0`): every handoff travels as an encoded
+// wire frame through the socket-shaped fault channel, driven by the
+// shared amf_core::lease state machine — the same code path the live
+// TCP peers run, here under the virtual clock.
+// ------------------------------------------------------------------ //
+
+/// A clean recovery-mode ring retires every lease with no reclaims and
+/// records→replays byte-identically, recovery fields included.
+#[test]
+fn recovery_topology_record_then_replay_is_byte_identical() {
+    let params = TopologyParams {
+        seed: 4242,
+        nodes: 2,
+        leases: 2,
+        hops: 3,
+        max_delay_ns: 10_000,
+        drop_nth: None,
+        dup_nth: None,
+        expiry_ns: 50_000_000,
+    };
+    let recorded = run_topology_scenario(&params, None);
+    assert_eq!(recorded.error, None, "{recorded:?}");
+    let mut retired = recorded.retired.clone();
+    retired.sort_unstable();
+    assert_eq!(retired, vec![0, 1], "every lease retires exactly once");
+    assert_eq!(recorded.reclaimed, 0, "no reclaims on a clean ring");
+    assert_eq!(recorded.degraded_entries, 0);
+    // Per channel the delivered sequence numbers are still exactly
+    // 0, 1, 2, ...: the cursor reassembles FIFO over the wire frames.
+    for channel in 0..params.nodes {
+        let seqs: Vec<u64> = recorded
+            .handoffs
+            .iter()
+            .filter(|(c, _, _)| *c == channel)
+            .map(|(_, seq, _)| *seq)
+            .collect();
+        assert_eq!(
+            seqs,
+            (0..seqs.len() as u64).collect::<Vec<_>>(),
+            "channel {channel}"
+        );
+    }
+
+    let json = recorded.to_json();
+    let header = TopologyReplayHeader::scan(&json).expect("artifact scans");
+    assert_eq!(header.expiry_ns, params.expiry_ns);
+    let replayed = run_topology_scenario(&params, Some(header.schedule));
+    assert_eq!(replayed.to_json(), json, "byte-identical reproduction");
+}
+
+/// The same dropped handoff that deadlocks the legacy ring is absorbed
+/// by the recovery protocol: the sender retransmits into the severed
+/// link, expires, reclaims the lease into degraded local moderation,
+/// and the run completes with every lease retired exactly once.
+#[test]
+fn recovery_severed_handoff_reclaims_instead_of_deadlocking() {
+    let params = TopologyParams {
+        seed: 4242,
+        nodes: 2,
+        leases: 2,
+        hops: 3,
+        max_delay_ns: 1_000,
+        drop_nth: Some(3),
+        dup_nth: None,
+        expiry_ns: 10_000_000,
+    };
+    let recorded = run_topology_scenario(&params, None);
+    assert_eq!(recorded.error, None, "recovery absorbs the severed link");
+    let mut retired = recorded.retired.clone();
+    retired.sort_unstable();
+    assert_eq!(retired, vec![0, 1], "no lease lost, none doubled");
+    assert!(
+        recorded.retransmits > 0,
+        "the severed handoff was retried before expiring: {recorded:?}"
+    );
+    assert_eq!(recorded.reclaimed, 1, "exactly the severed handoff expires");
+    assert!(
+        recorded.degraded_entries > 0,
+        "the reclaimed visit is moderated locally in degraded mode"
+    );
+
+    // The full recovery run — backoff timers, expiry, reclaim — still
+    // replays byte-identically from its recorded schedule.
+    let json = recorded.to_json();
+    let header = TopologyReplayHeader::scan(&json).expect("artifact scans");
+    assert_eq!(header.drop_nth, Some(3));
+    let replayed = run_topology_scenario(&params, Some(header.schedule));
+    assert_eq!(replayed.to_json(), json, "byte-identical reproduction");
+}
+
+/// A duplicated handoff is detected by the receiver's dedup window and
+/// dropped idempotently: the duplicate is counted, never delivered.
+#[test]
+fn recovery_duplicated_handoff_is_deduplicated() {
+    let params = TopologyParams {
+        seed: 99,
+        nodes: 2,
+        leases: 2,
+        hops: 3,
+        max_delay_ns: 1_000,
+        drop_nth: None,
+        dup_nth: Some(2),
+        expiry_ns: 50_000_000,
+    };
+    let recorded = run_topology_scenario(&params, None);
+    assert_eq!(recorded.error, None, "{recorded:?}");
+    let mut retired = recorded.retired.clone();
+    retired.sort_unstable();
+    assert_eq!(retired, vec![0, 1], "no lease doubled by the duplicate");
+    assert!(
+        recorded.dup_dropped > 0,
+        "the duplicate must be counted and dropped: {recorded:?}"
+    );
+    // Deliveries are still unique per (channel, seq).
+    let mut keys: Vec<(u64, u64)> = recorded.handoffs.iter().map(|(c, s, _)| (*c, *s)).collect();
+    let before = keys.len();
+    keys.sort_unstable();
+    keys.dedup();
+    assert_eq!(keys.len(), before, "no (channel, seq) delivered twice");
+}
+
+/// Recovery-mode runs are a pure function of the seed, like the legacy
+/// path: same seed twice gives the same artifact.
+#[test]
+fn recovery_topology_runs_are_deterministic_per_seed() {
+    let params = TopologyParams {
+        seed: 17,
+        nodes: 3,
+        leases: 2,
+        hops: 2,
+        max_delay_ns: 5_000,
+        drop_nth: None,
+        dup_nth: None,
+        expiry_ns: 40_000_000,
+    };
+    let a = run_topology_scenario(&params, None);
+    let b = run_topology_scenario(&params, None);
+    assert_eq!(a.to_json(), b.to_json());
+    assert_eq!(a.error, None);
 }
 
 #[test]

@@ -64,7 +64,8 @@ fn main() {
     let stats = handle.stats();
     println!(
         "\nstats: opened={} assigned={} queued={} aborts={} timeouts={} \
-         max_queue_depth={} panics_caught={} batched_grants={} fast_path_admits={}",
+         max_queue_depth={} panics_caught={} batched_grants={} fast_path_admits={} \
+         fast_path_fallbacks={}",
         stats.opened,
         stats.assigned,
         stats.queued,
@@ -74,6 +75,7 @@ fn main() {
         stats.panics_caught,
         stats.batched_grants,
         stats.fast_path_admits,
+        stats.fast_path_fallbacks,
     );
     handle.shutdown();
 }

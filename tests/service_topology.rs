@@ -1,0 +1,206 @@
+//! Multi-process ring topology: three `peer_node` OS processes wired
+//! over real TCP, one of them killed with SIGKILL mid-circulation.
+//!
+//! This is the integration level above `crates/service/tests/
+//! peer_wire.rs` (in-process nodes) — here every node is a separate
+//! process speaking the harness protocol of `src/bin/peer_node.rs`
+//! (`READY` line, successor address on stdin, periodic `STATS` lines),
+//! and the fault is a real `kill -9`: no destructors, no FIN, just a
+//! peer that stops answering. The survivors must expire the in-flight
+//! handoff, reclaim the lease, moderate it locally in degraded mode,
+//! and re-sync when a replacement process takes the dead node's seat.
+
+#![cfg(unix)]
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+struct NodeProc {
+    child: Child,
+    addr: String,
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl NodeProc {
+    /// Spawns a `peer_node` process and waits for its `READY` line.
+    fn spawn(node: u64, listen: &str, seed_leases: u64, visits: u64) -> NodeProc {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_peer_node"))
+            .args([
+                "--node",
+                &node.to_string(),
+                "--listen",
+                listen,
+                "--seed-leases",
+                &seed_leases.to_string(),
+                "--visits",
+                &visits.to_string(),
+                "--expiry-ms",
+                "150",
+                "--visit-delay-ms",
+                "50",
+            ])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn peer_node");
+        let mut reader = BufReader::new(child.stdout.take().expect("child stdout"));
+        let mut ready = String::new();
+        reader.read_line(&mut ready).expect("read READY");
+        let addr = ready
+            .trim()
+            .strip_prefix("READY ")
+            .unwrap_or_else(|| panic!("expected READY line, got {ready:?}"))
+            .to_string();
+        let lines = Arc::new(Mutex::new(Vec::new()));
+        {
+            let lines = Arc::clone(&lines);
+            std::thread::spawn(move || {
+                for line in reader.lines() {
+                    match line {
+                        Ok(l) => lines.lock().unwrap().push(l),
+                        Err(_) => break,
+                    }
+                }
+            });
+        }
+        NodeProc { child, addr, lines }
+    }
+
+    /// Sends the successor address (the one stdin line the node waits
+    /// for) and keeps stdin open so the node runs until told otherwise.
+    fn wire(&mut self, next: &str) {
+        let stdin = self.child.stdin.as_mut().expect("child stdin");
+        writeln!(stdin, "{next}").expect("write successor");
+        stdin.flush().expect("flush successor");
+    }
+
+    /// The most recent `STATS` line, parsed to a key → value map.
+    fn stats(&self) -> Option<HashMap<String, String>> {
+        let lines = self.lines.lock().unwrap();
+        let last = lines.iter().rev().find(|l| l.starts_with("STATS "))?;
+        Some(
+            last["STATS ".len()..]
+                .split_whitespace()
+                .filter_map(|kv| kv.split_once('='))
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        )
+    }
+
+    fn stat_u64(&self, key: &str) -> u64 {
+        self.stats()
+            .and_then(|s| s.get(key).and_then(|v| v.parse().ok()))
+            .unwrap_or(0)
+    }
+
+    fn retired_ids(&self) -> Vec<u64> {
+        self.stats()
+            .and_then(|s| s.get("retired_ids").cloned())
+            .map(|ids| ids.split(',').filter_map(|i| i.parse().ok()).collect())
+            .unwrap_or_default()
+    }
+
+    /// `kill -9`: the fault under test. No destructors run in the
+    /// child; its sockets simply vanish.
+    fn kill9(&mut self) {
+        self.child.kill().expect("SIGKILL peer_node");
+        let _ = self.child.wait();
+    }
+
+    /// Clean shutdown: close stdin (EOF) and wait for exit.
+    fn shutdown(&mut self) {
+        drop(self.child.stdin.take());
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for NodeProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn wait_until(what: &str, deadline: Duration, mut pred: impl FnMut() -> bool) {
+    let t0 = Instant::now();
+    while !pred() {
+        assert!(t0.elapsed() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn ring_survives_kill_dash_nine_of_one_node() {
+    // One lease, twelve visits, paced at 50 ms per visit so the parent
+    // can place the kill while the lease is provably *not* at the
+    // victim: after the lease completes a full lap (delivered at node
+    // 0), it sits through node 0's and node 1's visit delays — a
+    // ≥100 ms window our 10 ms poll easily hits — before it can reach
+    // node 2 again.
+    let visits = 12;
+    let mut n0 = NodeProc::spawn(0, "127.0.0.1:0", 1, visits);
+    let mut n1 = NodeProc::spawn(1, "127.0.0.1:0", 0, 0);
+    let mut n2 = NodeProc::spawn(2, "127.0.0.1:0", 0, 0);
+    let (a0, a1, a2) = (n0.addr.clone(), n1.addr.clone(), n2.addr.clone());
+    n0.wire(&a1);
+    n1.wire(&a2);
+    n2.wire(&a0);
+
+    // Phase 1: the ring circulates — the lease makes it all the way
+    // around and back to node 0.
+    wait_until("a full lap of the ring", Duration::from_secs(30), || {
+        n0.stat_u64("delivered") >= 1
+    });
+
+    // Phase 2: SIGKILL node 2 mid-circulation. Node 1's next handoff
+    // has no receiver: it must retransmit, expire, reclaim the lease,
+    // and go degraded — while continuing to moderate visits locally.
+    n2.kill9();
+    wait_until(
+        "node 1 to reclaim the severed handoff and degrade",
+        Duration::from_secs(30),
+        || n1.stat_u64("reclaimed") >= 1 && n1.stats().is_some_and(|s| s["degraded_now"] == "true"),
+    );
+    wait_until(
+        "degraded admissions to be counted at node 1",
+        Duration::from_secs(30),
+        || n1.stat_u64("degraded_entries") >= 1,
+    );
+    assert!(
+        n1.stat_u64("retransmits") >= 1,
+        "the lost handoff must be retransmitted before it expires"
+    );
+
+    // Phase 3: a replacement process takes the dead node's seat (same
+    // address). Node 1 must re-sync — pending releases get acked, the
+    // degraded spell ends — and the ring circulates again.
+    let mut n2b = NodeProc::spawn(2, &a2, 0, 0);
+    n2b.wire(&a0);
+    wait_until(
+        "node 1 to rejoin once the replacement is up",
+        Duration::from_secs(30),
+        || n1.stat_u64("rejoins") >= 1 && n1.stats().is_some_and(|s| s["degraded_now"] == "false"),
+    );
+
+    // Phase 4: the lease retires exactly once, somewhere.
+    wait_until("the lease to retire", Duration::from_secs(60), || {
+        n0.stat_u64("retired") + n1.stat_u64("retired") + n2b.stat_u64("retired") >= 1
+    });
+    let mut retired: Vec<u64> = n0.retired_ids();
+    retired.extend(n1.retired_ids());
+    retired.extend(n2b.retired_ids());
+    retired.sort_unstable();
+    assert_eq!(
+        retired,
+        vec![0],
+        "the lease retires exactly once, nowhere twice"
+    );
+
+    n0.shutdown();
+    n1.shutdown();
+    n2b.shutdown();
+}
