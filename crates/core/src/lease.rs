@@ -155,6 +155,14 @@ struct Pending {
     first_sent: Duration,
     next_retry: Duration,
     attempts: u32,
+    /// The receiver direct-acked this frame while its cumulative cursor
+    /// was still below it: the frame sits in the receiver's volatile
+    /// reorder buffer, undelivered. Retransmission and expiry are
+    /// suppressed (the frame provably arrived), but the frame is *not*
+    /// complete — if the receiver crashes, the buffer dies with it and
+    /// this grant must still be eligible for the greeting resend.
+    /// Cleared on every fresh greeting.
+    received: bool,
 }
 
 /// Counters exported by both halves; mirrored into `PeerStats` and the
@@ -236,6 +244,7 @@ impl LeaseOut {
                     first_sent: now,
                     next_retry: now + self.backoff(seq, 0),
                     attempts: 0,
+                    received: false,
                 },
             );
         }
@@ -261,15 +270,26 @@ impl LeaseOut {
         }
     }
 
-    /// Process an acknowledgement. Completes the named frame and everything
-    /// below the cumulative cursor; an ack also proves the peer is alive, so
-    /// degraded mode ends. Returns `true` when this ack ended degraded mode
-    /// (the peer rejoined).
+    /// Process an acknowledgement. Completes everything below the
+    /// cumulative cursor — delivery is what the cursor certifies. A direct
+    /// ack whose `seq` is still at or above the cursor means the receiver
+    /// *buffered* the frame out of order: it lives in volatile memory,
+    /// undelivered, so completing it would lose the lease if the receiver
+    /// crashes (the greeting resend only covers still-pending grants).
+    /// Such an ack instead marks the frame received, suppressing
+    /// retransmission and expiry until the next greeting; completion — and
+    /// the latency sample — happen when the cursor passes the seq.
+    ///
+    /// Any ack also proves the peer is alive, so degraded mode ends.
+    /// Returns `true` when this ack ended degraded mode (the peer
+    /// rejoined).
     pub fn on_ack(&mut self, seq: u64, cursor: u64, now: Duration) -> bool {
-        self.complete(seq, now);
         let done: Vec<u64> = self.pending.range(..cursor).map(|(s, _)| *s).collect();
         for s in done {
             self.complete(s, now);
+        }
+        if let Some(p) = self.pending.get_mut(&seq) {
+            p.received = true;
         }
         let rejoined = self.degraded;
         self.degraded = false;
@@ -296,12 +316,21 @@ impl LeaseOut {
     ///   acts as a plain cumulative ack.
     ///
     /// The restart heuristic assumes a restarted receiver starts with an
-    /// empty reorder buffer (true of every receiver in this codebase). A
-    /// surviving receiver that buffered frames out of order, direct-acked
-    /// them, and then reconnected at the same cursor is indistinguishable
-    /// without incarnation ids; hop fencing bounds that corner to counted
-    /// `stale_dropped`s.
+    /// empty reorder buffer (true of every receiver in this codebase).
+    /// Buffered-but-undelivered frames never complete on a direct ack
+    /// (see [`Self::on_ack`]), so they are still pending here and either
+    /// ride the rebase resend or — when the link looks intact — have
+    /// their received marks cleared and retransmit; a surviving receiver
+    /// that reconnected with its buffer alive dedups those retransmits
+    /// harmlessly.
     pub fn on_greeting(&mut self, cursor: u64, now: Duration) -> Resync {
+        // A fresh connection may mean a fresh receiver whose reorder
+        // buffer died, even when the cursor makes the link look intact —
+        // so every received mark is void and the frames must retransmit
+        // (the old receiver, if it survived, dedups them harmlessly).
+        for p in self.pending.values_mut() {
+            p.received = false;
+        }
         let rejoined = self.on_ack(u64::MAX, cursor, now);
         if cursor > self.next_seq {
             self.next_seq = cursor;
@@ -348,6 +377,12 @@ impl LeaseOut {
         }
         let mut reclaim = Vec::new();
         for (&seq, p) in self.pending.iter_mut() {
+            // A received frame sits in the peer's reorder buffer: nothing
+            // to retransmit, and reclaiming a frame the receiver provably
+            // holds would race its eventual delivery into a double grant.
+            if p.received {
+                continue;
+            }
             let expired =
                 matches!(p.msg, LeaseMsg::Grant { .. }) && now >= p.first_sent + self.cfg.expiry;
             if expired {
@@ -382,6 +417,7 @@ impl LeaseOut {
                     first_sent: now,
                     next_retry: now + self.backoff(seq, 0),
                     attempts: 0,
+                    received: false,
                 },
             );
             actions.push(LeaseAction::Reclaim {
@@ -398,6 +434,7 @@ impl LeaseOut {
     pub fn next_deadline(&self) -> Option<Duration> {
         self.pending
             .values()
+            .filter(|p| !p.received)
             .map(|p| {
                 if matches!(p.msg, LeaseMsg::Grant { .. }) {
                     p.next_retry.min(p.first_sent + self.cfg.expiry)
@@ -836,6 +873,153 @@ mod tests {
             out.grant(9, 1, 1, at(200)).seq(),
             1,
             "numbering continues from the rebase"
+        );
+    }
+
+    #[test]
+    fn direct_ack_of_buffered_frame_suppresses_timers_without_completing() {
+        let mut out = LeaseOut::new(cfg());
+        out.grant(1, 1, 2, at(0)); // seq 0 — lost in flight
+        out.grant(2, 1, 2, at(0)); // seq 1 — arrives out of order, buffered
+        // The receiver direct-acks the buffered frame; its cursor is
+        // still 0 because seq 0 is a hole.
+        out.on_ack(1, 0, at(5));
+        assert_eq!(
+            out.in_flight(),
+            2,
+            "buffered-but-undelivered must stay pending"
+        );
+        assert!(out.ack_latencies().is_empty(), "no completion yet");
+        // Only the hole retransmits; the buffered frame is suppressed.
+        let acts = out.poll(at(90));
+        assert_eq!(
+            acts,
+            vec![LeaseAction::Send(LeaseMsg::Grant {
+                seq: 0,
+                lease: 1,
+                hop: 1,
+                visits: 2
+            })]
+        );
+        // Expiry is suppressed too: reclaiming a frame the receiver
+        // provably holds would race its delivery into a double grant.
+        let acts = out.poll(at(150));
+        assert!(
+            acts.iter().all(|a| !matches!(
+                a,
+                LeaseAction::Reclaim { lease: 2, .. } | LeaseAction::Send(LeaseMsg::Grant { seq: 1, .. })
+            )),
+            "the buffered frame must neither expire nor retransmit: {acts:?}"
+        );
+        // The hole fills (here: the reclaim's release), the receiver
+        // delivers seq 1, and the cumulative cursor completes it.
+        out.on_ack(0, 2, at(200));
+        assert_eq!(out.in_flight(), 0);
+        assert_eq!(out.ack_latencies().len(), 1, "completed at cursor advance");
+    }
+
+    #[test]
+    fn buffered_but_undelivered_grant_survives_a_receiver_restart() {
+        let mut out = LeaseOut::new(cfg());
+        let mut inn = LeaseIn::new();
+        // Seq 0 is delivered and cumulatively acked by the old incarnation.
+        let LeaseMsg::Grant {
+            seq,
+            lease,
+            hop,
+            visits,
+        } = out.grant(3, 1, 5, at(0))
+        else {
+            panic!()
+        };
+        let (_, ack) = inn.on_grant(seq, lease, hop, visits);
+        let LeaseMsg::Ack { seq, cursor } = ack else {
+            panic!()
+        };
+        out.on_ack(seq, cursor, at(1));
+        // Seq 1 is lost; seq 2 arrives out of order and is direct-acked.
+        out.grant(4, 1, 5, at(1));
+        let LeaseMsg::Grant {
+            seq,
+            lease,
+            hop,
+            visits,
+        } = out.grant(5, 1, 5, at(1))
+        else {
+            panic!()
+        };
+        let (d, ack) = inn.on_grant(seq, lease, hop, visits);
+        assert!(d.is_empty(), "out of order: buffered, not delivered");
+        let LeaseMsg::Ack { seq, cursor } = ack else {
+            panic!()
+        };
+        assert_eq!((seq, cursor), (2, 1));
+        out.on_ack(seq, cursor, at(2));
+        // The receiver crashes — its reorder buffer dies with it. The
+        // replacement greets at cursor 0; seq 0 is pending nowhere, so
+        // the link rebases, and the buffered-but-undelivered lease must
+        // be among the renumbered resends or it is lost forever.
+        let r = out.on_greeting(0, at(10));
+        assert!(r.rebased);
+        let leases: Vec<u64> = r
+            .resend
+            .iter()
+            .map(|m| match *m {
+                LeaseMsg::Grant { lease, .. } => lease,
+                other => panic!("unexpected resend {other:?}"),
+            })
+            .collect();
+        assert_eq!(leases, vec![4, 5], "lease 5 was acked but never delivered");
+        let mut fresh = LeaseIn::new();
+        let mut delivered = Vec::new();
+        for m in r.resend {
+            let LeaseMsg::Grant {
+                seq,
+                lease,
+                hop,
+                visits,
+            } = m
+            else {
+                panic!()
+            };
+            let (d, _) = fresh.on_grant(seq, lease, hop, visits);
+            delivered.extend(d.into_iter().map(|d| d.lease));
+        }
+        assert_eq!(delivered, vec![4, 5]);
+    }
+
+    #[test]
+    fn greeting_clears_received_marks_so_retransmits_resume() {
+        let mut out = LeaseOut::new(cfg());
+        out.grant(1, 1, 2, at(0)); // seq 0 — lost
+        out.grant(2, 1, 2, at(0)); // seq 1 — buffered + direct-acked
+        out.on_ack(1, 0, at(5));
+        assert!(
+            !out
+                .poll(at(90))
+                .contains(&LeaseAction::Send(LeaseMsg::Grant {
+                    seq: 1,
+                    lease: 2,
+                    hop: 1,
+                    visits: 2
+                })),
+            "suppressed while the buffer is presumed alive"
+        );
+        // The receiver restarts before delivering anything: cursor 0
+        // again and every seq still pending, so the link looks intact —
+        // but the buffer is gone, and the greeting must unsuppress
+        // retransmission or lease 2 is stranded.
+        let r = out.on_greeting(0, at(95));
+        assert!(!r.rebased);
+        let acts = out.poll(at(99));
+        assert!(
+            acts.contains(&LeaseAction::Send(LeaseMsg::Grant {
+                seq: 1,
+                lease: 2,
+                hop: 1,
+                visits: 2
+            })),
+            "retransmission must resume after the greeting: {acts:?}"
         );
     }
 

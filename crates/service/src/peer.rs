@@ -24,7 +24,7 @@
 //! the fault model the recovery machine is verified under (see
 //! `crates/verify/tests/lease_handoff.rs` and DESIGN.md).
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -138,7 +138,12 @@ struct PeerShared {
     rejoins: AtomicU64,
     retired: Mutex<Vec<u64>>,
     stop: AtomicBool,
-    inbound_conns: Mutex<Vec<TcpStream>>,
+    /// Shutdown handles for the live inbound connections, keyed by a
+    /// per-accept id so each session removes its own entry on exit — a
+    /// predecessor that reconnects repeatedly must not accumulate dead
+    /// sockets here.
+    inbound_conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
 }
 
 /// Handle on a running ring node. Dropping it shuts the node down.
@@ -165,11 +170,19 @@ impl PeerNode {
     ///
     /// Propagates bind errors. A `lease.expiry` of zero is refused: a
     /// live link without recovery deadlocks on the first lost frame.
+    /// Seeding leases with a zero visit budget is refused too — such a
+    /// lease could never be visited.
     pub fn spawn(cfg: PeerConfig) -> io::Result<Self> {
         if !cfg.lease.recovery_enabled() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
                 "live peer links require a nonzero lease expiry",
+            ));
+        }
+        if cfg.seed_leases > 0 && cfg.visits == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "seeded leases need a nonzero visit budget",
             ));
         }
         let listener = TcpListener::bind(&cfg.listen)?;
@@ -197,7 +210,8 @@ impl PeerNode {
             rejoins: AtomicU64::new(0),
             retired: Mutex::new(Vec::new()),
             stop: AtomicBool::new(false),
-            inbound_conns: Mutex::new(Vec::new()),
+            inbound_conns: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
             cfg,
         });
 
@@ -358,7 +372,7 @@ impl PeerNode {
     /// Stops every session thread and joins them. Idempotent.
     pub fn shutdown(&mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
-        for conn in self.shared.inbound_conns.lock().drain(..) {
+        for (_, conn) in self.shared.inbound_conns.lock().drain() {
             let _ = conn.shutdown(Shutdown::Both);
         }
         // Wake the accept loop.
@@ -390,8 +404,9 @@ fn accept_loop(
             break;
         }
         let Ok(stream) = stream else { continue };
+        let conn_id = s.next_conn_id.fetch_add(1, Ordering::SeqCst);
         if let Ok(clone) = stream.try_clone() {
-            s.inbound_conns.lock().push(clone);
+            s.inbound_conns.lock().insert(conn_id, clone);
         }
         let s = Arc::clone(s);
         let m = Arc::clone(m);
@@ -400,7 +415,10 @@ fn accept_loop(
         // still keeps a half-dead old socket from blocking a reconnect.
         let _ = std::thread::Builder::new()
             .name(format!("peer{}-in", s.cfg.node))
-            .spawn(move || inbound_conn(stream, &s, &m, &grant));
+            .spawn(move || {
+                inbound_conn(stream, &s, &m, &grant);
+                s.inbound_conns.lock().remove(&conn_id);
+            });
     }
 }
 
@@ -607,8 +625,15 @@ fn outbound_loop(s: &Arc<PeerShared>, m: &Arc<AspectModerator>, grant: &amf_core
                             // sender onto its cursor. A rebase means the
                             // peer restarted from scratch — everything
                             // queued under the old numbering is garbage,
-                            // replaced by the renumbered resend set.
-                            let resync = s.out.lock().on_greeting(cursor, now);
+                            // replaced by the renumbered resend set. The
+                            // `out` lock is held across the wire_q swap so
+                            // a concurrent worker grant is either fully
+                            // before the rebase (renumbered into the
+                            // resend set, its queued copy cleared) or
+                            // fully after (numbered on the fresh link) —
+                            // never a stale frame enqueued post-rebase.
+                            let mut out = s.out.lock();
+                            let resync = out.on_greeting(cursor, now);
                             if resync.rebased {
                                 let mut q = s.wire_q.lock();
                                 q.clear();
@@ -681,16 +706,20 @@ fn worker_loop(
         if !s.cfg.visit_delay.is_zero() {
             std::thread::sleep(s.cfg.visit_delay);
         }
-        let visits = entry.visits - 1;
+        let visits = entry.visits.saturating_sub(1);
         if visits == 0 {
             s.retired.lock().push(entry.lease);
             continue;
         }
-        let msg = s
-            .out
-            .lock()
-            .grant(entry.lease, entry.hop + 1, visits, now_since(start));
-        s.wire_q.lock().push_back(msg);
+        // Number the grant and enqueue it in one critical section on
+        // `out`: the rebase path clears and refills wire_q while holding
+        // `out`, so splitting these would let a rebase interleave and a
+        // stale-numbered grant land on the wire after the renumbering.
+        {
+            let mut out = s.out.lock();
+            let msg = out.grant(entry.lease, entry.hop + 1, visits, now_since(start));
+            s.wire_q.lock().push_back(msg);
+        }
     }
 }
 
