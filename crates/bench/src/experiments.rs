@@ -1,4 +1,4 @@
-//! Experiments E1–E16: the quantitative evaluation of `EXPERIMENTS.md`.
+//! Experiments E1–E17: the quantitative evaluation of `EXPERIMENTS.md`.
 //!
 //! Each function runs one experiment and returns its [`Table`]. Pass
 //! `quick = true` to shrink workloads (used by unit tests and smoke
@@ -19,7 +19,11 @@ use amf_core::{
     InvocationContext, LeaseConfig, MethodId, Moderated, NoopAspect, PanicPolicy, RollbackPolicy,
     Verdict, WakeMode,
 };
-use amf_service::{FaultProxy, FaultProxyConfig, PeerConfig, PeerNode};
+use amf_service::codec::{encode_request, read_frame, write_frame, Request};
+use amf_service::{
+    run_load, FaultProxy, FaultProxyConfig, LoadConfig, PeerConfig, PeerNode, ServiceConfig,
+    ServiceFront, TicketService,
+};
 use amf_ticketing::{ExtendedTicketServerProxy, Ticket, TicketServerProxy};
 
 use crate::pipeline::{ModeratedBuffer, OverheadTarget, PipelineConfig, StackTarget};
@@ -1921,7 +1925,212 @@ pub fn e16_wire_recovery(quick: bool) -> Table {
     t
 }
 
-/// Runs the named experiments ("e1".."e16", "v1" or "all") and prints
+/// Outcome of one E17 front measurement: a mostly-idle connection
+/// fleet held open while a contended 8-client active subset runs, the
+/// fleet's resident-memory cost, and the active subset's request p99.
+#[derive(Debug, Clone, Copy)]
+pub struct ConnScaling {
+    /// Overall request p99 of the active subset, measured while the
+    /// whole idle fleet stayed connected.
+    pub p99_ns: u64,
+    /// Requests per second of the active subset.
+    pub throughput: f64,
+    /// Connections held live at once: the idle fleet plus the active
+    /// subset. Every idle connection is proven live by a stats
+    /// round-trip both before and after the contended phase.
+    pub sustained: usize,
+    /// VmRSS growth from before the service existed to the fleet
+    /// being fully held — for the threaded front this includes the
+    /// worker stack pinned per connection, for the task front the
+    /// per-connection reactor state.
+    pub rss_delta_bytes: u64,
+}
+
+/// Current resident set from `/proc/self/status`, in bytes. Returns 0
+/// when the proc filesystem is unavailable, which disables the RSS
+/// comparison rather than failing the run.
+fn vm_rss_bytes() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmRSS:"))
+        .and_then(|rest| {
+            rest.trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse::<u64>()
+                .ok()
+        })
+        .map_or(0, |kb| kb * 1024)
+}
+
+/// Sweeps the whole idle fleet with a stats round-trip per
+/// connection: held connections answering the wire, not a backlog of
+/// accepted-but-unserved sockets.
+fn sweep_fleet(fleet: &mut [std::net::TcpStream], when: &str) {
+    let stats_frame = encode_request(&Request::Stats);
+    for conn in fleet.iter_mut() {
+        write_frame(conn, &stats_frame).unwrap_or_else(|e| panic!("stats request {when}: {e}"));
+        let body = read_frame(conn)
+            .unwrap_or_else(|e| panic!("stats reply {when}: {e}"))
+            .unwrap_or_else(|| panic!("connection closed {when}"));
+        assert!(!body.is_empty(), "stats reply carries a body");
+    }
+}
+
+/// One front's E17 run: spawn the service with `workers` execution
+/// parallelism, warm it up with a discarded load pass, open
+/// `idle_conns` raw sockets (no client-side buffering, so the RSS
+/// delta is dominated by per-connection server cost) and prove each
+/// live with a stats round-trip, then run the contended 8-client
+/// active subset *while the fleet stays held* (best p99 of five
+/// trials) and sweep the fleet again afterwards. RSS is measured from
+/// before the service existed,
+/// so a front that pins a worker stack per connection pays for those
+/// stacks in its delta. The threaded front must therefore be given
+/// `workers ≥ idle_conns + 8` — each held connection pins a pool
+/// worker for its lifetime, and the active subset needs the rest.
+pub fn run_connection_scaling(
+    front: ServiceFront,
+    workers: usize,
+    idle_conns: usize,
+    requests: u64,
+) -> ConnScaling {
+    let rss_before = vm_rss_bytes();
+    let mut handle = TicketService::spawn(
+        "127.0.0.1:0",
+        ServiceConfig {
+            workers,
+            front,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("spawn scaling service");
+    let auth = handle.authenticator();
+    auth.add_user("e17", "e17");
+    let token = auth.login("e17", "e17").expect("login");
+    let load = |requests: u64| {
+        run_load(&LoadConfig {
+            clients: 8,
+            requests,
+            addr: handle.addr(),
+            token,
+        })
+        .expect("load phase")
+    };
+    // Warmup pass, discarded: absorbs first-touch page faults and
+    // allocator growth so neither front pays cold-start costs in the
+    // measured phase.
+    load((requests / 4).max(1_000));
+
+    let mut fleet: Vec<std::net::TcpStream> = (0..idle_conns)
+        .map(|_| std::net::TcpStream::connect(handle.addr()).expect("idle connection"))
+        .collect();
+    sweep_fleet(&mut fleet, "while opening the fleet");
+    let rss_delta = vm_rss_bytes().saturating_sub(rss_before);
+
+    // The contended active subset, measured with the fleet held. Five
+    // trials, best p99 kept: single-trial tail latency on a shared
+    // machine carries scheduler-interference spikes that swamp the
+    // between-front difference being measured, so each front is
+    // compared at the floor of its own distribution.
+    let mut p99_ns = u64::MAX;
+    let mut throughput = 0.0_f64;
+    for _ in 0..5 {
+        let outcome = load(requests);
+        let mut all = outcome.open_latencies_ns.clone();
+        all.extend_from_slice(&outcome.assign_latencies_ns);
+        let active = LatencySummary::from_unsorted(&mut all);
+        if active.p99_ns < p99_ns {
+            p99_ns = active.p99_ns;
+            throughput = outcome.throughput();
+        }
+    }
+    sweep_fleet(&mut fleet, "after the contended phase");
+
+    drop(fleet);
+    handle.shutdown();
+    ConnScaling {
+        p99_ns,
+        throughput,
+        sustained: idle_conns + 8,
+        rss_delta_bytes: rss_delta,
+    }
+}
+
+/// E17's acceptance flags: the task front holds ≥10× the threaded
+/// front's connection count, at no more resident memory (page-noise
+/// slack) and with active-subset p99 no worse (10% measurement-jitter
+/// allowance on a strict ≤ comparison).
+pub fn conn_scaling_meets(task: &ConnScaling, threaded: &ConnScaling) -> (bool, bool, bool) {
+    let tenfold = task.sustained >= 10 * threaded.sustained;
+    let equal_rss = task.rss_delta_bytes <= threaded.rss_delta_bytes + 256 * 1024;
+    let p99_ok = task.p99_ns as f64 <= threaded.p99_ns as f64 * 1.10;
+    (tenfold, equal_rss, p99_ok)
+}
+
+/// E17 — connection scaling: both fronts are asked to hold a
+/// mostly-idle fleet while a contended 8-client active subset runs.
+/// The threaded front pins a pool worker per connection, so its fleet
+/// costs a thread stack each and it is configured with exactly enough
+/// workers for fleet + active subset; the task front holds ten times
+/// the connections on a fixed 16-worker engine, and must do it at no
+/// more resident memory and with active-subset p99 no worse. The task
+/// phase runs first so its larger fleet is measured against a cold
+/// allocator — page reuse can only flatter the threaded phase, which
+/// is the conservative direction for the claim.
+pub fn e17_connection_scaling(quick: bool) -> Table {
+    let mut t = Table::new(
+        "E17 — connection scaling (idle fleet + contended active subset per front)",
+        &[
+            "front",
+            "workers",
+            "held conns",
+            "RSS delta",
+            "active p99",
+            "throughput",
+            "verdict",
+        ],
+    );
+    let (threaded_idle, task_idle, requests) = if quick {
+        (16, 240, 2_000)
+    } else {
+        (192, 2_040, 8_000)
+    };
+    let task = run_connection_scaling(ServiceFront::Task, 16, task_idle, requests);
+    let threaded = run_connection_scaling(
+        ServiceFront::Threaded,
+        threaded_idle + 8,
+        threaded_idle,
+        requests,
+    );
+    let (tenfold, equal_rss, p99_ok) = conn_scaling_meets(&task, &threaded);
+    t.row(&[
+        "threaded".into(),
+        (threaded_idle + 8).to_string(),
+        threaded.sustained.to_string(),
+        format!("{} KiB", threaded.rss_delta_bytes / 1024),
+        fmt_ns(threaded.p99_ns as f64),
+        fmt_ops(threaded.throughput),
+        "one pool worker pinned per held connection".into(),
+    ]);
+    t.row(&[
+        "task".into(),
+        "16".into(),
+        task.sustained.to_string(),
+        format!("{} KiB", task.rss_delta_bytes / 1024),
+        fmt_ns(task.p99_ns as f64),
+        fmt_ops(task.throughput),
+        if tenfold && equal_rss && p99_ok {
+            "≥10× conns, equal RSS, p99 no worse ✔".to_string()
+        } else {
+            format!("FAILED ✘ (tenfold={tenfold}, equal_rss={equal_rss}, p99_ok={p99_ok})")
+        },
+    ]);
+    t
+}
+
+/// Runs the named experiments ("e1".."e17", "v1" or "all") and prints
 /// their tables.
 pub fn run(names: &[String], quick: bool) {
     let wants = |n: &str| {
@@ -1930,7 +2139,7 @@ pub fn run(names: &[String], quick: bool) {
             || names.iter().any(|x| x.eq_ignore_ascii_case("all"))
     };
     type Runner = fn(bool) -> Table;
-    let runners: [(&str, Runner); 17] = [
+    let runners: [(&str, Runner); 18] = [
         ("e1", e1_overhead),
         ("e2", e2_throughput),
         ("e3", e3_composition),
@@ -1947,6 +2156,7 @@ pub fn run(names: &[String], quick: bool) {
         ("e14", e14_fast_path),
         ("e15", e15_reduction),
         ("e16", e16_wire_recovery),
+        ("e17", e17_connection_scaling),
         ("v1", v1_verification),
     ];
     for (name, f) in runners {
@@ -2018,6 +2228,14 @@ mod tests {
             "every fault rate must pass:\n{md}"
         );
         assert!(!md.contains("FAILED"), "{md}");
+    }
+
+    #[test]
+    fn e17_holds_the_fleet_live() {
+        // Verdict flags are asserted by the release loadgen run, where
+        // latency comparisons are meaningful; here the liveness pass
+        // itself (every fleet connection answers stats) is the test.
+        assert_eq!(e17_connection_scaling(true).len(), 2);
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod rate;
 pub mod ring;
 pub mod scheduler;
 pub mod semaphore;
+pub mod task;
 pub mod ticket;
 pub mod wait_queue;
 
@@ -56,5 +57,6 @@ pub use rate::{RateLimiter, RateLimiterConfig};
 pub use ring::{RingBuffer, RingFullError, SyncRingBuffer};
 pub use scheduler::{Scheduler, SchedulerPolicy};
 pub use semaphore::{Semaphore, SemaphorePermit};
+pub use task::TaskEngine;
 pub use ticket::{Grant, TicketQueue};
 pub use wait_queue::{WaitQueue, WaitStatus};

@@ -1,0 +1,744 @@
+//! A task engine: M:N cooperative execution behind the [`GrantSource`] seam.
+//!
+//! [`TaskEngine`] runs closures ("tasks") on a small pool of worker
+//! threads and implements [`GrantSource`]/[`Waiter`] so a moderator can
+//! park invocations without pinning one OS thread per caller forever.
+//! Rust cannot suspend a native stack, so a parked task does occupy its
+//! worker's stack — the engine compensates Go-style: every blocking
+//! region (a park, or an explicit [`TaskEngine::block_in_place`]) is
+//! bracketed by blocked-worker accounting, and when the runnable worker
+//! count drops below the core size while work is queued, a spare worker
+//! is spawned (up to a cap). Spare workers retire once the queue drains
+//! and the core is covered again. The net effect is that thousands of
+//! *idle* connections cost nothing (the readiness front holds them
+//! without tasks), while *parked* invocations transiently consume
+//! workers that the engine replaces on demand.
+//!
+//! Timed parks ([`Waiter::park_for`]/[`Waiter::park_until`]) are served
+//! by a hashed timer wheel driven off the engine's [`Clock`] seam: each
+//! armed park registers a deadline into one of [`WHEEL_SLOTS`] buckets
+//! (hashed by deadline tick, keeping per-bucket lists short), and a
+//! single driver thread sweeps due buckets once per tick while any
+//! timer is armed — and sleeps indefinitely otherwise. Because the
+//! driver polls `clock.now()` each tick, a [`ManualClock`] advanced by
+//! a test fires timeouts within one wall tick.
+//!
+//! Lock order (never reversed): coordination-cell mutex → waitpoint
+//! queue → park token; coordination-cell mutex → pool.
+//!
+//! [`ManualClock`]: crate::ManualClock
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex, MutexGuard};
+
+use crate::clock::{Clock, SystemClock};
+use crate::engine::{GrantSource, Waiter};
+
+/// Number of buckets in the timer wheel. Deadlines hash into a bucket
+/// by tick index, so concurrent timed parks spread across buckets and
+/// each sweep touches short lists.
+pub const WHEEL_SLOTS: usize = 64;
+
+/// Timer wheel granularity. Deadlines are honored to within roughly one
+/// tick, which is far below the protocol timeouts (milliseconds to
+/// seconds) that flow through [`Waiter::park_for`].
+const WHEEL_TICK: Duration = Duration::from_millis(1);
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Mutable pool state behind one mutex: the run queue plus the worker
+/// census the handoff policy steers by.
+struct PoolState {
+    queue: VecDeque<Job>,
+    /// Workers currently live (running, waiting for work, or blocked).
+    alive: usize,
+    /// Workers currently inside a blocking region (parked or offloaded).
+    blocked: usize,
+    shutdown: bool,
+}
+
+impl PoolState {
+    fn runnable(&self) -> usize {
+        self.alive - self.blocked
+    }
+}
+
+struct EngineShared {
+    pool: Mutex<PoolState>,
+    work: Condvar,
+    /// Target number of runnable workers; the steady-state pool size.
+    core: usize,
+    /// Hard cap on live workers, including transiently blocked ones.
+    max_workers: usize,
+    tasks_parked: AtomicU64,
+    tasks_executed: AtomicU64,
+    wheel: TimerWheel,
+    clock: Arc<dyn Clock>,
+    /// Join handles for every spawned worker, collected at shutdown.
+    /// Lock order: `pool` may be held while pushing here, never the
+    /// reverse.
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+thread_local! {
+    /// The engine whose worker pool this thread belongs to, if any.
+    /// Lets blocking regions distinguish "I am one of this engine's
+    /// workers" (do handoff accounting) from a foreign thread parking
+    /// through a [`TaskWaiter`] (just block, condvar-style).
+    static CURRENT_ENGINE: std::cell::RefCell<Option<Weak<EngineShared>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+fn on_engine_worker(shared: &Arc<EngineShared>) -> bool {
+    CURRENT_ENGINE.with(|c| {
+        c.borrow()
+            .as_ref()
+            .and_then(Weak::upgrade)
+            .is_some_and(|a| Arc::ptr_eq(&a, shared))
+    })
+}
+
+/// Spawns workers until either the queue's demand is met by runnable
+/// workers or the cap is reached. Called with the pool lock held.
+fn ensure_capacity(shared: &Arc<EngineShared>, g: &mut PoolState) {
+    while !g.shutdown
+        && !g.queue.is_empty()
+        && g.runnable() < shared.core.min(g.queue.len())
+        && g.alive < shared.max_workers
+    {
+        g.alive += 1;
+        let s = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name("amf-task-worker".into())
+            .spawn(move || worker_loop(s))
+            .expect("spawn task worker");
+        shared.handles.lock().push(handle);
+    }
+}
+
+/// Marks this thread blocked (if it is an engine worker) and spawns a
+/// replacement when queued work would otherwise starve. Returns whether
+/// accounting was entered, for the matching [`exit_blocked`].
+fn enter_blocked(shared: &Arc<EngineShared>) -> bool {
+    if !on_engine_worker(shared) {
+        return false;
+    }
+    let mut g = shared.pool.lock();
+    g.blocked += 1;
+    ensure_capacity(shared, &mut g);
+    true
+}
+
+fn exit_blocked(shared: &EngineShared, entered: bool) {
+    if entered {
+        shared.pool.lock().blocked -= 1;
+    }
+}
+
+fn worker_loop(shared: Arc<EngineShared>) {
+    CURRENT_ENGINE.with(|c| *c.borrow_mut() = Some(Arc::downgrade(&shared)));
+    loop {
+        let job = {
+            let mut g = shared.pool.lock();
+            loop {
+                if g.shutdown {
+                    g.alive -= 1;
+                    return;
+                }
+                if let Some(job) = g.queue.pop_front() {
+                    break job;
+                }
+                // A spare left over from a blocking storm retires once
+                // the queue is dry and the core is covered without it.
+                if g.runnable() > shared.core {
+                    g.alive -= 1;
+                    return;
+                }
+                shared.work.wait(&mut g);
+            }
+        };
+        shared.tasks_executed.fetch_add(1, Ordering::Relaxed);
+        // A panicking task must not silently shrink the pool: contain
+        // it here. (The moderator already contains aspect panics, so
+        // this is defense in depth for direct `spawn` users.)
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Park tokens and waitpoints
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct ParkFlags {
+    woken: bool,
+    timed_out: bool,
+}
+
+/// One park occasion: fresh per `park` call, single-use. Wakers and the
+/// timer wheel race to fire it; whoever flips `woken` first decides how
+/// the park reports.
+struct ParkToken {
+    flags: Mutex<ParkFlags>,
+    cv: Condvar,
+}
+
+impl ParkToken {
+    fn new() -> Self {
+        Self {
+            flags: Mutex::new(ParkFlags::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until fired; returns whether the firing was a timeout.
+    fn wait(&self) -> bool {
+        let mut g = self.flags.lock();
+        while !g.woken {
+            self.cv.wait(&mut g);
+        }
+        g.timed_out
+    }
+
+    /// Fires as a wake. Returns `false` if the token already fired (a
+    /// timeout won the race), so the waker can spend the wake on the
+    /// next parked token instead of losing it.
+    fn fire_wake(&self) -> bool {
+        let mut g = self.flags.lock();
+        if g.woken {
+            return false;
+        }
+        g.woken = true;
+        self.cv.notify_one();
+        true
+    }
+
+    /// Fires as a timeout, unless a wake already won the race.
+    fn fire_timeout(&self) {
+        let mut g = self.flags.lock();
+        if g.woken {
+            return;
+        }
+        g.woken = true;
+        g.timed_out = true;
+        self.cv.notify_one();
+    }
+}
+
+/// A [`TaskEngine`] waitpoint: a FIFO of parked tokens. Registration
+/// happens while the caller still holds the coordination-cell guard, so
+/// a waker holding that same lock can never miss a parker.
+struct TaskWaiter {
+    shared: Arc<EngineShared>,
+    parked: Mutex<VecDeque<Arc<ParkToken>>>,
+}
+
+impl TaskWaiter {
+    fn park_inner<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Option<Duration>) -> bool {
+        let token = Arc::new(ParkToken::new());
+        // Register under the cell guard: anyone who observes our state
+        // change and wakes (they must hold the cell lock to observe it)
+        // is guaranteed to find our token queued.
+        self.parked.lock().push_back(Arc::clone(&token));
+        if let Some(t) = timeout {
+            let deadline = self.shared.clock.now() + t;
+            self.shared.wheel.register(deadline, Arc::downgrade(&token));
+        }
+        self.shared.tasks_parked.fetch_add(1, Ordering::SeqCst);
+        let timed_out = MutexGuard::unlocked(guard, || {
+            let entered = enter_blocked(&self.shared);
+            let timed_out = token.wait();
+            exit_blocked(&self.shared, entered);
+            timed_out
+        });
+        self.shared.tasks_parked.fetch_sub(1, Ordering::SeqCst);
+        if timed_out {
+            // A wake removes the token when it fires it; a timeout
+            // leaves it queued, so the parker cleans up here lest a
+            // later wake_one be spent skipping corpses.
+            let mut q = self.parked.lock();
+            if let Some(i) = q.iter().position(|t| Arc::ptr_eq(t, &token)) {
+                q.remove(i);
+            }
+        }
+        timed_out
+    }
+}
+
+impl<T> Waiter<T> for TaskWaiter {
+    fn park(&self, guard: &mut MutexGuard<'_, T>) {
+        self.park_inner(guard, None);
+    }
+
+    fn park_until(&self, guard: &mut MutexGuard<'_, T>, deadline: Instant) -> bool {
+        self.park_inner(
+            guard,
+            Some(deadline.saturating_duration_since(Instant::now())),
+        )
+    }
+
+    fn park_for(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
+        self.park_inner(guard, Some(timeout))
+    }
+
+    fn wake_one(&self) {
+        let mut q = self.parked.lock();
+        while let Some(t) = q.pop_front() {
+            if t.fire_wake() {
+                return;
+            }
+        }
+    }
+
+    fn wake_all(&self) {
+        for t in self.parked.lock().drain(..) {
+            t.fire_wake();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Timer wheel
+// ---------------------------------------------------------------------
+
+struct WheelEntry {
+    deadline: Duration,
+    token: Weak<ParkToken>,
+}
+
+/// Hashed timer wheel: deadlines bucket by tick index so each bucket's
+/// list stays short. The driver sweeps buckets once per tick while any
+/// timer is armed, comparing entry deadlines against `clock.now()`, and
+/// sleeps on a condvar when the wheel is empty.
+struct TimerWheel {
+    slots: Vec<Mutex<Vec<WheelEntry>>>,
+    /// Count of live entries; the driver parks indefinitely at zero.
+    armed: AtomicUsize,
+    gate: Mutex<()>,
+    gate_cv: Condvar,
+    stop: AtomicBool,
+}
+
+impl TimerWheel {
+    fn new() -> Self {
+        Self {
+            slots: (0..WHEEL_SLOTS).map(|_| Mutex::new(Vec::new())).collect(),
+            armed: AtomicUsize::new(0),
+            gate: Mutex::new(()),
+            gate_cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    fn slot_of(deadline: Duration) -> usize {
+        (deadline.as_nanos() / WHEEL_TICK.as_nanos()) as usize % WHEEL_SLOTS
+    }
+
+    fn register(&self, deadline: Duration, token: Weak<ParkToken>) {
+        self.slots[Self::slot_of(deadline)]
+            .lock()
+            .push(WheelEntry { deadline, token });
+        self.armed.fetch_add(1, Ordering::SeqCst);
+        // Take the gate briefly so a driver between its armed-check and
+        // its wait cannot miss this notify.
+        drop(self.gate.lock());
+        self.gate_cv.notify_one();
+    }
+
+    /// One sweep: fires every due entry, prunes dead ones. Returns how
+    /// many entries were removed.
+    fn sweep(&self, now: Duration) -> usize {
+        let mut removed = 0;
+        for slot in &self.slots {
+            let mut g = slot.lock();
+            g.retain(|e| {
+                let Some(t) = e.token.upgrade() else {
+                    removed += 1;
+                    return false;
+                };
+                if e.deadline <= now {
+                    t.fire_timeout();
+                    removed += 1;
+                    return false;
+                }
+                true
+            });
+        }
+        removed
+    }
+}
+
+fn timer_loop(shared: Arc<EngineShared>) {
+    let wheel = &shared.wheel;
+    loop {
+        {
+            let mut g = wheel.gate.lock();
+            if wheel.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            if wheel.armed.load(Ordering::SeqCst) == 0 {
+                wheel.gate_cv.wait(&mut g);
+            } else {
+                wheel.gate_cv.wait_for(&mut g, WHEEL_TICK);
+            }
+            if wheel.stop.load(Ordering::SeqCst) {
+                return;
+            }
+        }
+        let removed = wheel.sweep(shared.clock.now());
+        if removed > 0 {
+            wheel.armed.fetch_sub(removed, Ordering::SeqCst);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The engine
+// ---------------------------------------------------------------------
+
+/// M:N task execution engine; see the module docs for the design.
+///
+/// ```
+/// use amf_concurrency::TaskEngine;
+/// use std::sync::mpsc;
+///
+/// let engine = TaskEngine::new(2);
+/// let (tx, rx) = mpsc::channel();
+/// engine.spawn(move || tx.send(21 * 2).unwrap());
+/// assert_eq!(rx.recv().unwrap(), 42);
+/// ```
+pub struct TaskEngine {
+    shared: Arc<EngineShared>,
+    timer: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl TaskEngine {
+    /// An engine targeting `core` runnable workers (minimum 1), capped
+    /// at `8 * core` (at least 32) live workers during blocking storms.
+    pub fn new(core: usize) -> Self {
+        Self::with_clock(core, Arc::new(SystemClock::new()))
+    }
+
+    /// Like [`new`](Self::new) with an explicit time source for timed
+    /// parks; tests pass a [`ManualClock`](crate::ManualClock).
+    pub fn with_clock(core: usize, clock: Arc<dyn Clock>) -> Self {
+        let core = core.max(1);
+        let shared = Arc::new(EngineShared {
+            pool: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                alive: 0,
+                blocked: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            core,
+            max_workers: (core * 8).max(32),
+            tasks_parked: AtomicU64::new(0),
+            tasks_executed: AtomicU64::new(0),
+            wheel: TimerWheel::new(),
+            clock,
+            handles: Mutex::new(Vec::new()),
+        });
+        let timer = {
+            let s = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("amf-task-timer".into())
+                .spawn(move || timer_loop(s))
+                .expect("spawn timer thread")
+        };
+        Self {
+            shared,
+            timer: Mutex::new(Some(timer)),
+        }
+    }
+
+    /// Enqueues a task. Workers are spawned lazily up to the core size;
+    /// tasks submitted after [`shutdown`](Self::shutdown) are dropped.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        let mut g = self.shared.pool.lock();
+        if g.shutdown {
+            return;
+        }
+        g.queue.push_back(Box::new(job));
+        ensure_capacity(&self.shared, &mut g);
+        drop(g);
+        self.shared.work.notify_one();
+    }
+
+    /// Runs a blocking closure with blocked-worker accounting, so a
+    /// legacy blocking aspect callback (file IO, an external RPC) can't
+    /// starve the pool: while `f` blocks, a spare worker covers the
+    /// queue. On a thread that is not an engine worker this is just
+    /// `f()`.
+    pub fn block_in_place<R>(&self, f: impl FnOnce() -> R) -> R {
+        let entered = enter_blocked(&self.shared);
+        let r = f();
+        exit_blocked(&self.shared, entered);
+        r
+    }
+
+    /// Number of parks currently suspended across all waitpoints.
+    pub fn tasks_parked(&self) -> u64 {
+        self.shared.tasks_parked.load(Ordering::SeqCst)
+    }
+
+    /// Total tasks executed since construction.
+    pub fn tasks_executed(&self) -> u64 {
+        self.shared.tasks_executed.load(Ordering::Relaxed)
+    }
+
+    /// Live worker threads right now (runnable + blocked).
+    pub fn workers_alive(&self) -> usize {
+        self.shared.pool.lock().alive
+    }
+
+    /// Stops accepting work, wakes idle workers, and joins every worker
+    /// and the timer thread. Queued-but-unstarted tasks are dropped;
+    /// running tasks finish first. Idempotent; also runs on [`Drop`].
+    pub fn shutdown(&self) {
+        self.shared.pool.lock().shutdown = true;
+        self.shared.work.notify_all();
+        self.shared.wheel.stop.store(true, Ordering::SeqCst);
+        drop(self.shared.wheel.gate.lock());
+        self.shared.wheel.gate_cv.notify_all();
+        if let Some(t) = self.timer.lock().take() {
+            let _ = t.join();
+        }
+        loop {
+            let drained: Vec<_> = self.shared.handles.lock().drain(..).collect();
+            if drained.is_empty() {
+                break;
+            }
+            for h in drained {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl Drop for TaskEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl fmt::Debug for TaskEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let g = self.shared.pool.lock();
+        f.debug_struct("TaskEngine")
+            .field("core", &self.shared.core)
+            .field("max_workers", &self.shared.max_workers)
+            .field("alive", &g.alive)
+            .field("blocked", &g.blocked)
+            .field("queued", &g.queue.len())
+            .field("tasks_parked", &self.tasks_parked())
+            .finish()
+    }
+}
+
+impl<T> GrantSource<T> for TaskEngine {
+    fn waiter(&self) -> Arc<dyn Waiter<T>> {
+        Arc::new(TaskWaiter {
+            shared: Arc::clone(&self.shared),
+            parked: Mutex::new(VecDeque::new()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc;
+
+    #[test]
+    fn tasks_run_and_counter_advances() {
+        let engine = TaskEngine::new(2);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..16 {
+            let tx = tx.clone();
+            engine.spawn(move || tx.send(i).unwrap());
+        }
+        let mut got: Vec<i32> = (0..16).map(|_| rx.recv().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..16).collect::<Vec<_>>());
+        assert!(engine.tasks_executed() >= 16);
+    }
+
+    #[test]
+    fn park_and_wake_through_the_waiter_seam() {
+        let engine = Arc::new(TaskEngine::new(2));
+        let waiter: Arc<dyn Waiter<bool>> = GrantSource::<bool>::waiter(&*engine);
+        let state = Arc::new(Mutex::new(false));
+        let woke = Arc::new(AtomicUsize::new(0));
+
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let (w, s, k) = (waiter.clone(), state.clone(), woke.clone());
+                std::thread::spawn(move || {
+                    let mut g = s.lock();
+                    while !*g {
+                        w.park(&mut g);
+                    }
+                    k.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+
+        while engine.tasks_parked() < 3 {
+            std::thread::yield_now();
+        }
+        *state.lock() = true;
+        waiter.wake_all();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(woke.load(Ordering::SeqCst), 3);
+        assert_eq!(engine.tasks_parked(), 0);
+    }
+
+    #[test]
+    fn parked_worker_does_not_starve_the_queue() {
+        // One-core engine: a task parks, then a second task (which can
+        // only run if a spare worker was spawned) performs the wake.
+        let engine = Arc::new(TaskEngine::new(1));
+        let waiter: Arc<dyn Waiter<bool>> = GrantSource::<bool>::waiter(&*engine);
+        let state = Arc::new(Mutex::new(false));
+        let (tx, rx) = mpsc::channel();
+
+        {
+            let (w, s, tx) = (waiter.clone(), state.clone(), tx.clone());
+            engine.spawn(move || {
+                let mut g = s.lock();
+                while !*g {
+                    w.park(&mut g);
+                }
+                tx.send("parker").unwrap();
+            });
+        }
+        while engine.tasks_parked() < 1 {
+            std::thread::yield_now();
+        }
+        {
+            let (w, s) = (waiter.clone(), state.clone());
+            engine.spawn(move || {
+                *s.lock() = true;
+                w.wake_all();
+                tx.send("waker").unwrap();
+            });
+        }
+        let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, ["parker", "waker"]);
+    }
+
+    #[test]
+    fn block_in_place_spawns_cover_and_releases_it() {
+        let engine = Arc::new(TaskEngine::new(1));
+        let (tx, rx) = mpsc::channel();
+        let (btx, brx) = mpsc::channel();
+        {
+            let engine2 = Arc::clone(&engine);
+            let tx = tx.clone();
+            engine.spawn(move || {
+                engine2.block_in_place(|| {
+                    // Hold the only core worker hostage until the
+                    // second task proves a spare covered the queue.
+                    brx.recv().unwrap();
+                });
+                tx.send("blocker").unwrap();
+            });
+        }
+        engine.spawn(move || tx.send("covered").unwrap());
+        assert_eq!(rx.recv().unwrap(), "covered");
+        btx.send(()).unwrap();
+        assert_eq!(rx.recv().unwrap(), "blocker");
+    }
+
+    #[test]
+    fn timed_park_fires_via_the_wheel() {
+        let engine = TaskEngine::new(1);
+        let waiter: Arc<dyn Waiter<()>> = GrantSource::<()>::waiter(&engine);
+        let state = Mutex::new(());
+        let mut g = state.lock();
+        let start = Instant::now();
+        assert!(waiter.park_for(&mut g, Duration::from_millis(20)));
+        assert!(start.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn manual_clock_drives_timed_parks() {
+        let clock = Arc::new(ManualClock::new());
+        let engine = Arc::new(TaskEngine::with_clock(1, clock.clone()));
+        let waiter: Arc<dyn Waiter<()>> = GrantSource::<()>::waiter(&*engine);
+        let state = Arc::new(Mutex::new(()));
+        let (w, s) = (waiter.clone(), state.clone());
+        let h = std::thread::spawn(move || {
+            let mut g = s.lock();
+            w.park_for(&mut g, Duration::from_secs(3600))
+        });
+        while engine.tasks_parked() < 1 {
+            std::thread::yield_now();
+        }
+        clock.advance(Duration::from_secs(3601));
+        assert!(h.join().unwrap(), "virtual deadline should time out");
+    }
+
+    #[test]
+    fn wake_one_skips_a_timed_out_token() {
+        let engine = Arc::new(TaskEngine::new(2));
+        let waiter: Arc<dyn Waiter<bool>> = GrantSource::<bool>::waiter(&*engine);
+        let state = Arc::new(Mutex::new(false));
+
+        // First parker times out almost immediately; second parks
+        // without a deadline. A single wake_one after the timeout must
+        // reach the live parker, not be spent on the corpse.
+        let (w, s) = (waiter.clone(), state.clone());
+        let timed = std::thread::spawn(move || {
+            let mut g = s.lock();
+            w.park_for(&mut g, Duration::from_millis(5))
+        });
+        assert!(timed.join().unwrap());
+
+        let (w, s) = (waiter.clone(), state.clone());
+        let live = std::thread::spawn(move || {
+            let mut g = s.lock();
+            while !*g {
+                w.park(&mut g);
+            }
+        });
+        while engine.tasks_parked() < 1 {
+            std::thread::yield_now();
+        }
+        *state.lock() = true;
+        waiter.wake_one();
+        live.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drops_queued_work() {
+        let engine = TaskEngine::new(2);
+        engine.spawn(|| {});
+        engine.shutdown();
+        engine.shutdown();
+        engine.spawn(|| panic!("must never run"));
+        assert_eq!(engine.workers_alive(), 0);
+    }
+
+    #[test]
+    fn panicking_task_does_not_kill_the_pool() {
+        let engine = TaskEngine::new(1);
+        let (tx, rx) = mpsc::channel();
+        engine.spawn(|| panic!("contained"));
+        engine.spawn(move || tx.send(()).unwrap());
+        rx.recv_timeout(Duration::from_secs(5))
+            .expect("pool survived the panic");
+    }
+}

@@ -195,6 +195,10 @@ pub struct LeaseOut {
     /// First-send → ack-complete latency of acknowledged grants, the
     /// recovery-time distribution (newest [`LATENCY_WINDOW`] samples).
     ack_latencies: Vec<Duration>,
+    /// Incarnation id the peer declared in its last greeting; `None`
+    /// until first contact. A greeting carrying a *different* id is
+    /// proof of a receiver restart, however intact the cursor looks.
+    peer_incarnation: Option<u64>,
 }
 
 impl LeaseOut {
@@ -207,6 +211,7 @@ impl LeaseOut {
             degraded: false,
             stats: LeaseLinkStats::default(),
             ack_latencies: Vec::new(),
+            peer_incarnation: None,
         }
     }
 
@@ -296,34 +301,43 @@ impl LeaseOut {
         rejoined
     }
 
-    /// Process the unsolicited cumulative ack a receiver sends on every
-    /// fresh connection (`seq == u64::MAX`), re-syncing this sender onto the
-    /// peer's cursor. Three cases:
+    /// Process the greeting a receiver sends on every fresh connection,
+    /// carrying its incarnation id and cursor, re-syncing this sender
+    /// onto the peer. Three cases:
     ///
     /// * Cursor ahead of `next_seq` — this sender is fresh (or restarted)
     ///   against a receiver that already consumed earlier sequence numbers:
     ///   fast-forward `next_seq` so new grants are not mistaken for
     ///   duplicates.
-    /// * Some sequence number in `[cursor, next_seq)` is no longer pending —
-    ///   it was acknowledged by a *previous incarnation* of the receiver,
-    ///   which has since restarted from cursor zero: the link is rebased.
-    ///   Hole-filling releases are dropped (their holes died with the old
-    ///   incarnation), surviving grants are renumbered consecutively from
-    ///   the peer's cursor and returned in [`Resync::resend`] for immediate
-    ///   retransmission. Per-lease hop fencing at the receiver keeps any
-    ///   cross-incarnation stragglers from double-granting.
-    /// * Otherwise the link is intact (an ordinary reconnect): the greeting
-    ///   acts as a plain cumulative ack.
+    /// * The receiver restarted — it greets with a *different*
+    ///   incarnation id than the one remembered from its last greeting:
+    ///   the link is rebased. Hole-filling releases are dropped (their
+    ///   holes died with the old incarnation), surviving grants are
+    ///   renumbered consecutively from the peer's cursor and returned in
+    ///   [`Resync::resend`] for immediate retransmission. Per-lease hop
+    ///   fencing at the receiver keeps any cross-incarnation stragglers
+    ///   from double-granting.
+    /// * Otherwise the link is intact (an ordinary reconnect of the same
+    ///   incarnation): the greeting acts as a plain cumulative ack.
     ///
-    /// The restart heuristic assumes a restarted receiver starts with an
-    /// empty reorder buffer (true of every receiver in this codebase).
+    /// On *first contact* (`peer_incarnation` still unknown, e.g. when
+    /// this sender itself restarted) there is no remembered id to
+    /// compare, and restart detection falls back to the structural
+    /// heuristic the protocol used before incarnation ids: a sequence
+    /// number in `[cursor, next_seq)` that is no longer pending must
+    /// have been acknowledged by a previous incarnation of the
+    /// receiver. The heuristic assumes a restarted receiver starts with
+    /// an empty reorder buffer (true of every receiver in this
+    /// codebase); the incarnation id removes that assumption for every
+    /// greeting after the first.
+    ///
     /// Buffered-but-undelivered frames never complete on a direct ack
     /// (see [`Self::on_ack`]), so they are still pending here and either
-    /// ride the rebase resend or — when the link looks intact — have
+    /// ride the rebase resend or — when the link is intact — have
     /// their received marks cleared and retransmit; a surviving receiver
     /// that reconnected with its buffer alive dedups those retransmits
     /// harmlessly.
-    pub fn on_greeting(&mut self, cursor: u64, now: Duration) -> Resync {
+    pub fn on_greeting(&mut self, incarnation: u64, cursor: u64, now: Duration) -> Resync {
         // A fresh connection may mean a fresh receiver whose reorder
         // buffer died, even when the cursor makes the link look intact —
         // so every received mark is void and the frames must retransmit
@@ -332,6 +346,7 @@ impl LeaseOut {
             p.received = false;
         }
         let rejoined = self.on_ack(u64::MAX, cursor, now);
+        let known = self.peer_incarnation.replace(incarnation);
         if cursor > self.next_seq {
             self.next_seq = cursor;
             return Resync {
@@ -340,7 +355,13 @@ impl LeaseOut {
                 rejoined,
             };
         }
-        let intact = (cursor..self.next_seq).all(|s| self.pending.contains_key(&s));
+        let intact = match known {
+            // Same incarnation: the receiver never died, its cursor is
+            // an authoritative continuation — gaps below `next_seq`
+            // are frames it acked earlier, not evidence of a restart.
+            Some(old) => old == incarnation,
+            None => (cursor..self.next_seq).all(|s| self.pending.contains_key(&s)),
+        };
         if intact {
             return Resync {
                 rebased: false,
@@ -514,6 +535,10 @@ pub struct LeaseIn {
     /// at or below it are stale.
     fence: HashMap<u64, u64>,
     stats: LeaseLinkStats,
+    /// This receiver's incarnation id, declared in every greeting. It
+    /// outlives nothing: a process restart produces a fresh value, which
+    /// is exactly what lets senders detect the restart.
+    incarnation: u64,
 }
 
 impl Default for LeaseIn {
@@ -523,14 +548,31 @@ impl Default for LeaseIn {
 }
 
 impl LeaseIn {
-    /// New receiver half with the cursor at zero.
+    /// New receiver half with the cursor at zero and incarnation id 0;
+    /// production receivers override the id with
+    /// [`with_incarnation`](Self::with_incarnation).
     pub fn new() -> Self {
         LeaseIn {
             cursor: 0,
             buffered: BTreeMap::new(),
             fence: HashMap::new(),
             stats: LeaseLinkStats::default(),
+            incarnation: 0,
         }
+    }
+
+    /// Sets the incarnation id this receiver declares in greetings.
+    /// Pick a value fresh per process start (the peer plane derives one
+    /// from wall time and pid) so restarts are detectable.
+    #[must_use]
+    pub fn with_incarnation(mut self, incarnation: u64) -> Self {
+        self.incarnation = incarnation;
+        self
+    }
+
+    /// The incarnation id declared in greetings.
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation
     }
 
     /// Link statistics so far.
@@ -790,7 +832,7 @@ mod tests {
         // A restarted *sender* meets a receiver whose cursor is already at
         // 7: new grants must not reuse consumed sequence numbers.
         let mut out = LeaseOut::new(cfg());
-        let r = out.on_greeting(7, at(0));
+        let r = out.on_greeting(1, 7, at(0));
         assert_eq!(
             r,
             Resync {
@@ -807,7 +849,7 @@ mod tests {
         let mut out = LeaseOut::new(cfg());
         out.grant(1, 1, 2, at(0));
         // Reconnect, nothing delivered yet: cursor 0, seq 0 still pending.
-        let r = out.on_greeting(0, at(5));
+        let r = out.on_greeting(1, 0, at(5));
         assert!(!r.rebased && r.resend.is_empty());
         assert_eq!(out.in_flight(), 1, "the pending grant survives untouched");
     }
@@ -839,7 +881,7 @@ mod tests {
         out.grant(8, 1, 2, at(100));
         // The receiver is replaced by a fresh process greeting at cursor 0:
         // seqs 0 and 1 exist nowhere anymore, so the link must be rebased.
-        let r = out.on_greeting(0, at(150));
+        let r = out.on_greeting(2, 0, at(150));
         assert!(r.rebased);
         assert!(
             r.rejoined,
@@ -881,6 +923,7 @@ mod tests {
         let mut out = LeaseOut::new(cfg());
         out.grant(1, 1, 2, at(0)); // seq 0 — lost in flight
         out.grant(2, 1, 2, at(0)); // seq 1 — arrives out of order, buffered
+
         // The receiver direct-acks the buffered frame; its cursor is
         // still 0 because seq 0 is a hole.
         out.on_ack(1, 0, at(5));
@@ -907,7 +950,8 @@ mod tests {
         assert!(
             acts.iter().all(|a| !matches!(
                 a,
-                LeaseAction::Reclaim { lease: 2, .. } | LeaseAction::Send(LeaseMsg::Grant { seq: 1, .. })
+                LeaseAction::Reclaim { lease: 2, .. }
+                    | LeaseAction::Send(LeaseMsg::Grant { seq: 1, .. })
             )),
             "the buffered frame must neither expire nor retransmit: {acts:?}"
         );
@@ -959,7 +1003,7 @@ mod tests {
         // replacement greets at cursor 0; seq 0 is pending nowhere, so
         // the link rebases, and the buffered-but-undelivered lease must
         // be among the renumbered resends or it is lost forever.
-        let r = out.on_greeting(0, at(10));
+        let r = out.on_greeting(1, 0, at(10));
         assert!(r.rebased);
         let leases: Vec<u64> = r
             .resend
@@ -995,8 +1039,7 @@ mod tests {
         out.grant(2, 1, 2, at(0)); // seq 1 — buffered + direct-acked
         out.on_ack(1, 0, at(5));
         assert!(
-            !out
-                .poll(at(90))
+            !out.poll(at(90))
                 .contains(&LeaseAction::Send(LeaseMsg::Grant {
                     seq: 1,
                     lease: 2,
@@ -1009,7 +1052,7 @@ mod tests {
         // again and every seq still pending, so the link looks intact —
         // but the buffer is gone, and the greeting must unsuppress
         // retransmission or lease 2 is stranded.
-        let r = out.on_greeting(0, at(95));
+        let r = out.on_greeting(1, 0, at(95));
         assert!(!r.rebased);
         let acts = out.poll(at(99));
         assert!(
@@ -1020,6 +1063,50 @@ mod tests {
                 visits: 2
             })),
             "retransmission must resume after the greeting: {acts:?}"
+        );
+    }
+
+    #[test]
+    fn incarnation_change_rebases_an_intact_looking_link() {
+        let mut out = LeaseOut::new(cfg());
+        // First contact: the receiver greets as incarnation 7.
+        assert!(!out.on_greeting(7, 0, at(0)).rebased);
+        out.grant(1, 1, 2, at(1)); // seq 0, in flight
+
+        // The receiver restarts before delivering anything and greets
+        // again at cursor 0 with every seq still pending — structurally
+        // indistinguishable from a plain reconnect, which is exactly
+        // the case the old empty-reorder-buffer heuristic could not
+        // decide. The new incarnation id is proof of the restart.
+        let r = out.on_greeting(8, 0, at(5));
+        assert!(r.rebased, "incarnation change must force a rebase");
+        assert_eq!(r.resend.len(), 1, "the in-flight grant rides the resend");
+        assert_eq!(out.in_flight(), 1);
+    }
+
+    #[test]
+    fn same_incarnation_regreeting_stays_intact() {
+        let mut out = LeaseOut::new(cfg());
+        assert!(!out.on_greeting(7, 0, at(0)).rebased);
+        out.grant(1, 1, 2, at(1)); // seq 0 — lost, still pending
+        out.grant(2, 1, 2, at(1)); // seq 1 — buffered + direct-acked
+        out.on_ack(1, 0, at(2));
+        // An ordinary reconnect of the same incarnation: no rebase, but
+        // the received mark is void (the connection flap says nothing
+        // about the buffer, clearing it is merely conservative) so both
+        // frames retransmit and the surviving receiver dedups.
+        let r = out.on_greeting(7, 0, at(5));
+        assert!(!r.rebased && r.resend.is_empty());
+        assert_eq!(out.in_flight(), 2, "pending grants survive untouched");
+        let acts = out.poll(at(90));
+        assert!(
+            acts.contains(&LeaseAction::Send(LeaseMsg::Grant {
+                seq: 1,
+                lease: 2,
+                hop: 1,
+                visits: 2
+            })),
+            "retransmits resume after the regreeting: {acts:?}"
         );
     }
 

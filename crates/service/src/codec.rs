@@ -18,12 +18,21 @@
 //! counters; the fault-containment release appended a seventh,
 //! `panics_caught`, the batched-admission release an eighth,
 //! `batched_grants`, the lock-free-admission release a ninth,
-//! `fast_path_admits`, and the wire-topology release a tenth,
-//! `fast_path_fallbacks`. The counter list lives in one place —
+//! `fast_path_admits`, the wire-topology release a tenth,
+//! `fast_path_fallbacks`, and the task-engine release an eleventh and
+//! twelfth, `open_connections` and `tasks_parked`. The counter list
+//! lives in one place —
 //! [`STATS_FIELDS`] plus [`WireStats::to_array`]/[`WireStats::from_array`]
 //! — so encode, decode and tests cannot drift apart. Because decoding
 //! is strict, old and new peers do not interoperate on `Stats` — deploy
-//! both sides together.
+//! both sides together. The task-engine release also added the
+//! peer-plane greeting frame `OP_LEASE_HELLO` (node, incarnation,
+//! cursor), replacing the old convention of greeting with a sentinel
+//! `Ack { seq: u64::MAX }` — same deploy-together rule.
+//!
+//! The length-prefix layer itself (split/reassembly of frames from a
+//! byte stream) lives in [`crate::frame`] as a sans-io state machine;
+//! this module owns the frame *bodies*.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -31,6 +40,8 @@ use std::io::{self, Read, Write};
 use amf_core::LeaseMsg;
 use amf_ticketing::{Severity, Ticket};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::frame::{FrameDecoder, FrameEncoder, FramePartial};
 
 /// Hard cap on a frame body (opcode + payload), in bytes. Large enough
 /// for any legitimate request (summaries are `u16`-length-capped),
@@ -54,6 +65,7 @@ const OP_STATS_REPLY: u8 = 0x85;
 // Node-to-node lease plane (peer sessions, not client sessions).
 const OP_LEASE_GRANT: u8 = 0x10;
 const OP_LEASE_RELEASE: u8 = 0x11;
+const OP_LEASE_HELLO: u8 = 0x12;
 const OP_LEASE_ACK: u8 = 0x90;
 
 /// A client-to-server message.
@@ -85,7 +97,7 @@ pub enum Request {
 /// source of truth for the `Stats` wire format: encode and decode both
 /// iterate [`WireStats::to_array`]/[`WireStats::from_array`], whose
 /// lengths this const fixes at compile time.
-pub const STATS_FIELDS: usize = 10;
+pub const STATS_FIELDS: usize = 12;
 
 /// Counters reported by [`Response::Stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -120,6 +132,17 @@ pub struct WireStats {
     /// release). `fallbacks / (admits + fallbacks)` is the live
     /// contention ratio on the fast lane.
     pub fast_path_fallbacks: u64,
+    /// Client connections currently open on the service front
+    /// (eleventh field, appended by the task-engine release). Both
+    /// fronts maintain it; under the readiness-driven front it is the
+    /// number the connection-scaling experiment drives into the
+    /// thousands.
+    pub open_connections: u64,
+    /// Invocations currently suspended inside the task engine's
+    /// waitpoints (twelfth field, appended by the task-engine release).
+    /// Zero under the threaded front, which parks on condvars outside
+    /// the engine.
+    pub tasks_parked: u64,
 }
 
 impl WireStats {
@@ -139,6 +162,8 @@ impl WireStats {
             self.batched_grants,
             self.fast_path_admits,
             self.fast_path_fallbacks,
+            self.open_connections,
+            self.tasks_parked,
         ]
     }
 
@@ -146,7 +171,7 @@ impl WireStats {
     /// [`WireStats::to_array`].
     #[must_use]
     pub fn from_array(fields: [u64; STATS_FIELDS]) -> Self {
-        let [opened, assigned, queued, aborts, timeouts, max_queue_depth, panics_caught, batched_grants, fast_path_admits, fast_path_fallbacks] =
+        let [opened, assigned, queued, aborts, timeouts, max_queue_depth, panics_caught, batched_grants, fast_path_admits, fast_path_fallbacks, open_connections, tasks_parked] =
             fields;
         Self {
             opened,
@@ -159,6 +184,8 @@ impl WireStats {
             batched_grants,
             fast_path_admits,
             fast_path_fallbacks,
+            open_connections,
+            tasks_parked,
         }
     }
 }
@@ -174,6 +201,55 @@ pub struct PeerFrame {
     pub node: u64,
     /// The lease protocol message.
     pub msg: LeaseMsg,
+}
+
+/// Anything that can arrive on the peer plane: a lease-protocol frame,
+/// or the connection-scoped greeting. The greeting is deliberately not
+/// a [`LeaseMsg`] variant — it describes the *link* (who is on the
+/// other end, which incarnation, where their receive cursor stands),
+/// not the lease protocol, and the simulator's in-memory channels never
+/// carry one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerWire {
+    /// A lease-protocol frame.
+    Frame(PeerFrame),
+    /// Greeting sent by a receiver when a connection is (re)established.
+    Hello {
+        /// Ring index of the greeting node.
+        node: u64,
+        /// Incarnation id, fresh per process start. A sender that
+        /// remembers a different incarnation for this peer knows the
+        /// receiver restarted — regardless of how intact the cursor
+        /// looks — and must rebase in-flight grants.
+        incarnation: u64,
+        /// The receiver's current in-order cursor.
+        cursor: u64,
+    },
+}
+
+/// Encodes the connection greeting as a complete frame (length prefix
+/// included).
+pub fn encode_hello(node: u64, incarnation: u64, cursor: u64) -> Bytes {
+    let mut body = BytesMut::with_capacity(32);
+    body.put_u8(OP_LEASE_HELLO);
+    body.put_u64(node);
+    body.put_u64(incarnation);
+    body.put_u64(cursor);
+    frame(body)
+}
+
+/// Decodes any peer-plane frame body, greeting included.
+pub fn decode_peer_wire(body: &[u8]) -> Result<PeerWire, DecodeError> {
+    if body.first() == Some(&OP_LEASE_HELLO) {
+        let mut cur = &body[1..];
+        let hello = PeerWire::Hello {
+            node: get_u64_checked(&mut cur)?,
+            incarnation: get_u64_checked(&mut cur)?,
+            cursor: get_u64_checked(&mut cur)?,
+        };
+        return finish(hello, cur);
+    }
+    decode_peer(body).map(PeerWire::Frame)
 }
 
 /// Encodes a peer frame as a complete frame (length prefix included).
@@ -346,11 +422,7 @@ fn get_u8_checked(cur: &mut &[u8]) -> Result<u8, DecodeError> {
 }
 
 fn frame(body: BytesMut) -> Bytes {
-    debug_assert!(body.len() <= MAX_FRAME, "frame body exceeds cap");
-    let mut framed = BytesMut::with_capacity(4 + body.len());
-    framed.put_u32(body.len() as u32);
-    framed.put_slice(&body);
-    framed.freeze()
+    Bytes::from(FrameEncoder::encode(&body))
 }
 
 /// Encodes a request as a complete frame (length prefix included).
@@ -490,41 +562,38 @@ pub fn decode_response(body: &[u8]) -> Result<Response, DecodeError> {
 /// of treating the peer's crash as an orderly shutdown. An oversized
 /// length prefix surfaces as [`io::ErrorKind::InvalidData`].
 pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
-    let mut len_raw = [0u8; 4];
-    let mut filled = 0;
-    while filled < len_raw.len() {
-        match r.read(&mut len_raw[filled..]) {
-            Ok(0) if filled == 0 => return Ok(None),
+    let mut dec = FrameDecoder::new();
+    let mut scratch = [0u8; 4096];
+    loop {
+        if let Some(body) = dec.next_frame() {
+            return Ok(Some(body));
+        }
+        // Read exactly what completes the current element — a fresh
+        // decoder is built per call, so reading past the returned
+        // frame would lose stream bytes.
+        let want = dec.needed().min(scratch.len());
+        match r.read(&mut scratch[..want]) {
             Ok(0) => {
-                return Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    format!("truncated frame: EOF after {filled} of 4 length bytes"),
-                ));
+                return match dec.partial() {
+                    FramePartial::Clean => Ok(None),
+                    FramePartial::Header { got } => Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        format!("truncated frame: EOF after {got} of 4 length bytes"),
+                    )),
+                    FramePartial::Body { len, .. } => Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        format!("truncated frame: EOF inside a {len}-byte body"),
+                    )),
+                };
             }
-            Ok(n) => filled += n,
+            Ok(n) => {
+                dec.feed(&scratch[..n])
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) => return Err(e),
         }
     }
-    let len = u32::from_be_bytes(len_raw) as usize;
-    if len > MAX_FRAME {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            DecodeError::Oversized { len }.to_string(),
-        ));
-    }
-    let mut body = vec![0u8; len];
-    r.read_exact(&mut body).map_err(|e| {
-        if e.kind() == io::ErrorKind::UnexpectedEof {
-            io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                format!("truncated frame: EOF inside a {len}-byte body"),
-            )
-        } else {
-            e
-        }
-    })?;
-    Ok(Some(body))
 }
 
 /// Writes one already-framed message to `w` and flushes.
@@ -595,7 +664,44 @@ mod tests {
             batched_grants: 8,
             fast_path_admits: 9,
             fast_path_fallbacks: 10,
+            open_connections: 11,
+            tasks_parked: 12,
         }));
+    }
+
+    #[test]
+    fn hello_round_trips_and_is_not_a_lease_frame() {
+        let framed = encode_hello(3, 0xDEAD_BEEF, 42);
+        let body = &framed[4..];
+        assert_eq!(
+            decode_peer_wire(body).unwrap(),
+            PeerWire::Hello {
+                node: 3,
+                incarnation: 0xDEAD_BEEF,
+                cursor: 42
+            }
+        );
+        // The lease-frame-only entry point refuses greetings: protocol
+        // code that forgot to handle Hello fails loudly, not quietly.
+        assert_eq!(decode_peer(body), Err(DecodeError::UnknownOpcode(0x12)),);
+        // Truncated greetings are rejected at every cut.
+        for cut in 0..body.len() {
+            assert_eq!(
+                decode_peer_wire(&body[..cut]),
+                Err(DecodeError::Truncated),
+                "prefix of {cut} bytes"
+            );
+        }
+        // Lease frames pass through decode_peer_wire unchanged.
+        let lease = PeerFrame {
+            node: 1,
+            msg: LeaseMsg::Release { seq: 7 },
+        };
+        let framed = encode_peer(&lease);
+        assert_eq!(
+            decode_peer_wire(&framed[4..]).unwrap(),
+            PeerWire::Frame(lease)
+        );
     }
 
     #[test]

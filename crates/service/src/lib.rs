@@ -27,10 +27,15 @@
 
 pub mod client;
 pub mod codec;
+pub mod frame;
 pub mod peer;
+pub mod reactor;
 pub mod server;
 
 pub use client::{run_load, ClientError, LoadConfig, LoadOutcome, ServiceClient};
-pub use codec::{DecodeError, PeerFrame, Request, Response, WireStats, MAX_FRAME, STATS_FIELDS};
+pub use codec::{
+    DecodeError, PeerFrame, PeerWire, Request, Response, WireStats, MAX_FRAME, STATS_FIELDS,
+};
+pub use frame::{FrameDecoder, FrameEncoder, FramePartial};
 pub use peer::{FaultProxy, FaultProxyConfig, FaultProxyStats, PeerConfig, PeerNode, PeerStats};
-pub use server::{ServiceConfig, ServiceError, ServiceHandle, TicketService};
+pub use server::{ServiceConfig, ServiceError, ServiceFront, ServiceHandle, TicketService};

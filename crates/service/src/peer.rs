@@ -39,7 +39,11 @@ use amf_core::{
 };
 use parking_lot::Mutex;
 
-use crate::codec::{decode_peer, encode_peer, read_frame, write_frame, PeerFrame, MAX_FRAME};
+use crate::codec::{
+    decode_peer, decode_peer_wire, encode_hello, encode_peer, read_frame, write_frame, PeerFrame,
+    PeerWire,
+};
+use crate::frame::FrameDecoder;
 
 /// Tuning knobs for one ring node.
 #[derive(Debug, Clone)]
@@ -198,10 +202,19 @@ impl PeerNode {
         let grant = moderator.declare_method(MethodId::new("grant"));
         let observe = moderator.declare_method(MethodId::new("observe"));
 
+        // Fresh per process start (and unique across `kill -9` restarts
+        // on one host): wall-clock nanos folded with the pid. Senders
+        // compare successive greetings, so only inequality across
+        // restarts matters, not global uniqueness.
+        let incarnation = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(1)
+            ^ (u64::from(std::process::id()) << 32);
         let shared = Arc::new(PeerShared {
             next: Mutex::new(cfg.next.clone()),
             out: Mutex::new(LeaseOut::new(cfg.lease.clone())),
-            inn: Mutex::new(LeaseIn::new()),
+            inn: Mutex::new(LeaseIn::new().with_incarnation(incarnation)),
             wire_q: Mutex::new(VecDeque::new()),
             inbox: Mutex::new(VecDeque::new()),
             degraded: AtomicBool::new(false),
@@ -433,15 +446,13 @@ fn inbound_conn(
         Err(_) => return,
     };
     let mut writer = stream;
-    // Greet the (possibly returning) predecessor with an unsolicited
-    // cumulative ack so it re-syncs its cursor before sending anything.
+    // Greet the (possibly returning) predecessor with this node's
+    // incarnation id and cursor, so it re-syncs — and can detect a
+    // restart by the id alone — before sending anything.
     {
         let inn = s.inn.lock();
-        let sync = PeerFrame {
-            node: s.cfg.node,
-            msg: inn.ack(u64::MAX),
-        };
-        if write_frame(&mut writer, &encode_peer(&sync)).is_err() {
+        let hello = encode_hello(s.cfg.node, inn.incarnation(), inn.cursor());
+        if write_frame(&mut writer, &hello).is_err() {
             return;
         }
     }
@@ -492,14 +503,17 @@ fn inbound_conn(
 
 /// Accumulates bytes across socket-timeout ticks and yields complete
 /// frame bodies: a timeout mid-frame must not desync framing, so
-/// partial reads are buffered rather than discarded.
+/// partial reads stay buffered in the sans-io [`FrameDecoder`] — the
+/// same state machine every other transport in this crate parses with.
 struct FrameBuffer {
-    buf: Vec<u8>,
+    dec: FrameDecoder,
 }
 
 impl FrameBuffer {
     fn new() -> Self {
-        FrameBuffer { buf: Vec::new() }
+        FrameBuffer {
+            dec: FrameDecoder::new(),
+        }
     }
 
     /// Reads whatever is available before the socket deadline and
@@ -517,8 +531,12 @@ impl FrameBuffer {
                     return Ok(frames);
                 }
                 Ok(n) => {
-                    self.buf.extend_from_slice(&scratch[..n]);
-                    self.extract(&mut frames)?;
+                    self.dec.feed(&scratch[..n]).map_err(|_| {
+                        io::Error::new(io::ErrorKind::InvalidData, "oversized peer frame")
+                    })?;
+                    while let Some(body) = self.dec.next_frame() {
+                        frames.push(body);
+                    }
                 }
                 Err(e)
                     if e.kind() == io::ErrorKind::WouldBlock
@@ -529,26 +547,6 @@ impl FrameBuffer {
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(e) => return Err(e),
             }
-        }
-    }
-
-    fn extract(&mut self, frames: &mut Vec<Vec<u8>>) -> io::Result<()> {
-        loop {
-            if self.buf.len() < 4 {
-                return Ok(());
-            }
-            let len = u32::from_be_bytes(self.buf[..4].try_into().expect("4 bytes")) as usize;
-            if len > MAX_FRAME {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    "oversized peer frame",
-                ));
-            }
-            if self.buf.len() < 4 + len {
-                return Ok(());
-            }
-            frames.push(self.buf[4..4 + len].to_vec());
-            self.buf.drain(..4 + len);
         }
     }
 }
@@ -613,36 +611,44 @@ fn outbound_loop(s: &Arc<PeerShared>, m: &Arc<AspectModerator>, grant: &amf_core
             match frames.pump(c) {
                 Ok(bodies) => {
                     for body in bodies {
-                        let Ok(frame) = decode_peer(&body) else {
-                            continue;
-                        };
-                        let LeaseMsg::Ack { seq, cursor } = frame.msg else {
+                        let Ok(wire) = decode_peer_wire(&body) else {
                             continue;
                         };
                         let now = now_since(start);
-                        let rejoined = if seq == u64::MAX {
+                        let rejoined = match wire {
                             // The peer's connection greeting: re-sync the
-                            // sender onto its cursor. A rebase means the
-                            // peer restarted from scratch — everything
-                            // queued under the old numbering is garbage,
-                            // replaced by the renumbered resend set. The
-                            // `out` lock is held across the wire_q swap so
-                            // a concurrent worker grant is either fully
-                            // before the rebase (renumbered into the
-                            // resend set, its queued copy cleared) or
-                            // fully after (numbered on the fresh link) —
-                            // never a stale frame enqueued post-rebase.
-                            let mut out = s.out.lock();
-                            let resync = out.on_greeting(cursor, now);
-                            if resync.rebased {
-                                let mut q = s.wire_q.lock();
-                                q.clear();
-                                q.extend(resync.resend);
+                            // sender onto its incarnation and cursor. A
+                            // rebase means the peer restarted from
+                            // scratch — everything queued under the old
+                            // numbering is garbage, replaced by the
+                            // renumbered resend set. The `out` lock is
+                            // held across the wire_q swap so a concurrent
+                            // worker grant is either fully before the
+                            // rebase (renumbered into the resend set, its
+                            // queued copy cleared) or fully after
+                            // (numbered on the fresh link) — never a
+                            // stale frame enqueued post-rebase.
+                            PeerWire::Hello {
+                                incarnation,
+                                cursor,
+                                ..
+                            } => {
+                                let mut out = s.out.lock();
+                                let resync = out.on_greeting(incarnation, cursor, now);
+                                if resync.rebased {
+                                    let mut q = s.wire_q.lock();
+                                    q.clear();
+                                    q.extend(resync.resend);
+                                }
+                                greeted = true;
+                                resync.rejoined
                             }
-                            greeted = true;
-                            resync.rejoined
-                        } else {
-                            s.out.lock().on_ack(seq, cursor, now)
+                            PeerWire::Frame(frame) => {
+                                let LeaseMsg::Ack { seq, cursor } = frame.msg else {
+                                    continue;
+                                };
+                                s.out.lock().on_ack(seq, cursor, now)
+                            }
                         };
                         if rejoined {
                             s.rejoins.fetch_add(1, Ordering::SeqCst);

@@ -23,10 +23,18 @@
 //! contend with workers serving `assign` on a shared moderator lock —
 //! they meet only where the protocol demands it (the buffer-sync aspect
 //! pair and cross-method wakeups).
+//!
+//! Two execution fronts share this file's protocol logic
+//! ([`ServiceFront`]): the original thread-per-connection front on a
+//! [`WorkerPool`], and the readiness-driven default ([`crate::reactor`])
+//! that multiplexes every connection onto one epoll loop and runs
+//! requests as tasks on a [`TaskEngine`] — whose waiters also back the
+//! moderator's coordination cells, so a parked request suspends a task,
+//! not a thread.
 
 use std::io::{self, BufReader, BufWriter};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -35,7 +43,7 @@ use amf_aspects::auth::{AuthToken, Authenticator};
 use amf_aspects::metrics::{MetricsAspect, MetricsHub};
 use amf_aspects::quota::QuotaAspect;
 use amf_aspects::sched::{RateLimitAspect, ThrottleMode};
-use amf_concurrency::{RateLimiter, RateLimiterConfig, SystemClock, WorkerPool};
+use amf_concurrency::{RateLimiter, RateLimiterConfig, SystemClock, TaskEngine, WorkerPool};
 use amf_core::trace::MemoryTrace;
 use amf_core::{
     AbortError, AspectModerator, Concern, FairnessPolicy, PanicPolicy, RegistrationError,
@@ -47,14 +55,32 @@ use crate::codec::{
     decode_request, encode_response, read_frame, severity_from_wire, write_frame, Request,
     Response, WireStats,
 };
+use crate::reactor::{self, ReactorWaker};
+
+/// Which execution front serves connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServiceFront {
+    /// Thread-per-connection on a [`WorkerPool`]: each live connection
+    /// pins a worker for its lifetime, so `workers` bounds concurrent
+    /// clients.
+    Threaded,
+    /// Readiness-driven epoll reactor ([`crate::reactor`]): one thread
+    /// owns every connection; decoded requests run as tasks on a
+    /// [`TaskEngine`] of `workers` core workers, and parked requests
+    /// suspend tasks instead of threads. The default.
+    #[default]
+    Task,
+}
 
 /// Tuning knobs for [`TicketService::spawn`].
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Ticket-buffer capacity (bounded; `open` blocks when full).
     pub capacity: usize,
-    /// Worker threads handling connections. Each live connection holds
-    /// one worker, so this bounds concurrent clients.
+    /// Execution parallelism. Under [`ServiceFront::Threaded`] this is
+    /// the connection-worker count (and thus the concurrent-client
+    /// bound); under [`ServiceFront::Task`] it is the task engine's
+    /// core worker count, and connections are unbounded.
     pub workers: usize,
     /// Per-principal request quota within `quota_window`.
     pub quota_limit: u64,
@@ -81,6 +107,8 @@ pub struct ServiceConfig {
     /// dies mid-reply surfaces `ClientError::Timeout` instead of
     /// hanging forever. `None` restores the old block-forever behavior.
     pub io_deadline: Option<Duration>,
+    /// Which execution front serves connections (see [`ServiceFront`]).
+    pub front: ServiceFront,
 }
 
 impl Default for ServiceConfig {
@@ -95,6 +123,7 @@ impl Default for ServiceConfig {
             fairness: FairnessPolicy::Barging,
             panic_policy: PanicPolicy::AbortInvocation,
             io_deadline: Some(Duration::from_secs(5)),
+            front: ServiceFront::default(),
         }
     }
 }
@@ -131,15 +160,22 @@ impl From<RegistrationError> for ServiceError {
     }
 }
 
-struct ServiceShared {
+pub(crate) struct ServiceShared {
     proxy: ExtendedTicketServerProxy,
     op_timeout: Duration,
-    shutting_down: AtomicBool,
+    pub(crate) shutting_down: AtomicBool,
     connections: Mutex<Vec<TcpStream>>,
+    /// Live connection count, maintained by whichever front is serving.
+    pub(crate) open_connections: AtomicU64,
+    /// Present under [`ServiceFront::Task`]; feeds `tasks_parked`.
+    engine: Option<Arc<TaskEngine>>,
+    /// Present under [`ServiceFront::Task`]; lets `begin_shutdown`
+    /// interrupt the reactor's `epoll_wait`.
+    reactor_waker: Mutex<Option<Arc<ReactorWaker>>>,
 }
 
 impl ServiceShared {
-    fn handle_request(&self, req: Request) -> Response {
+    pub(crate) fn handle_request(&self, req: Request) -> Response {
         match req {
             Request::Open {
                 token,
@@ -181,6 +217,8 @@ impl ServiceShared {
             batched_grants: mod_stats.batched_grants,
             fast_path_admits: mod_stats.fast_path_admits,
             fast_path_fallbacks: mod_stats.fast_path_fallbacks,
+            open_connections: self.open_connections.load(Ordering::SeqCst),
+            tasks_parked: self.engine.as_ref().map_or(0, |e| e.tasks_parked()),
         }
     }
 
@@ -189,6 +227,10 @@ impl ServiceShared {
         // Unblock every connection handler stuck in a read.
         for conn in self.connections.lock().drain(..) {
             let _ = conn.shutdown(Shutdown::Both);
+        }
+        // And interrupt the reactor's epoll_wait, if that front runs.
+        if let Some(waker) = self.reactor_waker.lock().as_ref() {
+            waker.wake();
         }
     }
 }
@@ -215,7 +257,7 @@ pub struct ServiceHandle {
     trace: Arc<MemoryTrace>,
     shared: Arc<ServiceShared>,
     accept_thread: Option<JoinHandle<()>>,
-    pool: Arc<WorkerPool>,
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl std::fmt::Debug for ServiceHandle {
@@ -265,12 +307,18 @@ impl ServiceHandle {
     /// worker. Idempotent.
     pub fn shutdown(&mut self) {
         self.shared.begin_shutdown();
-        // Wake the accept loop with a throwaway connection.
+        // Wake the accept loop with a throwaway connection (the reactor
+        // front was already woken through its eventfd).
         let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        self.pool.shutdown();
+        if let Some(pool) = &self.pool {
+            pool.shutdown();
+        }
+        if let Some(engine) = &self.shared.engine {
+            engine.shutdown();
+        }
     }
 }
 
@@ -293,13 +341,21 @@ impl TicketService {
     /// [`ServiceError`] when the bind or the aspect composition fails.
     pub fn spawn(addr: &str, config: ServiceConfig) -> Result<ServiceHandle, ServiceError> {
         let trace = MemoryTrace::shared();
-        let moderator = Arc::new(
-            AspectModerator::builder()
-                .trace(trace.clone() as Arc<dyn amf_core::trace::TraceSink>)
-                .fairness(config.fairness)
-                .panic_policy(config.panic_policy)
-                .build(),
-        );
+        // Under the task front the engine doubles as the moderator's
+        // grant source: a request blocked inside the protocol parks its
+        // task, and the freed worker serves other requests.
+        let engine = match config.front {
+            ServiceFront::Task => Some(Arc::new(TaskEngine::new(config.workers))),
+            ServiceFront::Threaded => None,
+        };
+        let mut builder = AspectModerator::builder()
+            .trace(trace.clone() as Arc<dyn amf_core::trace::TraceSink>)
+            .fairness(config.fairness)
+            .panic_policy(config.panic_policy);
+        if let Some(engine) = &engine {
+            builder = builder.engine(Arc::<TaskEngine>::clone(engine));
+        }
+        let moderator = Arc::new(builder.build());
         let auth = Authenticator::shared();
         let metrics = MetricsHub::new();
 
@@ -348,16 +404,30 @@ impl TicketService {
             op_timeout: config.op_timeout,
             shutting_down: AtomicBool::new(false),
             connections: Mutex::new(Vec::new()),
+            open_connections: AtomicU64::new(0),
+            engine: engine.clone(),
+            reactor_waker: Mutex::new(None),
         });
-        let pool = Arc::new(WorkerPool::new(config.workers));
 
-        let accept_thread = {
-            let shared = Arc::clone(&shared);
-            let pool = Arc::clone(&pool);
-            std::thread::Builder::new()
-                .name("amf-service-accept".into())
-                .spawn(move || accept_loop(&listener, &shared, &pool))
-                .map_err(ServiceError::Io)?
+        let (accept_thread, pool) = match config.front {
+            ServiceFront::Threaded => {
+                let pool = Arc::new(WorkerPool::new(config.workers));
+                let thread = {
+                    let shared = Arc::clone(&shared);
+                    let pool = Arc::clone(&pool);
+                    std::thread::Builder::new()
+                        .name("amf-service-accept".into())
+                        .spawn(move || accept_loop(&listener, &shared, &pool))
+                        .map_err(ServiceError::Io)?
+                };
+                (thread, Some(pool))
+            }
+            ServiceFront::Task => {
+                let engine = engine.expect("task front constructs an engine");
+                let (thread, waker) = reactor::spawn(listener, Arc::clone(&shared), engine)?;
+                *shared.reactor_waker.lock() = Some(waker);
+                (thread, None)
+            }
         };
 
         Ok(ServiceHandle {
@@ -382,7 +452,11 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServiceShared>, pool: &Arc<W
             shared.connections.lock().push(clone);
         }
         let shared = Arc::clone(shared);
-        pool.spawn(move || serve_connection(&shared, stream));
+        shared.open_connections.fetch_add(1, Ordering::SeqCst);
+        pool.spawn(move || {
+            serve_connection(&shared, stream);
+            shared.open_connections.fetch_sub(1, Ordering::SeqCst);
+        });
     }
 }
 

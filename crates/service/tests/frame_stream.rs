@@ -1,0 +1,140 @@
+//! Chunking fuzz for the sans-io frame decoder: every frame type the
+//! wire carries, concatenated into one stream and replayed under
+//! adversarial segmentation — split at every byte boundary, fed byte by
+//! byte, and chopped into random chunk trains. The decoder must hand
+//! back the exact same frame bodies no matter how the bytes arrive,
+//! because TCP makes no promises about segment boundaries and both the
+//! reactor front and the peer plane feed whatever `read` returns.
+
+use amf_core::lease::LeaseMsg;
+use amf_service::codec::{
+    encode_hello, encode_peer, encode_request, encode_response, PeerFrame, Request, Response,
+    WireStats,
+};
+use amf_service::{FrameDecoder, FrameEncoder};
+use amf_ticketing::{Severity, Ticket};
+use proptest::prelude::*;
+
+/// One frame of every kind the protocol can emit, plus the empty-body
+/// degenerate. Returned as complete frames (length prefix included).
+fn corpus() -> Vec<Vec<u8>> {
+    let stats = WireStats {
+        opened: 1,
+        assigned: 2,
+        queued: 3,
+        aborts: 4,
+        timeouts: 5,
+        max_queue_depth: 6,
+        panics_caught: 7,
+        batched_grants: 8,
+        fast_path_admits: 9,
+        fast_path_fallbacks: 10,
+        open_connections: 11,
+        tasks_parked: 12,
+    };
+    vec![
+        encode_request(&Request::Open {
+            token: 7,
+            id: 42,
+            severity: 2,
+            summary: "segmented across reads".into(),
+        })
+        .to_vec(),
+        encode_request(&Request::Assign { token: 7 }).to_vec(),
+        encode_request(&Request::Stats).to_vec(),
+        encode_request(&Request::Shutdown).to_vec(),
+        encode_response(&Response::Ok(None)).to_vec(),
+        encode_response(&Response::Ok(Some(
+            Ticket::new(42, "reply").with_severity(Severity::High),
+        )))
+        .to_vec(),
+        encode_response(&Response::Blocked).to_vec(),
+        encode_response(&Response::Aborted("quota: over".into())).to_vec(),
+        encode_response(&Response::Err("boom".into())).to_vec(),
+        encode_response(&Response::Stats(stats)).to_vec(),
+        encode_peer(&PeerFrame {
+            node: 3,
+            msg: LeaseMsg::Grant {
+                seq: 9,
+                lease: 1,
+                hop: 4,
+                visits: 6,
+            },
+        })
+        .to_vec(),
+        encode_peer(&PeerFrame {
+            node: 3,
+            msg: LeaseMsg::Release { seq: 9 },
+        })
+        .to_vec(),
+        encode_peer(&PeerFrame {
+            node: 3,
+            msg: LeaseMsg::Ack { seq: 9, cursor: 10 },
+        })
+        .to_vec(),
+        encode_hello(2, 0xfeed_beef, 17).to_vec(),
+        FrameEncoder::encode(&[]),
+    ]
+}
+
+/// The frame bodies (prefix stripped) the decoder must reproduce.
+fn expected_bodies(frames: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    frames.iter().map(|f| f[4..].to_vec()).collect()
+}
+
+fn decode_stream(chunks: impl Iterator<Item = Vec<u8>>) -> Vec<Vec<u8>> {
+    let mut dec = FrameDecoder::new();
+    let mut out = Vec::new();
+    for chunk in chunks {
+        dec.feed(&chunk).expect("corpus frames are well-formed");
+        while let Some(body) = dec.next_frame() {
+            out.push(body);
+        }
+    }
+    out
+}
+
+#[test]
+fn every_two_chunk_split_reassembles_the_stream() {
+    let frames = corpus();
+    let expected = expected_bodies(&frames);
+    let stream: Vec<u8> = frames.concat();
+    for split in 0..=stream.len() {
+        let (a, b) = stream.split_at(split);
+        let got = decode_stream([a.to_vec(), b.to_vec()].into_iter());
+        assert_eq!(got, expected, "split at byte {split}");
+    }
+}
+
+#[test]
+fn byte_at_a_time_reassembles_the_stream() {
+    let frames = corpus();
+    let expected = expected_bodies(&frames);
+    let stream: Vec<u8> = frames.concat();
+    let got = decode_stream(stream.iter().map(|b| vec![*b]));
+    assert_eq!(got, expected);
+}
+
+proptest! {
+    /// Random chunk trains: the stream cut into segments whose lengths
+    /// cycle through an arbitrary pattern of 1..=33 bytes.
+    #[test]
+    fn random_chunk_trains_reassemble_the_stream(
+        sizes in proptest::collection::vec(1usize..34, 1..24)
+    ) {
+        let frames = corpus();
+        let expected = expected_bodies(&frames);
+        let stream: Vec<u8> = frames.concat();
+        let mut chunks = Vec::new();
+        let mut pos = 0;
+        let mut i = 0;
+        while pos < stream.len() {
+            let take = sizes[i % sizes.len()].min(stream.len() - pos);
+            chunks.push(stream[pos..pos + take].to_vec());
+            pos += take;
+            i += 1;
+        }
+        let got = decode_stream(chunks.into_iter());
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -2,9 +2,12 @@
 //! machine exercised against loopback sockets, with and without an
 //! unreliable link in the middle.
 
+use std::net::{TcpListener, TcpStream};
 use std::time::{Duration, Instant};
 
+use amf_core::lease::LeaseMsg;
 use amf_core::LeaseConfig;
+use amf_service::codec::{decode_peer, encode_hello, read_frame, write_frame, PeerFrame};
 use amf_service::{FaultProxy, FaultProxyConfig, PeerConfig, PeerNode};
 
 fn lease_cfg(expiry_ms: u64) -> LeaseConfig {
@@ -117,6 +120,102 @@ fn lossy_ring_retransmits_dedups_and_still_loses_nothing() {
     if duplicated > 0 {
         assert!(dups_dropped > 0, "duplicates must be dropped idempotently");
     }
+}
+
+/// Regression for incarnation fencing in the greeting: a successor that
+/// dies and is replaced on the same port greets with a fresh
+/// incarnation id, and the sender must rebase — resend every in-flight
+/// grant immediately — even though the replacement's cursor of 0 makes
+/// the link look structurally intact (nothing was ever acked, so every
+/// sequence number is still pending). Before incarnation ids, that
+/// exact shape passed the intact heuristic and the sender sat on its
+/// backoff timers while the new peer waited.
+#[test]
+fn replaced_successor_incarnation_forces_immediate_rebase() {
+    // Recovery timers pushed far outside the test window: any frame
+    // arriving promptly after a greeting came from the greeting path
+    // (first-contact send or rebase resend), not from a backoff
+    // retransmission.
+    let sender = PeerNode::spawn(PeerConfig {
+        node: 0,
+        seed_leases: 2,
+        visits: 4,
+        lease: LeaseConfig {
+            expiry: Duration::from_secs(120),
+            backoff_base: Duration::from_secs(30),
+            backoff_cap: Duration::from_secs(30),
+            jitter_seed: 7,
+        },
+        ..PeerConfig::default()
+    })
+    .expect("spawn sender");
+
+    // The "successor" is this test playing receiver on a raw socket, so
+    // it can die and come back with whatever incarnation it likes.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake successor");
+    sender.set_next(&listener.local_addr().expect("local addr").to_string());
+
+    let accept_and_greet = |incarnation: u64| -> TcpStream {
+        let (mut conn, _) = listener.accept().expect("sender connects");
+        conn.set_read_timeout(Some(Duration::from_millis(50)))
+            .expect("read timeout");
+        write_frame(&mut conn, &encode_hello(1, incarnation, 0)).expect("send greeting");
+        conn
+    };
+    let collect_grants = |conn: &mut TcpStream, want: usize, window: Duration| {
+        let deadline = Instant::now() + window;
+        let mut grants: Vec<PeerFrame> = Vec::new();
+        while grants.len() < want && Instant::now() < deadline {
+            match read_frame(conn) {
+                Ok(Some(body)) => {
+                    let frame = decode_peer(&body).expect("well-formed peer frame");
+                    if matches!(frame.msg, LeaseMsg::Grant { .. }) {
+                        grants.push(frame);
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => {} // read timeout — poll again
+            }
+        }
+        grants
+    };
+
+    // First contact: both seeded leases are granted; we ack nothing.
+    let mut conn = accept_and_greet(100);
+    let first = collect_grants(&mut conn, 2, Duration::from_secs(10));
+    assert_eq!(first.len(), 2, "both in-flight grants reach the successor");
+    drop(conn);
+
+    // Reconnect of the *same* incarnation: the link is intact, the
+    // cursor is authoritative, and nothing may be resent ahead of the
+    // (distant) backoff deadline.
+    let mut conn = accept_and_greet(100);
+    let quiet = collect_grants(&mut conn, 1, Duration::from_millis(800));
+    assert!(
+        quiet.is_empty(),
+        "same-incarnation reconnect must not trigger a resend: {quiet:?}"
+    );
+    drop(conn);
+
+    // The replacement process greets with a new incarnation at cursor
+    // 0 — structurally identical to the intact case above. The
+    // incarnation mismatch must force a rebase: both grants resent
+    // immediately, renumbered from the new peer's cursor.
+    let mut conn = accept_and_greet(999);
+    let rebased = collect_grants(&mut conn, 2, Duration::from_secs(10));
+    assert_eq!(rebased.len(), 2, "rebase resends every in-flight grant");
+    let mut seqs = Vec::new();
+    let mut leases = Vec::new();
+    for frame in &rebased {
+        if let LeaseMsg::Grant { seq, lease, .. } = frame.msg {
+            seqs.push(seq);
+            leases.push(lease);
+        }
+    }
+    seqs.sort_unstable();
+    leases.sort_unstable();
+    assert_eq!(seqs, vec![0, 1], "resends renumber from the new cursor");
+    assert_eq!(leases, vec![0, 1], "no lease lost in the handover");
 }
 
 #[test]

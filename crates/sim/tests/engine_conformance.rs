@@ -1,0 +1,243 @@
+//! One conformance suite, three engines.
+//!
+//! The moderator's coordination protocol talks to its engine only
+//! through the `GrantSource`/`Waiter` seam, so every engine must honor
+//! the same contract: park releases the guard and re-checks in a loop,
+//! timed parks report expiry, wakes are hints whose effect rides on
+//! guarded state, and a waitpoint survives its other handles being
+//! dropped while someone is parked. Each scenario below is written once
+//! against the seam and driven by all three engines — the condvar
+//! default, the task engine (parking suspends a task on the worker
+//! pool), and the simulator (parking yields a scheduler token under
+//! virtual time).
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use amf_concurrency::{CondvarEngine, GrantSource, TaskEngine};
+use amf_sim::SimRunner;
+use parking_lot::Mutex;
+
+/// A conformance scenario: given an engine and a way to spawn
+/// concurrent parties, wire up the parties and return the assertion to
+/// run after every party finished.
+type Spawn<'a> = &'a mut dyn FnMut(&str, Box<dyn FnOnce() + Send + 'static>);
+type Scenario = fn(Arc<dyn GrantSource<u32>>, Spawn<'_>) -> Box<dyn FnOnce() + Send>;
+
+fn drive_condvar(scenario: Scenario) {
+    let mut joins = Vec::new();
+    let check = scenario(Arc::new(CondvarEngine), &mut |name, f| {
+        joins.push(
+            std::thread::Builder::new()
+                .name(name.to_string())
+                .spawn(f)
+                .expect("spawn conformance thread"),
+        );
+    });
+    for j in joins {
+        j.join().expect("conformance thread");
+    }
+    check();
+}
+
+fn drive_task(scenario: Scenario) {
+    let engine = Arc::new(TaskEngine::new(2));
+    let (tx, rx) = mpsc::channel();
+    let mut spawned = 0usize;
+    let check = scenario(Arc::<TaskEngine>::clone(&engine), &mut |_name, f| {
+        spawned += 1;
+        let tx = tx.clone();
+        engine.spawn(move || {
+            f();
+            let _ = tx.send(());
+        });
+    });
+    for _ in 0..spawned {
+        rx.recv_timeout(Duration::from_secs(30))
+            .expect("conformance task finishes");
+    }
+    engine.shutdown();
+    check();
+}
+
+fn drive_sim(scenario: Scenario) {
+    let mut runner = SimRunner::new(0xc0f0);
+    let check = scenario(Arc::new(runner.engine()), &mut |name, f| {
+        runner.spawn(name, f);
+    });
+    let report = runner.run();
+    assert_eq!(report.error, None);
+    assert!(report.panics.is_empty(), "{:?}", report.panics);
+    check();
+}
+
+// --- scenario 1: park until a wake, predicate carried by state ------
+
+fn park_and_wake(engine: Arc<dyn GrantSource<u32>>, spawn: Spawn<'_>) -> Box<dyn FnOnce() + Send> {
+    let waiter = engine.waiter();
+    let cell = Arc::new(Mutex::new(0u32));
+    let woke = Arc::new(AtomicU32::new(0));
+    for p in 0..3 {
+        let (w, c, k) = (waiter.clone(), cell.clone(), woke.clone());
+        spawn(
+            &format!("parker-{p}"),
+            Box::new(move || {
+                let mut g = c.lock();
+                while *g == 0 {
+                    w.park(&mut g);
+                }
+                drop(g);
+                k.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+    }
+    {
+        let (w, c) = (waiter.clone(), cell.clone());
+        spawn(
+            "waker",
+            Box::new(move || {
+                *c.lock() = 1;
+                w.wake_all();
+            }),
+        );
+    }
+    Box::new(move || {
+        assert_eq!(woke.load(Ordering::SeqCst), 3, "every parker re-checked");
+    })
+}
+
+// --- scenario 2: a timed park on a never-signaled point expires -----
+
+fn timed_park_expires(
+    engine: Arc<dyn GrantSource<u32>>,
+    spawn: Spawn<'_>,
+) -> Box<dyn FnOnce() + Send> {
+    let waiter = engine.waiter();
+    let cell = Arc::new(Mutex::new(0u32));
+    let timed = Arc::new(AtomicBool::new(false));
+    let t = timed.clone();
+    spawn(
+        "sleeper",
+        Box::new(move || {
+            let mut g = cell.lock();
+            // Spurious returns are allowed; expiry must arrive within
+            // a bounded number of re-parks.
+            for _ in 0..100 {
+                if waiter.park_for(&mut g, Duration::from_millis(20)) {
+                    t.store(true, Ordering::SeqCst);
+                    break;
+                }
+            }
+        }),
+    );
+    Box::new(move || {
+        assert!(timed.load(Ordering::SeqCst), "timeout must be reported");
+    })
+}
+
+// --- scenario 3: a wake landing before the park is not a lost grant --
+
+fn wake_before_park(
+    engine: Arc<dyn GrantSource<u32>>,
+    spawn: Spawn<'_>,
+) -> Box<dyn FnOnce() + Send> {
+    let waiter = engine.waiter();
+    let cell = Arc::new(Mutex::new(0u32));
+    let done = Arc::new(AtomicBool::new(false));
+    {
+        // The waker may run before the parker even locks: the pulse may
+        // be lost, but the state change persists.
+        let (w, c) = (waiter.clone(), cell.clone());
+        spawn(
+            "early-waker",
+            Box::new(move || {
+                *c.lock() = 1;
+                w.wake_one();
+            }),
+        );
+    }
+    {
+        let (w, c, d) = (waiter.clone(), cell.clone(), done.clone());
+        spawn(
+            "late-parker",
+            Box::new(move || {
+                let mut g = c.lock();
+                let mut spins = 0;
+                while *g == 0 {
+                    w.park_for(&mut g, Duration::from_millis(25));
+                    spins += 1;
+                    assert!(spins < 1_000, "parker must converge on the state");
+                }
+                drop(g);
+                d.store(true, Ordering::SeqCst);
+            }),
+        );
+    }
+    Box::new(move || {
+        assert!(done.load(Ordering::SeqCst), "no grant may be lost");
+    })
+}
+
+// --- scenario 4: other handles dropped while someone is parked ------
+
+fn drop_while_parked(
+    engine: Arc<dyn GrantSource<u32>>,
+    spawn: Spawn<'_>,
+) -> Box<dyn FnOnce() + Send> {
+    let waiter = engine.waiter();
+    let cell = Arc::new(Mutex::new(0u32));
+    let returned = Arc::new(AtomicBool::new(false));
+    {
+        let (w, c, r) = (waiter.clone(), cell.clone(), returned.clone());
+        spawn(
+            "orphan-parker",
+            Box::new(move || {
+                let mut g = c.lock();
+                for _ in 0..100 {
+                    if *g != 0 || w.park_for(&mut g, Duration::from_millis(20)) {
+                        break;
+                    }
+                }
+                drop(g);
+                r.store(true, Ordering::SeqCst);
+            }),
+        );
+    }
+    // The parker's clone is now the only handle on the waitpoint; the
+    // engine handle goes too. Cleanup must not wedge the parked party.
+    drop(waiter);
+    drop(engine);
+    Box::new(move || {
+        assert!(
+            returned.load(Ordering::SeqCst),
+            "orphaned park still returns"
+        );
+    })
+}
+
+// --- the matrix ------------------------------------------------------
+
+#[test]
+fn condvar_engine_conforms() {
+    drive_condvar(park_and_wake);
+    drive_condvar(timed_park_expires);
+    drive_condvar(wake_before_park);
+    drive_condvar(drop_while_parked);
+}
+
+#[test]
+fn task_engine_conforms() {
+    drive_task(park_and_wake);
+    drive_task(timed_park_expires);
+    drive_task(wake_before_park);
+    drive_task(drop_while_parked);
+}
+
+#[test]
+fn sim_engine_conforms() {
+    drive_sim(park_and_wake);
+    drive_sim(timed_park_expires);
+    drive_sim(wake_before_park);
+    drive_sim(drop_while_parked);
+}

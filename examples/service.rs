@@ -65,7 +65,7 @@ fn main() {
     println!(
         "\nstats: opened={} assigned={} queued={} aborts={} timeouts={} \
          max_queue_depth={} panics_caught={} batched_grants={} fast_path_admits={} \
-         fast_path_fallbacks={}",
+         fast_path_fallbacks={} open_connections={} tasks_parked={}",
         stats.opened,
         stats.assigned,
         stats.queued,
@@ -76,6 +76,8 @@ fn main() {
         stats.batched_grants,
         stats.fast_path_admits,
         stats.fast_path_fallbacks,
+        stats.open_connections,
+        stats.tasks_parked,
     );
     handle.shutdown();
 }

@@ -7,7 +7,10 @@
 //! The report also carries a `wire_topology` section: a live 3-node
 //! lease-handoff ring over loopback TCP run at 0‰ / 10‰ / 100‰
 //! grant-plane faults, recording goodput, recovery work, and the
-//! handoff recovery-latency digest.
+//! handoff recovery-latency digest. A `connection_scaling` section
+//! (experiment E17) compares the threaded and task fronts: idle
+//! connections held live at once, the fleet's resident-memory cost,
+//! and request p99 under a modest load.
 //!
 //! ```text
 //! cargo run --release --bin loadgen -- --clients 8 --requests 10000
@@ -17,9 +20,11 @@ use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use amf_bench::experiments::run_wire_ring;
-use amf_bench::report::{fmt_ns, fmt_ops, JsonObject, LatencySummary};
-use amf_service::{run_load, LoadConfig, ServiceConfig, TicketService};
+use amf_bench::experiments::{
+    conn_scaling_meets, run_connection_scaling, run_wire_ring, ConnScaling,
+};
+use amf_bench::report::{fmt_ns, fmt_ops, JsonObject, JsonValue, LatencySummary};
+use amf_service::{run_load, LoadConfig, ServiceConfig, ServiceFront, TicketService};
 
 const REPORT_PATH: &str = "BENCH_service.json";
 
@@ -178,6 +183,8 @@ fn main() -> ExitCode {
                 .field("batched_grants", s.batched_grants)
                 .field("fast_path_admits", s.fast_path_admits)
                 .field("fast_path_fallbacks", s.fast_path_fallbacks)
+                .field("open_connections", s.open_connections)
+                .field("tasks_parked", s.tasks_parked)
                 .build(),
         );
     }
@@ -212,6 +219,56 @@ fn main() -> ExitCode {
     }
     let report = report.field("wire_topology", wire.build());
 
+    // Connection-scaling battery (E17): each front holds a mostly-idle
+    // connection fleet (every member proven live by stats round-trips
+    // before and after) while a contended 8-client active subset runs.
+    // The threaded front gets a pool worker per held connection — its
+    // architectural cost — while the task front holds ten times the
+    // connections on a fixed 16-worker engine. Task phase first: its
+    // larger fleet is measured against a cold allocator, which is the
+    // conservative direction for the equal-RSS claim.
+    let scaling_requests = 8_000;
+    let task = run_connection_scaling(ServiceFront::Task, 16, 2_040, scaling_requests);
+    let threaded = run_connection_scaling(ServiceFront::Threaded, 200, 192, scaling_requests);
+    for (front, r) in [("task", &task), ("threaded", &threaded)] {
+        println!(
+            "connection scaling [{front}]: {} conns held live, RSS delta {} KiB, \
+             active p99 {} ({})",
+            r.sustained,
+            r.rss_delta_bytes / 1024,
+            fmt_ns(r.p99_ns as f64),
+            fmt_ops(r.throughput),
+        );
+    }
+    let (tenfold, equal_rss, p99_no_worse) = conn_scaling_meets(&task, &threaded);
+    let front_json = |workers: usize, r: &ConnScaling| -> JsonValue {
+        JsonObject::new()
+            .field("workers", workers)
+            .field("sustained_connections", r.sustained)
+            .field("rss_delta_bytes", r.rss_delta_bytes)
+            .field("active_p99_ns", r.p99_ns)
+            .field("throughput_ops_per_sec", r.throughput)
+            .build()
+    };
+    let report = report.field(
+        "connection_scaling",
+        JsonObject::new()
+            .field("task", front_json(16, &task))
+            .field("threaded", front_json(200, &threaded))
+            .field(
+                "meets",
+                JsonObject::new()
+                    .field(
+                        "tenfold_connections",
+                        if tenfold { "true" } else { "false" },
+                    )
+                    .field("equal_rss", if equal_rss { "true" } else { "false" })
+                    .field("p99_no_worse", if p99_no_worse { "true" } else { "false" })
+                    .build(),
+            )
+            .build(),
+    );
+
     let report = report.build();
     if let Err(e) = std::fs::write(&args.report, format!("{report}\n")) {
         eprintln!("failed to write {}: {e}", args.report);
@@ -238,7 +295,7 @@ fn main() -> ExitCode {
         println!(
             "server stats: opened={} assigned={} queued={} aborts={} timeouts={} \
              max_queue_depth={} panics_caught={} batched_grants={} fast_path_admits={} \
-             fast_path_fallbacks={}",
+             fast_path_fallbacks={} open_connections={} tasks_parked={}",
             s.opened,
             s.assigned,
             s.queued,
@@ -249,6 +306,8 @@ fn main() -> ExitCode {
             s.batched_grants,
             s.fast_path_admits,
             s.fast_path_fallbacks,
+            s.open_connections,
+            s.tasks_parked,
         );
     }
 

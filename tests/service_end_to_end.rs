@@ -5,12 +5,19 @@ use std::collections::HashSet;
 use std::thread;
 use std::time::Duration;
 
-use amf_service::{ClientError, ServiceClient, ServiceConfig, TicketService};
+use amf_service::{ClientError, ServiceClient, ServiceConfig, ServiceFront, TicketService};
 use aspect_moderator::aspects::auth::AuthToken;
 use aspect_moderator::core::FairnessPolicy;
 use aspect_moderator::ticketing::Severity;
 
-fn spawn_service(config: ServiceConfig) -> amf_service::ServiceHandle {
+/// `AMF_SERVICE_FRONT=threaded` pins the whole suite to the
+/// thread-per-connection front; anything else (including unset) uses
+/// the config's front — the task-engine reactor by default. CI runs
+/// the suite once per value.
+fn spawn_service(mut config: ServiceConfig) -> amf_service::ServiceHandle {
+    if std::env::var("AMF_SERVICE_FRONT").as_deref() == Ok("threaded") {
+        config.front = ServiceFront::Threaded;
+    }
     TicketService::spawn("127.0.0.1:0", config).expect("spawn service")
 }
 
